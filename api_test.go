@@ -1,0 +1,135 @@
+package hilti_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hilti"
+	"hilti/internal/rt/hbytes"
+	"hilti/internal/rt/values"
+)
+
+func TestPublicAPIHelloWorld(t *testing.T) {
+	prog, err := hilti.CompileSource(`
+module Main
+
+import Hilti
+
+void run () {
+    call Hilti::print ("Hello, World!")
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := hilti.NewExec(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	ex.Out = &out
+	if _, err := ex.Call("Main::run"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "Hello, World!\n" {
+		t.Fatalf("output %q", out.String())
+	}
+}
+
+func TestPublicAPICheckRejectsBadPrograms(t *testing.T) {
+	_, err := hilti.CompileSource(`
+module M
+
+void run () {
+    jump nowhere
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("checker should reject dangling label, got %v", err)
+	}
+}
+
+func TestPublicAPIBuilderAndHost(t *testing.T) {
+	// Textual module calling out to a registered host function — the §3.4
+	// "HILTI code can invoke arbitrary C functions" direction.
+	prog, err := hilti.CompileSource(`
+module M
+
+int<64> twice (int<64> x) {
+    local int<64> r
+    r = call host_mul (x, 2)
+    return r
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := hilti.NewExec(prog)
+	ex.RegisterHost("host_mul", func(_ *hilti.Exec, args []values.Value) (values.Value, error) {
+		return values.Int(args[0].AsInt() * args[1].AsInt()), nil
+	})
+	v, err := ex.Call("M::twice", hilti.Int(21))
+	if err != nil || v.AsInt() != 42 {
+		t.Fatalf("got %v %v", v, err)
+	}
+}
+
+func TestPublicAPIIncrementalParse(t *testing.T) {
+	// The headline workflow: a function consuming input suspends until the
+	// host supplies more bytes, then resumes transparently.
+	prog, err := hilti.CompileSource(`
+module M
+
+bytes take (ref<bytes> data, int<64> n) {
+    local iterator<bytes> it
+    local tuple<bytes, iterator<bytes>> tup
+    local bytes out
+    it = bytes.begin data
+    tup = unpack.bytes it n
+    out = tuple.index tup 0
+    return out
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := hilti.NewExec(prog)
+	data := hbytes.New()
+	data.Append([]byte("GET"))
+	r := ex.FiberCall(prog.Fn("M::take"), values.BytesVal(data), hilti.Int(8))
+	if _, done, err := r.Resume(); done || err != nil {
+		t.Fatalf("should suspend: %v %v", done, err)
+	}
+	data.Append([]byte(" /index"))
+	v, done, err := r.Resume()
+	if !done || err != nil || v.AsBytes().String() != "GET /ind" {
+		t.Fatalf("got %q %v %v", v.AsBytes().String(), done, err)
+	}
+}
+
+func TestPublicAPIValueHelpers(t *testing.T) {
+	a, err := hilti.ParseAddr("192.0.2.7")
+	if err != nil || hilti.Format(a) != "192.0.2.7" {
+		t.Fatalf("addr: %v %v", a, err)
+	}
+	n, err := hilti.ParseNet("10.0.0.0/8")
+	if err != nil || !n.NetContains(a) == n.NetContains(a) {
+		t.Fatal("net parse")
+	}
+	p, err := hilti.ParsePort("443/tcp")
+	if err != nil || hilti.Format(p) != "443/tcp" {
+		t.Fatalf("port: %v %v", p, err)
+	}
+	if hilti.Format(hilti.Bool(true)) != "True" ||
+		hilti.Format(hilti.String("x")) != "x" ||
+		hilti.Format(hilti.BytesFrom([]byte("b"))) != "b" {
+		t.Fatal("formatting")
+	}
+	if hilti.IntervalVal(1500000000).AsIntervalNs() != 1500000000 {
+		t.Fatal("interval")
+	}
+	if hilti.TimeVal(5).AsTimeNs() != 5 {
+		t.Fatal("time")
+	}
+}

@@ -1,0 +1,65 @@
+// hilti-build links HILTI modules with host code and runs the result —
+// the paper's Figure 3 workflow (`hilti-build hello.hlt -o a.out &&
+// ./a.out`). This backend executes in-process rather than emitting a
+// native binary (see DESIGN.md on the LLVM substitution); -o writes a
+// small self-contained runner script for parity with the paper's usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hilti"
+)
+
+var output = flag.String("o", "", "write a runner script to this path instead of executing")
+
+func main() {
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: hilti-build [-o out] <file.hlt>...")
+		os.Exit(2)
+	}
+	var mods []*hilti.Module
+	var abs []string
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := hilti.Parse(string(src))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		mods = append(mods, m)
+		a, _ := filepath.Abs(path)
+		abs = append(abs, a)
+	}
+	// Always verify the program links before producing anything.
+	prog, err := hilti.Link(mods...)
+	if err != nil {
+		fatal(err)
+	}
+	if *output != "" {
+		script := fmt.Sprintf("#!/bin/sh\nexec hiltic %s \"$@\"\n", strings.Join(abs, " "))
+		if err := os.WriteFile(*output, []byte(script), 0o755); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	ex, err := hilti.NewExec(prog)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := ex.Call(mods[0].Name + "::run"); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hilti-build:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// hiltic compiles HILTI source files (.hlt) and optionally JIT-executes
+// them — the paper's Figure 2/3 compiler driver.
+//
+// Usage:
+//
+//	hiltic prog.hlt              # compile + run Main::run (JIT mode)
+//	hiltic -e Mod::fn prog.hlt   # run a specific entry point
+//	hiltic -p prog.hlt           # parse and pretty-print the module
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hilti"
+)
+
+var (
+	entry  = flag.String("e", "", "entry function (default <Module>::run)")
+	print_ = flag.Bool("p", false, "parse and print the module instead of executing")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: hiltic [-e entry] [-p] <file.hlt>...")
+		os.Exit(2)
+	}
+	var mods []*hilti.Module
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := hilti.Parse(string(src))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		mods = append(mods, m)
+	}
+	if *print_ {
+		for _, m := range mods {
+			fmt.Print(m.String())
+		}
+		return
+	}
+	prog, err := hilti.Link(mods...)
+	if err != nil {
+		fatal(err)
+	}
+	ex, err := hilti.NewExec(prog)
+	if err != nil {
+		fatal(err)
+	}
+	e := *entry
+	if e == "" {
+		e = mods[0].Name + "::run"
+	}
+	if _, err := ex.Call(e); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hiltic:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// pac-driver compiles a BinPAC++ grammar (.pac2) and parses input with its
+// top-level unit, printing the parsed fields — the paper's Figure 6(c)
+// debugging output. An optional .evt file defines events to trace.
+//
+// Usage:
+//
+//	pac-driver -grammar ssh.pac2 -input banner.txt
+//	echo -n 'GET / HTTP/1.1' | pac-driver -grammar http.pac2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hilti/internal/binpac"
+	"hilti/internal/binpac/grammars"
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/vm"
+	"hilti/internal/rt/values"
+)
+
+var (
+	grammarPath = flag.String("grammar", "", "grammar file (.pac2, required)")
+	evtPath     = flag.String("evt", "", "event configuration file (.evt)")
+	inputPath   = flag.String("input", "", "input file (default stdin)")
+)
+
+func main() {
+	flag.Parse()
+	if *grammarPath == "" {
+		fmt.Fprintln(os.Stderr, "pac-driver: -grammar is required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*grammarPath)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := binpac.ParsePac2(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	mods := []*ast.Module{}
+	parserMod, err := binpac.Compile(g)
+	if err != nil {
+		fatal(err)
+	}
+	mods = append(mods, parserMod)
+
+	var spec *binpac.EvtSpec
+	if *evtPath != "" {
+		esrc, err := os.ReadFile(*evtPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err = binpac.ParseEvt(string(esrc))
+		if err != nil {
+			fatal(err)
+		}
+		hooks, err := grammars.EventHooks(spec)
+		if err != nil {
+			fatal(err)
+		}
+		mods = append(mods, hooks)
+	}
+
+	prog, err := vm.Link(mods...)
+	if err != nil {
+		fatal(err)
+	}
+	ex, err := vm.NewExec(prog)
+	if err != nil {
+		fatal(err)
+	}
+	if spec != nil {
+		for _, ev := range spec.Events {
+			name := ev.Event
+			ex.RegisterHost("bro_event_"+name, func(_ *vm.Exec, args []values.Value) (values.Value, error) {
+				parts := make([]string, len(args))
+				for i, a := range args {
+					parts[i] = values.Format(a)
+				}
+				fmt.Printf("[event] %s(%v)\n", name, parts)
+				return values.Nil, nil
+			})
+		}
+	}
+
+	var data []byte
+	if *inputPath != "" {
+		data, err = os.ReadFile(*inputPath)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	obj, err := ex.Call(g.Name+"::"+g.Top+"_parse", values.BytesFrom(data))
+	if err != nil {
+		fatal(err)
+	}
+	printUnit(g.Top, obj, 0)
+}
+
+// printUnit renders parsed fields like the paper's Figure 6(c).
+func printUnit(name string, v values.Value, depth int) {
+	s := v.AsStruct()
+	if s == nil {
+		return
+	}
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	fmt.Printf("[binpac] %s%s\n", indent, name)
+	for i, f := range s.Def.Fields {
+		fv, set := s.Get(i)
+		if !set {
+			continue
+		}
+		if fv.K == values.KindStruct {
+			printUnit(f.Name, fv, depth+1)
+			continue
+		}
+		fmt.Printf("[binpac] %s  %s = '%s'\n", indent, f.Name, values.Format(fv))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pac-driver:", err)
+	os.Exit(1)
+}

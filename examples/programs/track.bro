@@ -1,0 +1,15 @@
+# The paper's Figure 8(a): record responder addresses of established
+# connections, printing them at shutdown.
+#
+#   go run ./cmd/bro-mini -r trace.pcap -bare -script examples/programs/track.bro -compile-scripts
+
+global hosts: set[addr];
+
+event connection_established(c: connection) {
+    add hosts[c$id$resp_h];   # Record responder IP.
+}
+
+event bro_done() {
+    for ( i in hosts )        # Print all recorded IPs.
+        print i;
+}

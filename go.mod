@@ -1,0 +1,3 @@
+module hilti
+
+go 1.22

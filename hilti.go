@@ -1,0 +1,137 @@
+// Package hilti is the public API of this HILTI implementation: an
+// abstract execution environment for deep, stateful network traffic
+// analysis (Vallentin, Sommer, Paxson, De Carli — IMC 2014), implemented
+// from scratch in Go.
+//
+// HILTI is a middle layer between a host application and the platform
+// executing its traffic analysis. A host application compiles its own
+// analysis specification (filter expressions, firewall rules, protocol
+// grammars, scripts) into HILTI code — either textual source or an
+// in-memory AST built with the Builder — links it into a Program, and
+// executes it through an Exec, the per-(virtual-)thread execution context.
+//
+// Quick start:
+//
+//	prog, err := hilti.CompileSource(`
+//	    module Main
+//	    import Hilti
+//	    void run () {
+//	        call Hilti::print ("Hello, World!")
+//	    }
+//	`)
+//	ex, err := hilti.NewExec(prog)
+//	_, err = ex.Call("Main::run")
+//
+// The subpackages under internal implement the machine model (types, AST,
+// parser, compiler, VM), the runtime library (bytes, containers with state
+// management, timers, incremental regular expressions, classifiers,
+// overlays, fibers, virtual threads, channels), the packet substrate
+// (pcap, layers, reassembly, synthetic traffic), and the four host
+// applications of the paper's §4 (BPF filter, stateful firewall, BinPAC++
+// parser generator, Bro-script compiler).
+package hilti
+
+import (
+	"errors"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/check"
+	"hilti/internal/hilti/parser"
+	"hilti/internal/hilti/types"
+	"hilti/internal/hilti/vm"
+	"hilti/internal/rt/values"
+)
+
+// Re-exported core types. These aliases form the stable public surface;
+// the internal packages carry the implementation.
+type (
+	// Module is a HILTI compilation unit (one `module` declaration).
+	Module = ast.Module
+	// Builder constructs modules in memory — the paper's AST API (§3.4).
+	Builder = ast.Builder
+	// Program is a linked, executable set of modules.
+	Program = vm.Program
+	// Exec is an execution context: thread-local globals, timers,
+	// exception state (§5 "Runtime Model").
+	Exec = vm.Exec
+	// Resumable is a suspended fiber-backed call (incremental parsing).
+	Resumable = vm.Resumable
+	// Value is a runtime value of the abstract machine.
+	Value = values.Value
+	// Type is a static HILTI type.
+	Type = types.Type
+	// HostFunc is a Go function callable from HILTI code.
+	HostFunc = vm.HostFunc
+	// CompiledFunc is one executable function of a Program.
+	CompiledFunc = vm.CompiledFunc
+)
+
+// Parse parses HILTI textual source (.hlt) into a module.
+func Parse(src string) (*Module, error) { return parser.Parse(src) }
+
+// NewBuilder opens an in-memory module builder.
+func NewBuilder(name string) *Builder { return ast.NewBuilder(name) }
+
+// Check runs the static verifier over modules, returning all diagnostics
+// (paper §3.2's statically typed, contained environment).
+func Check(mods ...*Module) []error { return check.Check(mods...) }
+
+// Link verifies, compiles, and links modules into an executable Program,
+// merging hook bodies and laying out thread-local globals across units
+// (the paper's custom linker stage).
+func Link(mods ...*Module) (*Program, error) {
+	if errs := check.Check(mods...); len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return vm.Link(mods...)
+}
+
+// CompileSource parses and links a single textual module.
+func CompileSource(src string) (*Program, error) {
+	m, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Link(m)
+}
+
+// NewExec creates an execution context for a linked program.
+func NewExec(p *Program) (*Exec, error) { return vm.NewExec(p) }
+
+// Run is the hilti-build convenience path: compile source, create a
+// context, and invoke the module's run() entry point if present.
+func Run(src string, entry string) (Value, error) {
+	prog, err := CompileSource(src)
+	if err != nil {
+		return values.Nil, err
+	}
+	ex, err := NewExec(prog)
+	if err != nil {
+		return values.Nil, err
+	}
+	return ex.Call(entry)
+}
+
+// Value constructors, re-exported for host applications.
+var (
+	// Int builds an integer value.
+	Int = values.Int
+	// Bool builds a boolean value.
+	Bool = values.Bool
+	// String builds a string value.
+	String = values.String
+	// BytesFrom builds a frozen bytes value from raw data.
+	BytesFrom = values.BytesFrom
+	// TimeVal builds a time value from ns since the epoch.
+	TimeVal = values.TimeVal
+	// IntervalVal builds an interval from ns.
+	IntervalVal = values.IntervalVal
+	// ParseAddr parses an IPv4/IPv6 address.
+	ParseAddr = values.ParseAddr
+	// ParseNet parses a CIDR subnet.
+	ParseNet = values.ParseNet
+	// ParsePort parses "80/tcp".
+	ParsePort = values.ParsePort
+	// Format renders a value the way Hilti::print does.
+	Format = values.Format
+)

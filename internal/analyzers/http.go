@@ -1,0 +1,319 @@
+// Package analyzers contains the hand-written "standard" protocol parsers
+// that play the role of Bro's manually written C++ HTTP and DNS analyzers
+// in the paper's §6.4 comparison. They are written in the traditional
+// style the paper contrasts BinPAC++ against: explicit per-connection
+// state machines over buffered stream data, with manual buffering of
+// incomplete input.
+package analyzers
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// HTTPEvents receives parse results (one implementation per connection).
+type HTTPEvents interface {
+	Request(method, uri, version string)
+	Reply(version string, code int, reason string)
+	Header(isOrig bool, name, value string)
+	Body(isOrig bool, ctype, sha1hex string, n int)
+	MessageDone(isOrig bool)
+	ParseError(isOrig bool, msg string)
+}
+
+// httpState enumerates the per-direction parser states.
+type httpState int
+
+const (
+	httpFirstLine httpState = iota
+	httpHeaders
+	httpBodyLength
+	httpChunkSize
+	httpChunkData
+	httpChunkCRLF
+	httpTrailer
+	httpBodyEOF
+	httpDead
+)
+
+// httpDir is one direction's state machine.
+type httpDir struct {
+	buf     []byte
+	state   httpState
+	isOrig  bool
+	remain  int // body/chunk bytes still expected
+	ctype   string
+	body    []byte
+	hasBody bool
+	isHead  bool // response to a HEAD request
+	status  int
+}
+
+// HTTPParser parses both directions of one HTTP connection.
+type HTTPParser struct {
+	ev      HTTPEvents
+	orig    httpDir
+	resp    httpDir
+	methods []string // outstanding request methods (for HEAD responses)
+}
+
+// NewHTTPParser creates a parser delivering to ev.
+func NewHTTPParser(ev HTTPEvents) *HTTPParser {
+	p := &HTTPParser{ev: ev}
+	p.orig.isOrig = true
+	return p
+}
+
+// Deliver feeds reassembled stream data for one direction.
+func (p *HTTPParser) Deliver(isOrig bool, data []byte) {
+	d := &p.resp
+	if isOrig {
+		d = &p.orig
+	}
+	if d.state == httpDead {
+		return
+	}
+	d.buf = append(d.buf, data...)
+	p.drain(d, false)
+}
+
+// EndOfData signals connection close for a direction.
+func (p *HTTPParser) EndOfData(isOrig bool) {
+	d := &p.resp
+	if isOrig {
+		d = &p.orig
+	}
+	p.drain(d, true)
+	if d.state == httpBodyEOF {
+		d.body = append(d.body, d.buf...)
+		d.buf = nil
+		p.finishMessage(d)
+	}
+}
+
+// drain consumes as much buffered data as possible.
+func (p *HTTPParser) drain(d *httpDir, eof bool) {
+	for {
+		switch d.state {
+		case httpFirstLine:
+			line, ok := takeLine(&d.buf)
+			if !ok {
+				return
+			}
+			if len(line) == 0 {
+				continue // tolerate stray blank lines between messages
+			}
+			if !p.firstLine(d, line) {
+				d.state = httpDead
+				return
+			}
+		case httpHeaders:
+			line, ok := takeLine(&d.buf)
+			if !ok {
+				return
+			}
+			if len(line) == 0 {
+				p.headersDone(d)
+				continue
+			}
+			colon := bytes.IndexByte(line, ':')
+			if colon < 0 {
+				p.ev.ParseError(d.isOrig, "malformed header")
+				d.state = httpDead
+				return
+			}
+			name := string(line[:colon])
+			value := strings.TrimLeft(string(line[colon+1:]), " \t")
+			p.ev.Header(d.isOrig, name, value)
+			switch strings.ToLower(name) {
+			case "content-length":
+				if n, err := strconv.Atoi(value); err == nil && n >= 0 {
+					d.remain = n
+					d.hasBody = n > 0
+					if d.state == httpHeaders {
+						// recorded; applied in headersDone
+					}
+				}
+			case "transfer-encoding":
+				if strings.EqualFold(strings.TrimSpace(value), "chunked") {
+					d.remain = -1 // chunked marker
+				}
+			case "content-type":
+				d.ctype = value
+			}
+		case httpBodyLength:
+			n := d.remain
+			if n > len(d.buf) {
+				n = len(d.buf)
+			}
+			d.body = append(d.body, d.buf[:n]...)
+			d.buf = d.buf[n:]
+			d.remain -= n
+			if d.remain > 0 {
+				return
+			}
+			p.finishMessage(d)
+		case httpChunkSize:
+			line, ok := takeLine(&d.buf)
+			if !ok {
+				return
+			}
+			sizeStr := string(line)
+			if i := strings.IndexAny(sizeStr, "; \t"); i >= 0 {
+				sizeStr = sizeStr[:i]
+			}
+			n, err := strconv.ParseInt(sizeStr, 16, 32)
+			if err != nil || n < 0 {
+				p.ev.ParseError(d.isOrig, "bad chunk size")
+				d.state = httpDead
+				return
+			}
+			if n == 0 {
+				d.state = httpTrailer
+				continue
+			}
+			d.remain = int(n)
+			d.state = httpChunkData
+		case httpChunkData:
+			n := d.remain
+			if n > len(d.buf) {
+				n = len(d.buf)
+			}
+			d.body = append(d.body, d.buf[:n]...)
+			d.buf = d.buf[n:]
+			d.remain -= n
+			if d.remain > 0 {
+				return
+			}
+			d.state = httpChunkCRLF
+		case httpChunkCRLF:
+			if _, ok := takeLine(&d.buf); !ok {
+				return
+			}
+			d.state = httpChunkSize
+		case httpTrailer:
+			line, ok := takeLine(&d.buf)
+			if !ok {
+				return
+			}
+			if len(line) == 0 {
+				p.finishMessage(d)
+			}
+		case httpBodyEOF:
+			if !eof {
+				return
+			}
+			d.body = append(d.body, d.buf...)
+			d.buf = nil
+			p.finishMessage(d)
+			return
+		case httpDead:
+			return
+		}
+	}
+}
+
+// firstLine parses a request or status line.
+func (p *HTTPParser) firstLine(d *httpDir, line []byte) bool {
+	parts := strings.SplitN(string(line), " ", 3)
+	d.body = nil
+	d.remain = 0
+	d.ctype = ""
+	d.hasBody = false
+	d.isHead = false
+	if d.isOrig {
+		if len(parts) < 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+			p.ev.ParseError(true, "malformed request line")
+			return false
+		}
+		p.ev.Request(parts[0], parts[1], parts[2])
+		p.methods = append(p.methods, parts[0])
+		d.state = httpHeaders
+		return true
+	}
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		p.ev.ParseError(false, "malformed status line")
+		return false
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		p.ev.ParseError(false, "malformed status code")
+		return false
+	}
+	reason := ""
+	if len(parts) == 3 {
+		reason = parts[2]
+	}
+	d.status = code
+	if len(p.methods) > 0 {
+		d.isHead = p.methods[0] == "HEAD"
+		p.methods = p.methods[1:]
+	}
+	p.ev.Reply(parts[0], code, reason)
+	d.state = httpHeaders
+	return true
+}
+
+// headersDone decides the body framing after the blank line.
+func (p *HTTPParser) headersDone(d *httpDir) {
+	noBody := d.isHead || d.status == 304 || d.status == 204 ||
+		(d.status >= 100 && d.status < 200 && !d.isOrig)
+	switch {
+	case noBody:
+		p.finishMessage(d)
+	case d.remain == -1:
+		d.state = httpChunkSize
+	case d.remain > 0:
+		d.state = httpBodyLength
+	case d.isOrig:
+		// Requests without a length have no body.
+		p.finishMessage(d)
+	default:
+		// Responses without length information run until close.
+		d.state = httpBodyEOF
+	}
+}
+
+func (p *HTTPParser) finishMessage(d *httpDir) {
+	if len(d.body) > 0 {
+		sum := sha1.Sum(d.body)
+		ctype := d.ctype
+		if ctype == "" {
+			ctype = sniffMIME(d.body)
+		}
+		p.ev.Body(d.isOrig, ctype, hex.EncodeToString(sum[:]), len(d.body))
+	}
+	p.ev.MessageDone(d.isOrig)
+	d.body = nil
+	d.state = httpFirstLine
+}
+
+// takeLine removes a CRLF- (or LF-) terminated line from buf.
+func takeLine(buf *[]byte) ([]byte, bool) {
+	i := bytes.IndexByte(*buf, '\n')
+	if i < 0 {
+		return nil, false
+	}
+	line := (*buf)[:i]
+	*buf = (*buf)[i+1:]
+	line = bytes.TrimSuffix(line, []byte("\r"))
+	return line, true
+}
+
+// sniffMIME guesses a content type from leading bytes (used only when no
+// Content-Type header is present).
+func sniffMIME(body []byte) string {
+	switch {
+	case bytes.HasPrefix(body, []byte("\x89PNG")):
+		return "image/png"
+	case bytes.HasPrefix(body, []byte("<")):
+		return "text/html"
+	case bytes.HasPrefix(body, []byte("{")), bytes.HasPrefix(body, []byte("[")):
+		return "application/json"
+	default:
+		return "text/plain"
+	}
+}

@@ -1,0 +1,545 @@
+// The BinPAC++ compiler: grammars -> HILTI modules. For each unit it emits
+// a struct type (the parsed PDU object handed to the host application, cf.
+// the paper's Figure 6(b)) and an incremental parse function
+//
+//	parse_<Unit>(self ref<U>, cur iterator<bytes>, params...) -> iterator<bytes>
+//
+// plus a host-facing entry point `<Unit>_parse(data ref<bytes>) -> ref<U>`
+// for the top-level unit. All input access goes through would-block-aware
+// runtime operations, so running the entry point inside a fiber yields a
+// parser that suspends whenever it exhausts the currently available bytes
+// and transparently resumes later — the paper's "fully incremental
+// LL(1)-parsers" with no manual buffering layer.
+
+package binpac
+
+import (
+	"fmt"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+	hregexp "hilti/internal/rt/regexp"
+	"hilti/internal/rt/values"
+)
+
+// ParseErrorName is the exception raised on grammar mismatch.
+const ParseErrorName = "BinPAC::ParseError"
+
+// Compile translates a grammar into a HILTI module named after it.
+func Compile(g *Grammar) (*ast.Module, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	c := &compiler{g: g, b: ast.NewBuilder(g.Name), structs: map[string]*types.Type{}}
+	// Declare all unit struct types first (units may reference each other).
+	for _, u := range g.Units {
+		st, err := c.structType(u)
+		if err != nil {
+			return nil, err
+		}
+		c.structs[u.Name] = st
+		c.b.DeclareType(u.Name, st)
+	}
+	for _, u := range g.Units {
+		if err := c.unitParser(u); err != nil {
+			return nil, fmt.Errorf("binpac: unit %s: %w", u.Name, err)
+		}
+	}
+	if err := c.entryPoint(g.Unit(g.Top)); err != nil {
+		return nil, err
+	}
+	return c.b.M, nil
+}
+
+type compiler struct {
+	g       *Grammar
+	b       *ast.Builder
+	structs map[string]*types.Type
+	relbl   int
+}
+
+// fieldValueType maps a field to the struct-field type storing its value.
+func (c *compiler) fieldValueType(f *Field) *types.Type {
+	switch f.Kind {
+	case FToken, FBytes, FBytesUntil, FRestOfData, FCustom:
+		return types.BytesT
+	case FUInt:
+		return types.Int64T
+	case FSubUnit:
+		return types.RefT(c.structs[f.Unit].Deref())
+	case FList:
+		return types.RefT(types.VectorT(c.fieldValueType(f.Elem)))
+	default:
+		return types.AnyT
+	}
+}
+
+func (c *compiler) structType(u *Unit) (*types.Type, error) {
+	def := &types.StructDef{Name: u.Name}
+	add := func(name string, t *types.Type, dflt values.Value) error {
+		if def.Index(name) >= 0 {
+			return fmt.Errorf("duplicate member %q", name)
+		}
+		def.Fields = append(def.Fields, types.StructField{Name: name, Type: t, Default: dflt})
+		return nil
+	}
+	// Collect named fields (including those inside switch alternatives).
+	// The runtime struct needs names and defaults; precise value types are
+	// advisory in this backend, so unresolved sub-unit types stay nil here.
+	var walk func(fs []*Field) error
+	walk = func(fs []*Field) error {
+		for _, f := range fs {
+			if f.Kind == FSwitch {
+				for _, cs := range f.Cases {
+					if err := walk(cs.Fields); err != nil {
+						return err
+					}
+				}
+				if err := walk(f.Default); err != nil {
+					return err
+				}
+				continue
+			}
+			if f.Name != "" {
+				if err := add(f.Name, nil, values.Unset); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(u.Fields); err != nil {
+		return nil, err
+	}
+	for _, v := range u.Vars {
+		var t *types.Type
+		var d values.Value
+		switch v.Type {
+		case VarInt:
+			t, d = types.Int64T, values.Int(v.Default)
+		case VarBool:
+			t, d = types.BoolT, values.Bool(v.Default != 0)
+		default:
+			t, d = types.BytesT, values.Unset
+		}
+		if err := add(v.Name, t, d); err != nil {
+			return nil, err
+		}
+	}
+	return types.StructT(def), nil
+}
+
+// unitParser emits parse_<Unit>.
+func (c *compiler) unitParser(u *Unit) error {
+	params := []ast.Param{
+		{Name: "self", Type: types.RefT(c.structs[u.Name].Deref())},
+		{Name: "cur", Type: types.IterT(types.BytesT)},
+	}
+	for _, p := range u.Params {
+		params = append(params, ast.Param{Name: p, Type: types.IterT(types.BytesT)})
+	}
+	fb := c.b.Function("parse_"+u.Name, types.IterT(types.BytesT), params...)
+	begin := fb.Local("__begin", types.IterT(types.BytesT))
+	fb.Set(begin, ast.VarOp("cur"))
+	ec := &emitCtx{c: c, u: u, fb: fb}
+	for _, f := range u.Fields {
+		if err := ec.emitField(f); err != nil {
+			return err
+		}
+	}
+	if u.HookDone {
+		ec.runHook(u.Name + "::%done")
+	}
+	fb.Return(ast.VarOp("cur"))
+	return nil
+}
+
+// entryPoint emits <Top>_parse(data) -> ref<Top>.
+func (c *compiler) entryPoint(top *Unit) error {
+	fb := c.b.Function(top.Name+"_parse", types.RefT(c.structs[top.Name].Deref()),
+		ast.Param{Name: "data", Type: types.RefT(types.BytesT)})
+	self := fb.Local("self", types.RefT(c.structs[top.Name].Deref()))
+	cur := fb.Local("cur", types.IterT(types.BytesT))
+	fb.Assign(self, "new", ast.TypeOperand(c.structs[top.Name]))
+	fb.Assign(cur, "bytes.begin", ast.VarOp("data"))
+	args := []ast.Operand{ast.FuncOperand("parse_" + top.Name), self, cur}
+	for range top.Params {
+		args = append(args, cur) // top-level params default to input start
+	}
+	fb.Assign(cur, "call", args...)
+	fb.Return(self)
+	return nil
+}
+
+// emitCtx emits parsing code for one unit body.
+type emitCtx struct {
+	c  *compiler
+	u  *Unit
+	fb *ast.FuncBuilder
+}
+
+func (ec *emitCtx) label(prefix string) string {
+	ec.c.relbl++
+	return fmt.Sprintf("__%s%d", prefix, ec.c.relbl)
+}
+
+// store assigns a parsed value into self.<name> (or discards it) and runs
+// the field hook.
+func (ec *emitCtx) store(f *Field, val ast.Operand) {
+	if f.Name != "" {
+		ec.fb.Instr("struct.set", ast.VarOp("self"), ast.FieldOperand(f.Name), val)
+	}
+	if f.Hook {
+		ec.runHook(ec.u.Name + "::" + f.Name)
+	}
+}
+
+// runHook emits a hook invocation receiving self plus the unit's
+// parameters, so semantic hook bodies can reach enclosing-unit state (the
+// HTTP grammar's Header hooks write into their parent message).
+func (ec *emitCtx) runHook(name string) {
+	args := []ast.Operand{ast.FuncOperand(name), ast.VarOp("self")}
+	for _, p := range ec.u.Params {
+		args = append(args, ast.VarOp(p))
+	}
+	ec.fb.Instr("hook.run", args...)
+}
+
+// srcOperand resolves an integer Src into an operand (possibly emitting a
+// struct.get).
+func (ec *emitCtx) srcOperand(s Src) ast.Operand {
+	switch {
+	case s.Var != "":
+		t := ec.fb.Temp(types.Int64T)
+		ec.fb.Assign(t, "struct.get", ast.VarOp("self"), ast.FieldOperand(s.Var))
+		return t
+	case s.Field != "":
+		t := ec.fb.Temp(types.Int64T)
+		ec.fb.Assign(t, "struct.get", ast.VarOp("self"), ast.FieldOperand(s.Field))
+		return t
+	default:
+		return ast.IntOp(s.Const)
+	}
+}
+
+// argOperand resolves a sub-unit / custom-function argument name: the
+// distinguished %begin iterator, a unit variable or earlier field (loaded
+// from self), or a unit parameter.
+func (ec *emitCtx) argOperand(name string) ast.Operand {
+	switch {
+	case name == "%begin":
+		return ast.VarOp("__begin")
+	case ec.u.hasVar(name) || ec.u.hasField(name):
+		t := ec.fb.Temp(types.AnyT)
+		ec.fb.Assign(t, "struct.get", ast.VarOp("self"), ast.FieldOperand(name))
+		return t
+	default:
+		return ast.VarOp(name) // unit parameter or local
+	}
+}
+
+func regexpConst(pattern string) (ast.Operand, error) {
+	re, err := hregexp.Compile(pattern)
+	if err != nil {
+		return ast.Operand{}, err
+	}
+	return ast.ConstOp(values.Ref(values.KindRegExp, re), types.RegExpT), nil
+}
+
+func (ec *emitCtx) emitField(f *Field) error {
+	fb := ec.fb
+	switch f.Kind {
+	case FToken, FLiteral:
+		reOp, err := regexpConst(f.Pattern)
+		if err != nil {
+			return err
+		}
+		tup := fb.Temp(types.TupleT(types.Int64T, types.IterT(types.BytesT)))
+		id := fb.Temp(types.Int64T)
+		ok := fb.Temp(types.BoolT)
+		fb.Assign(tup, "regexp.match_token", reOp, ast.VarOp("cur"))
+		fb.Assign(id, "tuple.index", tup, ast.IntOp(0))
+		fb.Assign(ok, "int.gt", id, ast.IntOp(0))
+		okL, failL := ec.label("tok_ok"), ec.label("tok_fail")
+		fb.IfElse(ok, okL, failL)
+		fb.Block(failL)
+		fb.Instr("exception.throw", ast.StringOp(ParseErrorName),
+			ast.StringOp(fmt.Sprintf("%s: expected /%s/", ec.u.Name, f.Pattern)))
+		fb.Block(okL)
+		end := fb.Temp(types.IterT(types.BytesT))
+		fb.Assign(end, "tuple.index", tup, ast.IntOp(1))
+		if f.Kind == FToken && f.Name != "" {
+			val := fb.Temp(types.BytesT)
+			fb.Assign(val, "bytes.sub", ast.VarOp("cur"), end)
+			fb.Set(ast.VarOp("cur"), end)
+			ec.store(f, val)
+		} else {
+			fb.Set(ast.VarOp("cur"), end)
+			ec.store(f, ast.Operand{})
+		}
+		return nil
+
+	case FUInt:
+		op := fmt.Sprintf("unpack.uint%d", f.Width)
+		if f.Width > 8 {
+			if f.Little {
+				op += "le"
+			} else {
+				op += "be"
+			}
+		}
+		tup := fb.Temp(types.TupleT(types.Int64T, types.IterT(types.BytesT)))
+		val := fb.Temp(types.Int64T)
+		fb.Assign(tup, op, ast.VarOp("cur"))
+		fb.Assign(val, "tuple.index", tup, ast.IntOp(0))
+		fb.Assign(ast.VarOp("cur"), "tuple.index", tup, ast.IntOp(1))
+		ec.store(f, val)
+		return nil
+
+	case FBytes:
+		n := ec.srcOperand(f.Length)
+		tup := fb.Temp(types.TupleT(types.BytesT, types.IterT(types.BytesT)))
+		val := fb.Temp(types.BytesT)
+		fb.Assign(tup, "unpack.bytes", ast.VarOp("cur"), n)
+		fb.Assign(val, "tuple.index", tup, ast.IntOp(0))
+		fb.Assign(ast.VarOp("cur"), "tuple.index", tup, ast.IntOp(1))
+		ec.store(f, val)
+		return nil
+
+	case FBytesUntil:
+		ftup := fb.Temp(types.TupleT(types.BoolT, types.IterT(types.BytesT)))
+		found := fb.Temp(types.BoolT)
+		pos := fb.Temp(types.IterT(types.BytesT))
+		fb.Assign(ftup, "bytes.find_from", ast.VarOp("cur"),
+			ast.ConstOp(values.BytesFrom([]byte(f.Delim)), types.BytesT))
+		fb.Assign(found, "tuple.index", ftup, ast.IntOp(0))
+		okL, failL := ec.label("until_ok"), ec.label("until_fail")
+		fb.IfElse(found, okL, failL)
+		fb.Block(failL)
+		fb.Instr("exception.throw", ast.StringOp(ParseErrorName),
+			ast.StringOp(fmt.Sprintf("%s: missing delimiter %q", ec.u.Name, f.Delim)))
+		fb.Block(okL)
+		fb.Assign(pos, "tuple.index", ftup, ast.IntOp(1))
+		val := fb.Temp(types.BytesT)
+		fb.Assign(val, "bytes.sub", ast.VarOp("cur"), pos)
+		fb.Assign(ast.VarOp("cur"), "iterator.incr_by", pos, ast.IntOp(int64(len(f.Delim))))
+		ec.store(f, val)
+		return nil
+
+	case FRestOfData:
+		endIt := fb.Temp(types.IterT(types.BytesT))
+		val := fb.Temp(types.BytesT)
+		fb.Instr("bytes.wait_frozen", ast.VarOp("cur"))
+		// cur's rope: reconstruct end iterator via bytes.end of the data the
+		// iterator points into; iterator ops carry their rope, so take the
+		// end via sub to the distinguished end.
+		fb.Assign(endIt, "iterator.end_of", ast.VarOp("cur"))
+		fb.Assign(val, "bytes.sub", ast.VarOp("cur"), endIt)
+		fb.Set(ast.VarOp("cur"), endIt)
+		ec.store(f, val)
+		return nil
+
+	case FSubUnit:
+		sub := fb.Temp(types.RefT(ec.c.structs[f.Unit].Deref()))
+		fb.Assign(sub, "new", ast.TypeOperand(ec.c.structs[f.Unit]))
+		args := []ast.Operand{ast.FuncOperand("parse_" + f.Unit), sub, ast.VarOp("cur")}
+		for _, a := range f.UnitArgs {
+			args = append(args, ec.argOperand(a))
+		}
+		fb.Assign(ast.VarOp("cur"), "call", args...)
+		ec.store(f, sub)
+		return nil
+
+	case FList:
+		var vec ast.Operand
+		if f.Name != "" {
+			vec = fb.Temp(types.RefT(types.VectorT(types.AnyT)))
+			fb.Assign(vec, "new", ast.TypeOperand(types.VectorT(types.AnyT)))
+		}
+		loopL, bodyL, doneL := ec.label("loop"), ec.label("body"), ec.label("done")
+		var i, n ast.Operand
+		if f.Mode == ListCount {
+			i = fb.Temp(types.Int64T)
+			fb.Set(i, ast.IntOp(0))
+			n = ec.srcOperand(f.Count)
+		}
+		fb.Jump(loopL)
+		fb.Block(loopL)
+		switch f.Mode {
+		case ListCount:
+			cond := fb.Temp(types.BoolT)
+			fb.Assign(cond, "int.lt", i, n)
+			fb.IfElse(cond, bodyL, doneL)
+		case ListUntilLiteral:
+			reOp, err := regexpConst(f.Until)
+			if err != nil {
+				return err
+			}
+			tup := fb.Temp(types.TupleT(types.Int64T, types.IterT(types.BytesT)))
+			id := fb.Temp(types.Int64T)
+			hit := fb.Temp(types.BoolT)
+			fb.Assign(tup, "regexp.match_token", reOp, ast.VarOp("cur"))
+			fb.Assign(id, "tuple.index", tup, ast.IntOp(0))
+			fb.Assign(hit, "int.gt", id, ast.IntOp(0))
+			consumeL := ec.label("term")
+			fb.IfElse(hit, consumeL, bodyL)
+			fb.Block(consumeL)
+			fb.Assign(ast.VarOp("cur"), "tuple.index", tup, ast.IntOp(1))
+			fb.Jump(doneL)
+		case ListUntilEnd:
+			atEnd := fb.Temp(types.BoolT)
+			fb.Assign(atEnd, "iterator.at_end", ast.VarOp("cur"))
+			fb.IfElse(atEnd, doneL, bodyL)
+		}
+		fb.Block(bodyL)
+		elem := *f.Elem
+		elemTmpName := ec.label("elem")
+		elem.Name = "" // element value handled below, not stored on self
+		var elemVal ast.Operand
+		if f.Name != "" {
+			// Parse the element into a temporary by giving it a synthetic
+			// named target: emit as unnamed, capturing the value.
+			var err error
+			elemVal, err = ec.emitElem(&elem, elemTmpName)
+			if err != nil {
+				return err
+			}
+			fb.Instr("vector.push_back", vec, elemVal)
+		} else {
+			if _, err := ec.emitElem(&elem, elemTmpName); err != nil {
+				return err
+			}
+		}
+		if f.Elem.Hook {
+			ec.runHook(ec.u.Name + "::" + f.Name + "_elem")
+		}
+		if f.Mode == ListCount {
+			fb.Assign(i, "int.add", i, ast.IntOp(1))
+		}
+		fb.Jump(loopL)
+		fb.Block(doneL)
+		if f.Name != "" {
+			ec.store(&Field{Name: f.Name, Hook: f.Hook}, vec)
+		} else if f.Hook {
+			ec.runHook(ec.u.Name + "::" + f.Name)
+		}
+		return nil
+
+	case FSwitch:
+		sel := ec.srcOperand(f.On)
+		doneL := ec.label("sw_done")
+		dfltL := ec.label("sw_dflt")
+		ops := []ast.Operand{sel, ast.LabelOp(dfltL)}
+		caseLabels := make([]string, len(f.Cases))
+		for i, cs := range f.Cases {
+			caseLabels[i] = ec.label("sw_case")
+			ops = append(ops, ast.Operand{Kind: ast.CtorOp, Elems: []ast.Operand{
+				ast.IntOp(cs.Value), ast.LabelOp(caseLabels[i]),
+			}})
+		}
+		fb.Instr("switch", ops...)
+		for i, cs := range f.Cases {
+			fb.Block(caseLabels[i])
+			for _, cf := range cs.Fields {
+				if err := ec.emitField(cf); err != nil {
+					return err
+				}
+			}
+			fb.Jump(doneL)
+		}
+		fb.Block(dfltL)
+		if f.Default != nil {
+			for _, cf := range f.Default {
+				if err := ec.emitField(cf); err != nil {
+					return err
+				}
+			}
+		}
+		fb.Block(doneL)
+		if f.Hook {
+			ec.runHook(ec.u.Name + "::" + f.Name)
+		}
+		return nil
+
+	case FCustom:
+		tup := fb.Temp(types.TupleT(types.BytesT, types.IterT(types.BytesT)))
+		val := fb.Temp(types.BytesT)
+		args := []ast.Operand{ast.FuncOperand(f.Func)}
+		for _, a := range f.FuncArgs {
+			args = append(args, ec.argOperand(a))
+		}
+		args = append(args, ast.VarOp("cur"))
+		fb.Assign(tup, "call", args...)
+		fb.Assign(val, "tuple.index", tup, ast.IntOp(0))
+		fb.Assign(ast.VarOp("cur"), "tuple.index", tup, ast.IntOp(1))
+		ec.store(f, val)
+		return nil
+
+	default:
+		return fmt.Errorf("unsupported field kind %d", f.Kind)
+	}
+}
+
+// emitElem parses a list element, returning the operand holding its value.
+func (ec *emitCtx) emitElem(elem *Field, tmpName string) (ast.Operand, error) {
+	fb := ec.fb
+	switch elem.Kind {
+	case FSubUnit:
+		sub := fb.Temp(types.RefT(ec.c.structs[elem.Unit].Deref()))
+		fb.Assign(sub, "new", ast.TypeOperand(ec.c.structs[elem.Unit]))
+		args := []ast.Operand{ast.FuncOperand("parse_" + elem.Unit), sub, ast.VarOp("cur")}
+		for _, a := range elem.UnitArgs {
+			args = append(args, ec.argOperand(a))
+		}
+		fb.Assign(ast.VarOp("cur"), "call", args...)
+		return sub, nil
+	case FUInt:
+		op := fmt.Sprintf("unpack.uint%d", elem.Width)
+		if elem.Width > 8 {
+			if elem.Little {
+				op += "le"
+			} else {
+				op += "be"
+			}
+		}
+		tup := fb.Temp(types.TupleT(types.Int64T, types.IterT(types.BytesT)))
+		val := fb.Temp(types.Int64T)
+		fb.Assign(tup, op, ast.VarOp("cur"))
+		fb.Assign(val, "tuple.index", tup, ast.IntOp(0))
+		fb.Assign(ast.VarOp("cur"), "tuple.index", tup, ast.IntOp(1))
+		return val, nil
+	case FToken:
+		reOp, err := regexpConst(elem.Pattern)
+		if err != nil {
+			return ast.Operand{}, err
+		}
+		tup := fb.Temp(types.TupleT(types.Int64T, types.IterT(types.BytesT)))
+		id := fb.Temp(types.Int64T)
+		ok := fb.Temp(types.BoolT)
+		end := fb.Temp(types.IterT(types.BytesT))
+		val := fb.Temp(types.BytesT)
+		fb.Assign(tup, "regexp.match_token", reOp, ast.VarOp("cur"))
+		fb.Assign(id, "tuple.index", tup, ast.IntOp(0))
+		fb.Assign(ok, "int.gt", id, ast.IntOp(0))
+		okL, failL := ec.label("etok_ok"), ec.label("etok_fail")
+		fb.IfElse(ok, okL, failL)
+		fb.Block(failL)
+		fb.Instr("exception.throw", ast.StringOp(ParseErrorName),
+			ast.StringOp(fmt.Sprintf("%s: expected /%s/", ec.u.Name, elem.Pattern)))
+		fb.Block(okL)
+		fb.Assign(end, "tuple.index", tup, ast.IntOp(1))
+		fb.Assign(val, "bytes.sub", ast.VarOp("cur"), end)
+		fb.Set(ast.VarOp("cur"), end)
+		return val, nil
+	case FBytes:
+		n := ec.srcOperand(elem.Length)
+		tup := fb.Temp(types.TupleT(types.BytesT, types.IterT(types.BytesT)))
+		val := fb.Temp(types.BytesT)
+		fb.Assign(tup, "unpack.bytes", ast.VarOp("cur"), n)
+		fb.Assign(val, "tuple.index", tup, ast.IntOp(0))
+		fb.Assign(ast.VarOp("cur"), "tuple.index", tup, ast.IntOp(1))
+		return val, nil
+	default:
+		return ast.Operand{}, fmt.Errorf("unsupported list element kind %d", elem.Kind)
+	}
+}

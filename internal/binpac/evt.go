@@ -1,0 +1,171 @@
+// Event configuration files (.evt) — the paper's Figure 7(b) mechanism for
+// defining the events BinPAC++ parsers raise into a host application:
+//
+//	grammar ssh.pac2;                 # grammar to compile
+//	protocol analyzer SSH over TCP:
+//	    parse with SSH::Banner,       # top-level unit
+//	    port 22/tcp;                  # port triggering the parser
+//	on SSH::Banner
+//	    -> event ssh_banner(self.version, self.software);
+//
+// The host application (the Bro analog in internal/bro) loads the file,
+// compiles the referenced grammar, and registers HILTI hook bodies that
+// marshal the named unit fields into host events.
+
+package binpac
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EventDef maps one unit's completion to a host event.
+type EventDef struct {
+	Unit  string   // unit name (module-qualified names are stripped)
+	Event string   // host event name
+	Args  []string // unit field names (self.x -> "x")
+}
+
+// EvtSpec is a parsed event configuration.
+type EvtSpec struct {
+	GrammarFile string
+	Analyzer    string
+	Transport   string // "TCP" or "UDP"
+	TopUnit     string
+	Port        uint16
+	PortProto   string
+	Events      []EventDef
+}
+
+// ParseEvt parses a .evt file.
+func ParseEvt(src string) (*EvtSpec, error) {
+	spec := &EvtSpec{}
+	// Statement-oriented: strip comments, split on ';'.
+	var clean strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		clean.WriteString(line)
+		clean.WriteByte('\n')
+	}
+	for _, stmt := range strings.Split(clean.String(), ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		fields := strings.Fields(stmt)
+		switch fields[0] {
+		case "grammar":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("evt: grammar needs a file name")
+			}
+			spec.GrammarFile = fields[1]
+		case "protocol":
+			if err := parseAnalyzer(spec, stmt); err != nil {
+				return nil, err
+			}
+		case "on":
+			ev, err := parseOn(stmt)
+			if err != nil {
+				return nil, err
+			}
+			spec.Events = append(spec.Events, *ev)
+		default:
+			return nil, fmt.Errorf("evt: unknown statement %q", fields[0])
+		}
+	}
+	if spec.GrammarFile == "" {
+		return nil, fmt.Errorf("evt: missing grammar statement")
+	}
+	return spec, nil
+}
+
+// parseAnalyzer handles:
+//
+//	protocol analyzer SSH over TCP: parse with SSH::Banner, port 22/tcp
+func parseAnalyzer(spec *EvtSpec, stmt string) error {
+	head, rest, ok := strings.Cut(stmt, ":")
+	if !ok {
+		return fmt.Errorf("evt: analyzer declaration needs ':'")
+	}
+	hf := strings.Fields(head)
+	if len(hf) != 5 || hf[1] != "analyzer" || hf[3] != "over" {
+		return fmt.Errorf("evt: malformed analyzer head %q", head)
+	}
+	spec.Analyzer = hf[2]
+	spec.Transport = strings.ToUpper(hf[4])
+	for _, clause := range strings.Split(rest, ",") {
+		cf := strings.Fields(strings.TrimSpace(clause))
+		if len(cf) == 0 {
+			continue
+		}
+		switch cf[0] {
+		case "parse":
+			if len(cf) != 3 || cf[1] != "with" {
+				return fmt.Errorf("evt: malformed parse clause %q", clause)
+			}
+			unit := cf[2]
+			if i := strings.LastIndex(unit, "::"); i >= 0 {
+				unit = unit[i+2:]
+			}
+			spec.TopUnit = unit
+		case "port":
+			if len(cf) != 2 {
+				return fmt.Errorf("evt: malformed port clause %q", clause)
+			}
+			num, proto, ok := strings.Cut(cf[1], "/")
+			if !ok {
+				return fmt.Errorf("evt: port needs /proto")
+			}
+			n, err := strconv.ParseUint(num, 10, 16)
+			if err != nil {
+				return fmt.Errorf("evt: bad port: %w", err)
+			}
+			spec.Port = uint16(n)
+			spec.PortProto = proto
+		default:
+			return fmt.Errorf("evt: unknown analyzer clause %q", clause)
+		}
+	}
+	return nil
+}
+
+// parseOn handles:
+//
+//	on SSH::Banner -> event ssh_banner(self.version, self.software)
+func parseOn(stmt string) (*EventDef, error) {
+	head, rest, ok := strings.Cut(stmt, "->")
+	if !ok {
+		return nil, fmt.Errorf("evt: on statement needs '->'")
+	}
+	hf := strings.Fields(head)
+	if len(hf) != 2 {
+		return nil, fmt.Errorf("evt: malformed on head %q", head)
+	}
+	unit := hf[1]
+	if i := strings.LastIndex(unit, "::"); i >= 0 {
+		unit = unit[i+2:]
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "event ") {
+		return nil, fmt.Errorf("evt: expected 'event' after '->'")
+	}
+	rest = strings.TrimSpace(rest[len("event "):])
+	name, argsPart, ok := strings.Cut(rest, "(")
+	if !ok || !strings.HasSuffix(argsPart, ")") {
+		return nil, fmt.Errorf("evt: malformed event signature %q", rest)
+	}
+	ev := &EventDef{Unit: unit, Event: strings.TrimSpace(name)}
+	argsPart = strings.TrimSuffix(argsPart, ")")
+	for _, arg := range strings.Split(argsPart, ",") {
+		arg = strings.TrimSpace(arg)
+		if arg == "" {
+			continue
+		}
+		arg = strings.TrimPrefix(arg, "self.")
+		ev.Args = append(ev.Args, arg)
+	}
+	return ev, nil
+}

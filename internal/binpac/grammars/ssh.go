@@ -1,0 +1,78 @@
+// The SSH banner grammar of the paper's Figure 7, exposed both as .pac2
+// source (SSHPac2, parsed by the textual front end) and as ready-to-link
+// modules with the ssh_banner event hook of Figure 7(b).
+
+package grammars
+
+import (
+	"hilti/internal/binpac"
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+)
+
+// SSHPac2 is the grammar source of Figure 7(a).
+const SSHPac2 = `
+module SSH;
+
+export type Banner = unit {
+    magic   : /SSH-/;
+    version : /[^-]*/;
+    dash    : /-/;
+    software: /[^\r\n]*/;
+};
+`
+
+// SSHEvt is the event configuration of Figure 7(b).
+const SSHEvt = `
+grammar ssh.pac2;
+
+protocol analyzer SSH over TCP:
+    parse with SSH::Banner,
+    port 22/tcp;
+
+on SSH::Banner
+    -> event ssh_banner(self.version, self.software);
+`
+
+// SSHModules compiles the SSH grammar and builds the event hook module
+// from the .evt specification: for each `on <unit> -> event e(args)`, a
+// HILTI hook body on <unit>::%done marshals the fields and calls the host
+// function bro_event_<e>.
+func SSHModules() ([]*ast.Module, *binpac.EvtSpec, error) {
+	g, err := binpac.ParsePac2(SSHPac2)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, err := binpac.ParseEvt(SSHEvt)
+	if err != nil {
+		return nil, nil, err
+	}
+	parser, err := binpac.Compile(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	hooks, err := EventHooks(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return []*ast.Module{parser, hooks}, spec, nil
+}
+
+// EventHooks generates the glue module for an event configuration: hook
+// bodies that extract the named unit fields and invoke the corresponding
+// bro_event_* host function.
+func EventHooks(spec *binpac.EvtSpec) (*ast.Module, error) {
+	b := ast.NewBuilder(spec.Analyzer + "Events")
+	for _, ev := range spec.Events {
+		fb := b.Hook(ev.Unit+"::%done", 0, ast.Param{Name: "self", Type: types.AnyT})
+		args := []ast.Operand{}
+		for i, fieldName := range ev.Args {
+			v := fb.Local(ev.Args[i]+"_v", types.BytesT)
+			fb.Assign(v, "struct.get", ast.VarOp("self"), ast.FieldOperand(fieldName))
+			args = append(args, v)
+		}
+		fb.Call("bro_event_"+ev.Event, args...)
+		fb.ReturnVoid()
+	}
+	return b.M, nil
+}

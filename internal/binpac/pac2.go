@@ -1,0 +1,351 @@
+// Textual grammar format (.pac2), covering the syntax of the paper's
+// Figures 6(a) and 7(a): named token constants, units with named and
+// anonymous fields, regexp tokens, fixed-width integers, raw-bytes fields
+// with &length, sub-units, and list fields with &count / &until /
+// &restofdata. The full HTTP/DNS grammars in package grammars use the
+// programmatic API for their semantic hooks; this parser serves simple
+// grammars, pac-driver, and the Bro .evt integration.
+
+package binpac
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePac2 parses .pac2 source into a Grammar. The last exported unit (or
+// the last unit, if none is exported) becomes the top-level unit unless a
+// later .evt file overrides it.
+func ParsePac2(src string) (*Grammar, error) {
+	p := &pacParser{src: src, consts: map[string]string{}}
+	return p.parse()
+}
+
+type pacParser struct {
+	src    string
+	pos    int
+	line   int
+	consts map[string]string // token-name -> pattern
+	g      *Grammar
+}
+
+func (p *pacParser) errf(f string, a ...any) error {
+	return fmt.Errorf("pac2 line %d: %s", p.line+1, fmt.Sprintf(f, a...))
+}
+
+func (p *pacParser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '#' {
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if c == '\n' {
+			p.line++
+			p.pos++
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *pacParser) word() string {
+	p.skipWS()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c == ':' && p.pos+1 < len(p.src) && p.src[p.pos+1] == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			if c == ':' {
+				p.pos += 2
+				continue
+			}
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *pacParser) expect(s string) error {
+	p.skipWS()
+	if !strings.HasPrefix(p.src[p.pos:], s) {
+		return p.errf("expected %q", s)
+	}
+	p.pos += len(s)
+	return nil
+}
+
+func (p *pacParser) peekByte() byte {
+	p.skipWS()
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// regexpLit parses /.../ returning the pattern.
+func (p *pacParser) regexpLit() (string, error) {
+	if err := p.expect("/"); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '\\' && p.pos+1 < len(p.src) {
+			sb.WriteByte(c)
+			sb.WriteByte(p.src[p.pos+1])
+			p.pos += 2
+			continue
+		}
+		if c == '/' {
+			p.pos++
+			return sb.String(), nil
+		}
+		if c == '\n' {
+			break
+		}
+		sb.WriteByte(c)
+		p.pos++
+	}
+	return "", p.errf("unterminated regexp")
+}
+
+func (p *pacParser) parse() (*Grammar, error) {
+	p.skipWS()
+	if w := p.word(); w != "module" {
+		return nil, p.errf("expected module, got %q", w)
+	}
+	name := p.word()
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	p.g = &Grammar{Name: name}
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			break
+		}
+		kw := p.word()
+		switch kw {
+		case "const":
+			cname := p.word()
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			pat, err := p.regexpLit()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			p.consts[cname] = pat
+		case "export", "type":
+			if kw == "export" {
+				if w := p.word(); w != "type" {
+					return nil, p.errf("expected 'type' after export")
+				}
+			}
+			u, err := p.unitDecl()
+			if err != nil {
+				return nil, err
+			}
+			p.g.Units = append(p.g.Units, u)
+			p.g.Top = u.Name
+		case "":
+			return nil, p.errf("unexpected character %q", p.peekByte())
+		default:
+			return nil, p.errf("unexpected keyword %q", kw)
+		}
+	}
+	if len(p.g.Units) == 0 {
+		return nil, fmt.Errorf("pac2: no units defined")
+	}
+	return p.g, nil
+}
+
+func (p *pacParser) unitDecl() (*Unit, error) {
+	name := p.word()
+	if name == "" {
+		return nil, p.errf("expected unit name")
+	}
+	// Strip a Module:: qualifier; the module name is implicit.
+	if i := strings.LastIndex(name, "::"); i >= 0 {
+		name = name[i+2:]
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	if w := p.word(); w != "unit" {
+		return nil, p.errf("expected 'unit'")
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	u := &Unit{Name: name, HookDone: true}
+	for {
+		p.skipWS()
+		if p.peekByte() == '}' {
+			p.pos++
+			break
+		}
+		f, err := p.fieldDecl()
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			u.Fields = append(u.Fields, f)
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func (p *pacParser) fieldDecl() (*Field, error) {
+	fname := ""
+	if p.peekByte() != ':' {
+		fname = p.word()
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	f := &Field{Name: fname}
+	p.skipWS()
+	switch {
+	case p.peekByte() == '/':
+		pat, err := p.regexpLit()
+		if err != nil {
+			return nil, err
+		}
+		f.Kind = FToken
+		f.Pattern = pat
+		if fname == "" {
+			f.Kind = FLiteral
+		}
+	default:
+		tw := p.word()
+		switch tw {
+		case "uint8", "uint16", "uint32":
+			f.Kind = FUInt
+			f.Width, _ = strconv.Atoi(tw[4:])
+		case "bytes":
+			f.Kind = FBytes
+		case "":
+			return nil, p.errf("expected field type")
+		default:
+			if pat, ok := p.consts[tw]; ok {
+				f.Kind = FToken
+				f.Pattern = pat
+				if fname == "" {
+					f.Kind = FLiteral
+				}
+				break
+			}
+			// Sub-unit (strip module qualifier), possibly a list "U[]".
+			if i := strings.LastIndex(tw, "::"); i >= 0 {
+				tw = tw[i+2:]
+			}
+			f.Kind = FSubUnit
+			f.Unit = tw
+			if p.peekByte() == '[' {
+				p.pos++
+				if err := p.expect("]"); err != nil {
+					return nil, err
+				}
+				f = &Field{Name: fname, Kind: FList, Mode: ListUntilEnd,
+					Elem: &Field{Kind: FSubUnit, Unit: tw}}
+			}
+		}
+	}
+	// Attributes.
+	for p.peekByte() == '&' {
+		p.pos++
+		attr := p.word()
+		switch attr {
+		case "length":
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			src, err := p.srcExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Length = src
+		case "count":
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			src, err := p.srcExpr()
+			if err != nil {
+				return nil, err
+			}
+			if f.Kind != FList {
+				return nil, p.errf("&count on non-list field")
+			}
+			f.Mode = ListCount
+			f.Count = src
+		case "until":
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			pat, err := p.regexpLit()
+			if err != nil {
+				return nil, err
+			}
+			if f.Kind != FList {
+				return nil, p.errf("&until on non-list field")
+			}
+			f.Mode = ListUntilLiteral
+			f.Until = pat
+		case "restofdata":
+			f.Kind = FRestOfData
+		case "littleendian":
+			f.Little = true
+		case "hook":
+			f.Hook = true
+		case "transient":
+			f.Name = ""
+		default:
+			return nil, p.errf("unknown attribute &%s", attr)
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *pacParser) srcExpr() (Src, error) {
+	p.skipWS()
+	c := p.peekByte()
+	if c >= '0' && c <= '9' {
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		n, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return Src{}, p.errf("bad number")
+		}
+		return ConstSrc(n), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "self.") {
+		p.pos += len("self.")
+	}
+	w := p.word()
+	if w == "" {
+		return Src{}, p.errf("expected length/count expression")
+	}
+	return FieldSrc(w), nil
+}

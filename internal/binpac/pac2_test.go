@@ -1,0 +1,210 @@
+package binpac
+
+import (
+	"testing"
+
+	"hilti/internal/hilti/vm"
+	"hilti/internal/rt/values"
+)
+
+// figure7a is the paper's SSH banner grammar verbatim (ssh.pac2).
+const figure7a = `
+module SSH;
+
+export type Banner = unit {
+    magic   : /SSH-/;
+    version : /[^-]*/;
+    dash    : /-/;
+    software: /[^\r\n]*/;
+};
+`
+
+func TestParsePac2SSH(t *testing.T) {
+	g, err := ParsePac2(figure7a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "SSH" || g.Top != "Banner" {
+		t.Fatalf("g = %+v", g)
+	}
+	u := g.Unit("Banner")
+	if len(u.Fields) != 4 {
+		t.Fatalf("fields = %d", len(u.Fields))
+	}
+	if u.Fields[0].Name != "magic" || u.Fields[0].Kind != FToken {
+		t.Fatalf("field 0 = %+v", u.Fields[0])
+	}
+	// Compile and run it end to end.
+	mod, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vm.Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := vm.NewExec(prog)
+	obj, err := ex.Call("SSH::Banner_parse", values.BytesFrom([]byte("SSH-2.0-OpenSSH_6.1\r\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := obj.AsStruct()
+	v, _ := s.GetName("version")
+	sw, _ := s.GetName("software")
+	if v.AsBytes().String() != "2.0" || sw.AsBytes().String() != "OpenSSH_6.1" {
+		t.Fatalf("got %q %q", v.AsBytes().String(), sw.AsBytes().String())
+	}
+}
+
+// figure6a is the paper's HTTP request-line excerpt with token constants.
+const figure6a = `
+module HTTP;
+
+const Token      = /[^ \t\r\n]+/;
+const NewLine    = /\r?\n/;
+const WhiteSpace = /[ \t]+/;
+
+type Version = unit {
+    : /HTTP\//;            # Fixed string as regexp.
+    number: /[0-9]+\.[0-9]+/;
+};
+
+export type RequestLine = unit {
+    method:  Token;
+    :        WhiteSpace;
+    uri:     Token;
+    :        WhiteSpace;
+    version: Version;
+    :        NewLine;
+};
+`
+
+func TestParsePac2HTTPRequestLine(t *testing.T) {
+	g, err := ParsePac2(figure6a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Top != "RequestLine" {
+		t.Fatalf("top = %s", g.Top)
+	}
+	mod, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vm.Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := vm.NewExec(prog)
+	obj, err := ex.Call("HTTP::RequestLine_parse",
+		values.BytesFrom([]byte("GET /index.html HTTP/1.1\r\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := obj.AsStruct()
+	m, _ := s.GetName("method")
+	u, _ := s.GetName("uri")
+	ver, _ := s.GetName("version")
+	n, _ := ver.AsStruct().GetName("number")
+	if m.AsBytes().String() != "GET" || u.AsBytes().String() != "/index.html" ||
+		n.AsBytes().String() != "1.1" {
+		t.Fatalf("got %q %q %q", m.AsBytes().String(), u.AsBytes().String(), n.AsBytes().String())
+	}
+}
+
+func TestPac2BinaryFields(t *testing.T) {
+	src := `
+module Bin;
+
+export type Rec = unit {
+    len:  uint8;
+    body: bytes &length=self.len;
+    tail: uint16 &littleendian;
+};
+`
+	g, err := ParsePac2(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vm.Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := vm.NewExec(prog)
+	obj, err := ex.Call("Bin::Rec_parse", values.BytesFrom([]byte{2, 'h', 'i', 0x34, 0x12}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := obj.AsStruct()
+	body, _ := s.GetName("body")
+	tail, _ := s.GetName("tail")
+	if body.AsBytes().String() != "hi" || tail.AsInt() != 0x1234 {
+		t.Fatalf("got %q %d", body.AsBytes().String(), tail.AsInt())
+	}
+}
+
+func TestPac2Errors(t *testing.T) {
+	bad := []string{
+		`type X = unit {};`,                            // missing module
+		`module M;` + "\n" + `type X = unit { f };`,    // missing colon
+		`module M;` + "\n" + `type X = unit { f: /a }`, // unterminated regexp
+		`module M;` + "\n" + `frob Y;`,                 // unknown keyword
+	}
+	for i, src := range bad {
+		if _, err := ParsePac2(src); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+// figure7b is the paper's event configuration file verbatim (ssh.evt).
+const figure7b = `
+grammar ssh.pac2;                 # BinPAC++ grammar to compile.
+
+# Define the new parser.
+protocol analyzer SSH over TCP:
+    parse with SSH::Banner,       # Top-level unit.
+    port 22/tcp;                  # Port to trigger parser.
+
+# For each SSH::Banner, trigger an ssh_banner() event.
+on SSH::Banner
+    -> event ssh_banner(self.version, self.software);
+`
+
+func TestParseEvt(t *testing.T) {
+	spec, err := ParseEvt(figure7b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.GrammarFile != "ssh.pac2" || spec.Analyzer != "SSH" ||
+		spec.Transport != "TCP" || spec.TopUnit != "Banner" ||
+		spec.Port != 22 || spec.PortProto != "tcp" {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if len(spec.Events) != 1 {
+		t.Fatalf("events = %d", len(spec.Events))
+	}
+	ev := spec.Events[0]
+	if ev.Unit != "Banner" || ev.Event != "ssh_banner" ||
+		len(ev.Args) != 2 || ev.Args[0] != "version" || ev.Args[1] != "software" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestParseEvtErrors(t *testing.T) {
+	bad := []string{
+		`protocol analyzer X over TCP: port 1/tcp;`,    // no grammar
+		`grammar g.pac2;` + "\n" + `on X -> frob y();`, // bad on
+		`grammar g.pac2;` + "\n" + `protocol bogus;`,   // bad analyzer
+		`grammar g.pac2;` + "\n" + `quux;`,             // unknown stmt
+	}
+	for i, src := range bad {
+		if _, err := ParseEvt(src); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}

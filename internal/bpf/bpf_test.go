@@ -1,0 +1,272 @@
+package bpf
+
+import (
+	"testing"
+
+	"hilti/internal/hilti/vm"
+	"hilti/internal/pkt/gen"
+	"hilti/internal/pkt/layers"
+	"hilti/internal/rt/hbytes"
+	"hilti/internal/rt/values"
+)
+
+func frame(srcIP, dstIP [4]byte, proto uint8, srcPort, dstPort uint16) []byte {
+	var l4 []byte
+	switch proto {
+	case 6:
+		l4 = layers.EncodeTCP(srcIP, dstIP, srcPort, dstPort, 1, 1, layers.TCPAck, 1024, []byte("x"))
+	case 17:
+		l4 = layers.EncodeUDP(srcIP, dstIP, srcPort, dstPort, []byte("x"))
+	default:
+		l4 = make([]byte, 8)
+	}
+	ip := layers.EncodeIPv4(srcIP, dstIP, proto, 64, 1, l4)
+	return layers.EncodeEthernet([6]byte{1}, [6]byte{2}, layers.EtherTypeIPv4, ip)
+}
+
+func TestVMBasics(t *testing.T) {
+	// Accept-all and reject-all.
+	if (Program{Stmt(ClassRET|RetK, 1)}).Run([]byte{1, 2, 3}) != 1 {
+		t.Fatal("ret k")
+	}
+	if (Program{Stmt(ClassRET|RetK, 0)}).Run([]byte{1}) != 0 {
+		t.Fatal("ret 0")
+	}
+	// Load/ALU/RET A.
+	p := Program{
+		Stmt(ClassLD|SizeB|ModeABS, 0),
+		Stmt(ClassALU|AluADD|SrcK, 5),
+		Stmt(ClassRET|RetA, 0),
+	}
+	if got := p.Run([]byte{10}); got != 15 {
+		t.Fatalf("got %d", got)
+	}
+	// Out-of-bounds load rejects.
+	if p.Run(nil) != 0 {
+		t.Fatal("oob should reject")
+	}
+}
+
+func TestVMScratchAndIndex(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeB|ModeABS, 0),  // A = pkt[0]
+		Stmt(ClassST, 3),                // M[3] = A
+		Stmt(ClassLDX|SizeB|ModeMSH, 0), // X = 4*(pkt[0]&0xf)
+		Stmt(ClassLD|SizeB|ModeIND, 0),  // A = pkt[X]
+		Stmt(ClassALU|AluADD|SrcX, 0),   // A += X
+		Stmt(ClassLD|ModeMEM, 3),        // A = M[3] (overwrites)
+		Stmt(ClassRET|RetA, 0),
+	}
+	pkt := make([]byte, 64)
+	pkt[0] = 0x45
+	if got := p.Run(pkt); got != 0x45 {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Program{
+		{},                               // empty
+		{Stmt(ClassLD|SizeW|ModeABS, 0)}, // no RET
+		{Jump(ClassJMP|JmpJEQ|SrcK, 1, 5, 0), Stmt(ClassRET|RetK, 0)}, // jump out of range
+		{Stmt(ClassST, 99), Stmt(ClassRET|RetK, 0)},                   // bad mem slot
+		{Stmt(ClassALU|AluDIV|SrcK, 0), Stmt(ClassRET|RetK, 0)},       // div by 0
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %d should be invalid", i)
+		}
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	e, err := ParseFilter("host 192.168.1.1 or src net 10.0.5.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := e.(OrExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if _, ok := or.L.(HostExpr); !ok {
+		t.Fatalf("left %T", or.L)
+	}
+	if n, ok := or.R.(NetExpr); !ok || n.Dir != DirSrc {
+		t.Fatalf("right %T", or.R)
+	}
+	if _, err := ParseFilter("frobnicate 1"); err == nil {
+		t.Fatal("bad filter accepted")
+	}
+	if _, err := ParseFilter("(tcp and port 80"); err == nil {
+		t.Fatal("unbalanced paren accepted")
+	}
+}
+
+// paperFilter is Figure 4's filter.
+const paperFilter = "host 192.168.1.1 or src net 10.0.5.0/24"
+
+func TestBPFBackendSemantics(t *testing.T) {
+	e, err := ParseFilter(paperFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := CompileBPF(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		f    []byte
+		want bool
+	}{
+		{frame([4]byte{192, 168, 1, 1}, [4]byte{8, 8, 8, 8}, 6, 1234, 80), true},
+		{frame([4]byte{8, 8, 8, 8}, [4]byte{192, 168, 1, 1}, 6, 80, 1234), true},
+		{frame([4]byte{10, 0, 5, 9}, [4]byte{8, 8, 8, 8}, 17, 53, 53), true},
+		{frame([4]byte{8, 8, 8, 8}, [4]byte{10, 0, 5, 9}, 17, 53, 53), false}, // dst, not src
+		{frame([4]byte{1, 2, 3, 4}, [4]byte{5, 6, 7, 8}, 6, 1, 2), false},
+	}
+	for i, tc := range cases {
+		if got := prog.Run(tc.f) != 0; got != tc.want {
+			t.Errorf("case %d: bpf got %v want %v", i, got, tc.want)
+		}
+		if got := Match(e, tc.f); got != tc.want {
+			t.Errorf("case %d: reference got %v want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestHILTIBackendSemantics(t *testing.T) {
+	e, err := ParseFilter(paperFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := CompileHILTI(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vm.Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := vm.NewExec(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(f []byte, want bool) {
+		t.Helper()
+		v, err := ex.Call("Filter::filter", values.BytesFrom(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.AsBool() != want {
+			t.Errorf("hilti got %v want %v", v.AsBool(), want)
+		}
+	}
+	check(frame([4]byte{192, 168, 1, 1}, [4]byte{8, 8, 8, 8}, 6, 1, 2), true)
+	check(frame([4]byte{10, 0, 5, 9}, [4]byte{8, 8, 8, 8}, 17, 53, 53), true)
+	check(frame([4]byte{8, 8, 8, 8}, [4]byte{10, 0, 5, 9}, 17, 53, 53), false)
+	check(frame([4]byte{1, 2, 3, 4}, [4]byte{5, 6, 7, 8}, 6, 1, 2), false)
+}
+
+// TestBackendsAgreeOnTrace reproduces §6.2's correctness check: "both
+// applications indeed return the same number of matches" on a real trace.
+func TestBackendsAgreeOnTrace(t *testing.T) {
+	filters := []string{
+		paperFilter,
+		"tcp and dst port 80",
+		"udp or icmp",
+		"not host 10.1.1.1 and tcp",
+		"src port 80 or dst port 80",
+		"net 172.16.0.0/12 and not udp",
+	}
+	cfg := gen.DefaultHTTPConfig()
+	cfg.Sessions = 100
+	pkts := gen.GenerateHTTP(cfg)
+	for _, fs := range filters {
+		e, err := ParseFilter(fs)
+		if err != nil {
+			t.Fatalf("%s: %v", fs, err)
+		}
+		prog, err := CompileBPF(e)
+		if err != nil {
+			t.Fatalf("%s: %v", fs, err)
+		}
+		mod, err := CompileHILTI(e)
+		if err != nil {
+			t.Fatalf("%s: %v", fs, err)
+		}
+		hprog, err := vm.Link(mod)
+		if err != nil {
+			t.Fatalf("%s: %v", fs, err)
+		}
+		ex, _ := vm.NewExec(hprog)
+		fn := hprog.Fn("Filter::filter")
+
+		bpfMatches, hiltiMatches, refMatches := 0, 0, 0
+		rope := hbytes.New()
+		for _, p := range pkts {
+			if prog.Run(p.Data) != 0 {
+				bpfMatches++
+			}
+			rope.Reset(p.Data)
+			v, err := ex.CallFn(fn, values.BytesVal(rope))
+			if err != nil {
+				t.Fatalf("%s: hilti: %v", fs, err)
+			}
+			if v.AsBool() {
+				hiltiMatches++
+			}
+			if Match(e, p.Data) {
+				refMatches++
+			}
+		}
+		if bpfMatches != refMatches || hiltiMatches != refMatches {
+			t.Errorf("%s: bpf=%d hilti=%d ref=%d", fs, bpfMatches, hiltiMatches, refMatches)
+		}
+		if refMatches == 0 && fs == paperFilter {
+			t.Logf("%s matched nothing (trace addresses differ)", fs)
+		}
+	}
+}
+
+func BenchmarkBPFFilter(b *testing.B) {
+	e, _ := ParseFilter("src net 10.1.0.0/16 or host 172.16.1.1")
+	prog, _ := CompileBPF(e)
+	f := frame([4]byte{10, 1, 2, 3}, [4]byte{8, 8, 8, 8}, 6, 1, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.Run(f)
+	}
+}
+
+func BenchmarkHILTIFilter(b *testing.B) {
+	e, _ := ParseFilter("src net 10.1.0.0/16 or host 172.16.1.1")
+	mod, _ := CompileHILTI(e)
+	prog, _ := vm.Link(mod)
+	ex, _ := vm.NewExec(prog)
+	f := frame([4]byte{10, 1, 2, 3}, [4]byte{8, 8, 8, 8}, 6, 1, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The stub path: per-packet boxing plus name dispatch.
+		if _, err := ex.Call("Filter::filter", values.BytesFrom(f)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHILTIFilterNoStub(b *testing.B) {
+	e, _ := ParseFilter("src net 10.1.0.0/16 or host 172.16.1.1")
+	mod, _ := CompileHILTI(e)
+	prog, _ := vm.Link(mod)
+	ex, _ := vm.NewExec(prog)
+	fn := prog.Fn("Filter::filter")
+	f := frame([4]byte{10, 1, 2, 3}, [4]byte{8, 8, 8, 8}, 6, 1, 80)
+	rope := hbytes.New()
+	rope.Reset(f)
+	arg := values.BytesVal(rope)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.CallFn(fn, arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Compilation of filter expressions into classic BPF programs for
+// Ethernet/IPv4 frames, using standard short-circuit condition codegen
+// (each predicate jumps directly to the true/false continuation, as
+// tcpdump's optimizer-less output does).
+
+package bpf
+
+import "fmt"
+
+// Ethernet/IPv4 field offsets.
+const (
+	offEtherType = 12
+	offIPStart   = 14
+	offIPProto   = offIPStart + 9
+	offIPFrag    = offIPStart + 6
+	offIPSrc     = offIPStart + 12
+	offIPDst     = offIPStart + 16
+)
+
+type label int
+
+type pendJump struct {
+	idx   int
+	isJt  bool
+	label label
+}
+
+type asm struct {
+	ins    []Instr
+	pends  []pendJump
+	labels map[label]int
+	next   label
+}
+
+func (a *asm) newLabel() label {
+	a.next++
+	return a.next
+}
+
+func (a *asm) bind(l label) { a.labels[l] = len(a.ins) }
+
+func (a *asm) stmt(code uint16, k uint32) { a.ins = append(a.ins, Stmt(code, k)) }
+
+// jump emits a conditional jump to two labels.
+func (a *asm) jump(code uint16, k uint32, lt, lf label) {
+	idx := len(a.ins)
+	a.ins = append(a.ins, Instr{Code: code, K: k})
+	a.pends = append(a.pends,
+		pendJump{idx: idx, isJt: true, label: lt},
+		pendJump{idx: idx, isJt: false, label: lf})
+}
+
+func (a *asm) resolve() (Program, error) {
+	for _, p := range a.pends {
+		target, ok := a.labels[p.label]
+		if !ok {
+			return nil, fmt.Errorf("bpf: unbound label %d", p.label)
+		}
+		off := target - (p.idx + 1)
+		if off < 0 || off > 255 {
+			return nil, fmt.Errorf("bpf: jump offset %d out of range", off)
+		}
+		if p.isJt {
+			a.ins[p.idx].Jt = uint8(off)
+		} else {
+			a.ins[p.idx].Jf = uint8(off)
+		}
+	}
+	return Program(a.ins), nil
+}
+
+// CompileBPF compiles a filter expression into a validated BPF program
+// over Ethernet frames. Non-IPv4 packets never match.
+func CompileBPF(e Expr) (Program, error) {
+	a := &asm{labels: map[label]int{}}
+	lt, lf := a.newLabel(), a.newLabel()
+
+	// Prelude: accept only IPv4 frames.
+	ok := a.newLabel()
+	a.stmt(ClassLD|SizeH|ModeABS, offEtherType)
+	a.jump(ClassJMP|JmpJEQ|SrcK, 0x0800, ok, lf)
+	a.bind(ok)
+
+	if err := a.gen(e, lt, lf); err != nil {
+		return nil, err
+	}
+	a.bind(lt)
+	a.stmt(ClassRET|RetK, 262144)
+	a.bind(lf)
+	a.stmt(ClassRET|RetK, 0)
+
+	prog, err := a.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (a *asm) gen(e Expr, lt, lf label) error {
+	switch e := e.(type) {
+	case OrExpr:
+		mid := a.newLabel()
+		if err := a.gen(e.L, lt, mid); err != nil {
+			return err
+		}
+		a.bind(mid)
+		return a.gen(e.R, lt, lf)
+	case AndExpr:
+		mid := a.newLabel()
+		if err := a.gen(e.L, mid, lf); err != nil {
+			return err
+		}
+		a.bind(mid)
+		return a.gen(e.R, lt, lf)
+	case NotExpr:
+		return a.gen(e.E, lf, lt)
+	case ProtoExpr:
+		a.stmt(ClassLD|SizeB|ModeABS, offIPProto)
+		a.jump(ClassJMP|JmpJEQ|SrcK, uint32(e.Proto), lt, lf)
+		return nil
+	case HostExpr:
+		k := e.Addr.AddrV4Uint()
+		switch e.Dir {
+		case DirSrc:
+			a.stmt(ClassLD|SizeW|ModeABS, offIPSrc)
+			a.jump(ClassJMP|JmpJEQ|SrcK, k, lt, lf)
+		case DirDst:
+			a.stmt(ClassLD|SizeW|ModeABS, offIPDst)
+			a.jump(ClassJMP|JmpJEQ|SrcK, k, lt, lf)
+		default:
+			mid := a.newLabel()
+			a.stmt(ClassLD|SizeW|ModeABS, offIPSrc)
+			a.jump(ClassJMP|JmpJEQ|SrcK, k, lt, mid)
+			a.bind(mid)
+			a.stmt(ClassLD|SizeW|ModeABS, offIPDst)
+			a.jump(ClassJMP|JmpJEQ|SrcK, k, lt, lf)
+		}
+		return nil
+	case NetExpr:
+		plen := e.Net.NetFamilyLen()
+		var mask uint32 = 0
+		if plen > 0 {
+			mask = ^uint32(0) << uint(32-plen)
+		}
+		k := uint32(e.Net.B) & mask
+		cmp := func(off uint32, lt, lf label) {
+			a.stmt(ClassLD|SizeW|ModeABS, off)
+			a.stmt(ClassALU|AluAND|SrcK, mask)
+			a.jump(ClassJMP|JmpJEQ|SrcK, k, lt, lf)
+		}
+		switch e.Dir {
+		case DirSrc:
+			cmp(offIPSrc, lt, lf)
+		case DirDst:
+			cmp(offIPDst, lt, lf)
+		default:
+			mid := a.newLabel()
+			cmp(offIPSrc, lt, mid)
+			a.bind(mid)
+			cmp(offIPDst, lt, lf)
+		}
+		return nil
+	case PortExpr:
+		// Protocol must be TCP or UDP, packet must not be a fragment, then
+		// index past the variable-length IP header (the ldxb 4*([14]&0xf)
+		// idiom).
+		isUDP := a.newLabel()
+		protoOK := a.newLabel()
+		notFrag := a.newLabel()
+		a.stmt(ClassLD|SizeB|ModeABS, offIPProto)
+		a.jump(ClassJMP|JmpJEQ|SrcK, 6, protoOK, isUDP)
+		a.bind(isUDP)
+		a.jump(ClassJMP|JmpJEQ|SrcK, 17, protoOK, lf)
+		a.bind(protoOK)
+		a.stmt(ClassLD|SizeH|ModeABS, offIPFrag)
+		a.jump(ClassJMP|JmpJSET|SrcK, 0x1fff, lf, notFrag)
+		a.bind(notFrag)
+		a.stmt(ClassLDX|SizeB|ModeMSH, offIPStart)
+		k := uint32(e.Port)
+		switch e.Dir {
+		case DirSrc:
+			a.stmt(ClassLD|SizeH|ModeIND, offIPStart)
+			a.jump(ClassJMP|JmpJEQ|SrcK, k, lt, lf)
+		case DirDst:
+			a.stmt(ClassLD|SizeH|ModeIND, offIPStart+2)
+			a.jump(ClassJMP|JmpJEQ|SrcK, k, lt, lf)
+		default:
+			mid := a.newLabel()
+			a.stmt(ClassLD|SizeH|ModeIND, offIPStart)
+			a.jump(ClassJMP|JmpJEQ|SrcK, k, lt, mid)
+			a.bind(mid)
+			a.stmt(ClassLD|SizeH|ModeIND, offIPStart+2)
+			a.jump(ClassJMP|JmpJEQ|SrcK, k, lt, lf)
+		}
+		return nil
+	default:
+		return fmt.Errorf("bpf: cannot compile %T", e)
+	}
+}

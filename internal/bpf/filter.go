@@ -1,0 +1,207 @@
+// Filter expression language: the tcpdump subset the exemplar needs —
+// `host A`, `src host A`, `dst host A`, `net N/len` (with src/dst), `port
+// N` (with src/dst), `tcp`/`udp`/`icmp`, combined with `and`, `or`, `not`,
+// and parentheses. The paper's Figure 4 filter is
+// `host 192.168.1.1 or src net 10.0.5.0/24`.
+
+package bpf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hilti/internal/rt/values"
+)
+
+// Dir qualifies an endpoint predicate.
+type Dir int
+
+// Endpoint directions.
+const (
+	DirEither Dir = iota
+	DirSrc
+	DirDst
+)
+
+// Expr is a filter expression AST node.
+type Expr interface{ isExpr() }
+
+// HostExpr matches an IPv4 endpoint address.
+type HostExpr struct {
+	Dir  Dir
+	Addr values.Value
+}
+
+// NetExpr matches an endpoint against a CIDR prefix.
+type NetExpr struct {
+	Dir Dir
+	Net values.Value
+}
+
+// PortExpr matches a TCP/UDP endpoint port.
+type PortExpr struct {
+	Dir  Dir
+	Port uint16
+}
+
+// ProtoExpr matches the IP protocol.
+type ProtoExpr struct{ Proto uint8 }
+
+// AndExpr, OrExpr, NotExpr combine predicates.
+type AndExpr struct{ L, R Expr }
+
+// OrExpr is a disjunction.
+type OrExpr struct{ L, R Expr }
+
+// NotExpr negates a predicate.
+type NotExpr struct{ E Expr }
+
+func (HostExpr) isExpr()  {}
+func (NetExpr) isExpr()   {}
+func (PortExpr) isExpr()  {}
+func (ProtoExpr) isExpr() {}
+func (AndExpr) isExpr()   {}
+func (OrExpr) isExpr()    {}
+func (NotExpr) isExpr()   {}
+
+// ParseFilter parses a filter expression.
+func ParseFilter(s string) (Expr, error) {
+	p := &fparser{toks: tokenizeFilter(s)}
+	e, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.toks) {
+		return nil, fmt.Errorf("bpf: trailing input %q", strings.Join(p.toks[p.pos:], " "))
+	}
+	return e, nil
+}
+
+func tokenizeFilter(s string) []string {
+	s = strings.ReplaceAll(s, "(", " ( ")
+	s = strings.ReplaceAll(s, ")", " ) ")
+	return strings.Fields(s)
+}
+
+type fparser struct {
+	toks []string
+	pos  int
+}
+
+func (p *fparser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *fparser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *fparser) or() (Expr, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "or" || p.peek() == "||" {
+		p.next()
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *fparser) and() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "and" || p.peek() == "&&" {
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *fparser) unary() (Expr, error) {
+	switch p.peek() {
+	case "not", "!":
+		p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	case "(":
+		p.next()
+		e, err := p.or()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("bpf: missing )")
+		}
+		return e, nil
+	}
+	return p.primitive()
+}
+
+func (p *fparser) primitive() (Expr, error) {
+	dir := DirEither
+	switch p.peek() {
+	case "src":
+		dir = DirSrc
+		p.next()
+	case "dst":
+		dir = DirDst
+		p.next()
+	}
+	switch kw := p.next(); kw {
+	case "host":
+		a, err := values.ParseAddr(p.next())
+		if err != nil {
+			return nil, err
+		}
+		if !a.AddrIsV4() {
+			return nil, fmt.Errorf("bpf: only IPv4 hosts supported")
+		}
+		return HostExpr{Dir: dir, Addr: a}, nil
+	case "net":
+		n, err := values.ParseNet(p.next())
+		if err != nil {
+			return nil, err
+		}
+		return NetExpr{Dir: dir, Net: n}, nil
+	case "port":
+		n, err := strconv.ParseUint(p.next(), 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bpf: bad port: %w", err)
+		}
+		return PortExpr{Dir: dir, Port: uint16(n)}, nil
+	case "tcp":
+		return ProtoExpr{Proto: 6}, nil
+	case "udp":
+		return ProtoExpr{Proto: 17}, nil
+	case "icmp":
+		return ProtoExpr{Proto: 1}, nil
+	case "":
+		return nil, fmt.Errorf("bpf: unexpected end of filter")
+	default:
+		// Bare address is shorthand for host.
+		if a, err := values.ParseAddr(kw); err == nil {
+			return HostExpr{Dir: dir, Addr: a}, nil
+		}
+		return nil, fmt.Errorf("bpf: unknown primitive %q", kw)
+	}
+}

@@ -1,0 +1,262 @@
+// Compilation of filter expressions into HILTI code — the paper's first
+// exemplar (§4 "Berkeley Packet Filter", Figure 4). The generated module
+// defines an overlay describing the Ethernet/IPv4 wire format and a
+// function `filter(ref<bytes> packet) -> bool` that extracts exactly the
+// fields the expression needs, with short-circuit control flow.
+
+package bpf
+
+import (
+	"fmt"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+	"hilti/internal/rt/overlay"
+	"hilti/internal/rt/values"
+)
+
+// frameOverlay describes an Ethernet frame carrying IPv4 (fixed offsets;
+// the variable-length IP header is handled via hdr_len where needed).
+var frameOverlay = overlay.New("Frame::Header",
+	overlay.Field{Name: "etype", Offset: 12, Format: overlay.UInt16BE},
+	overlay.Field{Name: "hdr_len", Offset: 14, Format: overlay.UInt8Bits, BitLo: 0, BitHi: 3},
+	overlay.Field{Name: "frag", Offset: 20, Format: overlay.UInt16BE},
+	overlay.Field{Name: "proto", Offset: 23, Format: overlay.UInt8},
+	overlay.Field{Name: "src", Offset: 26, Format: overlay.IPv4},
+	overlay.Field{Name: "dst", Offset: 30, Format: overlay.IPv4},
+)
+
+// hiltiGen carries codegen state for one filter function.
+type hiltiGen struct {
+	fb  *ast.FuncBuilder
+	ovT *types.Type
+	n   int
+}
+
+func (g *hiltiGen) label(prefix string) string {
+	g.n++
+	return fmt.Sprintf("%s%d", prefix, g.n)
+}
+
+// CompileHILTI compiles a filter expression into a HILTI module exposing
+// `filter(ref<bytes> packet) -> bool` over Ethernet frames.
+func CompileHILTI(e Expr) (*ast.Module, error) {
+	b := ast.NewBuilder("Filter")
+	b.Import("Hilti")
+	ovT := types.OverlayT(frameOverlay)
+	b.DeclareType("Frame::Header", ovT)
+
+	fb := b.Function("filter", types.BoolT, ast.Param{Name: "packet", Type: types.RefT(types.BytesT)})
+	g := &hiltiGen{fb: fb, ovT: ovT}
+
+	// Prelude: IPv4 only.
+	et := fb.Temp(types.Int64T)
+	cond := fb.Temp(types.BoolT)
+	g.get(et, "etype")
+	fb.Assign(cond, "int.eq", et, ast.IntOp(0x0800))
+	ipOK := g.label("ip_ok")
+	fb.IfElse(cond, ipOK, "no_match")
+	fb.Block(ipOK)
+
+	if err := g.gen(e, "match", "no_match"); err != nil {
+		return nil, err
+	}
+	fb.Block("match")
+	fb.Return(ast.BoolOp(true))
+	fb.Block("no_match")
+	fb.Return(ast.BoolOp(false))
+	return b.M, nil
+}
+
+func (g *hiltiGen) get(target ast.Operand, field string) {
+	g.fb.Assign(target, "overlay.get",
+		ast.TypeOperand(g.ovT), ast.FieldOperand(field), ast.VarOp("packet"))
+}
+
+func (g *hiltiGen) gen(e Expr, lt, lf string) error {
+	fb := g.fb
+	switch e := e.(type) {
+	case OrExpr:
+		mid := g.label("or")
+		if err := g.gen(e.L, lt, mid); err != nil {
+			return err
+		}
+		fb.Block(mid)
+		return g.gen(e.R, lt, lf)
+	case AndExpr:
+		mid := g.label("and")
+		if err := g.gen(e.L, mid, lf); err != nil {
+			return err
+		}
+		fb.Block(mid)
+		return g.gen(e.R, lt, lf)
+	case NotExpr:
+		return g.gen(e.E, lf, lt)
+	case ProtoExpr:
+		p := fb.Temp(types.Int64T)
+		b := fb.Temp(types.BoolT)
+		g.get(p, "proto")
+		fb.Assign(b, "int.eq", p, ast.IntOp(int64(e.Proto)))
+		fb.IfElse(b, lt, lf)
+		return nil
+	case HostExpr:
+		cmp := func(field, lt, lf string) {
+			a := fb.Temp(types.AddrT)
+			b := fb.Temp(types.BoolT)
+			g.get(a, field)
+			fb.Assign(b, "equal", a, ast.ConstOp(e.Addr, types.AddrT))
+			fb.IfElse(b, lt, lf)
+		}
+		switch e.Dir {
+		case DirSrc:
+			cmp("src", lt, lf)
+		case DirDst:
+			cmp("dst", lt, lf)
+		default:
+			mid := g.label("host")
+			cmp("src", lt, mid)
+			fb.Block(mid)
+			cmp("dst", lt, lf)
+		}
+		return nil
+	case NetExpr:
+		cmp := func(field, lt, lf string) {
+			a := fb.Temp(types.AddrT)
+			b := fb.Temp(types.BoolT)
+			g.get(a, field)
+			fb.Assign(b, "net.contains", ast.ConstOp(e.Net, types.NetT), a)
+			fb.IfElse(b, lt, lf)
+		}
+		switch e.Dir {
+		case DirSrc:
+			cmp("src", lt, lf)
+		case DirDst:
+			cmp("dst", lt, lf)
+		default:
+			mid := g.label("net")
+			cmp("src", lt, mid)
+			fb.Block(mid)
+			cmp("dst", lt, lf)
+		}
+		return nil
+	case PortExpr:
+		p := fb.Temp(types.Int64T)
+		b := fb.Temp(types.BoolT)
+		// proto in {tcp, udp}
+		g.get(p, "proto")
+		fb.Assign(b, "int.eq", p, ast.IntOp(6))
+		tryUDP := g.label("try_udp")
+		protoOK := g.label("proto_ok")
+		fb.IfElse(b, protoOK, tryUDP)
+		fb.Block(tryUDP)
+		fb.Assign(b, "int.eq", p, ast.IntOp(17))
+		fb.IfElse(b, protoOK, lf)
+		fb.Block(protoOK)
+		// not a fragment
+		frag := fb.Temp(types.Int64T)
+		g.get(frag, "frag")
+		fb.Assign(frag, "int.and", frag, ast.IntOp(0x1fff))
+		fb.Assign(b, "int.eq", frag, ast.IntOp(0))
+		notFrag := g.label("not_frag")
+		fb.IfElse(b, notFrag, lf)
+		fb.Block(notFrag)
+		// offset of the transport header: 14 + 4*hdr_len
+		hl := fb.Temp(types.Int64T)
+		off := fb.Temp(types.Int64T)
+		g.get(hl, "hdr_len")
+		fb.Assign(off, "int.mul", hl, ast.IntOp(4))
+		fb.Assign(off, "int.add", off, ast.IntOp(14))
+		it := fb.Temp(types.IterT(types.BytesT))
+		tup := fb.Temp(types.TupleT(types.Int64T, types.IterT(types.BytesT)))
+		v := fb.Temp(types.Int64T)
+		loadPort := func(extra int64, lt, lf string) {
+			o2 := fb.Temp(types.Int64T)
+			fb.Assign(o2, "int.add", off, ast.IntOp(extra))
+			fb.Assign(it, "bytes.begin", ast.VarOp("packet"))
+			fb.Assign(it, "iterator.incr_by", it, o2)
+			fb.Assign(tup, "unpack.uint16be", it)
+			fb.Assign(v, "tuple.index", tup, ast.IntOp(0))
+			fb.Assign(b, "int.eq", v, ast.IntOp(int64(e.Port)))
+			fb.IfElse(b, lt, lf)
+		}
+		switch e.Dir {
+		case DirSrc:
+			loadPort(0, lt, lf)
+		case DirDst:
+			loadPort(2, lt, lf)
+		default:
+			mid := g.label("port")
+			loadPort(0, lt, mid)
+			fb.Block(mid)
+			loadPort(2, lt, lf)
+		}
+		return nil
+	default:
+		return fmt.Errorf("bpf: cannot compile %T to HILTI", e)
+	}
+}
+
+// Match is a convenience: evaluate an expression directly against a frame
+// (the reference semantics both backends are tested against).
+func Match(e Expr, frame []byte) bool {
+	if len(frame) < 34 {
+		return false
+	}
+	if uint16(frame[12])<<8|uint16(frame[13]) != 0x0800 {
+		return false
+	}
+	switch e := e.(type) {
+	case OrExpr:
+		return Match(e.L, frame) || Match(e.R, frame)
+	case AndExpr:
+		return Match(e.L, frame) && Match(e.R, frame)
+	case NotExpr:
+		return !Match(e.E, frame)
+	case ProtoExpr:
+		return frame[23] == e.Proto
+	case HostExpr:
+		src := values.AddrFrom4([4]byte{frame[26], frame[27], frame[28], frame[29]})
+		dst := values.AddrFrom4([4]byte{frame[30], frame[31], frame[32], frame[33]})
+		switch e.Dir {
+		case DirSrc:
+			return values.Equal(src, e.Addr)
+		case DirDst:
+			return values.Equal(dst, e.Addr)
+		default:
+			return values.Equal(src, e.Addr) || values.Equal(dst, e.Addr)
+		}
+	case NetExpr:
+		src := values.AddrFrom4([4]byte{frame[26], frame[27], frame[28], frame[29]})
+		dst := values.AddrFrom4([4]byte{frame[30], frame[31], frame[32], frame[33]})
+		switch e.Dir {
+		case DirSrc:
+			return e.Net.NetContains(src)
+		case DirDst:
+			return e.Net.NetContains(dst)
+		default:
+			return e.Net.NetContains(src) || e.Net.NetContains(dst)
+		}
+	case PortExpr:
+		if frame[23] != 6 && frame[23] != 17 {
+			return false
+		}
+		if (uint16(frame[20])<<8|uint16(frame[21]))&0x1fff != 0 {
+			return false
+		}
+		off := 14 + 4*int(frame[14]&0x0f)
+		if off+4 > len(frame) {
+			return false
+		}
+		sp := uint16(frame[off])<<8 | uint16(frame[off+1])
+		dp := uint16(frame[off+2])<<8 | uint16(frame[off+3])
+		switch e.Dir {
+		case DirSrc:
+			return sp == e.Port
+		case DirDst:
+			return dp == e.Port
+		default:
+			return sp == e.Port || dp == e.Port
+		}
+	}
+	return false
+}

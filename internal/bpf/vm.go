@@ -1,0 +1,291 @@
+// Package bpf implements the classic Berkeley Packet Filter: the in-kernel
+// virtual machine of McCanne & Jacobson [32], a validator, and a compiler
+// from a tcpdump-style filter expression language into BPF programs.
+//
+// The paper's §6.2 uses BPF as the baseline for its first exemplar: a
+// filter compiled to HILTI via overlays versus the same filter interpreted
+// by BPF's stack machine. This package is that baseline, implemented from
+// scratch; package filter below also targets HILTI so the harness can
+// compare the two backends on identical traffic.
+package bpf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Instruction classes and addressing modes (bpf.h encoding).
+const (
+	ClassLD   = 0x00
+	ClassLDX  = 0x01
+	ClassST   = 0x02
+	ClassSTX  = 0x03
+	ClassALU  = 0x04
+	ClassJMP  = 0x05
+	ClassRET  = 0x06
+	ClassMISC = 0x07
+
+	// Size field for LD/LDX.
+	SizeW = 0x00 // word
+	SizeH = 0x08 // half word
+	SizeB = 0x10 // byte
+
+	// Mode field.
+	ModeIMM = 0x00
+	ModeABS = 0x20
+	ModeIND = 0x40
+	ModeMEM = 0x60
+	ModeLEN = 0x80
+	ModeMSH = 0xa0 // 4*([k]&0xf), the IP-header-length idiom
+
+	// ALU/JMP op field.
+	AluADD = 0x00
+	AluSUB = 0x10
+	AluMUL = 0x20
+	AluDIV = 0x30
+	AluOR  = 0x40
+	AluAND = 0x50
+	AluLSH = 0x60
+	AluRSH = 0x70
+	AluNEG = 0x80
+	AluMOD = 0x90
+	AluXOR = 0xa0
+
+	JmpJA   = 0x00
+	JmpJEQ  = 0x10
+	JmpJGT  = 0x20
+	JmpJGE  = 0x30
+	JmpJSET = 0x40
+
+	// Source field.
+	SrcK = 0x00
+	SrcX = 0x08
+
+	// RET source.
+	RetK = 0x00
+	RetA = 0x10
+
+	// MISC ops.
+	MiscTAX = 0x00
+	MiscTXA = 0x80
+)
+
+// memWords is the size of the scratch memory store.
+const memWords = 16
+
+// Instr is one BPF instruction (struct sock_filter).
+type Instr struct {
+	Code   uint16
+	Jt, Jf uint8
+	K      uint32
+}
+
+// Program is a BPF filter program.
+type Program []Instr
+
+// ErrInvalidProgram reports a program rejected by Validate.
+var ErrInvalidProgram = errors.New("bpf: invalid program")
+
+// Validate performs the kernel-style static checks: in-bounds jumps
+// (forward only), valid opcodes, in-range memory slots, and a terminating
+// return.
+func (p Program) Validate() error {
+	if len(p) == 0 || len(p) > 4096 {
+		return fmt.Errorf("%w: bad length %d", ErrInvalidProgram, len(p))
+	}
+	for i, in := range p {
+		cls := in.Code & 0x07
+		switch cls {
+		case ClassLD, ClassLDX:
+			if in.Code&0xe0 == ModeMEM && in.K >= memWords {
+				return fmt.Errorf("%w: insn %d: mem slot %d", ErrInvalidProgram, i, in.K)
+			}
+		case ClassST, ClassSTX:
+			if in.K >= memWords {
+				return fmt.Errorf("%w: insn %d: mem slot %d", ErrInvalidProgram, i, in.K)
+			}
+		case ClassALU:
+			if op := in.Code & 0xf0; op == AluDIV || op == AluMOD {
+				if in.Code&SrcX == 0 && in.K == 0 {
+					return fmt.Errorf("%w: insn %d: division by zero constant", ErrInvalidProgram, i)
+				}
+			}
+		case ClassJMP:
+			if in.Code&0xf0 == JmpJA {
+				if uint32(i)+1+in.K >= uint32(len(p)) {
+					return fmt.Errorf("%w: insn %d: ja out of range", ErrInvalidProgram, i)
+				}
+			} else {
+				if i+1+int(in.Jt) >= len(p) || i+1+int(in.Jf) >= len(p) {
+					return fmt.Errorf("%w: insn %d: jump out of range", ErrInvalidProgram, i)
+				}
+			}
+		case ClassRET, ClassMISC:
+			// Always fine.
+		}
+	}
+	last := p[len(p)-1]
+	if last.Code&0x07 != ClassRET {
+		return fmt.Errorf("%w: no terminating RET", ErrInvalidProgram)
+	}
+	return nil
+}
+
+// Run interprets the program over pkt, returning the snapshot length
+// (non-zero = accept). The machine is defensive: out-of-bounds loads
+// return 0 (reject), as the kernel does.
+func (p Program) Run(pkt []byte) uint32 {
+	var a, x uint32
+	var mem [memWords]uint32
+	wlen := uint32(len(pkt))
+
+	for pc := 0; pc < len(p); pc++ {
+		in := &p[pc]
+		switch in.Code & 0x07 {
+		case ClassLD:
+			switch in.Code & 0xe0 {
+			case ModeIMM:
+				a = in.K
+			case ModeLEN:
+				a = wlen
+			case ModeMEM:
+				a = mem[in.K]
+			case ModeABS:
+				v, ok := load(pkt, in.K, in.Code&0x18)
+				if !ok {
+					return 0
+				}
+				a = v
+			case ModeIND:
+				v, ok := load(pkt, x+in.K, in.Code&0x18)
+				if !ok {
+					return 0
+				}
+				a = v
+			}
+		case ClassLDX:
+			switch in.Code & 0xe0 {
+			case ModeIMM:
+				x = in.K
+			case ModeLEN:
+				x = wlen
+			case ModeMEM:
+				x = mem[in.K]
+			case ModeMSH:
+				if in.K >= wlen {
+					return 0
+				}
+				x = 4 * uint32(pkt[in.K]&0x0f)
+			}
+		case ClassST:
+			mem[in.K] = a
+		case ClassSTX:
+			mem[in.K] = x
+		case ClassALU:
+			src := in.K
+			if in.Code&SrcX != 0 {
+				src = x
+			}
+			switch in.Code & 0xf0 {
+			case AluADD:
+				a += src
+			case AluSUB:
+				a -= src
+			case AluMUL:
+				a *= src
+			case AluDIV:
+				if src == 0 {
+					return 0
+				}
+				a /= src
+			case AluMOD:
+				if src == 0 {
+					return 0
+				}
+				a %= src
+			case AluAND:
+				a &= src
+			case AluOR:
+				a |= src
+			case AluXOR:
+				a ^= src
+			case AluLSH:
+				a <<= src & 31
+			case AluRSH:
+				a >>= src & 31
+			case AluNEG:
+				a = -a
+			}
+		case ClassJMP:
+			src := in.K
+			if in.Code&SrcX != 0 {
+				src = x
+			}
+			switch in.Code & 0xf0 {
+			case JmpJA:
+				pc += int(in.K)
+			case JmpJEQ:
+				pc += cond(a == src, in)
+			case JmpJGT:
+				pc += cond(a > src, in)
+			case JmpJGE:
+				pc += cond(a >= src, in)
+			case JmpJSET:
+				pc += cond(a&src != 0, in)
+			}
+		case ClassRET:
+			if in.Code&0x18 == RetA {
+				return a
+			}
+			return in.K
+		case ClassMISC:
+			if in.Code&0xf8 == MiscTAX {
+				x = a
+			} else {
+				a = x
+			}
+		}
+	}
+	return 0
+}
+
+func cond(c bool, in *Instr) int {
+	if c {
+		return int(in.Jt)
+	}
+	return int(in.Jf)
+}
+
+func load(pkt []byte, off uint32, size uint16) (uint32, bool) {
+	switch size {
+	case SizeW:
+		if off+4 > uint32(len(pkt)) || off+4 < off {
+			return 0, false
+		}
+		return uint32(pkt[off])<<24 | uint32(pkt[off+1])<<16 | uint32(pkt[off+2])<<8 | uint32(pkt[off+3]), true
+	case SizeH:
+		if off+2 > uint32(len(pkt)) || off+2 < off {
+			return 0, false
+		}
+		return uint32(pkt[off])<<8 | uint32(pkt[off+1]), true
+	case SizeB:
+		if off >= uint32(len(pkt)) {
+			return 0, false
+		}
+		return uint32(pkt[off]), true
+	}
+	return 0, false
+}
+
+// Stmt builds a non-jump instruction.
+func Stmt(code uint16, k uint32) Instr { return Instr{Code: code, K: k} }
+
+// Jump builds a conditional jump instruction.
+func Jump(code uint16, k uint32, jt, jf uint8) Instr {
+	return Instr{Code: code, Jt: jt, Jf: jf, K: k}
+}
+
+// String disassembles one instruction (for golden tests and debugging).
+func (in Instr) String() string {
+	return fmt.Sprintf("{0x%02x, %d, %d, 0x%08x}", in.Code, in.Jt, in.Jf, in.K)
+}

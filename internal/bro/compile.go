@@ -1,0 +1,602 @@
+// The Bro-script-to-HILTI compiler (paper §4 "Bro Script Compiler",
+// Figure 8): event handlers become HILTI hooks, functions become HILTI
+// functions, and the script's data types map onto HILTI equivalents —
+// tables to maps, sets to sets, records to structs, with expiration
+// attributes lowered onto HILTI's container state management. Print, fmt,
+// logging, and network-time access go through bro_* host functions so that
+// compiled and interpreted execution render output identically.
+
+package bro
+
+import (
+	"fmt"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+	"hilti/internal/rt/container"
+	"hilti/internal/rt/values"
+)
+
+// Compiler translates loaded scripts into a HILTI module.
+type Compiler struct {
+	b       *ast.Builder
+	records map[string]*RecordDecl
+	rtypes  map[string]*types.Type
+	globals map[string]*GlobalDecl
+	funcs   map[string]*FuncDecl
+	anonRec int
+	lbl     int
+}
+
+// CompileScripts translates scripts into one HILTI module ("BroScripts")
+// with an `__init_globals` function the host must call once per Exec.
+func CompileScripts(scripts ...*Script) (*ast.Module, error) {
+	c := &Compiler{
+		b:       ast.NewBuilder("BroScripts"),
+		records: map[string]*RecordDecl{},
+		rtypes:  map[string]*types.Type{},
+		globals: map[string]*GlobalDecl{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	// Built-in record types.
+	c.declareRecord(&RecordDecl{Name: "conn_id", Fields: []RecordField{
+		{Name: "orig_h", Type: &TypeExpr{Kind: "addr"}},
+		{Name: "orig_p", Type: &TypeExpr{Kind: "port"}},
+		{Name: "resp_h", Type: &TypeExpr{Kind: "addr"}},
+		{Name: "resp_p", Type: &TypeExpr{Kind: "port"}},
+	}})
+	c.declareRecord(&RecordDecl{Name: "connection", Fields: []RecordField{
+		{Name: "id", Type: &TypeExpr{Kind: "record", Name: "conn_id"}},
+		{Name: "uid", Type: &TypeExpr{Kind: "string"}},
+		{Name: "start_time", Type: &TypeExpr{Kind: "time"}},
+	}})
+	for _, s := range scripts {
+		for _, rd := range s.Records {
+			c.declareRecord(rd)
+		}
+	}
+	init := c.b.Function("__init_globals", types.VoidT)
+	for _, s := range scripts {
+		for _, gd := range s.Globals {
+			if err := c.global(gd, init); err != nil {
+				return nil, err
+			}
+		}
+	}
+	init.ReturnVoid()
+	for _, s := range scripts {
+		for _, fd := range s.Functions {
+			c.funcs[fd.Name] = fd
+		}
+	}
+	for _, s := range scripts {
+		for _, fd := range s.Functions {
+			if err := c.function(fd); err != nil {
+				return nil, fmt.Errorf("function %s: %w", fd.Name, err)
+			}
+		}
+		for _, ev := range s.Events {
+			if err := c.event(ev); err != nil {
+				return nil, fmt.Errorf("event %s: %w", ev.Name, err)
+			}
+		}
+	}
+	return c.b.M, nil
+}
+
+func (c *Compiler) declareRecord(rd *RecordDecl) {
+	c.records[rd.Name] = rd
+	def := &types.StructDef{Name: rd.Name}
+	for _, f := range rd.Fields {
+		def.Fields = append(def.Fields, types.StructField{
+			Name: f.Name, Type: c.hiltiType(f.Type), Default: values.Unset,
+		})
+	}
+	t := types.StructT(def)
+	c.rtypes[rd.Name] = t
+	c.b.DeclareType(rd.Name, t)
+}
+
+// hiltiType maps a script type to a HILTI type.
+func (c *Compiler) hiltiType(t *TypeExpr) *types.Type {
+	if t == nil {
+		return types.AnyT
+	}
+	switch t.Kind {
+	case "bool":
+		return types.BoolT
+	case "count", "int":
+		return types.Int64T
+	case "double":
+		return types.DoubleT
+	case "string":
+		return types.StringT
+	case "addr":
+		return types.AddrT
+	case "subnet":
+		return types.NetT
+	case "port":
+		return types.PortT
+	case "time":
+		return types.TimeT
+	case "interval":
+		return types.IntervalT
+	case "table":
+		return types.RefT(types.MapT(types.AnyT, c.hiltiType(t.Yield)))
+	case "set":
+		return types.RefT(types.SetT(types.AnyT))
+	case "vector":
+		return types.RefT(types.VectorT(c.hiltiType(t.Yield)))
+	case "record":
+		if rt, ok := c.rtypes[t.Name]; ok {
+			return types.RefT(rt)
+		}
+		return types.AnyT
+	default:
+		return types.AnyT
+	}
+}
+
+func (c *Compiler) global(gd *GlobalDecl, init *ast.FuncBuilder) error {
+	c.globals[gd.Name] = gd
+	t := gd.Type
+	if t == nil && gd.Init != nil {
+		t = c.inferType(nil, gd.Init)
+	}
+	c.b.Global(gd.Name, c.hiltiType(t))
+	// Initializer.
+	if gd.Init != nil {
+		fc := &fnCtx{c: c, fb: init, locals: map[string]*TypeExpr{}}
+		op, _, err := fc.expr(gd.Init)
+		if err != nil {
+			return err
+		}
+		init.Set(ast.VarOp(gd.Name), op)
+	}
+	// Expiration attributes -> container state management.
+	if t != nil && (gd.CreateExpire > 0 || gd.ReadExpire > 0) {
+		strategy := int64(container.ExpireCreate)
+		ivl := gd.CreateExpire
+		if gd.ReadExpire > 0 {
+			strategy = int64(container.ExpireAccess)
+			ivl = gd.ReadExpire
+		}
+		op := "map.timeout"
+		if t.Kind == "set" {
+			op = "set.timeout"
+		}
+		init.Instr(op, ast.VarOp(gd.Name),
+			ast.ConstOp(values.EnumVal(container.ExpireStrategyEnum, strategy), nil),
+			ast.ConstOp(values.IntervalVal(ivl), types.IntervalT))
+	}
+	return nil
+}
+
+func (c *Compiler) event(ev *EventHandler) error {
+	params := make([]ast.Param, len(ev.Params))
+	fc := &fnCtx{c: c, locals: map[string]*TypeExpr{}}
+	for i, p := range ev.Params {
+		params[i] = ast.Param{Name: p.Name, Type: c.hiltiType(p.Type)}
+		fc.locals[p.Name] = p.Type
+	}
+	fb := c.b.Hook(ev.Name, 0, params...)
+	fc.fb = fb
+	if err := fc.stmts(ev.Body); err != nil {
+		return err
+	}
+	fb.ReturnVoid()
+	return nil
+}
+
+func (c *Compiler) function(fd *FuncDecl) error {
+	params := make([]ast.Param, len(fd.Params))
+	fc := &fnCtx{c: c, locals: map[string]*TypeExpr{}}
+	for i, p := range fd.Params {
+		params[i] = ast.Param{Name: p.Name, Type: c.hiltiType(p.Type)}
+		fc.locals[p.Name] = p.Type
+	}
+	fb := c.b.Function(fd.Name, c.hiltiType(fd.Result), params...)
+	fc.fb = fb
+	if err := fc.stmts(fd.Body); err != nil {
+		return err
+	}
+	fb.ReturnVoid()
+	return nil
+}
+
+// fnCtx compiles one handler/function body.
+type fnCtx struct {
+	c      *Compiler
+	fb     *ast.FuncBuilder
+	locals map[string]*TypeExpr
+}
+
+func (fc *fnCtx) label(p string) string {
+	fc.c.lbl++
+	return fmt.Sprintf("__%s%d", p, fc.c.lbl)
+}
+
+// inferType derives a script type for an expression (nil env for globals).
+func (c *Compiler) inferType(fc *fnCtx, e Expr) *TypeExpr {
+	switch e := e.(type) {
+	case *LitExpr:
+		switch e.V.(type) {
+		case BoolVal:
+			return &TypeExpr{Kind: "bool"}
+		case CountVal:
+			return &TypeExpr{Kind: "count"}
+		case IntVal:
+			return &TypeExpr{Kind: "int"}
+		case DoubleVal:
+			return &TypeExpr{Kind: "double"}
+		case StringVal:
+			return &TypeExpr{Kind: "string"}
+		case AddrVal:
+			return &TypeExpr{Kind: "addr"}
+		case SubnetVal:
+			return &TypeExpr{Kind: "subnet"}
+		case PortVal:
+			return &TypeExpr{Kind: "port"}
+		case TimeVal:
+			return &TypeExpr{Kind: "time"}
+		case IntervalVal:
+			return &TypeExpr{Kind: "interval"}
+		}
+	case *NameExpr:
+		if fc != nil {
+			if t, ok := fc.locals[e.Name]; ok {
+				return t
+			}
+		}
+		if gd, ok := c.globals[e.Name]; ok {
+			if gd.Type != nil {
+				return gd.Type
+			}
+			return c.inferType(nil, gd.Init)
+		}
+	case *FieldExpr:
+		bt := c.inferType(fc, e.Base)
+		if bt != nil && bt.Kind == "record" {
+			if rd, ok := c.records[bt.Name]; ok {
+				for _, f := range rd.Fields {
+					if f.Name == e.Field {
+						return f.Type
+					}
+				}
+			}
+		}
+	case *IndexExpr:
+		bt := c.inferType(fc, e.Base)
+		if bt != nil {
+			switch bt.Kind {
+			case "table", "vector":
+				return bt.Yield
+			}
+		}
+	case *BinExpr:
+		switch e.Op {
+		case "==", "!=", "<", ">", "<=", ">=", "&&", "||", "in", "!in":
+			return &TypeExpr{Kind: "bool"}
+		}
+		lt := c.inferType(fc, e.L)
+		rt := c.inferType(fc, e.R)
+		if lt == nil {
+			return rt
+		}
+		if rt == nil {
+			return lt
+		}
+		// time/interval algebra.
+		if lt.Kind == "time" && e.Op == "-" && rt.Kind == "time" {
+			return &TypeExpr{Kind: "interval"}
+		}
+		if lt.Kind == "time" {
+			return lt
+		}
+		if lt.Kind == "double" || rt.Kind == "double" {
+			return &TypeExpr{Kind: "double"}
+		}
+		return lt
+	case *UnaryExpr:
+		switch e.Op {
+		case "!":
+			return &TypeExpr{Kind: "bool"}
+		case "||":
+			return &TypeExpr{Kind: "count"}
+		case "-":
+			return c.inferType(fc, e.E)
+		}
+	case *CallExpr:
+		if _, ok := c.records[e.Fn]; ok {
+			return &TypeExpr{Kind: "record", Name: e.Fn}
+		}
+		switch e.Fn {
+		case "vector":
+			return &TypeExpr{Kind: "vector", Yield: &TypeExpr{Kind: "any"}}
+		case "network_time":
+			return &TypeExpr{Kind: "time"}
+		case "fmt", "to_lower", "to_upper", "cat":
+			return &TypeExpr{Kind: "string"}
+		}
+		if fd, ok := c.funcs[e.Fn]; ok {
+			return fd.Result
+		}
+	case *CtorExpr:
+		return &TypeExpr{Kind: "record", Name: ""}
+	}
+	return nil
+}
+
+func (fc *fnCtx) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *fnCtx) stmt(s Stmt) error {
+	fb := fc.fb
+	switch s := s.(type) {
+	case *LocalStmt:
+		t := s.Type
+		if t == nil && s.Init != nil {
+			t = fc.c.inferType(fc, s.Init)
+		}
+		fc.locals[s.Name] = t
+		fb.Local(s.Name, fc.c.hiltiType(t))
+		if s.Init != nil {
+			op, _, err := fc.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			fb.Set(ast.VarOp(s.Name), op)
+		} else if t != nil && (t.Kind == "table" || t.Kind == "set" || t.Kind == "vector") {
+			fb.Assign(ast.VarOp(s.Name), "new", ast.TypeOperand(fc.c.hiltiType(t).Deref()))
+		}
+		return nil
+	case *AssignStmt:
+		return fc.assign(s)
+	case *IfStmt:
+		cond, _, err := fc.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		thenL, elseL, doneL := fc.label("then"), fc.label("else"), fc.label("endif")
+		fb.IfElse(cond, thenL, elseL)
+		fb.Block(thenL)
+		if err := fc.stmts(s.Then); err != nil {
+			return err
+		}
+		fb.Jump(doneL)
+		fb.Block(elseL)
+		if err := fc.stmts(s.Else); err != nil {
+			return err
+		}
+		fb.Block(doneL)
+		return nil
+	case *ForStmt:
+		return fc.forStmt(s)
+	case *PrintStmt:
+		args := make([]ast.Operand, 0, len(s.Args))
+		for _, a := range s.Args {
+			op, _, err := fc.expr(a)
+			if err != nil {
+				return err
+			}
+			args = append(args, op)
+		}
+		fb.Call("bro_print", args...)
+		return nil
+	case *AddStmt:
+		base, _, err := fc.expr(s.Target.Base)
+		if err != nil {
+			return err
+		}
+		key, err := fc.keyOperand(s.Target.Keys)
+		if err != nil {
+			return err
+		}
+		fb.Instr("set.insert", base, key)
+		return nil
+	case *DeleteStmt:
+		base, bt, err := fc.expr(s.Target.Base)
+		if err != nil {
+			return err
+		}
+		key, err := fc.keyOperand(s.Target.Keys)
+		if err != nil {
+			return err
+		}
+		op := "map.remove"
+		if bt != nil && bt.Kind == "set" {
+			op = "set.remove"
+		}
+		fb.Instr(op, base, key)
+		return nil
+	case *ReturnStmt:
+		if s.Value == nil {
+			fb.ReturnVoid()
+			// Continue into an unreachable fresh block so later statements
+			// still lower (dead code, as in the source).
+			fb.Block(fc.label("dead"))
+			return nil
+		}
+		op, _, err := fc.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		fb.Return(op)
+		fb.Block(fc.label("dead"))
+		return nil
+	case *ExprStmt:
+		_, _, err := fc.expr(s.E)
+		return err
+	case *EventStmt:
+		args := make([]ast.Operand, 0, len(s.Args)+1)
+		args = append(args, ast.FuncOperand(s.Name))
+		for _, a := range s.Args {
+			op, _, err := fc.expr(a)
+			if err != nil {
+				return err
+			}
+			args = append(args, op)
+		}
+		fb.Instr("hook.run", args...)
+		return nil
+	default:
+		return fmt.Errorf("cannot compile statement %T", s)
+	}
+}
+
+// keyOperand builds the map/set key: single value or tuple.
+func (fc *fnCtx) keyOperand(keys []Expr) (ast.Operand, error) {
+	if len(keys) == 1 {
+		op, _, err := fc.expr(keys[0])
+		return op, err
+	}
+	elems := make([]ast.Operand, len(keys))
+	for i, k := range keys {
+		op, _, err := fc.expr(k)
+		if err != nil {
+			return ast.Operand{}, err
+		}
+		elems[i] = op
+	}
+	return ast.Operand{Kind: ast.CtorOp, Elems: elems}, nil
+}
+
+func (fc *fnCtx) assign(s *AssignStmt) error {
+	fb := fc.fb
+	switch l := s.LHS.(type) {
+	case *NameExpr:
+		rhs, rt, err := fc.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		if _, known := fc.locals[l.Name]; !known {
+			if _, isGlobal := fc.c.globals[l.Name]; !isGlobal {
+				// Implicit local.
+				fc.locals[l.Name] = rt
+				fb.Local(l.Name, fc.c.hiltiType(rt))
+			}
+		}
+		fb.Set(ast.VarOp(l.Name), rhs)
+		return nil
+	case *FieldExpr:
+		base, _, err := fc.expr(l.Base)
+		if err != nil {
+			return err
+		}
+		rhs, _, err := fc.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		fb.Instr("struct.set", base, ast.FieldOperand(l.Field), rhs)
+		return nil
+	case *IndexExpr:
+		base, bt, err := fc.expr(l.Base)
+		if err != nil {
+			return err
+		}
+		rhs, _, err := fc.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		if bt != nil && bt.Kind == "vector" {
+			idx, _, err := fc.expr(l.Keys[0])
+			if err != nil {
+				return err
+			}
+			fb.Instr("vector.set", base, idx, rhs)
+			return nil
+		}
+		key, err := fc.keyOperand(l.Keys)
+		if err != nil {
+			return err
+		}
+		fb.Instr("map.insert", base, key, rhs)
+		return nil
+	}
+	return fmt.Errorf("cannot compile assignment to %T", s.LHS)
+}
+
+func (fc *fnCtx) forStmt(s *ForStmt) error {
+	fb := fc.fb
+	over, ot, err := fc.expr(s.Over)
+	if err != nil {
+		return err
+	}
+	elemsOp := fb.Temp(types.RefT(types.VectorT(types.AnyT)))
+	kind := "table"
+	if ot != nil {
+		kind = ot.Kind
+	}
+	switch kind {
+	case "set":
+		fb.Assign(elemsOp, "set.elems", over)
+	case "table":
+		fb.Assign(elemsOp, "map.keys", over)
+	case "vector":
+		fb.Set(elemsOp, over)
+	default:
+		return fmt.Errorf("cannot iterate %s", kind)
+	}
+	i := fb.Temp(types.Int64T)
+	n := fb.Temp(types.Int64T)
+	cond := fb.Temp(types.BoolT)
+	fb.Set(i, ast.IntOp(0))
+	fb.Assign(n, "vector.size", elemsOp)
+
+	var elemT *TypeExpr
+	if ot != nil {
+		switch ot.Kind {
+		case "set", "table":
+			if len(ot.Index) == 1 {
+				elemT = ot.Index[0]
+			}
+		case "vector":
+			elemT = &TypeExpr{Kind: "count"}
+		}
+	}
+	if _, known := fc.locals[s.Var]; !known {
+		fc.locals[s.Var] = elemT
+		fb.Local(s.Var, fc.c.hiltiType(elemT))
+	}
+	if s.Var2 != "" {
+		var v2T *TypeExpr
+		if ot != nil {
+			v2T = ot.Yield
+		}
+		if _, known := fc.locals[s.Var2]; !known {
+			fc.locals[s.Var2] = v2T
+			fb.Local(s.Var2, fc.c.hiltiType(v2T))
+		}
+	}
+
+	loopL, bodyL, doneL := fc.label("loop"), fc.label("body"), fc.label("done")
+	fb.Jump(loopL)
+	fb.Block(loopL)
+	fb.Assign(cond, "int.lt", i, n)
+	fb.IfElse(cond, bodyL, doneL)
+	fb.Block(bodyL)
+	if kind == "vector" {
+		fb.Set(ast.VarOp(s.Var), i)
+		if s.Var2 != "" {
+			fb.Assign(ast.VarOp(s.Var2), "vector.get", elemsOp, i)
+		}
+	} else {
+		fb.Assign(ast.VarOp(s.Var), "vector.get", elemsOp, i)
+		if s.Var2 != "" && kind == "table" {
+			fb.Assign(ast.VarOp(s.Var2), "map.get", over, ast.VarOp(s.Var))
+		}
+	}
+	if err := fc.stmts(s.Body); err != nil {
+		return err
+	}
+	fb.Assign(i, "int.add", i, ast.IntOp(1))
+	fb.Jump(loopL)
+	fb.Block(doneL)
+	return nil
+}

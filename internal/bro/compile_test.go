@@ -1,0 +1,249 @@
+package bro
+
+import (
+	"bytes"
+	"testing"
+
+	"hilti/internal/hilti/vm"
+	"hilti/internal/rt/values"
+)
+
+// compileExec compiles scripts and returns a ready Exec with host fns.
+func compileExec(t testing.TB, src string) (*vm.Exec, *Glue, *bytes.Buffer, func() int64) {
+	t.Helper()
+	s, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := CompileScripts(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vm.Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := vm.NewExec(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	ex.Out = &out
+	now := int64(0)
+	glue := NewGlue(nil)
+	RegisterHostFns(ex, func() int64 { return now }, nil, glue)
+	if _, err := ex.Call("BroScripts::__init_globals"); err != nil {
+		t.Fatal(err)
+	}
+	return ex, glue, &out, func() int64 { return now }
+}
+
+func TestCompiledFigure8Track(t *testing.T) {
+	ex, glue, out, _ := compileExec(t, trackBro)
+	ip := NewInterp() // for MakeConn record structure
+	for _, addr := range []string{"208.80.152.118", "208.80.152.2", "208.80.152.3", "208.80.152.2"} {
+		c := ip.MakeConn("C1", values.MustParseAddr("10.0.0.1"), values.MustParseAddr(addr),
+			PortVal{Num: 1024, Proto: values.ProtoTCP}, PortVal{Num: 80, Proto: values.ProtoTCP}, 0)
+		if err := ex.RunHook("connection_established", glue.ToHilti(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ex.RunHook("bro_done"); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 8(c) output.
+	want := "208.80.152.118\n208.80.152.2\n208.80.152.3\n"
+	if out.String() != want {
+		t.Fatalf("output %q, want %q", out.String(), want)
+	}
+}
+
+func TestCompiledFib(t *testing.T) {
+	ex, _, _, _ := compileExec(t, fibBro)
+	v, err := ex.Call("fib", values.Int(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 610 {
+		t.Fatalf("fib(15) = %v", v)
+	}
+}
+
+// TestCompiledMatchesInterp runs the same script through both execution
+// engines and compares the printed output byte for byte — the Table 3
+// methodology in miniature.
+func TestCompiledMatchesInterp(t *testing.T) {
+	src := `
+type Stat: record {
+    n: count;
+    last: time;
+};
+
+global stats: table[string] of Stat;
+global total: count = 0;
+
+event observe(who: string, when: time) {
+    if ( who !in stats )
+        stats[who] = Stat($n=0, $last=when);
+    local s = stats[who];
+    s$n = s$n + 1;
+    s$last = when;
+    total += 1;
+}
+
+event report() {
+    print "total", total;
+    for ( who in stats )
+        print fmt("%s -> %s", who, stats[who]$n);
+    if ( total > 3 && "alice" in stats )
+        print "alice seen";
+}
+`
+	type step struct {
+		who  string
+		when int64
+	}
+	steps := []step{
+		{"alice", 1e9}, {"bob", 2e9}, {"alice", 3e9}, {"carol", 4e9}, {"alice", 5e9},
+	}
+
+	// Interpreter run.
+	s, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp()
+	if err := ip.Load(s); err != nil {
+		t.Fatal(err)
+	}
+	var iout bytes.Buffer
+	ip.Out = &iout
+	for _, st := range steps {
+		if err := ip.Dispatch("observe", StringVal(st.who), TimeVal(st.when)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ip.Dispatch("report"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compiled run.
+	ex, glue, cout, _ := compileExec(t, src)
+	for _, st := range steps {
+		err := ex.RunHook("observe", glue.ToHilti(StringVal(st.who)), glue.ToHilti(TimeVal(st.when)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ex.RunHook("report"); err != nil {
+		t.Fatal(err)
+	}
+
+	if iout.String() != cout.String() {
+		t.Fatalf("outputs differ:\ninterp:\n%s\ncompiled:\n%s", iout.String(), cout.String())
+	}
+	if iout.Len() == 0 {
+		t.Fatal("no output produced")
+	}
+}
+
+func TestCompiledVectorOps(t *testing.T) {
+	src := `
+global v: vector of count;
+
+event go() {
+    v[|v|] = 5;
+    v[|v|] = 7;
+    local sum = 0;
+    for ( i in v )
+        sum += v[i];
+    print sum, |v|;
+}
+`
+	ex, _, out, _ := compileExec(t, src)
+	if err := ex.RunHook("go"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "12, 2\n" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+func TestCompiledCompositeKeysAndDelete(t *testing.T) {
+	src := `
+global pending: table[string, count] of string;
+
+event go() {
+    pending["C1", 7] = "q";
+    if ( ["C1", 7] in pending )
+        print pending["C1", 7];
+    delete pending["C1", 7];
+    if ( ["C1", 7] !in pending )
+        print "gone";
+}
+`
+	ex, _, out, _ := compileExec(t, src)
+	if err := ex.RunHook("go"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "q\ngone\n" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+func TestCompiledExpiration(t *testing.T) {
+	src := `
+global seen: set[string] &read_expire=10 secs;
+
+event touch(k: string) {
+    add seen[k];
+}
+
+event check(k: string) {
+    if ( k in seen )
+        print "present";
+    else
+        print "absent";
+}
+`
+	s, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := CompileScripts(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vm.Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := vm.NewExec(prog)
+	var out bytes.Buffer
+	ex.Out = &out
+	glue := NewGlue(nil)
+	RegisterHostFns(ex, func() int64 { return 0 }, nil, glue)
+	if _, err := ex.Call("BroScripts::__init_globals"); err != nil {
+		t.Fatal(err)
+	}
+	ex.GlobalTM.Advance(0)
+	ex.RunHook("touch", values.String("x"))
+	ex.GlobalTM.Advance(5e9)
+	ex.RunHook("check", values.String("x")) // present, refreshes
+	ex.GlobalTM.Advance(20e9)
+	ex.RunHook("check", values.String("x")) // expired (idle 15s > 10s)
+	if out.String() != "present\nabsent\n" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+func BenchmarkFibCompiled(b *testing.B) {
+	ex, _, _, _ := compileExec(b, fibBro)
+	fn := ex.Prog.Fn("BroScripts::fib")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.CallFn(fn, values.Int(20)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

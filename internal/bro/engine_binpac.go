@@ -1,0 +1,339 @@
+// BinPAC++ parser integration: the engine drives HILTI-compiled parsers
+// over reassembled streams (HTTP) and datagrams (DNS), exactly like the
+// paper's Bro plugin drives BinPAC++ parsers (§4, §5 "Bro Interface").
+// Parser hooks call bro_* host functions; their HILTI arguments cross the
+// glue layer into Vals before entering the event engine, and the glue
+// profiler charges that conversion separately (Figure 9's third bar).
+
+package bro
+
+import (
+	"hilti/internal/binpac/grammars"
+	"hilti/internal/hilti/vm"
+	"hilti/internal/rt/container"
+	"hilti/internal/rt/hbytes"
+	"hilti/internal/rt/values"
+)
+
+// attachBinpacHTTP wires a connection's streams into HTTP parser fibers.
+func (e *Engine) attachBinpacHTTP(c *conn) {
+	c.origRope = hbytes.New()
+	c.respRope = hbytes.New()
+	reqFn := e.pexec.Prog.Fn("HTTP::parse_Requests")
+	repFn := e.pexec.Prog.Fn("HTTP::parse_Replies")
+
+	reqSelf := values.StructVal(values.NewStruct(e.httpReqStruct))
+	repSelf := values.StructVal(values.NewStruct(e.httpRepStruct))
+	c.origRun = e.pexec.FiberCall(reqFn, reqSelf, values.IterBytes(c.origRope.Begin()), values.Int(c.ctx))
+	c.respRun = e.pexec.FiberCall(repFn, repSelf, values.IterBytes(c.respRope.Begin()), values.Int(c.ctx))
+
+	c.origStream.Deliver = func(d []byte) { e.binpacDeliver(c, true, d) }
+	c.respStream.Deliver = func(d []byte) { e.binpacDeliver(c, false, d) }
+}
+
+func (e *Engine) binpacDeliver(c *conn, isOrig bool, d []byte) {
+	rope, run, dead := c.respRope, c.respRun, &c.respDead
+	if isOrig {
+		rope, run, dead = c.origRope, c.origRun, &c.origDead
+	}
+	if *dead {
+		return
+	}
+	rope.Append(d)
+	_, done, err := run.Resume()
+	if done {
+		*dead = true
+		if err != nil {
+			e.parseErrs++
+		}
+	}
+}
+
+// finishBinpacDir freezes a direction's input and drives the parse to
+// completion (list-until-end units finish at frozen end of data).
+func (e *Engine) finishBinpacDir(c *conn, isOrig bool) {
+	rope, run, dead := c.respRope, c.respRun, &c.respDead
+	if isOrig {
+		rope, run, dead = c.origRope, c.origRun, &c.origDead
+	}
+	if *dead {
+		return
+	}
+	rope.Freeze()
+	_, done, err := run.Resume()
+	*dead = true
+	if !done {
+		run.Abort()
+	} else if err != nil {
+		e.parseErrs++
+	}
+}
+
+// binpacDNSPacket parses one DNS datagram through the HILTI parser. Per
+// the paper's observation, the generated parser always runs incrementally
+// (inside a fiber) even for complete UDP PDUs; Config.DNSWholePDU enables
+// the optimized whole-PDU mode as an ablation.
+func (e *Engine) binpacDNSPacket(c *conn, payload []byte) {
+	fn := e.pexec.Prog.Fn("DNS::parse_Message")
+	rope := hbytes.New()
+	rope.AppendOwned(payload)
+	rope.Freeze()
+	self := values.StructVal(values.NewStruct(e.dnsMsgStruct()))
+	cur := values.IterBytes(rope.Begin())
+
+	e.inParse++
+	e.profParse.Start()
+	var err error
+	if e.cfg.DNSWholePDU {
+		_, err = e.pexec.CallFn(fn, self, cur, values.Int(c.ctx))
+	} else {
+		run := e.pexec.FiberCall(fn, self, cur, values.Int(c.ctx))
+		for {
+			var done bool
+			_, done, err = run.Resume()
+			if done {
+				break
+			}
+		}
+	}
+	e.profParse.Stop()
+	e.inParse--
+	if err != nil {
+		e.parseErrs++
+	}
+}
+
+var dnsStructCache *values.StructDef
+
+func (e *Engine) dnsMsgStruct() *values.StructDef {
+	if dnsStructCache == nil {
+		mods, _ := grammars.DNSModules()
+		dnsStructCache = findStruct(mods, "Message")
+	}
+	return dnsStructCache
+}
+
+// registerBinpacHost wires the bro_* callbacks the parser hooks invoke.
+func (e *Engine) registerBinpacHost() {
+	ex := e.pexec
+
+	connOf := func(args []values.Value) *conn {
+		return e.ctxs[args[0].AsInt()]
+	}
+	str := func(v values.Value) StringVal {
+		return StringVal(e.glue.FromHilti(v).Render())
+	}
+
+	ex.RegisterHost("bro_http_request", func(_ *vm.Exec, args []values.Value) (values.Value, error) {
+		e.pauseParse()
+		defer e.resumeParse()
+		c := connOf(args)
+		if c == nil {
+			return values.Nil, nil
+		}
+		method := str(args[1])
+		c.methods = append(c.methods, string(method))
+		e.dispatch("http_request", e.connRecord(c), method, str(args[2]), str(args[3]))
+		return values.Nil, nil
+	})
+	ex.RegisterHost("bro_http_reply", func(_ *vm.Exec, args []values.Value) (values.Value, error) {
+		e.pauseParse()
+		defer e.resumeParse()
+		c := connOf(args)
+		if c == nil {
+			return values.Nil, nil
+		}
+		e.dispatch("http_reply", e.connRecord(c),
+			str(args[1]), CountVal(args[2].AsInt()), str(args[3]))
+		return values.Nil, nil
+	})
+	ex.RegisterHost("bro_http_header", func(_ *vm.Exec, args []values.Value) (values.Value, error) {
+		e.pauseParse()
+		defer e.resumeParse()
+		c := connOf(args)
+		if c == nil {
+			return values.Nil, nil
+		}
+		e.dispatch("http_header", e.connRecord(c),
+			BoolVal(args[1].AsInt() != 0), str(args[2]), str(args[3]))
+		return values.Nil, nil
+	})
+	// bro_http_pick_body implements the host-side body-framing decisions a
+	// reply parser cannot make alone: HEAD responses and no-body statuses.
+	ex.RegisterHost("bro_http_pick_body", func(_ *vm.Exec, args []values.Value) (values.Value, error) {
+		c := connOf(args)
+		status := args[1].AsInt()
+		kind := args[2].AsInt()
+		isHead := false
+		if c != nil && len(c.methods) > 0 {
+			isHead = c.methods[0] == "HEAD"
+			c.methods = c.methods[1:]
+		}
+		if isHead || status == 304 || status == 204 || (status >= 100 && status < 200) {
+			return values.Int(grammars.BodyNone), nil
+		}
+		return values.Int(kind), nil
+	})
+	ex.RegisterHost("bro_http_body", func(_ *vm.Exec, args []values.Value) (values.Value, error) {
+		e.pauseParse()
+		defer e.resumeParse()
+		c := connOf(args)
+		if c == nil {
+			return values.Nil, nil
+		}
+		// args: ctx, is_orig, ctype, sha1, len, body
+		ctype := string(str(args[2]))
+		if ctype == "" {
+			ctype = sniffHILTIBody(args[5])
+		}
+		e.dispatch("http_body", e.connRecord(c),
+			BoolVal(args[1].AsInt() != 0), StringVal(ctype), str(args[3]),
+			CountVal(args[4].AsInt()))
+		return values.Nil, nil
+	})
+	ex.RegisterHost("bro_http_message_done", func(_ *vm.Exec, args []values.Value) (values.Value, error) {
+		e.pauseParse()
+		defer e.resumeParse()
+		c := connOf(args)
+		if c == nil {
+			return values.Nil, nil
+		}
+		e.dispatch("http_message_done", e.connRecord(c), BoolVal(args[1].AsInt() != 0))
+		return values.Nil, nil
+	})
+
+	ex.RegisterHost("bro_dns_message", func(_ *vm.Exec, args []values.Value) (values.Value, error) {
+		e.pauseParse()
+		defer e.resumeParse()
+		c := connOf(args)
+		if c == nil {
+			return values.Nil, nil
+		}
+		e.binpacDNSEvents(c, args[1])
+		return values.Nil, nil
+	})
+}
+
+// sniffHILTIBody applies the same MIME sniffing as the standard parser
+// when no Content-Type header was present.
+func sniffHILTIBody(v values.Value) string {
+	b := v.AsBytes()
+	if b == nil || b.Len() == 0 {
+		return ""
+	}
+	head, err := b.Sub(b.Begin(), b.Begin().Plus(min64(4, b.Len())))
+	if err != nil || len(head) == 0 {
+		return "text/plain"
+	}
+	switch {
+	case len(head) >= 4 && head[0] == 0x89 && head[1] == 'P' && head[2] == 'N' && head[3] == 'G':
+		return "image/png"
+	case head[0] == '<':
+		return "text/html"
+	case head[0] == '{' || head[0] == '[':
+		return "application/json"
+	default:
+		return "text/plain"
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// binpacDNSEvents walks the parsed DNS Message struct and raises the same
+// events the standard parser produces. Walking the HILTI structs into the
+// engine's representation is conversion glue, charged accordingly.
+func (e *Engine) binpacDNSEvents(c *conn, msg values.Value) {
+	e.profGlue.Start()
+	s := msg.AsStruct()
+	get := func(name string) values.Value {
+		v, _ := s.GetName(name)
+		return v
+	}
+	id := int(get("id").AsInt())
+	flags := get("flags").AsInt()
+	isResp := flags&0x8000 != 0
+	rcode := int(flags & 0xF)
+
+	query, qtype := "", 0
+	if qv, ok := s.GetName("questions"); ok {
+		if vec, ok2 := qv.O.(*container.Vector); ok2 && vec.Len() > 0 {
+			q0, _ := vec.Get(0)
+			if qs := q0.AsStruct(); qs != nil {
+				if n, ok3 := qs.GetName("qname"); ok3 && n.AsBytes() != nil {
+					query = n.AsBytes().String()
+				}
+				if t, ok3 := qs.GetName("qtype"); ok3 {
+					qtype = int(t.AsInt())
+				}
+			}
+		}
+	}
+	var answers []string
+	var ttls []int64
+	if av, ok := s.GetName("answers"); ok {
+		if vec, ok2 := av.O.(*container.Vector); ok2 {
+			vec.Each(func(rv values.Value) bool {
+				rr := rv.AsStruct()
+				if rr == nil {
+					return true
+				}
+				ttl := int64(0)
+				if t, ok3 := rr.GetName("ttl"); ok3 {
+					ttl = t.AsInt()
+				}
+				answers = append(answers, renderRR(rr))
+				ttls = append(ttls, ttl)
+				return true
+			})
+		}
+	}
+	e.profGlue.Stop()
+	e.dnsEvents(c, isResp, id, query, qtype, rcode, answers, ttls)
+}
+
+// renderRR renders one parsed RR's value like the standard parser does.
+func renderRR(rr *values.Struct) string {
+	getB := func(name string) (string, bool) {
+		if v, ok := rr.GetName(name); ok && v.AsBytes() != nil {
+			return v.AsBytes().String(), true
+		}
+		return "", false
+	}
+	if v, ok := rr.GetName("a"); ok && v.AsBytes() != nil {
+		b := v.AsBytes().Bytes()
+		if len(b) == 4 {
+			return values.Format(values.AddrFrom4([4]byte{b[0], b[1], b[2], b[3]}))
+		}
+	}
+	if v, ok := rr.GetName("aaaa"); ok && v.AsBytes() != nil {
+		b := v.AsBytes().Bytes()
+		if len(b) == 16 {
+			var a [16]byte
+			copy(a[:], b)
+			return values.Format(values.AddrFrom16(a))
+		}
+	}
+	for _, f := range []string{"cname", "ns", "ptr", "mx", "txt"} {
+		if s, ok := getB(f); ok {
+			return s
+		}
+	}
+	if s, ok := getB("raw"); ok {
+		return "\\x" + hexEncode(s)
+	}
+	return ""
+}
+
+func hexEncode(s string) string {
+	const hexdigits = "0123456789abcdef"
+	out := make([]byte, 0, len(s)*2)
+	for i := 0; i < len(s); i++ {
+		out = append(out, hexdigits[s[i]>>4], hexdigits[s[i]&0xF])
+	}
+	return string(out)
+}

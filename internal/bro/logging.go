@@ -1,0 +1,151 @@
+// The logging framework: named streams with fixed column orders producing
+// Bro-style tab-separated logs (http.log, files.log, dns.log — the files
+// the paper's Tables 2 and 3 diff). Lines are accumulated in memory for
+// the comparison harness and optionally written to disk.
+
+package bro
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LogSet manages the output streams.
+type LogSet struct {
+	streams map[string]*logStream
+	// Discard computes lines but drops them — the paper's methodology for
+	// performance runs ("Bro still performs the same computation but skips
+	// the final write operation").
+	Discard bool
+}
+
+type logStream struct {
+	name    string
+	columns []string
+	lines   []string
+}
+
+// NewLogSet creates the standard streams.
+func NewLogSet() *LogSet {
+	ls := &LogSet{streams: map[string]*logStream{}}
+	ls.Create("http", []string{"ts", "uid", "orig_h", "orig_p", "resp_h", "resp_p",
+		"method", "host", "uri", "version", "status_code", "reason", "resp_mime", "resp_len"})
+	ls.Create("files", []string{"ts", "uid", "mime", "sha1", "len"})
+	ls.Create("dns", []string{"ts", "uid", "orig_h", "orig_p", "resp_h", "resp_p",
+		"trans_id", "query", "qtype", "qtype_name", "rcode", "rcode_name", "answers", "ttls"})
+	return ls
+}
+
+// Create registers a stream with its column order.
+func (ls *LogSet) Create(name string, columns []string) {
+	ls.streams[name] = &logStream{name: name, columns: columns}
+}
+
+// Write formats one record into its stream.
+func (ls *LogSet) Write(stream string, rec *RecordVal) {
+	st, ok := ls.streams[stream]
+	if !ok {
+		st = &logStream{name: stream}
+		ls.streams[stream] = st
+	}
+	cols := st.columns
+	if cols == nil {
+		cols = rec.T.Fields
+	}
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		v := rec.Get(c)
+		if v == nil {
+			parts[i] = "-"
+		} else {
+			parts[i] = v.Render()
+		}
+	}
+	line := strings.Join(parts, "\t")
+	if !ls.Discard {
+		st.lines = append(st.lines, line)
+	}
+}
+
+// Lines returns a stream's raw lines.
+func (ls *LogSet) Lines(stream string) []string {
+	if st, ok := ls.streams[stream]; ok {
+		return st.lines
+	}
+	return nil
+}
+
+// WriteFiles writes each stream to dir/<name>.log with a header line.
+func (ls *LogSet) WriteFiles(dir string) error {
+	for name, st := range ls.streams {
+		f, err := os.Create(filepath.Join(dir, name+".log"))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "#fields\t%s\n", strings.Join(st.columns, "\t"))
+		for _, l := range st.lines {
+			fmt.Fprintln(f, l)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Table 2/3 comparison machinery -------------------------------------------
+
+// Normalize applies the paper's §6.4 normalization: entries are unique'd
+// and sorted, so timing/ordering differences do not count as mismatches.
+func Normalize(lines []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range lines {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Agreement is one row of Table 2 / Table 3.
+type Agreement struct {
+	Stream         string
+	TotalA, TotalB int
+	NormA, NormB   int
+	Identical      int
+	IdenticalFrac  float64
+}
+
+// CompareLogs computes the agreement between two runs' log streams: the
+// fraction of run A's normalized entries that have an identical entry in
+// run B.
+func CompareLogs(stream string, a, b []string) Agreement {
+	na, nb := Normalize(a), Normalize(b)
+	inB := make(map[string]bool, len(nb))
+	for _, l := range nb {
+		inB[l] = true
+	}
+	same := 0
+	for _, l := range na {
+		if inB[l] {
+			same++
+		}
+	}
+	frac := 1.0
+	if len(na) > 0 {
+		frac = float64(same) / float64(len(na))
+	}
+	return Agreement{
+		Stream: stream,
+		TotalA: len(a), TotalB: len(b),
+		NormA: len(na), NormB: len(nb),
+		Identical:     same,
+		IdenticalFrac: frac,
+	}
+}

@@ -1,0 +1,865 @@
+// Script parser: source -> Script AST.
+
+package bro
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hilti/internal/rt/values"
+)
+
+// ParseScript parses Bro-like script source.
+func ParseScript(src string) (*Script, error) {
+	toks, err := lexScript(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sparser{toks: toks}
+	return p.script()
+}
+
+type sparser struct {
+	toks []btok
+	pos  int
+}
+
+func (p *sparser) cur() btok  { return p.toks[p.pos] }
+func (p *sparser) next() btok { t := p.toks[p.pos]; p.pos++; return t }
+func (p *sparser) errf(f string, a ...any) error {
+	return fmt.Errorf("script line %d: %s", p.cur().line, fmt.Sprintf(f, a...))
+}
+
+func (p *sparser) isPunct(s string) bool {
+	return p.cur().kind == btPunct && p.cur().text == s
+}
+
+func (p *sparser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *sparser) isIdent(s string) bool {
+	return p.cur().kind == btIdent && p.cur().text == s
+}
+
+func (p *sparser) script() (*Script, error) {
+	s := &Script{}
+	for {
+		t := p.cur()
+		if t.kind == btEOF {
+			return s, nil
+		}
+		if t.kind != btIdent {
+			return nil, p.errf("unexpected %q at top level", t.text)
+		}
+		switch t.text {
+		case "module":
+			p.pos += 2 // module NAME
+			if p.isPunct(";") {
+				p.pos++
+			}
+		case "type":
+			rd, err := p.recordDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Records = append(s.Records, rd)
+		case "global", "const":
+			gd, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Globals = append(s.Globals, gd)
+		case "event":
+			ev, err := p.eventHandler()
+			if err != nil {
+				return nil, err
+			}
+			s.Events = append(s.Events, ev)
+		case "function":
+			fd, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Functions = append(s.Functions, fd)
+		default:
+			return nil, p.errf("unexpected keyword %q", t.text)
+		}
+	}
+}
+
+// recordDecl parses `type Name: record { f: T &log; ... };`.
+func (p *sparser) recordDecl() (*RecordDecl, error) {
+	p.next() // type
+	name := p.next().text
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	if !p.isIdent("record") {
+		return nil, p.errf("only record types can be declared")
+	}
+	p.next()
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	rd := &RecordDecl{Name: name}
+	for !p.isPunct("}") {
+		fname := p.next().text
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		ft, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		f := RecordField{Name: fname, Type: ft}
+		for p.isPunct("&") {
+			p.pos++
+			switch p.next().text {
+			case "optional":
+				f.Optional = true
+			case "log":
+				f.Log = true
+			case "default":
+				// &default=<expr>: parse and discard (defaults handled by
+				// explicit init in the scripts we run).
+				if p.isPunct("=") {
+					p.pos++
+					if _, err := p.expr(); err != nil {
+						return nil, err
+					}
+				}
+			default:
+				return nil, p.errf("unknown field attribute")
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		rd.Fields = append(rd.Fields, f)
+	}
+	p.pos++ // }
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+func (p *sparser) globalDecl() (*GlobalDecl, error) {
+	p.next() // global/const
+	gd := &GlobalDecl{Name: p.next().text}
+	if p.isPunct(":") {
+		p.pos++
+		t, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		gd.Type = t
+	}
+	if p.isPunct("=") {
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		gd.Init = e
+	}
+	for p.isPunct("&") {
+		p.pos++
+		attr := p.next().text
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		lit, ok := e.(*LitExpr)
+		if !ok {
+			return nil, p.errf("attribute value must be a literal")
+		}
+		iv, ok := lit.V.(IntervalVal)
+		if !ok {
+			return nil, p.errf("attribute value must be an interval")
+		}
+		switch attr {
+		case "create_expire":
+			gd.CreateExpire = int64(iv)
+		case "read_expire":
+			gd.ReadExpire = int64(iv)
+		default:
+			return nil, p.errf("unknown attribute &%s", attr)
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return gd, nil
+}
+
+func (p *sparser) params() ([]ParamDecl, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var out []ParamDecl
+	for !p.isPunct(")") {
+		name := p.next().text
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		t, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParamDecl{Name: name, Type: t})
+		if p.isPunct(",") {
+			p.pos++
+		}
+	}
+	p.pos++ // )
+	return out, nil
+}
+
+func (p *sparser) eventHandler() (*EventHandler, error) {
+	p.next() // event
+	ev := &EventHandler{Name: p.next().text}
+	ps, err := p.params()
+	if err != nil {
+		return nil, err
+	}
+	ev.Params = ps
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	ev.Body = body
+	return ev, nil
+}
+
+func (p *sparser) funcDecl() (*FuncDecl, error) {
+	p.next() // function
+	fd := &FuncDecl{Name: p.next().text}
+	ps, err := p.params()
+	if err != nil {
+		return nil, err
+	}
+	fd.Params = ps
+	if p.isPunct(":") {
+		p.pos++
+		t, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		fd.Result = t
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *sparser) typeExpr() (*TypeExpr, error) {
+	t := p.next()
+	if t.kind != btIdent {
+		return nil, p.errf("expected type, got %q", t.text)
+	}
+	switch t.text {
+	case "bool", "count", "int", "double", "string", "addr", "subnet",
+		"port", "time", "interval", "any", "pattern":
+		return &TypeExpr{Kind: t.text}, nil
+	case "table", "set":
+		te := &TypeExpr{Kind: t.text}
+		if err := p.expectPunct("["); err != nil {
+			return nil, err
+		}
+		for !p.isPunct("]") {
+			it, err := p.typeExpr()
+			if err != nil {
+				return nil, err
+			}
+			te.Index = append(te.Index, it)
+			if p.isPunct(",") {
+				p.pos++
+			}
+		}
+		p.pos++ // ]
+		if t.text == "table" {
+			if !p.isIdent("of") {
+				return nil, p.errf("table needs 'of <type>'")
+			}
+			p.pos++
+			y, err := p.typeExpr()
+			if err != nil {
+				return nil, err
+			}
+			te.Yield = y
+		}
+		return te, nil
+	case "vector":
+		if !p.isIdent("of") {
+			return nil, p.errf("vector needs 'of <type>'")
+		}
+		p.pos++
+		y, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &TypeExpr{Kind: "vector", Yield: y}, nil
+	default:
+		return &TypeExpr{Kind: "record", Name: t.text}, nil
+	}
+}
+
+func (p *sparser) block() ([]Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.isPunct("}") {
+		if p.cur().kind == btEOF {
+			return nil, p.errf("unexpected end of input in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.pos++ // }
+	return out, nil
+}
+
+// blockOrStmt accepts `{ ... }` or a single statement.
+func (p *sparser) blockOrStmt() ([]Stmt, error) {
+	if p.isPunct("{") {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *sparser) stmt() (Stmt, error) {
+	t := p.cur()
+	if t.kind == btIdent {
+		switch t.text {
+		case "local":
+			p.pos++
+			name := p.next().text
+			ls := &LocalStmt{Name: name}
+			if p.isPunct(":") {
+				p.pos++
+				ty, err := p.typeExpr()
+				if err != nil {
+					return nil, err
+				}
+				ls.Type = ty
+			}
+			if p.isPunct("=") {
+				p.pos++
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				ls.Init = e
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return ls, nil
+		case "if":
+			p.pos++
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			then, err := p.blockOrStmt()
+			if err != nil {
+				return nil, err
+			}
+			st := &IfStmt{Cond: cond, Then: then}
+			if p.isIdent("else") {
+				p.pos++
+				els, err := p.blockOrStmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = els
+			}
+			return st, nil
+		case "for":
+			p.pos++
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			fs := &ForStmt{Var: p.next().text}
+			if p.isPunct(",") {
+				p.pos++
+				fs.Var2 = p.next().text
+			}
+			if !p.isIdent("in") {
+				return nil, p.errf("expected 'in'")
+			}
+			p.pos++
+			over, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			fs.Over = over
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			body, err := p.blockOrStmt()
+			if err != nil {
+				return nil, err
+			}
+			fs.Body = body
+			return fs, nil
+		case "print":
+			p.pos++
+			ps := &PrintStmt{}
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				ps.Args = append(ps.Args, e)
+				if p.isPunct(",") {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return ps, nil
+		case "add", "delete":
+			kw := t.text
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			ie, ok := e.(*IndexExpr)
+			if !ok {
+				return nil, p.errf("%s needs an index expression", kw)
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			if kw == "add" {
+				return &AddStmt{Target: ie}, nil
+			}
+			return &DeleteStmt{Target: ie}, nil
+		case "return":
+			p.pos++
+			rs := &ReturnStmt{}
+			if !p.isPunct(";") {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				rs.Value = e
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return rs, nil
+		case "event":
+			p.pos++
+			name := p.next().text
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			es := &EventStmt{Name: name}
+			for !p.isPunct(")") {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				es.Args = append(es.Args, e)
+				if p.isPunct(",") {
+					p.pos++
+				}
+			}
+			p.pos++
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return es, nil
+		}
+	}
+	// Expression or assignment.
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.isPunct("=") {
+		p.pos++
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		switch e.(type) {
+		case *NameExpr, *IndexExpr, *FieldExpr:
+			return &AssignStmt{LHS: e, RHS: rhs}, nil
+		}
+		return nil, p.errf("invalid assignment target")
+	}
+	if p.isPunct("+=") {
+		p.pos++
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: e, RHS: &BinExpr{Op: "+", L: e, R: rhs}}, nil
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{E: e}, nil
+}
+
+// --- expressions (precedence climbing) -----------------------------------------
+
+func (p *sparser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *sparser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("||") {
+		p.pos++
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sparser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("&&") {
+		p.pos++
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sparser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := ""
+		switch {
+		case p.isPunct("=="), p.isPunct("!="), p.isPunct("<"), p.isPunct(">"),
+			p.isPunct("<="), p.isPunct(">="):
+			op = p.next().text
+		case p.isIdent("in"):
+			p.pos++
+			op = "in"
+		case p.isPunct("!") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == btIdent && p.toks[p.pos+1].text == "in":
+			p.pos += 2
+			op = "!in"
+		default:
+			return l, nil
+		}
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *sparser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") {
+		op := p.next().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sparser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") || p.isPunct("%") {
+		op := p.next().text
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sparser) unary() (Expr, error) {
+	switch {
+	case p.isPunct("!"):
+		p.pos++
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "!", E: e}, nil
+	case p.isPunct("-"):
+		p.pos++
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	case p.isPunct("|"):
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("|"); err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "||", E: e}, nil
+	}
+	return p.postfix()
+}
+
+func (p *sparser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("["):
+			p.pos++
+			ie := &IndexExpr{Base: e}
+			for !p.isPunct("]") {
+				k, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				ie.Keys = append(ie.Keys, k)
+				if p.isPunct(",") {
+					p.pos++
+				}
+			}
+			p.pos++
+			e = ie
+		case p.isPunct("$"):
+			p.pos++
+			e = &FieldExpr{Base: e, Field: p.next().text}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *sparser) primary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case btNumber:
+		if strings.Contains(t.text, ".") {
+			f, _ := strconv.ParseFloat(t.text, 64)
+			// Interval units directly after a double.
+			if iv, ok := p.intervalUnit(f); ok {
+				return &LitExpr{V: iv}, nil
+			}
+			return &LitExpr{V: DoubleVal(f)}, nil
+		}
+		n, err := strconv.ParseUint(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		if iv, ok := p.intervalUnit(float64(n)); ok {
+			return &LitExpr{V: iv}, nil
+		}
+		return &LitExpr{V: CountVal(n)}, nil
+	case btString:
+		return &LitExpr{V: StringVal(t.text)}, nil
+	case btAddr:
+		a, err := values.ParseAddr(t.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return &LitExpr{V: AddrVal{A: a}}, nil
+	case btSubnet:
+		n, err := values.ParseNet(t.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return &LitExpr{V: SubnetVal{N: n}}, nil
+	case btPort:
+		v, err := values.ParsePort(t.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		num, proto := v.AsPort()
+		return &LitExpr{V: PortVal{Num: num, Proto: proto}}, nil
+	case btPunct:
+		if t.text == "(" {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "[" {
+			// Record constructor literal [$f = e, ...], or a positional
+			// list literal [a, b] (composite table keys for `in`).
+			if p.isPunct("$") {
+				ce := &CtorExpr{Name: ""}
+				for !p.isPunct("]") {
+					if err := p.expectPunct("$"); err != nil {
+						return nil, err
+					}
+					fname := p.next().text
+					if err := p.expectPunct("="); err != nil {
+						return nil, err
+					}
+					fe, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					ce.Fields = append(ce.Fields, CtorField{Name: fname, E: fe})
+					if p.isPunct(",") {
+						p.pos++
+					}
+				}
+				p.pos++
+				return ce, nil
+			}
+			ce := &CallExpr{Fn: "vector"}
+			for !p.isPunct("]") {
+				fe, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				ce.Args = append(ce.Args, fe)
+				if p.isPunct(",") {
+					p.pos++
+				}
+			}
+			p.pos++
+			return ce, nil
+		}
+		return nil, p.errf("unexpected %q", t.text)
+	case btIdent:
+		switch t.text {
+		case "T", "true":
+			return &LitExpr{V: BoolVal(true)}, nil
+		case "F", "false":
+			return &LitExpr{V: BoolVal(false)}, nil
+		}
+		// Call or typed constructor.
+		if p.isPunct("(") {
+			p.pos++
+			ce := &CallExpr{Fn: t.text}
+			for !p.isPunct(")") {
+				// Record-constructor field syntax Type($f = e).
+				if p.isPunct("$") {
+					p.pos++
+					fname := p.next().text
+					if err := p.expectPunct("="); err != nil {
+						return nil, err
+					}
+					fe, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					ce.Args = append(ce.Args, &CtorExpr{Name: "$field:" + fname,
+						Fields: []CtorField{{Name: fname, E: fe}}})
+					if p.isPunct(",") {
+						p.pos++
+					}
+					continue
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				ce.Args = append(ce.Args, a)
+				if p.isPunct(",") {
+					p.pos++
+				}
+			}
+			p.pos++
+			return ce, nil
+		}
+		return &NameExpr{Name: t.text}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+// intervalUnit consumes a trailing time unit if present.
+func (p *sparser) intervalUnit(n float64) (IntervalVal, bool) {
+	if p.cur().kind != btIdent {
+		return 0, false
+	}
+	mult := float64(0)
+	switch p.cur().text {
+	case "usec", "usecs":
+		mult = 1e3
+	case "msec", "msecs":
+		mult = 1e6
+	case "sec", "secs":
+		mult = 1e9
+	case "min", "mins":
+		mult = 60e9
+	case "hr", "hrs":
+		mult = 3600e9
+	case "day", "days":
+		mult = 86400e9
+	default:
+		return 0, false
+	}
+	p.pos++
+	return IntervalVal(n * mult), true
+}

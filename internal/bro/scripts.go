@@ -1,0 +1,213 @@
+// The evaluation scripts — analogs of Bro's default HTTP and DNS analysis
+// scripts the paper runs in §6.5: per-session state tracking, correlation
+// of requests with replies, and extensive protocol logs. TrackScript is
+// Figure 8(a); FibScript is the §6.5 baseline benchmark.
+
+package bro
+
+// HTTPScript correlates requests and replies per connection and writes
+// http.log; pairs with FilesScript for message bodies.
+const HTTPScript = `
+# HTTP analysis: request/reply correlation and http.log.
+
+type HTTPInfo: record {
+    ts: time;
+    uid: string;
+    orig_h: addr;
+    orig_p: port;
+    resp_h: addr;
+    resp_p: port;
+    method: string;
+    host: string;
+    uri: string;
+    version: string;
+    status_code: count;
+    reason: string;
+    resp_mime: string;
+    resp_len: count;
+};
+
+# Outstanding requests per connection, in order.
+global http_pending: table[string] of vector of HTTPInfo &read_expire=10 min;
+# Index of the next request awaiting its reply.
+global http_resp_idx: table[string] of count &read_expire=10 min;
+# The reply currently being assembled per connection.
+global http_current: table[string] of HTTPInfo &read_expire=10 min;
+
+event http_request(c: connection, method: string, uri: string, version: string) {
+    local info = HTTPInfo($ts=network_time(), $uid=c$uid,
+                          $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+                          $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+                          $method=method, $host="", $uri=uri, $version=version,
+                          $status_code=0, $reason="", $resp_mime="", $resp_len=0);
+    if ( c$uid !in http_pending ) {
+        http_pending[c$uid] = vector();
+        http_resp_idx[c$uid] = 0;
+    }
+    local q = http_pending[c$uid];
+    q[|q|] = info;
+}
+
+event http_header(c: connection, is_orig: bool, name: string, value: string) {
+    if ( is_orig && to_lower(name) == "host" ) {
+        if ( c$uid in http_pending ) {
+            local q = http_pending[c$uid];
+            if ( |q| > 0 )
+                q[|q| - 1]$host = value;
+        }
+    }
+}
+
+event http_reply(c: connection, version: string, code: count, reason: string) {
+    local info = HTTPInfo($ts=network_time(), $uid=c$uid,
+                          $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+                          $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+                          $method="", $host="", $uri="", $version=version,
+                          $status_code=code, $reason=reason, $resp_mime="", $resp_len=0);
+    if ( c$uid in http_pending ) {
+        local q = http_pending[c$uid];
+        local idx = http_resp_idx[c$uid];
+        if ( idx < |q| ) {
+            local req = q[idx];
+            info$ts = req$ts;
+            info$method = req$method;
+            info$host = req$host;
+            info$uri = req$uri;
+            http_resp_idx[c$uid] = idx + 1;
+        }
+    }
+    http_current[c$uid] = info;
+}
+
+event http_body(c: connection, is_orig: bool, mime: string, hash: string, n: count) {
+    if ( !is_orig && c$uid in http_current ) {
+        local info = http_current[c$uid];
+        info$resp_mime = mime;
+        info$resp_len = n;
+    }
+}
+
+event http_message_done(c: connection, is_orig: bool) {
+    if ( !is_orig && c$uid in http_current ) {
+        local info = http_current[c$uid];
+        Log::write("http", [$ts=info$ts, $uid=info$uid,
+                            $orig_h=info$orig_h, $orig_p=info$orig_p,
+                            $resp_h=info$resp_h, $resp_p=info$resp_p,
+                            $method=info$method, $host=info$host, $uri=info$uri,
+                            $version=info$version, $status_code=info$status_code,
+                            $reason=info$reason, $resp_mime=info$resp_mime,
+                            $resp_len=info$resp_len]);
+        delete http_current[c$uid];
+    }
+}
+`
+
+// FilesScript writes files.log from message bodies (the files-framework
+// role: MIME type, SHA1 hash, size).
+const FilesScript = `
+# File analysis: one files.log entry per message body.
+
+event http_body(c: connection, is_orig: bool, mime: string, hash: string, n: count) {
+    Log::write("files", [$ts=network_time(), $uid=c$uid,
+                         $mime=mime, $sha1=hash, $len=n]);
+}
+`
+
+// DNSScript correlates queries with responses and writes dns.log.
+const DNSScript = `
+# DNS analysis: query/response correlation and dns.log.
+
+type DNSReq: record {
+    ts: time;
+    query: string;
+    qtype: count;
+};
+
+global dns_pending: table[string, count] of DNSReq &create_expire=2 min;
+
+function qtype_name(t: count): string {
+    if ( t == 1 ) return "A";
+    if ( t == 2 ) return "NS";
+    if ( t == 5 ) return "CNAME";
+    if ( t == 6 ) return "SOA";
+    if ( t == 12 ) return "PTR";
+    if ( t == 15 ) return "MX";
+    if ( t == 16 ) return "TXT";
+    if ( t == 28 ) return "AAAA";
+    return fmt("TYPE%s", t);
+}
+
+function rcode_name(r: count): string {
+    if ( r == 0 ) return "NOERROR";
+    if ( r == 1 ) return "FORMERR";
+    if ( r == 2 ) return "SERVFAIL";
+    if ( r == 3 ) return "NXDOMAIN";
+    if ( r == 4 ) return "NOTIMP";
+    if ( r == 5 ) return "REFUSED";
+    return fmt("RCODE%s", r);
+}
+
+event dns_request(c: connection, trans_id: count, query: string, qtype: count) {
+    dns_pending[c$uid, trans_id] = DNSReq($ts=network_time(), $query=query, $qtype=qtype);
+}
+
+event dns_response(c: connection, trans_id: count, rcode: count,
+                   answers: vector of string, ttls: vector of interval) {
+    local ts = network_time();
+    local query = "";
+    local qtype = 0;
+    if ( [c$uid, trans_id] in dns_pending ) {
+        local req = dns_pending[c$uid, trans_id];
+        ts = req$ts;
+        query = req$query;
+        qtype = req$qtype;
+        delete dns_pending[c$uid, trans_id];
+    }
+    local ans = "";
+    for ( i in answers ) {
+        if ( ans == "" )
+            ans = answers[i];
+        else
+            ans = ans + "," + answers[i];
+    }
+    local tt = "";
+    for ( j in ttls ) {
+        if ( tt == "" )
+            tt = fmt("%s", ttls[j]);
+        else
+            tt = tt + "," + fmt("%s", ttls[j]);
+    }
+    Log::write("dns", [$ts=ts, $uid=c$uid,
+                       $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+                       $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+                       $trans_id=trans_id, $query=query, $qtype=qtype,
+                       $qtype_name=qtype_name(qtype),
+                       $rcode=rcode, $rcode_name=rcode_name(rcode),
+                       $answers=ans, $ttls=tt]);
+}
+`
+
+// TrackScript is the paper's Figure 8(a).
+const TrackScript = trackBroSrc
+
+const trackBroSrc = `
+global hosts: set[addr];
+
+event connection_established(c: connection) {
+    add hosts[c$id$resp_h];   # Record responder IP.
+}
+
+event bro_done() {
+    for ( i in hosts )        # Print all recorded IPs.
+        print i;
+}
+`
+
+// FibScript is the §6.5 recursive-Fibonacci baseline.
+const FibScript = `
+function fib(n: count): count {
+    if ( n < 2 )
+        return n;
+    return fib(n-1) + fib(n-2);
+}
+`

@@ -1,0 +1,398 @@
+// Package bro implements a miniature but complete Bro-style NIDS host
+// application — the paper's fourth exemplar's host (§4 "Bro Script
+// Compiler") and the driver of its evaluation (§6): connection management
+// over pcap input, protocol analyzers (hand-written "standard" parsers in
+// internal/analyzers, or BinPAC++/HILTI parsers), an event engine, a
+// Bro-like scripting language with both a tree-walking interpreter (the
+// baseline) and a compiler to HILTI, a logging framework writing http.log
+// / files.log / dns.log, and the Val<->HILTI glue layer whose cost Figure
+// 9/10 accounts separately.
+//
+// This file defines the interpreter's value representation. Like Bro, the
+// engine represents script values as instances of a Val class hierarchy
+// that the rest of the system also passes around — which is exactly why
+// the paper's plugin needs conversion glue at every HILTI boundary (§5
+// "Bro Interface").
+package bro
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hilti/internal/rt/values"
+)
+
+// Val is a Bro script value.
+type Val interface {
+	TypeName() string
+	Render() string // log/print representation
+}
+
+// BoolVal is a boolean.
+type BoolVal bool
+
+// CountVal is an unsigned count.
+type CountVal uint64
+
+// IntVal is a signed integer.
+type IntVal int64
+
+// DoubleVal is a floating-point number.
+type DoubleVal float64
+
+// StringVal is a string.
+type StringVal string
+
+// AddrVal is an IP address (wrapping the runtime addr representation).
+type AddrVal struct{ A values.Value }
+
+// SubnetVal is a CIDR subnet.
+type SubnetVal struct{ N values.Value }
+
+// PortVal is a transport port.
+type PortVal struct {
+	Num   uint16
+	Proto uint8
+}
+
+// TimeVal is an absolute time in ns.
+type TimeVal int64
+
+// IntervalVal is a duration in ns.
+type IntervalVal int64
+
+// EnumVal is an enum label.
+type EnumVal struct{ Name string }
+
+// TypeName implementations.
+func (BoolVal) TypeName() string     { return "bool" }
+func (CountVal) TypeName() string    { return "count" }
+func (IntVal) TypeName() string      { return "int" }
+func (DoubleVal) TypeName() string   { return "double" }
+func (StringVal) TypeName() string   { return "string" }
+func (AddrVal) TypeName() string     { return "addr" }
+func (SubnetVal) TypeName() string   { return "subnet" }
+func (PortVal) TypeName() string     { return "port" }
+func (TimeVal) TypeName() string     { return "time" }
+func (IntervalVal) TypeName() string { return "interval" }
+func (EnumVal) TypeName() string     { return "enum" }
+
+// Render implementations (Bro-log style).
+func (v BoolVal) Render() string {
+	if v {
+		return "T"
+	}
+	return "F"
+}
+func (v CountVal) Render() string  { return strconv.FormatUint(uint64(v), 10) }
+func (v IntVal) Render() string    { return strconv.FormatInt(int64(v), 10) }
+func (v DoubleVal) Render() string { return strconv.FormatFloat(float64(v), 'f', 6, 64) }
+func (v StringVal) Render() string { return string(v) }
+func (v AddrVal) Render() string   { return values.Format(v.A) }
+func (v SubnetVal) Render() string { return values.Format(v.N) }
+func (v PortVal) Render() string {
+	return strconv.Itoa(int(v.Num)) + "/" + protoName(v.Proto)
+}
+func (v TimeVal) Render() string {
+	return strconv.FormatFloat(float64(v)/1e9, 'f', 6, 64)
+}
+func (v IntervalVal) Render() string {
+	return strconv.FormatFloat(float64(v)/1e9, 'f', 6, 64)
+}
+func (v EnumVal) Render() string { return v.Name }
+
+func protoName(p uint8) string {
+	switch p {
+	case values.ProtoTCP:
+		return "tcp"
+	case values.ProtoUDP:
+		return "udp"
+	case values.ProtoICMP:
+		return "icmp"
+	default:
+		return "unknown"
+	}
+}
+
+// RecordType describes a record's fields.
+type RecordType struct {
+	Name   string
+	Fields []string
+	index  map[string]int
+}
+
+// NewRecordType builds a record type.
+func NewRecordType(name string, fields ...string) *RecordType {
+	rt := &RecordType{Name: name, Fields: fields, index: map[string]int{}}
+	for i, f := range fields {
+		rt.index[f] = i
+	}
+	return rt
+}
+
+// Index returns the field index or -1.
+func (rt *RecordType) Index(name string) int {
+	if i, ok := rt.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// RecordVal is a record instance; unset fields are nil.
+type RecordVal struct {
+	T *RecordType
+	F []Val
+}
+
+// NewRecord instantiates an empty record.
+func NewRecord(t *RecordType) *RecordVal {
+	return &RecordVal{T: t, F: make([]Val, len(t.Fields))}
+}
+
+// TypeName implements Val.
+func (r *RecordVal) TypeName() string { return r.T.Name }
+
+// Get returns a field by name (nil when unset or unknown).
+func (r *RecordVal) Get(name string) Val {
+	if i := r.T.Index(name); i >= 0 {
+		return r.F[i]
+	}
+	return nil
+}
+
+// Set assigns a field by name.
+func (r *RecordVal) Set(name string, v Val) {
+	if i := r.T.Index(name); i >= 0 {
+		r.F[i] = v
+	}
+}
+
+// Render implements Val.
+func (r *RecordVal) Render() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, f := range r.T.Fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f)
+		sb.WriteByte('=')
+		if r.F[i] == nil {
+			sb.WriteString("<unset>")
+		} else {
+			sb.WriteString(r.F[i].Render())
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// TableVal is a Bro table or set (sets have nil yields). Entries keep
+// insertion order for deterministic iteration; expiration follows the
+// &create_expire / &read_expire attributes, driven by network time.
+type TableVal struct {
+	IsSet   bool
+	entries map[string]*tableEntry
+	order   []*tableEntry
+
+	ExpireInterval int64 // ns; 0 = no expiration
+	ExpireOnRead   bool  // &read_expire vs &create_expire
+}
+
+type tableEntry struct {
+	key     []Val
+	keyStr  string
+	yield   Val
+	touched int64
+	deleted bool
+}
+
+// NewTable creates a table (or set).
+func NewTable(isSet bool) *TableVal {
+	return &TableVal{IsSet: isSet, entries: map[string]*tableEntry{}}
+}
+
+// TypeName implements Val.
+func (t *TableVal) TypeName() string {
+	if t.IsSet {
+		return "set"
+	}
+	return "table"
+}
+
+// KeyString canonicalizes an index tuple.
+func KeyString(key []Val) string {
+	parts := make([]string, len(key))
+	for i, k := range key {
+		parts[i] = k.TypeName() + "\x00" + k.Render()
+	}
+	return strings.Join(parts, "\x01")
+}
+
+// expire drops stale entries (called on access with current network time).
+func (t *TableVal) expire(now int64) {
+	if t.ExpireInterval <= 0 {
+		return
+	}
+	for k, e := range t.entries {
+		if now-e.touched >= t.ExpireInterval {
+			e.deleted = true
+			delete(t.entries, k)
+		}
+	}
+}
+
+// Put inserts or updates an entry.
+func (t *TableVal) Put(now int64, key []Val, yield Val) {
+	t.expire(now)
+	ks := KeyString(key)
+	if e, ok := t.entries[ks]; ok {
+		e.yield = yield
+		e.touched = now
+		return
+	}
+	e := &tableEntry{key: key, keyStr: ks, yield: yield, touched: now}
+	t.entries[ks] = e
+	t.order = append(t.order, e)
+	if len(t.order) > 2*len(t.entries)+16 {
+		live := t.order[:0]
+		for _, oe := range t.order {
+			if !oe.deleted {
+				live = append(live, oe)
+			}
+		}
+		t.order = live
+	}
+}
+
+// Get looks up an entry.
+func (t *TableVal) Get(now int64, key []Val) (Val, bool) {
+	t.expire(now)
+	e, ok := t.entries[KeyString(key)]
+	if !ok {
+		return nil, false
+	}
+	if t.ExpireOnRead {
+		e.touched = now
+	}
+	return e.yield, true
+}
+
+// Has reports membership.
+func (t *TableVal) Has(now int64, key []Val) bool {
+	_, ok := t.Get(now, key)
+	return ok
+}
+
+// Delete removes an entry.
+func (t *TableVal) Delete(now int64, key []Val) {
+	ks := KeyString(key)
+	if e, ok := t.entries[ks]; ok {
+		e.deleted = true
+		delete(t.entries, ks)
+	}
+}
+
+// Len returns the number of live entries.
+func (t *TableVal) Len() int { return len(t.entries) }
+
+// Each iterates live entries in insertion order.
+func (t *TableVal) Each(fn func(key []Val, yield Val) bool) {
+	for _, e := range t.order {
+		if e.deleted {
+			continue
+		}
+		if !fn(e.key, e.yield) {
+			return
+		}
+	}
+}
+
+// Render implements Val.
+func (t *TableVal) Render() string {
+	var parts []string
+	t.Each(func(key []Val, yield Val) bool {
+		ks := make([]string, len(key))
+		for i, k := range key {
+			ks[i] = k.Render()
+		}
+		s := strings.Join(ks, ",")
+		if !t.IsSet && yield != nil {
+			s += " -> " + yield.Render()
+		}
+		parts = append(parts, s)
+		return true
+	})
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SortedKeys returns rendered keys in sorted order (used for normalized
+// log output of set-typed columns).
+func (t *TableVal) SortedKeys() []string {
+	var out []string
+	t.Each(func(key []Val, _ Val) bool {
+		ks := make([]string, len(key))
+		for i, k := range key {
+			ks[i] = k.Render()
+		}
+		out = append(out, strings.Join(ks, ","))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// VectorVal is a growable vector.
+type VectorVal struct{ Elems []Val }
+
+// TypeName implements Val.
+func (*VectorVal) TypeName() string { return "vector" }
+
+// Render implements Val.
+func (v *VectorVal) Render() string {
+	parts := make([]string, len(v.Elems))
+	for i, e := range v.Elems {
+		if e == nil {
+			parts[i] = "<unset>"
+		} else {
+			parts[i] = e.Render()
+		}
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// FuncVal is a script function reference.
+type FuncVal struct {
+	Name string
+	Decl *FuncDecl
+}
+
+// TypeName implements Val.
+func (*FuncVal) TypeName() string { return "func" }
+
+// Render implements Val.
+func (f *FuncVal) Render() string { return f.Name }
+
+// Equal compares two Vals for the == operator and table keys.
+func Equal(a, b Val) bool {
+	switch x := a.(type) {
+	case AddrVal:
+		y, ok := b.(AddrVal)
+		return ok && values.Equal(x.A, y.A)
+	case SubnetVal:
+		y, ok := b.(SubnetVal)
+		return ok && values.Equal(x.N, y.N)
+	default:
+		if a == nil || b == nil {
+			return a == b
+		}
+		return a.TypeName() == b.TypeName() && a.Render() == b.Render()
+	}
+}
+
+// errVal formats a runtime type error.
+func errVal(op string, v Val) error {
+	return fmt.Errorf("bro: invalid operand for %s: %s", op, v.TypeName())
+}

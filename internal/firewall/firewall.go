@@ -1,0 +1,226 @@
+// Package firewall implements the paper's second exemplar (§4 "Stateful
+// Firewall"): a host application whose analysis compiler turns a list of
+// rules of the form `(src-net, dst-net) -> allow|deny` into HILTI code.
+// Rules apply in order of specification, first match wins, default deny;
+// an allow match installs a temporary dynamic rule permitting the reverse
+// direction until a period of inactivity passes — exactly the generated
+// program of the paper's Figure 5.
+//
+// An independent direct-Go implementation (Baseline) plays the role of the
+// paper's §6.3 Python cross-check: both are driven with the same
+// (timestamp, src, dst) stream and must produce identical decisions.
+package firewall
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+	"hilti/internal/hilti/vm"
+	"hilti/internal/rt/container"
+	"hilti/internal/rt/values"
+)
+
+// Rule is one static filter rule.
+type Rule struct {
+	Src, Dst values.Value // net values; Nil = wildcard
+	Allow    bool
+}
+
+// ParseRules reads the rule file format: one rule per line,
+// `<src-net|*> <dst-net|*> allow|deny`, with #-comments.
+func ParseRules(r io.Reader) ([]Rule, error) {
+	var rules []Rule
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("rules line %d: want <src> <dst> <action>", lineNo)
+		}
+		var rule Rule
+		for i, f := range fields[:2] {
+			if f == "*" {
+				continue
+			}
+			if !strings.Contains(f, "/") {
+				f += "/32"
+			}
+			n, err := values.ParseNet(f)
+			if err != nil {
+				return nil, fmt.Errorf("rules line %d: %v", lineNo, err)
+			}
+			if i == 0 {
+				rule.Src = n
+			} else {
+				rule.Dst = n
+			}
+		}
+		switch fields[2] {
+		case "allow":
+			rule.Allow = true
+		case "deny":
+		default:
+			return nil, fmt.Errorf("rules line %d: unknown action %q", lineNo, fields[2])
+		}
+		rules = append(rules, rule)
+	}
+	return rules, sc.Err()
+}
+
+// Compile generates the HILTI module of Figure 5 for the rule set: an
+// init_rules function adding each rule to a classifier, the static
+// classifier/dynamic-set plumbing, and match_packet.
+func Compile(rules []Rule, inactivity time.Duration) (*ast.Module, error) {
+	b := ast.NewBuilder("Firewall")
+	b.Import("Hilti")
+
+	ruleT := types.StructT(&types.StructDef{Name: "Rule", Fields: []types.StructField{
+		{Name: "src", Type: types.NetT},
+		{Name: "dst", Type: types.NetT},
+	}})
+	b.DeclareType("Rule", ruleT)
+	b.Global("rules", types.RefT(types.ClassifierT(ruleT, types.BoolT)))
+	b.Global("dyn", types.RefT(types.SetT(types.TupleT(types.AddrT, types.AddrT))))
+
+	// init_rules: the compiled rule set (the part the paper's analysis
+	// compiler generates per configuration).
+	ir := b.Function("init_rules", types.VoidT)
+	for _, r := range rules {
+		srcOp := ast.ConstOp(r.Src, types.NetT)
+		dstOp := ast.ConstOp(r.Dst, types.NetT)
+		ir.Instr("classifier.add", ast.VarOp("rules"),
+			ast.TupleOp(srcOp, dstOp), ast.BoolOp(r.Allow))
+	}
+	ir.ReturnVoid()
+
+	// init_classifier: static host-application code.
+	ic := b.Function("init_classifier", types.VoidT)
+	ic.Call("init_rules")
+	ic.Instr("classifier.compile", ast.VarOp("rules"))
+	ic.Instr("set.timeout", ast.VarOp("dyn"),
+		ast.ConstOp(values.EnumVal(container.ExpireStrategyEnum, int64(container.ExpireAccess)), nil),
+		ast.ConstOp(values.IntervalVal(inactivity.Nanoseconds()), types.IntervalT))
+	ic.ReturnVoid()
+
+	// match_packet(t, src, dst) -> bool
+	mp := b.Function("match_packet", types.BoolT,
+		ast.Param{Name: "t", Type: types.TimeT},
+		ast.Param{Name: "src", Type: types.AddrT},
+		ast.Param{Name: "dst", Type: types.AddrT},
+	)
+	bv := mp.Local("b", types.BoolT)
+	e := mp.Local("e", types.ExcT)
+	mp.Instr("timer_mgr.advance_global", ast.VarOp("t"))
+	mp.Assign(bv, "set.exists", ast.VarOp("dyn"), ast.TupleOp(ast.VarOp("src"), ast.VarOp("dst")))
+	mp.IfElse(bv, "return_action", "lookup")
+
+	mp.Block("lookup")
+	mp.TryBegin("no_match", e)
+	mp.Assign(bv, "classifier.get", ast.VarOp("rules"), ast.TupleOp(ast.VarOp("src"), ast.VarOp("dst")))
+	mp.TryEnd()
+	mp.IfElse(bv, "add_state", "return_action")
+
+	mp.Block("no_match")
+	mp.Return(ast.BoolOp(false)) // default deny
+
+	mp.Block("add_state")
+	mp.Instr("set.insert", ast.VarOp("dyn"), ast.TupleOp(ast.VarOp("src"), ast.VarOp("dst")))
+	mp.Instr("set.insert", ast.VarOp("dyn"), ast.TupleOp(ast.VarOp("dst"), ast.VarOp("src")))
+
+	mp.Block("return_action")
+	mp.Return(bv)
+	return b.M, nil
+}
+
+// Firewall is a ready-to-run compiled firewall instance.
+type Firewall struct {
+	ex *vm.Exec
+	fn *vm.CompiledFunc
+}
+
+// New compiles and initializes a firewall for the rule set.
+func New(rules []Rule, inactivity time.Duration) (*Firewall, error) {
+	mod, err := Compile(rules, inactivity)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := vm.Link(mod)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := vm.NewExec(prog)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ex.Call("Firewall::init_classifier"); err != nil {
+		return nil, err
+	}
+	return &Firewall{ex: ex, fn: prog.Fn("Firewall::match_packet")}, nil
+}
+
+// Match decides one packet: timestamp in ns, source, destination.
+func (f *Firewall) Match(tsNs int64, src, dst values.Value) (bool, error) {
+	v, err := f.ex.CallFn(f.fn, values.TimeVal(tsNs), src, dst)
+	if err != nil {
+		return false, err
+	}
+	return v.AsBool(), nil
+}
+
+// --- Baseline: independent implementation for §6.3's cross-validation --------
+
+// Baseline is a direct Go implementation of the same semantics, written
+// without the HILTI runtime (its dynamic state is a plain map with
+// timestamps, aged on every lookup).
+type Baseline struct {
+	rules      []Rule
+	dyn        map[[2]string]int64 // pair -> last-touch ns
+	inactivity int64
+}
+
+// NewBaseline builds the reference firewall.
+func NewBaseline(rules []Rule, inactivity time.Duration) *Baseline {
+	return &Baseline{
+		rules:      rules,
+		dyn:        map[[2]string]int64{},
+		inactivity: inactivity.Nanoseconds(),
+	}
+}
+
+// Match decides one packet.
+func (b *Baseline) Match(tsNs int64, src, dst values.Value) bool {
+	key := [2]string{values.Format(src), values.Format(dst)}
+	// Entries age individually, exactly like per-element access-based
+	// expiration in the HILTI set.
+	if last, ok := b.dyn[key]; ok {
+		if tsNs-last < b.inactivity {
+			b.dyn[key] = tsNs
+			return true
+		}
+		delete(b.dyn, key)
+	}
+	for _, r := range b.rules {
+		if !r.Src.IsNil() && !r.Src.NetContains(src) {
+			continue
+		}
+		if !r.Dst.IsNil() && !r.Dst.NetContains(dst) {
+			continue
+		}
+		if r.Allow {
+			b.dyn[key] = tsNs
+			b.dyn[[2]string{key[1], key[0]}] = tsNs
+		}
+		return r.Allow
+	}
+	return false
+}

@@ -1,0 +1,214 @@
+package firewall
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"hilti/internal/pkt/gen"
+	"hilti/internal/pkt/layers"
+	"hilti/internal/rt/values"
+)
+
+const paperRules = `
+# Figure 5's rule set: (net1 -> net2) -> {Allow, Deny}.
+10.3.2.1/32   10.1.0.0/16  allow
+10.12.0.0/16  10.1.0.0/16  deny
+10.1.6.0/24   *            allow
+10.1.7.0/24   *            allow
+`
+
+func mustRules(t testing.TB) []Rule {
+	t.Helper()
+	rules, err := ParseRules(strings.NewReader(paperRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rules
+}
+
+func TestParseRules(t *testing.T) {
+	rules := mustRules(t)
+	if len(rules) != 4 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	if !rules[0].Allow || rules[1].Allow {
+		t.Fatal("actions")
+	}
+	if !rules[2].Dst.IsNil() {
+		t.Fatal("wildcard dst")
+	}
+	if _, err := ParseRules(strings.NewReader("a b")); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := ParseRules(strings.NewReader("1.2.3.4 * frob")); err == nil {
+		t.Fatal("bad action accepted")
+	}
+}
+
+func TestStaticSemantics(t *testing.T) {
+	fw, err := New(mustRules(t), 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		src, dst string
+		want     bool
+	}{
+		{"10.3.2.1", "10.1.44.2", true},
+		{"10.12.5.5", "10.1.44.2", false},
+		{"10.1.6.200", "203.0.113.9", true},
+		{"10.1.7.3", "198.51.100.1", true},
+		{"192.0.2.1", "10.1.0.1", false}, // default deny
+	}
+	ts := int64(1e9)
+	for _, tc := range cases {
+		got, err := fw.Match(ts, values.MustParseAddr(tc.src), values.MustParseAddr(tc.dst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%s -> %s = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+		ts += 1e6
+	}
+}
+
+func TestDynamicReverseRule(t *testing.T) {
+	fw, err := New(mustRules(t), 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := values.MustParseAddr("10.3.2.1")
+	dst := values.MustParseAddr("10.1.44.2")
+	sec := int64(1e9)
+
+	// Reverse direction is denied before any forward traffic...
+	if ok, _ := fw.Match(1*sec, dst, src); ok {
+		t.Fatal("reverse should start denied")
+	}
+	// ...allowed after the forward packet opened state...
+	if ok, _ := fw.Match(2*sec, src, dst); !ok {
+		t.Fatal("forward should be allowed")
+	}
+	if ok, _ := fw.Match(3*sec, dst, src); !ok {
+		t.Fatal("reverse should now be allowed")
+	}
+	// ...kept alive by activity...
+	if ok, _ := fw.Match(250*sec, dst, src); !ok {
+		t.Fatal("active state should persist")
+	}
+	// ...and expired after 300s of inactivity.
+	if ok, _ := fw.Match(600*sec, dst, src); ok {
+		t.Fatal("idle state should expire")
+	}
+}
+
+// TestAgainstBaseline is §6.3's validation: drive both implementations
+// with the host pairs of a DNS trace and confirm identical decisions.
+func TestAgainstBaseline(t *testing.T) {
+	rules, err := ParseRules(strings.NewReader(`
+10.1.0.0/16   172.20.0.0/16 allow
+10.2.0.0/16   172.20.0.0/16 deny
+*             172.20.0.5/32 allow
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(rules, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewBaseline(rules, 5*time.Minute)
+
+	cfg := gen.DefaultDNSConfig()
+	cfg.Transactions = 2000
+	pkts := gen.GenerateDNS(cfg)
+
+	matches, total := 0, 0
+	for i, p := range pkts {
+		e, _ := layers.DecodeEthernet(p.Data)
+		ip, err := layers.DecodeIPv4(e.Payload)
+		if err != nil {
+			continue
+		}
+		src := values.AddrFrom4(ip.Src)
+		dst := values.AddrFrom4(ip.Dst)
+		ts := p.Time.UnixNano()
+		got, err := fw.Match(ts, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := base.Match(ts, src, dst)
+		if got != want {
+			t.Fatalf("packet %d (%s -> %s): hilti=%v baseline=%v",
+				i, values.Format(src), values.Format(dst), got, want)
+		}
+		total++
+		if got {
+			matches++
+		}
+	}
+	if matches == 0 || matches == total {
+		t.Fatalf("degenerate trace: %d/%d matches", matches, total)
+	}
+	t.Logf("agreement on %d packets, %d matches", total, matches)
+}
+
+// Random stress: interleaved pairs and timestamps exercise expiration
+// boundaries in both implementations.
+func TestAgainstBaselineRandomized(t *testing.T) {
+	rules := mustRules(t)
+	fw, err := New(rules, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewBaseline(rules, 30*time.Second)
+	rng := rand.New(rand.NewSource(11))
+	hosts := []values.Value{
+		values.MustParseAddr("10.3.2.1"), values.MustParseAddr("10.1.44.2"),
+		values.MustParseAddr("10.12.5.5"), values.MustParseAddr("10.1.6.9"),
+		values.MustParseAddr("203.0.113.7"), values.MustParseAddr("10.1.7.7"),
+	}
+	ts := int64(0)
+	for i := 0; i < 5000; i++ {
+		ts += int64(rng.Intn(20)) * 1e9
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		if values.Equal(src, dst) {
+			continue
+		}
+		got, err := fw.Match(ts, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := base.Match(ts, src, dst); got != want {
+			t.Fatalf("step %d t=%ds %s->%s: hilti=%v baseline=%v",
+				i, ts/1e9, values.Format(src), values.Format(dst), got, want)
+		}
+	}
+}
+
+func BenchmarkFirewallHILTI(b *testing.B) {
+	fw, err := New(mustRules(b), 5*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := values.MustParseAddr("10.3.2.1")
+	dst := values.MustParseAddr("10.1.44.2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw.Match(int64(i)*1e6, src, dst)
+	}
+}
+
+func BenchmarkFirewallBaseline(b *testing.B) {
+	base := NewBaseline(mustRules(b), 5*time.Minute)
+	src := values.MustParseAddr("10.3.2.1")
+	dst := values.MustParseAddr("10.1.44.2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base.Match(int64(i)*1e6, src, dst)
+	}
+}

@@ -1,0 +1,240 @@
+// Package ast defines HILTI's program representation: modules of functions
+// and hooks composed of basic blocks of register-style instructions of the
+// general form `<target> = <mnemonic> <op1> <op2> <op3>` (paper §3.2).
+//
+// Host applications construct these ASTs either by parsing textual .hlt
+// source (package parser) or — the path the paper recommends — directly in
+// memory through the Builder API in builder.go, the analog of HILTI's C++
+// AST interface (paper §3.4). All four application exemplars' compilers
+// emit this representation.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"hilti/internal/hilti/types"
+	"hilti/internal/rt/values"
+)
+
+// Module is one HILTI compilation unit.
+type Module struct {
+	Name      string
+	Imports   []string
+	Types     map[string]*types.Type
+	Globals   []*Variable // thread-local globals (paper: "global to the current virtual thread")
+	Consts    map[string]Operand
+	Functions []*Function
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:   name,
+		Types:  map[string]*types.Type{},
+		Consts: map[string]Operand{},
+	}
+}
+
+// Function looks up a function by (unqualified) name.
+func (m *Module) Function(name string) *Function {
+	for _, f := range m.Functions {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Variable is a global or local variable declaration.
+type Variable struct {
+	Name string
+	Type *types.Type
+	Init Operand // optional initializer (zero Operand when absent)
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *types.Type
+}
+
+// Function is a HILTI function or hook implementation. Hooks are
+// "functions with multiple bodies": each Function with IsHook set is one
+// body of the named hook, merged at link time across modules (paper §5).
+type Function struct {
+	Name     string
+	Params   []Param
+	Result   *types.Type
+	Locals   []*Variable
+	Blocks   []*Block
+	IsHook   bool
+	HookPrio int
+	Exported bool // reachable from the host application (gets a stub)
+}
+
+// Block is a basic block: a label plus a sequence of instructions.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+}
+
+// Instr is one instruction. Target is the optional result operand (always
+// a variable reference); Ops are the inputs.
+type Instr struct {
+	Op     string
+	Target Operand
+	Ops    []Operand
+
+	// Try/catch structure (the firewall example's try { } catch): codegen
+	// converts these pseudo-instructions into handler table entries.
+	//   op "try.begin": Aux = catch label name, Target = exception variable
+	//   op "try.end"
+	Aux string
+}
+
+// OperandKind discriminates Operand.
+type OperandKind int
+
+// Operand kinds.
+const (
+	NoOperand OperandKind = iota
+	Const                 // literal value of type Type
+	Var                   // local/global/parameter reference by name
+	Label                 // block label (branch targets)
+	TypeOp                // a type operand (new, overlay.get, ...)
+	FieldOp               // a field/label name (struct.get f, enum labels)
+	FuncOp                // function name (call targets, callables)
+	CtorOp                // constructor: tuple/list literal built from Elems
+)
+
+// Operand is one instruction operand.
+type Operand struct {
+	Kind  OperandKind
+	Name  string       // Var/Label/Field/Func
+	Val   values.Value // Const
+	Type  *types.Type  // Const/TypeOp/CtorOp element type
+	Elems []Operand    // CtorOp
+}
+
+// ConstOp builds a constant operand.
+func ConstOp(v values.Value, t *types.Type) Operand {
+	return Operand{Kind: Const, Val: v, Type: t}
+}
+
+// IntOp builds an int constant operand.
+func IntOp(i int64) Operand { return ConstOp(values.Int(i), types.Int64T) }
+
+// BoolOp builds a bool constant operand.
+func BoolOp(b bool) Operand { return ConstOp(values.Bool(b), types.BoolT) }
+
+// StringOp builds a string constant operand.
+func StringOp(s string) Operand { return ConstOp(values.String(s), types.StringT) }
+
+// VarOp builds a variable reference operand.
+func VarOp(name string) Operand { return Operand{Kind: Var, Name: name} }
+
+// LabelOp builds a block-label operand.
+func LabelOp(name string) Operand { return Operand{Kind: Label, Name: name} }
+
+// TypeOperand builds a type operand.
+func TypeOperand(t *types.Type) Operand { return Operand{Kind: TypeOp, Type: t} }
+
+// FieldOperand builds a field-name operand.
+func FieldOperand(name string) Operand { return Operand{Kind: FieldOp, Name: name} }
+
+// FuncOperand builds a function-name operand.
+func FuncOperand(name string) Operand { return Operand{Kind: FuncOp, Name: name} }
+
+// TupleOp builds a tuple-constructor operand.
+func TupleOp(elems ...Operand) Operand {
+	return Operand{Kind: CtorOp, Elems: elems, Type: types.TupleT()}
+}
+
+// IsZero reports an absent operand.
+func (o Operand) IsZero() bool { return o.Kind == NoOperand }
+
+// String renders the operand in surface syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case Const:
+		return values.Format(o.Val)
+	case Var, Label, FieldOp, FuncOp:
+		return o.Name
+	case TypeOp:
+		return o.Type.String()
+	case CtorOp:
+		parts := make([]string, len(o.Elems))
+		for i, e := range o.Elems {
+			parts[i] = e.String()
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	default:
+		return ""
+	}
+}
+
+// String renders the instruction in surface syntax.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if !in.Target.IsZero() {
+		sb.WriteString(in.Target.String())
+		sb.WriteString(" = ")
+	}
+	sb.WriteString(in.Op)
+	for _, o := range in.Ops {
+		sb.WriteByte(' ')
+		sb.WriteString(o.String())
+	}
+	return sb.String()
+}
+
+// String renders a whole module (used for golden tests of generated code,
+// mirroring the paper's Figures 4/5/8(b)).
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n\n", m.Name)
+	for _, imp := range m.Imports {
+		fmt.Fprintf(&sb, "import %s\n", imp)
+	}
+	for name, t := range m.Types {
+		if t.Kind == types.Struct && t.StructDef != nil {
+			fmt.Fprintf(&sb, "\ntype %s = struct {", name)
+			for i, f := range t.StructDef.Fields {
+				if i > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(&sb, " %s %s", f.Type, f.Name)
+			}
+			sb.WriteString(" }\n")
+		}
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global %s %s\n", g.Type, g.Name)
+	}
+	for _, f := range m.Functions {
+		sb.WriteByte('\n')
+		kw := ""
+		if f.IsHook {
+			kw = "hook "
+		}
+		params := make([]string, len(f.Params))
+		for i, p := range f.Params {
+			params[i] = fmt.Sprintf("%s %s", p.Type, p.Name)
+		}
+		fmt.Fprintf(&sb, "%s%s %s(%s) {\n", kw, f.Result, f.Name, strings.Join(params, ", "))
+		for _, l := range f.Locals {
+			fmt.Fprintf(&sb, "    local %s %s\n", l.Type, l.Name)
+		}
+		for bi, b := range f.Blocks {
+			if bi > 0 || b.Name != "" {
+				fmt.Fprintf(&sb, "  %s:\n", b.Name)
+			}
+			for _, in := range b.Instrs {
+				fmt.Fprintf(&sb, "    %s\n", in)
+			}
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}

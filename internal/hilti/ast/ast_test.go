@@ -1,0 +1,141 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"hilti/internal/hilti/types"
+	"hilti/internal/rt/values"
+)
+
+func TestBuilderShape(t *testing.T) {
+	b := NewBuilder("M")
+	b.Import("Hilti")
+	b.Global("g", types.Int64T)
+	fb := b.Function("f", types.BoolT,
+		Param{Name: "x", Type: types.Int64T})
+	cond := fb.Local("cond", types.BoolT)
+	fb.Assign(cond, "int.lt", VarOp("x"), IntOp(10))
+	fb.IfElse(cond, "yes", "no")
+	fb.Block("yes")
+	fb.Return(BoolOp(true))
+	fb.Block("no")
+	fb.Return(BoolOp(false))
+
+	m := b.M
+	if m.Name != "M" || len(m.Imports) != 1 || len(m.Globals) != 1 {
+		t.Fatalf("module shape: %+v", m)
+	}
+	f := m.Function("f")
+	if f == nil || len(f.Params) != 1 || len(f.Locals) != 1 || len(f.Blocks) != 3 {
+		t.Fatalf("function shape: %+v", f)
+	}
+	if m.Function("nope") != nil {
+		t.Fatal("unknown function lookup")
+	}
+}
+
+func TestTempsAreUnique(t *testing.T) {
+	b := NewBuilder("M")
+	fb := b.Function("f", types.VoidT)
+	t1 := fb.Temp(types.Int64T)
+	t2 := fb.Temp(types.Int64T)
+	if t1.Name == t2.Name {
+		t.Fatalf("temps collide: %q", t1.Name)
+	}
+}
+
+func TestBlockSwitchingAppendsToExisting(t *testing.T) {
+	b := NewBuilder("M")
+	fb := b.Function("f", types.VoidT)
+	fb.Block("a")
+	fb.Instr("nop")
+	fb.Block("b")
+	fb.Instr("nop")
+	fb.Block("a") // switch back
+	fb.Instr("nop")
+	var blkA *Block
+	for _, blk := range fb.F.Blocks {
+		if blk.Name == "a" {
+			blkA = blk
+		}
+	}
+	if blkA == nil || len(blkA.Instrs) != 2 {
+		t.Fatalf("block a should have 2 instrs: %+v", blkA)
+	}
+	if len(fb.F.Blocks) != 3 { // entry, a, b
+		t.Fatalf("blocks: %d", len(fb.F.Blocks))
+	}
+}
+
+func TestHookFlag(t *testing.T) {
+	b := NewBuilder("M")
+	fb := b.Hook("ev", 5)
+	if !fb.F.IsHook || fb.F.HookPrio != 5 {
+		t.Fatalf("hook flags: %+v", fb.F)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := &Instr{
+		Op:  "set.insert",
+		Ops: []Operand{VarOp("dyn"), TupleOp(VarOp("src"), VarOp("dst"))},
+	}
+	if got := in.String(); got != "set.insert dyn (src, dst)" {
+		t.Fatalf("got %q", got)
+	}
+	in2 := &Instr{Op: "int.add", Target: VarOp("x"), Ops: []Operand{VarOp("x"), IntOp(1)}}
+	if got := in2.String(); got != "x = int.add x 1" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestModuleStringRendersProgram(t *testing.T) {
+	b := NewBuilder("Track")
+	b.Global("hosts", types.RefT(types.SetT(types.AddrT)))
+	fb := b.Hook("connection_established", 0, Param{Name: "c", Type: types.AnyT})
+	tmp := fb.Temp(types.AddrT)
+	fb.Assign(tmp, "struct.get", VarOp("c"), FieldOperand("resp_h"))
+	fb.Instr("set.insert", VarOp("hosts"), tmp)
+	fb.ReturnVoid()
+
+	out := b.M.String()
+	for _, want := range []string{
+		"module Track",
+		"global ref<set<addr>> hosts",
+		"hook void connection_established(any c)",
+		"__t1 = struct.get c resp_h",
+		"set.insert hosts __t1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered module missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOperandConstructors(t *testing.T) {
+	if IntOp(5).Val.AsInt() != 5 || IntOp(5).Kind != Const {
+		t.Fatal("IntOp")
+	}
+	if StringOp("x").Val.AsString() != "x" {
+		t.Fatal("StringOp")
+	}
+	if !BoolOp(true).Val.AsBool() {
+		t.Fatal("BoolOp")
+	}
+	if LabelOp("l").Kind != Label || FieldOperand("f").Kind != FieldOp ||
+		FuncOperand("g").Kind != FuncOp {
+		t.Fatal("kinds")
+	}
+	if TypeOperand(types.AddrT).Type != types.AddrT {
+		t.Fatal("TypeOperand")
+	}
+	var zero Operand
+	if !zero.IsZero() || IntOp(0).IsZero() {
+		t.Fatal("IsZero")
+	}
+	c := ConstOp(values.Double(2.5), types.DoubleT)
+	if c.Val.AsDouble() != 2.5 {
+		t.Fatal("ConstOp")
+	}
+}

@@ -1,0 +1,146 @@
+// Builder: the in-memory AST construction API (the paper's §3.4 C++ AST
+// interface). Host-application compilers — the BPF, firewall, BinPAC++ and
+// Bro-script compilers in this repository — use it to emit HILTI programs
+// directly, then hand them to the VM for just-in-time compilation.
+
+package ast
+
+import (
+	"fmt"
+
+	"hilti/internal/hilti/types"
+)
+
+// Builder accumulates a module.
+type Builder struct {
+	M *Module
+}
+
+// NewBuilder creates a builder for a fresh module.
+func NewBuilder(name string) *Builder {
+	return &Builder{M: NewModule(name)}
+}
+
+// Import records a module import.
+func (b *Builder) Import(name string) { b.M.Imports = append(b.M.Imports, name) }
+
+// DeclareType registers a named type.
+func (b *Builder) DeclareType(name string, t *types.Type) {
+	b.M.Types[name] = t
+}
+
+// Global declares a thread-local module global.
+func (b *Builder) Global(name string, t *types.Type, init ...Operand) {
+	v := &Variable{Name: name, Type: t}
+	if len(init) > 0 {
+		v.Init = init[0]
+	}
+	b.M.Globals = append(b.M.Globals, v)
+}
+
+// Function opens a function body builder.
+func (b *Builder) Function(name string, result *types.Type, params ...Param) *FuncBuilder {
+	f := &Function{Name: name, Result: result, Params: params}
+	b.M.Functions = append(b.M.Functions, f)
+	fb := &FuncBuilder{F: f}
+	fb.Block("") // entry block
+	return fb
+}
+
+// Hook opens a hook body builder (a function attached to the named hook).
+func (b *Builder) Hook(name string, prio int, params ...Param) *FuncBuilder {
+	fb := b.Function(name, types.VoidT, params...)
+	fb.F.IsHook = true
+	fb.F.HookPrio = prio
+	return fb
+}
+
+// FuncBuilder appends blocks and instructions to one function.
+type FuncBuilder struct {
+	F    *Function
+	cur  *Block
+	temp int
+}
+
+// Local declares a function-local variable.
+func (fb *FuncBuilder) Local(name string, t *types.Type) Operand {
+	fb.F.Locals = append(fb.F.Locals, &Variable{Name: name, Type: t})
+	return VarOp(name)
+}
+
+// Temp declares a fresh unique local (compiler temporaries like the
+// paper's __t1, __t2 in Figure 8).
+func (fb *FuncBuilder) Temp(t *types.Type) Operand {
+	fb.temp++
+	return fb.Local(fmt.Sprintf("__t%d", fb.temp), t)
+}
+
+// Block starts (or switches to) a named block.
+func (fb *FuncBuilder) Block(name string) {
+	for _, blk := range fb.F.Blocks {
+		if blk.Name == name && name != "" {
+			fb.cur = blk
+			return
+		}
+	}
+	blk := &Block{Name: name}
+	fb.F.Blocks = append(fb.F.Blocks, blk)
+	fb.cur = blk
+}
+
+// Instr appends an instruction without target.
+func (fb *FuncBuilder) Instr(op string, ops ...Operand) *Instr {
+	in := &Instr{Op: op, Ops: ops}
+	fb.cur.Instrs = append(fb.cur.Instrs, in)
+	return in
+}
+
+// Assign appends an instruction with a target.
+func (fb *FuncBuilder) Assign(target Operand, op string, ops ...Operand) *Instr {
+	in := &Instr{Op: op, Target: target, Ops: ops}
+	fb.cur.Instrs = append(fb.cur.Instrs, in)
+	return in
+}
+
+// Set appends a plain assignment target = src.
+func (fb *FuncBuilder) Set(target, src Operand) *Instr {
+	return fb.Assign(target, "assign", src)
+}
+
+// Jump appends an unconditional branch.
+func (fb *FuncBuilder) Jump(label string) { fb.Instr("jump", LabelOp(label)) }
+
+// IfElse appends a conditional branch.
+func (fb *FuncBuilder) IfElse(cond Operand, ifTrue, ifFalse string) {
+	fb.Instr("if.else", cond, LabelOp(ifTrue), LabelOp(ifFalse))
+}
+
+// Return appends a return with a value.
+func (fb *FuncBuilder) Return(v Operand) { fb.Instr("return.result", v) }
+
+// ReturnVoid appends a void return.
+func (fb *FuncBuilder) ReturnVoid() { fb.Instr("return.void") }
+
+// Call appends a call whose result is discarded.
+func (fb *FuncBuilder) Call(fn string, args ...Operand) *Instr {
+	return fb.Instr("call", append([]Operand{FuncOperand(fn)}, args...)...)
+}
+
+// CallResult appends a call assigning the result.
+func (fb *FuncBuilder) CallResult(target Operand, fn string, args ...Operand) *Instr {
+	return fb.Assign(target, "call", append([]Operand{FuncOperand(fn)}, args...)...)
+}
+
+// TryBegin opens a protected region whose exceptions of any type branch to
+// catchLabel with the exception bound to excVar.
+func (fb *FuncBuilder) TryBegin(catchLabel string, excVar Operand) {
+	in := &Instr{Op: "try.begin", Target: excVar, Aux: catchLabel}
+	fb.cur.Instrs = append(fb.cur.Instrs, in)
+}
+
+// TryEnd closes the innermost protected region.
+func (fb *FuncBuilder) TryEnd() { fb.Instr("try.end") }
+
+// Append adds a pre-built instruction to the current block (used by the
+// textual parser).
+func (fb *FuncBuilder) Append(in *Instr) { fb.cur.Instrs = append(fb.cur.Instrs, in) }

@@ -1,0 +1,228 @@
+// Package check implements HILTI's static verifier: the pass that runs
+// between AST construction and code generation, enforcing the statically
+// typed, contained execution model of paper §3.2 ("a contained,
+// well-defined, and statically typed environment"). It rejects programs
+// with undefined names, dangling branch targets, malformed control flow,
+// arity-mismatched calls, unhashable container keys, and unbalanced
+// protected regions — before any code is generated.
+//
+// The backend (internal/hilti/vm) re-validates operationally during
+// lowering; this package exists so host-application compilers get precise
+// diagnostics at the AST level, where they can map them back to their own
+// input (a firewall rule, a grammar production, a script line).
+package check
+
+import (
+	"fmt"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+)
+
+// Error is one diagnostic.
+type Error struct {
+	Module   string
+	Function string
+	Instr    string
+	Msg      string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	where := e.Module
+	if e.Function != "" {
+		where += "::" + e.Function
+	}
+	if e.Instr != "" {
+		return fmt.Sprintf("%s: in %q: %s", where, e.Instr, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", where, e.Msg)
+}
+
+// Check validates a set of modules as a unit (cross-module references are
+// resolved the way the linker will). It returns all diagnostics found.
+func Check(mods ...*ast.Module) []error {
+	c := &checker{
+		funcs:   map[string]*ast.Function{},
+		globals: map[string]*types.Type{},
+		consts:  map[string]bool{},
+	}
+	for _, m := range mods {
+		for _, f := range m.Functions {
+			if !f.IsHook {
+				if prev, dup := c.funcs[m.Name+"::"+f.Name]; dup && prev != f {
+					c.errf(m.Name, f.Name, "", "duplicate function %q", f.Name)
+				}
+				c.funcs[m.Name+"::"+f.Name] = f
+				if _, exists := c.funcs[f.Name]; !exists {
+					c.funcs[f.Name] = f
+				}
+			}
+		}
+		seen := map[string]bool{}
+		for _, g := range m.Globals {
+			if seen[g.Name] {
+				c.errf(m.Name, "", "", "duplicate global %q", g.Name)
+			}
+			seen[g.Name] = true
+			c.globals[g.Name] = g.Type
+			c.globals[m.Name+"::"+g.Name] = g.Type
+			c.checkContainerKeys(m.Name, g.Name, g.Type)
+		}
+		for name := range m.Consts {
+			c.consts[name] = true
+			c.consts[m.Name+"::"+name] = true
+		}
+	}
+	for _, m := range mods {
+		for _, f := range m.Functions {
+			c.function(m, f)
+		}
+	}
+	return c.errs
+}
+
+type checker struct {
+	errs    []error
+	funcs   map[string]*ast.Function
+	globals map[string]*types.Type
+	consts  map[string]bool
+}
+
+func (c *checker) errf(mod, fn, instr, f string, a ...any) {
+	c.errs = append(c.errs, &Error{Module: mod, Function: fn, Instr: instr,
+		Msg: fmt.Sprintf(f, a...)})
+}
+
+// checkContainerKeys rejects map/set declarations keyed by unhashable
+// types (the static guarantee behind values.Key's panic-free contract).
+func (c *checker) checkContainerKeys(mod, name string, t *types.Type) {
+	if t == nil {
+		return
+	}
+	u := t.Deref()
+	switch u.Kind {
+	case types.Set:
+		if len(u.Params) == 1 && !u.Params[0].Hashable() && u.Params[0].Kind != types.Any {
+			c.errf(mod, "", "", "global %q: set element type %s is not hashable", name, u.Params[0])
+		}
+	case types.Map:
+		if len(u.Params) == 2 && !u.Params[0].Hashable() && u.Params[0].Kind != types.Any {
+			c.errf(mod, "", "", "global %q: map key type %s is not hashable", name, u.Params[0])
+		}
+	}
+}
+
+func (c *checker) function(m *ast.Module, f *ast.Function) {
+	vars := map[string]bool{}
+	for _, p := range f.Params {
+		vars[p.Name] = true
+	}
+	for _, l := range f.Locals {
+		if vars[l.Name] {
+			c.errf(m.Name, f.Name, "", "duplicate local %q", l.Name)
+		}
+		vars[l.Name] = true
+	}
+	labels := map[string]bool{}
+	for _, b := range f.Blocks {
+		if b.Name != "" && labels[b.Name] {
+			c.errf(m.Name, f.Name, "", "duplicate block label %q", b.Name)
+		}
+		labels[b.Name] = true
+	}
+	if f.IsHook && f.Result != nil && f.Result.Kind != types.Void {
+		c.errf(m.Name, f.Name, "", "hook bodies must return void")
+	}
+
+	tryDepth := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			c.instr(m, f, in, vars, labels)
+			switch in.Op {
+			case "try.begin":
+				tryDepth++
+			case "try.end":
+				tryDepth--
+				if tryDepth < 0 {
+					c.errf(m.Name, f.Name, in.String(), "try.end without try.begin")
+					tryDepth = 0
+				}
+			}
+		}
+	}
+	if tryDepth != 0 {
+		c.errf(m.Name, f.Name, "", "unclosed try block")
+	}
+}
+
+func (c *checker) instr(m *ast.Module, f *ast.Function, in *ast.Instr,
+	vars map[string]bool, labels map[string]bool) {
+
+	checkOperand := func(o ast.Operand) {
+		switch o.Kind {
+		case ast.Var:
+			if !vars[o.Name] && !c.globalOrConst(m, o.Name) {
+				c.errf(m.Name, f.Name, in.String(), "undefined variable %q", o.Name)
+			}
+		case ast.Label:
+			if !labels[o.Name] {
+				c.errf(m.Name, f.Name, in.String(), "undefined label %q", o.Name)
+			}
+		case ast.CtorOp:
+			for _, e := range o.Elems {
+				if e.Kind == ast.Var && !vars[e.Name] && !c.globalOrConst(m, e.Name) {
+					c.errf(m.Name, f.Name, in.String(), "undefined variable %q", e.Name)
+				}
+			}
+		}
+	}
+	if !in.Target.IsZero() {
+		if in.Target.Kind != ast.Var {
+			c.errf(m.Name, f.Name, in.String(), "target must be a variable")
+		} else if !vars[in.Target.Name] && !c.globalOrConst(m, in.Target.Name) {
+			c.errf(m.Name, f.Name, in.String(), "undefined target %q", in.Target.Name)
+		}
+	}
+	for _, o := range in.Ops {
+		checkOperand(o)
+	}
+
+	// Calls: arity against functions visible at link scope.
+	if in.Op == "call" && len(in.Ops) > 0 && in.Ops[0].Kind == ast.FuncOp {
+		name := in.Ops[0].Name
+		callee := c.funcs[m.Name+"::"+name]
+		if callee == nil {
+			callee = c.funcs[name]
+		}
+		if callee != nil && len(in.Ops)-1 != len(callee.Params) {
+			c.errf(m.Name, f.Name, in.String(), "call to %s with %d args, want %d",
+				name, len(in.Ops)-1, len(callee.Params))
+		}
+	}
+	// Branch instructions must carry labels.
+	switch in.Op {
+	case "jump":
+		if len(in.Ops) != 1 || in.Ops[0].Kind != ast.Label {
+			c.errf(m.Name, f.Name, in.String(), "jump requires one label operand")
+		}
+	case "if.else":
+		if len(in.Ops) != 3 || in.Ops[1].Kind != ast.Label || in.Ops[2].Kind != ast.Label {
+			c.errf(m.Name, f.Name, in.String(), "if.else requires condition and two labels")
+		}
+	case "return.result":
+		if f.Result != nil && f.Result.Kind == types.Void && !f.IsHook {
+			c.errf(m.Name, f.Name, in.String(), "value return from void function")
+		}
+	}
+}
+
+func (c *checker) globalOrConst(m *ast.Module, name string) bool {
+	if _, ok := c.globals[name]; ok {
+		return true
+	}
+	if _, ok := c.globals[m.Name+"::"+name]; ok {
+		return true
+	}
+	return c.consts[name] || c.consts[m.Name+"::"+name]
+}

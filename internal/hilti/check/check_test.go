@@ -1,0 +1,130 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/parser"
+	"hilti/internal/hilti/types"
+)
+
+func mustParse(t *testing.T, src string) *ast.Module {
+	t.Helper()
+	m, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func wantErr(t *testing.T, errs []error, substr string) {
+	t.Helper()
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return
+		}
+	}
+	t.Fatalf("missing diagnostic %q in %v", substr, errs)
+}
+
+func TestCleanProgramPasses(t *testing.T) {
+	m := mustParse(t, `
+module M
+import Hilti
+global ref<set<addr>> hosts
+void run () {
+    local addr a
+    a = 1.2.3.4
+    set.insert hosts a
+    call Hilti::print (a)
+}
+`)
+	if errs := Check(m); len(errs) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", errs)
+	}
+}
+
+func TestUndefinedVariable(t *testing.T) {
+	b := ast.NewBuilder("M")
+	fb := b.Function("f", types.VoidT)
+	fb.Assign(ast.VarOp("x"), "int.add", ast.VarOp("nope"), ast.IntOp(1))
+	errs := Check(b.M)
+	wantErr(t, errs, `undefined target "x"`)
+	wantErr(t, errs, `undefined variable "nope"`)
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := ast.NewBuilder("M")
+	fb := b.Function("f", types.VoidT)
+	fb.Jump("missing")
+	wantErr(t, Check(b.M), `undefined label "missing"`)
+}
+
+func TestDuplicateDeclarations(t *testing.T) {
+	b := ast.NewBuilder("M")
+	b.Global("g", types.Int64T)
+	b.Global("g", types.Int64T)
+	fb := b.Function("f", types.VoidT)
+	fb.Local("x", types.Int64T)
+	fb.Local("x", types.BoolT)
+	errs := Check(b.M)
+	wantErr(t, errs, `duplicate global "g"`)
+	wantErr(t, errs, `duplicate local "x"`)
+}
+
+func TestCallArity(t *testing.T) {
+	b := ast.NewBuilder("M")
+	callee := b.Function("two", types.VoidT,
+		ast.Param{Name: "a", Type: types.Int64T}, ast.Param{Name: "b", Type: types.Int64T})
+	callee.ReturnVoid()
+	fb := b.Function("f", types.VoidT)
+	fb.Call("two", ast.IntOp(1))
+	wantErr(t, Check(b.M), "call to two with 1 args, want 2")
+}
+
+func TestUnhashableContainerKey(t *testing.T) {
+	b := ast.NewBuilder("M")
+	b.Global("bad", types.RefT(types.SetT(types.RefT(types.ListT(types.Int64T)))))
+	wantErr(t, Check(b.M), "not hashable")
+}
+
+func TestUnbalancedTry(t *testing.T) {
+	b := ast.NewBuilder("M")
+	fb := b.Function("f", types.VoidT)
+	e := fb.Local("e", types.ExcT)
+	fb.TryBegin("c", e)
+	fb.Block("c")
+	fb.ReturnVoid()
+	wantErr(t, Check(b.M), "unclosed try")
+}
+
+func TestHookMustBeVoid(t *testing.T) {
+	b := ast.NewBuilder("M")
+	fb := b.Hook("ev", 0)
+	fb.F.Result = types.Int64T
+	fb.Return(ast.IntOp(1))
+	wantErr(t, Check(b.M), "hook bodies must return void")
+}
+
+func TestCrossModuleResolution(t *testing.T) {
+	a := ast.NewBuilder("A")
+	a.Global("shared", types.Int64T)
+	fn := a.Function("helper", types.VoidT, ast.Param{Name: "x", Type: types.Int64T})
+	fn.ReturnVoid()
+
+	b := ast.NewBuilder("B")
+	fb := b.Function("f", types.VoidT)
+	fb.Assign(ast.VarOp("shared"), "int.add", ast.VarOp("shared"), ast.IntOp(1))
+	fb.Call("helper", ast.IntOp(5))
+	if errs := Check(a.M, b.M); len(errs) != 0 {
+		t.Fatalf("cross-module references should resolve: %v", errs)
+	}
+}
+
+func TestValueReturnFromVoid(t *testing.T) {
+	b := ast.NewBuilder("M")
+	fb := b.Function("f", types.VoidT)
+	fb.Return(ast.IntOp(1))
+	wantErr(t, Check(b.M), "value return from void function")
+}

@@ -1,0 +1,260 @@
+// Lexer for HILTI's textual surface syntax (.hlt files) — the register-
+// style assembler form shown in the paper's Figures 3, 4 and 5.
+
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent  // identifiers, possibly ::-qualified and .-joined mnemonics
+	tokInt    // integer literal
+	tokDouble // floating-point literal
+	tokString // "..." with escapes resolved
+	tokRegexp // /.../ pattern text
+	tokAddr   // 1.2.3.4 or hex:colons IPv6
+	tokNet    // addr/len
+	tokPort   // 80/tcp
+	tokPunct  // single punctuation: = ( ) { } , : < > * -
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the whole source.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '\n':
+			l.emit(tokNewline, "\n")
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '/' && l.regexpPossible():
+			if err := l.lexRegexp(); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9':
+			l.lexNumberish()
+		case isIdentStart(c):
+			l.lexIdent()
+		case strings.IndexByte("=(){},:<>*-[]", c) >= 0:
+			// "::" stays inside identifiers; a lone ':' is a label marker.
+			l.emit(tokPunct, string(c))
+			l.pos++
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, line: l.line})
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+// regexpPossible: a '/' begins a regexp literal only where a value can
+// appear — after '=', ',', '(' or at line start. This keeps 80/tcp and
+// 10.0.0.0/8 unambiguous (those are handled by lexNumberish anyway).
+func (l *lexer) regexpPossible() bool {
+	for i := len(l.toks) - 1; i >= 0; i-- {
+		t := l.toks[i]
+		if t.kind == tokNewline {
+			return true
+		}
+		return t.kind == tokPunct && (t.text == "=" || t.text == "," || t.text == "(")
+	}
+	return true
+}
+
+func (l *lexer) lexString() error {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			l.emit(tokString, sb.String())
+			return nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return fmt.Errorf("line %d: unterminated string", l.line)
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			default:
+				sb.WriteByte(l.src[l.pos])
+			}
+			l.pos++
+		case '\n':
+			return fmt.Errorf("line %d: unterminated string", l.line)
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return fmt.Errorf("line %d: unterminated string", l.line)
+}
+
+func (l *lexer) lexRegexp() error {
+	l.pos++ // opening slash
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			sb.WriteByte(c)
+			sb.WriteByte(l.src[l.pos+1])
+			l.pos += 2
+			continue
+		}
+		if c == '/' {
+			l.pos++
+			l.emit(tokRegexp, sb.String())
+			return nil
+		}
+		if c == '\n' {
+			break
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("line %d: unterminated regexp", l.line)
+}
+
+// lexNumberish scans integers, doubles, IPv4/IPv6 addresses, CIDR
+// networks, ports (80/tcp), and times/intervals left for the parser.
+func (l *lexer) lexNumberish() {
+	start := l.pos
+	seenDot, seenColon := 0, 0
+	hexish := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '.':
+			seenDot++
+		case c == ':':
+			// Only continue across ':' for IPv6-looking tokens.
+			if !hexIPv6Ahead(l.src[l.pos:]) {
+				goto done
+			}
+			seenColon++
+		case (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'):
+			hexish = true
+		case c == 'x' && l.pos == start+1 && l.src[start] == '0':
+			hexish = true
+		default:
+			goto done
+		}
+		l.pos++
+	}
+done:
+	text := l.src[start:l.pos]
+	// CIDR suffix or port protocol.
+	if l.pos < len(l.src) && l.src[l.pos] == '/' {
+		rest := l.src[l.pos+1:]
+		if len(rest) > 0 && rest[0] >= '0' && rest[0] <= '9' {
+			j := 0
+			for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+				j++
+			}
+			l.pos += 1 + j
+			l.emit(tokNet, text+"/"+rest[:j])
+			return
+		}
+		for _, proto := range []string{"tcp", "udp", "icmp"} {
+			if strings.HasPrefix(rest, proto) {
+				l.pos += 1 + len(proto)
+				l.emit(tokPort, text+"/"+proto)
+				return
+			}
+		}
+	}
+	switch {
+	case seenColon > 0:
+		l.emit(tokAddr, text)
+	case seenDot == 3 && !hexish:
+		l.emit(tokAddr, text)
+	case seenDot == 1 && !hexish:
+		l.emit(tokDouble, text)
+	default:
+		l.emit(tokInt, text)
+	}
+}
+
+// hexIPv6Ahead reports whether the text starting at a ':' looks like the
+// continuation of an IPv6 literal rather than a label separator.
+func hexIPv6Ahead(s string) bool {
+	if len(s) < 2 {
+		return false
+	}
+	c := s[1]
+	return c == ':' || (c >= '0' && c <= '9') ||
+		(c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// lexIdent scans identifiers, including ::-qualified names (Hilti::print,
+// ExpireStrategy::Access) and dotted mnemonics (set.insert).
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isIdentChar(c) {
+			l.pos++
+			continue
+		}
+		if c == ':' && l.pos+2 < len(l.src) && l.src[l.pos+1] == ':' && isIdentStart(l.src[l.pos+2]) {
+			l.pos += 2
+			continue
+		}
+		break
+	}
+	l.emit(tokIdent, l.src[start:l.pos])
+}

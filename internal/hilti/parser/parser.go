@@ -1,0 +1,462 @@
+// Package parser parses HILTI's textual surface syntax (.hlt) into AST
+// modules — the form the paper's Figures 3–5 write programs in. Host
+// applications usually build ASTs in memory instead (ast.Builder); the
+// textual form serves hiltic/hilti-build, examples, and tests.
+//
+// Known simplification: IPv6 address literals must start with a digit
+// (e.g. 2001:db8::1); others can be built via constants or host glue.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+	"hilti/internal/rt/container"
+	"hilti/internal/rt/overlay"
+	"hilti/internal/rt/values"
+)
+
+// Parse parses one module of HILTI source.
+func Parse(src string) (*ast.Module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	p.enums = map[string]*values.EnumType{
+		"ExpireStrategy": container.ExpireStrategyEnum,
+	}
+	return p.module()
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	b     *ast.Builder
+	enums map[string]*values.EnumType
+	anon  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) skipNewlines() {
+	for p.cur().kind == tokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) errf(f string, a ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(f, a...))
+}
+
+func (p *parser) expectIdent(text string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != text {
+		return fmt.Errorf("line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(text string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != text {
+		return fmt.Errorf("line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) isPunct(text string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == text
+}
+
+func (p *parser) module() (*ast.Module, error) {
+	p.skipNewlines()
+	if err := p.expectIdent("module"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, fmt.Errorf("line %d: expected module name", name.line)
+	}
+	p.b = ast.NewBuilder(name.text)
+
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.kind == tokEOF {
+			return p.b.M, nil
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf("unexpected token %q at top level", t.text)
+		}
+		switch t.text {
+		case "import":
+			p.next()
+			imp := p.next()
+			p.b.Import(imp.text)
+		case "global":
+			p.next()
+			if err := p.globalDecl(); err != nil {
+				return nil, err
+			}
+		case "const":
+			p.next()
+			if err := p.constDecl(); err != nil {
+				return nil, err
+			}
+		case "type":
+			p.next()
+			if err := p.typeDecl(); err != nil {
+				return nil, err
+			}
+		case "hook":
+			p.next()
+			if err := p.function(true); err != nil {
+				return nil, err
+			}
+		default:
+			if err := p.function(false); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (p *parser) globalDecl() error {
+	t, err := p.typeExpr()
+	if err != nil {
+		return err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return fmt.Errorf("line %d: expected global name", name.line)
+	}
+	if p.isPunct("=") {
+		p.next()
+		op, err := p.operand()
+		if err != nil {
+			return err
+		}
+		// Constructor expressions like set<addr>() initialize to a fresh
+		// container, which the linker does automatically; constants are
+		// kept as explicit initializers.
+		if op.Kind == ast.Const {
+			p.b.Global(name.text, t, op)
+			return nil
+		}
+	}
+	p.b.Global(name.text, t)
+	return nil
+}
+
+func (p *parser) constDecl() error {
+	t, err := p.typeExpr()
+	if err != nil {
+		return err
+	}
+	_ = t
+	name := p.next()
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	op, err := p.operand()
+	if err != nil {
+		return err
+	}
+	if op.Kind != ast.Const {
+		return p.errf("const initializer must be a literal")
+	}
+	p.b.M.Consts[name.text] = op
+	return nil
+}
+
+func (p *parser) typeDecl() error {
+	name := p.next()
+	if name.kind != tokIdent {
+		return fmt.Errorf("line %d: expected type name", name.line)
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	kw := p.next()
+	switch kw.text {
+	case "struct":
+		return p.structDecl(name.text)
+	case "enum":
+		return p.enumDecl(name.text)
+	case "overlay":
+		return p.overlayDecl(name.text)
+	default:
+		return fmt.Errorf("line %d: unsupported type declaration %q", kw.line, kw.text)
+	}
+}
+
+func (p *parser) structDecl(name string) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	def := &types.StructDef{Name: name}
+	for {
+		p.skipNewlines()
+		if p.isPunct("}") {
+			p.next()
+			break
+		}
+		ft, err := p.typeExpr()
+		if err != nil {
+			return err
+		}
+		fn := p.next()
+		if fn.kind != tokIdent {
+			return fmt.Errorf("line %d: expected field name", fn.line)
+		}
+		def.Fields = append(def.Fields, types.StructField{Name: fn.text, Type: ft, Default: values.Unset})
+		p.skipNewlines()
+		if p.isPunct(",") {
+			p.next()
+		}
+	}
+	p.b.DeclareType(name, types.StructT(def))
+	return nil
+}
+
+func (p *parser) enumDecl(name string) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var labels []string
+	for {
+		p.skipNewlines()
+		if p.isPunct("}") {
+			p.next()
+			break
+		}
+		l := p.next()
+		if l.kind != tokIdent {
+			return fmt.Errorf("line %d: expected enum label", l.line)
+		}
+		labels = append(labels, l.text)
+		p.skipNewlines()
+		if p.isPunct(",") {
+			p.next()
+		}
+	}
+	et := values.NewEnumType(name, labels...)
+	p.enums[name] = et
+	p.b.DeclareType(name, types.EnumT(et))
+	return nil
+}
+
+// overlayDecl parses the paper's Figure 4 syntax:
+//
+//	version: int<8> at 0 unpack UInt8InBigEndian (4, 7),
+//	src: addr at 12 unpack IPv4InNetworkOrder
+func (p *parser) overlayDecl(name string) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var fields []overlay.Field
+	for {
+		p.skipNewlines()
+		if p.isPunct("}") {
+			p.next()
+			break
+		}
+		fn := p.next()
+		if fn.kind != tokIdent {
+			return fmt.Errorf("line %d: expected overlay field name", fn.line)
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return err
+		}
+		if _, err := p.typeExpr(); err != nil { // field type (informational)
+			return err
+		}
+		if err := p.expectIdent("at"); err != nil {
+			return err
+		}
+		offTok := p.next()
+		off, err := strconv.Atoi(offTok.text)
+		if err != nil {
+			return fmt.Errorf("line %d: bad offset %q", offTok.line, offTok.text)
+		}
+		if err := p.expectIdent("unpack"); err != nil {
+			return err
+		}
+		fmtTok := p.next()
+		f := overlay.Field{Name: fn.text, Offset: off}
+		switch fmtTok.text {
+		case "UInt8InBigEndian", "UInt8":
+			f.Format = overlay.UInt8
+		case "UInt16InBigEndian", "UInt16BE":
+			f.Format = overlay.UInt16BE
+		case "UInt16InLittleEndian", "UInt16LE":
+			f.Format = overlay.UInt16LE
+		case "UInt32InBigEndian", "UInt32BE":
+			f.Format = overlay.UInt32BE
+		case "UInt32InLittleEndian", "UInt32LE":
+			f.Format = overlay.UInt32LE
+		case "IPv4InNetworkOrder", "IPv4":
+			f.Format = overlay.IPv4
+		case "IPv6InNetworkOrder", "IPv6":
+			f.Format = overlay.IPv6
+		case "PortTCP":
+			f.Format = overlay.PortTCP
+		case "PortUDP":
+			f.Format = overlay.PortUDP
+		default:
+			return fmt.Errorf("line %d: unknown unpack format %q", fmtTok.line, fmtTok.text)
+		}
+		// Optional bit range "(lo, hi)".
+		if p.isPunct("(") {
+			p.next()
+			lo := p.next()
+			if err := p.expectPunct(","); err != nil {
+				return err
+			}
+			hi := p.next()
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+			f.BitLo, _ = strconv.Atoi(lo.text)
+			f.BitHi, _ = strconv.Atoi(hi.text)
+			if f.Format == overlay.UInt8 {
+				f.Format = overlay.UInt8Bits
+			}
+		}
+		fields = append(fields, f)
+		p.skipNewlines()
+		if p.isPunct(",") {
+			p.next()
+		}
+	}
+	p.b.DeclareType(name, types.OverlayT(overlay.New(name, fields...)))
+	return nil
+}
+
+// typeExpr parses a type expression.
+func (p *parser) typeExpr() (*types.Type, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("line %d: expected type, got %q", t.line, t.text)
+	}
+	switch t.text {
+	case "void":
+		return types.VoidT, nil
+	case "any":
+		return types.AnyT, nil
+	case "bool":
+		return types.BoolT, nil
+	case "double":
+		return types.DoubleT, nil
+	case "string":
+		return types.StringT, nil
+	case "bytes":
+		return types.BytesT, nil
+	case "addr":
+		return types.AddrT, nil
+	case "net":
+		return types.NetT, nil
+	case "port":
+		return types.PortT, nil
+	case "time":
+		return types.TimeT, nil
+	case "interval":
+		return types.IntervalT, nil
+	case "regexp":
+		return types.RegExpT, nil
+	case "match_state":
+		return types.MatchT, nil
+	case "timer":
+		return types.TimerT, nil
+	case "timer_mgr":
+		return types.TimerMgrT, nil
+	case "file":
+		return types.FileT, nil
+	case "exception":
+		return types.ExcT, nil
+	case "iosrc":
+		return types.IOSrcT, nil
+	case "int":
+		width := 64
+		if p.isPunct("<") {
+			p.next()
+			w := p.next()
+			width, _ = strconv.Atoi(w.text)
+			if err := p.expectPunct(">"); err != nil {
+				return nil, err
+			}
+		}
+		return types.IntT(width), nil
+	case "ref", "list", "set", "vector", "map", "tuple", "iterator", "channel", "classifier", "callable":
+		var params []*types.Type
+		if p.isPunct("<") {
+			p.next()
+			for {
+				pt, err := p.typeExpr()
+				if err != nil {
+					return nil, err
+				}
+				params = append(params, pt)
+				if p.isPunct(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(">"); err != nil {
+				return nil, err
+			}
+		}
+		switch t.text {
+		case "ref":
+			return types.RefT(params[0]), nil
+		case "list":
+			return types.ListT(params[0]), nil
+		case "set":
+			return types.SetT(params[0]), nil
+		case "vector":
+			return types.VectorT(params[0]), nil
+		case "map":
+			return types.MapT(params[0], params[1]), nil
+		case "tuple":
+			return types.TupleT(params...), nil
+		case "iterator":
+			return types.IterT(params[0]), nil
+		case "channel":
+			return types.ChannelT(params[0]), nil
+		case "classifier":
+			return types.ClassifierT(params[0], params[1]), nil
+		default:
+			if len(params) == 0 {
+				return nil, p.errf("callable needs type parameters")
+			}
+			return types.CallableT(params[0], params[1:]...), nil
+		}
+	default:
+		// Named type (struct/enum/overlay), possibly qualified. Exception
+		// types like Hilti::IndexError are recognized by prefix.
+		if nt, ok := p.b.M.Types[t.text]; ok {
+			return nt, nil
+		}
+		if strings.Contains(t.text, "::") {
+			return types.ExceptionT(t.text), nil
+		}
+		// Forward reference: produce a named struct placeholder.
+		return &types.Type{Kind: types.Struct, Name: t.text}, nil
+	}
+}
+
+// resolveNamed patches a placeholder named type once declared.
+func (p *parser) resolveNamed(t *types.Type) *types.Type {
+	if t != nil && t.Kind == types.Struct && t.StructDef == nil && t.Name != "" {
+		if nt, ok := p.b.M.Types[t.Name]; ok {
+			return nt
+		}
+	}
+	return t
+}

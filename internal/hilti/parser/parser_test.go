@@ -1,0 +1,329 @@
+package parser
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hilti/internal/hilti/vm"
+	"hilti/internal/rt/values"
+)
+
+func run(t *testing.T, src string, entry string, args ...values.Value) (string, values.Value, error) {
+	t.Helper()
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := vm.Link(mod)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	ex, err := vm.NewExec(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	ex.Out = &out
+	v, err := ex.Call(entry, args...)
+	return out.String(), v, err
+}
+
+func TestFigure3HelloWorld(t *testing.T) {
+	// The paper's Figure 3 verbatim (module body).
+	src := `
+module Main
+
+import Hilti
+
+# Default entry point for execution.
+void run () {
+    call Hilti::print ("Hello, World!")
+}
+`
+	out, _, err := run(t, src, "Main::run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "Hello, World!\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestFigure4BPFFilter(t *testing.T) {
+	// The paper's Figure 4: overlay-based filtering of an IPv4 header.
+	src := `
+module Filter
+
+type Header = overlay {
+    version: int<8> at 0 unpack UInt8InBigEndian (4, 7),
+    hdr_len: int<8> at 0 unpack UInt8InBigEndian (0, 3),
+    src: addr at 12 unpack IPv4InNetworkOrder,
+    dst: addr at 16 unpack IPv4InNetworkOrder
+}
+
+bool filter (ref<bytes> packet) {
+    local addr a1, a2
+    local bool b1, b2, b3
+
+    a1 = overlay.get Header src packet
+    b1 = equal a1 192.168.1.1
+    a2 = overlay.get Header dst packet
+    b2 = equal a2 192.168.1.1
+    b1 = or b1 b2
+    b2 = net.contains 10.0.5.0/24 a1
+    b3 = or b1 b2
+    return b3
+}
+`
+	hdr := make([]byte, 20)
+	hdr[0] = 0x45
+	copy(hdr[12:16], []byte{10, 0, 5, 99}) // src in 10.0.5.0/24
+	copy(hdr[16:20], []byte{8, 8, 8, 8})   // dst
+	_, v, err := run(t, src, "Filter::filter", values.BytesFrom(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.AsBool() {
+		t.Fatal("packet in 10.0.5.0/24 should match")
+	}
+	copy(hdr[12:16], []byte{1, 2, 3, 4})
+	_, v, err = run(t, src, "Filter::filter", values.BytesFrom(hdr))
+	if err != nil || v.AsBool() {
+		t.Fatalf("non-matching packet: %v %v", v, err)
+	}
+	copy(hdr[16:20], []byte{192, 168, 1, 1})
+	_, v, _ = run(t, src, "Filter::filter", values.BytesFrom(hdr))
+	if !v.AsBool() {
+		t.Fatal("dst host should match")
+	}
+}
+
+// figure5 is the paper's Figure 5 firewall, lightly adapted to this
+// parser's operand conventions.
+const figure5 = `
+module Firewall
+
+type Rule = struct { net src, net dst }
+
+global ref<classifier<Rule, bool>> rules
+global ref<set<tuple<addr, addr>>> dyn
+
+void init_rules () {
+    classifier.add rules (10.3.2.1/32, 10.1.0.0/16) True
+    classifier.add rules (10.12.0.0/16, 10.1.0.0/16) False
+    classifier.add rules (10.1.6.0/24, *) True
+    classifier.add rules (10.1.7.0/24, *) True
+}
+
+void init_classifier () {
+    call init_rules ()
+    classifier.compile rules
+    set.timeout dyn ExpireStrategy::Access interval (300)
+}
+
+bool match_packet (time t, addr src, addr dst) {
+    local bool b
+
+    timer_mgr.advance_global t
+
+    b = set.exists dyn (src, dst)
+    if.else b return_action lookup
+
+  lookup:
+    try {
+        b = classifier.get rules (src, dst)
+    } catch ( ref<Hilti::IndexError> e ) {
+        return False
+    }
+    if.else b add_state return_action
+
+  add_state:
+    set.insert dyn (src, dst)
+    set.insert dyn (dst, src)
+
+  return_action:
+    return b
+}
+`
+
+func TestFigure5Firewall(t *testing.T) {
+	mod, err := Parse(figure5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vm.Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := vm.NewExec(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Call("Firewall::init_classifier"); err != nil {
+		t.Fatal(err)
+	}
+	match := func(ts float64, src, dst string) bool {
+		v, err := ex.Call("Firewall::match_packet",
+			values.TimeVal(int64(ts*1e9)), values.MustParseAddr(src), values.MustParseAddr(dst))
+		if err != nil {
+			t.Fatalf("match_packet: %v", err)
+		}
+		return v.AsBool()
+	}
+	// Static rules.
+	if !match(1, "10.3.2.1", "10.1.9.9") {
+		t.Fatal("allow rule 1")
+	}
+	if match(2, "10.12.1.1", "10.1.2.2") {
+		t.Fatal("deny rule 2")
+	}
+	if match(3, "172.16.0.1", "10.1.0.1") {
+		t.Fatal("default deny")
+	}
+	// Dynamic state: the allowed pair opens the reverse direction...
+	if !match(4, "10.1.9.9", "10.3.2.1") {
+		t.Fatal("reverse direction should be allowed dynamically")
+	}
+	// ...which expires after 300s of inactivity.
+	if match(400, "10.99.1.1", "10.99.2.2") {
+		t.Fatal("unrelated pair")
+	}
+	if match(1000, "10.1.9.9", "10.3.2.1") {
+		t.Fatal("dynamic rule should have expired")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`void run() {}`,                              // no module header
+		"module M\nvoid f( {",                        // bad params
+		"module M\nvoid f() {\n x = unknown.op y\n}", // parse ok, link fails later
+		`module M` + "\n" + `global`,                 // truncated global
+	}
+	for i, src := range cases {
+		mod, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		if _, err := vm.Link(mod); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestEnumAndIntervalLiterals(t *testing.T) {
+	src := `
+module M
+
+type Color = enum { Red, Green, Blue }
+
+void run () {
+    call Hilti::print (Color::Green)
+    call Hilti::print (interval (2.5))
+}
+`
+	out, _, err := run(t, src, "M::run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Color::Green") || !strings.Contains(out, "2.500000s") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestRegexpLiteral(t *testing.T) {
+	src := `
+module M
+
+bool check (ref<bytes> data) {
+    local regexp re
+    local bool b
+    re = /HTTP\/[0-9]+/
+    b = regexp.matches re data
+    return b
+}
+`
+	_, v, err := run(t, src, "M::check", values.BytesFrom([]byte("HTTP/1")))
+	if err != nil || !v.AsBool() {
+		t.Fatalf("got %v %v", v, err)
+	}
+	_, v, _ = run(t, src, "M::check", values.BytesFrom([]byte("SMTP")))
+	if v.AsBool() {
+		t.Fatal("should not match")
+	}
+}
+
+func TestFigure8TrackPattern(t *testing.T) {
+	// The compiled form of Figure 8(b): hooks with struct access.
+	src := `
+module Track
+
+type conn_id = struct { addr orig_h, port orig_p, addr resp_h, port resp_p }
+type connection = struct { ref<conn_id> id }
+
+global ref<set<addr>> hosts
+
+hook void connection_established (ref<connection> c) {
+    local addr __t1
+    local ref<conn_id> __t2
+    __t2 = struct.get c id
+    __t1 = struct.get __t2 resp_h
+    set.insert hosts __t1
+}
+
+hook void bro_done () {
+    local ref<vector<addr>> elems
+    local int<64> i, n
+    local addr a
+    local bool cond
+    elems = set.elems hosts
+    n = vector.size elems
+    i = 0
+  loop:
+    cond = int.lt i n
+    if.else cond body done
+  body:
+    a = vector.get elems i
+    call Hilti::print (a)
+    i = int.add i 1
+    jump loop
+  done:
+    return
+}
+`
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vm.Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := vm.NewExec(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	ex.Out = &out
+
+	// Build connection structs host-side and run the hooks.
+	connID := mod.Types["conn_id"].StructDef.Runtime()
+	conn := mod.Types["connection"].StructDef.Runtime()
+	for _, ip := range []string{"208.80.152.118", "208.80.152.2", "208.80.152.3", "208.80.152.2"} {
+		id := values.NewStruct(connID)
+		id.SetName("resp_h", values.MustParseAddr(ip))
+		c := values.NewStruct(conn)
+		c.SetName("id", values.StructVal(id))
+		if err := ex.RunHook("connection_established", values.StructVal(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ex.RunHook("bro_done"); err != nil {
+		t.Fatal(err)
+	}
+	want := "208.80.152.118\n208.80.152.2\n208.80.152.3\n"
+	if out.String() != want {
+		t.Fatalf("output %q, want %q", out.String(), want)
+	}
+}

@@ -1,0 +1,502 @@
+// Function-body parsing: blocks, labels, instructions, operand syntax, and
+// the try/catch surface form of the paper's Figure 5.
+
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+	"hilti/internal/rt/regexp"
+	"hilti/internal/rt/values"
+)
+
+// opSpec says which operand positions of a mnemonic are labels, fields,
+// or types rather than values.
+type opSpec struct {
+	labels map[int]bool
+	fields map[int]bool
+	typs   map[int]bool
+}
+
+var opSpecs = map[string]opSpec{
+	"jump":               {labels: map[int]bool{0: true}},
+	"if.else":            {labels: map[int]bool{1: true, 2: true}},
+	"struct.get":         {fields: map[int]bool{1: true}},
+	"struct.set":         {fields: map[int]bool{1: true}},
+	"struct.get_default": {fields: map[int]bool{1: true}},
+	"struct.is_set":      {fields: map[int]bool{1: true}},
+	"struct.unset":       {fields: map[int]bool{1: true}},
+	"overlay.get":        {typs: map[int]bool{0: true}, fields: map[int]bool{1: true}},
+}
+
+func (p *parser) function(isHook bool) error {
+	result, err := p.typeExpr()
+	if err != nil {
+		return err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return fmt.Errorf("line %d: expected function name", name.line)
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	var params []ast.Param
+	for !p.isPunct(")") {
+		pt, err := p.typeExpr()
+		if err != nil {
+			return err
+		}
+		pn := p.next()
+		if pn.kind != tokIdent {
+			return fmt.Errorf("line %d: expected parameter name", pn.line)
+		}
+		params = append(params, ast.Param{Name: pn.text, Type: p.resolveNamed(pt)})
+		if p.isPunct(",") {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	var fb *ast.FuncBuilder
+	if isHook {
+		fb = p.b.Hook(name.text, 0, params...)
+	} else {
+		fb = p.b.Function(name.text, result, params...)
+	}
+	p.skipNewlines()
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	return p.stmts(fb)
+}
+
+// stmts parses statements until the closing brace of the current scope.
+func (p *parser) stmts(fb *ast.FuncBuilder) error {
+	for {
+		p.skipNewlines()
+		if p.isPunct("}") {
+			p.next()
+			return nil
+		}
+		t := p.cur()
+		if t.kind == tokEOF {
+			return p.errf("unexpected end of input in function body")
+		}
+		if t.kind != tokIdent {
+			return p.errf("unexpected token %q in function body", t.text)
+		}
+		// Label: "name:" at start of line.
+		if p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == ":" {
+			p.pos += 2
+			fb.Block(t.text)
+			continue
+		}
+		switch t.text {
+		case "local":
+			p.next()
+			lt, err := p.typeExpr()
+			if err != nil {
+				return err
+			}
+			for {
+				ln := p.next()
+				if ln.kind != tokIdent {
+					return p.errf("expected local name")
+				}
+				fb.Local(ln.text, p.resolveNamed(lt))
+				if p.isPunct(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+		case "try":
+			p.next()
+			if err := p.tryStmt(fb); err != nil {
+				return err
+			}
+		case "return":
+			p.next()
+			if p.cur().kind == tokNewline || p.isPunct("}") {
+				fb.ReturnVoid()
+				continue
+			}
+			op, err := p.operand()
+			if err != nil {
+				return err
+			}
+			fb.Return(op)
+		default:
+			if err := p.instruction(fb); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// tryStmt parses `try { ... } catch ( <type> <name> ) { ... }`.
+func (p *parser) tryStmt(fb *ast.FuncBuilder) error {
+	p.anon++
+	catchLabel := fmt.Sprintf("__catch%d", p.anon)
+	afterLabel := fmt.Sprintf("__after%d", p.anon)
+	p.skipNewlines()
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	// We need the exception variable before the body; peek ahead is messy,
+	// so pre-declare a hidden local and copy into the named one at catch.
+	hidden := fb.Temp(types.ExcT)
+	begin := fb.Assign(hidden, "try.begin")
+	begin.Aux = catchLabel
+
+	if err := p.stmtsUntilBrace(fb); err != nil {
+		return err
+	}
+	fb.Instr("try.end")
+	fb.Jump(afterLabel)
+
+	p.skipNewlines()
+	if err := p.expectIdent("catch"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	excType, err := p.typeExpr()
+	if err != nil {
+		return err
+	}
+	excName := ""
+	if u := excType.Deref(); u.Kind == types.Exception {
+		excName = u.ExcName
+	}
+	varTok := p.next()
+	if varTok.kind != tokIdent {
+		return p.errf("expected catch variable name")
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	p.skipNewlines()
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	begin.Ops = []ast.Operand{ast.FieldOperand(excName)}
+
+	fb.Block(catchLabel)
+	declared := false
+	for _, l := range fb.F.Locals {
+		if l.Name == varTok.text {
+			declared = true
+			break
+		}
+	}
+	if !declared {
+		fb.Local(varTok.text, types.ExcT)
+	}
+	fb.Set(ast.VarOp(varTok.text), hidden)
+	if err := p.stmtsUntilBrace(fb); err != nil {
+		return err
+	}
+	fb.Block(afterLabel)
+	return nil
+}
+
+// stmtsUntilBrace parses statements until '}' without opening a new block
+// scope (shared by try bodies).
+func (p *parser) stmtsUntilBrace(fb *ast.FuncBuilder) error {
+	return p.stmts(fb)
+}
+
+// instruction parses `[target =] mnemonic operands...`.
+func (p *parser) instruction(fb *ast.FuncBuilder) error {
+	var target ast.Operand
+	first := p.next() // ident
+	if p.isPunct("=") {
+		p.next()
+		target = ast.VarOp(first.text)
+		first = p.next()
+		if first.kind != tokIdent {
+			// `x = <literal>` plain assignment.
+			p.pos--
+			op, err := p.operand()
+			if err != nil {
+				return err
+			}
+			fb.Set(target, op)
+			return p.endOfStmt()
+		}
+	}
+	mnemonic := first.text
+	switch mnemonic {
+	case "call":
+		return p.callStmt(fb, target, "call")
+	case "new":
+		t, err := p.typeExpr()
+		if err != nil {
+			return err
+		}
+		// Allow constructor-call syntax `new set<addr>()`.
+		if p.isPunct("(") {
+			p.next()
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+		}
+		fb.Assign(target, "new", ast.TypeOperand(p.resolveNamed(t)))
+		return p.endOfStmt()
+	case "thread.schedule":
+		// thread.schedule foo(args) vid
+		fn := p.next()
+		if fn.kind != tokIdent {
+			return p.errf("thread.schedule needs a function name")
+		}
+		args, err := p.parenOperands()
+		if err != nil {
+			return err
+		}
+		vid, err := p.operand()
+		if err != nil {
+			return err
+		}
+		fb.Instr("thread.schedule", ast.FuncOperand(fn.text),
+			ast.Operand{Kind: ast.CtorOp, Elems: args}, vid)
+		return p.endOfStmt()
+	case "timer.schedule":
+		// timer.schedule t foo(args)
+		at, err := p.operand()
+		if err != nil {
+			return err
+		}
+		fn := p.next()
+		if fn.kind != tokIdent {
+			return p.errf("timer.schedule needs a function name")
+		}
+		args, err := p.parenOperands()
+		if err != nil {
+			return err
+		}
+		fb.Assign(target, "timer.schedule", at, ast.FuncOperand(fn.text),
+			ast.Operand{Kind: ast.CtorOp, Elems: args})
+		return p.endOfStmt()
+	case "hook.run":
+		fn := p.next()
+		if fn.kind != tokIdent {
+			return p.errf("hook.run needs a hook name")
+		}
+		var ops []ast.Operand
+		for p.cur().kind != tokNewline && p.cur().kind != tokEOF && !p.isPunct("}") {
+			op, err := p.operand()
+			if err != nil {
+				return err
+			}
+			ops = append(ops, op)
+		}
+		fb.Instr("hook.run", append([]ast.Operand{ast.FuncOperand(fn.text)}, ops...)...)
+		return p.endOfStmt()
+	}
+	spec := opSpecs[mnemonic]
+	var ops []ast.Operand
+	for p.cur().kind != tokNewline && p.cur().kind != tokEOF && !p.isPunct("}") {
+		idx := len(ops)
+		switch {
+		case spec.labels[idx]:
+			l := p.next()
+			ops = append(ops, ast.LabelOp(l.text))
+		case spec.fields[idx]:
+			f := p.next()
+			ops = append(ops, ast.FieldOperand(f.text))
+		case spec.typs[idx]:
+			t, err := p.typeExpr()
+			if err != nil {
+				return err
+			}
+			ops = append(ops, ast.TypeOperand(p.resolveNamed(t)))
+		default:
+			op, err := p.operand()
+			if err != nil {
+				return err
+			}
+			ops = append(ops, op)
+		}
+	}
+	in := &ast.Instr{Op: mnemonic, Target: target, Ops: ops}
+	fb.Append(in)
+	return p.endOfStmt()
+}
+
+func (p *parser) endOfStmt() error {
+	if p.cur().kind == tokNewline {
+		p.next()
+		return nil
+	}
+	if p.isPunct("}") || p.cur().kind == tokEOF {
+		return nil
+	}
+	return p.errf("unexpected token %q at end of statement", p.cur().text)
+}
+
+// callStmt parses `call Fn(args)` / `target = call Fn(args)`.
+func (p *parser) callStmt(fb *ast.FuncBuilder, target ast.Operand, op string) error {
+	fn := p.next()
+	if fn.kind != tokIdent {
+		return p.errf("call needs a function name")
+	}
+	args, err := p.parenOperands()
+	if err != nil {
+		return err
+	}
+	fb.Assign(target, op, append([]ast.Operand{ast.FuncOperand(fn.text)}, args...)...)
+	return p.endOfStmt()
+}
+
+// parenOperands parses "(a, b, ...)"; an absent list yields nil.
+func (p *parser) parenOperands() ([]ast.Operand, error) {
+	if !p.isPunct("(") {
+		return nil, nil
+	}
+	p.next()
+	var ops []ast.Operand
+	for !p.isPunct(")") {
+		op, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+		if p.isPunct(",") {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	return ops, nil
+}
+
+// operand parses one value operand.
+func (p *parser) operand() (ast.Operand, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		var n int64
+		var err error
+		if strings.HasPrefix(t.text, "0x") {
+			var u uint64
+			u, err = strconv.ParseUint(t.text[2:], 16, 64)
+			n = int64(u)
+		} else {
+			n, err = strconv.ParseInt(t.text, 10, 64)
+		}
+		if err != nil {
+			return ast.Operand{}, fmt.Errorf("line %d: bad integer %q", t.line, t.text)
+		}
+		return ast.IntOp(n), nil
+	case tokDouble:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return ast.Operand{}, fmt.Errorf("line %d: bad double %q", t.line, t.text)
+		}
+		return ast.ConstOp(values.Double(f), types.DoubleT), nil
+	case tokString:
+		return ast.StringOp(t.text), nil
+	case tokAddr:
+		a, err := values.ParseAddr(t.text)
+		if err != nil {
+			return ast.Operand{}, fmt.Errorf("line %d: %v", t.line, err)
+		}
+		return ast.ConstOp(a, types.AddrT), nil
+	case tokNet:
+		n, err := values.ParseNet(t.text)
+		if err != nil {
+			return ast.Operand{}, fmt.Errorf("line %d: %v", t.line, err)
+		}
+		return ast.ConstOp(n, types.NetT), nil
+	case tokPort:
+		pv, err := values.ParsePort(t.text)
+		if err != nil {
+			return ast.Operand{}, fmt.Errorf("line %d: %v", t.line, err)
+		}
+		return ast.ConstOp(pv, types.PortT), nil
+	case tokRegexp:
+		re, err := regexp.Compile(t.text)
+		if err != nil {
+			return ast.Operand{}, fmt.Errorf("line %d: %v", t.line, err)
+		}
+		return ast.ConstOp(values.Ref(values.KindRegExp, re), types.RegExpT), nil
+	case tokPunct:
+		switch t.text {
+		case "*":
+			return ast.ConstOp(values.Nil, types.AnyT), nil
+		case "(":
+			var elems []ast.Operand
+			for !p.isPunct(")") {
+				op, err := p.operand()
+				if err != nil {
+					return ast.Operand{}, err
+				}
+				elems = append(elems, op)
+				if p.isPunct(",") {
+					p.next()
+				}
+			}
+			p.next() // ')'
+			return ast.Operand{Kind: ast.CtorOp, Elems: elems}, nil
+		case "-":
+			op, err := p.operand()
+			if err != nil {
+				return ast.Operand{}, err
+			}
+			if op.Kind == ast.Const && op.Val.K == values.KindInt {
+				return ast.IntOp(-op.Val.AsInt()), nil
+			}
+			if op.Kind == ast.Const && op.Val.K == values.KindDouble {
+				return ast.ConstOp(values.Double(-op.Val.AsDouble()), types.DoubleT), nil
+			}
+			return ast.Operand{}, fmt.Errorf("line %d: cannot negate %v", t.line, op)
+		}
+	case tokIdent:
+		switch t.text {
+		case "True":
+			return ast.BoolOp(true), nil
+		case "False":
+			return ast.BoolOp(false), nil
+		case "Null":
+			return ast.ConstOp(values.Nil, types.AnyT), nil
+		case "interval", "time":
+			if p.isPunct("(") {
+				p.next()
+				arg := p.next()
+				if err := p.expectPunct(")"); err != nil {
+					return ast.Operand{}, err
+				}
+				f, err := strconv.ParseFloat(arg.text, 64)
+				if err != nil {
+					return ast.Operand{}, fmt.Errorf("line %d: bad %s literal", t.line, t.text)
+				}
+				if t.text == "interval" {
+					return ast.ConstOp(values.IntervalVal(int64(f*1e9)), types.IntervalT), nil
+				}
+				return ast.ConstOp(values.TimeVal(int64(f*1e9)), types.TimeT), nil
+			}
+		case "b":
+			if p.cur().kind == tokString {
+				s := p.next()
+				return ast.ConstOp(values.BytesFrom([]byte(s.text)), types.BytesT), nil
+			}
+		}
+		// Enum literal Type::Label.
+		if i := strings.Index(t.text, "::"); i > 0 {
+			if et, ok := p.enums[t.text[:i]]; ok {
+				label := t.text[i+2:]
+				if v, ok := et.Values[label]; ok {
+					return ast.ConstOp(values.EnumVal(et, v), types.EnumT(et)), nil
+				}
+				return ast.Operand{}, fmt.Errorf("line %d: enum %s has no label %q", t.line, et.Name, label)
+			}
+		}
+		return ast.VarOp(t.text), nil
+	}
+	return ast.Operand{}, fmt.Errorf("line %d: unexpected operand token %q", t.line, t.text)
+}

@@ -1,0 +1,135 @@
+package types
+
+import (
+	"testing"
+
+	"hilti/internal/rt/values"
+)
+
+func TestEqualStructural(t *testing.T) {
+	if !Equal(MapT(AddrT, Int64T), MapT(AddrT, Int64T)) {
+		t.Fatal("identical maps should be equal")
+	}
+	if Equal(MapT(AddrT, Int64T), MapT(AddrT, StringT)) {
+		t.Fatal("different yields should differ")
+	}
+	if Equal(IntT(32), IntT(64)) {
+		t.Fatal("widths should matter")
+	}
+	if !Equal(TupleT(AddrT, PortT), TupleT(AddrT, PortT)) {
+		t.Fatal("tuples structural")
+	}
+	if Equal(SetT(AddrT), ListT(AddrT)) {
+		t.Fatal("kinds should matter")
+	}
+}
+
+func TestNamedTypesCompareByName(t *testing.T) {
+	a := StructT(&StructDef{Name: "conn"})
+	b := StructT(&StructDef{Name: "conn", Fields: []StructField{{Name: "x", Type: Int64T}}})
+	c := StructT(&StructDef{Name: "other"})
+	if !Equal(a, b) {
+		t.Fatal("same-named structs equal")
+	}
+	if Equal(a, c) {
+		t.Fatal("differently named structs differ")
+	}
+	if !Equal(ExceptionT("Hilti::IndexError"), ExceptionT("Hilti::IndexError")) ||
+		Equal(ExceptionT("A"), ExceptionT("B")) {
+		t.Fatal("exception naming")
+	}
+}
+
+func TestDerefAndElem(t *testing.T) {
+	rt := RefT(SetT(AddrT))
+	if rt.Deref().Kind != Set {
+		t.Fatal("deref")
+	}
+	if rt.Elem().Kind != Addr {
+		t.Fatal("elem of set")
+	}
+	if MapT(StringT, Int64T).Elem().Kind != Int {
+		t.Fatal("elem of map is the yield")
+	}
+	if AddrT.Deref() != AddrT {
+		t.Fatal("deref of non-ref is identity")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	if !Compatible(IntT(64), IntT(8)) {
+		t.Fatal("integer widths widen")
+	}
+	if !Compatible(AnyT, AddrT) || !Compatible(AddrT, AnyT) {
+		t.Fatal("any is a wildcard")
+	}
+	if !Compatible(RefT(SetT(AddrT)), SetT(AddrT)) {
+		t.Fatal("ref<T> and T interconvert")
+	}
+	if Compatible(AddrT, PortT) {
+		t.Fatal("distinct scalars incompatible")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]*Type{
+		"int<64>":                Int64T,
+		"ref<set<addr>>":         RefT(SetT(AddrT)),
+		"map<string, int<64>>":   MapT(StringT, Int64T),
+		"tuple<addr, port>":      TupleT(AddrT, PortT),
+		"iterator<bytes>":        IterT(BytesT),
+		"classifier<addr, bool>": ClassifierT(AddrT, BoolT),
+		"timer_mgr":              TimerMgrT,
+		"Hilti::IndexError":      ExceptionT("Hilti::IndexError"),
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", ty.Kind, got, want)
+		}
+	}
+}
+
+func TestHashable(t *testing.T) {
+	if !AddrT.Hashable() || !TupleT(AddrT, PortT).Hashable() {
+		t.Fatal("addr and addr tuples are hashable")
+	}
+	if ListT(Int64T).Hashable() {
+		t.Fatal("containers are not hashable")
+	}
+	if TupleT(AddrT, RefT(SetT(AddrT))).Hashable() {
+		t.Fatal("tuple with container element not hashable")
+	}
+	if !RefT(BytesT).Hashable() {
+		t.Fatal("bytes (by content) are hashable")
+	}
+}
+
+func TestValueKind(t *testing.T) {
+	if AddrT.ValueKind() != values.KindAddr {
+		t.Fatal("addr kind")
+	}
+	if RefT(MapT(AddrT, Int64T)).ValueKind() != values.KindMap {
+		t.Fatal("ref dereferences for value kind")
+	}
+	if VoidT.ValueKind() != values.KindVoid {
+		t.Fatal("void kind")
+	}
+}
+
+func TestStructDefRuntime(t *testing.T) {
+	def := &StructDef{Name: "s", Fields: []StructField{
+		{Name: "a", Type: AddrT, Default: values.Unset},
+		{Name: "n", Type: Int64T, Default: values.Int(7)},
+	}}
+	rt := def.Runtime()
+	if rt != def.Runtime() {
+		t.Fatal("runtime def should be cached")
+	}
+	s := values.NewStruct(rt)
+	if v, ok := s.GetName("n"); !ok || v.AsInt() != 7 {
+		t.Fatal("default propagated")
+	}
+	if def.Index("a") != 0 || def.Index("zz") != -1 {
+		t.Fatal("index")
+	}
+}

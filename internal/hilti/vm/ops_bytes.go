@@ -1,0 +1,428 @@
+// Bytes, iterator, unpack, and regular-expression instructions — the heart
+// of protocol parsing. Operations that need data beyond the current end of
+// a non-frozen bytes value report would-block, which the dispatch loop
+// turns into a transparent fiber suspension (see vm.go): this is what makes
+// BinPAC++-generated parsers incremental with no explicit state machine.
+
+package vm
+
+import (
+	"fmt"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/rt/hbytes"
+	"hilti/internal/rt/regexp"
+	"hilti/internal/rt/values"
+)
+
+func bytesOf(v values.Value) (*hbytes.Bytes, error) {
+	b := v.AsBytes()
+	if b == nil {
+		return nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil bytes reference"}
+	}
+	return b, nil
+}
+
+func init() {
+	registerSimple("bytes.new", 0, func(ex *Exec, a []values.Value) (values.Value, error) {
+		return values.BytesVal(hbytes.New()), nil
+	})
+	registerSimple("bytes.length", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Int(b.Len()), nil
+	})
+	registerSimple("bytes.append", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		src, err := bytesOf(a[1])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Nil, b.Append(src.Bytes())
+	})
+	registerSimple("bytes.freeze", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		b.Freeze()
+		return values.Nil, nil
+	})
+	registerSimple("bytes.unfreeze", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		b.Unfreeze()
+		return values.Nil, nil
+	})
+	registerSimple("bytes.is_frozen", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Bool(b.Frozen()), nil
+	})
+	registerSimple("bytes.begin", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.IterBytes(b.Begin()), nil
+	})
+	registerSimple("bytes.end", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.IterBytes(b.End()), nil
+	})
+	registerSimple("bytes.sub", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		from := a[0].AsIterBytes()
+		to := a[1].AsIterBytes()
+		if from.Bytes() == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil iterator"}
+		}
+		nb, err := from.Bytes().SubBytes(from, to)
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.BytesVal(nb), nil
+	})
+	registerSimple("bytes.trim", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		b.Trim(a[1].AsIterBytes())
+		return values.Nil, nil
+	})
+	registerSimple("bytes.find", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		needle, err := bytesOf(a[1])
+		if err != nil {
+			return values.Nil, err
+		}
+		it, found, err := b.Find(needle.Bytes(), b.Begin())
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.TupleVal(values.Bool(found), values.IterBytes(it)), nil
+	})
+	// bytes.find_from target=(found, iter) <iter> <needle-bytes>: search
+	// forward from an iterator, suspending when the needle might still
+	// arrive on a non-frozen rope.
+	registerSimple("bytes.find_from", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		it := a[0].AsIterBytes()
+		b := it.Bytes()
+		if b == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil iterator"}
+		}
+		needle, err := bytesOf(a[1])
+		if err != nil {
+			return values.Nil, err
+		}
+		pos, found, err := b.Find(needle.Bytes(), it)
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.TupleVal(values.Bool(found), values.IterBytes(pos)), nil
+	})
+
+	registerSimple("bytes.to_string", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.String(b.String()), nil
+	})
+	registerSimple("bytes.lower", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		raw := b.Bytes()
+		out := make([]byte, len(raw))
+		for i, c := range raw {
+			if c >= 'A' && c <= 'Z' {
+				c += 32
+			}
+			out[i] = c
+		}
+		return values.BytesFrom(out), nil
+	})
+	// bytes.to_int parses an ASCII integer with the given base.
+	registerSimple("bytes.to_int", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		base := a[1].AsInt()
+		if base != 10 && base != 16 {
+			return values.Nil, fmt.Errorf("bytes.to_int: unsupported base %d", base)
+		}
+		raw := b.Bytes()
+		if len(raw) == 0 {
+			return values.Nil, &values.Exception{Name: "Hilti::ConversionError", Msg: "empty bytes"}
+		}
+		var n int64
+		neg := false
+		for i, c := range raw {
+			if i == 0 && c == '-' {
+				neg = true
+				continue
+			}
+			var d int64
+			switch {
+			case c >= '0' && c <= '9':
+				d = int64(c - '0')
+			case base == 16 && c >= 'a' && c <= 'f':
+				d = int64(c-'a') + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				d = int64(c-'A') + 10
+			default:
+				return values.Nil, &values.Exception{Name: "Hilti::ConversionError",
+					Msg: fmt.Sprintf("not a base-%d number: %q", base, raw)}
+			}
+			n = n*base + d
+		}
+		if neg {
+			n = -n
+		}
+		return values.Int(n), nil
+	})
+	registerSimple("bytes.starts_with", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		b, err := bytesOf(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		prefix, err := bytesOf(a[1])
+		if err != nil {
+			return values.Nil, err
+		}
+		pb := prefix.Bytes()
+		if b.Len() < int64(len(pb)) {
+			return values.Bool(false), nil
+		}
+		sub, err := b.Sub(b.Begin(), b.Begin().Plus(int64(len(pb))))
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Bool(string(sub) == string(pb)), nil
+	})
+
+	// bytes.wait_frozen <iter>: block (suspending the fiber) until the
+	// underlying rope is frozen — the "rest of data" fields of generated
+	// parsers wait for end-of-stream this way.
+	registerSimple("bytes.wait_frozen", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		it := a[0].AsIterBytes()
+		b := it.Bytes()
+		if b == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil iterator"}
+		}
+		if !b.Frozen() {
+			return values.Nil, hbytes.ErrWouldBlock
+		}
+		return values.Nil, nil
+	})
+
+	// --- iterator<bytes> ---------------------------------------------------------
+	// iterator.end_of returns the distinguished end iterator of the rope an
+	// iterator points into.
+	registerSimple("iterator.end_of", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		it := a[0].AsIterBytes()
+		b := it.Bytes()
+		if b == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil iterator"}
+		}
+		return values.IterBytes(b.End()), nil
+	})
+	registerSimple("iterator.incr", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		return values.IterBytes(a[0].AsIterBytes().Next()), nil
+	})
+	registerSimple("iterator.incr_by", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		return values.IterBytes(a[0].AsIterBytes().Plus(a[1].AsInt())), nil
+	})
+	registerSimple("iterator.deref", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		c, err := a[0].AsIterBytes().Deref()
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Int(int64(c)), nil
+	})
+	registerSimple("iterator.diff", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		return values.Int(a[0].AsIterBytes().Diff(a[1].AsIterBytes())), nil
+	})
+	registerSimple("iterator.eq", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		return values.Bool(a[0].AsIterBytes().Cmp(a[1].AsIterBytes()) == 0), nil
+	})
+	registerSimple("iterator.at_end", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		it := a[0].AsIterBytes()
+		b := it.Bytes()
+		if b == nil {
+			return values.Bool(true), nil
+		}
+		if !it.AtEnd() {
+			return values.Bool(false), nil
+		}
+		// At the current end of a non-frozen value: the answer is not yet
+		// known — suspend for more input (HILTI's incremental semantics).
+		if !b.Frozen() {
+			return values.Nil, hbytes.ErrWouldBlock
+		}
+		return values.Bool(true), nil
+	})
+	// iterator.at_end_now answers immediately without suspending (used at
+	// PDU boundaries where "no more data right now" is the actual question).
+	registerSimple("iterator.at_end_now", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		it := a[0].AsIterBytes()
+		return values.Bool(it.Bytes() == nil || it.AtEnd()), nil
+	})
+
+	// --- unpack (binary field extraction; the overlay/unpack formats of §4) -------
+	unpack := func(name string, width int64, fn func(raw []byte) values.Value) {
+		registerSimple("unpack."+name, 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+			it := a[0].AsIterBytes()
+			b := it.Bytes()
+			if b == nil {
+				return values.Nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil iterator"}
+			}
+			raw, err := b.Sub(it, it.Plus(width))
+			if err != nil {
+				return values.Nil, err
+			}
+			return values.TupleVal(fn(raw), values.IterBytes(it.Plus(width))), nil
+		})
+	}
+	unpack("uint8", 1, func(r []byte) values.Value { return values.Uint(uint64(r[0])) })
+	unpack("uint16be", 2, func(r []byte) values.Value {
+		return values.Uint(uint64(r[0])<<8 | uint64(r[1]))
+	})
+	unpack("uint16le", 2, func(r []byte) values.Value {
+		return values.Uint(uint64(r[1])<<8 | uint64(r[0]))
+	})
+	unpack("uint32be", 4, func(r []byte) values.Value {
+		return values.Uint(uint64(r[0])<<24 | uint64(r[1])<<16 | uint64(r[2])<<8 | uint64(r[3]))
+	})
+	unpack("uint32le", 4, func(r []byte) values.Value {
+		return values.Uint(uint64(r[3])<<24 | uint64(r[2])<<16 | uint64(r[1])<<8 | uint64(r[0]))
+	})
+	unpack("addr4", 4, func(r []byte) values.Value {
+		return values.AddrFrom4([4]byte{r[0], r[1], r[2], r[3]})
+	})
+	unpack("addr6", 16, func(r []byte) values.Value {
+		var a [16]byte
+		copy(a[:], r)
+		return values.AddrFrom16(a)
+	})
+	// unpack.bytes target=(bytes, iter) <iter> <n>: n raw bytes.
+	registerSimple("unpack.bytes", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		it := a[0].AsIterBytes()
+		n := a[1].AsInt()
+		b := it.Bytes()
+		if b == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil iterator"}
+		}
+		if n < 0 {
+			return values.Nil, &values.Exception{Name: "Hilti::ValueError", Msg: "negative length"}
+		}
+		nb, err := b.SubBytes(it, it.Plus(n))
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.TupleVal(values.BytesVal(nb), values.IterBytes(it.Plus(n))), nil
+	})
+
+	// --- regexp ---------------------------------------------------------------------
+	// regexp.compile builds a matcher from pattern strings.
+	register("regexp.compile", func(c *fnCompiler, in *ast.Instr) error {
+		// All-constant patterns compile at link time (the common case for
+		// generated parsers; the paper considers JIT'ing regexps a key
+		// optimization HILTI enables "under the hood").
+		allConst := len(in.Ops) > 0
+		pats := make([]string, len(in.Ops))
+		for i, o := range in.Ops {
+			if o.Kind != ast.Const {
+				allConst = false
+				break
+			}
+			pats[i] = o.Val.AsString()
+		}
+		if allConst {
+			re, err := regexp.Compile(pats...)
+			if err != nil {
+				return err
+			}
+			d, err := c.dstOf(in.Target)
+			if err != nil {
+				return err
+			}
+			v := values.Ref(values.KindRegExp, re)
+			c.emit(Instr{exec: execAssign, d: d, srcs: []src{{kind: srcConst, val: v}}})
+			return nil
+		}
+		return c.lowerSimple(in, -1, func(ex *Exec, args []values.Value) (values.Value, error) {
+			ps := make([]string, len(args))
+			for i, a := range args {
+				ps[i] = a.AsString()
+			}
+			re, err := regexp.Compile(ps...)
+			if err != nil {
+				return values.Nil, err
+			}
+			return values.Ref(values.KindRegExp, re), nil
+		})
+	})
+
+	// regexp.match_token target=(id, end-iter) <re> <begin-iter>: anchored
+	// longest match; suspends transparently when more input could extend
+	// the decision. id 0 = no match.
+	registerSimple("regexp.match_token", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		re, _ := a[0].O.(*regexp.Regexp)
+		if re == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil regexp"}
+		}
+		it := a[1].AsIterBytes()
+		id, end, err := re.MatchIter(it)
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.TupleVal(values.Int(int64(id)), values.IterBytes(end)), nil
+	})
+
+	// regexp.find target=(found, start, end) <re> <bytes>: unanchored search.
+	registerSimple("regexp.find", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		re, _ := a[0].O.(*regexp.Regexp)
+		if re == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil regexp"}
+		}
+		b, err := bytesOf(a[1])
+		if err != nil {
+			return values.Nil, err
+		}
+		s, e, id := re.Find(b.Bytes())
+		return values.TupleVal(values.Bool(id != 0), values.Int(s), values.Int(e)), nil
+	})
+
+	// regexp.matches <re> <bytes>: anchored boolean convenience.
+	registerSimple("regexp.matches", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		re, _ := a[0].O.(*regexp.Regexp)
+		if re == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil regexp"}
+		}
+		b, err := bytesOf(a[1])
+		if err != nil {
+			return values.Nil, err
+		}
+		id, _ := re.Match(b.Bytes())
+		return values.Bool(id != 0), nil
+	})
+}

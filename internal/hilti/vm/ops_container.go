@@ -1,0 +1,449 @@
+// Container and composite-type instructions: structs, tuples, lists,
+// vectors, sets, maps with built-in state management, and their iterators.
+
+package vm
+
+import (
+	"fmt"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+	"hilti/internal/rt/container"
+	"hilti/internal/rt/timer"
+	"hilti/internal/rt/values"
+)
+
+func asMap(v values.Value) (*container.Map, error) {
+	m, _ := v.O.(*container.Map)
+	if m == nil {
+		return nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil map reference"}
+	}
+	return m, nil
+}
+
+func asSet(v values.Value) (*container.Set, error) {
+	s, _ := v.O.(*container.Set)
+	if s == nil {
+		return nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil set reference"}
+	}
+	return s, nil
+}
+
+func asList(v values.Value) (*container.List, error) {
+	l, _ := v.O.(*container.List)
+	if l == nil {
+		return nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil list reference"}
+	}
+	return l, nil
+}
+
+func asVector(v values.Value) (*container.Vector, error) {
+	vec, _ := v.O.(*container.Vector)
+	if vec == nil {
+		return nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil vector reference"}
+	}
+	return vec, nil
+}
+
+func asStruct(v values.Value) (*values.Struct, error) {
+	s := v.AsStruct()
+	if s == nil {
+		return nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil struct reference"}
+	}
+	return s, nil
+}
+
+func expireStrategy(v values.Value) container.ExpireStrategy {
+	switch v.AsInt() {
+	case 1:
+		return container.ExpireCreate
+	case 2:
+		return container.ExpireAccess
+	default:
+		return container.ExpireNone
+	}
+}
+
+func init() {
+	// new <type>: explicit dynamic allocation (paper §3.2 memory model).
+	register("new", func(c *fnCompiler, in *ast.Instr) error {
+		if len(in.Ops) != 1 || in.Ops[0].Kind != ast.TypeOp {
+			return fmt.Errorf("new needs a type operand")
+		}
+		t := in.Ops[0].Type
+		d, err := c.dstOf(in.Target)
+		if err != nil {
+			return err
+		}
+		c.emit(Instr{exec: execNew, d: d, aux: t})
+		return nil
+	})
+
+	// --- struct --------------------------------------------------------------
+	registerSimple("struct.get", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asStruct(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		name := a[1].AsString()
+		v, ok := s.GetName(name)
+		if !ok {
+			return values.Nil, &values.Exception{Name: "Hilti::UnsetField",
+				Msg: fmt.Sprintf("field %q not set", name)}
+		}
+		return v, nil
+	})
+	registerSimple("struct.get_default", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asStruct(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		if v, ok := s.GetName(a[1].AsString()); ok {
+			return v, nil
+		}
+		return a[2], nil
+	})
+	registerSimple("struct.set", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asStruct(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		s.SetName(a[1].AsString(), a[2])
+		return values.Nil, nil
+	})
+	registerSimple("struct.is_set", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asStruct(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		_, ok := s.GetName(a[1].AsString())
+		return values.Bool(ok), nil
+	})
+	registerSimple("struct.unset", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asStruct(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		s.SetName(a[1].AsString(), values.Unset)
+		return values.Nil, nil
+	})
+
+	// --- tuple ----------------------------------------------------------------
+	registerSimple("tuple.index", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		t := a[0].AsTuple()
+		if t == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil tuple"}
+		}
+		i := a[1].AsInt()
+		if i < 0 || int(i) >= len(t.Elems) {
+			return values.Nil, &values.Exception{Name: "Hilti::IndexError",
+				Msg: fmt.Sprintf("tuple index %d out of range", i)}
+		}
+		return t.Elems[i], nil
+	})
+	registerSimple("tuple.length", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		t := a[0].AsTuple()
+		if t == nil {
+			return values.Int(0), nil
+		}
+		return values.Int(int64(len(t.Elems))), nil
+	})
+
+	// --- list -----------------------------------------------------------------
+	registerSimple("list.push_back", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		l, err := asList(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		l.PushBack(a[1])
+		return values.Nil, nil
+	})
+	registerSimple("list.push_front", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		l, err := asList(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		l.PushFront(a[1])
+		return values.Nil, nil
+	})
+	registerSimple("list.pop_front", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		l, err := asList(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		v, ok := l.PopFront()
+		if !ok {
+			return values.Nil, &values.Exception{Name: "Hilti::Underflow", Msg: "pop from empty list"}
+		}
+		return v, nil
+	})
+	registerSimple("list.size", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		l, err := asList(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Int(int64(l.Len())), nil
+	})
+	registerSimple("list.front", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		l, err := asList(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		v, ok := l.Front()
+		if !ok {
+			return values.Nil, &values.Exception{Name: "Hilti::Underflow", Msg: "front of empty list"}
+		}
+		return v, nil
+	})
+	registerSimple("list.back", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		l, err := asList(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		v, ok := l.Back()
+		if !ok {
+			return values.Nil, &values.Exception{Name: "Hilti::Underflow", Msg: "back of empty list"}
+		}
+		return v, nil
+	})
+	registerSimple("list.begin", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		l, err := asList(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Ref(values.KindIterList, l.Begin()), nil
+	})
+
+	// --- vector ----------------------------------------------------------------
+	registerSimple("vector.push_back", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		v, err := asVector(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		v.PushBack(a[1])
+		return values.Nil, nil
+	})
+	registerSimple("vector.get", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		v, err := asVector(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		e, ok := v.Get(int(a[1].AsInt()))
+		if !ok {
+			return values.Nil, &values.Exception{Name: "Hilti::IndexError",
+				Msg: fmt.Sprintf("vector index %d", a[1].AsInt())}
+		}
+		return e, nil
+	})
+	registerSimple("vector.set", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
+		v, err := asVector(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		if !v.Set(int(a[1].AsInt()), a[2]) {
+			return values.Nil, &values.Exception{Name: "Hilti::IndexError",
+				Msg: fmt.Sprintf("vector index %d", a[1].AsInt())}
+		}
+		return values.Nil, nil
+	})
+	registerSimple("vector.size", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		v, err := asVector(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Int(int64(v.Len())), nil
+	})
+	registerSimple("vector.reserve", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		v, err := asVector(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		v.Reserve(int(a[1].AsInt()))
+		return values.Nil, nil
+	})
+
+	// --- set -------------------------------------------------------------------
+	registerSimple("set.insert", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asSet(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		s.Insert(a[1])
+		return values.Nil, nil
+	})
+	registerSimple("set.exists", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asSet(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Bool(s.Exists(a[1])), nil
+	})
+	registerSimple("set.remove", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asSet(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		s.Remove(a[1])
+		return values.Nil, nil
+	})
+	registerSimple("set.size", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asSet(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Int(int64(s.Len())), nil
+	})
+	registerSimple("set.clear", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asSet(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		s.Clear()
+		return values.Nil, nil
+	})
+	// set.timeout <set> <ExpireStrategy enum> <interval>: attaches the
+	// Exec's global timer manager (the paper's firewall example).
+	registerSimple("set.timeout", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asSet(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		s.SetTimeout(ex.GlobalTM, expireStrategy(a[1]), timer.Interval(a[2].AsIntervalNs()))
+		return values.Nil, nil
+	})
+
+	// --- map -------------------------------------------------------------------
+	registerSimple("map.insert", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asMap(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		m.Insert(a[1], a[2])
+		return values.Nil, nil
+	})
+	registerSimple("map.get", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asMap(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		v, ok := m.Get(a[1])
+		if !ok {
+			return values.Nil, &values.Exception{Name: "Hilti::IndexError",
+				Msg: "key not in map: " + values.Format(a[1])}
+		}
+		return v, nil
+	})
+	registerSimple("map.get_default", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asMap(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		if v, ok := m.Get(a[1]); ok {
+			return v, nil
+		}
+		return a[2], nil
+	})
+	registerSimple("map.exists", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asMap(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Bool(m.Exists(a[1])), nil
+	})
+	registerSimple("map.remove", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asMap(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		m.Remove(a[1])
+		return values.Nil, nil
+	})
+	registerSimple("map.size", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asMap(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Int(int64(m.Len())), nil
+	})
+	registerSimple("map.clear", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asMap(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		m.Clear()
+		return values.Nil, nil
+	})
+	registerSimple("map.default", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asMap(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		m.SetDefault(a[1])
+		return values.Nil, nil
+	})
+	registerSimple("map.timeout", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asMap(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		m.SetTimeout(ex.GlobalTM, expireStrategy(a[1]), timer.Interval(a[2].AsIntervalNs()))
+		return values.Nil, nil
+	})
+	// map.keys / set.elems materialize iteration as a vector snapshot (the
+	// Bro compiler lowers `for (i in container)` onto these).
+	registerSimple("map.keys", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asMap(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		vec := container.NewVector(values.Nil)
+		for _, k := range m.Keys() {
+			vec.PushBack(k)
+		}
+		return values.Ref(values.KindVector, vec), nil
+	})
+	registerSimple("map.values", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asMap(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		vec := container.NewVector(values.Nil)
+		m.Each(func(_, v values.Value) bool {
+			vec.PushBack(v)
+			return true
+		})
+		return values.Ref(values.KindVector, vec), nil
+	})
+	registerSimple("set.elems", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		s, err := asSet(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		vec := container.NewVector(values.Nil)
+		for _, e := range s.Elems() {
+			vec.PushBack(e)
+		}
+		return values.Ref(values.KindVector, vec), nil
+	})
+	registerSimple("list.elems", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		l, err := asList(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		vec := container.NewVector(values.Nil)
+		l.Each(func(e values.Value) bool {
+			vec.PushBack(e)
+			return true
+		})
+		return values.Ref(values.KindVector, vec), nil
+	})
+}
+
+func execNew(ex *Exec, fr *Frame, in *Instr) int {
+	v, err := newValueOfType(ex, in.aux.(*types.Type))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	ex.put(fr, in.d, v)
+	return in.t1
+}

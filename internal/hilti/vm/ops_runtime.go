@@ -1,0 +1,311 @@
+// Runtime-service instructions: timers and timer managers, channels,
+// classifiers, overlays, callables, files, and profilers — the rows of
+// Table 1 implemented by the runtime library and called out to from
+// generated code (paper §5 "Runtime Library").
+
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/rt/channel"
+	"hilti/internal/rt/classifier"
+	"hilti/internal/rt/overlay"
+	"hilti/internal/rt/timer"
+	"hilti/internal/rt/values"
+)
+
+func asChannel(v values.Value) (*channel.Channel, error) {
+	c, _ := v.O.(*channel.Channel)
+	if c == nil {
+		return nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil channel reference"}
+	}
+	return c, nil
+}
+
+func asClassifier(v values.Value) (*classifier.Classifier, error) {
+	c, _ := v.O.(*classifier.Classifier)
+	if c == nil {
+		return nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil classifier reference"}
+	}
+	return c, nil
+}
+
+func asTimerMgr(ex *Exec, v values.Value) (*timer.Mgr, error) {
+	if v.IsNil() {
+		return ex.GlobalTM, nil
+	}
+	m, _ := v.O.(*timer.Mgr)
+	if m == nil {
+		return nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil timer_mgr reference"}
+	}
+	return m, nil
+}
+
+func init() {
+	// --- timer management --------------------------------------------------------
+	// timer_mgr.advance_global <time>: drives the Exec's global manager,
+	// expiring container state (the firewall example's per-packet call).
+	registerSimple("timer_mgr.advance_global", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		ex.GlobalTM.Advance(timer.Time(a[0].AsTimeNs()))
+		return values.Nil, nil
+	})
+	registerSimple("timer_mgr.advance", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asTimerMgr(ex, a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		m.Advance(timer.Time(a[1].AsTimeNs()))
+		return values.Nil, nil
+	})
+	registerSimple("timer_mgr.current", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asTimerMgr(ex, a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.TimeVal(int64(m.Now())), nil
+	})
+	registerSimple("timer_mgr.expire", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		m, err := asTimerMgr(ex, a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		m.Expire(a[1].AsBool())
+		return values.Nil, nil
+	})
+
+	// timer.schedule <time> <func-name> <args-tuple>: schedule a function
+	// call to the future on the global manager (HILTI timers execute
+	// captured closures; the function-plus-arguments form is the callable).
+	register("timer.schedule", func(c *fnCompiler, in *ast.Instr) error {
+		if len(in.Ops) != 3 || in.Ops[1].Kind != ast.FuncOp {
+			return fmt.Errorf("timer.schedule needs time, function, args tuple")
+		}
+		timeSrc, err := c.srcOf(in.Ops[0])
+		if err != nil {
+			return err
+		}
+		argsSrc, err := c.srcOf(in.Ops[2])
+		if err != nil {
+			return err
+		}
+		ct := c.resolveCall(in.Ops[1].Name)
+		d, err := c.dstOf(in.Target)
+		if err != nil {
+			return err
+		}
+		c.emit(Instr{exec: execTimerSchedule, d: d, srcs: []src{timeSrc, argsSrc}, aux: ct})
+		return nil
+	})
+
+	registerSimple("timer.cancel", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		t, _ := a[0].O.(*timer.Timer)
+		if t != nil {
+			t.Cancel()
+		}
+		return values.Nil, nil
+	})
+	registerSimple("timer.update", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		t, _ := a[0].O.(*timer.Timer)
+		if t != nil {
+			t.Update(timer.Time(a[1].AsTimeNs()))
+		}
+		return values.Nil, nil
+	})
+
+	// --- channel -------------------------------------------------------------------
+	registerSimple("channel.write", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		ch, err := asChannel(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Nil, ch.Write(a[1])
+	})
+	registerSimple("channel.read", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		ch, err := asChannel(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return ch.Read()
+	})
+	registerSimple("channel.try_read", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		ch, err := asChannel(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		v, err := ch.TryRead()
+		if errors.Is(err, channel.ErrWouldBlock) {
+			return values.TupleVal(values.Bool(false), values.Nil), nil
+		}
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.TupleVal(values.Bool(true), v), nil
+	})
+	registerSimple("channel.size", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		ch, err := asChannel(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Int(int64(ch.Len())), nil
+	})
+
+	// --- classifier ------------------------------------------------------------------
+	// classifier.add <classifier> <rule-tuple> <value>: each rule element
+	// becomes its natural matcher (nets by prefix, void as wildcard).
+	registerSimple("classifier.add", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
+		cl, err := asClassifier(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		t := a[1].AsTuple()
+		if t == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::TypeError", Msg: "classifier.add needs a rule tuple"}
+		}
+		return values.Nil, cl.AddValues(a[2], t.Elems...)
+	})
+	registerSimple("classifier.compile", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		cl, err := asClassifier(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		cl.Compile()
+		return values.Nil, nil
+	})
+	registerSimple("classifier.compile_indexed", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		cl, err := asClassifier(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		cl.CompileIndexed()
+		return values.Nil, nil
+	})
+	registerSimple("classifier.get", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		cl, err := asClassifier(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		t := a[1].AsTuple()
+		if t == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::TypeError", Msg: "classifier.get needs a key tuple"}
+		}
+		v, err := cl.Get(t.Elems...)
+		if errors.Is(err, classifier.ErrNoMatch) {
+			return values.Nil, &values.Exception{Name: "Hilti::IndexError", Msg: "no classifier match"}
+		}
+		if err != nil {
+			return values.Nil, err
+		}
+		return v, nil
+	})
+	registerSimple("classifier.matches", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		cl, err := asClassifier(a[0])
+		if err != nil {
+			return values.Nil, err
+		}
+		t := a[1].AsTuple()
+		if t == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::TypeError", Msg: "classifier.matches needs a key tuple"}
+		}
+		return values.Bool(cl.Matches(t.Elems...)), nil
+	})
+
+	// --- overlay --------------------------------------------------------------------
+	// overlay.get <overlay-type> <field> <bytes>: paper Figure 4.
+	register("overlay.get", func(c *fnCompiler, in *ast.Instr) error {
+		if len(in.Ops) != 3 || in.Ops[0].Kind != ast.TypeOp || in.Ops[1].Kind != ast.FieldOp {
+			return fmt.Errorf("overlay.get needs type, field, bytes")
+		}
+		t := in.Ops[0].Type
+		if t.OverlayDef == nil {
+			return fmt.Errorf("overlay.get: %s is not an overlay type", t)
+		}
+		ov := t.OverlayDef
+		fieldIdx := ov.Index(in.Ops[1].Name)
+		if fieldIdx < 0 {
+			return fmt.Errorf("overlay %s has no field %q", ov.Name, in.Ops[1].Name)
+		}
+		s, err := c.srcOf(in.Ops[2])
+		if err != nil {
+			return err
+		}
+		d, err := c.dstOf(in.Target)
+		if err != nil {
+			return err
+		}
+		c.emit(Instr{exec: execOverlayGet, d: d, srcs: []src{s}, aux: ov, t2: fieldIdx})
+		return nil
+	})
+
+	// --- file ------------------------------------------------------------------------
+	registerSimple("file.open", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		if ex.Files == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::IOError", Msg: "no file manager attached"}
+		}
+		f, err := ex.Files.Open(a[0].AsString())
+		if err != nil {
+			return values.Nil, err
+		}
+		return values.Ref(values.KindFile, f), nil
+	})
+	registerSimple("file.write", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		f, _ := a[0].O.(interface{ WriteString(string) })
+		if f == nil {
+			return values.Nil, &values.Exception{Name: "Hilti::NullReference", Msg: "nil file reference"}
+		}
+		f.WriteString(values.Format(a[1]))
+		return values.Nil, nil
+	})
+
+	// --- profiler ----------------------------------------------------------------------
+	registerSimple("profiler.start", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		ex.Profs.Get(a[0].AsString()).Start()
+		return values.Nil, nil
+	})
+	registerSimple("profiler.stop", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+		ex.Profs.Get(a[0].AsString()).Stop()
+		return values.Nil, nil
+	})
+	registerSimple("profiler.update", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+		ex.Profs.Get(a[0].AsString()).Update(a[1].AsInt())
+		return values.Nil, nil
+	})
+}
+
+func execTimerSchedule(ex *Exec, fr *Frame, in *Instr) int {
+	at := timer.Time(ex.get(fr, &in.srcs[0]).AsTimeNs())
+	argsV := ex.get(fr, &in.srcs[1])
+	ct := in.aux.(*callTarget)
+	var args []values.Value
+	if t := argsV.AsTuple(); t != nil {
+		args = append([]values.Value(nil), t.Elems...)
+	}
+	tm := ex.GlobalTM.ScheduleFunc(at, func() {
+		if ct.fn != nil {
+			ex.CallFn(ct.fn, args...) //nolint:errcheck // timers swallow exceptions, as HILTI's runtime does
+		} else if ct.builtin != nil {
+			ct.builtin(ex, args) //nolint:errcheck
+		} else if hf, ok := ex.HostFns[ct.name]; ok {
+			hf(ex, args) //nolint:errcheck
+		}
+	})
+	ex.put(fr, in.d, values.Ref(values.KindTimer, tm))
+	return in.t1
+}
+
+func execOverlayGet(ex *Exec, fr *Frame, in *Instr) int {
+	ov := in.aux.(*overlay.Overlay)
+	bv := ex.get(fr, &in.srcs[0])
+	b := bv.AsBytes()
+	if b == nil {
+		return ex.raise("Hilti::NullReference", "nil bytes reference")
+	}
+	v, err := ov.GetIdx(b.Bytes(), in.t2)
+	if err != nil {
+		return ex.raise("Hilti::OverlayError", err.Error())
+	}
+	ex.put(fr, in.d, v)
+	return in.t1
+}

@@ -1,0 +1,86 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sample() Key {
+	return FromIPv4([4]byte{10, 0, 0, 1}, [4]byte{192, 168, 1, 1}, 49152, 80, 6)
+}
+
+func TestReverse(t *testing.T) {
+	k := sample()
+	r := k.Reverse()
+	if r.SrcPort != 80 || r.DstPort != 49152 {
+		t.Fatalf("ports %d %d", r.SrcPort, r.DstPort)
+	}
+	if r.Reverse() != k {
+		t.Fatal("double reverse should be identity")
+	}
+}
+
+func TestCanonicalDirectionIndependent(t *testing.T) {
+	k := sample()
+	c1, fwd1 := k.Canonical()
+	c2, fwd2 := k.Reverse().Canonical()
+	if c1 != c2 {
+		t.Fatal("canonical keys differ by direction")
+	}
+	if fwd1 == fwd2 {
+		t.Fatal("exactly one direction should be canonical")
+	}
+}
+
+func TestHashDirectionIndependent(t *testing.T) {
+	k := sample()
+	if k.Hash() != k.Reverse().Hash() {
+		t.Fatal("hash differs by direction")
+	}
+	other := FromIPv4([4]byte{10, 0, 0, 2}, [4]byte{192, 168, 1, 1}, 49152, 80, 6)
+	if k.Hash() == other.Hash() {
+		t.Fatal("distinct flows should hash differently (with overwhelming probability)")
+	}
+}
+
+func TestValues(t *testing.T) {
+	k := sample()
+	if got := k.String(); got != "10.0.0.1:49152 -> 192.168.1.1:80/6" {
+		t.Fatalf("string %q", got)
+	}
+}
+
+func TestUIDStableAndDistinct(t *testing.T) {
+	k := sample()
+	if UID(k, 100) != UID(k, 100) {
+		t.Fatal("uid not deterministic")
+	}
+	if UID(k, 100) == UID(k, 200) {
+		t.Fatal("uid should depend on start time")
+	}
+	if UID(k, 100)[0] != 'C' {
+		t.Fatal("uid prefix")
+	}
+}
+
+// Property: hash and canonicalization are direction-independent for
+// arbitrary flows.
+func TestQuickDirectionInvariance(t *testing.T) {
+	f := func(s, d [4]byte, sp, dp uint16, proto uint8) bool {
+		k := FromIPv4(s, d, sp, dp, proto)
+		c1, _ := k.Canonical()
+		c2, _ := k.Reverse().Canonical()
+		return k.Hash() == k.Reverse().Hash() && c1 == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	k := sample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Hash()
+	}
+}

@@ -1,0 +1,179 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"hilti/internal/pkt/layers"
+)
+
+func TestHTTPDeterministic(t *testing.T) {
+	cfg := DefaultHTTPConfig()
+	cfg.Sessions = 20
+	a := GenerateHTTP(cfg)
+	b := GenerateHTTP(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Data, b[i].Data) || !a[i].Time.Equal(b[i].Time) {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+	cfg.Seed = 99
+	c := GenerateHTTP(cfg)
+	if len(c) == len(a) && bytes.Equal(c[0].Data, a[0].Data) && bytes.Equal(c[len(c)-1].Data, a[len(a)-1].Data) {
+		t.Fatal("different seed produced identical trace")
+	}
+}
+
+func TestHTTPWellFormed(t *testing.T) {
+	cfg := DefaultHTTPConfig()
+	cfg.Sessions = 50
+	pkts := GenerateHTTP(cfg)
+	if len(pkts) < 300 {
+		t.Fatalf("only %d packets", len(pkts))
+	}
+	syns, fins, requests := 0, 0, 0
+	var last int64
+	for i, p := range pkts {
+		if ts := p.Time.UnixNano(); ts < last {
+			t.Fatalf("packet %d timestamp regressed", i)
+		} else {
+			last = ts
+		}
+		e, err := layers.DecodeEthernet(p.Data)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		ip, err := layers.DecodeIPv4(e.Payload)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !layers.VerifyIPChecksum(e.Payload) {
+			t.Fatalf("packet %d: bad IP checksum", i)
+		}
+		tc, err := layers.DecodeTCP(ip.Payload)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if tc.SrcPort != 80 && tc.DstPort != 80 {
+			t.Fatalf("packet %d not port 80", i)
+		}
+		if tc.Flags&layers.TCPSyn != 0 && tc.Flags&layers.TCPAck == 0 {
+			syns++
+		}
+		if tc.Flags&layers.TCPFin != 0 {
+			fins++
+		}
+		if bytes.HasPrefix(tc.Payload, []byte("GET ")) || bytes.HasPrefix(tc.Payload, []byte("POST ")) {
+			requests++
+		}
+	}
+	if syns != cfg.Sessions {
+		t.Fatalf("SYNs = %d, want %d", syns, cfg.Sessions)
+	}
+	if fins < cfg.Sessions { // both sides FIN per session
+		t.Fatalf("FINs = %d", fins)
+	}
+	if requests < cfg.Sessions/2 {
+		t.Fatalf("requests = %d", requests)
+	}
+}
+
+func TestDNSWellFormed(t *testing.T) {
+	cfg := DefaultDNSConfig()
+	cfg.Transactions = 500
+	pkts := GenerateDNS(cfg)
+	queries, responses := 0, 0
+	for i, p := range pkts {
+		e, _ := layers.DecodeEthernet(p.Data)
+		ip, err := layers.DecodeIPv4(e.Payload)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		u, err := layers.DecodeUDP(ip.Payload)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if u.SrcPort != 53 && u.DstPort != 53 {
+			t.Fatalf("packet %d not port 53", i)
+		}
+		if len(u.Payload) >= 12 {
+			if u.Payload[2]&0x80 == 0 {
+				queries++
+			} else {
+				responses++
+			}
+		}
+	}
+	if queries < int(float64(cfg.Transactions)*0.9) {
+		t.Fatalf("queries = %d", queries)
+	}
+	if responses < int(float64(cfg.Transactions)*0.85) {
+		t.Fatalf("responses = %d", responses)
+	}
+	if responses >= queries {
+		t.Fatalf("lost-response fraction not applied: q=%d r=%d", queries, responses)
+	}
+}
+
+func TestDNSCompressionPresent(t *testing.T) {
+	cfg := DefaultDNSConfig()
+	cfg.Transactions = 200
+	pkts := GenerateDNS(cfg)
+	sawPointer := false
+	for _, p := range pkts {
+		e, _ := layers.DecodeEthernet(p.Data)
+		ip, _ := layers.DecodeIPv4(e.Payload)
+		u, err := layers.DecodeUDP(ip.Payload)
+		if err != nil {
+			continue
+		}
+		for _, b := range u.Payload[12:] {
+			if b&0xC0 == 0xC0 {
+				sawPointer = true
+			}
+		}
+	}
+	if !sawPointer {
+		t.Fatal("no compression pointers in generated DNS")
+	}
+}
+
+func TestSSHBannersPresent(t *testing.T) {
+	cfg := DefaultSSHConfig()
+	pkts := GenerateSSH(cfg)
+	banners := 0
+	for _, p := range pkts {
+		e, _ := layers.DecodeEthernet(p.Data)
+		ip, _ := layers.DecodeIPv4(e.Payload)
+		tc, err := layers.DecodeTCP(ip.Payload)
+		if err != nil {
+			continue
+		}
+		if bytes.HasPrefix(tc.Payload, []byte("SSH-")) {
+			banners++
+		}
+	}
+	if banners != cfg.Sessions*2 {
+		t.Fatalf("banners = %d, want %d", banners, cfg.Sessions*2)
+	}
+}
+
+func TestChunkBody(t *testing.T) {
+	body := []byte("0123456789abcdef")
+	out := chunkBody(body, 10)
+	want := "a\r\n0123456789\r\n6\r\nabcdef\r\n0\r\n\r\n"
+	if string(out) != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}
+
+func BenchmarkGenerateHTTP(b *testing.B) {
+	cfg := DefaultHTTPConfig()
+	cfg.Sessions = 100
+	for i := 0; i < b.N; i++ {
+		GenerateHTTP(cfg)
+	}
+}

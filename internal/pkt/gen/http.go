@@ -1,0 +1,232 @@
+// HTTP traffic synthesis: weekday-morning-style port-80 sessions with the
+// protocol features the paper's Table 2 / Figure 9 evaluation exercises.
+
+package gen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hilti/internal/pkt/pcap"
+)
+
+// HTTPConfig parameterizes HTTP trace generation.
+type HTTPConfig struct {
+	Seed     int64
+	Sessions int       // number of TCP connections
+	Clients  int       // distinct client addresses
+	Servers  int       // distinct server addresses
+	Start    time.Time // trace start time
+
+	// CrudFraction is the fraction of connections carrying non-HTTP bytes
+	// on port 80 (paper §2: real traffic contains plenty "crud").
+	CrudFraction float64
+	// PartialFraction is the fraction of connections cut mid-response
+	// (the paper's "Partial Content"-style disagreement driver).
+	PartialFraction float64
+}
+
+// DefaultHTTPConfig returns the configuration used by the test suite and
+// the default benchmark harness.
+func DefaultHTTPConfig() HTTPConfig {
+	return HTTPConfig{
+		Seed:            1,
+		Sessions:        500,
+		Clients:         120,
+		Servers:         40,
+		Start:           time.Unix(1400000000, 0).UTC(),
+		CrudFraction:    0.01,
+		PartialFraction: 0.02,
+	}
+}
+
+var httpMethods = []struct {
+	name    string
+	weight  int
+	hasBody bool
+}{
+	{"GET", 70, false},
+	{"POST", 15, true},
+	{"HEAD", 8, false},
+	{"PUT", 4, true},
+	{"DELETE", 3, false},
+}
+
+var httpStatuses = []struct {
+	code   int
+	reason string
+	weight int
+}{
+	{200, "OK", 70},
+	{404, "Not Found", 10},
+	{304, "Not Modified", 8},
+	{301, "Moved Permanently", 5},
+	{206, "Partial Content", 3},
+	{500, "Internal Server Error", 2},
+	{403, "Forbidden", 2},
+}
+
+var mimeTypes = []struct {
+	mime   string
+	weight int
+}{
+	{"text/html", 40},
+	{"image/png", 15},
+	{"application/json", 15},
+	{"text/plain", 10},
+	{"application/octet-stream", 10},
+	{"text/css", 5},
+	{"application/javascript", 5},
+}
+
+var uriPaths = []string{
+	"/index.html", "/", "/api/v1/items", "/images/logo.png", "/styles/main.css",
+	"/js/app.js", "/search", "/login", "/static/fonts/a.woff", "/feed.xml",
+	"/download/file.bin", "/api/v1/users", "/docs/intro", "/favicon.ico",
+}
+
+func pickWeighted[T any](g *generator, items []T, weight func(T) int) T {
+	total := 0
+	for _, it := range items {
+		total += weight(it)
+	}
+	n := g.rng.Intn(total)
+	for _, it := range items {
+		n -= weight(it)
+		if n < 0 {
+			return it
+		}
+	}
+	return items[len(items)-1]
+}
+
+// GenerateHTTP produces an HTTP port-80 trace.
+func GenerateHTTP(cfg HTTPConfig) []pcap.Packet {
+	g := newGenerator(cfg.Seed, cfg.Start)
+	for i := 0; i < cfg.Sessions; i++ {
+		g.step(2 * time.Millisecond)
+		s := &session{
+			g:      g,
+			client: g.clientAddr(cfg.Clients),
+			server: g.serverAddr(cfg.Servers),
+			cport:  uint16(20000 + g.rng.Intn(40000)),
+			sport:  80,
+		}
+		g.handshake(s)
+		if g.rng.Float64() < cfg.CrudFraction {
+			// Non-HTTP bytes on port 80.
+			g.send(s, true, g.body(40+g.rng.Intn(200)))
+			g.teardown(s)
+			continue
+		}
+		nreq := 1
+		if g.rng.Intn(4) == 0 { // keep-alive with multiple requests
+			nreq = 2 + g.rng.Intn(3)
+		}
+		cut := g.rng.Float64() < cfg.PartialFraction
+		for r := 0; r < nreq; r++ {
+			method := pickWeighted(g, httpMethods, func(m struct {
+				name    string
+				weight  int
+				hasBody bool
+			}) int {
+				return m.weight
+			})
+			uri := uriPaths[g.rng.Intn(len(uriPaths))]
+			if g.rng.Intn(3) == 0 {
+				uri += fmt.Sprintf("?id=%d", g.rng.Intn(10000))
+			}
+			host := fmt.Sprintf("www.example%d.com", g.rng.Intn(cfg.Servers*2))
+			var req strings.Builder
+			fmt.Fprintf(&req, "%s %s HTTP/1.1\r\n", method.name, uri)
+			fmt.Fprintf(&req, "Host: %s\r\n", host)
+			fmt.Fprintf(&req, "User-Agent: synth/1.0 (seed %d)\r\n", cfg.Seed)
+			fmt.Fprintf(&req, "Accept: */*\r\n")
+			var reqBody []byte
+			if method.hasBody {
+				reqBody = g.body(20 + g.rng.Intn(400))
+				fmt.Fprintf(&req, "Content-Type: application/x-www-form-urlencoded\r\n")
+				fmt.Fprintf(&req, "Content-Length: %d\r\n", len(reqBody))
+			}
+			req.WriteString("\r\n")
+			g.send(s, true, append([]byte(req.String()), reqBody...))
+			g.step(time.Millisecond)
+
+			status := pickWeighted(g, httpStatuses, func(s struct {
+				code   int
+				reason string
+				weight int
+			}) int {
+				return s.weight
+			})
+			mime := pickWeighted(g, mimeTypes, func(m struct {
+				mime   string
+				weight int
+			}) int {
+				return m.weight
+			})
+			var respBody []byte
+			switch {
+			case status.code == 304:
+				// No body.
+			case status.code == 206:
+				respBody = g.body(100 + g.rng.Intn(900))
+			default:
+				// Log-ish size mix: mostly small, occasionally large.
+				n := 100 + g.rng.Intn(1500)
+				if g.rng.Intn(10) == 0 {
+					n = 5000 + g.rng.Intn(20000)
+				}
+				respBody = g.body(n)
+			}
+			chunked := status.code == 200 && len(respBody) > 0 && g.rng.Intn(5) == 0
+			var resp strings.Builder
+			fmt.Fprintf(&resp, "HTTP/1.1 %d %s\r\n", status.code, status.reason)
+			fmt.Fprintf(&resp, "Server: synthd/0.9\r\n")
+			fmt.Fprintf(&resp, "Content-Type: %s\r\n", mime.mime)
+			if status.code == 206 {
+				fmt.Fprintf(&resp, "Content-Range: bytes 0-%d/%d\r\n", len(respBody)-1, len(respBody)*3)
+			}
+			respHeadBody := respBody
+			if method.name == "HEAD" {
+				// Headers advertise the length, but no body follows.
+				fmt.Fprintf(&resp, "Content-Length: %d\r\n\r\n", len(respBody))
+				respHeadBody = nil
+			} else if chunked {
+				fmt.Fprintf(&resp, "Transfer-Encoding: chunked\r\n\r\n")
+				respHeadBody = chunkBody(respBody, 500)
+			} else {
+				fmt.Fprintf(&resp, "Content-Length: %d\r\n\r\n", len(respBody))
+			}
+			full := append([]byte(resp.String()), respHeadBody...)
+			if cut && r == nreq-1 && len(full) > 60 {
+				full = full[:len(full)/2] // connection dies mid-response
+				g.send(s, false, full)
+				break
+			}
+			g.send(s, false, full)
+			g.step(time.Millisecond)
+		}
+		g.teardown(s)
+	}
+	return g.pkts
+}
+
+// chunkBody encodes body using chunked transfer encoding with the given
+// chunk size.
+func chunkBody(body []byte, size int) []byte {
+	var out []byte
+	for len(body) > 0 {
+		n := size
+		if n > len(body) {
+			n = len(body)
+		}
+		out = append(out, []byte(fmt.Sprintf("%x\r\n", n))...)
+		out = append(out, body[:n]...)
+		out = append(out, '\r', '\n')
+		body = body[n:]
+	}
+	out = append(out, []byte("0\r\n\r\n")...)
+	return out
+}

@@ -1,0 +1,310 @@
+// Package layers provides wire-format decoding and encoding for the link,
+// network, and transport layers the evaluation traffic uses: Ethernet,
+// IPv4, IPv6, TCP, and UDP.
+//
+// Decoding follows the gopacket idiom of lazy, allocation-free views: a
+// Packet decodes the fixed headers once into value-typed structs whose
+// payload fields alias the original buffer. Encoding supports the
+// synthetic trace generator, which writes full pcap files of HTTP/DNS
+// sessions for the evaluation harness.
+package layers
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Common protocol constants.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeIPv6 = 0x86DD
+
+	IPProtoICMP = 1
+	IPProtoTCP  = 6
+	IPProtoUDP  = 17
+)
+
+// ErrTruncated reports a packet too short for the claimed headers.
+var ErrTruncated = errors.New("layers: truncated packet")
+
+// Ethernet is a decoded Ethernet II header.
+type Ethernet struct {
+	Src, Dst  [6]byte
+	EtherType uint16
+	Payload   []byte
+}
+
+// DecodeEthernet parses an Ethernet frame.
+func DecodeEthernet(data []byte) (Ethernet, error) {
+	var e Ethernet
+	if len(data) < 14 {
+		return e, ErrTruncated
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	e.Payload = data[14:]
+	return e, nil
+}
+
+// IPv4 is a decoded IPv4 header.
+type IPv4 struct {
+	Version  uint8
+	IHL      uint8 // header length in 32-bit words
+	TOS      uint8
+	Length   uint16
+	ID       uint16
+	Flags    uint8
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst [4]byte
+	Payload  []byte
+}
+
+// DecodeIPv4 parses an IPv4 header, validating lengths.
+func DecodeIPv4(data []byte) (IPv4, error) {
+	var ip IPv4
+	if len(data) < 20 {
+		return ip, ErrTruncated
+	}
+	ip.Version = data[0] >> 4
+	ip.IHL = data[0] & 0x0F
+	if ip.Version != 4 {
+		return ip, fmt.Errorf("layers: not IPv4 (version %d)", ip.Version)
+	}
+	hl := int(ip.IHL) * 4
+	if hl < 20 || len(data) < hl {
+		return ip, ErrTruncated
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1FFF
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	end := int(ip.Length)
+	if end < hl || end > len(data) {
+		end = len(data)
+	}
+	ip.Payload = data[hl:end]
+	return ip, nil
+}
+
+// IPv6 is a decoded IPv6 fixed header (extension headers are not chased;
+// NextHeader reports the first next-header value).
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	Length       uint16
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     [16]byte
+	Payload      []byte
+}
+
+// DecodeIPv6 parses an IPv6 fixed header.
+func DecodeIPv6(data []byte) (IPv6, error) {
+	var ip IPv6
+	if len(data) < 40 {
+		return ip, ErrTruncated
+	}
+	if data[0]>>4 != 6 {
+		return ip, fmt.Errorf("layers: not IPv6 (version %d)", data[0]>>4)
+	}
+	ip.TrafficClass = data[0]<<4 | data[1]>>4
+	ip.FlowLabel = uint32(data[1]&0x0F)<<16 | uint32(data[2])<<8 | uint32(data[3])
+	ip.Length = binary.BigEndian.Uint16(data[4:6])
+	ip.NextHeader = data[6]
+	ip.HopLimit = data[7]
+	copy(ip.Src[:], data[8:24])
+	copy(ip.Dst[:], data[24:40])
+	end := 40 + int(ip.Length)
+	if end > len(data) {
+		end = len(data)
+	}
+	ip.Payload = data[40:end]
+	return ip, nil
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+	TCPUrg = 1 << 5
+)
+
+// TCP is a decoded TCP header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOff          uint8 // header length in 32-bit words
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Payload          []byte
+}
+
+// DecodeTCP parses a TCP header.
+func DecodeTCP(data []byte) (TCP, error) {
+	var t TCP
+	if len(data) < 20 {
+		return t, ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOff = data[12] >> 4
+	hl := int(t.DataOff) * 4
+	if hl < 20 || len(data) < hl {
+		return t, ErrTruncated
+	}
+	t.Flags = data[13] & 0x3F
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.Payload = data[hl:]
+	return t, nil
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+	Payload          []byte
+}
+
+// DecodeUDP parses a UDP header.
+func DecodeUDP(data []byte) (UDP, error) {
+	var u UDP
+	if len(data) < 8 {
+		return u, ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	end := int(u.Length)
+	if end < 8 || end > len(data) {
+		end = len(data)
+	}
+	u.Payload = data[8:end]
+	return u, nil
+}
+
+// --- Encoding ----------------------------------------------------------------
+
+// EncodeEthernet prepends an Ethernet header to payload.
+func EncodeEthernet(src, dst [6]byte, etherType uint16, payload []byte) []byte {
+	out := make([]byte, 14+len(payload))
+	copy(out[0:6], dst[:])
+	copy(out[6:12], src[:])
+	binary.BigEndian.PutUint16(out[12:14], etherType)
+	copy(out[14:], payload)
+	return out
+}
+
+// EncodeIPv4 builds an IPv4 header (no options) around payload, computing
+// length and checksum.
+func EncodeIPv4(src, dst [4]byte, proto uint8, ttl uint8, id uint16, payload []byte) []byte {
+	out := make([]byte, 20+len(payload))
+	out[0] = 0x45
+	binary.BigEndian.PutUint16(out[2:4], uint16(20+len(payload)))
+	binary.BigEndian.PutUint16(out[4:6], id)
+	out[6] = 0x40 // don't fragment
+	out[8] = ttl
+	out[9] = proto
+	copy(out[12:16], src[:])
+	copy(out[16:20], dst[:])
+	binary.BigEndian.PutUint16(out[10:12], ipChecksum(out[:20]))
+	copy(out[20:], payload)
+	return out
+}
+
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xFFFF {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// EncodeTCP builds a TCP header (no options) around payload. The checksum
+// includes the IPv4 pseudo-header.
+func EncodeTCP(src, dst [4]byte, srcPort, dstPort uint16, seq, ack uint32, flags uint8, window uint16, payload []byte) []byte {
+	out := make([]byte, 20+len(payload))
+	binary.BigEndian.PutUint16(out[0:2], srcPort)
+	binary.BigEndian.PutUint16(out[2:4], dstPort)
+	binary.BigEndian.PutUint32(out[4:8], seq)
+	binary.BigEndian.PutUint32(out[8:12], ack)
+	out[12] = 5 << 4
+	out[13] = flags
+	binary.BigEndian.PutUint16(out[14:16], window)
+	copy(out[20:], payload)
+	binary.BigEndian.PutUint16(out[16:18], l4Checksum(src, dst, IPProtoTCP, out))
+	return out
+}
+
+// EncodeUDP builds a UDP header around payload, with pseudo-header checksum.
+func EncodeUDP(src, dst [4]byte, srcPort, dstPort uint16, payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint16(out[0:2], srcPort)
+	binary.BigEndian.PutUint16(out[2:4], dstPort)
+	binary.BigEndian.PutUint16(out[4:6], uint16(8+len(payload)))
+	copy(out[8:], payload)
+	binary.BigEndian.PutUint16(out[6:8], l4Checksum(src, dst, IPProtoUDP, out))
+	return out
+}
+
+func l4Checksum(src, dst [4]byte, proto uint8, segment []byte) uint16 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2])) + uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2])) + uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(len(segment))
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i : i+2]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = sum&0xFFFF + sum>>16
+	}
+	c := ^uint16(sum)
+	if c == 0 && proto == IPProtoUDP {
+		c = 0xFFFF
+	}
+	return c
+}
+
+// VerifyIPChecksum validates an IPv4 header checksum.
+func VerifyIPChecksum(hdr []byte) bool {
+	if len(hdr) < 20 {
+		return false
+	}
+	var sum uint32
+	for i := 0; i+1 < int(hdr[0]&0x0F)*4 && i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xFFFF {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return uint16(sum) == 0xFFFF
+}

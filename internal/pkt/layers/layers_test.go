@@ -1,0 +1,177 @@
+package layers
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcIP  = [4]byte{10, 0, 0, 1}
+	dstIP  = [4]byte{192, 168, 1, 1}
+	srcMAC = [6]byte{0x02, 0, 0, 0, 0, 1}
+	dstMAC = [6]byte{0x02, 0, 0, 0, 0, 2}
+)
+
+func TestEthernetRoundtrip(t *testing.T) {
+	payload := []byte("payload")
+	frame := EncodeEthernet(srcMAC, dstMAC, EtherTypeIPv4, payload)
+	e, err := DecodeEthernet(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Src != srcMAC || e.Dst != dstMAC || e.EtherType != EtherTypeIPv4 {
+		t.Fatalf("header mismatch: %+v", e)
+	}
+	if !bytes.Equal(e.Payload, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if _, err := DecodeEthernet(frame[:10]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestIPv4Roundtrip(t *testing.T) {
+	payload := []byte("datagram body")
+	pkt := EncodeIPv4(srcIP, dstIP, IPProtoTCP, 64, 0x1234, payload)
+	ip, err := DecodeIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Src != srcIP || ip.Dst != dstIP || ip.Protocol != IPProtoTCP ||
+		ip.TTL != 64 || ip.ID != 0x1234 || ip.IHL != 5 {
+		t.Fatalf("header mismatch: %+v", ip)
+	}
+	if !bytes.Equal(ip.Payload, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if !VerifyIPChecksum(pkt) {
+		t.Fatal("checksum invalid")
+	}
+	pkt[8] ^= 0xFF // corrupt TTL
+	if VerifyIPChecksum(pkt) {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestIPv4LengthClamps(t *testing.T) {
+	pkt := EncodeIPv4(srcIP, dstIP, IPProtoUDP, 64, 1, []byte("abcdef"))
+	// Claimed total length beyond capture is clamped.
+	pkt[2], pkt[3] = 0xFF, 0xFF
+	ip, err := DecodeIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ip.Payload) != 6 {
+		t.Fatalf("payload len %d", len(ip.Payload))
+	}
+}
+
+func TestNotIPv4(t *testing.T) {
+	data := make([]byte, 20)
+	data[0] = 0x65
+	if _, err := DecodeIPv4(data); err == nil {
+		t.Fatal("v6 accepted as v4")
+	}
+}
+
+func TestTCPRoundtrip(t *testing.T) {
+	payload := []byte("GET / HTTP/1.1\r\n")
+	seg := EncodeTCP(srcIP, dstIP, 49152, 80, 1000, 2000, TCPPsh|TCPAck, 65535, payload)
+	tc, err := DecodeTCP(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.SrcPort != 49152 || tc.DstPort != 80 || tc.Seq != 1000 || tc.Ack != 2000 {
+		t.Fatalf("header mismatch: %+v", tc)
+	}
+	if tc.Flags != TCPPsh|TCPAck {
+		t.Fatalf("flags %x", tc.Flags)
+	}
+	if !bytes.Equal(tc.Payload, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestUDPRoundtrip(t *testing.T) {
+	payload := []byte{0xAB, 0xCD, 1, 0, 0, 1}
+	seg := EncodeUDP(srcIP, dstIP, 53000, 53, payload)
+	u, err := DecodeUDP(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.SrcPort != 53000 || u.DstPort != 53 || int(u.Length) != 8+len(payload) {
+		t.Fatalf("header mismatch: %+v", u)
+	}
+	if !bytes.Equal(u.Payload, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestIPv6Decode(t *testing.T) {
+	hdr := make([]byte, 40+4)
+	hdr[0] = 0x60
+	hdr[4], hdr[5] = 0, 4 // payload length
+	hdr[6] = IPProtoUDP
+	hdr[7] = 64
+	hdr[8] = 0x20
+	hdr[9] = 0x01
+	copy(hdr[40:], "abcd")
+	ip, err := DecodeIPv6(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.NextHeader != IPProtoUDP || ip.HopLimit != 64 || string(ip.Payload) != "abcd" {
+		t.Fatalf("header mismatch: %+v", ip)
+	}
+}
+
+func TestFullStackDecode(t *testing.T) {
+	payload := []byte("hello")
+	tcp := EncodeTCP(srcIP, dstIP, 1234, 80, 1, 1, TCPAck, 1024, payload)
+	ip := EncodeIPv4(srcIP, dstIP, IPProtoTCP, 64, 7, tcp)
+	frame := EncodeEthernet(srcMAC, dstMAC, EtherTypeIPv4, ip)
+
+	e, err := DecodeEthernet(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip4, err := DecodeIPv4(e.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := DecodeTCP(ip4.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tc.Payload) != "hello" {
+		t.Fatalf("payload %q", tc.Payload)
+	}
+}
+
+// Property: encode/decode roundtrips TCP headers for arbitrary field values.
+func TestQuickTCPRoundtrip(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, window uint16, payload []byte) bool {
+		seg := EncodeTCP(srcIP, dstIP, sp, dp, seq, ack, TCPAck, window, payload)
+		tc, err := DecodeTCP(seg)
+		return err == nil && tc.SrcPort == sp && tc.DstPort == dp &&
+			tc.Seq == seq && tc.Ack == ack && tc.Window == window &&
+			bytes.Equal(tc.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecodeStack(b *testing.B) {
+	tcp := EncodeTCP(srcIP, dstIP, 1234, 80, 1, 1, TCPAck, 1024, make([]byte, 512))
+	ip := EncodeIPv4(srcIP, dstIP, IPProtoTCP, 64, 7, tcp)
+	frame := EncodeEthernet(srcMAC, dstMAC, EtherTypeIPv4, ip)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := DecodeEthernet(frame)
+		ip4, _ := DecodeIPv4(e.Payload)
+		DecodeTCP(ip4.Payload)
+	}
+}

@@ -1,0 +1,187 @@
+// Package pcap reads and writes libpcap capture files — the trace format
+// of the paper's evaluation (§6.1: traces captured with tcpdump). Both
+// byte orders and both timestamp resolutions (microsecond 0xa1b2c3d4 and
+// nanosecond 0xa1b23c4d magics) are supported.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// LinkType constants (subset).
+const (
+	LinkTypeNull     = 0
+	LinkTypeEthernet = 1
+	LinkTypeRaw      = 101
+)
+
+const (
+	magicMicro        = 0xa1b2c3d4
+	magicNano         = 0xa1b23c4d
+	magicMicroSwapped = 0xd4c3b2a1
+	magicNanoSwapped  = 0x4d3cb2a1
+)
+
+// ErrBadMagic reports an unrecognized file magic.
+var ErrBadMagic = errors.New("pcap: bad magic number")
+
+// Packet is one captured packet.
+type Packet struct {
+	Time    time.Time
+	CapLen  uint32 // bytes present in Data
+	OrigLen uint32 // bytes on the wire
+	Data    []byte
+}
+
+// Reader decodes a pcap stream.
+type Reader struct {
+	r        *bufio.Reader
+	order    binary.ByteOrder
+	nano     bool
+	LinkType uint32
+	Snaplen  uint32
+	hdr      [16]byte
+}
+
+// NewReader parses the file header and returns a packet reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var gh [24]byte
+	if _, err := io.ReadFull(br, gh[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	rd := &Reader{r: br}
+	magic := binary.LittleEndian.Uint32(gh[0:4])
+	switch magic {
+	case magicMicro:
+		rd.order = binary.LittleEndian
+	case magicNano:
+		rd.order, rd.nano = binary.LittleEndian, true
+	case magicMicroSwapped:
+		rd.order = binary.BigEndian
+	case magicNanoSwapped:
+		rd.order, rd.nano = binary.BigEndian, true
+	default:
+		return nil, ErrBadMagic
+	}
+	rd.Snaplen = rd.order.Uint32(gh[16:20])
+	rd.LinkType = rd.order.Uint32(gh[20:24])
+	return rd, nil
+}
+
+// Next returns the next packet, or io.EOF at end of file. The returned
+// Data is freshly allocated per packet.
+func (rd *Reader) Next() (Packet, error) {
+	var p Packet
+	if _, err := io.ReadFull(rd.r, rd.hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return p, io.EOF
+		}
+		return p, err
+	}
+	sec := rd.order.Uint32(rd.hdr[0:4])
+	frac := rd.order.Uint32(rd.hdr[4:8])
+	p.CapLen = rd.order.Uint32(rd.hdr[8:12])
+	p.OrigLen = rd.order.Uint32(rd.hdr[12:16])
+	if p.CapLen > 256*1024 {
+		return p, fmt.Errorf("pcap: implausible caplen %d", p.CapLen)
+	}
+	nsec := int64(frac)
+	if !rd.nano {
+		nsec *= 1000
+	}
+	p.Time = time.Unix(int64(sec), nsec).UTC()
+	p.Data = make([]byte, p.CapLen)
+	if _, err := io.ReadFull(rd.r, p.Data); err != nil {
+		return p, fmt.Errorf("pcap: truncated packet record: %w", err)
+	}
+	return p, nil
+}
+
+// Writer encodes a pcap stream (little-endian, microsecond resolution,
+// matching tcpdump defaults).
+type Writer struct {
+	w       *bufio.Writer
+	snaplen uint32
+}
+
+// NewWriter writes the global header for the given link type.
+func NewWriter(w io.Writer, linkType uint32) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var gh [24]byte
+	binary.LittleEndian.PutUint32(gh[0:4], magicMicro)
+	binary.LittleEndian.PutUint16(gh[4:6], 2) // version 2.4
+	binary.LittleEndian.PutUint16(gh[6:8], 4)
+	binary.LittleEndian.PutUint32(gh[16:20], 262144)
+	binary.LittleEndian.PutUint32(gh[20:24], linkType)
+	if _, err := bw.Write(gh[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, snaplen: 262144}, nil
+}
+
+// Write appends one packet record.
+func (wr *Writer) Write(t time.Time, data []byte) error {
+	var ph [16]byte
+	binary.LittleEndian.PutUint32(ph[0:4], uint32(t.Unix()))
+	binary.LittleEndian.PutUint32(ph[4:8], uint32(t.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(ph[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(ph[12:16], uint32(len(data)))
+	if _, err := wr.w.Write(ph[:]); err != nil {
+		return err
+	}
+	_, err := wr.w.Write(data)
+	return err
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (wr *Writer) Flush() error { return wr.w.Flush() }
+
+// ReadFile loads all packets of a pcap file.
+func ReadFile(path string) ([]Packet, uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	rd, err := NewReader(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	var pkts []Packet
+	for {
+		p, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return pkts, rd.LinkType, nil
+		}
+		if err != nil {
+			return pkts, rd.LinkType, err
+		}
+		pkts = append(pkts, p)
+	}
+}
+
+// WriteFile writes packets into a new pcap file.
+func WriteFile(path string, linkType uint32, pkts []Packet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	wr, err := NewWriter(f, linkType)
+	if err != nil {
+		return err
+	}
+	for _, p := range pkts {
+		if err := wr.Write(p.Time, p.Data); err != nil {
+			return err
+		}
+	}
+	return wr.Flush()
+}

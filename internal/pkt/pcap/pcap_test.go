@@ -1,0 +1,125 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1400000000, 123456000).UTC()
+	pkts := [][]byte{[]byte("first"), []byte("second packet"), {}}
+	for i, p := range pkts {
+		if err := w.Write(t0.Add(time.Duration(i)*time.Millisecond), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeEthernet {
+		t.Fatalf("linktype %d", r.LinkType)
+	}
+	for i, want := range pkts {
+		p, err := r.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(p.Data, want) {
+			t.Fatalf("packet %d data %q", i, p.Data)
+		}
+		wantT := t0.Add(time.Duration(i) * time.Millisecond)
+		if !p.Time.Equal(wantT) {
+			t.Fatalf("packet %d time %v want %v", i, p.Time, wantT)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBigEndianAndNano(t *testing.T) {
+	// Hand-build a big-endian nanosecond file with one packet.
+	var buf bytes.Buffer
+	gh := make([]byte, 24)
+	binary.BigEndian.PutUint32(gh[0:4], 0xa1b23c4d)
+	binary.BigEndian.PutUint16(gh[4:6], 2)
+	binary.BigEndian.PutUint16(gh[6:8], 4)
+	binary.BigEndian.PutUint32(gh[16:20], 65535)
+	binary.BigEndian.PutUint32(gh[20:24], LinkTypeEthernet)
+	buf.Write(gh)
+	ph := make([]byte, 16)
+	binary.BigEndian.PutUint32(ph[0:4], 1000)
+	binary.BigEndian.PutUint32(ph[4:8], 999999999) // nanoseconds
+	binary.BigEndian.PutUint32(ph[8:12], 3)
+	binary.BigEndian.PutUint32(ph[12:16], 3)
+	buf.Write(ph)
+	buf.Write([]byte("abc"))
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time.Nanosecond() != 999999999 {
+		t.Fatalf("nanos %d", p.Time.Nanosecond())
+	}
+	if string(p.Data) != "abc" {
+		t.Fatalf("data %q", p.Data)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeEthernet)
+	w.Write(time.Now(), []byte("abcdef"))
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.pcap")
+	in := []Packet{
+		{Time: time.Unix(1, 0).UTC(), Data: []byte("one")},
+		{Time: time.Unix(2, 0).UTC(), Data: []byte("two")},
+	}
+	if err := WriteFile(path, LinkTypeRaw, in); err != nil {
+		t.Fatal(err)
+	}
+	out, lt, err := ReadFile(path)
+	if err != nil || lt != LinkTypeRaw {
+		t.Fatalf("lt=%d err=%v", lt, err)
+	}
+	if len(out) != 2 || string(out[0].Data) != "one" || string(out[1].Data) != "two" {
+		t.Fatalf("got %v", out)
+	}
+}

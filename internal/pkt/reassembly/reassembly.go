@@ -1,0 +1,172 @@
+// Package reassembly implements TCP stream reassembly: reordering
+// out-of-sequence segments, trimming retransmitted overlap, and reporting
+// unrecoverable gaps. It is the substrate that feeds application-layer
+// parsers contiguous payload — the piece of "standard functionality" the
+// paper's §2 notes every deep-inspection system reimplements.
+package reassembly
+
+import "sort"
+
+// maxBuffered bounds out-of-order buffering per direction; beyond it the
+// oldest missing range is declared a gap so processing keeps bounded
+// memory under adversarial reordering (cf. Dharmapurikar & Paxson [15]).
+const maxBuffered = 4 << 20
+
+// Stream reassembles one direction of a TCP connection.
+//
+// Deliver is invoked with in-order payload as it becomes contiguous; Gap is
+// invoked with the number of bytes skipped when a hole is abandoned. Both
+// callbacks may be nil.
+type Stream struct {
+	Deliver func(data []byte)
+	Gap     func(skipped int)
+
+	initialized bool
+	isn         uint32 // initial sequence number (seq of SYN)
+	next        uint64 // next expected relative offset (unwrapped)
+	finRel      uint64 // relative offset of FIN, when seen
+	finSeen     bool
+	closed      bool
+
+	pending  []segment // out-of-order, sorted by rel
+	buffered int
+}
+
+type segment struct {
+	rel  uint64
+	data []byte
+}
+
+// Init primes the stream from a SYN's sequence number: payload starts at
+// ISN+1.
+func (s *Stream) Init(isn uint32) {
+	s.initialized = true
+	s.isn = isn + 1
+	s.next = 0
+}
+
+// Initialized reports whether the stream has seen its SYN (or been primed
+// by a mid-stream first segment).
+func (s *Stream) Initialized() bool { return s.initialized }
+
+// Closed reports whether the FIN point has been delivered.
+func (s *Stream) Closed() bool { return s.closed }
+
+// rel unwraps a sequence number into a relative stream offset. Offsets
+// within ±2GB of the current position resolve to the nearest unwrapping.
+func (s *Stream) rel(seq uint32) uint64 {
+	base := s.next &^ 0xFFFFFFFF
+	r := base | uint64(seq-s.isn)
+	// Choose the unwrapping closest to s.next.
+	if r+1<<31 < s.next {
+		r += 1 << 32
+	} else if r > s.next+1<<31 && r >= 1<<32 {
+		r -= 1 << 32
+	}
+	return r
+}
+
+// Segment processes one TCP segment. Mid-stream pickup (no SYN seen) is
+// supported: the first segment's seq becomes the stream origin.
+func (s *Stream) Segment(seq uint32, data []byte, fin bool) {
+	if s.closed {
+		return
+	}
+	if !s.initialized {
+		s.initialized = true
+		s.isn = seq
+		s.next = 0
+	}
+	rel := s.rel(seq)
+	if fin {
+		finRel := rel + uint64(len(data))
+		if !s.finSeen || finRel < s.finRel {
+			s.finSeen = true
+			s.finRel = finRel
+		}
+	}
+	if len(data) > 0 {
+		s.insert(rel, data)
+	}
+	s.flush()
+}
+
+// insert adds a segment, trimming already-delivered overlap.
+func (s *Stream) insert(rel uint64, data []byte) {
+	if rel+uint64(len(data)) <= s.next {
+		return // complete retransmission
+	}
+	if rel < s.next {
+		data = data[s.next-rel:]
+		rel = s.next
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	i := sort.Search(len(s.pending), func(i int) bool { return s.pending[i].rel >= rel })
+	s.pending = append(s.pending, segment{})
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = segment{rel: rel, data: cp}
+	s.buffered += len(cp)
+	if s.buffered > maxBuffered {
+		s.abandonHole()
+	}
+}
+
+// flush delivers contiguous pending data starting at next.
+func (s *Stream) flush() {
+	for len(s.pending) > 0 {
+		seg := s.pending[0]
+		if seg.rel > s.next {
+			break
+		}
+		d := seg.data
+		if seg.rel < s.next { // partial overlap with delivered data
+			skip := s.next - seg.rel
+			if skip >= uint64(len(d)) {
+				d = nil
+			} else {
+				d = d[skip:]
+			}
+		}
+		s.pending = s.pending[1:]
+		s.buffered -= len(seg.data)
+		if len(d) > 0 {
+			s.next += uint64(len(d))
+			if s.Deliver != nil {
+				s.Deliver(d)
+			}
+		}
+	}
+	if s.finSeen && s.next >= s.finRel && len(s.pending) == 0 {
+		s.closed = true
+	}
+}
+
+// abandonHole skips the gap in front of the oldest buffered segment.
+func (s *Stream) abandonHole() {
+	if len(s.pending) == 0 {
+		return
+	}
+	skip := s.pending[0].rel - s.next
+	if skip > 0 {
+		s.next = s.pending[0].rel
+		if s.Gap != nil {
+			s.Gap(int(skip))
+		}
+	}
+	s.flush()
+}
+
+// Flush abandons any outstanding holes and delivers whatever is buffered;
+// used at connection teardown / end of trace.
+func (s *Stream) Flush() {
+	for len(s.pending) > 0 {
+		s.abandonHole()
+	}
+	if s.finSeen && s.next >= s.finRel {
+		s.closed = true
+	}
+}
+
+// PendingBytes returns the number of buffered out-of-order bytes.
+func (s *Stream) PendingBytes() int { return s.buffered }

@@ -1,0 +1,165 @@
+package reassembly
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func collector() (*Stream, *bytes.Buffer, *int) {
+	var buf bytes.Buffer
+	gaps := 0
+	s := &Stream{
+		Deliver: func(d []byte) { buf.Write(d) },
+		Gap:     func(n int) { gaps += n },
+	}
+	return s, &buf, &gaps
+}
+
+func TestInOrder(t *testing.T) {
+	s, buf, _ := collector()
+	s.Init(999)
+	s.Segment(1000, []byte("hello "), false)
+	s.Segment(1006, []byte("world"), true)
+	if buf.String() != "hello world" {
+		t.Fatalf("got %q", buf.String())
+	}
+	if !s.Closed() {
+		t.Fatal("should be closed after FIN")
+	}
+}
+
+func TestOutOfOrder(t *testing.T) {
+	s, buf, _ := collector()
+	s.Init(0)
+	s.Segment(7, []byte("world"), false)
+	if buf.Len() != 0 {
+		t.Fatal("delivered out of order")
+	}
+	s.Segment(1, []byte("hello "), false)
+	if buf.String() != "hello world" {
+		t.Fatalf("got %q", buf.String())
+	}
+	if s.PendingBytes() != 0 {
+		t.Fatal("pending after flush")
+	}
+}
+
+func TestRetransmissionIgnored(t *testing.T) {
+	s, buf, _ := collector()
+	s.Init(0)
+	s.Segment(1, []byte("abc"), false)
+	s.Segment(1, []byte("abc"), false)
+	s.Segment(4, []byte("def"), false)
+	if buf.String() != "abcdef" {
+		t.Fatalf("got %q", buf.String())
+	}
+}
+
+func TestPartialOverlapTrimmed(t *testing.T) {
+	s, buf, _ := collector()
+	s.Init(0)
+	s.Segment(1, []byte("abcd"), false)
+	// Retransmit covering old+new data: only the new tail is delivered.
+	s.Segment(3, []byte("cdEF"), false)
+	if buf.String() != "abcdEF" {
+		t.Fatalf("got %q", buf.String())
+	}
+}
+
+func TestMidStreamPickup(t *testing.T) {
+	s, buf, _ := collector()
+	// No Init: first segment establishes origin.
+	s.Segment(500000, []byte("data"), false)
+	if buf.String() != "data" {
+		t.Fatalf("got %q", buf.String())
+	}
+}
+
+func TestFlushAbandonsHoles(t *testing.T) {
+	s, buf, gaps := collector()
+	s.Init(0)
+	s.Segment(1, []byte("abc"), false)
+	s.Segment(10, []byte("xyz"), false) // hole of 6 bytes
+	s.Flush()
+	if buf.String() != "abcxyz" {
+		t.Fatalf("got %q", buf.String())
+	}
+	if *gaps != 6 {
+		t.Fatalf("gaps = %d", *gaps)
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	s, buf, _ := collector()
+	isn := uint32(0xFFFFFFF0)
+	s.Init(isn)
+	seq := isn + 1
+	s.Segment(seq, []byte("0123456789"), false)    // crosses the wrap
+	s.Segment(seq+10, []byte("abcdefghij"), false) // fully past the wrap
+	if buf.String() != "0123456789abcdefghij" {
+		t.Fatalf("got %q", buf.String())
+	}
+}
+
+func TestFinWithOutstandingData(t *testing.T) {
+	s, buf, _ := collector()
+	s.Init(0)
+	s.Segment(5, []byte("tail"), true) // FIN arrives before the head
+	if s.Closed() {
+		t.Fatal("closed with missing data")
+	}
+	s.Segment(1, []byte("head"), false)
+	if buf.String() != "headtail" || !s.Closed() {
+		t.Fatalf("got %q closed=%v", buf.String(), s.Closed())
+	}
+}
+
+// Property: any permutation of segment delivery yields the original stream.
+func TestQuickPermutationInvariance(t *testing.T) {
+	f := func(data []byte, seed int64) bool {
+		if len(data) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Split into random segments.
+		type seg struct {
+			off int
+			d   []byte
+		}
+		var segs []seg
+		for off := 0; off < len(data); {
+			n := 1 + rng.Intn(5)
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			segs = append(segs, seg{off, data[off : off+n]})
+			off += n
+		}
+		rng.Shuffle(len(segs), func(i, j int) { segs[i], segs[j] = segs[j], segs[i] })
+		var buf bytes.Buffer
+		s := &Stream{Deliver: func(d []byte) { buf.Write(d) }}
+		s.Init(41)
+		for _, sg := range segs {
+			s.Segment(uint32(42+sg.off), sg.d, false)
+		}
+		return bytes.Equal(buf.Bytes(), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInOrderDelivery(b *testing.B) {
+	payload := make([]byte, 1460)
+	s := &Stream{Deliver: func([]byte) {}}
+	s.Init(0)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	seq := uint32(1)
+	for i := 0; i < b.N; i++ {
+		s.Segment(seq, payload, false)
+		seq += uint32(len(payload))
+	}
+}

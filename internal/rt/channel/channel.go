@@ -1,0 +1,130 @@
+// Package channel implements HILTI's channel type: thread-safe queues for
+// transferring objects between threads (paper §3.2). Following HILTI's
+// strict data-isolation model, every send deep-copies mutable data, so the
+// sender never observes modifications the receiver makes — the property
+// that lets HILTI guarantee race-free concurrent execution without locks in
+// user code.
+package channel
+
+import (
+	"errors"
+	"sync"
+
+	"hilti/internal/rt/values"
+)
+
+// ErrClosed is returned when operating on a closed channel.
+var ErrClosed = errors.New("channel: closed")
+
+// ErrWouldBlock is returned by the non-blocking variants when the
+// operation cannot proceed immediately.
+var ErrWouldBlock = errors.New("channel: would block")
+
+// Channel is a FIFO of values. Capacity 0 means unbounded (HILTI's
+// default); otherwise writers block when the channel is full.
+type Channel struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      []values.Value
+	cap      int
+	closed   bool
+}
+
+// New creates a channel; capacity 0 means unbounded.
+func New(capacity int) *Channel {
+	c := &Channel{cap: capacity}
+	c.notEmpty = sync.NewCond(&c.mu)
+	c.notFull = sync.NewCond(&c.mu)
+	return c
+}
+
+// TypeName implements the runtime Object interface.
+func (c *Channel) TypeName() string { return "channel" }
+
+// Len returns the number of queued values.
+func (c *Channel) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}
+
+// Write enqueues a deep copy of v, blocking while a bounded channel is full
+// (HILTI's channel.write).
+func (c *Channel) Write(v values.Value) error {
+	cp := values.DeepCopy(v)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.cap > 0 && len(c.buf) >= c.cap && !c.closed {
+		c.notFull.Wait()
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	c.buf = append(c.buf, cp)
+	c.notEmpty.Signal()
+	return nil
+}
+
+// TryWrite enqueues without blocking (HILTI's channel.try_write).
+func (c *Channel) TryWrite(v values.Value) error {
+	cp := values.DeepCopy(v)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.cap > 0 && len(c.buf) >= c.cap {
+		return ErrWouldBlock
+	}
+	c.buf = append(c.buf, cp)
+	c.notEmpty.Signal()
+	return nil
+}
+
+// Read dequeues the oldest value, blocking while the channel is empty
+// (HILTI's channel.read).
+func (c *Channel) Read() (values.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.buf) == 0 && !c.closed {
+		c.notEmpty.Wait()
+	}
+	if len(c.buf) == 0 {
+		return values.Nil, ErrClosed
+	}
+	return c.pop(), nil
+}
+
+// TryRead dequeues without blocking (HILTI's channel.try_read).
+func (c *Channel) TryRead() (values.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.buf) == 0 {
+		if c.closed {
+			return values.Nil, ErrClosed
+		}
+		return values.Nil, ErrWouldBlock
+	}
+	return c.pop(), nil
+}
+
+func (c *Channel) pop() values.Value {
+	v := c.buf[0]
+	c.buf[0] = values.Nil
+	c.buf = c.buf[1:]
+	if len(c.buf) == 0 {
+		c.buf = nil
+	}
+	c.notFull.Signal()
+	return v
+}
+
+// Close marks the channel closed: writes fail, reads drain then fail.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.notEmpty.Broadcast()
+	c.notFull.Broadcast()
+}

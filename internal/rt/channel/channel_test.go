@@ -1,0 +1,140 @@
+package channel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hilti/internal/rt/values"
+)
+
+func TestFIFO(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 5; i++ {
+		c.Write(values.Int(int64(i)))
+	}
+	for i := 0; i < 5; i++ {
+		v, err := c.Read()
+		if err != nil || v.AsInt() != int64(i) {
+			t.Fatalf("read %d: %v %v", i, v, err)
+		}
+	}
+}
+
+func TestTryReadEmpty(t *testing.T) {
+	c := New(0)
+	if _, err := c.TryRead(); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBoundedTryWrite(t *testing.T) {
+	c := New(2)
+	c.TryWrite(values.Int(1))
+	c.TryWrite(values.Int(2))
+	if err := c.TryWrite(values.Int(3)); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("got %v", err)
+	}
+	c.Read()
+	if err := c.TryWrite(values.Int(3)); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+func TestDeepCopyOnSend(t *testing.T) {
+	c := New(0)
+	b := values.BytesFrom([]byte("abc"))
+	c.Write(b)
+	// Mutate the sender's copy after the send.
+	b.AsBytes().Unfreeze()
+	b.AsBytes().Append([]byte("XYZ"))
+	got, _ := c.Read()
+	if got.AsBytes().String() != "abc" {
+		t.Fatalf("receiver saw sender mutation: %q", got.AsBytes().String())
+	}
+}
+
+func TestBlockingHandoff(t *testing.T) {
+	c := New(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err := c.Read() // blocks until writer arrives
+		if err != nil || v.AsInt() != 7 {
+			t.Errorf("got %v %v", v, err)
+		}
+	}()
+	c.Write(values.Int(7))
+	wg.Wait()
+}
+
+func TestClose(t *testing.T) {
+	c := New(0)
+	c.Write(values.Int(1))
+	c.Close()
+	if err := c.Write(values.Int(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+	// Reads drain the buffer, then fail.
+	if v, err := c.Read(); err != nil || v.AsInt() != 1 {
+		t.Fatalf("drain: %v %v", v, err)
+	}
+	if _, err := c.Read(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after drain: %v", err)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	c := New(16)
+	const producers, perProducer = 4, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				c.Write(values.Int(1))
+			}
+		}()
+	}
+	done := make(chan int64)
+	go func() {
+		var sum int64
+		for i := 0; i < producers*perProducer; i++ {
+			v, err := c.Read()
+			if err != nil {
+				t.Error(err)
+				break
+			}
+			sum += v.AsInt()
+		}
+		done <- sum
+	}()
+	wg.Wait()
+	if sum := <-done; sum != producers*perProducer {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+// BenchmarkChannelDeepCopy is the DESIGN.md ablation quantifying HILTI's
+// deep-copy message-passing cost.
+func BenchmarkChannelDeepCopy(b *testing.B) {
+	c := New(0)
+	v := values.TupleVal(values.BytesFrom(make([]byte, 128)), values.Int(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Write(v)
+		c.Read()
+	}
+}
+
+func BenchmarkChannelScalar(b *testing.B) {
+	c := New(0)
+	v := values.Int(42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Write(v)
+		c.Read()
+	}
+}

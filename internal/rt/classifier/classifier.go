@@ -1,0 +1,265 @@
+// Package classifier implements HILTI's classifier type: ACL-style packet
+// classification (paper §3.2). A classifier holds a list of rules — tuples
+// of per-field matchers such as CIDR prefixes, exact ports, or wildcards —
+// each associated with a value; matching a key tuple returns the value of
+// the first rule (in insertion order) whose fields all match, exactly the
+// semantics the paper's stateful-firewall exemplar relies on.
+//
+// The paper notes its prototype "currently implement[s] the classifier type
+// as a linked list internally" and that switching to a better structure
+// would be transparent to host applications. We provide both: the default
+// linear matcher, and a compiled variant indexing the first address field
+// with a binary prefix trie. The ablation benchmark compares the two.
+package classifier
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"hilti/internal/rt/values"
+)
+
+// ErrNoMatch is returned by Get when no rule matches; HILTI raises
+// Hilti::IndexError for this case, and the VM maps this error onto it.
+var ErrNoMatch = errors.New("classifier: no matching rule")
+
+// ErrNotCompiled is returned by Get before Compile has been called.
+var ErrNotCompiled = errors.New("classifier: not compiled")
+
+// ErrCompiled is returned by Add after Compile has been called.
+var ErrCompiled = errors.New("classifier: already compiled")
+
+// Field matches one component of a key tuple.
+type Field interface {
+	Matches(v values.Value) bool
+	String() string
+}
+
+// Wildcard matches anything (the paper's `*` rule fields).
+type Wildcard struct{}
+
+// Matches implements Field.
+func (Wildcard) Matches(values.Value) bool { return true }
+
+func (Wildcard) String() string { return "*" }
+
+// NetField matches addresses within a CIDR prefix.
+type NetField struct{ Net values.Value }
+
+// Matches implements Field.
+func (f NetField) Matches(v values.Value) bool { return f.Net.NetContains(v) }
+
+func (f NetField) String() string { return values.Format(f.Net) }
+
+// ExactField matches values equal to a constant.
+type ExactField struct{ Val values.Value }
+
+// Matches implements Field.
+func (f ExactField) Matches(v values.Value) bool { return values.Equal(f.Val, v) }
+
+func (f ExactField) String() string { return values.Format(f.Val) }
+
+// PortRangeField matches ports within [Lo, Hi] of the same protocol.
+type PortRangeField struct {
+	Lo, Hi uint16
+	Proto  uint8
+}
+
+// Matches implements Field.
+func (f PortRangeField) Matches(v values.Value) bool {
+	p, proto := v.AsPort()
+	return proto == f.Proto && p >= f.Lo && p <= f.Hi
+}
+
+func (f PortRangeField) String() string {
+	return fmt.Sprintf("%d-%d", f.Lo, f.Hi)
+}
+
+// FieldFor builds the natural matcher for a constant value: nets match by
+// prefix, everything else exactly. A void value becomes a wildcard.
+func FieldFor(v values.Value) Field {
+	switch v.K {
+	case values.KindNet:
+		return NetField{Net: v}
+	case values.KindVoid, values.KindUnset:
+		return Wildcard{}
+	default:
+		return ExactField{Val: v}
+	}
+}
+
+type rule struct {
+	fields []Field
+	val    values.Value
+	prio   int
+}
+
+// Classifier is the rule table. Rules are added, then Compile freezes the
+// table (HILTI's classifier.compile), after which Get may be used.
+type Classifier struct {
+	nfields  int
+	rules    []rule
+	compiled bool
+	trie     *trieNode // optional first-field index (compiled mode)
+}
+
+// New creates a classifier for key tuples of nfields components.
+func New(nfields int) *Classifier { return &Classifier{nfields: nfields} }
+
+// TypeName implements the runtime Object interface.
+func (c *Classifier) TypeName() string { return "classifier" }
+
+// FormatObj implements the runtime Formatter interface.
+func (c *Classifier) FormatObj() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "classifier(%d rules)", len(c.rules))
+	return sb.String()
+}
+
+// Len returns the number of rules.
+func (c *Classifier) Len() int { return len(c.rules) }
+
+// Add appends a rule with the given per-field matchers and result value.
+// Priority is insertion order: earlier rules win (paper: "applied in order
+// of specification. The first match determines the result").
+func (c *Classifier) Add(fields []Field, val values.Value) error {
+	if c.compiled {
+		return ErrCompiled
+	}
+	if len(fields) != c.nfields {
+		return fmt.Errorf("classifier: rule has %d fields, want %d", len(fields), c.nfields)
+	}
+	c.rules = append(c.rules, rule{fields: fields, val: val, prio: len(c.rules)})
+	return nil
+}
+
+// AddValues is Add with matchers derived via FieldFor.
+func (c *Classifier) AddValues(val values.Value, keys ...values.Value) error {
+	fields := make([]Field, len(keys))
+	for i, k := range keys {
+		fields[i] = FieldFor(k)
+	}
+	return c.Add(fields, val)
+}
+
+// Compile freezes the rule set. After Compile, Get becomes available and
+// Add is rejected.
+func (c *Classifier) Compile() { c.compiled = true }
+
+// CompileIndexed freezes the rule set and additionally builds a prefix-trie
+// index over the first field (when it is an address/net matcher). This is
+// the "better data structure for packet classification" the paper defers to
+// future work; semantics are identical to linear matching.
+func (c *Classifier) CompileIndexed() {
+	c.compiled = true
+	c.trie = buildTrie(c.rules)
+}
+
+// Get returns the value of the first matching rule for the key tuple.
+func (c *Classifier) Get(key ...values.Value) (values.Value, error) {
+	if !c.compiled {
+		return values.Nil, ErrNotCompiled
+	}
+	if len(key) != c.nfields {
+		return values.Nil, fmt.Errorf("classifier: key has %d fields, want %d", len(key), c.nfields)
+	}
+	if c.trie != nil {
+		return c.getIndexed(key)
+	}
+	for i := range c.rules {
+		if c.rules[i].matches(key) {
+			return c.rules[i].val, nil
+		}
+	}
+	return values.Nil, ErrNoMatch
+}
+
+// Matches reports whether any rule matches, without returning its value.
+func (c *Classifier) Matches(key ...values.Value) bool {
+	_, err := c.Get(key...)
+	return err == nil
+}
+
+func (r *rule) matches(key []values.Value) bool {
+	for i, f := range r.fields {
+		if !f.Matches(key[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Compiled (trie-indexed) matching ---------------------------------------
+
+// trieNode is a binary trie over the 128-bit address space of the first
+// field. Rules whose first field is a prefix hang off the node of that
+// prefix; wildcard/non-address first fields live at the root.
+type trieNode struct {
+	children [2]*trieNode
+	rules    []*rule // rules anchored exactly at this prefix, by priority
+}
+
+func buildTrie(rules []rule) *trieNode {
+	root := &trieNode{}
+	for i := range rules {
+		r := &rules[i]
+		nf, ok := r.fields[0].(NetField)
+		if !ok {
+			root.rules = append(root.rules, r)
+			continue
+		}
+		n := root
+		hi, lo := nf.Net.A, nf.Net.B
+		plen := nf.Net.NetPrefixLen()
+		for bit := 0; bit < plen; bit++ {
+			var b uint64
+			if bit < 64 {
+				b = (hi >> (63 - bit)) & 1
+			} else {
+				b = (lo >> (127 - bit)) & 1
+			}
+			if n.children[b] == nil {
+				n.children[b] = &trieNode{}
+			}
+			n = n.children[b]
+		}
+		n.rules = append(n.rules, r)
+	}
+	return root
+}
+
+func (c *Classifier) getIndexed(key []values.Value) (values.Value, error) {
+	addr := key[0]
+	best := (*rule)(nil)
+	consider := func(rs []*rule) {
+		for _, r := range rs {
+			if best != nil && r.prio >= best.prio {
+				continue
+			}
+			if r.matches(key) {
+				best = r
+			}
+		}
+	}
+	n := c.trie
+	consider(n.rules)
+	hi, lo := addr.A, addr.B
+	for bit := 0; bit < 128 && n != nil; bit++ {
+		var b uint64
+		if bit < 64 {
+			b = (hi >> (63 - bit)) & 1
+		} else {
+			b = (lo >> (127 - bit)) & 1
+		}
+		n = n.children[b]
+		if n == nil {
+			break
+		}
+		consider(n.rules)
+	}
+	if best == nil {
+		return values.Nil, ErrNoMatch
+	}
+	return best.val, nil
+}

@@ -1,0 +1,318 @@
+// Package container implements HILTI's high-level container types — lists,
+// vectors, sets, and maps — including the built-in state management that
+// automatically expires elements according to a configured policy (paper
+// §2 "State Management", §3.2 "Rich Data Types").
+//
+// Sets and maps support create- and access-based expiration: attaching a
+// timeout schedules a timer per element through a timer manager, and each
+// touch (policy-dependent) pushes the deadline out. This is the mechanism
+// behind the paper's stateful-firewall example, which keeps dynamic allow
+// rules in a set with a five-minute inactivity timeout.
+//
+// Iteration order of sets and maps is insertion order, which makes program
+// output deterministic for testing while matching HILTI's "unspecified but
+// stable" contract.
+package container
+
+import (
+	"fmt"
+	"strings"
+
+	"hilti/internal/rt/timer"
+	"hilti/internal/rt/values"
+)
+
+// ExpireStrategy selects which touches refresh an element's deadline.
+type ExpireStrategy int
+
+// Expiration strategies, mirroring HILTI's ExpireStrategy enum.
+const (
+	ExpireNone   ExpireStrategy = iota
+	ExpireCreate                // fixed lifetime from insertion
+	ExpireAccess                // lifetime refreshed by reads and writes
+)
+
+// ExpireStrategyEnum is the HILTI-level enum type for expiration strategies.
+var ExpireStrategyEnum = values.NewEnumType("ExpireStrategy", "None", "Create", "Access")
+
+// expiry is the shared expiration bookkeeping of sets and maps.
+type expiry struct {
+	strategy ExpireStrategy
+	timeout  timer.Interval
+	mgr      *timer.Mgr
+}
+
+func (e *expiry) active() bool {
+	return e.strategy != ExpireNone && e.timeout > 0 && e.mgr != nil
+}
+
+// entry is one element of a map or set.
+type entry struct {
+	key     values.Value
+	val     values.Value
+	lastUse timer.Time
+	tm      *timer.Timer
+	deleted bool
+}
+
+// Map is HILTI's map<K,V>: a hash map with optional element expiration and
+// an optional default value for misses.
+type Map struct {
+	idx    map[string]*entry
+	order  []*entry // insertion order, with tombstones compacted lazily
+	dead   int
+	def    values.Value
+	hasDef bool
+	expiry
+}
+
+// NewMap creates an empty map.
+func NewMap() *Map { return &Map{idx: make(map[string]*entry)} }
+
+// TypeName implements values.Object.
+func (m *Map) TypeName() string { return "map" }
+
+// SetDefault installs a default value returned by Get for missing keys.
+func (m *Map) SetDefault(v values.Value) { m.def, m.hasDef = v, true }
+
+// SetTimeout configures element expiration (HILTI's map.timeout).
+func (m *Map) SetTimeout(mgr *timer.Mgr, strategy ExpireStrategy, timeout timer.Interval) {
+	m.mgr, m.strategy, m.timeout = mgr, strategy, timeout
+}
+
+// Len returns the number of live elements.
+func (m *Map) Len() int { return len(m.idx) }
+
+// Insert adds or replaces the value for key (HILTI's map.insert).
+func (m *Map) Insert(key, val values.Value) {
+	k := values.Key(key)
+	if e, ok := m.idx[k]; ok {
+		e.val = val
+		m.touch(e)
+		return
+	}
+	e := &entry{key: key, val: val}
+	m.idx[k] = e
+	m.order = append(m.order, e)
+	if m.expiry.active() {
+		e.lastUse = m.mgr.Now()
+		m.scheduleExpiry(k, e)
+	}
+}
+
+// Get returns the value for key. When the key is missing and a default is
+// configured, the default is returned with ok=true (as HILTI's map.get
+// with a default type parameter); otherwise ok is false.
+func (m *Map) Get(key values.Value) (values.Value, bool) {
+	if e, ok := m.idx[values.Key(key)]; ok {
+		if m.strategy == ExpireAccess {
+			m.touch(e)
+		}
+		return e.val, true
+	}
+	if m.hasDef {
+		return m.def, true
+	}
+	return values.Nil, false
+}
+
+// Exists reports whether key is present (HILTI's map.exists). It counts as
+// an access for access-based expiration.
+func (m *Map) Exists(key values.Value) bool {
+	e, ok := m.idx[values.Key(key)]
+	if ok && m.strategy == ExpireAccess {
+		m.touch(e)
+	}
+	return ok
+}
+
+// Remove deletes key (HILTI's map.remove), returning whether it was present.
+func (m *Map) Remove(key values.Value) bool {
+	k := values.Key(key)
+	e, ok := m.idx[k]
+	if !ok {
+		return false
+	}
+	m.drop(k, e)
+	return true
+}
+
+// Clear removes all elements.
+func (m *Map) Clear() {
+	for k, e := range m.idx {
+		m.drop(k, e)
+	}
+}
+
+func (m *Map) drop(k string, e *entry) {
+	if e.tm != nil {
+		e.tm.Cancel()
+		e.tm = nil
+	}
+	e.deleted = true
+	m.dead++
+	delete(m.idx, k)
+	m.maybeCompact()
+}
+
+func (m *Map) touch(e *entry) {
+	if m.expiry.active() {
+		e.lastUse = m.mgr.Now()
+	}
+}
+
+// scheduleExpiry arms the per-element timer. When it fires we check whether
+// the element has been touched since; if so we re-arm for the remaining
+// lifetime, otherwise we evict. This lazy re-arming avoids a timer update
+// on every access, the standard technique for high-churn session tables.
+func (m *Map) scheduleExpiry(k string, e *entry) {
+	at := e.lastUse + timer.Time(m.timeout)
+	e.tm = m.mgr.ScheduleFunc(at, func() { m.expireCheck(k, e) })
+}
+
+func (m *Map) expireCheck(k string, e *entry) {
+	e.tm = nil
+	if e.deleted {
+		return
+	}
+	deadline := e.lastUse + timer.Time(m.timeout)
+	if deadline <= m.mgr.Now() {
+		m.drop(k, e)
+		return
+	}
+	m.scheduleExpiry(k, e)
+}
+
+func (m *Map) maybeCompact() {
+	if m.dead < 32 || m.dead*2 < len(m.order) {
+		return
+	}
+	live := m.order[:0]
+	for _, e := range m.order {
+		if !e.deleted {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(m.order); i++ {
+		m.order[i] = nil
+	}
+	m.order = live
+	m.dead = 0
+}
+
+// Each calls fn for every live element in insertion order; fn returning
+// false stops iteration.
+func (m *Map) Each(fn func(key, val values.Value) bool) {
+	for _, e := range m.order {
+		if e.deleted {
+			continue
+		}
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
+}
+
+// Keys returns the live keys in insertion order.
+func (m *Map) Keys() []values.Value {
+	out := make([]values.Value, 0, m.Len())
+	m.Each(func(k, _ values.Value) bool { out = append(out, k); return true })
+	return out
+}
+
+// DeepCopyObj implements values.DeepCopier. Expiration configuration does
+// not transfer: the copy lives in the receiving thread, which attaches its
+// own timer manager if desired.
+func (m *Map) DeepCopyObj() values.Object {
+	nm := NewMap()
+	nm.def, nm.hasDef = m.def, m.hasDef
+	m.Each(func(k, v values.Value) bool {
+		nm.Insert(values.DeepCopy(k), values.DeepCopy(v))
+		return true
+	})
+	return nm
+}
+
+// FormatObj implements values.Formatter.
+func (m *Map) FormatObj() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	m.Each(func(k, v values.Value) bool {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%s: %s", values.Format(k), values.Format(v))
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Set is HILTI's set<T>: a hash set with optional element expiration.
+// It is a thin view over Map with void values.
+type Set struct{ m Map }
+
+// NewSet creates an empty set.
+func NewSet() *Set {
+	return &Set{m: Map{idx: make(map[string]*entry)}}
+}
+
+// TypeName implements values.Object.
+func (s *Set) TypeName() string { return "set" }
+
+// SetTimeout configures element expiration (HILTI's set.timeout).
+func (s *Set) SetTimeout(mgr *timer.Mgr, strategy ExpireStrategy, timeout timer.Interval) {
+	s.m.SetTimeout(mgr, strategy, timeout)
+}
+
+// Len returns the number of live elements.
+func (s *Set) Len() int { return s.m.Len() }
+
+// Insert adds an element (HILTI's set.insert).
+func (s *Set) Insert(v values.Value) { s.m.Insert(v, values.Nil) }
+
+// Exists reports membership (HILTI's set.exists).
+func (s *Set) Exists(v values.Value) bool { return s.m.Exists(v) }
+
+// Remove deletes an element (HILTI's set.remove).
+func (s *Set) Remove(v values.Value) bool { return s.m.Remove(v) }
+
+// Clear removes all elements.
+func (s *Set) Clear() { s.m.Clear() }
+
+// Each iterates live elements in insertion order.
+func (s *Set) Each(fn func(v values.Value) bool) {
+	s.m.Each(func(k, _ values.Value) bool { return fn(k) })
+}
+
+// Elems returns the live elements in insertion order.
+func (s *Set) Elems() []values.Value { return s.m.Keys() }
+
+// DeepCopyObj implements values.DeepCopier.
+func (s *Set) DeepCopyObj() values.Object {
+	ns := NewSet()
+	s.Each(func(v values.Value) bool {
+		ns.Insert(values.DeepCopy(v))
+		return true
+	})
+	return ns
+}
+
+// FormatObj implements values.Formatter.
+func (s *Set) FormatObj() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	s.Each(func(v values.Value) bool {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		sb.WriteString(values.Format(v))
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

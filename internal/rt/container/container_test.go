@@ -1,0 +1,338 @@
+package container
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hilti/internal/rt/timer"
+	"hilti/internal/rt/values"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap()
+	m.Insert(values.String("a"), values.Int(1))
+	m.Insert(values.String("b"), values.Int(2))
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if v, ok := m.Get(values.String("a")); !ok || v.AsInt() != 1 {
+		t.Fatal("get a")
+	}
+	m.Insert(values.String("a"), values.Int(10)) // replace
+	if v, _ := m.Get(values.String("a")); v.AsInt() != 10 {
+		t.Fatal("replace")
+	}
+	if m.Len() != 2 {
+		t.Fatal("replace changed len")
+	}
+	if !m.Remove(values.String("a")) || m.Remove(values.String("a")) {
+		t.Fatal("remove semantics")
+	}
+	if m.Exists(values.String("a")) {
+		t.Fatal("removed key exists")
+	}
+}
+
+func TestMapDefault(t *testing.T) {
+	m := NewMap()
+	if _, ok := m.Get(values.Int(1)); ok {
+		t.Fatal("miss without default should be !ok")
+	}
+	m.SetDefault(values.Int(99))
+	if v, ok := m.Get(values.Int(1)); !ok || v.AsInt() != 99 {
+		t.Fatal("default not returned")
+	}
+}
+
+func TestMapInsertionOrderIteration(t *testing.T) {
+	m := NewMap()
+	for i := 0; i < 10; i++ {
+		m.Insert(values.Int(int64(9-i)), values.Int(int64(i)))
+	}
+	var got []int64
+	m.Each(func(k, _ values.Value) bool { got = append(got, k.AsInt()); return true })
+	for i, k := range got {
+		if k != int64(9-i) {
+			t.Fatalf("iteration order broken: %v", got)
+		}
+	}
+}
+
+func TestMapCompaction(t *testing.T) {
+	m := NewMap()
+	for i := 0; i < 200; i++ {
+		m.Insert(values.Int(int64(i)), values.Nil)
+	}
+	for i := 0; i < 150; i++ {
+		m.Remove(values.Int(int64(i)))
+	}
+	if m.Len() != 50 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	count := 0
+	m.Each(func(k, _ values.Value) bool {
+		if k.AsInt() < 150 {
+			t.Fatalf("deleted key iterated: %d", k.AsInt())
+		}
+		count++
+		return true
+	})
+	if count != 50 {
+		t.Fatalf("iterated %d", count)
+	}
+	if len(m.order) > 100 {
+		t.Fatalf("compaction did not run: order len %d", len(m.order))
+	}
+}
+
+func TestMapCreateExpiration(t *testing.T) {
+	mgr := timer.NewMgr()
+	m := NewMap()
+	m.SetTimeout(mgr, ExpireCreate, timer.Seconds(10))
+	mgr.Advance(0)
+	m.Insert(values.Int(1), values.String("x"))
+	mgr.Advance(5e9)
+	m.Insert(values.Int(2), values.String("y"))
+	// Access does not refresh under Create strategy.
+	m.Get(values.Int(1))
+	mgr.Advance(10e9 + 1)
+	if m.Exists(values.Int(1)) {
+		t.Fatal("entry 1 should have expired")
+	}
+	if !m.Exists(values.Int(2)) {
+		t.Fatal("entry 2 should survive")
+	}
+	mgr.Advance(15e9 + 1)
+	if m.Len() != 0 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestSetAccessExpiration(t *testing.T) {
+	// The paper's firewall example: 300s inactivity timeout, refreshed on
+	// every access.
+	mgr := timer.NewMgr()
+	s := NewSet()
+	s.SetTimeout(mgr, ExpireAccess, timer.Seconds(300))
+	pair := values.TupleVal(values.MustParseAddr("10.0.0.1"), values.MustParseAddr("10.0.0.2"))
+	mgr.Advance(0)
+	s.Insert(pair)
+	// Touch it at t=200s: deadline moves to 500s.
+	mgr.Advance(200e9)
+	if !s.Exists(pair) {
+		t.Fatal("should exist at 200s")
+	}
+	mgr.Advance(400e9)
+	if !s.Exists(pair) {
+		t.Fatal("should still exist at 400s (touched at 200s)")
+	}
+	// No touches after 400s: gone at 701s.
+	mgr.Advance(701e9)
+	if s.Exists(pair) {
+		t.Fatal("should have expired")
+	}
+}
+
+func TestExpiredEntryTimerCancelledOnRemove(t *testing.T) {
+	mgr := timer.NewMgr()
+	m := NewMap()
+	m.SetTimeout(mgr, ExpireCreate, timer.Seconds(1))
+	m.Insert(values.Int(1), values.Nil)
+	m.Remove(values.Int(1))
+	if mgr.Pending() != 0 {
+		t.Fatalf("pending timers = %d", mgr.Pending())
+	}
+	// Advancing past deadline must not panic or resurrect.
+	mgr.Advance(10e9)
+	if m.Len() != 0 {
+		t.Fatal("len != 0")
+	}
+}
+
+func TestReinsertAfterExpiry(t *testing.T) {
+	mgr := timer.NewMgr()
+	m := NewMap()
+	m.SetTimeout(mgr, ExpireCreate, timer.Seconds(1))
+	m.Insert(values.Int(1), values.String("a"))
+	mgr.Advance(2e9)
+	m.Insert(values.Int(1), values.String("b"))
+	if v, ok := m.Get(values.Int(1)); !ok || v.AsString() != "b" {
+		t.Fatal("reinsert after expiry")
+	}
+	mgr.Advance(3e9 + 1)
+	if m.Exists(values.Int(1)) {
+		t.Fatal("second generation should expire too")
+	}
+}
+
+func TestSetBasicsAndFormat(t *testing.T) {
+	s := NewSet()
+	s.Insert(values.Int(1))
+	s.Insert(values.Int(2))
+	s.Insert(values.Int(1))
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.FormatObj(); got != "{1, 2}" {
+		t.Fatalf("format = %q", got)
+	}
+}
+
+func TestDeepCopyMapIndependent(t *testing.T) {
+	m := NewMap()
+	m.Insert(values.Int(1), values.BytesFrom([]byte("x")))
+	cp := m.DeepCopyObj().(*Map)
+	m.Insert(values.Int(2), values.Nil)
+	if cp.Len() != 1 {
+		t.Fatal("copy not independent")
+	}
+	v, _ := cp.Get(values.Int(1))
+	orig, _ := m.Get(values.Int(1))
+	if v.AsBytes() == orig.AsBytes() {
+		t.Fatal("bytes shared between copies")
+	}
+}
+
+func TestListBasics(t *testing.T) {
+	l := NewList()
+	l.PushBack(values.Int(2))
+	l.PushFront(values.Int(1))
+	l.PushBack(values.Int(3))
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	var got []int64
+	l.Each(func(v values.Value) bool { got = append(got, v.AsInt()); return true })
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order %v", got)
+	}
+	if v, ok := l.PopFront(); !ok || v.AsInt() != 1 {
+		t.Fatal("pop front")
+	}
+	if v, ok := l.PopBack(); !ok || v.AsInt() != 3 {
+		t.Fatal("pop back")
+	}
+	if f, _ := l.Front(); f.AsInt() != 2 {
+		t.Fatal("front")
+	}
+	if b, _ := l.Back(); b.AsInt() != 2 {
+		t.Fatal("back")
+	}
+}
+
+func TestListIterStableAcrossErase(t *testing.T) {
+	l := NewList()
+	l.PushBack(values.Int(1))
+	it2 := l.PushBack(values.Int(2))
+	it3 := l.PushBack(values.Int(3))
+	l.Erase(it2)
+	if v, ok := it3.Deref(); !ok || v.AsInt() != 3 {
+		t.Fatal("iterator to surviving element broken")
+	}
+	if !it2.AtEnd() {
+		t.Fatal("erased iterator should read as end/invalid")
+	}
+	if l.Erase(it2) {
+		t.Fatal("double erase should fail")
+	}
+}
+
+func TestListIterTraversal(t *testing.T) {
+	l := NewList()
+	for i := 1; i <= 3; i++ {
+		l.PushBack(values.Int(int64(i)))
+	}
+	it := l.Begin()
+	var got []int64
+	for !it.AtEnd() {
+		v, _ := it.Deref()
+		got = append(got, v.AsInt())
+		it = it.Next()
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("traversal %v", got)
+	}
+	if !it.Eq(l.End()) {
+		t.Fatal("should equal end")
+	}
+}
+
+func TestVectorAutoExtend(t *testing.T) {
+	v := NewVector(values.Int(0))
+	v.Set(5, values.Int(42))
+	if v.Len() != 6 {
+		t.Fatalf("len = %d", v.Len())
+	}
+	if e, ok := v.Get(3); !ok || e.AsInt() != 0 {
+		t.Fatal("implicit default")
+	}
+	if e, _ := v.Get(5); e.AsInt() != 42 {
+		t.Fatal("set/get")
+	}
+	if _, ok := v.Get(-1); ok {
+		t.Fatal("negative index")
+	}
+	v.Reserve(10)
+	if v.Len() != 10 {
+		t.Fatal("reserve")
+	}
+}
+
+// Property: a Map agrees with a plain Go map under a random operation
+// sequence (insert/remove/get over a small key space).
+func TestQuickMapModelCheck(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewMap()
+		ref := map[int64]int64{}
+		for _, op := range ops {
+			key := int64(op % 16)
+			val := int64(op % 7)
+			switch (op / 16) % 3 {
+			case 0:
+				m.Insert(values.Int(key), values.Int(val))
+				ref[key] = val
+			case 1:
+				got := m.Remove(values.Int(key))
+				_, want := ref[key]
+				if got != want {
+					return false
+				}
+				delete(ref, key)
+			case 2:
+				got, ok := m.Get(values.Int(key))
+				want, wok := ref[key]
+				if ok != wok || (ok && got.AsInt() != want) {
+					return false
+				}
+			}
+			if m.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMapInsertGet(b *testing.B) {
+	m := NewMap()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := values.Int(int64(i % 4096))
+		m.Insert(k, values.Int(int64(i)))
+		m.Get(k)
+	}
+}
+
+func BenchmarkSetWithExpiration(b *testing.B) {
+	mgr := timer.NewMgr()
+	s := NewSet()
+	s.SetTimeout(mgr, ExpireAccess, timer.Seconds(300))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Insert(values.Int(int64(i % 1024)))
+		mgr.Advance(timer.Time(i) * 1e6)
+	}
+}

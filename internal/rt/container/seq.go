@@ -1,0 +1,273 @@
+// Sequence containers: List (doubly linked, with stable iterators) and
+// Vector (growable array). These back HILTI's list<T> and vector<T> types
+// and their iterator instructions.
+
+package container
+
+import (
+	"strings"
+
+	"hilti/internal/rt/values"
+)
+
+// List is HILTI's list<T>: a doubly linked list whose iterators stay valid
+// across insertions and across erasure of other elements.
+type List struct {
+	head, tail *node
+	size       int
+}
+
+type node struct {
+	prev, next *node
+	val        values.Value
+	list       *List // nil after erase; lets iterators detect invalidation
+}
+
+// NewList creates an empty list.
+func NewList() *List { return &List{} }
+
+// TypeName implements values.Object.
+func (l *List) TypeName() string { return "list" }
+
+// Len returns the number of elements.
+func (l *List) Len() int { return l.size }
+
+// PushBack appends v (HILTI's list.push_back).
+func (l *List) PushBack(v values.Value) *ListIter {
+	n := &node{val: v, list: l, prev: l.tail}
+	if l.tail != nil {
+		l.tail.next = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+	l.size++
+	return &ListIter{n: n, l: l}
+}
+
+// PushFront prepends v (HILTI's list.push_front).
+func (l *List) PushFront(v values.Value) *ListIter {
+	n := &node{val: v, list: l, next: l.head}
+	if l.head != nil {
+		l.head.prev = n
+	} else {
+		l.tail = n
+	}
+	l.head = n
+	l.size++
+	return &ListIter{n: n, l: l}
+}
+
+// PopFront removes and returns the first element.
+func (l *List) PopFront() (values.Value, bool) {
+	if l.head == nil {
+		return values.Nil, false
+	}
+	v := l.head.val
+	l.eraseNode(l.head)
+	return v, true
+}
+
+// PopBack removes and returns the last element.
+func (l *List) PopBack() (values.Value, bool) {
+	if l.tail == nil {
+		return values.Nil, false
+	}
+	v := l.tail.val
+	l.eraseNode(l.tail)
+	return v, true
+}
+
+// Front returns the first element.
+func (l *List) Front() (values.Value, bool) {
+	if l.head == nil {
+		return values.Nil, false
+	}
+	return l.head.val, true
+}
+
+// Back returns the last element.
+func (l *List) Back() (values.Value, bool) {
+	if l.tail == nil {
+		return values.Nil, false
+	}
+	return l.tail.val, true
+}
+
+func (l *List) eraseNode(n *node) {
+	if n.list != l {
+		return
+	}
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.list = nil
+	l.size--
+}
+
+// Erase removes the element at it (HILTI's list.erase).
+func (l *List) Erase(it *ListIter) bool {
+	if it == nil || it.n == nil || it.n.list != l {
+		return false
+	}
+	l.eraseNode(it.n)
+	return true
+}
+
+// Begin returns an iterator at the first element (or the end iterator for
+// an empty list).
+func (l *List) Begin() *ListIter { return &ListIter{n: l.head, l: l} }
+
+// End returns the end iterator.
+func (l *List) End() *ListIter { return &ListIter{l: l} }
+
+// Each iterates front to back; fn returning false stops.
+func (l *List) Each(fn func(values.Value) bool) {
+	for n := l.head; n != nil; n = n.next {
+		if !fn(n.val) {
+			return
+		}
+	}
+}
+
+// DeepCopyObj implements values.DeepCopier.
+func (l *List) DeepCopyObj() values.Object {
+	nl := NewList()
+	l.Each(func(v values.Value) bool {
+		nl.PushBack(values.DeepCopy(v))
+		return true
+	})
+	return nl
+}
+
+// FormatObj implements values.Formatter.
+func (l *List) FormatObj() string { return formatSeq("[", "]", l.Each) }
+
+// ListIter is an iterator into a List. The end position has a nil node.
+type ListIter struct {
+	n *node
+	l *List
+}
+
+// TypeName implements values.Object.
+func (it *ListIter) TypeName() string { return "iterator<list>" }
+
+// AtEnd reports whether the iterator is at the end (or invalidated).
+func (it *ListIter) AtEnd() bool { return it.n == nil || it.n.list != it.l }
+
+// Deref returns the element at the iterator.
+func (it *ListIter) Deref() (values.Value, bool) {
+	if it.AtEnd() {
+		return values.Nil, false
+	}
+	return it.n.val, true
+}
+
+// Next returns an iterator advanced by one.
+func (it *ListIter) Next() *ListIter {
+	if it.AtEnd() {
+		return &ListIter{l: it.l}
+	}
+	return &ListIter{n: it.n.next, l: it.l}
+}
+
+// Eq reports whether two iterators address the same position.
+func (it *ListIter) Eq(o *ListIter) bool {
+	return it.l == o.l && it.n == o.n
+}
+
+// Vector is HILTI's vector<T>: a growable array with O(1) indexing.
+// Reading beyond the current size auto-extends with the element default,
+// matching HILTI's vector semantics.
+type Vector struct {
+	elems []values.Value
+	def   values.Value
+}
+
+// NewVector creates an empty vector whose implicit elements are def.
+func NewVector(def values.Value) *Vector { return &Vector{def: def} }
+
+// TypeName implements values.Object.
+func (v *Vector) TypeName() string { return "vector" }
+
+// Len returns the current size.
+func (v *Vector) Len() int { return len(v.elems) }
+
+// PushBack appends an element.
+func (v *Vector) PushBack(x values.Value) { v.elems = append(v.elems, x) }
+
+// Get returns element i, auto-extending to include it.
+func (v *Vector) Get(i int) (values.Value, bool) {
+	if i < 0 {
+		return values.Nil, false
+	}
+	v.reserve(i + 1)
+	return v.elems[i], true
+}
+
+// Set assigns element i, auto-extending to include it.
+func (v *Vector) Set(i int, x values.Value) bool {
+	if i < 0 {
+		return false
+	}
+	v.reserve(i + 1)
+	v.elems[i] = x
+	return true
+}
+
+// Reserve pre-extends the vector to at least n elements (HILTI's
+// vector.reserve).
+func (v *Vector) Reserve(n int) { v.reserve(n) }
+
+func (v *Vector) reserve(n int) {
+	for len(v.elems) < n {
+		v.elems = append(v.elems, v.def)
+	}
+}
+
+// Each iterates in index order; fn returning false stops.
+func (v *Vector) Each(fn func(values.Value) bool) {
+	for _, e := range v.elems {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Elems exposes the backing slice (read-only by convention; used by glue).
+func (v *Vector) Elems() []values.Value { return v.elems }
+
+// DeepCopyObj implements values.DeepCopier.
+func (v *Vector) DeepCopyObj() values.Object {
+	nv := NewVector(values.DeepCopy(v.def))
+	for _, e := range v.elems {
+		nv.PushBack(values.DeepCopy(e))
+	}
+	return nv
+}
+
+// FormatObj implements values.Formatter.
+func (v *Vector) FormatObj() string { return formatSeq("[", "]", v.Each) }
+
+func formatSeq(open, close string, each func(func(values.Value) bool)) string {
+	var sb strings.Builder
+	sb.WriteString(open)
+	first := true
+	each(func(e values.Value) bool {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		sb.WriteString(values.Format(e))
+		return true
+	})
+	sb.WriteString(close)
+	return sb.String()
+}

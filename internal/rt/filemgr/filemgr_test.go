@@ -1,0 +1,99 @@
+package filemgr
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWriteAndClose(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMgr()
+	f, err := m.Open(filepath.Join(dir, "out.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("line1\n")
+	f.WriteString("line2\n")
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "out.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "line1\nline2\n" {
+		t.Fatalf("got %q", data)
+	}
+}
+
+func TestOpenSharesHandle(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMgr()
+	defer m.Close()
+	a, _ := m.Open(filepath.Join(dir, "x"))
+	b, _ := m.Open(filepath.Join(dir, "x"))
+	if a != b {
+		t.Fatal("same path should share handle")
+	}
+}
+
+func TestSyncFlushes(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMgr()
+	defer m.Close()
+	f, _ := m.Open(filepath.Join(dir, "s"))
+	f.WriteString("data")
+	f.Sync()
+	data, _ := os.ReadFile(filepath.Join(dir, "s"))
+	if string(data) != "data" {
+		t.Fatalf("sync did not flush: %q", data)
+	}
+}
+
+func TestConcurrentWritersNoInterleaving(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMgr()
+	f, _ := m.Open(filepath.Join(dir, "c"))
+	var wg sync.WaitGroup
+	const writers, lines = 8, 100
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tag := strings.Repeat(string(rune('a'+w)), 20)
+			for i := 0; i < lines; i++ {
+				f.WriteString(tag + "\n")
+			}
+		}()
+	}
+	wg.Wait()
+	m.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "c"))
+	got := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(got) != writers*lines {
+		t.Fatalf("line count %d", len(got))
+	}
+	for _, l := range got {
+		if len(l) != 20 || strings.Count(l, l[:1]) != 20 {
+			t.Fatalf("interleaved line %q", l)
+		}
+	}
+}
+
+func TestWriteCopiesBuffer(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMgr()
+	f, _ := m.Open(filepath.Join(dir, "b"))
+	buf := []byte("good")
+	f.Write(buf)
+	copy(buf, "BAD!")
+	m.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "b"))
+	if string(data) != "good" {
+		t.Fatalf("write did not copy: %q", data)
+	}
+}

@@ -1,0 +1,398 @@
+// Package hbytes implements HILTI's "bytes" data type: an append-only,
+// chunked byte rope designed for incremental network input.
+//
+// A Bytes value accumulates raw data as it arrives from the wire, one chunk
+// per append, without copying previously stored data. Iterators address
+// positions by absolute stream offset and therefore remain valid across
+// appends and across trims of already-consumed data. A Bytes value can be
+// frozen to signal that no further data will arrive; parsing code uses the
+// distinction between "at the current end of a non-frozen value" and "at the
+// end of a frozen value" to decide whether to suspend for more input or to
+// report a premature end of data.
+//
+// This is the substrate for HILTI's incremental, suspendable parsing model
+// (paper §3.2): BinPAC++-generated parsers walk a Bytes value with iterators
+// and yield their fiber whenever they reach unfrozen end-of-data.
+package hbytes
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrWouldBlock is reported when an operation needs data beyond the current
+// end of a non-frozen Bytes value. Callers (typically generated parsers)
+// react by suspending until more input has been appended.
+var ErrWouldBlock = errors.New("bytes: would block (need more input)")
+
+// ErrFrozen is reported when appending to a frozen Bytes value.
+var ErrFrozen = errors.New("bytes: frozen")
+
+// ErrOutOfRange is reported when an iterator is moved or dereferenced
+// outside the valid data range.
+var ErrOutOfRange = errors.New("bytes: iterator out of range")
+
+type chunk struct {
+	off  int64 // absolute stream offset of data[0]
+	data []byte
+}
+
+// Bytes is a chunked byte rope. The zero value is an empty, unfrozen rope;
+// New and NewFrom are the usual constructors.
+type Bytes struct {
+	chunks []chunk
+	base   int64 // absolute offset of the first retained byte
+	end    int64 // absolute offset one past the last byte
+	frozen bool
+}
+
+// New returns a new empty Bytes value.
+func New() *Bytes { return &Bytes{} }
+
+// NewFrom returns a new Bytes value holding a copy of data.
+func NewFrom(data []byte) *Bytes {
+	b := New()
+	b.Append(data)
+	return b
+}
+
+// NewFromString returns a new Bytes value holding the bytes of s.
+func NewFromString(s string) *Bytes { return NewFrom([]byte(s)) }
+
+// Append adds a copy of data to the end of the rope. Appending to a frozen
+// value returns ErrFrozen. Appending an empty slice is a no-op.
+func (b *Bytes) Append(data []byte) error {
+	if b.frozen {
+		return ErrFrozen
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return b.appendOwned(cp)
+}
+
+// AppendOwned adds data to the rope without copying. The caller must not
+// modify data afterwards. It exists for hot paths (packet payload handoff)
+// where the buffer is already owned by the rope's producer.
+func (b *Bytes) AppendOwned(data []byte) error {
+	if b.frozen {
+		return ErrFrozen
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	return b.appendOwned(data)
+}
+
+func (b *Bytes) appendOwned(data []byte) error {
+	b.chunks = append(b.chunks, chunk{off: b.end, data: data})
+	b.end += int64(len(data))
+	return nil
+}
+
+// Freeze marks the value complete: no further appends are allowed, and
+// iterators at the end dereference to end-of-data rather than would-block.
+func (b *Bytes) Freeze() { b.frozen = true }
+
+// Unfreeze reverses Freeze. HILTI exposes this for stream gaps handling.
+func (b *Bytes) Unfreeze() { b.frozen = false }
+
+// Frozen reports whether the value has been frozen.
+func (b *Bytes) Frozen() bool { return b.frozen }
+
+// Len returns the number of currently retained bytes.
+func (b *Bytes) Len() int64 { return b.end - b.base }
+
+// StreamLen returns the absolute offset one past the last byte, i.e. the
+// total number of bytes ever appended.
+func (b *Bytes) StreamLen() int64 { return b.end }
+
+// Begin returns an iterator at the first retained byte.
+func (b *Bytes) Begin() Iter { return Iter{b: b, off: b.base} }
+
+// End returns the distinguished end iterator. For a non-frozen value it
+// denotes "wherever the data ends once frozen": comparing or dereferencing
+// it reflects the rope's current end at the time of use.
+func (b *Bytes) End() Iter { return Iter{b: b, off: endSentinel} }
+
+// At returns an iterator at absolute stream offset off.
+func (b *Bytes) At(off int64) Iter { return Iter{b: b, off: off} }
+
+const endSentinel = int64(-1)
+
+// Trim discards all data before it, releasing chunk memory. Iterators
+// pointing before it become invalid. Trimming is how long-running parsers
+// bound memory for already-consumed input.
+func (b *Bytes) Trim(it Iter) {
+	off := it.resolve()
+	if off <= b.base {
+		return
+	}
+	if off > b.end {
+		off = b.end
+	}
+	// Drop whole chunks that end at or before off.
+	i := 0
+	for i < len(b.chunks) && b.chunks[i].off+int64(len(b.chunks[i].data)) <= off {
+		i++
+	}
+	b.chunks = b.chunks[i:]
+	b.base = off
+}
+
+// findChunk returns the index of the chunk containing absolute offset off,
+// or -1 when off is at or beyond the end.
+func (b *Bytes) findChunk(off int64) int {
+	if off >= b.end || off < b.base {
+		return -1
+	}
+	n := len(b.chunks)
+	if n == 0 {
+		return -1
+	}
+	// Fast path: most accesses are in the first or last chunk.
+	if c := b.chunks[0]; off < c.off+int64(len(c.data)) {
+		return 0
+	}
+	if c := b.chunks[n-1]; off >= c.off {
+		return n - 1
+	}
+	return sort.Search(n, func(i int) bool {
+		c := b.chunks[i]
+		return off < c.off+int64(len(c.data))
+	})
+}
+
+// ByteAt returns the byte at absolute offset off. ok is false with
+// ErrWouldBlock semantics: the offset is past the end of a non-frozen value.
+// Reading past the end of a frozen value returns ErrOutOfRange.
+func (b *Bytes) ByteAt(off int64) (byte, error) {
+	if off < b.base {
+		return 0, ErrOutOfRange
+	}
+	if off >= b.end {
+		if b.frozen {
+			return 0, ErrOutOfRange
+		}
+		return 0, ErrWouldBlock
+	}
+	ci := b.findChunk(off)
+	c := b.chunks[ci]
+	return c.data[off-c.off], nil
+}
+
+// Bytes flattens the retained data into a single contiguous slice.
+// The result is freshly allocated unless the rope holds exactly one chunk.
+func (b *Bytes) Bytes() []byte {
+	if len(b.chunks) == 1 && b.base == b.chunks[0].off {
+		return b.chunks[0].data
+	}
+	out := make([]byte, 0, b.Len())
+	for _, c := range b.chunks {
+		d := c.data
+		if c.off < b.base {
+			d = d[b.base-c.off:]
+		}
+		out = append(out, d...)
+	}
+	return out
+}
+
+// String renders the retained data as a Go string (for debugging and for
+// HILTI's bytes-to-string conversions).
+func (b *Bytes) String() string { return string(b.Bytes()) }
+
+// Sub copies the bytes in [from, to) into a new contiguous slice.
+// It returns ErrWouldBlock when to exceeds available data on a non-frozen
+// value, and ErrOutOfRange for invalid ranges.
+func (b *Bytes) Sub(from, to Iter) ([]byte, error) {
+	lo, hi := from.resolve(), to.resolve()
+	if lo > hi || lo < b.base {
+		return nil, ErrOutOfRange
+	}
+	if hi > b.end {
+		if b.frozen {
+			return nil, ErrOutOfRange
+		}
+		return nil, ErrWouldBlock
+	}
+	out := make([]byte, 0, hi-lo)
+	for ci := b.findChunk(lo); ci >= 0 && ci < len(b.chunks); ci++ {
+		c := b.chunks[ci]
+		if c.off >= hi {
+			break
+		}
+		d := c.data
+		start := int64(0)
+		if lo > c.off {
+			start = lo - c.off
+		}
+		stop := int64(len(d))
+		if c.off+stop > hi {
+			stop = hi - c.off
+		}
+		out = append(out, d[start:stop]...)
+	}
+	return out, nil
+}
+
+// SubBytes is Sub wrapped into a new Bytes value (frozen, as HILTI's
+// bytes.sub returns an independent value).
+func (b *Bytes) SubBytes(from, to Iter) (*Bytes, error) {
+	raw, err := b.Sub(from, to)
+	if err != nil {
+		return nil, err
+	}
+	nb := NewFrom(raw)
+	nb.Freeze()
+	return nb, nil
+}
+
+// Find searches for needle at or after from. It returns an iterator to the
+// first occurrence and true; when the needle is absent it returns the
+// position from which a future search must resume (end minus overlap) and
+// false. On a non-frozen value an absent needle yields ErrWouldBlock so
+// incremental callers know to retry with more data.
+func (b *Bytes) Find(needle []byte, from Iter) (Iter, bool, error) {
+	if len(needle) == 0 {
+		return from, true, nil
+	}
+	lo := from.resolve()
+	if lo < b.base {
+		return Iter{}, false, ErrOutOfRange
+	}
+	// Search the flattened tail. Ropes here are small per-message buffers;
+	// flattening the searched region keeps this simple and fast in practice.
+	data, err := b.Sub(b.At(lo), b.At(b.end))
+	if err != nil {
+		return Iter{}, false, err
+	}
+	if i := bytes.Index(data, needle); i >= 0 {
+		return b.At(lo + int64(i)), true, nil
+	}
+	if !b.frozen {
+		return Iter{}, false, ErrWouldBlock
+	}
+	return b.End(), false, nil
+}
+
+// Equal reports whether two ropes hold the same retained bytes.
+func (b *Bytes) Equal(o *Bytes) bool {
+	if b.Len() != o.Len() {
+		return false
+	}
+	return bytes.Equal(b.Bytes(), o.Bytes())
+}
+
+// Compare orders ropes lexicographically.
+func (b *Bytes) Compare(o *Bytes) int { return bytes.Compare(b.Bytes(), o.Bytes()) }
+
+// Copy returns an independent deep copy (used by HILTI's deep-copying
+// message passing between virtual threads).
+func (b *Bytes) Copy() *Bytes {
+	nb := NewFrom(b.Bytes())
+	nb.frozen = b.frozen
+	return nb
+}
+
+// Iter is a position within a Bytes value, addressed by absolute stream
+// offset so that it survives appends and (if not trimmed past) trims.
+type Iter struct {
+	b   *Bytes
+	off int64
+}
+
+// Bytes returns the rope this iterator points into.
+func (it Iter) Bytes() *Bytes { return it.b }
+
+// Offset returns the absolute stream offset, resolving the end sentinel.
+func (it Iter) Offset() int64 { return it.resolve() }
+
+func (it Iter) resolve() int64 {
+	if it.off == endSentinel {
+		if it.b == nil {
+			return 0
+		}
+		return it.b.end
+	}
+	return it.off
+}
+
+// IsEnd reports whether the iterator is the distinguished moving-end
+// iterator (as opposed to a fixed offset that happens to equal the end).
+func (it Iter) IsEnd() bool { return it.off == endSentinel }
+
+// AtEnd reports whether the iterator currently points at or past the end of
+// available data.
+func (it Iter) AtEnd() bool {
+	if it.b == nil {
+		return true
+	}
+	return it.resolve() >= it.b.end
+}
+
+// Deref returns the byte at the iterator.
+func (it Iter) Deref() (byte, error) {
+	if it.b == nil {
+		return 0, ErrOutOfRange
+	}
+	return it.b.ByteAt(it.resolve())
+}
+
+// Next returns an iterator advanced by one byte.
+func (it Iter) Next() Iter { return it.Plus(1) }
+
+// Plus returns an iterator advanced by n bytes (n may be negative).
+func (it Iter) Plus(n int64) Iter {
+	return Iter{b: it.b, off: it.resolve() + n}
+}
+
+// Diff returns the distance in bytes from it to o (o - it).
+func (it Iter) Diff(o Iter) int64 { return o.resolve() - it.resolve() }
+
+// Cmp compares two iterator positions: -1, 0 or +1.
+func (it Iter) Cmp(o Iter) int {
+	a, b := it.resolve(), o.resolve()
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether the iterator points into retained data (or at the
+// end). Trimmed-past iterators are invalid.
+func (it Iter) Valid() bool {
+	if it.b == nil {
+		return false
+	}
+	off := it.resolve()
+	return off >= it.b.base && off <= it.b.end
+}
+
+// Err wraps fmt for iterator diagnostics.
+func (it Iter) GoString() string {
+	return fmt.Sprintf("hbytes.Iter(off=%d)", it.resolve())
+}
+
+// Reset discards all state and re-initializes the rope around data without
+// copying (the caller retains ownership discipline of AppendOwned). Host
+// stubs use this to re-wrap per-packet buffers allocation-free.
+func (b *Bytes) Reset(data []byte) {
+	b.chunks = b.chunks[:0]
+	b.base = 0
+	b.end = 0
+	b.frozen = false
+	if len(data) > 0 {
+		b.chunks = append(b.chunks, chunk{off: 0, data: data})
+		b.end = int64(len(data))
+	}
+	b.frozen = true
+}

@@ -1,0 +1,100 @@
+// Package hook implements HILTI's hooks: functions with multiple bodies
+// that all execute upon invocation (paper §3.2, §4). Host applications and
+// independently compiled units attach bodies to a named hook; running the
+// hook executes every body in descending priority order. The paper's Bro
+// exemplar compiles Bro event handlers into hooks, and its custom linker
+// merges hook bodies across compilation units — our registry plays that
+// link-stage role.
+package hook
+
+import (
+	"sort"
+
+	"hilti/internal/rt/values"
+)
+
+// Body is one hook body. Returning stop=true cancels execution of the
+// remaining lower-priority bodies (HILTI's hook.stop), and — for hooks
+// with a result type — provides the hook's result value.
+type Body func(args []values.Value) (result values.Value, stop bool)
+
+type entry struct {
+	prio int
+	seq  int
+	body Body
+}
+
+// Hook is a named multi-body hook.
+type Hook struct {
+	Name    string
+	entries []entry
+	seq     int
+}
+
+// TypeName implements the runtime Object interface.
+func (h *Hook) TypeName() string { return "hook" }
+
+// Add attaches a body with priority 0.
+func (h *Hook) Add(b Body) { h.AddPrio(0, b) }
+
+// AddPrio attaches a body; higher priorities run first, equal priorities in
+// attachment order.
+func (h *Hook) AddPrio(prio int, b Body) {
+	h.seq++
+	h.entries = append(h.entries, entry{prio: prio, seq: h.seq, body: b})
+	sort.SliceStable(h.entries, func(i, j int) bool {
+		if h.entries[i].prio != h.entries[j].prio {
+			return h.entries[i].prio > h.entries[j].prio
+		}
+		return h.entries[i].seq < h.entries[j].seq
+	})
+}
+
+// Len returns the number of attached bodies.
+func (h *Hook) Len() int { return len(h.entries) }
+
+// Run executes all bodies in priority order. It returns the result of the
+// body that stopped execution (if any) and whether a stop occurred.
+func (h *Hook) Run(args []values.Value) (values.Value, bool) {
+	for _, e := range h.entries {
+		if res, stop := e.body(args); stop {
+			return res, true
+		}
+	}
+	return values.Nil, false
+}
+
+// Registry resolves hook names to hooks, creating them on demand. It is
+// the cross-compilation-unit link table for hooks.
+type Registry struct {
+	hooks map[string]*Hook
+}
+
+// NewRegistry creates an empty hook registry.
+func NewRegistry() *Registry { return &Registry{hooks: map[string]*Hook{}} }
+
+// Get returns the named hook, creating it if needed.
+func (r *Registry) Get(name string) *Hook {
+	h, ok := r.hooks[name]
+	if !ok {
+		h = &Hook{Name: name}
+		r.hooks[name] = h
+	}
+	return h
+}
+
+// Exists reports whether the named hook has at least one body, without
+// creating it. Generated code uses this to skip argument marshalling for
+// unhandled events.
+func (r *Registry) Exists(name string) bool {
+	h, ok := r.hooks[name]
+	return ok && h.Len() > 0
+}
+
+// Run executes the named hook if it exists.
+func (r *Registry) Run(name string, args []values.Value) (values.Value, bool) {
+	if h, ok := r.hooks[name]; ok {
+		return h.Run(args)
+	}
+	return values.Nil, false
+}

@@ -1,0 +1,93 @@
+package hook
+
+import (
+	"testing"
+
+	"hilti/internal/rt/values"
+)
+
+func TestRunAllBodies(t *testing.T) {
+	h := &Hook{Name: "ev"}
+	var order []int
+	h.Add(func(args []values.Value) (values.Value, bool) {
+		order = append(order, 1)
+		return values.Nil, false
+	})
+	h.Add(func(args []values.Value) (values.Value, bool) {
+		order = append(order, 2)
+		return values.Nil, false
+	})
+	h.Run(nil)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	h := &Hook{Name: "ev"}
+	var order []string
+	h.AddPrio(-5, func([]values.Value) (values.Value, bool) {
+		order = append(order, "low")
+		return values.Nil, false
+	})
+	h.AddPrio(10, func([]values.Value) (values.Value, bool) {
+		order = append(order, "high")
+		return values.Nil, false
+	})
+	h.AddPrio(0, func([]values.Value) (values.Value, bool) {
+		order = append(order, "mid")
+		return values.Nil, false
+	})
+	h.Run(nil)
+	if order[0] != "high" || order[1] != "mid" || order[2] != "low" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestStopShortCircuits(t *testing.T) {
+	h := &Hook{Name: "ev"}
+	ran := 0
+	h.Add(func([]values.Value) (values.Value, bool) {
+		ran++
+		return values.Int(99), true
+	})
+	h.Add(func([]values.Value) (values.Value, bool) {
+		ran++
+		return values.Nil, false
+	})
+	res, stopped := h.Run(nil)
+	if !stopped || res.AsInt() != 99 || ran != 1 {
+		t.Fatalf("res=%v stopped=%v ran=%d", res, stopped, ran)
+	}
+}
+
+func TestArgsPassed(t *testing.T) {
+	h := &Hook{Name: "ev"}
+	h.Add(func(args []values.Value) (values.Value, bool) {
+		if len(args) != 2 || args[0].AsInt() != 1 || args[1].AsString() != "x" {
+			t.Errorf("args %v", args)
+		}
+		return values.Nil, false
+	})
+	h.Run([]values.Value{values.Int(1), values.String("x")})
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if r.Exists("ev") {
+		t.Fatal("should not exist")
+	}
+	h := r.Get("ev")
+	if r.Exists("ev") {
+		t.Fatal("empty hook should not count as existing")
+	}
+	h.Add(func([]values.Value) (values.Value, bool) { return values.Nil, false })
+	if !r.Exists("ev") {
+		t.Fatal("should exist")
+	}
+	if r.Get("ev") != h {
+		t.Fatal("Get should return same hook")
+	}
+	r.Run("ev", nil)
+	r.Run("missing", nil) // no-op, no panic
+}

@@ -1,0 +1,79 @@
+package iosrc
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hilti/internal/pkt/pcap"
+)
+
+func samplePackets() []pcap.Packet {
+	return []pcap.Packet{
+		{Time: time.Unix(10, 0).UTC(), Data: []byte("one")},
+		{Time: time.Unix(11, 500000000).UTC(), Data: []byte("two!")},
+	}
+}
+
+func TestPcapOffline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pcap")
+	if err := pcap.WriteFile(path, pcap.LinkTypeEthernet, samplePackets()); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenOffline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if src.LinkType() != pcap.LinkTypeEthernet {
+		t.Fatalf("linktype %d", src.LinkType())
+	}
+	ts, b, err := src.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 10*1e9 || b.String() != "one" {
+		t.Fatalf("ts=%d data=%q", ts, b.String())
+	}
+	if !b.Frozen() {
+		t.Fatal("packet bytes should arrive frozen")
+	}
+	if _, _, err := src.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := src.Read(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want exhausted, got %v", err)
+	}
+}
+
+func TestOpenOfflineMissing(t *testing.T) {
+	if _, err := OpenOffline("/nonexistent/file.pcap"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	src := NewReplay(samplePackets(), pcap.LinkTypeRaw)
+	count := 0
+	for {
+		_, _, err := src.Read()
+		if errors.Is(err, ErrExhausted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 2 {
+		t.Fatalf("read %d packets", count)
+	}
+	src.Rewind()
+	if _, b, err := src.Read(); err != nil || b.String() != "one" {
+		t.Fatalf("after rewind: %v", err)
+	}
+	if src.TypeName() != "iosrc" {
+		t.Fatal("TypeName")
+	}
+}

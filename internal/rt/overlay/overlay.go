@@ -1,0 +1,176 @@
+// Package overlay implements HILTI's overlay type: user-definable composite
+// types that describe the layout of a binary structure in wire format and
+// provide transparent, type-safe access to its fields, accounting for
+// endianness and sub-byte bit ranges (paper §4, "Berkeley Packet Filter").
+//
+// An overlay definition lists fields with byte offsets and unpack formats;
+// Get extracts one field from a raw byte buffer, bounds-checked, without
+// copying or pre-parsing the rest — the generated BPF-filter code in the
+// paper's Figure 4 reads exactly two such fields per packet.
+package overlay
+
+import (
+	"fmt"
+
+	"hilti/internal/rt/hbytes"
+	"hilti/internal/rt/values"
+)
+
+// Format identifies an unpack format for a field.
+type Format int
+
+// Unpack formats. The *Bits variants extract an inclusive bit range
+// [BitLo, BitHi] (LSB = bit 0) after loading the underlying integer.
+const (
+	UInt8 Format = iota
+	UInt8Bits
+	UInt16BE
+	UInt16LE
+	UInt32BE
+	UInt32LE
+	IPv4    // 4-byte network-order IPv4 address -> addr
+	IPv6    // 16-byte IPv6 address -> addr
+	BytesN  // Length raw bytes -> bytes
+	PortTCP // 2-byte network-order port -> port/tcp
+	PortUDP // 2-byte network-order port -> port/udp
+)
+
+// Field describes one overlay field.
+type Field struct {
+	Name   string
+	Offset int
+	Format Format
+	BitLo  int // for *Bits formats
+	BitHi  int
+	Length int // for BytesN
+}
+
+// Overlay is an overlay type definition.
+type Overlay struct {
+	Name   string
+	Fields []Field
+	byName map[string]int
+}
+
+// New builds an overlay definition.
+func New(name string, fields ...Field) *Overlay {
+	o := &Overlay{Name: name, Fields: fields, byName: map[string]int{}}
+	for i, f := range fields {
+		o.byName[f.Name] = i
+	}
+	return o
+}
+
+// TypeName implements the runtime Object interface.
+func (o *Overlay) TypeName() string { return "overlay" }
+
+// Index returns the positional index of a field, or -1.
+func (o *Overlay) Index(name string) int {
+	if i, ok := o.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// size returns the number of bytes field f needs.
+func (f *Field) size() int {
+	switch f.Format {
+	case UInt8, UInt8Bits:
+		return 1
+	case UInt16BE, UInt16LE, PortTCP, PortUDP:
+		return 2
+	case UInt32BE, UInt32LE, IPv4:
+		return 4
+	case IPv6:
+		return 16
+	case BytesN:
+		return f.Length
+	default:
+		return 0
+	}
+}
+
+// GetRaw extracts the named field from a contiguous packet buffer.
+func (o *Overlay) GetRaw(data []byte, name string) (values.Value, error) {
+	i := o.Index(name)
+	if i < 0 {
+		return values.Nil, fmt.Errorf("overlay %s: no field %q", o.Name, name)
+	}
+	return o.GetIdx(data, i)
+}
+
+// GetIdx extracts field i from a contiguous packet buffer, bounds-checked.
+func (o *Overlay) GetIdx(data []byte, i int) (values.Value, error) {
+	f := &o.Fields[i]
+	end := f.Offset + f.size()
+	if f.Offset < 0 || end > len(data) {
+		return values.Nil, fmt.Errorf("overlay %s.%s: out of bounds (need %d bytes, have %d)",
+			o.Name, f.Name, end, len(data))
+	}
+	d := data[f.Offset:end]
+	switch f.Format {
+	case UInt8:
+		return values.Int(int64(d[0])), nil
+	case UInt8Bits:
+		v := uint64(d[0])
+		width := f.BitHi - f.BitLo + 1
+		v = (v >> uint(f.BitLo)) & ((1 << uint(width)) - 1)
+		return values.Uint(v), nil
+	case UInt16BE:
+		return values.Uint(uint64(d[0])<<8 | uint64(d[1])), nil
+	case UInt16LE:
+		return values.Uint(uint64(d[1])<<8 | uint64(d[0])), nil
+	case UInt32BE:
+		return values.Uint(uint64(d[0])<<24 | uint64(d[1])<<16 | uint64(d[2])<<8 | uint64(d[3])), nil
+	case UInt32LE:
+		return values.Uint(uint64(d[3])<<24 | uint64(d[2])<<16 | uint64(d[1])<<8 | uint64(d[0])), nil
+	case IPv4:
+		return values.AddrFrom4([4]byte{d[0], d[1], d[2], d[3]}), nil
+	case IPv6:
+		var a [16]byte
+		copy(a[:], d)
+		return values.AddrFrom16(a), nil
+	case PortTCP:
+		return values.PortVal(uint16(d[0])<<8|uint16(d[1]), values.ProtoTCP), nil
+	case PortUDP:
+		return values.PortVal(uint16(d[0])<<8|uint16(d[1]), values.ProtoUDP), nil
+	case BytesN:
+		return values.BytesFrom(d), nil
+	default:
+		return values.Nil, fmt.Errorf("overlay %s.%s: unknown format", o.Name, f.Name)
+	}
+}
+
+// Get extracts the named field from a byte rope (HILTI's overlay.get over a
+// ref<bytes> packet).
+func (o *Overlay) Get(b *hbytes.Bytes, name string) (values.Value, error) {
+	i := o.Index(name)
+	if i < 0 {
+		return values.Nil, fmt.Errorf("overlay %s: no field %q", o.Name, name)
+	}
+	f := &o.Fields[i]
+	raw, err := b.Sub(b.At(int64(f.Offset)), b.At(int64(f.Offset+f.size())))
+	if err != nil {
+		return values.Nil, fmt.Errorf("overlay %s.%s: %w", o.Name, f.Name, err)
+	}
+	tmp := o.Fields[i]
+	tmp.Offset = 0
+	shadow := Overlay{Name: o.Name, Fields: []Field{tmp}, byName: map[string]int{name: 0}}
+	return shadow.GetIdx(raw, 0)
+}
+
+// IPv4Header is the standard IPv4 header overlay used by the BPF exemplar
+// (paper Figure 4).
+var IPv4Header = New("IP::Header",
+	Field{Name: "version", Offset: 0, Format: UInt8Bits, BitLo: 4, BitHi: 7},
+	Field{Name: "hdr_len", Offset: 0, Format: UInt8Bits, BitLo: 0, BitHi: 3},
+	Field{Name: "tos", Offset: 1, Format: UInt8},
+	Field{Name: "len", Offset: 2, Format: UInt16BE},
+	Field{Name: "id", Offset: 4, Format: UInt16BE},
+	Field{Name: "frag", Offset: 6, Format: UInt16BE},
+	Field{Name: "ttl", Offset: 8, Format: UInt8},
+	Field{Name: "proto", Offset: 9, Format: UInt8},
+	Field{Name: "chksum", Offset: 10, Format: UInt16BE},
+	Field{Name: "src", Offset: 12, Format: IPv4},
+	Field{Name: "dst", Offset: 16, Format: IPv4},
+)

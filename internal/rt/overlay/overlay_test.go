@@ -1,0 +1,159 @@
+package overlay
+
+import (
+	"strings"
+	"testing"
+
+	"hilti/internal/rt/hbytes"
+	"hilti/internal/rt/values"
+)
+
+// sampleIPv4 is a 20-byte IPv4 header: 10.0.0.1 -> 192.168.1.1, proto TCP.
+func sampleIPv4() []byte {
+	return []byte{
+		0x45, 0x00, 0x00, 0x54, // version 4, IHL 5, TOS 0, len 84
+		0x12, 0x34, 0x40, 0x00, // id, flags/frag
+		0x40, 0x06, 0xbe, 0xef, // ttl 64, proto 6, checksum
+		10, 0, 0, 1, // src
+		192, 168, 1, 1, // dst
+	}
+}
+
+func TestIPv4HeaderFields(t *testing.T) {
+	pkt := sampleIPv4()
+	cases := []struct {
+		field string
+		want  string
+	}{
+		{"version", "4"},
+		{"hdr_len", "5"},
+		{"len", "84"},
+		{"ttl", "64"},
+		{"proto", "6"},
+		{"src", "10.0.0.1"},
+		{"dst", "192.168.1.1"},
+	}
+	for _, tc := range cases {
+		v, err := IPv4Header.GetRaw(pkt, tc.field)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.field, err)
+		}
+		if got := values.Format(v); got != tc.want {
+			t.Errorf("%s = %q, want %q", tc.field, got, tc.want)
+		}
+	}
+}
+
+func TestGetFromRope(t *testing.T) {
+	pkt := sampleIPv4()
+	// Split the header across chunks to exercise rope extraction.
+	b := hbytes.New()
+	b.Append(pkt[:13])
+	b.Append(pkt[13:])
+	b.Freeze()
+	v, err := IPv4Header.Get(b, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if values.Format(v) != "10.0.0.1" {
+		t.Fatalf("src = %s", values.Format(v))
+	}
+}
+
+func TestBoundsChecked(t *testing.T) {
+	short := sampleIPv4()[:10]
+	if _, err := IPv4Header.GetRaw(short, "dst"); err == nil {
+		t.Fatal("out-of-bounds read not caught")
+	}
+	if !strings.Contains(func() string {
+		_, err := IPv4Header.GetRaw(short, "dst")
+		return err.Error()
+	}(), "out of bounds") {
+		t.Fatal("error should mention bounds")
+	}
+}
+
+func TestUnknownField(t *testing.T) {
+	if _, err := IPv4Header.GetRaw(sampleIPv4(), "nope"); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if IPv4Header.Index("nope") != -1 {
+		t.Fatal("index for unknown field")
+	}
+}
+
+func TestEndianFormats(t *testing.T) {
+	o := New("t",
+		Field{Name: "be16", Offset: 0, Format: UInt16BE},
+		Field{Name: "le16", Offset: 0, Format: UInt16LE},
+		Field{Name: "be32", Offset: 0, Format: UInt32BE},
+		Field{Name: "le32", Offset: 0, Format: UInt32LE},
+	)
+	data := []byte{0x01, 0x02, 0x03, 0x04}
+	checks := map[string]int64{
+		"be16": 0x0102, "le16": 0x0201,
+		"be32": 0x01020304, "le32": 0x04030201,
+	}
+	for f, want := range checks {
+		v, err := o.GetRaw(data, f)
+		if err != nil || v.AsInt() != want {
+			t.Errorf("%s = %v (%v), want %#x", f, v.AsInt(), err, want)
+		}
+	}
+}
+
+func TestBitRanges(t *testing.T) {
+	o := New("t",
+		Field{Name: "hi", Offset: 0, Format: UInt8Bits, BitLo: 4, BitHi: 7},
+		Field{Name: "lo", Offset: 0, Format: UInt8Bits, BitLo: 0, BitHi: 3},
+		Field{Name: "mid", Offset: 0, Format: UInt8Bits, BitLo: 2, BitHi: 5},
+	)
+	data := []byte{0b1011_0110}
+	for f, want := range map[string]int64{"hi": 0b1011, "lo": 0b0110, "mid": 0b1101} {
+		v, err := o.GetRaw(data, f)
+		if err != nil || v.AsInt() != want {
+			t.Errorf("%s = %v, want %v", f, v.AsInt(), want)
+		}
+	}
+}
+
+func TestPortAndBytesFormats(t *testing.T) {
+	o := New("t",
+		Field{Name: "sport", Offset: 0, Format: PortTCP},
+		Field{Name: "dport", Offset: 2, Format: PortUDP},
+		Field{Name: "raw", Offset: 0, Format: BytesN, Length: 4},
+	)
+	data := []byte{0x00, 0x50, 0x00, 0x35}
+	v, _ := o.GetRaw(data, "sport")
+	if values.Format(v) != "80/tcp" {
+		t.Errorf("sport = %s", values.Format(v))
+	}
+	v, _ = o.GetRaw(data, "dport")
+	if values.Format(v) != "53/udp" {
+		t.Errorf("dport = %s", values.Format(v))
+	}
+	v, _ = o.GetRaw(data, "raw")
+	if v.AsBytes().Len() != 4 {
+		t.Errorf("raw len = %d", v.AsBytes().Len())
+	}
+}
+
+func TestIPv6Format(t *testing.T) {
+	o := New("t", Field{Name: "a", Offset: 0, Format: IPv6})
+	data := make([]byte, 16)
+	data[0], data[1] = 0x20, 0x01
+	data[15] = 1
+	v, err := o.GetRaw(data, "a")
+	if err != nil || values.Format(v) != "2001::1" {
+		t.Fatalf("got %s, %v", values.Format(v), err)
+	}
+}
+
+func BenchmarkOverlayGetAddr(b *testing.B) {
+	pkt := sampleIPv4()
+	i := IPv4Header.Index("src")
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		IPv4Header.GetIdx(pkt, i)
+	}
+}

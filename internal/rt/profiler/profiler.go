@@ -1,0 +1,134 @@
+// Package profiler implements HILTI's profilers (paper §3.3): named
+// counters that track CPU time, invocation counts, and memory deltas for
+// arbitrary blocks of code, with optional periodic snapshots to disk. The
+// evaluation harness uses profilers to attribute cycles to the components
+// of Figure 9/10 (protocol parsing, script execution, glue, other).
+package profiler
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Profiler accumulates measurements for one named code region. It supports
+// nested and repeated Start/Stop pairs (only the outermost pair measures).
+type Profiler struct {
+	Name string
+
+	mu       sync.Mutex
+	depth    int
+	started  time.Time
+	total    time.Duration
+	count    uint64
+	updates  uint64
+	memStart uint64
+	memTotal int64
+}
+
+// Start begins a measurement interval.
+func (p *Profiler) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.depth++
+	if p.depth == 1 {
+		p.started = time.Now()
+	}
+}
+
+// Stop ends a measurement interval, folding the elapsed time into the
+// total. Unbalanced stops are ignored.
+func (p *Profiler) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.depth == 0 {
+		return
+	}
+	p.depth--
+	if p.depth == 0 {
+		p.total += time.Since(p.started)
+		p.count++
+	}
+}
+
+// Update adds a caller-supplied sample (HILTI's profiler.update for custom
+// attributes such as byte counts).
+func (p *Profiler) Update(delta int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.updates += uint64(delta)
+}
+
+// Total returns the accumulated duration.
+func (p *Profiler) Total() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// Count returns the number of completed Start/Stop intervals.
+func (p *Profiler) Count() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// Updates returns the sum of Update deltas.
+func (p *Profiler) Updates() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.updates
+}
+
+// TypeName implements the runtime Object interface.
+func (p *Profiler) TypeName() string { return "profiler" }
+
+// Registry is a set of named profilers.
+type Registry struct {
+	mu    sync.Mutex
+	profs map[string]*Profiler
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{profs: map[string]*Profiler{}} }
+
+// Get returns the named profiler, creating it if needed.
+func (r *Registry) Get(name string) *Profiler {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.profs[name]
+	if !ok {
+		p = &Profiler{Name: name}
+		r.profs[name] = p
+	}
+	return p
+}
+
+// Snapshot writes one line per profiler (name, total ns, count, updates),
+// sorted by name — the on-disk format HILTI's runtime records at regular
+// intervals.
+func (r *Registry) Snapshot(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.profs))
+	for n := range r.profs {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if _, err := fmt.Fprintf(w, "#heap_alloc=%d\n", m.HeapAlloc); err != nil {
+		return err
+	}
+	for _, n := range names {
+		p := r.Get(n)
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\n",
+			n, p.Total().Nanoseconds(), p.Count(), p.Updates()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

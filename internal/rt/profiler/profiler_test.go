@@ -1,0 +1,69 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartStopAccumulates(t *testing.T) {
+	var p Profiler
+	p.Start()
+	time.Sleep(2 * time.Millisecond)
+	p.Stop()
+	if p.Total() < time.Millisecond {
+		t.Fatalf("total = %v", p.Total())
+	}
+	if p.Count() != 1 {
+		t.Fatalf("count = %d", p.Count())
+	}
+}
+
+func TestNestedOutermostMeasures(t *testing.T) {
+	var p Profiler
+	p.Start()
+	p.Start()
+	p.Stop()
+	if p.Count() != 0 {
+		t.Fatal("inner stop should not complete an interval")
+	}
+	p.Stop()
+	if p.Count() != 1 {
+		t.Fatalf("count = %d", p.Count())
+	}
+	p.Stop() // unbalanced: ignored
+	if p.Count() != 1 {
+		t.Fatal("unbalanced stop counted")
+	}
+}
+
+func TestUpdates(t *testing.T) {
+	var p Profiler
+	p.Update(10)
+	p.Update(5)
+	if p.Updates() != 15 {
+		t.Fatalf("updates = %d", p.Updates())
+	}
+}
+
+func TestRegistryAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	a := r.Get("parsing")
+	if r.Get("parsing") != a {
+		t.Fatal("registry should intern by name")
+	}
+	a.Start()
+	a.Stop()
+	r.Get("script").Update(7)
+	var sb strings.Builder
+	if err := r.Snapshot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "parsing\t") || !strings.Contains(out, "script\t") {
+		t.Fatalf("snapshot: %q", out)
+	}
+	if !strings.HasPrefix(out, "#heap_alloc=") {
+		t.Fatalf("snapshot header: %q", out)
+	}
+}

@@ -1,0 +1,146 @@
+// Thompson NFA construction. Each compiled pattern contributes an accept
+// state tagged with its pattern index, so a single automaton matches a set
+// of expressions simultaneously — HILTI's regexp type supports exactly this
+// for dispatching among protocol tokens in one pass (paper §3.2).
+
+package regexp
+
+// nfaState is one NFA state: byte-class transitions plus epsilon edges.
+type nfaState struct {
+	id     int
+	trans  []nfaTrans
+	eps    []*nfaState
+	accept int // pattern index + 1; 0 when not accepting
+}
+
+type nfaTrans struct {
+	class *byteClass
+	to    *nfaState
+}
+
+// nfa is a compiled automaton fragment with a single entry and exit.
+type nfa struct {
+	start, end *nfaState
+}
+
+type nfaBuilder struct{ states []*nfaState }
+
+func (b *nfaBuilder) state() *nfaState {
+	s := &nfaState{id: len(b.states)}
+	b.states = append(b.states, s)
+	return s
+}
+
+// build converts an AST into an NFA fragment.
+func (b *nfaBuilder) build(n node) nfa {
+	switch n := n.(type) {
+	case *emptyNode:
+		s := b.state()
+		e := b.state()
+		s.eps = append(s.eps, e)
+		return nfa{s, e}
+	case *litNode:
+		s := b.state()
+		e := b.state()
+		s.trans = append(s.trans, nfaTrans{class: n.class, to: e})
+		return nfa{s, e}
+	case *concatNode:
+		frag := b.build(n.subs[0])
+		for _, sub := range n.subs[1:] {
+			next := b.build(sub)
+			frag.end.eps = append(frag.end.eps, next.start)
+			frag.end = next.end
+		}
+		return frag
+	case *altNode:
+		s := b.state()
+		e := b.state()
+		for _, sub := range n.subs {
+			f := b.build(sub)
+			s.eps = append(s.eps, f.start)
+			f.end.eps = append(f.end.eps, e)
+		}
+		return nfa{s, e}
+	case *repeatNode:
+		return b.buildRepeat(n)
+	default:
+		panic("regexp: unknown AST node")
+	}
+}
+
+func (b *nfaBuilder) buildRepeat(n *repeatNode) nfa {
+	switch {
+	case n.min == 0 && n.max == -1: // star
+		s := b.state()
+		e := b.state()
+		f := b.build(n.sub)
+		s.eps = append(s.eps, f.start, e)
+		f.end.eps = append(f.end.eps, f.start, e)
+		return nfa{s, e}
+	case n.min == 1 && n.max == -1: // plus
+		f := b.build(n.sub)
+		e := b.state()
+		f.end.eps = append(f.end.eps, f.start, e)
+		return nfa{f.start, e}
+	case n.min == 0 && n.max == 1: // quest
+		s := b.state()
+		e := b.state()
+		f := b.build(n.sub)
+		s.eps = append(s.eps, f.start, e)
+		f.end.eps = append(f.end.eps, e)
+		return nfa{s, e}
+	default: // counted: expand into a chain of copies
+		s := b.state()
+		cur := s
+		for i := 0; i < n.min; i++ {
+			f := b.build(n.sub)
+			cur.eps = append(cur.eps, f.start)
+			cur = f.end
+		}
+		e := b.state()
+		if n.max == -1 {
+			f := b.build(n.sub)
+			cur.eps = append(cur.eps, f.start, e)
+			f.end.eps = append(f.end.eps, f.start, e)
+		} else {
+			for i := n.min; i < n.max; i++ {
+				f := b.build(n.sub)
+				cur.eps = append(cur.eps, f.start, e)
+				cur = f.end
+			}
+			cur.eps = append(cur.eps, e)
+		}
+		return nfa{s, e}
+	}
+}
+
+// closure expands a set of NFA states with everything epsilon-reachable.
+// The result is a sorted, deduplicated id list plus the best (lowest)
+// accept tag reachable in the set.
+func closure(states []*nfaState) ([]*nfaState, int) {
+	var stack []*nfaState
+	seen := map[int]bool{}
+	var out []*nfaState
+	accept := 0
+	push := func(s *nfaState) {
+		if !seen[s.id] {
+			seen[s.id] = true
+			stack = append(stack, s)
+			out = append(out, s)
+		}
+	}
+	for _, s := range states {
+		push(s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.accept > 0 && (accept == 0 || s.accept < accept) {
+			accept = s.accept
+		}
+		for _, e := range s.eps {
+			push(e)
+		}
+	}
+	return out, accept
+}

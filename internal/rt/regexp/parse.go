@@ -1,0 +1,382 @@
+// Pattern parser: a self-contained regular-expression dialect covering what
+// network-protocol token grammars need (the paper's BinPAC++ examples use
+// patterns like /[^ \t\r\n]+/, /\r?\n/, /HTTP\//, /[0-9]+\.[0-9]+/).
+//
+// Supported syntax: literals, escapes (\n \r \t \0 \xHH \d \D \s \S \w \W,
+// and escaped metacharacters), character classes with ranges and negation,
+// '.', grouping, alternation, and the quantifiers * + ? {n} {n,} {n,m}.
+// Matching operates on raw bytes, as HILTI's regexp type does.
+
+package regexp
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// node is a parsed regular-expression AST node.
+type node interface{ isNode() }
+
+type litNode struct{ class *byteClass } // one byte from a class
+type concatNode struct{ subs []node }
+type altNode struct{ subs []node }
+type repeatNode struct {
+	sub      node
+	min, max int // max < 0 means unbounded
+}
+type emptyNode struct{}
+
+func (*litNode) isNode()    {}
+func (*concatNode) isNode() {}
+func (*altNode) isNode()    {}
+func (*repeatNode) isNode() {}
+func (*emptyNode) isNode()  {}
+
+// byteClass is a 256-bit byte membership set.
+type byteClass struct{ bits [4]uint64 }
+
+func (c *byteClass) add(b byte) { c.bits[b>>6] |= 1 << (b & 63) }
+func (c *byteClass) addRange(lo, hi byte) {
+	for b := int(lo); b <= int(hi); b++ {
+		c.add(byte(b))
+	}
+}
+func (c *byteClass) has(b byte) bool { return c.bits[b>>6]&(1<<(b&63)) != 0 }
+func (c *byteClass) negate() {
+	for i := range c.bits {
+		c.bits[i] = ^c.bits[i]
+	}
+}
+func (c *byteClass) union(o *byteClass) {
+	for i := range c.bits {
+		c.bits[i] |= o.bits[i]
+	}
+}
+
+func singleByte(b byte) *byteClass {
+	c := &byteClass{}
+	c.add(b)
+	return c
+}
+
+func anyByte() *byteClass {
+	c := &byteClass{}
+	c.negate()
+	return c
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+// parsePattern parses a pattern into an AST.
+func parsePattern(src string) (node, error) {
+	p := &parser{src: src}
+	n, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("regexp %q: unexpected %q at offset %d", src, p.src[p.pos], p.pos)
+	}
+	return n, nil
+}
+
+func (p *parser) eof() bool  { return p.pos >= len(p.src) }
+func (p *parser) peek() byte { return p.src[p.pos] }
+func (p *parser) next() byte { b := p.src[p.pos]; p.pos++; return b }
+func (p *parser) errf(f string, a ...any) error {
+	return fmt.Errorf("regexp %q: %s (offset %d)", p.src, fmt.Sprintf(f, a...), p.pos)
+}
+
+func (p *parser) alternation() (node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []node{first}
+	for !p.eof() && p.peek() == '|' {
+		p.next()
+		n, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &altNode{subs: subs}, nil
+}
+
+func (p *parser) concat() (node, error) {
+	var subs []node
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		n, err := p.repeat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	switch len(subs) {
+	case 0:
+		return &emptyNode{}, nil
+	case 1:
+		return subs[0], nil
+	default:
+		return &concatNode{subs: subs}, nil
+	}
+}
+
+func (p *parser) repeat() (node, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		switch p.peek() {
+		case '*':
+			p.next()
+			atom = &repeatNode{sub: atom, min: 0, max: -1}
+		case '+':
+			p.next()
+			atom = &repeatNode{sub: atom, min: 1, max: -1}
+		case '?':
+			p.next()
+			atom = &repeatNode{sub: atom, min: 0, max: 1}
+		case '{':
+			n, err := p.counted(atom)
+			if err != nil {
+				return nil, err
+			}
+			atom = n
+		default:
+			return atom, nil
+		}
+	}
+	return atom, nil
+}
+
+func (p *parser) counted(sub node) (node, error) {
+	p.next() // '{'
+	start := p.pos
+	for !p.eof() && p.peek() != '}' {
+		p.next()
+	}
+	if p.eof() {
+		return nil, p.errf("unterminated {")
+	}
+	body := p.src[start:p.pos]
+	p.next() // '}'
+	min, max := 0, 0
+	if i := indexByte(body, ','); i >= 0 {
+		var err error
+		if min, err = strconv.Atoi(body[:i]); err != nil {
+			return nil, p.errf("bad repeat count %q", body)
+		}
+		rest := body[i+1:]
+		if rest == "" {
+			max = -1
+		} else if max, err = strconv.Atoi(rest); err != nil {
+			return nil, p.errf("bad repeat count %q", body)
+		}
+	} else {
+		var err error
+		if min, err = strconv.Atoi(body); err != nil {
+			return nil, p.errf("bad repeat count %q", body)
+		}
+		max = min
+	}
+	if min < 0 || (max >= 0 && max < min) || min > 1000 || max > 1000 {
+		return nil, p.errf("repeat count out of range in {%s}", body)
+	}
+	return &repeatNode{sub: sub, min: min, max: max}, nil
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *parser) atom() (node, error) {
+	switch b := p.next(); b {
+	case '(':
+		// Non-capturing group markers are accepted and ignored.
+		if p.pos+1 < len(p.src) && p.src[p.pos] == '?' && p.src[p.pos+1] == ':' {
+			p.pos += 2
+		}
+		n, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.next() != ')' {
+			return nil, p.errf("missing )")
+		}
+		return n, nil
+	case '[':
+		c, err := p.class()
+		if err != nil {
+			return nil, err
+		}
+		return &litNode{class: c}, nil
+	case '.':
+		return &litNode{class: anyByte()}, nil
+	case '\\':
+		c, err := p.escape()
+		if err != nil {
+			return nil, err
+		}
+		return &litNode{class: c}, nil
+	case '^':
+		// Patterns are matched anchored at the current input position, so a
+		// leading caret is redundant; accept it as a no-op.
+		return &emptyNode{}, nil
+	case '*', '+', '?', ')', '$':
+		return nil, p.errf("unexpected metacharacter %q", b)
+	default:
+		return &litNode{class: singleByte(b)}, nil
+	}
+}
+
+func (p *parser) escape() (*byteClass, error) {
+	if p.eof() {
+		return nil, p.errf("trailing backslash")
+	}
+	switch b := p.next(); b {
+	case 'n':
+		return singleByte('\n'), nil
+	case 'r':
+		return singleByte('\r'), nil
+	case 't':
+		return singleByte('\t'), nil
+	case 'f':
+		return singleByte('\f'), nil
+	case 'v':
+		return singleByte('\v'), nil
+	case '0':
+		return singleByte(0), nil
+	case 'a':
+		return singleByte(7), nil
+	case 'x':
+		if p.pos+2 > len(p.src) {
+			return nil, p.errf("truncated \\x escape")
+		}
+		n, err := strconv.ParseUint(p.src[p.pos:p.pos+2], 16, 8)
+		if err != nil {
+			return nil, p.errf("bad \\x escape")
+		}
+		p.pos += 2
+		return singleByte(byte(n)), nil
+	case 'd':
+		return classDigit(), nil
+	case 'D':
+		c := classDigit()
+		c.negate()
+		return c, nil
+	case 's':
+		return classSpace(), nil
+	case 'S':
+		c := classSpace()
+		c.negate()
+		return c, nil
+	case 'w':
+		return classWord(), nil
+	case 'W':
+		c := classWord()
+		c.negate()
+		return c, nil
+	default:
+		// Escaped literal (metacharacters, '/', etc.).
+		return singleByte(b), nil
+	}
+}
+
+func classDigit() *byteClass {
+	c := &byteClass{}
+	c.addRange('0', '9')
+	return c
+}
+
+func classSpace() *byteClass {
+	c := &byteClass{}
+	for _, b := range []byte{' ', '\t', '\n', '\r', '\f', '\v'} {
+		c.add(b)
+	}
+	return c
+}
+
+func classWord() *byteClass {
+	c := &byteClass{}
+	c.addRange('a', 'z')
+	c.addRange('A', 'Z')
+	c.addRange('0', '9')
+	c.add('_')
+	return c
+}
+
+func (p *parser) class() (*byteClass, error) {
+	c := &byteClass{}
+	negate := false
+	if !p.eof() && p.peek() == '^' {
+		p.next()
+		negate = true
+	}
+	first := true
+	for {
+		if p.eof() {
+			return nil, p.errf("unterminated character class")
+		}
+		b := p.next()
+		if b == ']' && !first {
+			break
+		}
+		first = false
+		var lo *byteClass
+		if b == '\\' {
+			var err error
+			if lo, err = p.escape(); err != nil {
+				return nil, err
+			}
+		} else {
+			lo = singleByte(b)
+		}
+		// Range? Only for single-byte left sides.
+		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.next() // '-'
+			hiB := p.next()
+			if hiB == '\\' {
+				hc, err := p.escape()
+				if err != nil {
+					return nil, err
+				}
+				// Find the single byte of the escape for the range end.
+				hiB = firstOf(hc)
+			}
+			loB := firstOf(lo)
+			if loB > hiB {
+				return nil, p.errf("inverted range")
+			}
+			c.addRange(loB, hiB)
+			continue
+		}
+		c.union(lo)
+	}
+	if negate {
+		c.negate()
+	}
+	return c, nil
+}
+
+func firstOf(c *byteClass) byte {
+	for i := 0; i < 256; i++ {
+		if c.has(byte(i)) {
+			return byte(i)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,271 @@
+package regexp
+
+import (
+	gore "regexp"
+	"testing"
+	"testing/quick"
+
+	"hilti/internal/rt/hbytes"
+)
+
+func mustMatch(t *testing.T, re *Regexp, input string, wantID int, wantLen int64) {
+	t.Helper()
+	id, n := re.MatchString(input)
+	if id != wantID || n != wantLen {
+		t.Fatalf("Match(%q) = (%d, %d), want (%d, %d)", input, id, n, wantID, wantLen)
+	}
+}
+
+func TestLiteral(t *testing.T) {
+	re := MustCompile("GET")
+	mustMatch(t, re, "GET /", 1, 3)
+	mustMatch(t, re, "GE", 0, 0)
+	mustMatch(t, re, "POST", 0, 0)
+}
+
+func TestLongestMatch(t *testing.T) {
+	re := MustCompile("a+")
+	mustMatch(t, re, "aaab", 1, 3)
+	mustMatch(t, re, "b", 0, 0)
+}
+
+func TestPaperHTTPTokens(t *testing.T) {
+	// The BinPAC++ grammar tokens from Figure 6(a).
+	token := MustCompile(`[^ \t\r\n]+`)
+	mustMatch(t, token, "GET /x", 1, 3)
+	newline := MustCompile(`\r?\n`)
+	mustMatch(t, newline, "\r\nrest", 1, 2)
+	mustMatch(t, newline, "\nrest", 1, 1)
+	ws := MustCompile(`[ \t]+`)
+	mustMatch(t, ws, "  \tx", 1, 3)
+	version := MustCompile(`[0-9]+\.[0-9]+`)
+	mustMatch(t, version, "1.1\r\n", 1, 3)
+	mustMatch(t, version, "10.25 ", 1, 5)
+	httpLit := MustCompile(`HTTP/`)
+	mustMatch(t, httpLit, "HTTP/1.1", 1, 5)
+}
+
+func TestPaperSSHTokens(t *testing.T) {
+	// Figure 7(a): SSH banner grammar tokens.
+	magic := MustCompile(`SSH-`)
+	mustMatch(t, magic, "SSH-2.0-OpenSSH", 1, 4)
+	version := MustCompile(`[^-]*`)
+	mustMatch(t, version, "2.0-OpenSSH", 1, 3)
+	software := MustCompile(`[^\r\n]*`)
+	mustMatch(t, software, "OpenSSH_3.9p1\r\n", 1, 13)
+}
+
+func TestAlternation(t *testing.T) {
+	re := MustCompile("cat|cattle|dog")
+	mustMatch(t, re, "cattle!", 1, 6) // longest, not first alternative
+	mustMatch(t, re, "dog", 1, 3)
+}
+
+func TestSetMatchingIDs(t *testing.T) {
+	re := MustCompile("GET", "POST", "HEAD")
+	if id, _ := re.MatchString("POST /"); id != 2 {
+		t.Fatalf("id = %d", id)
+	}
+	if id, _ := re.MatchString("HEAD /"); id != 3 {
+		t.Fatalf("id = %d", id)
+	}
+	if id, _ := re.MatchString("PUT /"); id != 0 {
+		t.Fatalf("id = %d", id)
+	}
+}
+
+func TestSetLowestIDWins(t *testing.T) {
+	re := MustCompile("[a-z]+", "abc")
+	id, n := re.MatchString("abc")
+	if id != 1 || n != 3 {
+		t.Fatalf("got (%d, %d)", id, n)
+	}
+}
+
+func TestCountedRepeat(t *testing.T) {
+	re := MustCompile("a{2,4}")
+	mustMatch(t, re, "a", 0, 0)
+	mustMatch(t, re, "aa", 1, 2)
+	mustMatch(t, re, "aaaaa", 1, 4)
+	re2 := MustCompile("x{3}")
+	mustMatch(t, re2, "xxxx", 1, 3)
+	re3 := MustCompile("y{2,}")
+	mustMatch(t, re3, "yyyyy", 1, 5)
+}
+
+func TestClasses(t *testing.T) {
+	re := MustCompile(`\d+\.\d+\.\d+\.\d+`)
+	mustMatch(t, re, "10.1.2.3 x", 1, 8)
+	re2 := MustCompile(`[A-Fa-f0-9]+`)
+	mustMatch(t, re2, "dEaDbEeF!", 1, 8)
+	re3 := MustCompile(`[^:]+:`)
+	mustMatch(t, re3, "Host: x", 1, 5)
+	re4 := MustCompile(`[\]\[]`) // escaped brackets in class
+	mustMatch(t, re4, "]", 1, 1)
+}
+
+func TestDotAndEscapes(t *testing.T) {
+	re := MustCompile(`a.c`)
+	mustMatch(t, re, "abc", 1, 3)
+	mustMatch(t, re, "a\nc", 1, 3) // byte-oriented: . matches any byte
+	re2 := MustCompile(`\x41\t`)
+	mustMatch(t, re2, "A\tx", 1, 2)
+}
+
+func TestEmptyMatch(t *testing.T) {
+	re := MustCompile("a*")
+	mustMatch(t, re, "bbb", 1, 0)
+	mustMatch(t, re, "", 1, 0)
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, p := range []string{"(", "a)", "[abc", "a{", "a{2,1}", "*a", `\x1`} {
+		if _, err := Compile(p); err == nil {
+			t.Errorf("pattern %q should not compile", p)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	re := MustCompile("needle")
+	s, e, id := re.Find([]byte("hay needle hay"))
+	if id != 1 || s != 4 || e != 10 {
+		t.Fatalf("find = (%d, %d, %d)", s, e, id)
+	}
+	if _, _, id := re.Find([]byte("haystack")); id != 0 {
+		t.Fatalf("found in absence: %d", id)
+	}
+}
+
+func TestIncrementalFeed(t *testing.T) {
+	re := MustCompile(`[0-9]+\.[0-9]+`)
+	ms := re.NewState()
+	if !ms.Feed([]byte("12")) {
+		t.Fatal("should stay alive")
+	}
+	if !ms.Feed([]byte(".")) {
+		t.Fatal("should stay alive")
+	}
+	if !ms.Feed([]byte("34")) {
+		t.Fatal("should stay alive")
+	}
+	ms.Feed([]byte(" ")) // dies here
+	id, n := ms.Result()
+	if id != 1 || n != 5 {
+		t.Fatalf("result = (%d, %d)", id, n)
+	}
+}
+
+func TestIncrementalEqualsOneShot(t *testing.T) {
+	re := MustCompile(`[^ ]+`)
+	input := []byte("hello world")
+	for split := 0; split <= len(input); split++ {
+		ms := re.NewState()
+		ms.Feed(input[:split])
+		ms.Feed(input[split:])
+		id, n := ms.Result()
+		wid, wn := re.Match(input)
+		if id != wid || n != wn {
+			t.Fatalf("split %d: (%d,%d) != (%d,%d)", split, id, n, wid, wn)
+		}
+	}
+}
+
+func TestMatchIterWouldBlock(t *testing.T) {
+	re := MustCompile(`[^\r\n]*\r\n`)
+	b := hbytes.New()
+	b.Append([]byte("GET / HT"))
+	ms := re.NewState()
+	_, resume, err := ms.FinishIter(b.Begin())
+	if err != hbytes.ErrWouldBlock {
+		t.Fatalf("want would-block, got %v", err)
+	}
+	b.Append([]byte("TP/1.1\r\n"))
+	id, end, err := ms.FinishIter(resume)
+	if err != nil || id != 1 {
+		t.Fatalf("resumed match: id=%d err=%v", id, err)
+	}
+	if end.Offset() != 16 {
+		t.Fatalf("end offset = %d", end.Offset())
+	}
+}
+
+func TestMatchIterFrozen(t *testing.T) {
+	re := MustCompile(`abc`)
+	b := hbytes.NewFromString("ab")
+	b.Freeze()
+	id, _, err := re.MatchIter(b.Begin())
+	if err != nil || id != 0 {
+		t.Fatalf("id=%d err=%v", id, err)
+	}
+}
+
+// Property: our engine agrees with Go's regexp for anchored longest
+// matching of a fixed pattern over random inputs. Go's regexp is
+// leftmost-first, so we restrict to patterns where the two coincide.
+func TestQuickAgainstStdlib(t *testing.T) {
+	pattern := `[a-c]+x?`
+	re := MustCompile(pattern)
+	std := gore.MustCompile(`^(?:` + pattern + `)`)
+	f := func(raw []byte) bool {
+		// Map bytes into a small alphabet to hit the pattern often.
+		data := make([]byte, len(raw))
+		for i, b := range raw {
+			data[i] = "abcxy"[int(b)%5]
+		}
+		id, n := re.Match(data)
+		loc := std.FindIndex(data)
+		if loc == nil {
+			return id == 0 || n == 0
+		}
+		return id == 1 && int(n) == loc[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: feeding in arbitrary chunkings never changes the result.
+func TestQuickChunkingInvariance(t *testing.T) {
+	re := MustCompile(`[0-9]+(\.[0-9]+)?`, `[a-z]+`)
+	f := func(raw []byte, cut uint8) bool {
+		data := make([]byte, len(raw))
+		for i, b := range raw {
+			data[i] = "0123456789abc. "[int(b)%15]
+		}
+		wid, wn := re.Match(data)
+		k := int(cut)
+		if len(data) > 0 {
+			k = k % (len(data) + 1)
+		} else {
+			k = 0
+		}
+		ms := re.NewState()
+		ms.Feed(data[:k])
+		ms.Feed(data[k:])
+		id, n := ms.Result()
+		return id == wid && n == wn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatchToken(b *testing.B) {
+	re := MustCompile(`[^ \t\r\n]+`)
+	data := []byte("GET /index.html HTTP/1.1\r\n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re.Match(data)
+	}
+}
+
+func BenchmarkMatchSet(b *testing.B) {
+	re := MustCompile("GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS")
+	data := []byte("DELETE /resource HTTP/1.1\r\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re.Match(data)
+	}
+}

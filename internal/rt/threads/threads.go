@@ -1,0 +1,198 @@
+// Package threads implements HILTI's concurrency model (paper §3.2): an
+// Erlang-style scheme giving applications a large supply of lightweight
+// *virtual threads*, identified by 64-bit integer IDs, which a runtime
+// scheduler maps onto a small number of hardware workers.
+//
+// All jobs for one virtual thread execute sequentially on the worker that
+// owns it (vid -> worker by modulo), so computation relating to one flow is
+// implicitly serialized — the property that lets hash-based load balancing
+// (flow 5-tuple -> vid) avoid intra-flow synchronization entirely. Virtual
+// threads cannot share state: each owns a context with its thread-local
+// variable slots and its timer manager, and thread.schedule deep-copies all
+// mutable arguments, exactly as HILTI's data-isolation model prescribes.
+package threads
+
+import (
+	"fmt"
+	"sync"
+
+	"hilti/internal/rt/timer"
+	"hilti/internal/rt/values"
+)
+
+// Context is the per-virtual-thread state object the runtime associates
+// with each virtual thread (paper §5 "Runtime Model"): thread-local
+// variable slots, the thread's timer managers, and scratch host data.
+type Context struct {
+	VID      uint64
+	TimerMgr *timer.Mgr     // the thread's global timer manager
+	Slots    []values.Value // thread-local variables, laid out by the linker
+	Host     map[string]any // host-application scratch space
+}
+
+// Slot returns thread-local slot i, growing the slot array as needed.
+func (c *Context) Slot(i int) values.Value {
+	c.grow(i + 1)
+	return c.Slots[i]
+}
+
+// SetSlot assigns thread-local slot i.
+func (c *Context) SetSlot(i int, v values.Value) {
+	c.grow(i + 1)
+	c.Slots[i] = v
+}
+
+func (c *Context) grow(n int) {
+	for len(c.Slots) < n {
+		c.Slots = append(c.Slots, values.Nil)
+	}
+}
+
+// Job is a unit of work executed inside a virtual thread.
+type Job func(ctx *Context)
+
+type queued struct {
+	vid uint64
+	job Job
+}
+
+type worker struct {
+	jobs     chan queued
+	contexts map[uint64]*Context
+}
+
+// Scheduler maps virtual threads onto worker goroutines, first-come
+// first-served per worker (paper §5 "Runtime Library").
+type Scheduler struct {
+	workers []*worker
+	pending sync.WaitGroup
+	wg      sync.WaitGroup
+	stopped bool
+	mu      sync.Mutex
+}
+
+// NewScheduler starts n hardware workers (n >= 1).
+func NewScheduler(n int) *Scheduler {
+	if n < 1 {
+		n = 1
+	}
+	s := &Scheduler{}
+	for i := 0; i < n; i++ {
+		w := &worker{
+			jobs:     make(chan queued, 4096),
+			contexts: map[uint64]*Context{},
+		}
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go s.run(w)
+	}
+	return s
+}
+
+// Workers returns the number of hardware workers.
+func (s *Scheduler) Workers() int { return len(s.workers) }
+
+func (s *Scheduler) run(w *worker) {
+	defer s.wg.Done()
+	for q := range w.jobs {
+		ctx, ok := w.contexts[q.vid]
+		if !ok {
+			ctx = &Context{VID: q.vid, TimerMgr: timer.NewMgr(), Host: map[string]any{}}
+			w.contexts[q.vid] = ctx
+		}
+		q.job(ctx)
+		s.pending.Done()
+	}
+}
+
+// Schedule enqueues a job for virtual thread vid (HILTI's thread.schedule).
+// The job's closed-over values must already be deep-copied; use
+// ScheduleValues for automatic argument copying.
+func (s *Scheduler) Schedule(vid uint64, job Job) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return fmt.Errorf("threads: scheduler stopped")
+	}
+	s.pending.Add(1)
+	s.mu.Unlock()
+	w := s.workers[vid%uint64(len(s.workers))]
+	w.jobs <- queued{vid: vid, job: job}
+	return nil
+}
+
+// ScheduleValues deep-copies args (HILTI's message-passing isolation) and
+// enqueues fn for virtual thread vid.
+func (s *Scheduler) ScheduleValues(vid uint64, fn func(ctx *Context, args []values.Value), args ...values.Value) error {
+	cp := make([]values.Value, len(args))
+	for i, a := range args {
+		cp[i] = values.DeepCopy(a)
+	}
+	return s.Schedule(vid, func(ctx *Context) { fn(ctx, cp) })
+}
+
+// AdvanceGlobalTime advances every live virtual thread's timer manager to
+// t, via per-thread jobs so timer callbacks run within their own thread.
+// It is used by trace-driven hosts that derive time from packet timestamps.
+func (s *Scheduler) AdvanceGlobalTime(t timer.Time) {
+	for _, w := range s.workers {
+		w := w
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		s.pending.Add(1)
+		s.mu.Unlock()
+		// A worker-level job advancing all of its contexts preserves the
+		// per-worker serialization of context access.
+		w.jobs <- queued{vid: 0, job: func(*Context) {
+			for _, ctx := range w.contexts {
+				ctx.TimerMgr.Advance(t)
+			}
+		}}
+	}
+}
+
+// Drain blocks until all currently scheduled jobs (including jobs they
+// scheduled transitively) have completed.
+func (s *Scheduler) Drain() { s.pending.Wait() }
+
+// Shutdown drains outstanding work and stops the workers. The scheduler is
+// unusable afterwards.
+func (s *Scheduler) Shutdown() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	s.pending.Wait()
+	for _, w := range s.workers {
+		close(w.jobs)
+	}
+	s.wg.Wait()
+}
+
+// EachContext calls fn for every live context after draining; only safe
+// when no concurrent Schedule calls are in flight (e.g. at end of trace).
+func (s *Scheduler) EachContext(fn func(*Context)) {
+	s.Drain()
+	for _, w := range s.workers {
+		w := w
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		s.pending.Add(1)
+		s.mu.Unlock()
+		w.jobs <- queued{job: func(*Context) {
+			for _, ctx := range w.contexts {
+				fn(ctx)
+			}
+		}}
+	}
+	s.Drain()
+}

@@ -1,0 +1,145 @@
+package threads
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hilti/internal/rt/values"
+)
+
+func TestSameVIDSerializes(t *testing.T) {
+	s := NewScheduler(4)
+	defer s.Shutdown()
+	// All jobs for one vid must observe a consistent, race-free counter in
+	// their context (no atomics needed inside — that is the guarantee).
+	const jobs = 1000
+	for i := 0; i < jobs; i++ {
+		s.Schedule(42, func(ctx *Context) {
+			n := ctx.Slot(0).AsInt()
+			ctx.SetSlot(0, values.Int(n+1))
+		})
+	}
+	s.Drain()
+	var got int64
+	s.EachContext(func(ctx *Context) {
+		if ctx.VID == 42 {
+			got = ctx.Slot(0).AsInt()
+		}
+	})
+	if got != jobs {
+		t.Fatalf("counter = %d, want %d", got, jobs)
+	}
+}
+
+func TestVIDToWorkerStable(t *testing.T) {
+	s := NewScheduler(3)
+	defer s.Shutdown()
+	// Two jobs for the same vid must see the same context instance.
+	var first, second *Context
+	done := make(chan struct{})
+	s.Schedule(7, func(ctx *Context) { first = ctx })
+	s.Drain()
+	s.Schedule(7, func(ctx *Context) { second = ctx; close(done) })
+	<-done
+	if first == nil || first != second {
+		t.Fatal("same vid should map to same context")
+	}
+}
+
+func TestDistinctVIDsDistinctContexts(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Shutdown()
+	seen := make(chan uint64, 16)
+	for vid := uint64(0); vid < 8; vid++ {
+		vid := vid
+		s.Schedule(vid, func(ctx *Context) {
+			if ctx.VID != vid {
+				t.Errorf("ctx.VID = %d, want %d", ctx.VID, vid)
+			}
+			seen <- ctx.VID
+		})
+	}
+	s.Drain()
+	if len(seen) != 8 {
+		t.Fatalf("ran %d jobs", len(seen))
+	}
+}
+
+func TestScheduleValuesDeepCopies(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Shutdown()
+	b := values.BytesFrom([]byte("abc"))
+	got := make(chan string, 1)
+	s.ScheduleValues(1, func(ctx *Context, args []values.Value) {
+		got <- args[0].AsBytes().String()
+	}, b)
+	// Mutating after scheduling must not affect the receiver: the copy
+	// happened in ScheduleValues, synchronously.
+	b.AsBytes().Unfreeze()
+	b.AsBytes().Append([]byte("MUT"))
+	s.Drain()
+	if g := <-got; g != "abc" {
+		t.Fatalf("receiver saw %q", g)
+	}
+}
+
+func TestJobsCanScheduleJobs(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Shutdown()
+	var count atomic.Int64
+	var spawn func(depth int) Job
+	spawn = func(depth int) Job {
+		return func(ctx *Context) {
+			count.Add(1)
+			if depth > 0 {
+				s.Schedule(ctx.VID+1, spawn(depth-1))
+			}
+		}
+	}
+	s.Schedule(0, spawn(10))
+	s.Drain()
+	if count.Load() != 11 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+func TestAdvanceGlobalTime(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Shutdown()
+	var fired atomic.Int64
+	for vid := uint64(0); vid < 4; vid++ {
+		s.Schedule(vid, func(ctx *Context) {
+			ctx.TimerMgr.ScheduleFunc(100, func() { fired.Add(1) })
+		})
+	}
+	s.Drain()
+	s.AdvanceGlobalTime(50)
+	s.Drain()
+	if fired.Load() != 0 {
+		t.Fatal("timers fired early")
+	}
+	s.AdvanceGlobalTime(100)
+	s.Drain()
+	if fired.Load() != 4 {
+		t.Fatalf("fired = %d", fired.Load())
+	}
+}
+
+func TestShutdownRejectsNewWork(t *testing.T) {
+	s := NewScheduler(1)
+	s.Shutdown()
+	if err := s.Schedule(1, func(*Context) {}); err == nil {
+		t.Fatal("schedule after shutdown should error")
+	}
+	s.Shutdown() // idempotent
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	s := NewScheduler(4)
+	defer s.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(uint64(i), func(*Context) {})
+	}
+	s.Drain()
+}

@@ -1,0 +1,181 @@
+// Package timer implements HILTI's timers and timer managers.
+//
+// A timer captures a closure to execute at a future point of time; a timer
+// manager maintains an independent notion of time (paper §3.2, [43]) and
+// fires due timers, in timestamp order, whenever its time is advanced.
+// Network analysis drives timer managers from packet timestamps rather than
+// the wall clock, so offline trace processing expires state exactly as live
+// operation would.
+//
+// Containers with state management (package container) schedule their
+// expiration through a timer manager, and host applications advance the
+// global manager per input unit (e.g. per packet), as the paper's firewall
+// example does with timer_mgr.advance_global.
+package timer
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is nanoseconds since the Unix epoch, HILTI's time resolution.
+type Time int64
+
+// Interval is a span in nanoseconds.
+type Interval int64
+
+// Seconds converts a float seconds quantity to an Interval.
+func Seconds(s float64) Interval { return Interval(s * 1e9) }
+
+// Timer is a scheduled closure. A timer belongs to at most one manager at a
+// time; rescheduling through its manager updates it in place.
+type Timer struct {
+	fire  Time
+	fn    func()
+	mgr   *Mgr
+	index int // heap index; -1 when not scheduled
+	seq   uint64
+}
+
+// NewTimer creates an unscheduled timer executing fn when it fires.
+func NewTimer(fn func()) *Timer { return &Timer{fn: fn, index: -1} }
+
+// Scheduled reports whether the timer is currently pending in a manager.
+func (t *Timer) Scheduled() bool { return t.index >= 0 }
+
+// FireTime returns the time the timer is due (zero when unscheduled).
+func (t *Timer) FireTime() Time { return t.fire }
+
+// Cancel removes the timer from its manager, if scheduled.
+func (t *Timer) Cancel() {
+	if t.mgr != nil && t.index >= 0 {
+		heap.Remove(&t.mgr.q, t.index)
+		t.mgr = nil
+	}
+}
+
+// Update reschedules a pending timer to a new fire time (HILTI's
+// timer.update); it is a no-op for unscheduled timers.
+func (t *Timer) Update(at Time) {
+	if t.mgr == nil || t.index < 0 {
+		return
+	}
+	t.fire = at
+	heap.Fix(&t.mgr.q, t.index)
+}
+
+// Mgr is a timer manager: an independent notion of time plus a queue of
+// pending timers. Managers are not safe for concurrent use; in HILTI each
+// virtual thread owns its managers (package threads enforces this).
+type Mgr struct {
+	now Time
+	q   timerQueue
+	seq uint64
+}
+
+// NewMgr creates a manager whose time starts at zero.
+func NewMgr() *Mgr { return &Mgr{} }
+
+// Now returns the manager's current time.
+func (m *Mgr) Now() Time { return m.now }
+
+// Pending returns the number of scheduled timers.
+func (m *Mgr) Pending() int { return len(m.q) }
+
+// Schedule adds t to the manager, due at time at. Timers scheduled at or
+// before the manager's current time fire on the next Advance (HILTI
+// semantics: scheduling never executes user code synchronously).
+func (m *Mgr) Schedule(at Time, t *Timer) error {
+	if t.index >= 0 {
+		return fmt.Errorf("timer already scheduled")
+	}
+	t.fire = at
+	t.mgr = m
+	m.seq++
+	t.seq = m.seq
+	heap.Push(&m.q, t)
+	return nil
+}
+
+// ScheduleFunc is a convenience wrapper creating and scheduling a timer.
+func (m *Mgr) ScheduleFunc(at Time, fn func()) *Timer {
+	t := NewTimer(fn)
+	m.Schedule(at, t)
+	return t
+}
+
+// Advance moves the manager's time forward to now and fires all timers due
+// at or before it, in (time, scheduling) order. Moving time backwards is a
+// no-op for the clock but still returns without firing, matching HILTI's
+// monotone timer_mgr.advance. It returns the number of timers fired.
+func (m *Mgr) Advance(now Time) int {
+	if now > m.now {
+		m.now = now
+	}
+	fired := 0
+	for len(m.q) > 0 && m.q[0].fire <= m.now {
+		t := heap.Pop(&m.q).(*Timer)
+		t.mgr = nil
+		fired++
+		t.fn()
+	}
+	return fired
+}
+
+// AdvanceBy moves time forward by an interval.
+func (m *Mgr) AdvanceBy(d Interval) int { return m.Advance(m.now + Time(d)) }
+
+// Expire fires (or optionally discards) all pending timers regardless of
+// their due time, as HILTI's timer_mgr.expire does at shutdown.
+func (m *Mgr) Expire(execute bool) int {
+	n := 0
+	for len(m.q) > 0 {
+		t := heap.Pop(&m.q).(*Timer)
+		t.mgr = nil
+		n++
+		if execute {
+			t.fn()
+		}
+	}
+	return n
+}
+
+// TypeName implements the runtime Object interface by name convention.
+func (m *Mgr) TypeName() string { return "timer_mgr" }
+
+// TypeName implements the runtime Object interface by name convention.
+func (t *Timer) TypeName() string { return "timer" }
+
+// timerQueue is a binary min-heap over (fire time, sequence).
+type timerQueue []*Timer
+
+func (q timerQueue) Len() int { return len(q) }
+
+func (q timerQueue) Less(i, j int) bool {
+	if q[i].fire != q[j].fire {
+		return q[i].fire < q[j].fire
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q timerQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *timerQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *timerQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}

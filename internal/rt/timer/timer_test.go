@@ -1,0 +1,200 @@
+package timer
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvanceFiresInOrder(t *testing.T) {
+	m := NewMgr()
+	var got []int
+	m.ScheduleFunc(30, func() { got = append(got, 3) })
+	m.ScheduleFunc(10, func() { got = append(got, 1) })
+	m.ScheduleFunc(20, func() { got = append(got, 2) })
+	if n := m.Advance(25); n != 2 {
+		t.Fatalf("fired %d", n)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("order %v", got)
+	}
+	m.Advance(30)
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("order %v", got)
+	}
+}
+
+func TestAdvanceMonotone(t *testing.T) {
+	m := NewMgr()
+	m.Advance(100)
+	m.Advance(50)
+	if m.Now() != 100 {
+		t.Fatalf("time went backwards: %d", m.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	m := NewMgr()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		m.ScheduleFunc(10, func() { got = append(got, i) })
+	}
+	m.Advance(10)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	m := NewMgr()
+	fired := false
+	tm := m.ScheduleFunc(10, func() { fired = true })
+	if !tm.Scheduled() {
+		t.Fatal("should be scheduled")
+	}
+	tm.Cancel()
+	if tm.Scheduled() {
+		t.Fatal("should not be scheduled")
+	}
+	m.Advance(100)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	tm.Cancel() // double-cancel is a no-op
+}
+
+func TestUpdate(t *testing.T) {
+	m := NewMgr()
+	var got []string
+	a := m.ScheduleFunc(10, func() { got = append(got, "a") })
+	m.ScheduleFunc(20, func() { got = append(got, "b") })
+	a.Update(30)
+	m.Advance(25)
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("got %v", got)
+	}
+	m.Advance(30)
+	if len(got) != 2 || got[1] != "a" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRescheduleFromCallback(t *testing.T) {
+	// A timer whose callback schedules another timer due later must not
+	// fire it in the same advance unless due.
+	m := NewMgr()
+	count := 0
+	var rearm func()
+	rearm = func() {
+		count++
+		if count < 3 {
+			m.ScheduleFunc(m.Now()+10, rearm)
+		}
+	}
+	m.ScheduleFunc(10, rearm)
+	m.Advance(10)
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+	// After the first firing the timer is re-armed at 20; advancing to 30
+	// fires it once more (re-arming at 40, since Now() is already 30).
+	m.Advance(30)
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+	m.Advance(40)
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestCallbackSchedulesDueTimerFiresSameAdvance(t *testing.T) {
+	m := NewMgr()
+	var got []string
+	m.ScheduleFunc(10, func() {
+		got = append(got, "first")
+		m.ScheduleFunc(5, func() { got = append(got, "second") }) // already due
+	})
+	m.Advance(10)
+	if len(got) != 2 || got[1] != "second" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExpire(t *testing.T) {
+	m := NewMgr()
+	n := 0
+	for i := 0; i < 4; i++ {
+		m.ScheduleFunc(Time(1000+i), func() { n++ })
+	}
+	if fired := m.Expire(true); fired != 4 || n != 4 {
+		t.Fatalf("expire fired=%d n=%d", fired, n)
+	}
+	if m.Pending() != 0 {
+		t.Fatal("pending after expire")
+	}
+	m.ScheduleFunc(1, func() { n++ })
+	m.Expire(false)
+	if n != 4 {
+		t.Fatal("expire(false) executed")
+	}
+}
+
+func TestScheduleTwiceRejected(t *testing.T) {
+	m := NewMgr()
+	tm := NewTimer(func() {})
+	if err := m.Schedule(1, tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Schedule(2, tm); err == nil {
+		t.Fatal("double schedule should error")
+	}
+}
+
+// Property: advancing past all of a random set of fire times fires them in
+// nondecreasing time order, exactly once each.
+func TestQuickFireOrder(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMgr()
+		want := make([]Time, n)
+		var fired []Time
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(1000))
+			want[i] = at
+			at2 := at
+			m.ScheduleFunc(at, func() { fired = append(fired, at2) })
+		}
+		m.Advance(2000)
+		if len(fired) != n {
+			return false
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAdvance(b *testing.B) {
+	m := NewMgr()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.ScheduleFunc(m.Now()+100, func() {})
+		if i%64 == 0 {
+			m.AdvanceBy(10)
+		}
+	}
+	m.Expire(false)
+}

@@ -1,0 +1,262 @@
+package values
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrParseFormatV4(t *testing.T) {
+	a := MustParseAddr("192.168.1.1")
+	if !a.AddrIsV4() {
+		t.Fatal("should be v4-mapped")
+	}
+	if got := Format(a); got != "192.168.1.1" {
+		t.Fatalf("format = %q", got)
+	}
+}
+
+func TestAddrParseFormatV6(t *testing.T) {
+	cases := []string{"2001:db8::1", "::1", "fe80::1:2:3", "2001:db8:0:1:1:1:1:1"}
+	for _, s := range cases {
+		a, err := ParseAddr(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if a.AddrIsV4() {
+			t.Fatalf("%s classified as v4", s)
+		}
+		back, err := ParseAddr(Format(a))
+		if err != nil || !Equal(a, back) {
+			t.Fatalf("%s: roundtrip %q -> %v", s, Format(a), err)
+		}
+	}
+}
+
+func TestAddrV4MappedEmbedded(t *testing.T) {
+	a := MustParseAddr("::ffff:10.0.0.1")
+	b := MustParseAddr("10.0.0.1")
+	if !Equal(a, b) {
+		t.Fatal("IPv4-mapped form should equal plain IPv4")
+	}
+}
+
+func TestNetContains(t *testing.T) {
+	n := MustParseNet("10.0.5.0/24")
+	if !n.NetContains(MustParseAddr("10.0.5.77")) {
+		t.Fatal("should contain")
+	}
+	if n.NetContains(MustParseAddr("10.0.6.1")) {
+		t.Fatal("should not contain")
+	}
+	if got := Format(n); got != "10.0.5.0/24" {
+		t.Fatalf("format = %q", got)
+	}
+	n6 := MustParseNet("2001:db8::/32")
+	if !n6.NetContains(MustParseAddr("2001:db8:1::5")) {
+		t.Fatal("v6 should contain")
+	}
+	if n6.NetContains(MustParseAddr("2001:db9::1")) {
+		t.Fatal("v6 should not contain")
+	}
+}
+
+func TestNetNormalizesHostBits(t *testing.T) {
+	a := MustParseNet("10.1.2.3/16")
+	b := MustParseNet("10.1.0.0/16")
+	if !Equal(a, b) {
+		t.Fatal("host bits should be masked off")
+	}
+}
+
+func TestPortParseFormat(t *testing.T) {
+	p, err := ParsePort("80/tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, proto := p.AsPort()
+	if num != 80 || proto != ProtoTCP {
+		t.Fatalf("got %d/%d", num, proto)
+	}
+	if Format(p) != "80/tcp" {
+		t.Fatalf("format = %q", Format(p))
+	}
+	if _, err := ParsePort("80"); err == nil {
+		t.Fatal("want error for missing proto")
+	}
+}
+
+func TestEqualScalars(t *testing.T) {
+	if !Equal(Int(42), Int(42)) || Equal(Int(42), Int(43)) {
+		t.Fatal("int equality")
+	}
+	if Equal(Int(1), Bool(true)) {
+		t.Fatal("cross-kind equality must be false")
+	}
+	if !Equal(String("x"), String("x")) {
+		t.Fatal("string equality")
+	}
+	if !Equal(BytesFrom([]byte("ab")), BytesFrom([]byte("ab"))) {
+		t.Fatal("bytes equality is by content")
+	}
+}
+
+func TestTupleEqualCompareKey(t *testing.T) {
+	a := TupleVal(MustParseAddr("1.2.3.4"), PortVal(80, ProtoTCP))
+	b := TupleVal(MustParseAddr("1.2.3.4"), PortVal(80, ProtoTCP))
+	c := TupleVal(MustParseAddr("1.2.3.4"), PortVal(81, ProtoTCP))
+	if !Equal(a, b) || Equal(a, c) {
+		t.Fatal("tuple equality")
+	}
+	if Key(a) != Key(b) || Key(a) == Key(c) {
+		t.Fatal("tuple keying")
+	}
+	if Compare(a, c) >= 0 {
+		t.Fatal("tuple ordering")
+	}
+}
+
+func TestStructDefaultsAndUnset(t *testing.T) {
+	def := NewStructDef("conn",
+		StructField{Name: "src"},
+		StructField{Name: "count", Default: Int(0)},
+	)
+	s := NewStruct(def)
+	if _, ok := s.GetName("src"); ok {
+		t.Fatal("src should be unset")
+	}
+	if v, ok := s.GetName("count"); !ok || v.AsInt() != 0 {
+		t.Fatal("count default should apply")
+	}
+	s.SetName("src", MustParseAddr("1.1.1.1"))
+	if v, ok := s.GetName("src"); !ok || Format(v) != "1.1.1.1" {
+		t.Fatal("set/get")
+	}
+	if def.Index("nope") != -1 {
+		t.Fatal("unknown index")
+	}
+}
+
+func TestDeepCopyStruct(t *testing.T) {
+	def := NewStructDef("r", StructField{Name: "b"})
+	s := NewStruct(def)
+	bv := BytesFrom([]byte("abc"))
+	s.SetName("b", bv)
+	cp := DeepCopy(StructVal(s))
+	// Mutate the original's bytes; the copy must be unaffected.
+	bv.AsBytes().Unfreeze()
+	bv.AsBytes().Append([]byte("XYZ"))
+	got, _ := cp.AsStruct().GetName("b")
+	if got.AsBytes().String() != "abc" {
+		t.Fatalf("deep copy shares bytes: %q", got.AsBytes().String())
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := map[string]Value{
+		"True":        Bool(true),
+		"-7":          Int(-7),
+		"3.5":         Double(3.5),
+		"hi":          String("hi"),
+		"1.2.3.4":     MustParseAddr("1.2.3.4"),
+		"53/udp":      PortVal(53, ProtoUDP),
+		"300.000000s": IntervalVal(300 * 1e9),
+	}
+	for want, v := range cases {
+		if got := Format(v); got != want {
+			t.Errorf("Format(%v) = %q, want %q", v.K, got, want)
+		}
+	}
+	if !strings.HasPrefix(Format(TimeVal(0)), "1970-01-01T00:00:00") {
+		t.Errorf("time format: %q", Format(TimeVal(0)))
+	}
+}
+
+func TestEnumFormat(t *testing.T) {
+	et := NewEnumType("ExpireStrategy", "Create", "Access")
+	v := EnumVal(et, 1)
+	if Format(v) != "ExpireStrategy::Access" {
+		t.Fatalf("got %q", Format(v))
+	}
+	if et.Label(99) != "Undef" {
+		t.Fatal("unknown label")
+	}
+}
+
+func TestIsTruthy(t *testing.T) {
+	if IsTruthy(Int(0)) || !IsTruthy(Int(1)) {
+		t.Fatal("int truthiness")
+	}
+	if IsTruthy(String("")) || !IsTruthy(String("x")) {
+		t.Fatal("string truthiness")
+	}
+	if IsTruthy(Nil) || IsTruthy(Unset) {
+		t.Fatal("nil truthiness")
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	a := TupleVal(MustParseAddr("10.0.0.1"), MustParseAddr("10.0.0.2"))
+	b := TupleVal(MustParseAddr("10.0.0.1"), MustParseAddr("10.0.0.2"))
+	if Hash(a) != Hash(b) {
+		t.Fatal("hash must be deterministic by content")
+	}
+	if Hash(a) == 0 {
+		t.Fatal("hash should not be zero for hashable values")
+	}
+}
+
+// Property: Equal(a, b) iff Key(a) == Key(b) for integer tuples.
+func TestQuickKeyEqualAgreement(t *testing.T) {
+	f := func(x, y int64, s1, s2 string) bool {
+		a := TupleVal(Int(x), String(s1))
+		b := TupleVal(Int(y), String(s2))
+		return Equal(a, b) == (Key(a) == Key(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for ints.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(x, y int64) bool {
+		a, b := Int(x), Int(y)
+		return Compare(a, b) == -Compare(b, a) &&
+			(Compare(a, b) == 0) == Equal(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: address parse/format roundtrips for arbitrary 16-byte addresses.
+func TestQuickAddrRoundtrip(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		a := AddrFrom16(raw)
+		back, err := ParseAddr(Format(a))
+		return err == nil && Equal(a, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddrEqual(b *testing.B) {
+	x := MustParseAddr("10.20.30.40")
+	y := MustParseAddr("10.20.30.40")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Equal(x, y) {
+			b.Fatal("ne")
+		}
+	}
+}
+
+func BenchmarkTupleKey(b *testing.B) {
+	v := TupleVal(MustParseAddr("10.0.0.1"), MustParseAddr("10.0.0.2"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Key(v)
+	}
+}
