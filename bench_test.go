@@ -5,6 +5,7 @@
 package hilti_test
 
 import (
+	"sort"
 	"sync"
 	"testing"
 
@@ -240,6 +241,32 @@ func BenchmarkFibHILTI(b *testing.B) {
 		}
 	}
 }
+
+// --- §3.2: flow-sharded parallel pipeline -------------------------------------------
+
+func benchParallel(b *testing.B, workers int) {
+	b.Helper()
+	httpP, dnsP := traces()
+	pkts := append(append([]pcap.Packet(nil), httpP...), dnsP...)
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time.Before(pkts[j].Time) })
+	cfg := bro.Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{bro.HTTPScript, bro.FilesScript, bro.DNSScript},
+		Quiet:   true, DiscardLogs: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := bro.NewParallel(cfg, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.ProcessTrace(pkts)
+	}
+}
+
+// BenchmarkParallelPipeline1/2/4 shard the merged HTTP+DNS trace by flow
+// hash across worker engines (scaling shows with GOMAXPROCS >= workers).
+func BenchmarkParallelPipeline1(b *testing.B) { benchParallel(b, 1) }
+func BenchmarkParallelPipeline2(b *testing.B) { benchParallel(b, 2) }
+func BenchmarkParallelPipeline4(b *testing.B) { benchParallel(b, 4) }
 
 // --- ablations ------------------------------------------------------------------------
 

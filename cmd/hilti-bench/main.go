@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -29,10 +31,11 @@ import (
 )
 
 var (
-	expFlag      = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|ablations|all")
+	expFlag      = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|parallel|ablations|all")
 	httpSessions = flag.Int("http-sessions", 800, "HTTP sessions in the synthetic trace")
 	dnsTxns      = flag.Int("dns-txns", 8000, "DNS transactions in the synthetic trace")
 	seed         = flag.Int64("seed", 1, "generator seed")
+	workersFlag  = flag.Int("workers", 0, "parallel experiment: run this worker count (0 = sweep 1/2/4/8)")
 )
 
 func main() {
@@ -48,9 +51,10 @@ func main() {
 		"fig10":     h.fig10,
 		"fib":       h.fib,
 		"threads":   h.threads,
+		"parallel":  h.parallel,
 		"ablations": h.ablations,
 	}
-	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "ablations"}
+	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "parallel", "ablations"}
 	if *expFlag == "all" {
 		for _, name := range order {
 			run[name]()
@@ -471,6 +475,85 @@ func flowKey(src, dst [4]byte, sp, dp uint16) uint64 {
 		}
 	}
 	return h
+}
+
+// --- flow-sharded parallel pipeline -----------------------------------------------
+
+// parallel measures the flow-sharded packet pipeline (paper §3.2): flows
+// hash to virtual threads, virtual threads map to hardware workers, and
+// per-worker engines process disjoint flow sets with no intra-flow locks.
+// Output equivalence against the single-threaded engine is checked on
+// every run; scaling requires GOMAXPROCS >= workers.
+func (h *harness) parallel() {
+	header("Flow-sharded parallel pipeline (paper §3.2)",
+		"flow hash -> vthread -> worker load balancing; identical results to the non-threaded setup")
+	fmt.Printf("    hardware parallelism: GOMAXPROCS=%d (NumCPU=%d)\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+
+	// One merged HTTP+DNS trace, time-ordered like a capture interface.
+	pkts := append([]pcap.Packet(nil), h.httpTrace()...)
+	pkts = append(pkts, h.dnsTrace()...)
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time.Before(pkts[j].Time) })
+	cfg := bro.Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{bro.HTTPScript, bro.FilesScript, bro.DNSScript}, Quiet: true}
+	streams := []string{"http", "files", "dns"}
+
+	// Single-threaded baseline: one engine, no pipeline.
+	base, err := bro.NewEngine(cfg)
+	must(err)
+	start := time.Now()
+	st := base.ProcessTrace(pkts)
+	baseTime := time.Since(start)
+	baseEPS := float64(st.Events) / baseTime.Seconds()
+	fmt.Printf("    single-threaded: %d pkts, %d events in %v (%.0f events/s)\n",
+		len(pkts), st.Events, baseTime.Round(time.Millisecond), baseEPS)
+
+	counts := []int{1, 2, 4, 8}
+	if *workersFlag > 0 {
+		counts = []int{1, *workersFlag}
+	}
+	var oneEPS float64
+	for _, workers := range counts {
+		par, err := bro.NewParallel(cfg, workers)
+		must(err)
+		start := time.Now()
+		par.ProcessTrace(pkts)
+		el := time.Since(start)
+		eps := float64(par.Events()) / el.Seconds()
+		if workers == 1 {
+			oneEPS = eps
+		}
+
+		identical := par.Events() == st.Events
+		for _, s := range streams {
+			a, b := bro.SortedLines(base, s), par.MergedLines(s)
+			if len(a) != len(b) {
+				identical = false
+				continue
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		agree := "output identical to single-threaded"
+		if !identical {
+			agree = "OUTPUT MISMATCH vs single-threaded"
+		}
+		speedup := ""
+		if oneEPS > 0 && workers > 1 {
+			speedup = fmt.Sprintf(", %.2fx vs 1 worker", eps/oneEPS)
+		}
+		fmt.Printf("    %d workers: %d events in %v (%.0f events/s%s) — %s\n",
+			workers, par.Events(), el.Round(time.Millisecond), eps, speedup, agree)
+		for i, ws := range par.Stats() {
+			fmt.Printf("        worker %d: jobs=%d pkts=%d copied=%dB highwater=%d overflowed=%d timers=%d flows=%d expired=%d\n",
+				i, ws.Jobs, ws.Packets, ws.CopiedBytes, ws.HighWater, ws.Overflowed,
+				ws.TimersFired, ws.Flows, ws.FlowsExpired)
+		}
+	}
 }
 
 // --- ablations -----------------------------------------------------------------------

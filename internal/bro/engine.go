@@ -50,6 +50,7 @@ type Stats struct {
 	Total    time.Duration
 	Other    time.Duration
 	Packets  int
+	Events   int
 	ParseErr int
 }
 
@@ -73,6 +74,7 @@ type Engine struct {
 	ctxs      map[int64]*conn
 	nextCtx   int64
 	packets   int
+	events    int
 	parseErrs int
 
 	httpReqStruct, httpRepStruct *values.StructDef
@@ -220,6 +222,7 @@ func (e *Engine) resumeParse() {
 
 // dispatch routes an event into the configured script backend.
 func (e *Engine) dispatch(name string, args ...Val) {
+	e.events++
 	e.pauseParse()
 	defer e.resumeParse()
 	if e.sexec != nil {
@@ -257,6 +260,7 @@ func (e *Engine) StatsSnapshot() *Stats {
 		Glue:     e.profGlue.Total(),
 		Total:    e.total,
 		Packets:  e.packets,
+		Events:   e.events,
 		ParseErr: e.parseErrs,
 	}
 	s.Other = s.Total - s.Parsing - s.Script - s.Glue

@@ -8,6 +8,8 @@
 package bro
 
 import (
+	"sync"
+
 	"hilti/internal/binpac/grammars"
 	"hilti/internal/hilti/vm"
 	"hilti/internal/rt/container"
@@ -103,13 +105,18 @@ func (e *Engine) binpacDNSPacket(c *conn, payload []byte) {
 	}
 }
 
-var dnsStructCache *values.StructDef
+// dnsStructCache is shared across engines; engines now run on parallel
+// pipeline workers, so the lazy initialization must be synchronized.
+var (
+	dnsStructOnce  sync.Once
+	dnsStructCache *values.StructDef
+)
 
 func (e *Engine) dnsMsgStruct() *values.StructDef {
-	if dnsStructCache == nil {
+	dnsStructOnce.Do(func() {
 		mods, _ := grammars.DNSModules()
 		dnsStructCache = findStruct(mods, "Message")
-	}
+	})
 	return dnsStructCache
 }
 

@@ -1,0 +1,81 @@
+// Parallel engine hosting: one Engine per pipeline worker, flows sharded
+// by 5-tuple hash (paper §3.2/§6.6). Each engine only ever sees complete
+// flows — both directions of a connection hash to the same virtual thread,
+// hence the same worker — so N parallel engines produce exactly the events
+// a single engine would, merely partitioned.
+
+package bro
+
+import (
+	"sort"
+
+	"hilti/internal/pkt/pcap"
+	"hilti/internal/pkt/pipeline"
+)
+
+// Parallel couples a flow-sharded pipeline with its per-worker engines.
+type Parallel struct {
+	*pipeline.Pipeline
+	Engines []*Engine
+}
+
+// NewParallel builds a pipeline whose workers each host an Engine with the
+// given configuration. Engines must not be inspected until Close returns.
+func NewParallel(cfg Config, workers int) (*Parallel, error) {
+	p := &Parallel{Engines: make([]*Engine, workers)}
+	pl, err := pipeline.New(pipeline.Config{
+		Workers: workers,
+		NewHandler: func(i int) (pipeline.Handler, error) {
+			e, err := NewEngine(cfg)
+			if err != nil {
+				return nil, err
+			}
+			p.Engines[i] = e
+			return e, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Pipeline = pl
+	return p, nil
+}
+
+// ProcessTrace feeds a whole trace through the pipeline and closes it.
+func (p *Parallel) ProcessTrace(pkts []pcap.Packet) {
+	for i := range pkts {
+		p.Feed(pkts[i].Time.UnixNano(), pkts[i].Data) //nolint:errcheck
+	}
+	p.Close()
+}
+
+// Events sums event counts across workers (call after Close), net of the
+// duplicate per-worker bro_done lifecycle events so the total compares
+// directly against a single engine's count.
+func (p *Parallel) Events() int {
+	n := 0
+	for _, e := range p.Engines {
+		n += e.events
+	}
+	return n - (len(p.Engines) - 1)
+}
+
+// MergedLines gathers one log stream from every worker, sorted. Sharding
+// preserves per-flow ordering but interleaves flows differently than a
+// single engine; sorting gives a canonical form for equality checks.
+func (p *Parallel) MergedLines(stream string) []string {
+	var all []string
+	for _, e := range p.Engines {
+		all = append(all, e.Logs.Lines(stream)...)
+	}
+	sort.Strings(all)
+	return all
+}
+
+// SortedLines returns one engine's log stream in the same canonical order
+// as Parallel.MergedLines, for byte-identical comparison.
+func SortedLines(e *Engine, stream string) []string {
+	lines := append([]string(nil), e.Logs.Lines(stream)...)
+	sort.Strings(lines)
+	return lines
+}

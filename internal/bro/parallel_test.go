@@ -1,0 +1,101 @@
+package bro
+
+import (
+	"sort"
+	"testing"
+
+	"hilti/internal/pkt/gen"
+	"hilti/internal/pkt/pcap"
+)
+
+func mergedTrace(t *testing.T) []pcap.Packet {
+	t.Helper()
+	hc := gen.DefaultHTTPConfig()
+	hc.Sessions = 60
+	dc := gen.DefaultDNSConfig()
+	dc.Transactions = 400
+	pkts := append(gen.GenerateHTTP(hc), gen.GenerateDNS(dc)...)
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time.Before(pkts[j].Time) })
+	return pkts
+}
+
+// TestParallelMatchesSingleThreaded: the flow-sharded pipeline must
+// produce byte-identical logs and event counts to one engine processing
+// the same trace serially, at every worker count.
+func TestParallelMatchesSingleThreaded(t *testing.T) {
+	pkts := mergedTrace(t)
+	cfg := Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{HTTPScript, FilesScript, DNSScript}, Quiet: true}
+
+	single, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := single.ProcessTrace(pkts)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		par, err := NewParallel(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par.ProcessTrace(pkts)
+		if got, want := par.Events(), st.Events; got != want {
+			t.Errorf("%d workers: %d events, single-threaded %d", workers, got, want)
+		}
+		for _, stream := range []string{"http", "files", "dns"} {
+			want := SortedLines(single, stream)
+			got := par.MergedLines(stream)
+			if len(got) != len(want) {
+				t.Errorf("%d workers, %s.log: %d lines, want %d", workers, stream, len(got), len(want))
+				continue
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%d workers, %s.log line %d differs:\n  got  %q\n  want %q",
+						workers, stream, i, got[i], want[i])
+					break
+				}
+			}
+		}
+		var pktSum uint64
+		for _, ws := range par.Stats() {
+			pktSum += ws.Packets
+		}
+		if pktSum != uint64(len(pkts)) {
+			t.Errorf("%d workers: stats count %d packets, fed %d", workers, pktSum, len(pkts))
+		}
+	}
+}
+
+// TestParallelBinpacMatches runs the equivalence check with the BinPAC++
+// parser path too (exercises the shared-grammar initialization under
+// concurrent engine construction).
+func TestParallelBinpacMatches(t *testing.T) {
+	dc := gen.DefaultDNSConfig()
+	dc.Transactions = 200
+	pkts := gen.GenerateDNS(dc)
+	cfg := Config{Parser: "binpac", ScriptExec: "interp",
+		Scripts: []string{DNSScript}, Quiet: true}
+
+	single, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.ProcessTrace(pkts)
+
+	par, err := NewParallel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.ProcessTrace(pkts)
+	want := SortedLines(single, "dns")
+	got := par.MergedLines("dns")
+	if len(got) == 0 || len(got) != len(want) {
+		t.Fatalf("dns.log: %d lines, want %d (nonzero)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dns.log line %d differs:\n  got  %q\n  want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -8,6 +8,7 @@ package flow
 import (
 	"fmt"
 
+	"hilti/internal/pkt/layers"
 	"hilti/internal/rt/values"
 )
 
@@ -27,6 +28,36 @@ func FromIPv4(src, dst [4]byte, srcPort, dstPort uint16, proto uint8) Key {
 	copy(k.DstIP[12:], dst[:])
 	k.SrcPort, k.DstPort, k.Proto = srcPort, dstPort, proto
 	return k
+}
+
+// FromFrame decodes an Ethernet/IPv4/TCP-or-UDP frame just far enough to
+// extract its 5-tuple. ok is false for frames the sharded pipeline cannot
+// key (non-IPv4, other transports, truncated headers); those stay on a
+// deterministic default virtual thread instead.
+func FromFrame(frame []byte) (Key, bool) {
+	eth, err := layers.DecodeEthernet(frame)
+	if err != nil || eth.EtherType != layers.EtherTypeIPv4 {
+		return Key{}, false
+	}
+	ip, err := layers.DecodeIPv4(eth.Payload)
+	if err != nil {
+		return Key{}, false
+	}
+	switch ip.Protocol {
+	case layers.IPProtoTCP:
+		tcp, err := layers.DecodeTCP(ip.Payload)
+		if err != nil {
+			return Key{}, false
+		}
+		return FromIPv4(ip.Src, ip.Dst, tcp.SrcPort, tcp.DstPort, layers.IPProtoTCP), true
+	case layers.IPProtoUDP:
+		udp, err := layers.DecodeUDP(ip.Payload)
+		if err != nil {
+			return Key{}, false
+		}
+		return FromIPv4(ip.Src, ip.Dst, udp.SrcPort, udp.DstPort, layers.IPProtoUDP), true
+	}
+	return Key{}, false
 }
 
 // Reverse returns the opposite direction's key.

@@ -3,6 +3,8 @@ package flow
 import (
 	"testing"
 	"testing/quick"
+
+	"hilti/internal/pkt/layers"
 )
 
 func sample() Key {
@@ -74,6 +76,35 @@ func TestQuickDirectionInvariance(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFromFrame(t *testing.T) {
+	src, dst := [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}
+	tcp := layers.EncodeTCP(src, dst, 49152, 80, 1, 0, layers.TCPSyn, 1024, nil)
+	ip := layers.EncodeIPv4(src, dst, layers.IPProtoTCP, 64, 1, tcp)
+	fr := layers.EncodeEthernet([6]byte{1}, [6]byte{2}, layers.EtherTypeIPv4, ip)
+	k, ok := FromFrame(fr)
+	if !ok {
+		t.Fatal("TCP frame should be keyable")
+	}
+	want := FromIPv4(src, dst, 49152, 80, layers.IPProtoTCP)
+	if k != want {
+		t.Fatalf("key = %v, want %v", k, want)
+	}
+	// Both directions hash to the same virtual thread.
+	udp := layers.EncodeUDP(dst, src, 80, 49152, []byte("x"))
+	ip = layers.EncodeIPv4(dst, src, layers.IPProtoUDP, 64, 2, udp)
+	fr = layers.EncodeEthernet([6]byte{1}, [6]byte{2}, layers.EtherTypeIPv4, ip)
+	k2, ok := FromFrame(fr)
+	if !ok {
+		t.Fatal("UDP frame should be keyable")
+	}
+	if k2.Proto != layers.IPProtoUDP || k2.SrcPort != 80 {
+		t.Fatalf("udp key = %v", k2)
+	}
+	if _, ok := FromFrame([]byte{1, 2, 3}); ok {
+		t.Fatal("truncated frame must not be keyable")
 	}
 }
 

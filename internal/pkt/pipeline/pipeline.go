@@ -1,0 +1,234 @@
+// Package pipeline implements the flow-sharded parallel packet pipeline
+// the paper's concurrency model prescribes (§3.2): decode a frame's L2–L4
+// headers, hash the flow 5-tuple into a virtual-thread ID, and dispatch
+// all per-flow work onto the rt/threads scheduler. Both directions of a
+// connection hash identically (flow.Key.Hash canonicalizes), so every
+// packet of a flow executes on the same hardware worker in arrival order —
+// reassembly, protocol parsing, and event dispatch need no intra-flow
+// locks — while distinct flows spread across workers.
+//
+// Isolation rules: frames are deep-copied before they cross into a worker
+// (the feeding goroutine may reuse its buffer), and each worker owns its
+// Handler exclusively — all Handler calls for worker i happen on worker
+// i's goroutine, serialized.
+//
+// Time: each worker owns a timer.Mgr advanced by the timestamps of the
+// packets it processes, so offline traces expire state exactly as live
+// operation would; the pipeline uses it to expire idle flows. Handlers
+// additionally see every packet timestamp and may run their own managers.
+//
+// Backpressure: Feed blocks once Ingress packets are in flight, bounding
+// memory regardless of how unevenly flows hash across workers. Shutdown
+// is ordered: Close drains all packet jobs, then runs each handler's
+// Finish on its own worker, then stops the scheduler.
+package pipeline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hilti/internal/pkt/flow"
+	"hilti/internal/rt/threads"
+	"hilti/internal/rt/timer"
+)
+
+// Handler processes the packets of one hardware worker. *bro.Engine
+// satisfies it directly. All calls happen on the owning worker's
+// goroutine, serialized; implementations need no locking.
+type Handler interface {
+	// ProcessPacket delivers one frame. The slice is the handler's to keep.
+	ProcessPacket(tsNs int64, frame []byte)
+	// Finish flushes end-of-trace state; it runs after the worker's last
+	// packet, before Close returns.
+	Finish()
+}
+
+// Config parameterizes a Pipeline.
+type Config struct {
+	// Workers is the number of hardware workers (default 1).
+	Workers int
+	// Ingress bounds in-flight packets; Feed blocks at the bound,
+	// exerting backpressure toward the capture source (default 4096).
+	Ingress int
+	// FlowIdle expires a flow's scheduling state after this much packet
+	// time without traffic (default 60s of trace time).
+	FlowIdle timer.Interval
+	// NewHandler builds worker i's handler; required.
+	NewHandler func(worker int) (Handler, error)
+}
+
+// WorkerStats snapshots one worker's counters (the tentpole's per-worker
+// observability: jobs run, queue high-water mark, copied bytes, timers).
+type WorkerStats struct {
+	Packets      uint64 // packets processed
+	CopiedBytes  uint64 // bytes deep-copied across the isolation boundary
+	TimersFired  uint64 // worker timer-manager callbacks run
+	FlowsExpired uint64 // flows whose idle timer lapsed
+	Flows        uint64 // flow-state entries created
+	Jobs         uint64 // scheduler jobs executed (packets + sweeps)
+	HighWater    int    // max scheduler backlog observed
+	Overflowed   uint64 // jobs that spilled into the overflow deque
+}
+
+// wstate is worker-private: only jobs running on that worker touch it
+// (the scheduler serializes them), so no locks — the HILTI isolation
+// discipline. Counters are atomics only so Stats can read concurrently.
+type wstate struct {
+	tm    *timer.Mgr
+	flows map[uint64]*flowState
+
+	packets      atomic.Uint64
+	copiedBytes  atomic.Uint64
+	timersFired  atomic.Uint64
+	flowsExpired atomic.Uint64
+	flowsSeen    atomic.Uint64
+}
+
+type flowState struct {
+	idle *timer.Timer
+}
+
+// Pipeline fans decoded packets out to flow-affine workers.
+type Pipeline struct {
+	cfg      Config
+	sched    *threads.Scheduler
+	handlers []Handler
+	ws       []*wstate
+	tokens   chan struct{} // ingress bound; one token per in-flight packet
+	closed   bool
+}
+
+// New builds and starts a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.NewHandler == nil {
+		return nil, fmt.Errorf("pipeline: Config.NewHandler is required")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Ingress < 1 {
+		cfg.Ingress = 4096
+	}
+	if cfg.FlowIdle <= 0 {
+		cfg.FlowIdle = timer.Seconds(60)
+	}
+	p := &Pipeline{
+		cfg:      cfg,
+		handlers: make([]Handler, cfg.Workers),
+		ws:       make([]*wstate, cfg.Workers),
+		tokens:   make(chan struct{}, cfg.Ingress),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		h, err := cfg.NewHandler(i)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: worker %d handler: %w", i, err)
+		}
+		p.handlers[i] = h
+		p.ws[i] = &wstate{tm: timer.NewMgr(), flows: map[uint64]*flowState{}}
+	}
+	p.sched = threads.NewScheduler(cfg.Workers)
+	return p, nil
+}
+
+// Workers returns the worker count.
+func (p *Pipeline) Workers() int { return p.cfg.Workers }
+
+// Feed routes one frame to its flow's worker and blocks while Ingress
+// packets are already in flight. The frame is deep-copied; the caller may
+// reuse the buffer. Feed is single-producer: call it from one goroutine.
+func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
+	if p.closed {
+		return fmt.Errorf("pipeline: closed")
+	}
+	// The virtual-thread ID is the flow hash (§3.2). Unkeyable frames
+	// share vthread 0 so handlers still observe them, deterministically.
+	var vid uint64
+	if key, ok := flow.FromFrame(frame); ok {
+		vid = key.Hash()
+	}
+	p.tokens <- struct{}{} // backpressure: wait for an in-flight slot
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	ws := p.ws[p.sched.WorkerIndex(vid)]
+	err := p.sched.Schedule(vid, func(ctx *threads.Context) {
+		defer func() { <-p.tokens }()
+		p.advanceWorkerTime(ws, tsNs)
+		p.touchFlow(ws, ctx.VID, tsNs)
+		p.handlers[ctx.Worker].ProcessPacket(tsNs, cp)
+		ws.packets.Add(1)
+		ws.copiedBytes.Add(uint64(len(cp)))
+	})
+	if err != nil {
+		<-p.tokens
+		return err
+	}
+	return nil
+}
+
+// advanceWorkerTime drives the worker's timer manager from packet
+// timestamps (runs on the worker goroutine).
+func (p *Pipeline) advanceWorkerTime(ws *wstate, tsNs int64) {
+	if fired := ws.tm.Advance(timer.Time(tsNs)); fired > 0 {
+		ws.timersFired.Add(uint64(fired))
+	}
+}
+
+// touchFlow creates or refreshes the flow's idle-expiration timer (runs on
+// the worker goroutine).
+func (p *Pipeline) touchFlow(ws *wstate, vid uint64, tsNs int64) {
+	deadline := timer.Time(tsNs) + timer.Time(p.cfg.FlowIdle)
+	if fs, ok := ws.flows[vid]; ok && fs.idle.Scheduled() {
+		fs.idle.Update(deadline)
+		return
+	}
+	fs := &flowState{}
+	fs.idle = ws.tm.ScheduleFunc(deadline, func() {
+		ws.flowsExpired.Add(1)
+		delete(ws.flows, vid)
+	})
+	ws.flows[vid] = fs
+	ws.flowsSeen.Add(1)
+}
+
+// Close drains in-flight packets, runs every handler's Finish on its own
+// worker, and shuts the scheduler down. The ordering is strict: no Finish
+// runs before the last packet job of its worker, and Close returns only
+// after all workers stopped.
+func (p *Pipeline) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.sched.Drain()
+	for i := range p.handlers {
+		i := i
+		// vid i maps to worker i (modulo routing), and per-worker FIFO
+		// ordering puts this after every already-queued packet job.
+		p.sched.Schedule(uint64(i), func(*threads.Context) { //nolint:errcheck
+			p.ws[i].tm.Expire(false) // drop outstanding idle timers silently
+			p.handlers[i].Finish()
+		})
+	}
+	p.sched.Drain()
+	p.sched.Shutdown()
+}
+
+// Stats snapshots per-worker counters, merging pipeline- and
+// scheduler-level views. Exact after Close (or a quiescent Drain).
+func (p *Pipeline) Stats() []WorkerStats {
+	sched := p.sched.WorkerStats()
+	out := make([]WorkerStats, len(p.ws))
+	for i, ws := range p.ws {
+		out[i] = WorkerStats{
+			Packets:      ws.packets.Load(),
+			CopiedBytes:  ws.copiedBytes.Load(),
+			TimersFired:  ws.timersFired.Load(),
+			FlowsExpired: ws.flowsExpired.Load(),
+			Flows:        ws.flowsSeen.Load(),
+			Jobs:         sched[i].Jobs,
+			HighWater:    sched[i].HighWater,
+			Overflowed:   sched[i].Overflowed,
+		}
+	}
+	return out
+}

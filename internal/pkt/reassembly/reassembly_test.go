@@ -103,6 +103,123 @@ func TestSequenceWraparound(t *testing.T) {
 	}
 }
 
+// TestWrapOutOfOrderStraddle: the hole sits exactly on the 0xFFFFFFFF
+// boundary — the later segment (past the wrap) arrives first.
+func TestWrapOutOfOrderStraddle(t *testing.T) {
+	s, buf, _ := collector()
+	s.Init(0xFFFFFFDF) // payload origin at seq 0xFFFFFFE0
+	s.Segment(0xFFFFFFE0, []byte("aaaaaaaaaaaaaaaa"), false) // up to 0xFFFFFFF0
+	s.Segment(0x00000000, []byte("cccccccccccccccc"), false) // past the wrap, early
+	if buf.String() != "aaaaaaaaaaaaaaaa" {
+		t.Fatalf("hole at the wrap not honored: %q", buf.String())
+	}
+	if s.PendingBytes() != 16 {
+		t.Fatalf("pending = %d, want 16", s.PendingBytes())
+	}
+	s.Segment(0xFFFFFFF0, []byte("bbbbbbbbbbbbbbbb"), false) // fills the straddling hole
+	want := "aaaaaaaaaaaaaaaa" + "bbbbbbbbbbbbbbbb" + "cccccccccccccccc"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+// TestWrapRetransmitOverlap: a retransmission straddling the wrap whose
+// head was already delivered is trimmed, not re-delivered.
+func TestWrapRetransmitOverlap(t *testing.T) {
+	s, buf, _ := collector()
+	s.Init(0xFFFFFFEF) // payload origin at 0xFFFFFFF0
+	s.Segment(0xFFFFFFF0, []byte("0123456789abcdef"), false) // crosses to seq 0
+	s.Segment(0x00000000, []byte("ghijklmn"), false)
+	// Retransmit from before the wrap through new data past it: offsets
+	// 8..0x20, of which 8..0x18 were already delivered.
+	s.Segment(0xFFFFFFF8, []byte("89abcdefghijklmnNEWBYTES"), false)
+	want := "0123456789abcdefghijklmnNEWBYTES"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+	// Full retransmission of the straddling range: nothing new.
+	s.Segment(0xFFFFFFF0, []byte("0123456789abcdef"), false)
+	if buf.String() != want {
+		t.Fatalf("complete retransmit re-delivered: %q", buf.String())
+	}
+}
+
+// TestWrapGapDeclared: a hole straddling the wrap that is abandoned at
+// Flush reports the right gap size and still delivers the buffered tail.
+func TestWrapGapDeclared(t *testing.T) {
+	s, buf, gaps := collector()
+	s.Init(0xFFFFFFCF) // payload origin at 0xFFFFFFD0
+	s.Segment(0xFFFFFFD0, []byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"), false) // 32B to 0xFFFFFFF0
+	// Lose [0xFFFFFFF0, 0x10) — 32 bytes straddling the wrap.
+	s.Segment(0x00000010, []byte("zzzzzzzz"), false)
+	if *gaps != 0 {
+		t.Fatal("gap declared before abandonment")
+	}
+	s.Flush()
+	if *gaps != 32 {
+		t.Fatalf("gap = %d, want 32 (straddling the wrap)", *gaps)
+	}
+	want := "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" + "zzzzzzzz"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+// TestRelUnwrapBackward exercises rel's -2GB unwrapping: with the stream
+// past 4GB of delivered data, a u32 seq that resolves just *behind* the
+// current position must unwrap downward and be recognized as retransmitted
+// data rather than buffered as far-future.
+func TestRelUnwrapBackward(t *testing.T) {
+	s, buf, _ := collector()
+	// White-box: stand at unwrapped offset 2^32 + 0x40.
+	s.initialized = true
+	s.isn = 0
+	s.next = 1<<32 + 0x40
+	// Retransmit at offset 0xFFFFFFF0 (u32 rel 0xFFFFFFF0, behind next):
+	// fully delivered already, must be dropped.
+	s.Segment(0xFFFFFFF0, []byte("old-old-old-old-"), false)
+	if buf.Len() != 0 || s.PendingBytes() != 0 {
+		t.Fatalf("backward retransmit mishandled: delivered %q, pending %d",
+			buf.String(), s.PendingBytes())
+	}
+	// Partial overlap across the 4GB boundary: offsets 2^32+0x30..2^32+0x50,
+	// first 0x10 already delivered.
+	s.Segment(0x30, []byte("xxxxxxxxxxxxxxxxNEWDATA-NEWDATA-"), false)
+	if buf.String() != "NEWDATA-NEWDATA-" {
+		t.Fatalf("got %q, want the undelivered tail only", buf.String())
+	}
+	if s.next != 1<<32+0x50 {
+		t.Fatalf("next = %#x, want %#x", s.next, uint64(1<<32+0x50))
+	}
+}
+
+// TestRelUnwrapForward exercises rel's +2GB unwrapping: just below 4GB of
+// stream, a segment whose u32 rel is tiny (past the 4GB boundary) must
+// unwrap upward into the future, buffer, and deliver once the hole fills.
+func TestRelUnwrapForward(t *testing.T) {
+	s, buf, _ := collector()
+	s.initialized = true
+	s.isn = 0
+	s.next = 0xFFFFFFF0 // 0x10 short of 4GB
+	// Out-of-order segment at unwrapped offset 2^32+0x10 (u32 rel 0x10).
+	s.Segment(0x10, []byte("future-future-fu"), false)
+	if buf.Len() != 0 {
+		t.Fatalf("future segment delivered early: %q", buf.String())
+	}
+	if s.PendingBytes() != 16 {
+		t.Fatalf("pending = %d, want 16", s.PendingBytes())
+	}
+	// Fill the 0x20-byte hole [0xFFFFFFF0, 2^32+0x10) straddling 4GB.
+	s.Segment(0xFFFFFFF0, []byte("fill-fill-fill-fill-fill-fill-fi"), false)
+	want := "fill-fill-fill-fill-fill-fill-fi" + "future-future-fu"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+	if s.next != 1<<32+0x20 {
+		t.Fatalf("next = %#x, want %#x", s.next, uint64(1<<32+0x20))
+	}
+}
+
 func TestFinWithOutstandingData(t *testing.T) {
 	s, buf, _ := collector()
 	s.Init(0)

@@ -10,11 +10,19 @@
 // threads cannot share state: each owns a context with its thread-local
 // variable slots and its timer manager, and thread.schedule deep-copies all
 // mutable arguments, exactly as HILTI's data-isolation model prescribes.
+//
+// Each worker has a bounded fast-path channel plus an unbounded FIFO
+// overflow deque. A job that schedules onto its own worker while the
+// channel is full (e.g. a packet handler fanning out follow-up work) lands
+// in the deque instead of deadlocking against itself; ingress-level
+// backpressure belongs to the layer feeding the scheduler (see
+// internal/pkt/pipeline).
 package threads
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hilti/internal/rt/timer"
 	"hilti/internal/rt/values"
@@ -25,6 +33,7 @@ import (
 // variable slots, the thread's timer managers, and scratch host data.
 type Context struct {
 	VID      uint64
+	Worker   int            // index of the hardware worker owning this vthread
 	TimerMgr *timer.Mgr     // the thread's global timer manager
 	Slots    []values.Value // thread-local variables, laid out by the linker
 	Host     map[string]any // host-application scratch space
@@ -54,11 +63,100 @@ type Job func(ctx *Context)
 type queued struct {
 	vid uint64
 	job Job
+	// raw jobs run at worker level without materializing a vthread
+	// context (timer sweeps, context iteration).
+	raw bool
+}
+
+// WorkerStats is a snapshot of one hardware worker's counters.
+type WorkerStats struct {
+	Jobs        uint64 // jobs executed
+	Contexts    int    // vthread contexts materialized
+	HighWater   int    // max backlog (channel + overflow) observed at enqueue
+	Overflowed  uint64 // jobs diverted to the overflow deque
+	TimersFired uint64 // timer callbacks run by AdvanceGlobalTime
 }
 
 type worker struct {
+	index    int
 	jobs     chan queued
-	contexts map[uint64]*Context
+	contexts map[uint64]*Context // touched only by the worker goroutine
+
+	mu       sync.Mutex // guards overflow, closed, highWater, overflowed
+	overflow []queued   // FIFO; entries are strictly newer than channel entries
+	closed   bool
+
+	highWater   int
+	overflowed  uint64
+	jobsRun     atomic.Uint64
+	nContexts   atomic.Int64
+	timersFired atomic.Uint64
+}
+
+// enqueue adds a job, never blocking: the bounded channel is the fast
+// path, the deque absorbs the excess. Returns false after close.
+func (w *worker) enqueue(q queued) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	// Once anything sits in the overflow deque, all new jobs must follow
+	// it there: the dequeue side drains the channel first, so the deque
+	// holding only newer-than-channel jobs is what keeps FIFO order.
+	if len(w.overflow) == 0 {
+		select {
+		case w.jobs <- q:
+			if n := len(w.jobs); n > w.highWater {
+				w.highWater = n
+			}
+			return true
+		default:
+		}
+	}
+	w.overflow = append(w.overflow, q)
+	w.overflowed++
+	if n := len(w.jobs) + len(w.overflow); n > w.highWater {
+		w.highWater = n
+	}
+	return true
+}
+
+// dequeue returns the next job in FIFO order: channel entries predate
+// overflow entries by construction, so the channel drains first and the
+// worker blocks on it only when both are empty.
+func (w *worker) dequeue() (queued, bool) {
+	select {
+	case q, ok := <-w.jobs:
+		if ok {
+			return q, true
+		}
+		return w.popOverflow()
+	default:
+	}
+	if q, ok := w.popOverflow(); ok {
+		return q, true
+	}
+	q, ok := <-w.jobs
+	if ok {
+		return q, true
+	}
+	return w.popOverflow()
+}
+
+func (w *worker) popOverflow() (queued, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.overflow) == 0 {
+		return queued{}, false
+	}
+	q := w.overflow[0]
+	w.overflow[0] = queued{}
+	w.overflow = w.overflow[1:]
+	if len(w.overflow) == 0 {
+		w.overflow = nil // release the drained backing array
+	}
+	return q, true
 }
 
 // Scheduler maps virtual threads onto worker goroutines, first-come
@@ -79,6 +177,7 @@ func NewScheduler(n int) *Scheduler {
 	s := &Scheduler{}
 	for i := 0; i < n; i++ {
 		w := &worker{
+			index:    i,
 			jobs:     make(chan queued, 4096),
 			contexts: map[uint64]*Context{},
 		}
@@ -92,23 +191,62 @@ func NewScheduler(n int) *Scheduler {
 // Workers returns the number of hardware workers.
 func (s *Scheduler) Workers() int { return len(s.workers) }
 
+// WorkerIndex returns the hardware worker that owns virtual thread vid.
+func (s *Scheduler) WorkerIndex(vid uint64) int {
+	return int(vid % uint64(len(s.workers)))
+}
+
+// WorkerStats snapshots per-worker counters. Counter reads are atomic but
+// the snapshot is only quiescent-consistent; call after Drain for exact
+// totals.
+func (s *Scheduler) WorkerStats() []WorkerStats {
+	out := make([]WorkerStats, len(s.workers))
+	for i, w := range s.workers {
+		w.mu.Lock()
+		out[i] = WorkerStats{
+			Jobs:        w.jobsRun.Load(),
+			Contexts:    int(w.nContexts.Load()),
+			HighWater:   w.highWater,
+			Overflowed:  w.overflowed,
+			TimersFired: w.timersFired.Load(),
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
 func (s *Scheduler) run(w *worker) {
 	defer s.wg.Done()
-	for q := range w.jobs {
-		ctx, ok := w.contexts[q.vid]
+	for {
+		q, ok := w.dequeue()
 		if !ok {
-			ctx = &Context{VID: q.vid, TimerMgr: timer.NewMgr(), Host: map[string]any{}}
-			w.contexts[q.vid] = ctx
+			return
+		}
+		var ctx *Context
+		if !q.raw {
+			ctx, ok = w.contexts[q.vid]
+			if !ok {
+				ctx = &Context{VID: q.vid, Worker: w.index, TimerMgr: timer.NewMgr(), Host: map[string]any{}}
+				w.contexts[q.vid] = ctx
+				w.nContexts.Add(1)
+			}
 		}
 		q.job(ctx)
+		w.jobsRun.Add(1)
 		s.pending.Done()
 	}
 }
 
 // Schedule enqueues a job for virtual thread vid (HILTI's thread.schedule).
 // The job's closed-over values must already be deep-copied; use
-// ScheduleValues for automatic argument copying.
+// ScheduleValues for automatic argument copying. Schedule never blocks —
+// jobs beyond the worker's channel capacity queue in its overflow deque,
+// so jobs may schedule onto their own worker freely.
 func (s *Scheduler) Schedule(vid uint64, job Job) error {
+	return s.schedule(queued{vid: vid, job: job})
+}
+
+func (s *Scheduler) schedule(q queued) error {
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
@@ -116,8 +254,11 @@ func (s *Scheduler) Schedule(vid uint64, job Job) error {
 	}
 	s.pending.Add(1)
 	s.mu.Unlock()
-	w := s.workers[vid%uint64(len(s.workers))]
-	w.jobs <- queued{vid: vid, job: job}
+	w := s.workers[q.vid%uint64(len(s.workers))]
+	if !w.enqueue(q) {
+		s.pending.Done()
+		return fmt.Errorf("threads: scheduler stopped")
+	}
 	return nil
 }
 
@@ -132,25 +273,18 @@ func (s *Scheduler) ScheduleValues(vid uint64, fn func(ctx *Context, args []valu
 }
 
 // AdvanceGlobalTime advances every live virtual thread's timer manager to
-// t, via per-thread jobs so timer callbacks run within their own thread.
+// t, via per-worker jobs so timer callbacks run within their own thread.
 // It is used by trace-driven hosts that derive time from packet timestamps.
 func (s *Scheduler) AdvanceGlobalTime(t timer.Time) {
 	for _, w := range s.workers {
 		w := w
-		s.mu.Lock()
-		if s.stopped {
-			s.mu.Unlock()
-			return
-		}
-		s.pending.Add(1)
-		s.mu.Unlock()
 		// A worker-level job advancing all of its contexts preserves the
 		// per-worker serialization of context access.
-		w.jobs <- queued{vid: 0, job: func(*Context) {
+		s.schedule(queued{vid: uint64(w.index), raw: true, job: func(*Context) { //nolint:errcheck
 			for _, ctx := range w.contexts {
-				ctx.TimerMgr.Advance(t)
+				w.timersFired.Add(uint64(ctx.TimerMgr.Advance(t)))
 			}
-		}}
+		}})
 	}
 }
 
@@ -159,7 +293,10 @@ func (s *Scheduler) AdvanceGlobalTime(t timer.Time) {
 func (s *Scheduler) Drain() { s.pending.Wait() }
 
 // Shutdown drains outstanding work and stops the workers. The scheduler is
-// unusable afterwards.
+// unusable afterwards. Closing each worker's channel happens under the
+// same lock enqueue holds, so a Schedule racing Shutdown either lands
+// before the close or observes the closed flag and errors — it can never
+// send on a closed channel.
 func (s *Scheduler) Shutdown() {
 	s.mu.Lock()
 	if s.stopped {
@@ -170,7 +307,10 @@ func (s *Scheduler) Shutdown() {
 	s.mu.Unlock()
 	s.pending.Wait()
 	for _, w := range s.workers {
+		w.mu.Lock()
+		w.closed = true
 		close(w.jobs)
+		w.mu.Unlock()
 	}
 	s.wg.Wait()
 }
@@ -181,18 +321,11 @@ func (s *Scheduler) EachContext(fn func(*Context)) {
 	s.Drain()
 	for _, w := range s.workers {
 		w := w
-		s.mu.Lock()
-		if s.stopped {
-			s.mu.Unlock()
-			return
-		}
-		s.pending.Add(1)
-		s.mu.Unlock()
-		w.jobs <- queued{job: func(*Context) {
+		s.schedule(queued{vid: uint64(w.index), raw: true, job: func(*Context) { //nolint:errcheck
 			for _, ctx := range w.contexts {
 				fn(ctx)
 			}
-		}}
+		}})
 	}
 	s.Drain()
 }

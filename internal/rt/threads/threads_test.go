@@ -1,8 +1,10 @@
 package threads
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"hilti/internal/rt/values"
 )
@@ -132,6 +134,150 @@ func TestShutdownRejectsNewWork(t *testing.T) {
 		t.Fatal("schedule after shutdown should error")
 	}
 	s.Shutdown() // idempotent
+}
+
+// TestSelfScheduleFlood regresses the self-scheduling deadlock: a job
+// that schedules more work onto its own worker than the bounded channel
+// holds must overflow into the deque instead of blocking against itself.
+func TestSelfScheduleFlood(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Shutdown()
+	const flood = 10000 // > the 4096-slot channel
+	var ran atomic.Int64
+	done := make(chan struct{})
+	err := s.Schedule(1, func(ctx *Context) {
+		for i := 0; i < flood; i++ {
+			if err := s.Schedule(1, func(*Context) { ran.Add(1) }); err != nil {
+				t.Errorf("self-schedule %d: %v", i, err)
+				break
+			}
+		}
+		close(done)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("self-scheduling job deadlocked against its own worker")
+	}
+	s.Drain()
+	if ran.Load() != flood {
+		t.Fatalf("ran %d of %d flooded jobs", ran.Load(), flood)
+	}
+	st := s.WorkerStats()[0]
+	if st.Overflowed == 0 {
+		t.Fatal("expected overflow deque use during the flood")
+	}
+	if st.HighWater <= 4096 {
+		t.Fatalf("high-water %d should exceed the channel capacity", st.HighWater)
+	}
+}
+
+// TestOverflowPreservesFIFO checks same-vid ordering across the
+// channel/deque boundary: jobs enqueued while the worker is gated must
+// still run in scheduling order once the flood exceeds the channel.
+func TestOverflowPreservesFIFO(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Shutdown()
+	gate := make(chan struct{})
+	s.Schedule(1, func(*Context) { <-gate })
+	const n = 6000
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		if err := s.Schedule(1, func(*Context) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	s.Drain()
+	if len(order) != n {
+		t.Fatalf("ran %d of %d jobs", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d: FIFO violated across overflow boundary", i, v)
+		}
+	}
+}
+
+// TestConcurrentScheduleShutdown stresses the Schedule/Shutdown race that
+// used to allow a send on a closed channel: schedulers are hammered from
+// many goroutines while Shutdown runs. Run under -race.
+func TestConcurrentScheduleShutdown(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		s := NewScheduler(4)
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := s.Schedule(uint64(g*1000+i), func(*Context) {}); err != nil {
+						return // scheduler stopped: expected
+					}
+				}
+			}(g)
+		}
+		s.Shutdown() // must not panic, must not deadlock
+		close(stop)
+		wg.Wait()
+	}
+}
+
+func TestWorkerStats(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Shutdown()
+	for vid := uint64(0); vid < 10; vid++ {
+		s.Schedule(vid, func(ctx *Context) {
+			ctx.TimerMgr.ScheduleFunc(5, func() {})
+		})
+	}
+	s.Drain()
+	s.AdvanceGlobalTime(10)
+	s.Drain()
+	st := s.WorkerStats()
+	if len(st) != 2 {
+		t.Fatalf("stats for %d workers", len(st))
+	}
+	var jobs, timers uint64
+	var ctxs int
+	for _, w := range st {
+		jobs += w.Jobs
+		timers += w.TimersFired
+		ctxs += w.Contexts
+	}
+	if jobs != 12 { // 10 vthread jobs + 2 advance sweeps
+		t.Fatalf("jobs = %d, want 12", jobs)
+	}
+	if timers != 10 {
+		t.Fatalf("timers fired = %d, want 10", timers)
+	}
+	if ctxs != 10 {
+		t.Fatalf("contexts = %d, want 10", ctxs)
+	}
+}
+
+func TestContextWorkerIndex(t *testing.T) {
+	s := NewScheduler(3)
+	defer s.Shutdown()
+	for vid := uint64(0); vid < 9; vid++ {
+		vid := vid
+		s.Schedule(vid, func(ctx *Context) {
+			if ctx.Worker != s.WorkerIndex(vid) {
+				t.Errorf("vid %d on worker %d, want %d", vid, ctx.Worker, s.WorkerIndex(vid))
+			}
+		})
+	}
+	s.Drain()
 }
 
 func BenchmarkSchedule(b *testing.B) {

@@ -33,9 +33,13 @@ type Timer struct {
 	fire  Time
 	fn    func()
 	mgr   *Mgr
-	index int // heap index; -1 when not scheduled
+	index int // heap index; -1 when not scheduled, pendingFire mid-Advance
 	seq   uint64
 }
+
+// pendingFire marks a timer popped into an in-progress Advance's due set
+// but not yet fired; Cancel and Update still act on it.
+const pendingFire = -2
 
 // NewTimer creates an unscheduled timer executing fn when it fires.
 func NewTimer(fn func()) *Timer { return &Timer{fn: fn, index: -1} }
@@ -46,18 +50,37 @@ func (t *Timer) Scheduled() bool { return t.index >= 0 }
 // FireTime returns the time the timer is due (zero when unscheduled).
 func (t *Timer) FireTime() Time { return t.fire }
 
-// Cancel removes the timer from its manager, if scheduled.
+// Cancel removes the timer from its manager, if scheduled. Cancelling a
+// timer that is due within an in-progress Advance prevents it from firing.
 func (t *Timer) Cancel() {
-	if t.mgr != nil && t.index >= 0 {
+	if t.mgr == nil {
+		return
+	}
+	if t.index >= 0 {
 		heap.Remove(&t.mgr.q, t.index)
+		t.mgr = nil
+	} else if t.index == pendingFire {
+		t.index = -1
 		t.mgr = nil
 	}
 }
 
 // Update reschedules a pending timer to a new fire time (HILTI's
-// timer.update); it is a no-op for unscheduled timers.
+// timer.update); it is a no-op for unscheduled timers. Updating a timer
+// that is due within an in-progress Advance pulls it out of the due set
+// and re-queues it for the new time.
 func (t *Timer) Update(at Time) {
-	if t.mgr == nil || t.index < 0 {
+	if t.mgr == nil {
+		return
+	}
+	if t.index == pendingFire {
+		m := t.mgr
+		t.index = -1
+		t.mgr = nil
+		m.Schedule(at, t) //nolint:errcheck // just cleared to unscheduled
+		return
+	}
+	if t.index < 0 {
 		return
 	}
 	t.fire = at
@@ -86,7 +109,7 @@ func (m *Mgr) Pending() int { return len(m.q) }
 // before the manager's current time fire on the next Advance (HILTI
 // semantics: scheduling never executes user code synchronously).
 func (m *Mgr) Schedule(at Time, t *Timer) error {
-	if t.index >= 0 {
+	if t.index >= 0 || t.index == pendingFire {
 		return fmt.Errorf("timer already scheduled")
 	}
 	t.fire = at
@@ -112,9 +135,21 @@ func (m *Mgr) Advance(now Time) int {
 	if now > m.now {
 		m.now = now
 	}
-	fired := 0
+	// Snapshot the due set before running any callback: a callback that
+	// schedules a timer at or before now must see it fire on the *next*
+	// Advance (the documented contract), not re-enter this one.
+	var due []*Timer
 	for len(m.q) > 0 && m.q[0].fire <= m.now {
 		t := heap.Pop(&m.q).(*Timer)
+		t.index = pendingFire
+		due = append(due, t)
+	}
+	fired := 0
+	for _, t := range due {
+		if t.index != pendingFire { // cancelled or updated by an earlier callback
+			continue
+		}
+		t.index = -1
 		t.mgr = nil
 		fired++
 		t.fn()

@@ -112,7 +112,11 @@ func TestRescheduleFromCallback(t *testing.T) {
 	}
 }
 
-func TestCallbackSchedulesDueTimerFiresSameAdvance(t *testing.T) {
+func TestCallbackSchedulesDueTimerDeferredToNextAdvance(t *testing.T) {
+	// Scheduling never executes user code synchronously — and per the
+	// Schedule contract a timer due at or before the current time fires on
+	// the *next* Advance, even when scheduled from inside a callback of
+	// the current one (see also TestAdvanceReentrantSchedule).
 	m := NewMgr()
 	var got []string
 	m.ScheduleFunc(10, func() {
@@ -120,8 +124,12 @@ func TestCallbackSchedulesDueTimerFiresSameAdvance(t *testing.T) {
 		m.ScheduleFunc(5, func() { got = append(got, "second") }) // already due
 	})
 	m.Advance(10)
+	if len(got) != 1 || got[0] != "first" {
+		t.Fatalf("got %v, want just [first] on the first Advance", got)
+	}
+	m.Advance(m.Now())
 	if len(got) != 2 || got[1] != "second" {
-		t.Fatalf("got %v", got)
+		t.Fatalf("got %v after second Advance", got)
 	}
 }
 
@@ -184,6 +192,103 @@ func TestQuickFireOrder(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAdvanceReentrantSchedule regresses the documented contract: a timer
+// scheduled at or before the manager's current time from within a firing
+// callback must wait for the *next* Advance, not fire in the same one.
+func TestAdvanceReentrantSchedule(t *testing.T) {
+	m := NewMgr()
+	var log []string
+	m.ScheduleFunc(10, func() {
+		log = append(log, "outer")
+		m.ScheduleFunc(5, func() { log = append(log, "inner") }) // already due
+	})
+	if n := m.Advance(10); n != 1 {
+		t.Fatalf("first Advance fired %d, want 1 (inner must wait)", n)
+	}
+	if len(log) != 1 || log[0] != "outer" {
+		t.Fatalf("after first Advance log = %v", log)
+	}
+	if n := m.Advance(10); n != 1 {
+		t.Fatalf("second Advance fired %d, want 1", n)
+	}
+	if len(log) != 2 || log[1] != "inner" {
+		t.Fatalf("after second Advance log = %v", log)
+	}
+}
+
+// TestAdvanceReentrantChain checks a self-rescheduling callback cannot
+// starve Advance into an unbounded loop: each Advance fires exactly one
+// generation.
+func TestAdvanceReentrantChain(t *testing.T) {
+	m := NewMgr()
+	fired := 0
+	var reschedule func()
+	reschedule = func() {
+		fired++
+		m.ScheduleFunc(m.Now(), reschedule)
+	}
+	m.ScheduleFunc(1, reschedule)
+	for i := 0; i < 5; i++ {
+		if n := m.Advance(Time(i + 1)); n != 1 {
+			t.Fatalf("advance %d fired %d timers, want 1", i, n)
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	if m.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", m.Pending())
+	}
+}
+
+// TestCancelWithinAdvance: a callback cancelling a timer that is due in
+// the same Advance prevents it from firing.
+func TestCancelWithinAdvance(t *testing.T) {
+	m := NewMgr()
+	var t2Fired bool
+	t2 := NewTimer(func() { t2Fired = true })
+	m.ScheduleFunc(10, func() { t2.Cancel() })
+	m.Schedule(10, t2)
+	if n := m.Advance(10); n != 1 {
+		t.Fatalf("fired %d, want 1", n)
+	}
+	if t2Fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if t2.Scheduled() {
+		t.Fatal("cancelled timer still scheduled")
+	}
+	// The cancelled timer is reusable.
+	m.Schedule(20, t2)
+	m.Advance(20)
+	if !t2Fired {
+		t.Fatal("rescheduled timer did not fire")
+	}
+}
+
+// TestUpdateWithinAdvance: a callback pushing a due timer's fire time into
+// the future defers it past the current Advance.
+func TestUpdateWithinAdvance(t *testing.T) {
+	m := NewMgr()
+	var t2Fired int
+	t2 := NewTimer(func() { t2Fired++ })
+	m.ScheduleFunc(10, func() { t2.Update(30) })
+	m.Schedule(10, t2)
+	if n := m.Advance(10); n != 1 {
+		t.Fatalf("fired %d, want 1", n)
+	}
+	if t2Fired != 0 {
+		t.Fatal("updated timer fired in the same Advance")
+	}
+	if !t2.Scheduled() || t2.FireTime() != 30 {
+		t.Fatalf("timer not re-queued for 30 (scheduled=%v fire=%d)", t2.Scheduled(), t2.FireTime())
+	}
+	m.Advance(30)
+	if t2Fired != 1 {
+		t.Fatalf("t2 fired %d times, want 1", t2Fired)
 	}
 }
 
