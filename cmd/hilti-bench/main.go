@@ -25,13 +25,14 @@ import (
 	"hilti/internal/pkt/gen"
 	"hilti/internal/pkt/layers"
 	"hilti/internal/pkt/pcap"
+	"hilti/internal/pkt/pipeline"
 	"hilti/internal/rt/fiber"
 	"hilti/internal/rt/hbytes"
 	"hilti/internal/rt/values"
 )
 
 var (
-	expFlag      = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|parallel|ablations|all")
+	expFlag      = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|parallel|faults|ablations|all")
 	httpSessions = flag.Int("http-sessions", 800, "HTTP sessions in the synthetic trace")
 	dnsTxns      = flag.Int("dns-txns", 8000, "DNS transactions in the synthetic trace")
 	seed         = flag.Int64("seed", 1, "generator seed")
@@ -52,9 +53,10 @@ func main() {
 		"fib":       h.fib,
 		"threads":   h.threads,
 		"parallel":  h.parallel,
+		"faults":    h.faults,
 		"ablations": h.ablations,
 	}
-	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "parallel", "ablations"}
+	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "parallel", "faults", "ablations"}
 	if *expFlag == "all" {
 		for _, name := range order {
 			run[name]()
@@ -554,6 +556,168 @@ func (h *harness) parallel() {
 				ws.TimersFired, ws.Flows, ws.FlowsExpired)
 		}
 	}
+}
+
+// --- fault injection -----------------------------------------------------------------
+
+// faults is the robustness harness: the clean HTTP+DNS trace with malformed
+// frames, panicking analyzers, and budget-exhausting HILTI code injected
+// (>1% of packets). The pipeline must survive with the bad flows
+// quarantined, flow-table evictions at the cap, and clean-flow logs
+// byte-identical to the single-threaded baseline. Any violated invariant
+// exits nonzero so CI catches regressions.
+func (h *harness) faults() {
+	header("Fault injection & resource governance (paper §3 safety model)",
+		"illegal operations become catchable faults; the runtime keeps processing under hostile input")
+
+	pkts := append([]pcap.Packet(nil), h.httpTrace()...)
+	pkts = append(pkts, h.dnsTrace()...)
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time.Before(pkts[j].Time) })
+	cfg := bro.Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{bro.HTTPScript, bro.FilesScript, bro.DNSScript}, Quiet: true}
+	streams := []string{"http", "files", "dns"}
+
+	// Single-threaded baseline on the clean trace.
+	base, err := bro.NewEngine(cfg)
+	must(err)
+	base.ProcessTrace(pkts)
+
+	// Hostile run: same engine config plus injection ports, a capped flow
+	// table, and a cross-flow reassembly budget.
+	const (
+		panicPort = 31337
+		loopPort  = 31007
+		maxFlows  = 256
+		workers   = 4
+	)
+	hostile := cfg
+	hostile.PanicPort = panicPort
+	hostile.LoopPort = loopPort
+	hostile.ReassemblyBudget = 256 << 10
+	par, err := bro.NewParallelWith(hostile, pipeline.Config{
+		Workers: workers, MaxFlows: maxFlows})
+	must(err)
+
+	a, b := [4]byte{10, 66, 0, 1}, [4]byte{10, 66, 0, 2}
+	badTCP := func(i int, port uint16) []byte {
+		// 8 recurring faulty flows per port so quarantined flows see
+		// follow-up packets (counted as dropped).
+		sp := uint16(40000 + (i/40)%8)
+		tcp := layers.EncodeTCP(a, b, sp, port, uint32(100+i), 0, layers.TCPAck, 65535, []byte("CRASHME!"))
+		ip := layers.EncodeIPv4(a, b, layers.IPProtoTCP, 64, 1, tcp)
+		return layers.EncodeEthernet([6]byte{6}, [6]byte{7}, layers.EtherTypeIPv4, ip)
+	}
+	malformed := [][]byte{
+		{0xDE, 0xAD},             // runt frame
+		make([]byte, 14),         // ethertype 0
+		append(append([]byte{1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 0x08, 0x00}, 0x4F), make([]byte, 10)...), // bad IHL, truncated
+		append([]byte{1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 0x08, 0x00}, 0xFF, 0xFF, 0xFF),                  // garbage IP header
+	}
+	var injected, injPanic, injLoop, injBad int
+	inject := func(i int, ts int64) {
+		switch (i / 40) % 3 {
+		case 0:
+			par.Feed(ts, badTCP(i, panicPort)) //nolint:errcheck
+			injPanic++
+		case 1:
+			par.Feed(ts, badTCP(i, loopPort)) //nolint:errcheck
+			injLoop++
+		case 2:
+			par.Feed(ts, malformed[(i/40)%len(malformed)]) //nolint:errcheck
+			injBad++
+		}
+		injected++
+	}
+	start := time.Now()
+	for i := range pkts {
+		ts := pkts[i].Time.UnixNano()
+		par.Feed(ts, pkts[i].Data) //nolint:errcheck
+		if i%40 == 0 {
+			inject(i, ts)
+		}
+	}
+	par.Close()
+	el := time.Since(start)
+
+	var ws pipeline.WorkerStats
+	for _, w := range par.Stats() {
+		ws.Packets += w.Packets
+		ws.Faults += w.Faults
+		ws.QuarantinedFlows += w.QuarantinedFlows
+		ws.QuarantineDropped += w.QuarantineDropped
+		ws.FlowsEvicted += w.FlowsEvicted
+		ws.PacketsRejected += w.PacketsRejected
+		ws.TimersDropped += w.TimersDropped
+		if int(w.LiveFlows) > maxFlows {
+			fmt.Printf("    FAIL: worker flow table %d exceeds cap\n", w.LiveFlows)
+			os.Exit(1)
+		}
+	}
+	budgetBlown := 0
+	for _, e := range par.Engines {
+		budgetBlown += e.StatsSnapshot().BudgetBlown
+	}
+
+	total := len(pkts) + injected
+	fmt.Printf("    trace: %d clean + %d injected packets (%.1f%% hostile: %d panic, %d loop, %d malformed) in %v\n",
+		len(pkts), injected, 100*float64(injected)/float64(total), injPanic, injLoop, injBad,
+		el.Round(time.Millisecond))
+	fmt.Printf("    contained faults: %d; quarantined flows: %d; packets dropped in quarantine: %d\n",
+		ws.Faults, ws.QuarantinedFlows, ws.QuarantineDropped)
+	fmt.Printf("    flow table: cap %d (policy evict-oldest), evictions: %d, rejected: %d, timers dropped at close: %d\n",
+		maxFlows, ws.FlowsEvicted, ws.PacketsRejected, ws.TimersDropped)
+	fmt.Printf("    execution budgets: %d ResourceExhausted raised by the injected busy-loop analyzer\n", budgetBlown)
+
+	fail := false
+	check := func(ok bool, what string) {
+		if !ok {
+			fail = true
+			fmt.Printf("    FAIL: %s\n", what)
+		}
+	}
+	check(ws.Faults > 0, "no faults contained (injection broken?)")
+	check(ws.QuarantinedFlows > 0, "no flows quarantined")
+	check(ws.QuarantineDropped > 0, "no packets dropped in quarantine")
+	check(ws.FlowsEvicted > 0, "no flow-table evictions at the cap")
+	check(budgetBlown > 0, "busy-loop analyzer never exhausted its budget")
+	for _, s := range streams {
+		want := bro.SortedLines(base, s)
+		got := par.MergedLines(s)
+		identical := len(got) == len(want)
+		if identical {
+			for i := range want {
+				if got[i] != want[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		if identical {
+			fmt.Printf("    %s.log: %d lines, byte-identical to single-threaded baseline\n", s, len(got))
+		} else {
+			check(false, fmt.Sprintf("%s.log diverged from baseline (%d vs %d lines)", s, len(got), len(want)))
+			gotSet := map[string]int{}
+			for _, l := range got {
+				gotSet[l]++
+			}
+			for _, l := range want {
+				if gotSet[l] > 0 {
+					gotSet[l]--
+				} else {
+					fmt.Printf("      missing: %q\n", l)
+				}
+			}
+			for l, n := range gotSet {
+				for ; n > 0; n-- {
+					fmt.Printf("      extra:   %q\n", l)
+				}
+			}
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("    all containment invariants held")
 }
 
 // --- ablations -----------------------------------------------------------------------

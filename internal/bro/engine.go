@@ -15,17 +15,20 @@
 package bro
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"hilti/internal/analyzers"
 	"hilti/internal/binpac/grammars"
 	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
 	"hilti/internal/hilti/vm"
 	"hilti/internal/pkt/flow"
 	"hilti/internal/pkt/layers"
 	"hilti/internal/pkt/pcap"
 	"hilti/internal/pkt/reassembly"
+	"hilti/internal/rt/fault"
 	"hilti/internal/rt/hbytes"
 	"hilti/internal/rt/profiler"
 	"hilti/internal/rt/timer"
@@ -40,9 +43,28 @@ type Config struct {
 	DiscardLogs bool
 	DNSWholePDU bool // ablation: parse DNS messages without a fiber
 	Quiet       bool // suppress script print output
+
+	// Resource governance (zero values = unlimited).
+	ScriptLimits vm.Limits // budgets for compiled-script hook invocations
+	ParseLimits  vm.Limits // budgets for binpac parser invocations
+	// ReassemblyBudget caps out-of-order reassembly bytes across all of
+	// this engine's flows (0 = per-direction bound only).
+	ReassemblyBudget int64
+	// SharedReassembly, when set, overrides ReassemblyBudget with a budget
+	// shared across engines (the parallel pipeline sets this so the cap is
+	// global, not per-worker).
+	SharedReassembly *reassembly.Budget
+
+	// Fault injection (testing/experiments). Flows touching PanicPort get
+	// an analyzer that panics on delivery; flows touching LoopPort get a
+	// HILTI analyzer that busy-loops until its instruction budget raises
+	// ResourceExhausted.
+	PanicPort uint16
+	LoopPort  uint16
 }
 
-// Stats reports per-component processing time (the Figure 9/10 split).
+// Stats reports per-component processing time (the Figure 9/10 split) and
+// the fault-containment ledger.
 type Stats struct {
 	Parsing  time.Duration
 	Script   time.Duration
@@ -52,6 +74,11 @@ type Stats struct {
 	Packets  int
 	Events   int
 	ParseErr int
+
+	Faults            int // panics contained at engine boundaries
+	BudgetBlown       int // ResourceExhausted raised by budgeted VM work
+	Quarantined       int // flows quarantined by the single-threaded path
+	QuarantineDropped int // packets dropped because their flow was quarantined
 }
 
 // Engine processes packets through parsers, events, and scripts.
@@ -76,6 +103,13 @@ type Engine struct {
 	packets   int
 	events    int
 	parseErrs int
+
+	faults      *fault.Recorder
+	budgetBlown int
+	quarantined map[uint64]uint64 // faulted flow hash -> packets dropped since
+	quarDropped int
+	reasm       *reassembly.Budget
+	loopExec    *vm.Exec // lazily built LoopPort injection analyzer
 
 	httpReqStruct, httpRepStruct *values.StructDef
 	out                          printWriter
@@ -109,10 +143,17 @@ type conn struct {
 // NewEngine builds an engine for the configuration.
 func NewEngine(cfg Config) (*Engine, error) {
 	e := &Engine{
-		cfg:   cfg,
-		Logs:  NewLogSet(),
-		conns: map[flow.Key]*conn{},
-		ctxs:  map[int64]*conn{},
+		cfg:         cfg,
+		Logs:        NewLogSet(),
+		conns:       map[flow.Key]*conn{},
+		ctxs:        map[int64]*conn{},
+		faults:      fault.NewRecorder(0),
+		quarantined: map[uint64]uint64{},
+	}
+	if cfg.SharedReassembly != nil {
+		e.reasm = cfg.SharedReassembly
+	} else if cfg.ReassemblyBudget > 0 {
+		e.reasm = reassembly.NewBudget(cfg.ReassemblyBudget)
 	}
 	e.Logs.Discard = cfg.DiscardLogs
 	regs := profiler.NewRegistry()
@@ -162,6 +203,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if _, err := e.sexec.Call("BroScripts::__init_globals"); err != nil {
 			return nil, err
 		}
+		// Budget hook invocations only; globals init above runs unbounded.
+		e.sexec.Limits = cfg.ScriptLimits
 	}
 
 	if cfg.Parser == "binpac" {
@@ -192,6 +235,7 @@ func (e *Engine) initBinpac() error {
 	if err != nil {
 		return err
 	}
+	e.pexec.Limits = e.cfg.ParseLimits
 	e.httpReqStruct = findStruct(httpMods, "Requests")
 	e.httpRepStruct = findStruct(httpMods, "Replies")
 	e.registerBinpacHost()
@@ -220,18 +264,32 @@ func (e *Engine) resumeParse() {
 	}
 }
 
-// dispatch routes an event into the configured script backend.
+// dispatch routes an event into the configured script backend. It is a
+// containment boundary: a panic in glue conversion or a script handler is
+// converted into a recorded fault, aborting only this event — the flow and
+// the engine keep processing.
 func (e *Engine) dispatch(name string, args ...Val) {
 	e.events++
 	e.pauseParse()
 	defer e.resumeParse()
+	if f := fault.Catch("event:"+name, func() { e.dispatchRaw(name, args...) }); f != nil {
+		f.TsNs = e.now
+		e.faults.Record(f)
+	}
+}
+
+func (e *Engine) dispatchRaw(name string, args ...Val) {
 	if e.sexec != nil {
 		hargs := make([]values.Value, len(args))
 		for i, a := range args {
 			hargs[i] = e.glue.ToHilti(a)
 		}
 		e.profScript.Start()
-		e.sexec.RunHook(name, hargs...) //nolint:errcheck // script errors abort the handler only
+		// Script errors abort the handler only; a blown execution budget
+		// is additionally counted.
+		if err := e.sexec.RunHook(name, hargs...); isExhausted(err) {
+			e.budgetBlown++
+		}
 		e.profScript.Stop()
 		return
 	}
@@ -240,17 +298,84 @@ func (e *Engine) dispatch(name string, args ...Val) {
 	e.profScript.Stop()
 }
 
+// isExhausted reports whether err is a ResourceExhausted HILTI exception.
+func isExhausted(err error) bool {
+	var exc *values.Exception
+	return errors.As(err, &exc) && exc.Name == vm.ExcResourceExhausted
+}
+
 // ProcessTrace runs all packets of a trace through the engine and
 // finalizes state.
 func (e *Engine) ProcessTrace(pkts []pcap.Packet) *Stats {
 	start := time.Now()
 	for i := range pkts {
-		e.ProcessPacket(pkts[i].Time.UnixNano(), pkts[i].Data)
+		e.SafeProcessPacket(pkts[i].Time.UnixNano(), pkts[i].Data)
 	}
 	e.Finish()
 	e.total = time.Since(start)
 	return e.StatsSnapshot()
 }
+
+// SafeProcessPacket is ProcessPacket behind a containment boundary: a
+// panic quarantines the packet's flow (later packets are counted and
+// dropped) and discards the flow's state, mirroring what the parallel
+// pipeline's per-worker boundary does. ProcessPacket itself stays panicky
+// so pipeline-hosted engines are contained exactly once, at the worker.
+func (e *Engine) SafeProcessPacket(tsNs int64, frame []byte) {
+	key, keyed := flow.FromFrame(frame)
+	var vid uint64
+	if keyed {
+		vid = key.Hash()
+	}
+	if n, bad := e.quarantined[vid]; bad {
+		e.quarantined[vid] = n + 1
+		e.quarDropped++
+		return
+	}
+	f := fault.Catch("packet", func() { e.ProcessPacket(tsNs, frame) })
+	if f == nil {
+		return
+	}
+	f.VID, f.TsNs = vid, tsNs
+	e.faults.Record(f)
+	e.quarantined[vid] = 0
+	if keyed {
+		if zf := fault.Catch("zap", func() { e.ZapFlow(key) }); zf != nil {
+			zf.VID = vid
+			e.faults.Record(zf)
+		}
+	}
+}
+
+// ZapFlow hard-drops a flow's connection state without running analyzer
+// finalization or raising events — the cleanup path for quarantined flows,
+// where normal teardown might re-trip the fault that got them quarantined.
+// Satisfies pipeline.FlowZapper.
+func (e *Engine) ZapFlow(key flow.Key) {
+	ck, _ := key.Canonical()
+	c, ok := e.conns[ck]
+	if !ok {
+		return
+	}
+	c.closed = true
+	c.origStream.Discard()
+	c.respStream.Discard()
+	if c.origRun != nil {
+		c.origRun.Abort()
+	}
+	if c.respRun != nil {
+		c.respRun.Abort()
+	}
+	delete(e.conns, ck)
+	delete(e.ctxs, c.ctx)
+}
+
+// Faults returns the engine's retained fault records, oldest first.
+func (e *Engine) Faults() []*fault.Fault { return e.faults.Faults() }
+
+// Reassembly returns the engine's cross-flow reassembly budget, or nil
+// when unbounded.
+func (e *Engine) Reassembly() *reassembly.Budget { return e.reasm }
 
 // StatsSnapshot returns the component split.
 func (e *Engine) StatsSnapshot() *Stats {
@@ -262,6 +387,11 @@ func (e *Engine) StatsSnapshot() *Stats {
 		Packets:  e.packets,
 		Events:   e.events,
 		ParseErr: e.parseErrs,
+
+		Faults:            int(e.faults.Count()),
+		BudgetBlown:       e.budgetBlown,
+		Quarantined:       len(e.quarantined),
+		QuarantineDropped: e.quarDropped,
 	}
 	s.Other = s.Total - s.Parsing - s.Script - s.Glue
 	if s.Other < 0 {
@@ -310,6 +440,10 @@ func (e *Engine) getConn(key flow.Key, isTCP bool) (*conn, bool) {
 	c, ok := e.conns[ck]
 	if !ok {
 		c = &conn{key: key, isTCP: isTCP, uid: flow.UID(ck, e.now), ctx: e.nextCtx}
+		if isTCP && e.reasm != nil {
+			c.origStream.Budget = e.reasm
+			c.respStream.Budget = e.reasm
+		}
 		e.nextCtx++
 		e.conns[ck] = c
 		e.ctxs[c.ctx] = c
@@ -374,8 +508,30 @@ func (e *Engine) tcpPacket(ip layers.IPv4, tcp layers.TCP) {
 	}
 }
 
+func portMatch(key flow.Key, port uint16) bool {
+	return port != 0 && (key.DstPort == port || key.SrcPort == port)
+}
+
 func (e *Engine) attachTCPAnalyzer(c *conn) {
 	isHTTP := c.key.DstPort == 80 || c.key.SrcPort == 80
+	// Fault-injection analyzers (experiments only; off when ports are 0).
+	// They never shadow a real protocol analyzer: a clean client whose
+	// ephemeral source port happens to equal an injection port must still
+	// get its HTTP analyzer, or clean-flow logs would diverge.
+	if !isHTTP {
+		if portMatch(c.key, e.cfg.PanicPort) {
+			deliver := func([]byte) { panic("injected: analyzer fault (PanicPort)") }
+			c.origStream.Deliver = deliver
+			c.respStream.Deliver = deliver
+			return
+		}
+		if portMatch(c.key, e.cfg.LoopPort) {
+			deliver := func([]byte) { e.runLoopAnalyzer() }
+			c.origStream.Deliver = deliver
+			c.respStream.Deliver = deliver
+			return
+		}
+	}
 	if e.cfg.Parser == "binpac" && isHTTP {
 		e.attachBinpacHTTP(c)
 	} else if isHTTP {
@@ -507,6 +663,45 @@ func (a *stdHTTPAdapter) MessageDone(isOrig bool) {
 
 func (a *stdHTTPAdapter) ParseError(isOrig bool, msg string) {
 	a.e.parseErrs++
+}
+
+// --- fault-injection loop analyzer ---------------------------------------------
+
+// runLoopAnalyzer models a runaway analyzer: a HILTI busy-loop on its own
+// execution context whose instruction budget converts non-termination into
+// a counted ResourceExhausted — the governance story end to end.
+func (e *Engine) runLoopAnalyzer() {
+	if e.loopExec == nil && e.initLoopExec() != nil {
+		return
+	}
+	if _, err := e.loopExec.Call("Faulty::spin"); isExhausted(err) {
+		e.budgetBlown++
+	}
+}
+
+func (e *Engine) initLoopExec() error {
+	b := ast.NewBuilder("Faulty")
+	fb := b.Function("spin", types.VoidT)
+	x := fb.Local("x", types.Int64T)
+	fb.Jump("loop")
+	fb.Block("loop")
+	fb.Assign(x, "int.add", x, ast.IntOp(1))
+	fb.Jump("loop")
+	prog, err := vm.Link(b.M)
+	if err != nil {
+		return err
+	}
+	ex, err := vm.NewExec(prog)
+	if err != nil {
+		return err
+	}
+	lim := e.cfg.ParseLimits
+	if lim.Instructions == 0 && lim.Deadline == 0 {
+		lim = vm.Limits{Instructions: 100_000}
+	}
+	ex.Limits = lim
+	e.loopExec = ex
+	return nil
 }
 
 // ErrNoEngine guards misconfiguration.

@@ -1,0 +1,159 @@
+package bro
+
+import (
+	"strings"
+	"testing"
+
+	"hilti/internal/pkt/gen"
+	"hilti/internal/pkt/layers"
+	"hilti/internal/pkt/pipeline"
+)
+
+// tcpDataFrame builds an Ethernet/IPv4/TCP frame carrying payload.
+func tcpDataFrame(src, dst [4]byte, sp, dp uint16, seq uint32, payload []byte) []byte {
+	tcp := layers.EncodeTCP(src, dst, sp, dp, seq, 0, layers.TCPAck, 65535, payload)
+	ip := layers.EncodeIPv4(src, dst, layers.IPProtoTCP, 64, 1, tcp)
+	return layers.EncodeEthernet([6]byte{1}, [6]byte{2}, layers.EtherTypeIPv4, ip)
+}
+
+// TestPanicPortQuarantinesFlow: an analyzer panic on the single-threaded
+// path quarantines only that flow, records the fault with a stack, and
+// leaves other flows processing normally.
+func TestPanicPortQuarantinesFlow(t *testing.T) {
+	e, err := NewEngine(Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{HTTPScript}, Quiet: true, PanicPort: 31337})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}
+	// Three packets of a faulting flow: first panics, the rest are dropped.
+	for i := 0; i < 3; i++ {
+		e.SafeProcessPacket(int64(i), tcpDataFrame(a, b, 40000, 31337, uint32(100+8*i), []byte("CRASHME!")))
+	}
+	// An unrelated flow keeps working.
+	e.SafeProcessPacket(10, tcpDataFrame(a, b, 40001, 9999, 500, []byte("fine")))
+	// The faulted flow's connection state was zapped; the clean flow's is live.
+	if len(e.conns) != 1 {
+		t.Fatalf("conns = %d, want 1 (only the clean flow)", len(e.conns))
+	}
+	e.Finish()
+
+	st := e.StatsSnapshot()
+	if st.Faults < 1 || st.Quarantined != 1 {
+		t.Fatalf("faults=%d quarantined=%d, want >=1/1", st.Faults, st.Quarantined)
+	}
+	if st.QuarantineDropped != 2 {
+		t.Fatalf("quarantine-dropped = %d, want 2", st.QuarantineDropped)
+	}
+	fs := e.Faults()
+	if len(fs) == 0 || fs[0].Op != "packet" || !strings.Contains(string(fs[0].Stack), "goroutine") {
+		t.Fatalf("fault record malformed: %+v", fs)
+	}
+}
+
+// TestLoopPortBudgetBlown: the injected busy-loop analyzer is terminated
+// by its instruction budget; the engine counts it and keeps going.
+func TestLoopPortBudgetBlown(t *testing.T) {
+	e, err := NewEngine(Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{HTTPScript}, Quiet: true, LoopPort: 31007})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}
+	for i := 0; i < 3; i++ {
+		e.SafeProcessPacket(int64(i), tcpDataFrame(a, b, 41000, 31007, uint32(100+4*i), []byte("spin")))
+	}
+	e.Finish()
+	st := e.StatsSnapshot()
+	if st.BudgetBlown != 3 {
+		t.Fatalf("budget-blown = %d, want 3", st.BudgetBlown)
+	}
+	if st.Faults != 0 || st.Quarantined != 0 {
+		t.Fatalf("exhaustion must not fault/quarantine: %+v", st)
+	}
+}
+
+// TestParallelFaultContainment: faulting flows in the pipeline are
+// quarantined per worker while clean-flow logs stay byte-identical to the
+// single-threaded baseline — the tentpole's end-to-end guarantee.
+func TestParallelFaultContainment(t *testing.T) {
+	hc := gen.DefaultHTTPConfig()
+	hc.Sessions = 30
+	pkts := gen.GenerateHTTP(hc)
+	clean := Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{HTTPScript}, Quiet: true}
+
+	single, err := NewEngine(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.ProcessTrace(pkts)
+
+	// Same trace plus injected panicking flows, faulting config.
+	faulty := clean
+	faulty.PanicPort = 31337
+	par, err := NewParallelWith(faulty, pipeline.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := [4]byte{10, 9, 0, 1}, [4]byte{10, 9, 0, 2}
+	for i := range pkts {
+		par.Feed(pkts[i].Time.UnixNano(), pkts[i].Data) //nolint:errcheck
+		if i%10 == 0 {
+			par.Feed(pkts[i].Time.UnixNano(), //nolint:errcheck
+				tcpDataFrame(a, b, uint16(42000+i), 31337, 100, []byte("CRASHME!")))
+		}
+	}
+	par.Close()
+
+	var faults, quarantined uint64
+	for _, ws := range par.Stats() {
+		faults += ws.Faults
+		quarantined += ws.QuarantinedFlows
+	}
+	if faults == 0 || quarantined == 0 {
+		t.Fatalf("faults=%d quarantined=%d, want nonzero", faults, quarantined)
+	}
+	want := SortedLines(single, "http")
+	got := par.MergedLines("http")
+	if len(want) == 0 || len(got) != len(want) {
+		t.Fatalf("http.log: %d lines, want %d (nonzero)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("http.log line %d differs under fault injection:\n  got  %q\n  want %q",
+				i, got[i], want[i])
+		}
+	}
+}
+
+// TestReassemblyBudgetWiring: a configured cross-flow budget reaches the
+// connection streams and forces early gap abandonment under aggregate
+// out-of-order buffering.
+func TestReassemblyBudgetWiring(t *testing.T) {
+	e, err := NewEngine(Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{HTTPScript}, Quiet: true, ReassemblyBudget: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}
+	// Each flow establishes its stream origin, then jumps past a hole so
+	// 512 bytes buffer out of order; together the flows exceed the 1 KiB
+	// budget and the later inserts must force early gaps.
+	payload := make([]byte, 512)
+	for f := 0; f < 4; f++ {
+		sp := uint16(43000 + f)
+		e.SafeProcessPacket(int64(f), tcpDataFrame(a, b, sp, 9999, 100, []byte("go")))
+		e.SafeProcessPacket(int64(f), tcpDataFrame(a, b, sp, 9999, 10_000, payload))
+	}
+	e.Finish()
+	if e.Reassembly() == nil {
+		t.Fatal("budget not created")
+	}
+	if e.Reassembly().Forced() == 0 {
+		t.Fatal("aggregate buffering over budget should force gaps")
+	}
+	if used := e.Reassembly().Used(); used != 0 {
+		t.Fatalf("budget not credited back at teardown: %d bytes leaked", used)
+	}
+}

@@ -1,0 +1,66 @@
+package bro
+
+import (
+	"testing"
+
+	"hilti/internal/pkt/layers"
+)
+
+// fuzzEngine builds a fresh engine per input so every crash reproduces from
+// its corpus entry alone (no cross-input connection state).
+func fuzzEngine(t *testing.T, parser string) *Engine {
+	e, err := NewEngine(Config{Parser: parser, ScriptExec: "interp",
+		Scripts: []string{HTTPScript, DNSScript}, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// feedShapes drives one fuzz input through the engine three ways: as a raw
+// frame (exercises link/network decode), as a TCP:80 payload (exercises the
+// HTTP parser through stream reassembly), and as a UDP:53 payload (exercises
+// the DNS parser). The panicky ProcessPacket path is used deliberately: a
+// panic anywhere in decode/reassembly/parse is a real bug the quarantine
+// machinery should never have to paper over.
+func feedShapes(e *Engine, data []byte) {
+	src, dst := [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}
+	e.ProcessPacket(1, data)
+
+	tcp := layers.EncodeTCP(src, dst, 44000, 80, 100, 0, layers.TCPAck, 65535, data)
+	ip := layers.EncodeIPv4(src, dst, layers.IPProtoTCP, 64, 1, tcp)
+	e.ProcessPacket(2, layers.EncodeEthernet([6]byte{1}, [6]byte{2}, layers.EtherTypeIPv4, ip))
+
+	udp := layers.EncodeUDP(src, dst, 44001, 53, data)
+	ip = layers.EncodeIPv4(src, dst, layers.IPProtoUDP, 64, 2, udp)
+	e.ProcessPacket(3, layers.EncodeEthernet([6]byte{1}, [6]byte{2}, layers.EtherTypeIPv4, ip))
+
+	e.Finish()
+}
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte("GET /index.html HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\nabc"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 99999999999\r\n\r\n"))
+	// A DNS query header claiming more records than the payload carries.
+	f.Add([]byte{0x12, 0x34, 0x01, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	// DNS name with a compression pointer to itself.
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1})
+	f.Add([]byte{})
+}
+
+// FuzzEngineFeed fuzzes the full packet path with the hand-written parsers.
+func FuzzEngineFeed(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		feedShapes(fuzzEngine(t, "standard"), data)
+	})
+}
+
+// FuzzEngineFeedBinpac fuzzes the same path with the BinPAC++ grammars
+// compiled to HILTI, so hostile bytes reach the generated parse code.
+func FuzzEngineFeedBinpac(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		feedShapes(fuzzEngine(t, "binpac"), data)
+	})
+}

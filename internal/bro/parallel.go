@@ -11,6 +11,7 @@ import (
 
 	"hilti/internal/pkt/pcap"
 	"hilti/internal/pkt/pipeline"
+	"hilti/internal/pkt/reassembly"
 )
 
 // Parallel couples a flow-sharded pipeline with its per-worker engines.
@@ -22,18 +23,30 @@ type Parallel struct {
 // NewParallel builds a pipeline whose workers each host an Engine with the
 // given configuration. Engines must not be inspected until Close returns.
 func NewParallel(cfg Config, workers int) (*Parallel, error) {
-	p := &Parallel{Engines: make([]*Engine, workers)}
-	pl, err := pipeline.New(pipeline.Config{
-		Workers: workers,
-		NewHandler: func(i int) (pipeline.Handler, error) {
-			e, err := NewEngine(cfg)
-			if err != nil {
-				return nil, err
-			}
-			p.Engines[i] = e
-			return e, nil
-		},
-	})
+	return NewParallelWith(cfg, pipeline.Config{Workers: workers})
+}
+
+// NewParallelWith is NewParallel with full control over the pipeline
+// (flow-table cap, degradation policy, ingress window). pcfg.NewHandler is
+// supplied here; a ReassemblyBudget in cfg becomes one budget shared by
+// all workers so the cap is global.
+func NewParallelWith(cfg Config, pcfg pipeline.Config) (*Parallel, error) {
+	if pcfg.Workers < 1 {
+		pcfg.Workers = 1
+	}
+	if cfg.SharedReassembly == nil && cfg.ReassemblyBudget > 0 {
+		cfg.SharedReassembly = reassembly.NewBudget(cfg.ReassemblyBudget)
+	}
+	p := &Parallel{Engines: make([]*Engine, pcfg.Workers)}
+	pcfg.NewHandler = func(i int) (pipeline.Handler, error) {
+		e, err := NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Engines[i] = e
+		return e, nil
+	}
+	pl, err := pipeline.New(pcfg)
 	if err != nil {
 		return nil, err
 	}

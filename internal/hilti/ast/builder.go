@@ -138,6 +138,13 @@ func (fb *FuncBuilder) TryBegin(catchLabel string, excVar Operand) {
 	fb.cur.Instrs = append(fb.cur.Instrs, in)
 }
 
+// TryBeginNamed opens a protected region whose handler catches only the
+// named exception type; other exceptions propagate to outer handlers.
+func (fb *FuncBuilder) TryBeginNamed(catchLabel string, excVar Operand, excName string) {
+	in := &Instr{Op: "try.begin", Target: excVar, Aux: catchLabel, Ops: []Operand{FieldOperand(excName)}}
+	fb.cur.Instrs = append(fb.cur.Instrs, in)
+}
+
 // TryEnd closes the innermost protected region.
 func (fb *FuncBuilder) TryEnd() { fb.Instr("try.end") }
 

@@ -1,0 +1,212 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+	"hilti/internal/rt/hbytes"
+	"hilti/internal/rt/values"
+)
+
+// spinModule builds M::spin(n) — a counting loop executing O(n) instructions —
+// and M::forever() — an unbounded loop.
+func spinModule() *ast.Builder {
+	b := ast.NewBuilder("M")
+
+	fb := b.Function("spin", types.Int64T, ast.Param{Name: "n", Type: types.Int64T})
+	i := fb.Local("i", types.Int64T)
+	c := fb.Local("c", types.BoolT)
+	fb.Assign(i, "int.add", ast.IntOp(0), ast.IntOp(0))
+	fb.Jump("loop")
+	fb.Block("loop")
+	fb.Assign(c, "int.lt", i, ast.VarOp("n"))
+	fb.IfElse(c, "body", "done")
+	fb.Block("body")
+	fb.Assign(i, "int.add", i, ast.IntOp(1))
+	fb.Jump("loop")
+	fb.Block("done")
+	fb.Return(i)
+
+	ff := b.Function("forever", types.VoidT)
+	x := ff.Local("x", types.Int64T)
+	ff.Jump("loop")
+	ff.Block("loop")
+	ff.Assign(x, "int.add", x, ast.IntOp(1))
+	ff.Jump("loop")
+
+	return b
+}
+
+func TestInstructionBudgetRaisesResourceExhausted(t *testing.T) {
+	ex := mustLink(t, spinModule().M)
+	ex.Limits = Limits{Instructions: 10_000}
+	_, err := ex.Call("M::spin", values.Int(1_000_000))
+	var exc *values.Exception
+	if !errors.As(err, &exc) || exc.Name != ExcResourceExhausted {
+		t.Fatalf("got %v", err)
+	}
+	// The overshoot is bounded by the grace allotment, not proportional to n.
+	if ex.Steps() > 10_000+2*budgetGrace {
+		t.Fatalf("ran %d instructions past a 10k budget", ex.Steps())
+	}
+}
+
+func TestBudgetRearmsPerInvocation(t *testing.T) {
+	ex := mustLink(t, spinModule().M)
+	ex.Limits = Limits{Instructions: 10_000}
+	if _, err := ex.Call("M::spin", values.Int(1_000_000)); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	// A fresh invocation gets a fresh budget; small work still runs.
+	v, err := ex.Call("M::spin", values.Int(100))
+	if err != nil || v.AsInt() != 100 {
+		t.Fatalf("post-exhaustion call: %v %v", v, err)
+	}
+}
+
+func TestResourceExhaustedCatchableInLanguage(t *testing.T) {
+	b := spinModule()
+	fb := b.Function("guard", types.Int64T)
+	e := fb.Local("e", types.ExcT)
+	r := fb.Local("r", types.Int64T)
+	fb.TryBeginNamed("catch", e, ExcResourceExhausted)
+	fb.CallResult(r, "spin", ast.IntOp(1_000_000))
+	fb.TryEnd()
+	fb.Return(r)
+	fb.Block("catch")
+	fb.Return(ast.IntOp(-1))
+
+	ex := mustLink(t, b.M)
+	ex.Limits = Limits{Instructions: 10_000}
+	v, err := ex.Call("M::guard")
+	if err != nil {
+		t.Fatalf("in-language handler should have caught exhaustion: %v", err)
+	}
+	if v.AsInt() != -1 {
+		t.Fatalf("got %v, want fallback -1", v.AsInt())
+	}
+}
+
+func TestRepeatedExhaustionPropagatesOutOfHandler(t *testing.T) {
+	// A handler that responds to exhaustion by spinning again blows through
+	// its grace allotment; the second raise escapes to the host.
+	b := spinModule()
+	fb := b.Function("abuse", types.Int64T)
+	e := fb.Local("e", types.ExcT)
+	r := fb.Local("r", types.Int64T)
+	fb.TryBeginNamed("catch", e, ExcResourceExhausted)
+	fb.CallResult(r, "spin", ast.IntOp(1_000_000))
+	fb.TryEnd()
+	fb.Return(r)
+	fb.Block("catch")
+	fb.CallResult(r, "spin", ast.IntOp(1_000_000))
+	fb.Return(r)
+
+	ex := mustLink(t, b.M)
+	ex.Limits = Limits{Instructions: 10_000}
+	_, err := ex.Call("M::abuse")
+	var exc *values.Exception
+	if !errors.As(err, &exc) || exc.Name != ExcResourceExhausted {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDeadlineTerminatesInfiniteLoop(t *testing.T) {
+	ex := mustLink(t, spinModule().M)
+	ex.Limits = Limits{Deadline: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := ex.Call("M::forever")
+	elapsed := time.Since(start)
+	var exc *values.Exception
+	if !errors.As(err, &exc) || exc.Name != ExcResourceExhausted {
+		t.Fatalf("got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("infinite loop ran %v past a 50ms deadline", elapsed)
+	}
+}
+
+func TestZeroLimitsRunUnbounded(t *testing.T) {
+	ex := mustLink(t, spinModule().M)
+	v, err := ex.Call("M::spin", values.Int(200_000))
+	if err != nil || v.AsInt() != 200_000 {
+		t.Fatalf("got %v %v", v, err)
+	}
+}
+
+func TestFiberBudgetIsolation(t *testing.T) {
+	// A suspended fiber-backed call and interleaved host calls each account
+	// against their own budget; neither corrupts the other.
+	b := spinModule()
+	fb := b.Function("read8", types.BytesT, ast.Param{Name: "data", Type: types.BytesT})
+	it := fb.Local("it", types.IterT(types.BytesT))
+	tup := fb.Local("tup", types.TupleT(types.BytesT, types.IterT(types.BytesT)))
+	out := fb.Local("out", types.BytesT)
+	fb.Assign(it, "bytes.begin", ast.VarOp("data"))
+	fb.Assign(tup, "unpack.bytes", it, ast.IntOp(8))
+	fb.Assign(out, "tuple.index", tup, ast.IntOp(0))
+	fb.Return(out)
+
+	ex := mustLink(t, b.M)
+	ex.Limits = Limits{Instructions: 50_000}
+
+	data := hbytes.New()
+	data.Append([]byte("abc"))
+	r := ex.FiberCall(ex.Prog.Fn("M::read8"), values.BytesVal(data))
+	if _, done, err := r.Resume(); done || err != nil {
+		t.Fatalf("should suspend: done=%v err=%v", done, err)
+	}
+
+	// Host work between resumes runs under its own fresh budget.
+	if v, err := ex.Call("M::spin", values.Int(1_000)); err != nil || v.AsInt() != 1_000 {
+		t.Fatalf("interleaved host call: %v %v", v, err)
+	}
+	// And host exhaustion must not leak into the suspended fiber's state.
+	if _, err := ex.Call("M::spin", values.Int(1_000_000)); err == nil {
+		t.Fatal("expected host-call exhaustion")
+	}
+
+	data.Append([]byte("defgh"))
+	v, done, err := r.Resume()
+	if !done || err != nil || v.AsBytes().String() != "abcdefgh" {
+		t.Fatalf("fiber completion: %v %v %v", v, done, err)
+	}
+}
+
+func TestFiberBudgetAccumulatesAcrossResumes(t *testing.T) {
+	// Instruction accounting for a fiber-backed call spans all its resumes,
+	// so a parser cannot dodge its budget by suspending.
+	b := spinModule()
+	fb := b.Function("spinRead", types.Int64T, ast.Param{Name: "data", Type: types.BytesT})
+	it := fb.Local("it", types.IterT(types.BytesT))
+	tup := fb.Local("tup", types.TupleT(types.BytesT, types.IterT(types.BytesT)))
+	r := fb.Local("r", types.Int64T)
+	fb.CallResult(r, "spin", ast.IntOp(9_000))
+	fb.Assign(it, "bytes.begin", ast.VarOp("data"))
+	fb.Assign(tup, "unpack.bytes", it, ast.IntOp(4))
+	fb.CallResult(r, "spin", ast.IntOp(9_000))
+	fb.Return(r)
+
+	// One spin costs ~36k instructions; the budget admits one but not two,
+	// so exhaustion only trips if accounting survives the suspension.
+	ex := mustLink(t, b.M)
+	ex.Limits = Limits{Instructions: 50_000}
+
+	data := hbytes.New()
+	fibr := ex.FiberCall(ex.Prog.Fn("M::spinRead"), values.BytesVal(data))
+	if _, done, err := fibr.Resume(); done || err != nil {
+		t.Fatalf("should suspend: done=%v err=%v", done, err)
+	}
+	data.Append([]byte("wxyz"))
+	_, done, err := fibr.Resume()
+	if !done {
+		t.Fatal("should complete (by exhausting)")
+	}
+	var exc *values.Exception
+	if !errors.As(err, &exc) || exc.Name != ExcResourceExhausted {
+		t.Fatalf("second spin should exceed the cumulative budget: %v", err)
+	}
+}

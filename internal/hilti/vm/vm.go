@@ -138,8 +138,13 @@ type Exec struct {
 	HostFns  map[string]HostFunc
 	FibPool  *fiber.Pool
 
+	// Limits bounds every top-level invocation (see budget.go); the
+	// zero value means unlimited. Change it only between invocations.
+	Limits Limits
+
 	fib        *fiber.Fiber // current fiber, when running inside one
 	freeFrames []*Frame
+	budget     budgetState
 }
 
 // NewExec creates an execution context for prog and runs global
@@ -155,6 +160,7 @@ func NewExec(prog *Program) (*Exec, error) {
 		GlobalTM: timer.NewMgr(),
 		HostFns:  map[string]HostFunc{},
 		FibPool:  fiber.NewPool(256),
+		budget:   freshBudget(),
 	}
 	for _, gi := range prog.globalInits {
 		v, err := gi.mk(ex)
@@ -265,7 +271,13 @@ func (ex *Exec) run(fn *CompiledFunc, fr *Frame) (values.Value, bool) {
 	pc := 0
 	for pc >= 0 && pc < len(code) {
 		cur := pc
-		pc = code[cur].exec(ex, fr, &code[cur])
+		// Budget fast path: one increment and compare; nextCheck is
+		// MaxUint64 when no limits are armed.
+		if ex.budget.steps++; ex.budget.steps >= ex.budget.nextCheck {
+			pc = ex.checkBudget()
+		} else {
+			pc = code[cur].exec(ex, fr, &code[cur])
+		}
 		switch pc {
 		case pcRaise:
 			h := fn.findHandler(cur, ex.Exc)
@@ -318,7 +330,14 @@ func (ex *Exec) CallFn(fn *CompiledFunc, args ...values.Value) (values.Value, er
 	}
 	fr := ex.newFrame(fn)
 	copy(fr.R, args)
+	// A host-level call (depth 0) starts a fresh budgeted invocation;
+	// re-entrant calls from host functions inherit the armed budget.
+	if ex.budget.vmDepth == 0 {
+		ex.armBudget()
+	}
+	ex.budget.vmDepth++
 	ret, ok := ex.run(fn, fr)
+	ex.budget.vmDepth--
 	ex.freeFrame(fr)
 	if !ok {
 		exc := ex.Exc
@@ -348,7 +367,7 @@ func (ex *Exec) RunHook(name string, args ...values.Value) error {
 // condition suspends rather than failing. It returns a Resumable that the
 // host drives: the paper's incremental-parsing workflow (§3.2).
 func (ex *Exec) FiberCall(fn *CompiledFunc, args ...values.Value) *Resumable {
-	r := &Resumable{ex: ex}
+	r := &Resumable{ex: ex, budget: freshBudget()}
 	r.fib = ex.FibPool.Get(func(f *fiber.Fiber, _ any) (any, error) {
 		v, err := ex.CallFn(fn, args...)
 		if err != nil {
@@ -361,11 +380,12 @@ func (ex *Exec) FiberCall(fn *CompiledFunc, args ...values.Value) *Resumable {
 
 // Resumable is a suspended (or completed) fiber-backed call.
 type Resumable struct {
-	ex   *Exec
-	fib  *fiber.Fiber
-	done bool
-	ret  values.Value
-	err  error
+	ex     *Exec
+	fib    *fiber.Fiber
+	done   bool
+	ret    values.Value
+	err    error
+	budget budgetState
 }
 
 // Resume continues execution until the call either completes (done=true,
@@ -379,7 +399,12 @@ func (r *Resumable) Resume() (values.Value, bool, error) {
 	}
 	prev := r.ex.fib
 	r.ex.fib = r.fib
+	// Each suspended call owns its budget accounting: instructions
+	// accumulate across resumes, the deadline re-arms per resume.
+	hostBudget := r.ex.swapBudget(r.budget)
+	r.ex.rearmDeadline()
 	v, done, err := r.fib.Resume(nil)
+	r.budget = r.ex.swapBudget(hostBudget)
 	r.ex.fib = prev
 	if done {
 		r.done = true

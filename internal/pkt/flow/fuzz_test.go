@@ -1,0 +1,33 @@
+package flow
+
+import (
+	"testing"
+
+	"hilti/internal/pkt/layers"
+)
+
+// FuzzFromFrame checks the frame-to-key fast path never panics and that any
+// key it extracts canonicalizes direction-independently (both orientations
+// of the same 5-tuple must collapse to one hash, or flow sharding breaks).
+func FuzzFromFrame(f *testing.F) {
+	tcp := layers.EncodeTCP([4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, 40000, 80, 100, 0, layers.TCPSyn, 65535, nil)
+	ip := layers.EncodeIPv4([4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, layers.IPProtoTCP, 64, 1, tcp)
+	f.Add(layers.EncodeEthernet([6]byte{1}, [6]byte{2}, layers.EtherTypeIPv4, ip))
+	f.Add([]byte{0xDE, 0xAD})
+	f.Add(make([]byte, 14))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, ok := FromFrame(data)
+		if !ok {
+			return
+		}
+		c1, _ := key.Canonical()
+		c2, _ := key.Reverse().Canonical()
+		if c1 != c2 {
+			t.Fatalf("canonicalization is direction-dependent: %+v vs %+v", c1, c2)
+		}
+		if c1.Hash() != key.Hash() || c1.Hash() != key.Reverse().Hash() {
+			t.Fatalf("hash differs across directions for %+v", key)
+		}
+	})
+}

@@ -12,6 +12,17 @@
 // Handler exclusively — all Handler calls for worker i happen on worker
 // i's goroutine, serialized.
 //
+// Fault containment: per-packet handler work runs inside a recover()
+// boundary (rt/fault). A panic quarantines the offending flow — its later
+// packets are counted and dropped, never re-delivered — while every other
+// flow keeps processing; the paper's safety claim (§3) extended from VM
+// exceptions to the host layers around it.
+//
+// Bounded state: MaxFlows caps the flow table. At the cap the pipeline
+// degrades per policy — evict the least-recently-active flow's scheduling
+// state (EvictOldest, the default) or drop packets of unadmitted new flows
+// (DropNew) — so steady-state memory is bounded under flow churn.
+//
 // Time: each worker owns a timer.Mgr advanced by the timestamps of the
 // packets it processes, so offline traces expire state exactly as live
 // operation would; the pipeline uses it to expire idle flows. Handlers
@@ -24,10 +35,12 @@
 package pipeline
 
 import (
+	"container/list"
 	"fmt"
 	"sync/atomic"
 
 	"hilti/internal/pkt/flow"
+	"hilti/internal/rt/fault"
 	"hilti/internal/rt/threads"
 	"hilti/internal/rt/timer"
 )
@@ -43,6 +56,30 @@ type Handler interface {
 	Finish()
 }
 
+// FlowZapper is optionally implemented by Handlers that keep per-flow
+// state. When a flow is quarantined after a fault, the pipeline calls
+// ZapFlow so the handler discards the flow's (possibly corrupt) state
+// without running its normal finalization — otherwise the end-of-trace
+// flush could re-trip the same panic. Cap evictions do NOT zap: they shed
+// only the pipeline's scheduling state, so handler output for long-lived
+// clean flows is unaffected.
+type FlowZapper interface {
+	ZapFlow(key flow.Key)
+}
+
+// DegradePolicy selects what happens when the flow table is at MaxFlows
+// and a packet for a new flow arrives.
+type DegradePolicy int
+
+const (
+	// EvictOldest drops the least-recently-active flow's scheduling state
+	// to admit the new flow (the default).
+	EvictOldest DegradePolicy = iota
+	// DropNew refuses the new flow: its packets are counted and dropped
+	// until an existing flow expires.
+	DropNew
+)
+
 // Config parameterizes a Pipeline.
 type Config struct {
 	// Workers is the number of hardware workers (default 1).
@@ -53,39 +90,71 @@ type Config struct {
 	// FlowIdle expires a flow's scheduling state after this much packet
 	// time without traffic (default 60s of trace time).
 	FlowIdle timer.Interval
+	// MaxFlows caps flow-table entries across all workers (0 = unbounded).
+	// The cap is split evenly per worker (floor, minimum 1 each), so the
+	// effective global bound is max(MaxFlows, Workers).
+	MaxFlows int
+	// Degrade selects the at-cap policy (default EvictOldest).
+	Degrade DegradePolicy
+	// FaultRing is how many recent faults each worker retains for
+	// diagnosis (default 16); the total count is always exact.
+	FaultRing int
 	// NewHandler builds worker i's handler; required.
 	NewHandler func(worker int) (Handler, error)
 }
 
 // WorkerStats snapshots one worker's counters (the tentpole's per-worker
-// observability: jobs run, queue high-water mark, copied bytes, timers).
+// observability: jobs run, queue high-water mark, copied bytes, timers,
+// and the fault-containment ledger).
 type WorkerStats struct {
 	Packets      uint64 // packets processed
 	CopiedBytes  uint64 // bytes deep-copied across the isolation boundary
 	TimersFired  uint64 // worker timer-manager callbacks run
 	FlowsExpired uint64 // flows whose idle timer lapsed
 	Flows        uint64 // flow-state entries created
+	LiveFlows    int64  // flow-table entries right now
 	Jobs         uint64 // scheduler jobs executed (packets + sweeps)
 	HighWater    int    // max scheduler backlog observed
 	Overflowed   uint64 // jobs that spilled into the overflow deque
+
+	Faults            uint64 // panics contained at this worker's boundaries
+	QuarantinedFlows  uint64 // flows quarantined after a fault
+	QuarantineDropped uint64 // packets dropped because their flow was quarantined
+	FlowsEvicted      uint64 // flows evicted by the MaxFlows cap (EvictOldest)
+	PacketsRejected   uint64 // packets dropped by the MaxFlows cap (DropNew)
+	TimersDropped     uint64 // idle timers outstanding (and discarded) at Close
 }
 
 // wstate is worker-private: only jobs running on that worker touch it
 // (the scheduler serializes them), so no locks — the HILTI isolation
 // discipline. Counters are atomics only so Stats can read concurrently.
 type wstate struct {
-	tm    *timer.Mgr
-	flows map[uint64]*flowState
+	tm          *timer.Mgr
+	flows       map[uint64]*flowState
+	lru         *list.List        // *flowState, front = most recently active
+	cap         int               // per-worker flow cap (0 = unbounded)
+	quarantined map[uint64]uint64 // faulted vid -> packets dropped since
+	faults      *fault.Recorder
 
-	packets      atomic.Uint64
-	copiedBytes  atomic.Uint64
-	timersFired  atomic.Uint64
-	flowsExpired atomic.Uint64
-	flowsSeen    atomic.Uint64
+	packets           atomic.Uint64
+	copiedBytes       atomic.Uint64
+	timersFired       atomic.Uint64
+	flowsExpired      atomic.Uint64
+	flowsSeen         atomic.Uint64
+	liveFlows         atomic.Int64
+	quarantinedFlows  atomic.Uint64
+	quarantineDropped atomic.Uint64
+	flowsEvicted      atomic.Uint64
+	packetsRejected   atomic.Uint64
+	timersDropped     atomic.Uint64
 }
 
 type flowState struct {
-	idle *timer.Timer
+	vid    uint64
+	key    flow.Key
+	hasKey bool
+	idle   *timer.Timer
+	elem   *list.Element // position in the worker's LRU list
 }
 
 // Pipeline fans decoded packets out to flow-affine workers.
@@ -112,6 +181,12 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.FlowIdle <= 0 {
 		cfg.FlowIdle = timer.Seconds(60)
 	}
+	capPer := 0
+	if cfg.MaxFlows > 0 {
+		if capPer = cfg.MaxFlows / cfg.Workers; capPer < 1 {
+			capPer = 1
+		}
+	}
 	p := &Pipeline{
 		cfg:      cfg,
 		handlers: make([]Handler, cfg.Workers),
@@ -124,7 +199,14 @@ func New(cfg Config) (*Pipeline, error) {
 			return nil, fmt.Errorf("pipeline: worker %d handler: %w", i, err)
 		}
 		p.handlers[i] = h
-		p.ws[i] = &wstate{tm: timer.NewMgr(), flows: map[uint64]*flowState{}}
+		p.ws[i] = &wstate{
+			tm:          timer.NewMgr(),
+			flows:       map[uint64]*flowState{},
+			lru:         list.New(),
+			cap:         capPer,
+			quarantined: map[uint64]uint64{},
+			faults:      fault.NewRecorder(cfg.FaultRing),
+		}
 	}
 	p.sched = threads.NewScheduler(cfg.Workers)
 	return p, nil
@@ -143,7 +225,8 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 	// The virtual-thread ID is the flow hash (§3.2). Unkeyable frames
 	// share vthread 0 so handlers still observe them, deterministically.
 	var vid uint64
-	if key, ok := flow.FromFrame(frame); ok {
+	key, hasKey := flow.FromFrame(frame)
+	if hasKey {
 		vid = key.Hash()
 	}
 	p.tokens <- struct{}{} // backpressure: wait for an in-flight slot
@@ -153,8 +236,23 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 	err := p.sched.Schedule(vid, func(ctx *threads.Context) {
 		defer func() { <-p.tokens }()
 		p.advanceWorkerTime(ws, tsNs)
-		p.touchFlow(ws, ctx.VID, tsNs)
-		p.handlers[ctx.Worker].ProcessPacket(tsNs, cp)
+		if n, bad := ws.quarantined[ctx.VID]; bad {
+			ws.quarantined[ctx.VID] = n + 1
+			ws.quarantineDropped.Add(1)
+			return
+		}
+		if !p.admitFlow(ws, ctx.VID, key, hasKey, tsNs) {
+			ws.packetsRejected.Add(1)
+			return
+		}
+		if f := fault.Catch("packet", func() {
+			p.handlers[ctx.Worker].ProcessPacket(tsNs, cp)
+		}); f != nil {
+			f.Worker, f.VID, f.TsNs = ctx.Worker, ctx.VID, tsNs
+			ws.faults.Record(f)
+			p.quarantineFlow(ws, ctx.Worker, ctx.VID)
+			return
+		}
 		ws.packets.Add(1)
 		ws.copiedBytes.Add(uint64(len(cp)))
 	})
@@ -173,27 +271,90 @@ func (p *Pipeline) advanceWorkerTime(ws *wstate, tsNs int64) {
 	}
 }
 
-// touchFlow creates or refreshes the flow's idle-expiration timer (runs on
-// the worker goroutine).
-func (p *Pipeline) touchFlow(ws *wstate, vid uint64, tsNs int64) {
+// admitFlow creates or refreshes the flow's scheduling state and reports
+// whether the packet may proceed; at the cap it applies the degradation
+// policy (runs on the worker goroutine).
+func (p *Pipeline) admitFlow(ws *wstate, vid uint64, key flow.Key, hasKey bool, tsNs int64) bool {
 	deadline := timer.Time(tsNs) + timer.Time(p.cfg.FlowIdle)
-	if fs, ok := ws.flows[vid]; ok && fs.idle.Scheduled() {
-		fs.idle.Update(deadline)
-		return
+	if fs, ok := ws.flows[vid]; ok {
+		if fs.idle.Scheduled() {
+			fs.idle.Update(deadline)
+		} else {
+			p.armIdle(ws, fs, deadline)
+		}
+		ws.lru.MoveToFront(fs.elem)
+		return true
 	}
-	fs := &flowState{}
-	fs.idle = ws.tm.ScheduleFunc(deadline, func() {
-		ws.flowsExpired.Add(1)
-		delete(ws.flows, vid)
-	})
+	if ws.cap > 0 && len(ws.flows) >= ws.cap {
+		if p.cfg.Degrade == DropNew {
+			return false
+		}
+		p.evictOldest(ws)
+	}
+	fs := &flowState{vid: vid, key: key, hasKey: hasKey}
+	p.armIdle(ws, fs, deadline)
+	fs.elem = ws.lru.PushFront(fs)
 	ws.flows[vid] = fs
 	ws.flowsSeen.Add(1)
+	ws.liveFlows.Add(1)
+	return true
+}
+
+// armIdle (re)schedules the flow's idle-expiration timer.
+func (p *Pipeline) armIdle(ws *wstate, fs *flowState, deadline timer.Time) {
+	fs.idle = ws.tm.ScheduleFunc(deadline, func() {
+		ws.flowsExpired.Add(1)
+		p.dropFlowState(ws, fs)
+	})
+}
+
+// dropFlowState removes a flow's table entry and LRU position (the idle
+// timer must already be fired or canceled).
+func (p *Pipeline) dropFlowState(ws *wstate, fs *flowState) {
+	delete(ws.flows, fs.vid)
+	ws.lru.Remove(fs.elem)
+	ws.liveFlows.Add(-1)
+}
+
+// evictOldest sheds the least-recently-active flow's scheduling state to
+// make room at the cap.
+func (p *Pipeline) evictOldest(ws *wstate) {
+	back := ws.lru.Back()
+	if back == nil {
+		return
+	}
+	fs := back.Value.(*flowState)
+	fs.idle.Cancel()
+	p.dropFlowState(ws, fs)
+	ws.flowsEvicted.Add(1)
+}
+
+// quarantineFlow marks a faulted flow: its table entry is dropped, later
+// packets are counted and discarded, and a FlowZapper handler gets to
+// discard the flow's own (possibly corrupt) state so the end-of-trace
+// flush cannot re-trip the panic.
+func (p *Pipeline) quarantineFlow(ws *wstate, worker int, vid uint64) {
+	ws.quarantined[vid] = 0
+	ws.quarantinedFlows.Add(1)
+	fs, ok := ws.flows[vid]
+	if !ok {
+		return
+	}
+	fs.idle.Cancel()
+	p.dropFlowState(ws, fs)
+	if z, isZapper := p.handlers[worker].(FlowZapper); isZapper && fs.hasKey {
+		if zf := fault.Catch("zap", func() { z.ZapFlow(fs.key) }); zf != nil {
+			zf.Worker, zf.VID = worker, vid
+			ws.faults.Record(zf)
+		}
+	}
 }
 
 // Close drains in-flight packets, runs every handler's Finish on its own
 // worker, and shuts the scheduler down. The ordering is strict: no Finish
 // runs before the last packet job of its worker, and Close returns only
-// after all workers stopped.
+// after all workers stopped. A Finish panic is contained and recorded
+// like any packet fault; the remaining workers still flush.
 func (p *Pipeline) Close() {
 	if p.closed {
 		return
@@ -205,8 +366,14 @@ func (p *Pipeline) Close() {
 		// vid i maps to worker i (modulo routing), and per-worker FIFO
 		// ordering puts this after every already-queued packet job.
 		p.sched.Schedule(uint64(i), func(*threads.Context) { //nolint:errcheck
-			p.ws[i].tm.Expire(false) // drop outstanding idle timers silently
-			p.handlers[i].Finish()
+			ws := p.ws[i]
+			if dropped := ws.tm.Expire(false); dropped > 0 {
+				ws.timersDropped.Add(uint64(dropped))
+			}
+			if f := fault.Catch("finish", p.handlers[i].Finish); f != nil {
+				f.Worker = i
+				ws.faults.Record(f)
+			}
 		})
 	}
 	p.sched.Drain()
@@ -220,15 +387,42 @@ func (p *Pipeline) Stats() []WorkerStats {
 	out := make([]WorkerStats, len(p.ws))
 	for i, ws := range p.ws {
 		out[i] = WorkerStats{
-			Packets:      ws.packets.Load(),
-			CopiedBytes:  ws.copiedBytes.Load(),
-			TimersFired:  ws.timersFired.Load(),
-			FlowsExpired: ws.flowsExpired.Load(),
-			Flows:        ws.flowsSeen.Load(),
-			Jobs:         sched[i].Jobs,
-			HighWater:    sched[i].HighWater,
-			Overflowed:   sched[i].Overflowed,
+			Packets:           ws.packets.Load(),
+			CopiedBytes:       ws.copiedBytes.Load(),
+			TimersFired:       ws.timersFired.Load(),
+			FlowsExpired:      ws.flowsExpired.Load(),
+			Flows:             ws.flowsSeen.Load(),
+			LiveFlows:         ws.liveFlows.Load(),
+			Jobs:              sched[i].Jobs,
+			HighWater:         sched[i].HighWater,
+			Overflowed:        sched[i].Overflowed,
+			Faults:            ws.faults.Count(),
+			QuarantinedFlows:  ws.quarantinedFlows.Load(),
+			QuarantineDropped: ws.quarantineDropped.Load(),
+			FlowsEvicted:      ws.flowsEvicted.Load(),
+			PacketsRejected:   ws.packetsRejected.Load(),
+			TimersDropped:     ws.timersDropped.Load(),
 		}
+	}
+	return out
+}
+
+// FlowTableSize is the current number of flow-table entries across all
+// workers; safe to call concurrently with processing.
+func (p *Pipeline) FlowTableSize() int {
+	var n int64
+	for _, ws := range p.ws {
+		n += ws.liveFlows.Load()
+	}
+	return int(n)
+}
+
+// Faults returns the retained faults of every worker, in worker order
+// (oldest first within a worker). Exact after Close or a quiescent Drain.
+func (p *Pipeline) Faults() []*fault.Fault {
+	var out []*fault.Fault
+	for _, ws := range p.ws {
+		out = append(out, ws.faults.Faults()...)
 	}
 	return out
 }

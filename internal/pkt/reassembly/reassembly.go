@@ -5,12 +5,45 @@
 // paper's §2 notes every deep-inspection system reimplements.
 package reassembly
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // maxBuffered bounds out-of-order buffering per direction; beyond it the
 // oldest missing range is declared a gap so processing keeps bounded
 // memory under adversarial reordering (cf. Dharmapurikar & Paxson [15]).
 const maxBuffered = 4 << 20
+
+// Budget is a cross-flow byte budget layered on top of the per-direction
+// maxBuffered bound: many flows buffering moderately can still exhaust
+// memory in aggregate, so streams sharing a Budget charge it for every
+// out-of-order byte held. When the total exceeds Max, the inserting stream
+// abandons its oldest hole early (a forced gap) instead of buffering more.
+// Counters are atomic so engines on different pipeline workers can share
+// one Budget.
+type Budget struct {
+	max    int64
+	used   atomic.Int64
+	forced atomic.Uint64
+}
+
+// NewBudget creates a budget of max bytes (<=0 disables enforcement while
+// still accounting usage).
+func NewBudget(max int64) *Budget { return &Budget{max: max} }
+
+func (b *Budget) charge(n int)  { b.used.Add(int64(n)) }
+func (b *Budget) release(n int) { b.used.Add(-int64(n)) }
+
+// Over reports whether aggregate buffering exceeds the budget.
+func (b *Budget) Over() bool { return b.max > 0 && b.used.Load() > b.max }
+
+// Used returns the bytes currently buffered across all sharing streams.
+func (b *Budget) Used() int64 { return b.used.Load() }
+
+// Forced returns how many holes were abandoned early because the shared
+// budget, not the per-direction bound, was exhausted.
+func (b *Budget) Forced() uint64 { return b.forced.Load() }
 
 // Stream reassembles one direction of a TCP connection.
 //
@@ -20,6 +53,9 @@ const maxBuffered = 4 << 20
 type Stream struct {
 	Deliver func(data []byte)
 	Gap     func(skipped int)
+	// Budget, when set, shares a cross-flow byte budget with other streams;
+	// see Budget. Set it before the first Segment call.
+	Budget *Budget
 
 	initialized bool
 	isn         uint32 // initial sequence number (seq of SYN)
@@ -107,7 +143,15 @@ func (s *Stream) insert(rel uint64, data []byte) {
 	copy(s.pending[i+1:], s.pending[i:])
 	s.pending[i] = segment{rel: rel, data: cp}
 	s.buffered += len(cp)
-	if s.buffered > maxBuffered {
+	if s.Budget != nil {
+		s.Budget.charge(len(cp))
+	}
+	over := s.buffered > maxBuffered
+	globalOver := s.Budget != nil && s.Budget.Over()
+	if over || globalOver {
+		if globalOver && !over {
+			s.Budget.forced.Add(1)
+		}
 		s.abandonHole()
 	}
 }
@@ -130,6 +174,9 @@ func (s *Stream) flush() {
 		}
 		s.pending = s.pending[1:]
 		s.buffered -= len(seg.data)
+		if s.Budget != nil {
+			s.Budget.release(len(seg.data))
+		}
 		if len(d) > 0 {
 			s.next += uint64(len(d))
 			if s.Deliver != nil {
@@ -170,3 +217,15 @@ func (s *Stream) Flush() {
 
 // PendingBytes returns the number of buffered out-of-order bytes.
 func (s *Stream) PendingBytes() int { return s.buffered }
+
+// Discard drops all buffered data without delivering it and credits the
+// shared budget; used when a faulted flow is quarantined and its state
+// must go away without running callbacks that might re-trip the fault.
+func (s *Stream) Discard() {
+	if s.Budget != nil {
+		s.Budget.release(s.buffered)
+	}
+	s.pending = nil
+	s.buffered = 0
+	s.closed = true
+}

@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCatchNilOnSuccess(t *testing.T) {
+	if f := Catch("ok", func() {}); f != nil {
+		t.Fatalf("unexpected fault: %v", f)
+	}
+}
+
+func TestCatchConvertsPanic(t *testing.T) {
+	f := Catch("packet", func() { panic("boom") })
+	if f == nil {
+		t.Fatal("expected a fault")
+	}
+	if f.Op != "packet" || f.Value != "boom" {
+		t.Fatalf("fault = %+v", f)
+	}
+	if !strings.Contains(string(f.Stack), "goroutine") {
+		t.Fatalf("stack not captured: %q", f.Stack)
+	}
+	if !strings.Contains(f.Error(), "boom") {
+		t.Fatalf("Error() = %q", f.Error())
+	}
+}
+
+func TestCatchPreservesInnerFault(t *testing.T) {
+	inner := &Fault{Op: "event:http_request", Value: "bad script"}
+	f := Catch("packet", func() { panic(inner) })
+	if f != inner {
+		t.Fatalf("inner fault not preserved: %+v", f)
+	}
+}
+
+func TestRecorderRingAndCount(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(&Fault{Op: fmt.Sprintf("op%d", i)})
+	}
+	if r.Count() != 10 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	fs := r.Faults()
+	if len(fs) != 4 {
+		t.Fatalf("ring len = %d", len(fs))
+	}
+	// Oldest-first of the last four.
+	for i, f := range fs {
+		if want := fmt.Sprintf("op%d", 6+i); f.Op != want {
+			t.Fatalf("ring[%d] = %q, want %q", i, f.Op, want)
+		}
+	}
+	r.Record(nil) // no-op
+	if r.Count() != 10 {
+		t.Fatalf("nil record counted")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record(Catch("stress", func() { panic(j) }))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 800 {
+		t.Fatalf("count = %d", r.Count())
+	}
+}

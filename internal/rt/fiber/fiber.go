@@ -16,6 +16,7 @@ package fiber
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -128,7 +129,10 @@ func (f *Fiber) run(arg any) {
 						f.yield <- yieldMsg{done: true, err: ErrAborted}
 						return
 					}
-					f.yield <- yieldMsg{done: true, err: fmt.Errorf("fiber: panic: %v", r)}
+					// Capture the stack here, inside the recovering frame,
+					// so the fault is diagnosable from the returned error.
+					f.yield <- yieldMsg{done: true,
+						err: fmt.Errorf("fiber: panic: %v\n%s", r, debug.Stack())}
 				}
 			}()
 			ret, err := f.fn(f, arg)

@@ -2,6 +2,7 @@ package fiber
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -60,6 +61,11 @@ func TestPanicBecomesError(t *testing.T) {
 	_, done, err := f.Resume(nil)
 	if !done || err == nil {
 		t.Fatalf("got %v %v", done, err)
+	}
+	// The error carries the panic value and the goroutine stack so fiber
+	// faults are diagnosable.
+	if !strings.Contains(err.Error(), "bad parse") || !strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("stack not captured: %v", err)
 	}
 }
 
