@@ -10,12 +10,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
+	"testing"
 	"time"
 
 	"hilti/internal/bpf"
@@ -32,15 +34,18 @@ import (
 )
 
 var (
-	expFlag      = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|parallel|faults|ablations|all")
+	expFlag      = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|parallel|faults|ablations|vmopt|all")
 	httpSessions = flag.Int("http-sessions", 800, "HTTP sessions in the synthetic trace")
 	dnsTxns      = flag.Int("dns-txns", 8000, "DNS transactions in the synthetic trace")
 	seed         = flag.Int64("seed", 1, "generator seed")
 	workersFlag  = flag.Int("workers", 0, "parallel experiment: run this worker count (0 = sweep 1/2/4/8)")
+	optFlag      = flag.Int("opt", vm.DefaultOptLevel(), "VM optimizer level applied to every experiment (0 = off)")
+	benchJSON    = flag.String("bench-json", "", "write ns/op, allocs/op, and instruction counts for the §6.2/§6.3 configurations to this file")
 )
 
 func main() {
 	flag.Parse()
+	vm.SetDefaultOptLevel(*optFlag)
 	h := &harness{}
 	run := map[string]func(){
 		"fibers":    h.fibers,
@@ -55,8 +60,13 @@ func main() {
 		"parallel":  h.parallel,
 		"faults":    h.faults,
 		"ablations": h.ablations,
+		"vmopt":     h.vmopt,
 	}
-	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "parallel", "faults", "ablations"}
+	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "parallel", "faults", "ablations", "vmopt"}
+	if *benchJSON != "" {
+		h.writeBenchJSON(*benchJSON)
+		return
+	}
 	if *expFlag == "all" {
 		for _, name := range order {
 			run[name]()
@@ -211,29 +221,13 @@ func (h *harness) bpf() {
 func (h *harness) firewall() {
 	header("Stateful firewall (paper §6.3)",
 		"identical match counts vs. independent implementation; orders of magnitude faster than scripted baseline")
-	rules, err := firewall.ParseRules(strings.NewReader(`
-10.1.0.0/16   172.20.0.0/16 allow
-10.2.0.0/16   172.20.0.0/16 deny
-*             172.20.0.5/32 allow
-`))
+	rules, err := firewall.ParseRules(strings.NewReader(fwRuleText))
 	must(err)
 	fw, err := firewall.New(rules, 5*time.Minute)
 	must(err)
 	base := firewall.NewBaseline(rules, 5*time.Minute)
 
-	type pkt struct {
-		ts       int64
-		src, dst values.Value
-	}
-	var inputs []pkt
-	for _, p := range h.dnsTrace() {
-		eth, _ := layers.DecodeEthernet(p.Data)
-		ip, err := layers.DecodeIPv4(eth.Payload)
-		if err != nil {
-			continue
-		}
-		inputs = append(inputs, pkt{p.Time.UnixNano(), values.AddrFrom4(ip.Src), values.AddrFrom4(ip.Dst)})
-	}
+	inputs := h.fwInputs()
 
 	start := time.Now()
 	hm, disagree := 0, 0
@@ -269,6 +263,32 @@ func (h *harness) firewall() {
 	fmt.Printf("    baseline: %v (%v/pkt)  ratio %.2fx\n",
 		baseTime, baseTime/time.Duration(len(inputs)), float64(hiltiTime)/float64(baseTime))
 }
+
+// fwPkt is one firewall input: timestamp plus the IPv4 endpoints.
+type fwPkt struct {
+	ts       int64
+	src, dst values.Value
+}
+
+// fwInputs decodes the DNS trace into firewall match inputs.
+func (h *harness) fwInputs() []fwPkt {
+	var inputs []fwPkt
+	for _, p := range h.dnsTrace() {
+		eth, _ := layers.DecodeEthernet(p.Data)
+		ip, err := layers.DecodeIPv4(eth.Payload)
+		if err != nil {
+			continue
+		}
+		inputs = append(inputs, fwPkt{p.Time.UnixNano(), values.AddrFrom4(ip.Src), values.AddrFrom4(ip.Dst)})
+	}
+	return inputs
+}
+
+const fwRuleText = `
+10.1.0.0/16   172.20.0.0/16 allow
+10.2.0.0/16   172.20.0.0/16 deny
+*             172.20.0.5/32 allow
+`
 
 // --- §6.4: protocol parsers (Table 2 + Figure 9) --------------------------------
 
@@ -737,6 +757,246 @@ func (h *harness) ablations() {
 		st1.Parsing.Round(time.Millisecond), st2.Parsing.Round(time.Millisecond),
 		ratio(st1.Parsing, st2.Parsing))
 	fmt.Println("    (classifier list-vs-trie and channel deep-copy ablations: see go test -bench)")
+}
+
+// --- post-lowering optimizer ----------------------------------------------------
+
+// optimizeProgram runs the optimizer over every distinct compiled function
+// of an -O0-linked program, accumulating per-pass statistics. Functions are
+// deduplicated by pointer (hook bodies alias Funcs entries).
+func optimizeProgram(p *vm.Program) vm.OptStats {
+	var st vm.OptStats
+	seen := map[*vm.CompiledFunc]bool{}
+	opt := func(fn *vm.CompiledFunc) {
+		if fn == nil || seen[fn] {
+			return
+		}
+		seen[fn] = true
+		st.Add(vm.Optimize(fn, 1))
+	}
+	for _, fn := range p.Funcs {
+		opt(fn)
+	}
+	for _, bodies := range p.HookBodies {
+		for _, fn := range bodies {
+			opt(fn)
+		}
+	}
+	return st
+}
+
+// filterRun pushes the HTTP trace through a linked filter program, returning
+// match count, executed VM instructions, and elapsed time.
+func filterRun(ex *vm.Exec, fn *vm.CompiledFunc, pkts []pcap.Packet) (matches int, steps uint64, el time.Duration) {
+	rope := hbytes.New()
+	start := time.Now()
+	for _, p := range pkts {
+		rope.Reset(p.Data)
+		v, err := ex.CallFn(fn, values.BytesVal(rope))
+		must(err)
+		if v.AsBool() {
+			matches++
+		}
+		steps += ex.Steps()
+	}
+	return matches, steps, time.Since(start)
+}
+
+// vmopt reports what the post-lowering optimizer (internal/hilti/vm/opt.go)
+// does to the §6.2 filter and §6.3 firewall programs: static instruction
+// counts before and after, per-pass contributions, and differential runs
+// asserting identical results at -O0 and -O1. The instruction-count and
+// result-identity checks are deterministic, so CI can fail on optimizer
+// regressions without depending on wall time; any violation exits nonzero.
+func (h *harness) vmopt() {
+	header("Post-lowering VM optimizer",
+		"behavior-preserving: identical outputs at -O0/-O1, fewer instructions both statically and dynamically")
+	fail := false
+	check := func(ok bool, what string) {
+		if !ok {
+			fail = true
+			fmt.Printf("    FAIL: %s\n", what)
+		}
+	}
+
+	// §6.2 filter program.
+	pkts := h.httpTrace()
+	e, err := bpf.ParseFilter("host 10.1.9.77 or src net 10.1.3.0/24")
+	must(err)
+	mod, err := bpf.CompileHILTI(e)
+	must(err)
+	prog0, err := vm.LinkWith(vm.Options{OptLevel: 0}, mod)
+	must(err)
+	progO, err := vm.LinkWith(vm.Options{OptLevel: 0}, mod)
+	must(err)
+	st := optimizeProgram(progO)
+
+	fmt.Printf("    BPF filter, static instructions: %d -> %d (-%.1f%%)\n",
+		st.Before, st.After, 100*(1-float64(st.After)/float64(st.Before)))
+	fmt.Printf("    pass contributions: folded=%d copies-propagated=%d jumps-threaded=%d cmp+br-fused=%d unreachable-removed=%d\n",
+		st.Folded, st.Copies, st.Threaded, st.Fused, st.Removed)
+
+	ex0, err := vm.NewExec(prog0)
+	must(err)
+	exO, err := vm.NewExec(progO)
+	must(err)
+	m0, s0, t0 := filterRun(ex0, prog0.Fn("Filter::filter"), pkts)
+	mO, sO, tO := filterRun(exO, progO.Fn("Filter::filter"), pkts)
+	fmt.Printf("    -O0: %d matches, %.1f instrs/pkt, %v/pkt\n",
+		m0, float64(s0)/float64(len(pkts)), (t0 / time.Duration(len(pkts))).Round(time.Nanosecond))
+	fmt.Printf("    -O1: %d matches, %.1f instrs/pkt, %v/pkt  (%.2fx faster)\n",
+		mO, float64(sO)/float64(len(pkts)), (tO / time.Duration(len(pkts))).Round(time.Nanosecond),
+		float64(t0)/float64(tO))
+	check(m0 == mO, fmt.Sprintf("filter match counts differ: -O0=%d -O1=%d", m0, mO))
+	check(st.After < st.Before, "optimizer did not reduce static instruction count")
+	check(sO < s0, "optimizer did not reduce executed instruction count")
+
+	// §6.3 firewall: decisions must be identical at both levels. firewall.New
+	// links through the package default, so flip it around construction.
+	rules, err := firewall.ParseRules(strings.NewReader(fwRuleText))
+	must(err)
+	prev := vm.DefaultOptLevel()
+	vm.SetDefaultOptLevel(0)
+	fw0, err := firewall.New(rules, 5*time.Minute)
+	must(err)
+	vm.SetDefaultOptLevel(1)
+	fwO, err := firewall.New(rules, 5*time.Minute)
+	must(err)
+	vm.SetDefaultOptLevel(prev)
+	disagree := 0
+	inputs := h.fwInputs()
+	for _, in := range inputs {
+		a, err := fw0.Match(in.ts, in.src, in.dst)
+		must(err)
+		b, err := fwO.Match(in.ts, in.src, in.dst)
+		must(err)
+		if a != b {
+			disagree++
+		}
+	}
+	fmt.Printf("    firewall: %d packets, %d decision disagreements between -O0 and -O1\n",
+		len(inputs), disagree)
+	check(disagree == 0, "firewall decisions diverge between optimization levels")
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("    all optimizer invariants held")
+}
+
+// --- machine-readable benchmark output --------------------------------------------
+
+// benchRow is one configuration in the -bench-json output. ns_per_op and
+// allocs_per_op cover one full trace pass; the per-packet figures divide by
+// the packet count.
+type benchRow struct {
+	Name         string  `json:"name"`
+	OptLevel     int     `json:"opt_level"`
+	Packets      int     `json:"packets"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	NsPerPkt     float64 `json:"ns_per_pkt"`
+	StaticInstrs int     `json:"static_instrs,omitempty"`
+	InstrsPerPkt float64 `json:"instrs_per_pkt,omitempty"`
+}
+
+func bench(row benchRow, pkts int, fn func()) benchRow {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	row.Packets = pkts
+	row.NsPerOp = float64(r.NsPerOp())
+	row.AllocsPerOp = r.AllocsPerOp()
+	row.BytesPerOp = r.AllocedBytesPerOp()
+	row.NsPerPkt = row.NsPerOp / float64(pkts)
+	return row
+}
+
+// writeBenchJSON measures the §6.2 and §6.3 configurations with the testing
+// package's benchmark harness and writes one JSON document, the input for
+// EXPERIMENTS.md refreshes and offline regression tracking.
+func (h *harness) writeBenchJSON(path string) {
+	pkts := h.httpTrace()
+	var rows []benchRow
+
+	// §6.2: BPF interpreter baseline.
+	e, err := bpf.ParseFilter("host 10.1.9.77 or src net 10.1.3.0/24")
+	must(err)
+	bprog, err := bpf.CompileBPF(e)
+	must(err)
+	rows = append(rows, bench(benchRow{Name: "bpf_interpreter"}, len(pkts), func() {
+		for _, p := range pkts {
+			bprog.Run(p.Data)
+		}
+	}))
+
+	// §6.2: the HILTI filter at both optimization levels.
+	mod, err := bpf.CompileHILTI(e)
+	must(err)
+	for _, lvl := range []int{0, 1} {
+		prog, err := vm.LinkWith(vm.Options{OptLevel: lvl}, mod)
+		must(err)
+		ex, err := vm.NewExec(prog)
+		must(err)
+		fn := prog.Fn("Filter::filter")
+		_, steps, _ := filterRun(ex, fn, pkts)
+		row := bench(benchRow{
+			Name:         fmt.Sprintf("hilti_filter_O%d", lvl),
+			OptLevel:     lvl,
+			StaticInstrs: prog.StaticInstrCount(),
+			InstrsPerPkt: float64(steps) / float64(len(pkts)),
+		}, len(pkts), func() {
+			rope := hbytes.New()
+			for _, p := range pkts {
+				rope.Reset(p.Data)
+				if _, err := ex.CallFn(fn, values.BytesVal(rope)); err != nil {
+					must(err)
+				}
+			}
+		})
+		rows = append(rows, row)
+	}
+
+	// §6.3: stateful firewall (HILTI vs hand-written baseline). Fresh
+	// instances per iteration: the flow state is stateful by design.
+	rules, err := firewall.ParseRules(strings.NewReader(fwRuleText))
+	must(err)
+	inputs := h.fwInputs()
+	for _, lvl := range []int{0, 1} {
+		lvl := lvl
+		prev := vm.DefaultOptLevel()
+		vm.SetDefaultOptLevel(lvl)
+		rows = append(rows, bench(benchRow{
+			Name:     fmt.Sprintf("firewall_hilti_O%d", lvl),
+			OptLevel: lvl,
+		}, len(inputs), func() {
+			fw, err := firewall.New(rules, 5*time.Minute)
+			must(err)
+			for _, in := range inputs {
+				if _, err := fw.Match(in.ts, in.src, in.dst); err != nil {
+					must(err)
+				}
+			}
+		}))
+		vm.SetDefaultOptLevel(prev)
+	}
+	rows = append(rows, bench(benchRow{Name: "firewall_baseline"}, len(inputs), func() {
+		base := firewall.NewBaseline(rules, 5*time.Minute)
+		for _, in := range inputs {
+			base.Match(in.ts, in.src, in.dst)
+		}
+	}))
+
+	out, err := json.MarshalIndent(struct {
+		Rows []benchRow `json:"benchmarks"`
+	}{rows}, "", "  ")
+	must(err)
+	must(os.WriteFile(path, append(out, '\n'), 0o644))
+	fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), path)
 }
 
 func ratio(a, b time.Duration) float64 {

@@ -76,15 +76,65 @@ func NewBuilder(name string) *Builder { return ast.NewBuilder(name) }
 // (paper §3.2's statically typed, contained environment).
 func Check(mods ...*Module) []error { return check.Check(mods...) }
 
+// OptLevel selects how much the post-lowering optimizer does.
+type OptLevel int
+
+// Optimization levels for Config.OptLevel.
+const (
+	// OptDefault applies the package default (currently O1). Being the
+	// zero value, an empty Config means "optimize".
+	OptDefault OptLevel = iota
+	// O0 disables the optimizer: code executes exactly as lowered. The
+	// escape hatch for debugging and for differential testing.
+	O0
+	// O1 runs the full pass pipeline: constant folding, copy propagation,
+	// jump threading, unreachable-code elimination, and compare+branch
+	// fusion (see internal/hilti/vm/opt.go).
+	O1
+)
+
+// Config controls compilation of modules into a Program.
+type Config struct {
+	// OptLevel selects the optimizer level; the zero value OptDefault
+	// means "optimize" (O1).
+	OptLevel OptLevel
+}
+
+func (c Config) vmOptions() vm.Options {
+	lvl := vm.DefaultOptLevel()
+	switch c.OptLevel {
+	case O0:
+		lvl = 0
+	case O1:
+		lvl = 1
+	}
+	return vm.Options{OptLevel: lvl}
+}
+
 // Link verifies, compiles, and links modules into an executable Program,
 // merging hook bodies and laying out thread-local globals across units
 // (the paper's custom linker stage).
 func Link(mods ...*Module) (*Program, error) {
+	return LinkWith(Config{}, mods...)
+}
+
+// LinkWith is Link with explicit compilation options — notably the -O0
+// escape hatch that disables the post-lowering optimizer.
+func LinkWith(cfg Config, mods ...*Module) (*Program, error) {
 	if errs := check.Check(mods...); len(errs) > 0 {
 		return nil, errors.Join(errs...)
 	}
-	return vm.Link(mods...)
+	return vm.LinkWith(cfg.vmOptions(), mods...)
 }
+
+// SetDefaultOptLevel changes the optimizer level Link and vm.Link apply
+// when no explicit configuration is given (process-wide; the hilti-bench
+// -opt flag uses it). Level 0 disables optimization.
+func SetDefaultOptLevel(level int) { vm.SetDefaultOptLevel(level) }
+
+// Disasm renders a compiled function's linear code as text, one
+// instruction per line — the debugging companion to the optimizer.
+func Disasm(fn *CompiledFunc) string { return fn.Disasm() }
 
 // CompileSource parses and links a single textual module.
 func CompileSource(src string) (*Program, error) {

@@ -190,9 +190,18 @@ func TestFiberBudgetAccumulatesAcrossResumes(t *testing.T) {
 	fb.CallResult(r, "spin", ast.IntOp(9_000))
 	fb.Return(r)
 
-	// One spin costs ~36k instructions; the budget admits one but not two,
-	// so exhaustion only trips if accounting survives the suspension.
-	ex := mustLink(t, b.M)
+	// One spin costs ~36k instructions at -O0 (the count this test's budget
+	// is tuned to; the optimizer would shrink the loop); the budget admits
+	// one spin but not two, so exhaustion only trips if accounting survives
+	// the suspension.
+	prog, err := LinkWith(Options{OptLevel: 0}, b.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExec(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ex.Limits = Limits{Instructions: 50_000}
 
 	data := hbytes.New()

@@ -15,12 +15,25 @@ import (
 // srcCtor marks a constructor operand built from sub-sources at each read.
 const srcCtor uint8 = 4
 
-// Link merges the given modules into one executable Program: globals from
+// Options controls code generation.
+type Options struct {
+	// OptLevel selects the post-lowering optimizer level: 0 disables it,
+	// 1 runs the full pass pipeline (see opt.go).
+	OptLevel int
+}
+
+// Link merges the given modules into one executable Program at the
+// package-default optimization level (see SetDefaultOptLevel).
+func Link(modules ...*ast.Module) (*Program, error) {
+	return LinkWith(Options{OptLevel: DefaultOptLevel()}, modules...)
+}
+
+// LinkWith is Link with explicit code-generation options: globals from
 // all units are laid out into a single thread-local array, hook bodies are
 // merged across units, cross-module calls are resolved, and every function
 // body is lowered to linear code. This is the paper's custom linker stage
 // plus code generation.
-func Link(modules ...*ast.Module) (*Program, error) {
+func LinkWith(opts Options, modules ...*ast.Module) (*Program, error) {
 	lk := &linker{
 		prog: &Program{
 			Funcs:      map[string]*CompiledFunc{},
@@ -82,6 +95,12 @@ func Link(modules ...*ast.Module) (*Program, error) {
 		fc := &fnCompiler{lk: lk, mod: u.mod, fn: u.fn, out: u.out}
 		if err := fc.compile(); err != nil {
 			return nil, fmt.Errorf("%s::%s: %w", u.mod.Name, u.fn.Name, err)
+		}
+	}
+	// Pass 3: optimize (opt.go).
+	if opts.OptLevel > 0 {
+		for _, u := range lk.units {
+			Optimize(u.out, opts.OptLevel)
 		}
 	}
 	return lk.prog, nil
@@ -157,6 +176,7 @@ type fnCompiler struct {
 	pendHandlers  []pendingHandler
 	switchPatches []switchPatch
 	tryStack      []openTry
+	curOp         string // AST op currently being lowered; stamped onto emitted instrs
 }
 
 type pendingHandler struct {
@@ -191,11 +211,13 @@ func (c *fnCompiler) compile() error {
 		// Implicit fallthrough to the next block when the block does not
 		// end in a terminator.
 		if bi+1 < len(c.fn.Blocks) && !endsInTerminator(b) {
+			c.curOp = "jump"
 			pc := c.emit(Instr{exec: execJump})
 			c.pend = append(c.pend, pendingJump{pc: pc, which: 1, label: c.fn.Blocks[bi+1].Name})
 		}
 	}
 	// Implicit void return at the end.
+	c.curOp = "return.void"
 	c.emit(Instr{exec: execReturnVoid})
 
 	if len(c.tryStack) != 0 {
@@ -245,6 +267,9 @@ func endsInTerminator(b *ast.Block) bool {
 func (c *fnCompiler) emit(in Instr) int {
 	pc := len(c.out.Code)
 	in.t1 = pc + 1 // default next
+	if in.op == "" {
+		in.op = c.curOp
+	}
 	c.out.Code = append(c.out.Code, in)
 	return pc
 }
@@ -351,6 +376,7 @@ func (c *fnCompiler) srcsOf(ops []ast.Operand) ([]src, error) {
 
 // lower dispatches one AST instruction to its lowering rule.
 func (c *fnCompiler) lower(in *ast.Instr) error {
+	c.curOp = in.Op
 	if fn, ok := lowerers[in.Op]; ok {
 		return fn(c, in)
 	}
@@ -440,6 +466,38 @@ func (ex *Exec) getCtor(fr *Frame, s *src) values.Value {
 		elems[i] = ex.get(fr, &s.subs[i])
 	}
 	return values.TupleVal(elems...)
+}
+
+// ctorKey encodes a tuple-constructor operand directly into the Exec's
+// scratch buffer in values.AppendKey's canonical form, skipping the tuple
+// materialization getCtor would do. Container lookups feed the result to
+// the *Keyed container methods; ok=false means some element is unhashable
+// and the caller must fall back to the boxed path.
+func (ex *Exec) ctorKey(fr *Frame, s *src) (k []byte, ok bool) {
+	b := append(ex.keyBuf[:0], byte(values.KindTuple), byte(len(s.subs)))
+	for i := range s.subs {
+		if b, ok = values.AppendKey(b, ex.get(fr, &s.subs[i])); !ok {
+			ex.keyBuf = b[:0]
+			return nil, false
+		}
+	}
+	ex.keyBuf = b
+	return b, true
+}
+
+// srcKey encodes any operand as a container key into the Exec's scratch
+// buffer, using the ctor fast path when possible.
+func (ex *Exec) srcKey(fr *Frame, s *src) (k []byte, ok bool) {
+	if s.kind == srcCtor {
+		return ex.ctorKey(fr, s)
+	}
+	b, ok := values.AppendKey(ex.keyBuf[:0], ex.get(fr, s))
+	if !ok {
+		ex.keyBuf = b[:0]
+		return nil, false
+	}
+	ex.keyBuf = b
+	return b, true
 }
 
 // lowerers is the instruction registry, populated by the ops_*.go files.

@@ -1,0 +1,107 @@
+// Disassembly of compiled functions, for debugging and for the golden
+// optimizer tests: a stable, line-oriented text rendering of the linear
+// code plus handler table.
+
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"hilti/internal/rt/values"
+)
+
+// Disasm renders fn's code as one instruction per line:
+//
+//	0003 int.eq          r2 <- r1, c:2048 ; t1=5 t2=9
+//
+// Destinations and sources print as rN (register), gN (global), c:<value>
+// (constant), or ctor(...). Control targets print only when they carry
+// information: t1 when it is not the fallthrough pc, t2 for branches.
+// Exception handlers follow the code as "handler [start,end) -> target".
+func (fn *CompiledFunc) Disasm() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (params=%d regs=%d)\n", fn.Name, fn.NParams, fn.NRegs)
+	for pc := range fn.Code {
+		in := &fn.Code[pc]
+		fmt.Fprintf(&sb, "%04d %-18s", pc, in.op)
+		operands := make([]string, 0, len(in.srcs))
+		for i := range in.srcs {
+			operands = append(operands, srcString(&in.srcs[i]))
+		}
+		switch {
+		case in.d.kind != srcNone && len(operands) > 0:
+			fmt.Fprintf(&sb, " %s <- %s", dstString(in.d), strings.Join(operands, ", "))
+		case in.d.kind != srcNone:
+			fmt.Fprintf(&sb, " %s", dstString(in.d))
+		case len(operands) > 0:
+			fmt.Fprintf(&sb, " %s", strings.Join(operands, ", "))
+		}
+		ctrl := controlString(in, pc)
+		if ctrl != "" {
+			sb.WriteString(" ; " + ctrl)
+		}
+		sb.WriteByte('\n')
+	}
+	for i := range fn.Handlers {
+		h := &fn.Handlers[i]
+		fmt.Fprintf(&sb, "handler [%04d,%04d) -> %04d", h.start, h.end, h.target)
+		if h.excName != "" {
+			fmt.Fprintf(&sb, " catch %s", h.excName)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func dstString(d dst) string {
+	switch d.kind {
+	case srcReg:
+		return fmt.Sprintf("r%d", d.idx)
+	case srcGlobal:
+		return fmt.Sprintf("g%d", d.idx)
+	default:
+		return "_"
+	}
+}
+
+func srcString(s *src) string {
+	switch s.kind {
+	case srcReg:
+		return fmt.Sprintf("r%d", s.idx)
+	case srcGlobal:
+		return fmt.Sprintf("g%d", s.idx)
+	case srcCtor:
+		elems := make([]string, len(s.subs))
+		for i := range s.subs {
+			elems[i] = srcString(&s.subs[i])
+		}
+		return "ctor(" + strings.Join(elems, ", ") + ")"
+	case srcConst:
+		return "c:" + values.Format(s.val)
+	default:
+		return "_"
+	}
+}
+
+func controlString(in *Instr, pc int) string {
+	switch {
+	case in.op == "return.void" || in.op == "return.result":
+		return ""
+	case isBranch(in):
+		return fmt.Sprintf("t1=%d t2=%d", in.t1, in.t2)
+	case in.op == "switch":
+		tbl, _ := in.aux.(*switchTable)
+		parts := []string{fmt.Sprintf("default=%d", in.t1)}
+		if tbl != nil {
+			for i, v := range tbl.vals {
+				parts = append(parts, fmt.Sprintf("%s=>%d", values.Format(v), tbl.targets[i]))
+			}
+		}
+		return strings.Join(parts, " ")
+	case in.t1 != pc+1:
+		return fmt.Sprintf("t1=%d", in.t1)
+	default:
+		return ""
+	}
+}

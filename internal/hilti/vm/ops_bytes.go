@@ -245,18 +245,28 @@ func init() {
 		}
 		return values.IterBytes(b.End()), nil
 	})
-	registerSimple("iterator.incr", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+	registerShaped("iterator.incr", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
 		return values.IterBytes(a[0].AsIterBytes().Next()), nil
+	}, func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int {
+		if d.kind == srcReg && srcs[0].kind == srcReg {
+			return execIterIncrRR
+		}
+		return nil
 	})
 	registerSimple("iterator.incr_by", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
 		return values.IterBytes(a[0].AsIterBytes().Plus(a[1].AsInt())), nil
 	})
-	registerSimple("iterator.deref", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+	registerShaped("iterator.deref", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
 		c, err := a[0].AsIterBytes().Deref()
 		if err != nil {
 			return values.Nil, err
 		}
 		return values.Int(int64(c)), nil
+	}, func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int {
+		if d.kind == srcReg && srcs[0].kind == srcReg {
+			return execIterDerefRR
+		}
+		return nil
 	})
 	registerSimple("iterator.diff", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
 		return values.Int(a[0].AsIterBytes().Diff(a[1].AsIterBytes())), nil
@@ -282,9 +292,14 @@ func init() {
 	})
 	// iterator.at_end_now answers immediately without suspending (used at
 	// PDU boundaries where "no more data right now" is the actual question).
-	registerSimple("iterator.at_end_now", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
+	registerShaped("iterator.at_end_now", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
 		it := a[0].AsIterBytes()
 		return values.Bool(it.Bytes() == nil || it.AtEnd()), nil
+	}, func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int {
+		if d.kind == srcReg && srcs[0].kind == srcReg {
+			return execIterAtEndNowRR
+		}
+		return nil
 	})
 
 	// --- unpack (binary field extraction; the overlay/unpack formats of §4) -------
@@ -425,4 +440,30 @@ func init() {
 		id, _ := re.Match(b.Bytes())
 		return values.Bool(id != 0), nil
 	})
+}
+
+// --- register-to-register iterator executors ---------------------------------
+//
+// The parse loops BinPAC++ generates advance, dereference, and test one
+// iterator register per input byte; these skip both the simpleFn dispatch
+// and Exec.get's kind switch.
+
+func execIterIncrRR(ex *Exec, fr *Frame, in *Instr) int {
+	fr.R[in.d.idx] = values.IterBytes(fr.R[in.srcs[0].idx].AsIterBytes().Next())
+	return in.t1
+}
+
+func execIterDerefRR(ex *Exec, fr *Frame, in *Instr) int {
+	c, err := fr.R[in.srcs[0].idx].AsIterBytes().Deref()
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	fr.R[in.d.idx] = values.Int(int64(c))
+	return in.t1
+}
+
+func execIterAtEndNowRR(ex *Exec, fr *Frame, in *Instr) int {
+	it := fr.R[in.srcs[0].idx].AsIterBytes()
+	fr.R[in.d.idx] = values.Bool(it.Bytes() == nil || it.AtEnd())
+	return in.t1
 }

@@ -80,7 +80,7 @@ func init() {
 	})
 
 	// --- struct --------------------------------------------------------------
-	registerSimple("struct.get", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+	registerShaped("struct.get", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
 		s, err := asStruct(a[0])
 		if err != nil {
 			return values.Nil, err
@@ -92,6 +92,11 @@ func init() {
 				Msg: fmt.Sprintf("field %q not set", name)}
 		}
 		return v, nil
+	}, func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int {
+		if srcs[1].kind == srcConst && srcs[1].val.K == values.KindString {
+			return execStructGet
+		}
+		return nil
 	})
 	registerSimple("struct.get_default", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
 		s, err := asStruct(a[0])
@@ -103,13 +108,18 @@ func init() {
 		}
 		return a[2], nil
 	})
-	registerSimple("struct.set", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
+	registerShaped("struct.set", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
 		s, err := asStruct(a[0])
 		if err != nil {
 			return values.Nil, err
 		}
 		s.SetName(a[1].AsString(), a[2])
 		return values.Nil, nil
+	}, func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int {
+		if srcs[1].kind == srcConst && srcs[1].val.K == values.KindString {
+			return execStructSet
+		}
+		return nil
 	})
 	registerSimple("struct.is_set", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
 		s, err := asStruct(a[0])
@@ -271,13 +281,8 @@ func init() {
 		s.Insert(a[1])
 		return values.Nil, nil
 	})
-	registerSimple("set.exists", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
-		s, err := asSet(a[0])
-		if err != nil {
-			return values.Nil, err
-		}
-		return values.Bool(s.Exists(a[1])), nil
-	})
+	registerShaped("set.exists", 2, nil,
+		func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int { return execSetExists })
 	registerSimple("set.remove", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
 		s, err := asSet(a[0])
 		if err != nil {
@@ -321,35 +326,12 @@ func init() {
 		m.Insert(a[1], a[2])
 		return values.Nil, nil
 	})
-	registerSimple("map.get", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
-		m, err := asMap(a[0])
-		if err != nil {
-			return values.Nil, err
-		}
-		v, ok := m.Get(a[1])
-		if !ok {
-			return values.Nil, &values.Exception{Name: "Hilti::IndexError",
-				Msg: "key not in map: " + values.Format(a[1])}
-		}
-		return v, nil
-	})
-	registerSimple("map.get_default", 3, func(ex *Exec, a []values.Value) (values.Value, error) {
-		m, err := asMap(a[0])
-		if err != nil {
-			return values.Nil, err
-		}
-		if v, ok := m.Get(a[1]); ok {
-			return v, nil
-		}
-		return a[2], nil
-	})
-	registerSimple("map.exists", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
-		m, err := asMap(a[0])
-		if err != nil {
-			return values.Nil, err
-		}
-		return values.Bool(m.Exists(a[1])), nil
-	})
+	registerShaped("map.get", 2, nil,
+		func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int { return execMapGet })
+	registerShaped("map.get_default", 3, nil,
+		func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int { return execMapGetDefault })
+	registerShaped("map.exists", 2, nil,
+		func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int { return execMapExists })
 	registerSimple("map.remove", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
 		m, err := asMap(a[0])
 		if err != nil {
@@ -443,6 +425,108 @@ func execNew(ex *Exec, fr *Frame, in *Instr) int {
 	v, err := newValueOfType(ex, in.aux.(*types.Type))
 	if err != nil {
 		return ex.raiseErr(err)
+	}
+	ex.put(fr, in.d, v)
+	return in.t1
+}
+
+// --- dedicated container executors ------------------------------------------
+//
+// These skip the simpleFn dispatch (args boxing + closure type assertion)
+// and, for lookups, the per-call values.Key allocation: the key is encoded
+// into the Exec's scratch buffer and probed with the container's *Keyed
+// methods. Tuple-constructor keys — the per-packet pattern of the firewall
+// and session tables — never materialize a tuple at all.
+
+func execStructGet(ex *Exec, fr *Frame, in *Instr) int {
+	s, err := asStruct(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	name := in.srcs[1].val.AsString()
+	v, ok := s.GetName(name)
+	if !ok {
+		return ex.raise("Hilti::UnsetField", fmt.Sprintf("field %q not set", name))
+	}
+	ex.put(fr, in.d, v)
+	return in.t1
+}
+
+func execStructSet(ex *Exec, fr *Frame, in *Instr) int {
+	s, err := asStruct(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	s.SetName(in.srcs[1].val.AsString(), ex.get(fr, &in.srcs[2]))
+	ex.put(fr, in.d, values.Nil)
+	return in.t1
+}
+
+// setExists probes s for the key operand ks, via the scratch-encoded fast
+// path when the key is hashable.
+func setExists(ex *Exec, fr *Frame, s *container.Set, ks *src) bool {
+	if k, ok := ex.srcKey(fr, ks); ok {
+		return s.ExistsKeyed(k)
+	}
+	return s.Exists(ex.get(fr, ks))
+}
+
+// mapExists is setExists for maps.
+func mapExists(ex *Exec, fr *Frame, m *container.Map, ks *src) bool {
+	if k, ok := ex.srcKey(fr, ks); ok {
+		return m.ExistsKeyed(k)
+	}
+	return m.Exists(ex.get(fr, ks))
+}
+
+// mapGet looks up the key operand ks in m, honoring the map default.
+func mapGet(ex *Exec, fr *Frame, m *container.Map, ks *src) (values.Value, bool) {
+	if k, ok := ex.srcKey(fr, ks); ok {
+		return m.GetKeyed(k)
+	}
+	return m.Get(ex.get(fr, ks))
+}
+
+func execSetExists(ex *Exec, fr *Frame, in *Instr) int {
+	s, err := asSet(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	ex.put(fr, in.d, values.Bool(setExists(ex, fr, s, &in.srcs[1])))
+	return in.t1
+}
+
+func execMapExists(ex *Exec, fr *Frame, in *Instr) int {
+	m, err := asMap(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	ex.put(fr, in.d, values.Bool(mapExists(ex, fr, m, &in.srcs[1])))
+	return in.t1
+}
+
+func execMapGet(ex *Exec, fr *Frame, in *Instr) int {
+	m, err := asMap(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	v, ok := mapGet(ex, fr, m, &in.srcs[1])
+	if !ok {
+		return ex.raise("Hilti::IndexError",
+			"key not in map: "+values.Format(ex.get(fr, &in.srcs[1])))
+	}
+	ex.put(fr, in.d, v)
+	return in.t1
+}
+
+func execMapGetDefault(ex *Exec, fr *Frame, in *Instr) int {
+	m, err := asMap(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	v, ok := mapGet(ex, fr, m, &in.srcs[1])
+	if !ok {
+		v = ex.get(fr, &in.srcs[2])
 	}
 	ex.put(fr, in.d, v)
 	return in.t1

@@ -30,8 +30,13 @@ func registerIntFast(op string, fn func(x, y int64) int64) {
 			return err
 		}
 		exec := execIntFast
-		if srcs[0].kind == srcReg && srcs[1].kind == srcReg && d.kind == srcReg {
-			exec = execIntFastRRR
+		if d.kind == srcReg && srcs[0].kind == srcReg {
+			switch srcs[1].kind {
+			case srcReg:
+				exec = execIntFastRRR
+			case srcConst:
+				exec = execIntFastRCR
+			}
 		}
 		c.emit(Instr{exec: exec, d: d, srcs: srcs, aux: fn})
 		return nil
@@ -42,6 +47,15 @@ func registerIntFast(op string, fn func(x, y int64) int64) {
 func execIntFastRRR(ex *Exec, fr *Frame, in *Instr) int {
 	x := int64(fr.R[in.srcs[0].idx].A)
 	y := int64(fr.R[in.srcs[1].idx].A)
+	fr.R[in.d.idx] = values.Int(in.aux.(func(x, y int64) int64)(x, y))
+	return in.t1
+}
+
+// execIntFastRCR is the register-op-constant specialization of execIntFast
+// — the dominant shape in generated filter code (`off = hl * 4`).
+func execIntFastRCR(ex *Exec, fr *Frame, in *Instr) int {
+	x := int64(fr.R[in.srcs[0].idx].A)
+	y := int64(in.srcs[1].val.A)
 	fr.R[in.d.idx] = values.Int(in.aux.(func(x, y int64) int64)(x, y))
 	return in.t1
 }
@@ -69,8 +83,13 @@ func registerIntCmpFast(op string, fn func(x, y int64) bool) {
 			return err
 		}
 		exec := execIntCmpFast
-		if srcs[0].kind == srcReg && srcs[1].kind == srcReg && d.kind == srcReg {
-			exec = execIntCmpFastRRR
+		if d.kind == srcReg && srcs[0].kind == srcReg {
+			switch srcs[1].kind {
+			case srcReg:
+				exec = execIntCmpFastRRR
+			case srcConst:
+				exec = execIntCmpFastRCR
+			}
 		}
 		c.emit(Instr{exec: exec, d: d, srcs: srcs, aux: fn})
 		return nil
@@ -85,6 +104,15 @@ func execIntCmpFastRRR(ex *Exec, fr *Frame, in *Instr) int {
 	return in.t1
 }
 
+// execIntCmpFastRCR is the register-vs-constant specialization (the shape
+// of every protocol-number test in generated filters).
+func execIntCmpFastRCR(ex *Exec, fr *Frame, in *Instr) int {
+	x := int64(fr.R[in.srcs[0].idx].A)
+	y := int64(in.srcs[1].val.A)
+	fr.R[in.d.idx] = values.Bool(in.aux.(func(x, y int64) bool)(x, y))
+	return in.t1
+}
+
 func execIntCmpFast(ex *Exec, fr *Frame, in *Instr) int {
 	x := ex.get(fr, &in.srcs[0]).AsInt()
 	y := ex.get(fr, &in.srcs[1]).AsInt()
@@ -92,10 +120,70 @@ func execIntCmpFast(ex *Exec, fr *Frame, in *Instr) int {
 	return in.t1
 }
 
+// registerShaped registers a fixed-arity op whose lowering consults pick
+// for a shape-specialized executor, falling back to simpleFn dispatch. The
+// generic fn stays in aux either way so the constant folder (and, for
+// boolean ops, the fusion pass) can evaluate the op without the executor.
+func registerShaped(op string, arity int, fn simpleFn,
+	pick func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int) {
+	register(op, func(c *fnCompiler, in *ast.Instr) error {
+		if len(in.Ops) != arity {
+			return fmt.Errorf("%s expects %d operands, got %d", in.Op, arity, len(in.Ops))
+		}
+		srcs, err := c.srcsOf(in.Ops)
+		if err != nil {
+			return err
+		}
+		d, err := c.dstOf(in.Target)
+		if err != nil {
+			return err
+		}
+		exec := pick(srcs, d)
+		if exec == nil {
+			switch arity {
+			case 1:
+				exec = execSimple1
+			case 2:
+				exec = execSimple2
+			default:
+				exec = execSimple
+			}
+		}
+		c.emit(Instr{exec: exec, d: d, srcs: srcs, aux: fn})
+		return nil
+	})
+}
+
+func execEqualRR(ex *Exec, fr *Frame, in *Instr) int {
+	fr.R[in.d.idx] = values.Bool(values.Equal(fr.R[in.srcs[0].idx], fr.R[in.srcs[1].idx]))
+	return in.t1
+}
+
+func execEqualRC(ex *Exec, fr *Frame, in *Instr) int {
+	fr.R[in.d.idx] = values.Bool(values.Equal(fr.R[in.srcs[0].idx], in.srcs[1].val))
+	return in.t1
+}
+
+func execNetContainsCR(ex *Exec, fr *Frame, in *Instr) int {
+	fr.R[in.d.idx] = values.Bool(in.srcs[0].val.NetContains(fr.R[in.srcs[1].idx]))
+	return in.t1
+}
+
 func init() {
 	// --- equality / ordering (overloaded across types) -----------------------
-	registerSimple("equal", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+	registerShaped("equal", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
 		return values.Bool(values.Equal(a[0], a[1])), nil
+	}, func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int {
+		if d.kind != srcReg || srcs[0].kind != srcReg {
+			return nil
+		}
+		switch srcs[1].kind {
+		case srcReg:
+			return execEqualRR
+		case srcConst:
+			return execEqualRC
+		}
+		return nil
 	})
 	registerSimple("unequal", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
 		return values.Bool(!values.Equal(a[0], a[1])), nil
@@ -301,8 +389,14 @@ func init() {
 		}
 		return values.Int(6), nil
 	})
-	registerSimple("net.contains", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
+	registerShaped("net.contains", 2, func(ex *Exec, a []values.Value) (values.Value, error) {
 		return values.Bool(a[0].NetContains(a[1])), nil
+	}, func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int {
+		// Generated filters test a constant network against a register.
+		if d.kind == srcReg && srcs[0].kind == srcConst && srcs[1].kind == srcReg {
+			return execNetContainsCR
+		}
+		return nil
 	})
 	registerSimple("net.family", 1, func(ex *Exec, a []values.Value) (values.Value, error) {
 		if a[0].NetFamilyLen() <= 32 && a[0].AddrIsV4() {

@@ -1,0 +1,692 @@
+// Post-lowering optimizer: a small pass pipeline over the linear []Instr
+// produced by compile.go. The paper leans on LLVM for "compile-time
+// optimization of the instruction stream" (§5); this file substitutes the
+// classic subset that pays off for network-analysis code — constant
+// folding, copy propagation, jump threading, unreachable-code elimination,
+// and superinstruction fusion of the compare-feeds-branch pattern that
+// dominates generated filter and firewall loops.
+//
+// All passes are behavior-preserving, including exception semantics:
+// handler ranges are repatched when code is removed, fused instructions
+// raise at the compare's pc (the branch half cannot raise), and copy
+// propagation is block-local with every jump/switch/handler target acting
+// as a barrier.
+
+package vm
+
+import (
+	"strings"
+
+	"hilti/internal/rt/values"
+)
+
+// OptStats reports what Optimize did to one function.
+type OptStats struct {
+	Before   int // instructions before optimization
+	After    int // instructions after optimization
+	Folded   int // instructions replaced by constant assignments or jumps
+	Copies   int // operand reads redirected by copy/constant propagation
+	Threaded int // branch targets redirected through jump chains
+	Fused    int // compare+branch pairs collapsed
+	Removed  int // unreachable instructions deleted
+}
+
+// Add accumulates s into the receiver (for whole-program totals).
+func (st *OptStats) Add(s OptStats) {
+	st.Before += s.Before
+	st.After += s.After
+	st.Folded += s.Folded
+	st.Copies += s.Copies
+	st.Threaded += s.Threaded
+	st.Fused += s.Fused
+	st.Removed += s.Removed
+}
+
+// defaultOptLevel is the level Link applies; see SetDefaultOptLevel.
+var defaultOptLevel = 1
+
+// DefaultOptLevel returns the optimization level Link applies when no
+// explicit Options are given.
+func DefaultOptLevel() int { return defaultOptLevel }
+
+// SetDefaultOptLevel changes the level Link applies (0 disables the
+// optimizer — the -O0 escape hatch). It affects subsequent Link calls
+// only; call it before building programs, not concurrently with Link.
+func SetDefaultOptLevel(level int) { defaultOptLevel = level }
+
+// Optimize runs the pass pipeline over fn in place and returns statistics.
+// Level <= 0 is a no-op.
+func Optimize(fn *CompiledFunc, level int) OptStats {
+	st := OptStats{Before: len(fn.Code), After: len(fn.Code)}
+	if level <= 0 || len(fn.Code) == 0 {
+		return st
+	}
+	// Propagation and folding feed each other (a propagated constant can
+	// complete an all-const operand set), so run them twice.
+	for i := 0; i < 2; i++ {
+		copyProp(fn, &st)
+		constFold(fn, &st)
+	}
+	threadJumps(fn, &st)
+	fuseCmpBr(fn, &st)
+	threadJumps(fn, &st) // fused branches expose new chains
+	removeUnreachable(fn, &st)
+	st.After = len(fn.Code)
+	return st
+}
+
+// isBranch reports whether in's t2 is a control-flow target (if.else and
+// fused compare-and-branch). For every other instruction t2 is either
+// unused or data (overlay.get keeps a field index there).
+func isBranch(in *Instr) bool {
+	return in.op == "if.else" || strings.HasSuffix(in.op, "+br")
+}
+
+// successors appends the control successors of fn.Code[pc] to buf.
+func successors(fn *CompiledFunc, pc int, buf []int) []int {
+	in := &fn.Code[pc]
+	switch {
+	case in.op == "jump":
+		return append(buf, in.t1)
+	case isBranch(in):
+		return append(buf, in.t1, in.t2)
+	case in.op == "switch":
+		buf = append(buf, in.t1)
+		return append(buf, in.aux.(*switchTable).targets...)
+	case in.op == "return.void" || in.op == "return.result":
+		return buf
+	default:
+		// Straight-line instruction: falls through to t1. Raising paths
+		// are covered by the handler fixpoint in removeUnreachable.
+		return append(buf, in.t1)
+	}
+}
+
+// leaders marks every pc that can be entered from somewhere other than the
+// preceding instruction: explicit branch targets, switch cases, and
+// exception-handler entry points.
+func leaders(fn *CompiledFunc) []bool {
+	lead := make([]bool, len(fn.Code)+1)
+	var buf []int
+	for pc := range fn.Code {
+		in := &fn.Code[pc]
+		if in.op == "jump" || isBranch(in) || in.op == "switch" {
+			buf = successors(fn, pc, buf[:0])
+			for _, t := range buf {
+				lead[t] = true
+			}
+		}
+	}
+	for i := range fn.Handlers {
+		lead[fn.Handlers[i].target] = true
+	}
+	return lead
+}
+
+// copyProp performs block-local copy and constant propagation: after
+// `assign d, s` (s a register or constant), later reads of d within the
+// same straight-line region are redirected to s. Any instruction that can
+// be entered from elsewhere resets the tracked set; writing a register
+// kills bindings involving it.
+func copyProp(fn *CompiledFunc, st *OptStats) {
+	lead := leaders(fn)
+	copies := map[int32]src{}
+	for pc := range fn.Code {
+		if lead[pc] && len(copies) > 0 {
+			copies = map[int32]src{}
+		}
+		in := &fn.Code[pc]
+		for i := range in.srcs {
+			substSrc(&in.srcs[i], copies, st)
+		}
+		if in.d.kind != srcReg {
+			continue
+		}
+		w := in.d.idx
+		delete(copies, w)
+		for r, rep := range copies {
+			if rep.kind == srcReg && rep.idx == w {
+				delete(copies, r)
+			}
+		}
+		if in.op == "assign" && len(in.srcs) == 1 {
+			if s := in.srcs[0]; (s.kind == srcConst || s.kind == srcReg) &&
+				!(s.kind == srcReg && s.idx == w) {
+				copies[w] = s
+			}
+		}
+	}
+}
+
+func substSrc(s *src, copies map[int32]src, st *OptStats) {
+	switch s.kind {
+	case srcReg:
+		if rep, ok := copies[s.idx]; ok {
+			*s = rep
+			st.Copies++
+		}
+	case srcCtor:
+		for i := range s.subs {
+			substSrc(&s.subs[i], copies, st)
+		}
+	}
+}
+
+// foldKind classifies how an op with all-constant operands is evaluated at
+// compile time.
+type foldKind uint8
+
+const (
+	foldNone    foldKind = iota
+	foldIntBin           // aux func(x, y int64) int64
+	foldIntCmp           // aux func(x, y int64) bool
+	foldEqual            // values.Equal (no aux)
+	foldUnequal          // !values.Equal (no aux)
+	foldNetHas           // Value.NetContains (no aux)
+	foldPure             // aux simpleFn, pure and Exec-independent
+)
+
+// foldable lists ops whose results depend only on their operands. Stateful
+// ops (containers, bytes, calls, runtime services) are deliberately
+// absent; pure-but-fallible ops are included and skipped when they error.
+var foldable = map[string]foldKind{
+	"int.add": foldIntBin, "int.sub": foldIntBin, "int.mul": foldIntBin,
+	"int.eq": foldIntCmp, "int.lt": foldIntCmp, "int.gt": foldIntCmp,
+	"int.leq": foldIntCmp, "int.geq": foldIntCmp,
+	"equal": foldEqual, "unequal": foldUnequal, "net.contains": foldNetHas,
+
+	"int.div": foldPure, "int.mod": foldPure, "int.shl": foldPure,
+	"int.shr": foldPure, "int.and": foldPure, "int.or": foldPure,
+	"int.xor": foldPure, "int.ult": foldPure, "int.ugt": foldPure,
+	"int.to_double": foldPure, "int.to_time": foldPure,
+	"int.to_interval": foldPure, "int.to_string": foldPure,
+	"double.add": foldPure, "double.sub": foldPure, "double.mul": foldPure,
+	"double.div": foldPure, "double.lt": foldPure, "double.gt": foldPure,
+	"double.leq": foldPure, "double.geq": foldPure, "double.to_int": foldPure,
+	"double.to_interval": foldPure, "double.to_time": foldPure,
+	"bool.and": foldPure, "bool.or": foldPure, "bool.not": foldPure,
+	"and": foldPure, "or": foldPure, "not": foldPure,
+	"string.concat": foldPure, "string.length": foldPure,
+	"string.lower": foldPure, "string.upper": foldPure,
+	"string.find": foldPure, "string.to_int": foldPure,
+	"time.add": foldPure, "time.sub": foldPure, "time.lt": foldPure,
+	"time.gt": foldPure, "time.nsecs": foldPure, "time.to_double": foldPure,
+	"interval.add": foldPure, "interval.sub": foldPure,
+	"interval.mul": foldPure, "interval.lt": foldPure,
+	"interval.gt": foldPure, "interval.nsecs": foldPure,
+	"interval.to_double": foldPure,
+	"addr.family": foldPure, "net.family": foldPure, "net.length": foldPure,
+	"port.protocol": foldPure, "port.number": foldPure,
+	"enum.to_int": foldPure, "bitset.set": foldPure, "bitset.clear": foldPure,
+	"bitset.has": foldPure, "tuple.index": foldPure, "tuple.length": foldPure,
+}
+
+// constFold replaces pure instructions whose operands are all constants
+// with a constant assignment, and if.else on a constant condition with an
+// unconditional jump.
+func constFold(fn *CompiledFunc, st *OptStats) {
+	for pc := range fn.Code {
+		in := &fn.Code[pc]
+		if in.op == "if.else" && len(in.srcs) == 1 && in.srcs[0].kind == srcConst {
+			t := in.t2
+			if values.IsTruthy(in.srcs[0].val) {
+				t = in.t1
+			}
+			fn.Code[pc] = Instr{op: "jump", exec: execJump, t1: t}
+			st.Folded++
+			continue
+		}
+		fk := foldable[in.op]
+		if fk == foldNone || in.d.kind == srcNone || len(in.srcs) == 0 || !allConst(in.srcs) {
+			continue
+		}
+		v, ok := evalConst(in, fk)
+		if !ok {
+			continue
+		}
+		fn.Code[pc] = Instr{op: "assign", exec: execAssign, d: in.d,
+			srcs: []src{{kind: srcConst, val: v}}, t1: in.t1}
+		st.Folded++
+	}
+}
+
+func allConst(srcs []src) bool {
+	for i := range srcs {
+		if srcs[i].kind != srcConst {
+			return false
+		}
+	}
+	return true
+}
+
+func evalConst(in *Instr, fk foldKind) (values.Value, bool) {
+	switch fk {
+	case foldIntBin:
+		fn, ok := in.aux.(func(x, y int64) int64)
+		if !ok || len(in.srcs) != 2 {
+			return values.Nil, false
+		}
+		return values.Int(fn(in.srcs[0].val.AsInt(), in.srcs[1].val.AsInt())), true
+	case foldIntCmp:
+		fn, ok := in.aux.(func(x, y int64) bool)
+		if !ok || len(in.srcs) != 2 {
+			return values.Nil, false
+		}
+		return values.Bool(fn(in.srcs[0].val.AsInt(), in.srcs[1].val.AsInt())), true
+	case foldEqual:
+		if len(in.srcs) != 2 {
+			return values.Nil, false
+		}
+		return values.Bool(values.Equal(in.srcs[0].val, in.srcs[1].val)), true
+	case foldUnequal:
+		if len(in.srcs) != 2 {
+			return values.Nil, false
+		}
+		return values.Bool(!values.Equal(in.srcs[0].val, in.srcs[1].val)), true
+	case foldNetHas:
+		if len(in.srcs) != 2 {
+			return values.Nil, false
+		}
+		return values.Bool(in.srcs[0].val.NetContains(in.srcs[1].val)), true
+	case foldPure:
+		fn, ok := in.aux.(simpleFn)
+		if !ok {
+			return values.Nil, false
+		}
+		args := make([]values.Value, len(in.srcs))
+		for i := range in.srcs {
+			args[i] = in.srcs[i].val
+		}
+		v, err := fn(nil, args)
+		if err != nil {
+			return values.Nil, false // raises at runtime; leave it alone
+		}
+		return v, true
+	}
+	return values.Nil, false
+}
+
+// finalTarget follows chains of unconditional jumps starting at t. Cycles
+// (empty infinite loops) terminate via the hop bound.
+func finalTarget(code []Instr, t int) int {
+	for hops := 0; hops <= len(code); hops++ {
+		if t < 0 || t >= len(code) || code[t].op != "jump" {
+			return t
+		}
+		nt := code[t].t1
+		if nt == t {
+			return t
+		}
+		t = nt
+	}
+	return t
+}
+
+// threadJumps redirects every control edge that lands on an unconditional
+// jump to the jump's final destination. t1 of a straight-line instruction
+// is its fallthrough edge, so this also short-circuits "fall into a jump".
+func threadJumps(fn *CompiledFunc, st *OptStats) {
+	code := fn.Code
+	retarget := func(t int) int {
+		ft := finalTarget(code, t)
+		if ft != t {
+			st.Threaded++
+		}
+		return ft
+	}
+	for pc := range code {
+		in := &code[pc]
+		switch {
+		case in.op == "return.void" || in.op == "return.result":
+			// t1 unused.
+		case isBranch(in):
+			in.t1 = retarget(in.t1)
+			in.t2 = retarget(in.t2)
+		case in.op == "switch":
+			in.t1 = retarget(in.t1)
+			tbl := in.aux.(*switchTable)
+			for i := range tbl.targets {
+				tbl.targets[i] = retarget(tbl.targets[i])
+			}
+		default:
+			in.t1 = retarget(in.t1)
+		}
+	}
+	for i := range fn.Handlers {
+		fn.Handlers[i].target = retarget(fn.Handlers[i].target)
+	}
+}
+
+// fuseCmpBr collapses a compare whose result falls through into an if.else
+// on that same register into one fused compare-and-branch instruction. The
+// boolean is still written to its destination register (other paths may
+// jump directly to the if.else or read the flag later); the orphaned
+// if.else survives at its pc unless unreachable-code elimination proves no
+// one else targets it. Fused instructions raise at the compare's pc, so
+// handler resolution is unchanged.
+func fuseCmpBr(fn *CompiledFunc, st *OptStats) {
+	code := fn.Code
+	for pc := range code {
+		in := &code[pc]
+		mk := fuseMaker(in)
+		if mk == nil || in.d.kind != srcReg {
+			continue
+		}
+		t := in.t1
+		if t < 0 || t >= len(code) || t == pc {
+			continue
+		}
+		br := &code[t]
+		if br.op != "if.else" || len(br.srcs) != 1 ||
+			br.srcs[0].kind != srcReg || br.srcs[0].idx != in.d.idx {
+			continue
+		}
+		in.exec = mk
+		in.op += "+br"
+		in.t1, in.t2 = br.t1, br.t2
+		st.Fused++
+	}
+}
+
+// fuseSimple lists simpleFn-dispatched ops that produce a boolean and may
+// be fused with a following branch. They keep their aux closure; the fused
+// executor adds the branch after the regular evaluate-and-store.
+var fuseSimple = map[string]bool{
+	"double.lt": true, "double.gt": true, "double.leq": true,
+	"double.geq": true, "int.ult": true, "int.ugt": true,
+	"time.lt": true, "time.gt": true, "interval.lt": true,
+	"interval.gt": true, "bool.and": true, "bool.or": true,
+	"bool.not": true, "and": true, "or": true, "not": true,
+	"iterator.eq": true, "iterator.at_end": true,
+	"iterator.at_end_now": true, "struct.is_set": true, "bitset.has": true,
+}
+
+// fuseMaker picks the fused executor for in, or nil when in cannot fuse.
+func fuseMaker(in *Instr) func(*Exec, *Frame, *Instr) int {
+	switch in.op {
+	case "int.eq", "int.lt", "int.gt", "int.leq", "int.geq":
+		if _, ok := in.aux.(func(x, y int64) bool); !ok || len(in.srcs) != 2 {
+			return nil
+		}
+		switch {
+		case in.srcs[0].kind == srcReg && in.srcs[1].kind == srcReg:
+			return execFusedIntCmpRR
+		case in.srcs[0].kind == srcReg && in.srcs[1].kind == srcConst:
+			return execFusedIntCmpRC
+		default:
+			return execFusedIntCmpGen
+		}
+	case "equal", "unequal":
+		neg := in.op == "unequal"
+		if len(in.srcs) != 2 {
+			return nil
+		}
+		if !neg && in.srcs[0].kind == srcReg && in.srcs[1].kind == srcConst {
+			return execFusedEqualRC
+		}
+		if neg {
+			return execFusedUnequalGen
+		}
+		return execFusedEqualGen
+	case "net.contains":
+		if len(in.srcs) != 2 {
+			return nil
+		}
+		return execFusedNetContainsGen
+	case "set.exists":
+		if len(in.srcs) != 2 {
+			return nil
+		}
+		return execFusedSetExists
+	case "map.exists":
+		if len(in.srcs) != 2 {
+			return nil
+		}
+		return execFusedMapExists
+	default:
+		if !fuseSimple[in.op] {
+			return nil
+		}
+		if _, ok := in.aux.(simpleFn); !ok {
+			return nil
+		}
+		switch len(in.srcs) {
+		case 1:
+			return execFusedSimple1
+		case 2:
+			return execFusedSimple2
+		}
+		return nil
+	}
+}
+
+func (in *Instr) branch(b bool) int {
+	if b {
+		return in.t1
+	}
+	return in.t2
+}
+
+func execFusedIntCmpRR(ex *Exec, fr *Frame, in *Instr) int {
+	b := in.aux.(func(x, y int64) bool)(
+		int64(fr.R[in.srcs[0].idx].A), int64(fr.R[in.srcs[1].idx].A))
+	fr.R[in.d.idx] = values.Bool(b)
+	return in.branch(b)
+}
+
+func execFusedIntCmpRC(ex *Exec, fr *Frame, in *Instr) int {
+	b := in.aux.(func(x, y int64) bool)(
+		int64(fr.R[in.srcs[0].idx].A), int64(in.srcs[1].val.A))
+	fr.R[in.d.idx] = values.Bool(b)
+	return in.branch(b)
+}
+
+func execFusedIntCmpGen(ex *Exec, fr *Frame, in *Instr) int {
+	b := in.aux.(func(x, y int64) bool)(
+		ex.get(fr, &in.srcs[0]).AsInt(), ex.get(fr, &in.srcs[1]).AsInt())
+	ex.put(fr, in.d, values.Bool(b))
+	return in.branch(b)
+}
+
+func execFusedEqualRC(ex *Exec, fr *Frame, in *Instr) int {
+	b := values.Equal(fr.R[in.srcs[0].idx], in.srcs[1].val)
+	fr.R[in.d.idx] = values.Bool(b)
+	return in.branch(b)
+}
+
+func execFusedEqualGen(ex *Exec, fr *Frame, in *Instr) int {
+	b := values.Equal(ex.get(fr, &in.srcs[0]), ex.get(fr, &in.srcs[1]))
+	ex.put(fr, in.d, values.Bool(b))
+	return in.branch(b)
+}
+
+func execFusedUnequalGen(ex *Exec, fr *Frame, in *Instr) int {
+	b := !values.Equal(ex.get(fr, &in.srcs[0]), ex.get(fr, &in.srcs[1]))
+	ex.put(fr, in.d, values.Bool(b))
+	return in.branch(b)
+}
+
+func execFusedNetContainsGen(ex *Exec, fr *Frame, in *Instr) int {
+	b := ex.get(fr, &in.srcs[0]).NetContains(ex.get(fr, &in.srcs[1]))
+	ex.put(fr, in.d, values.Bool(b))
+	return in.branch(b)
+}
+
+func execFusedSetExists(ex *Exec, fr *Frame, in *Instr) int {
+	s, err := asSet(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	b := setExists(ex, fr, s, &in.srcs[1])
+	ex.put(fr, in.d, values.Bool(b))
+	return in.branch(b)
+}
+
+func execFusedMapExists(ex *Exec, fr *Frame, in *Instr) int {
+	m, err := asMap(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	b := mapExists(ex, fr, m, &in.srcs[1])
+	ex.put(fr, in.d, values.Bool(b))
+	return in.branch(b)
+}
+
+func execFusedSimple1(ex *Exec, fr *Frame, in *Instr) int {
+	var args [1]values.Value
+	args[0] = ex.get(fr, &in.srcs[0])
+	v, err := in.aux.(simpleFn)(ex, args[:])
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	ex.put(fr, in.d, v)
+	return in.branch(values.IsTruthy(v))
+}
+
+func execFusedSimple2(ex *Exec, fr *Frame, in *Instr) int {
+	var args [2]values.Value
+	args[0] = ex.get(fr, &in.srcs[0])
+	args[1] = ex.get(fr, &in.srcs[1])
+	v, err := in.aux.(simpleFn)(ex, args[:])
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	ex.put(fr, in.d, v)
+	return in.branch(values.IsTruthy(v))
+}
+
+// removeUnreachable deletes instructions no control or exception path can
+// reach, then repatches every pc-valued field: jump targets, switch
+// tables, and handler ranges/targets. Handlers whose protected range ends
+// up empty are dropped.
+func removeUnreachable(fn *CompiledFunc, st *OptStats) {
+	n := len(fn.Code)
+	reach := make([]bool, n)
+	var stack, buf []int
+	push := func(pc int) {
+		if pc >= 0 && pc < n && !reach[pc] {
+			reach[pc] = true
+			stack = append(stack, pc)
+		}
+	}
+	drain := func() {
+		for len(stack) > 0 {
+			pc := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			buf = successors(fn, pc, buf[:0])
+			for _, t := range buf {
+				push(t)
+			}
+		}
+	}
+	push(0)
+	drain()
+	// A handler target becomes reachable once any instruction in its
+	// protected range is; iterate to a fixpoint (handlers can chain).
+	for changed := true; changed; {
+		changed = false
+		for i := range fn.Handlers {
+			h := &fn.Handlers[i]
+			if reach[h.target] {
+				continue
+			}
+			for pc := h.start; pc < h.end && pc < n; pc++ {
+				if reach[pc] {
+					push(h.target)
+					drain()
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	kept := 0
+	for pc := 0; pc < n; pc++ {
+		if reach[pc] {
+			kept++
+		}
+	}
+	if kept == n {
+		return
+	}
+	// remap[pc] = number of kept instructions before pc, i.e. the new pc
+	// of a kept instruction and the insertion point for range bounds.
+	remap := make([]int, n+1)
+	for pc, k := 0, 0; pc < n; pc++ {
+		remap[pc] = k
+		if reach[pc] {
+			k++
+		}
+	}
+	remap[n] = kept
+
+	newCode := make([]Instr, 0, kept)
+	for pc := 0; pc < n; pc++ {
+		if !reach[pc] {
+			continue
+		}
+		in := fn.Code[pc]
+		switch {
+		case in.op == "return.void" || in.op == "return.result":
+			// t1 unused.
+		case isBranch(&in):
+			in.t1 = remap[in.t1]
+			in.t2 = remap[in.t2]
+		case in.op == "switch":
+			in.t1 = remap[in.t1]
+			tbl := in.aux.(*switchTable)
+			for i := range tbl.targets {
+				tbl.targets[i] = remap[tbl.targets[i]]
+			}
+		default:
+			in.t1 = remap[in.t1]
+		}
+		newCode = append(newCode, in)
+	}
+	st.Removed += n - kept
+	fn.Code = newCode
+
+	newHandlers := fn.Handlers[:0]
+	for _, h := range fn.Handlers {
+		h.start, h.end = remap[h.start], remap[h.end]
+		if h.start >= h.end || !reach[clampPC(h.target, n)] {
+			continue
+		}
+		h.target = remap[h.target]
+		newHandlers = append(newHandlers, h)
+	}
+	fn.Handlers = newHandlers
+}
+
+func clampPC(pc, n int) int {
+	if pc < 0 {
+		return 0
+	}
+	if pc >= n {
+		return n - 1
+	}
+	return pc
+}
+
+// StaticInstrCount sums the post-optimization instruction counts of every
+// distinct compiled function (hook bodies included).
+func (p *Program) StaticInstrCount() int {
+	seen := map[*CompiledFunc]bool{}
+	total := 0
+	count := func(fn *CompiledFunc) {
+		if fn != nil && !seen[fn] {
+			seen[fn] = true
+			total += len(fn.Code)
+		}
+	}
+	for _, fn := range p.Funcs {
+		count(fn)
+	}
+	for _, bodies := range p.HookBodies {
+		for _, fn := range bodies {
+			count(fn)
+		}
+	}
+	return total
+}

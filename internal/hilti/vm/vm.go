@@ -69,10 +69,13 @@ type dst struct {
 // Instr is one lowered instruction.
 type Instr struct {
 	exec func(ex *Exec, fr *Frame, in *Instr) int
+	op   string // source operation name; "+br"-suffixed for fused compare-and-branch
 	d    dst
 	srcs []src
 	aux  any
-	// jump targets (patched after lowering)
+	// jump targets (patched after lowering). t1 is always a pc; t2 is a pc
+	// only for branching ops (if.else, fused "+br") — overlay.get stores a
+	// field index there.
 	t1, t2 int
 }
 
@@ -145,6 +148,7 @@ type Exec struct {
 	fib        *fiber.Fiber // current fiber, when running inside one
 	freeFrames []*Frame
 	budget     budgetState
+	keyBuf     []byte // scratch for container-key encoding (see ctorKey)
 }
 
 // NewExec creates an execution context for prog and runs global
@@ -202,32 +206,44 @@ func (ex *Exec) put(fr *Frame, d dst, v values.Value) {
 	}
 }
 
-// newFrame takes a frame from the free list, sized for fn.
+// maxFreeFrames bounds the per-Exec frame free list.
+const maxFreeFrames = 64
+
+// newFrame takes a frame from the free list, sized for fn. Pooled frames
+// are zeroed by freeFrame, so reuse only needs to (re)size the register
+// slice: growing allocates a zeroed slice, shrinking/extending within
+// capacity exposes registers freeFrame already cleared.
 func (ex *Exec) newFrame(fn *CompiledFunc) *Frame {
 	n := len(ex.freeFrames)
 	var fr *Frame
 	if n > 0 {
 		fr = ex.freeFrames[n-1]
 		ex.freeFrames = ex.freeFrames[:n-1]
-	} else {
-		fr = &Frame{}
-	}
-	if cap(fr.R) < fn.NRegs {
-		fr.R = make([]values.Value, fn.NRegs)
-	} else {
-		fr.R = fr.R[:fn.NRegs]
-		for i := range fr.R {
-			fr.R[i] = values.Nil
+		if cap(fr.R) < fn.NRegs {
+			fr.R = make([]values.Value, fn.NRegs)
+		} else {
+			fr.R = fr.R[:fn.NRegs]
 		}
+	} else {
+		fr = &Frame{R: make([]values.Value, fn.NRegs)}
 	}
-	fr.Ret = values.Nil
 	return fr
 }
 
+// freeFrame returns a frame to the pool. Registers are cleared over the
+// slice's full capacity first so that pooled frames do not pin heap
+// objects (byte ropes, structs) of completed calls via Value.O, and so
+// that newFrame can hand them out without re-clearing.
 func (ex *Exec) freeFrame(fr *Frame) {
-	if len(ex.freeFrames) < 64 {
-		ex.freeFrames = append(ex.freeFrames, fr)
+	if len(ex.freeFrames) >= maxFreeFrames {
+		return
 	}
+	r := fr.R[:cap(fr.R)]
+	for i := range r {
+		r[i] = values.Value{}
+	}
+	fr.Ret = values.Nil
+	ex.freeFrames = append(ex.freeFrames, fr)
 }
 
 // raise records an exception and signals the dispatch loop.

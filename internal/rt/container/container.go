@@ -48,6 +48,7 @@ func (e *expiry) active() bool {
 
 // entry is one element of a map or set.
 type entry struct {
+	k       string // canonical encoded key (values.AppendKey form)
 	key     values.Value
 	val     values.Value
 	lastUse timer.Time
@@ -57,12 +58,20 @@ type entry struct {
 
 // Map is HILTI's map<K,V>: a hash map with optional element expiration and
 // an optional default value for misses.
+//
+// Keys are canonicalized with values.AppendKey into a per-map scratch
+// buffer, so steady-state lookups allocate nothing: the buffer is reused
+// across calls and Go's map[string(b)] access pattern avoids the string
+// copy. The encoded key is materialized as a string only when a new entry
+// is inserted. A Map is not safe for concurrent use (one Exec owns it),
+// which is what makes the shared scratch buffer sound.
 type Map struct {
 	idx    map[string]*entry
 	order  []*entry // insertion order, with tombstones compacted lazily
 	dead   int
 	def    values.Value
 	hasDef bool
+	kbuf   []byte // scratch for key encoding; grows to the largest key
 	expiry
 }
 
@@ -83,31 +92,54 @@ func (m *Map) SetTimeout(mgr *timer.Mgr, strategy ExpireStrategy, timeout timer.
 // Len returns the number of live elements.
 func (m *Map) Len() int { return len(m.idx) }
 
+// encKey encodes key into the scratch buffer, panicking on unhashable
+// kinds exactly as values.Key did.
+func (m *Map) encKey(key values.Value) []byte {
+	b, ok := values.AppendKey(m.kbuf[:0], key)
+	m.kbuf = b[:0]
+	if !ok {
+		panic(fmt.Sprintf("container: unhashable kind %v", key.K))
+	}
+	return b
+}
+
 // Insert adds or replaces the value for key (HILTI's map.insert).
 func (m *Map) Insert(key, val values.Value) {
-	k := values.Key(key)
-	if e, ok := m.idx[k]; ok {
+	b := m.encKey(key)
+	if e, ok := m.idx[string(b)]; ok {
 		e.val = val
 		m.touch(e)
 		return
 	}
-	e := &entry{key: key, val: val}
-	m.idx[k] = e
+	e := &entry{k: string(b), key: key, val: val}
+	m.idx[e.k] = e
 	m.order = append(m.order, e)
 	if m.expiry.active() {
 		e.lastUse = m.mgr.Now()
-		m.scheduleExpiry(k, e)
+		m.scheduleExpiry(e)
 	}
+}
+
+// lookup probes the index by encoded key, applying access-expiry policy.
+func (m *Map) lookup(b []byte) (*entry, bool) {
+	e, ok := m.idx[string(b)] // compiler-recognized: no string allocation
+	if ok && m.strategy == ExpireAccess {
+		m.touch(e)
+	}
+	return e, ok
 }
 
 // Get returns the value for key. When the key is missing and a default is
 // configured, the default is returned with ok=true (as HILTI's map.get
 // with a default type parameter); otherwise ok is false.
 func (m *Map) Get(key values.Value) (values.Value, bool) {
-	if e, ok := m.idx[values.Key(key)]; ok {
-		if m.strategy == ExpireAccess {
-			m.touch(e)
-		}
+	return m.GetKeyed(m.encKey(key))
+}
+
+// GetKeyed is Get for a caller-encoded key (values.AppendKey form). It is
+// the zero-allocation path the VM uses for per-packet lookups.
+func (m *Map) GetKeyed(k []byte) (values.Value, bool) {
+	if e, ok := m.lookup(k); ok {
 		return e.val, true
 	}
 	if m.hasDef {
@@ -119,39 +151,40 @@ func (m *Map) Get(key values.Value) (values.Value, bool) {
 // Exists reports whether key is present (HILTI's map.exists). It counts as
 // an access for access-based expiration.
 func (m *Map) Exists(key values.Value) bool {
-	e, ok := m.idx[values.Key(key)]
-	if ok && m.strategy == ExpireAccess {
-		m.touch(e)
-	}
+	return m.ExistsKeyed(m.encKey(key))
+}
+
+// ExistsKeyed is Exists for a caller-encoded key.
+func (m *Map) ExistsKeyed(k []byte) bool {
+	_, ok := m.lookup(k)
 	return ok
 }
 
 // Remove deletes key (HILTI's map.remove), returning whether it was present.
 func (m *Map) Remove(key values.Value) bool {
-	k := values.Key(key)
-	e, ok := m.idx[k]
+	e, ok := m.idx[string(m.encKey(key))]
 	if !ok {
 		return false
 	}
-	m.drop(k, e)
+	m.drop(e)
 	return true
 }
 
 // Clear removes all elements.
 func (m *Map) Clear() {
-	for k, e := range m.idx {
-		m.drop(k, e)
+	for _, e := range m.idx {
+		m.drop(e)
 	}
 }
 
-func (m *Map) drop(k string, e *entry) {
+func (m *Map) drop(e *entry) {
 	if e.tm != nil {
 		e.tm.Cancel()
 		e.tm = nil
 	}
 	e.deleted = true
 	m.dead++
-	delete(m.idx, k)
+	delete(m.idx, e.k)
 	m.maybeCompact()
 }
 
@@ -165,22 +198,22 @@ func (m *Map) touch(e *entry) {
 // the element has been touched since; if so we re-arm for the remaining
 // lifetime, otherwise we evict. This lazy re-arming avoids a timer update
 // on every access, the standard technique for high-churn session tables.
-func (m *Map) scheduleExpiry(k string, e *entry) {
+func (m *Map) scheduleExpiry(e *entry) {
 	at := e.lastUse + timer.Time(m.timeout)
-	e.tm = m.mgr.ScheduleFunc(at, func() { m.expireCheck(k, e) })
+	e.tm = m.mgr.ScheduleFunc(at, func() { m.expireCheck(e) })
 }
 
-func (m *Map) expireCheck(k string, e *entry) {
+func (m *Map) expireCheck(e *entry) {
 	e.tm = nil
 	if e.deleted {
 		return
 	}
 	deadline := e.lastUse + timer.Time(m.timeout)
 	if deadline <= m.mgr.Now() {
-		m.drop(k, e)
+		m.drop(e)
 		return
 	}
-	m.scheduleExpiry(k, e)
+	m.scheduleExpiry(e)
 }
 
 func (m *Map) maybeCompact() {
@@ -275,6 +308,9 @@ func (s *Set) Insert(v values.Value) { s.m.Insert(v, values.Nil) }
 
 // Exists reports membership (HILTI's set.exists).
 func (s *Set) Exists(v values.Value) bool { return s.m.Exists(v) }
+
+// ExistsKeyed is Exists for a caller-encoded key (values.AppendKey form).
+func (s *Set) ExistsKeyed(k []byte) bool { return s.m.ExistsKeyed(k) }
 
 // Remove deletes an element (HILTI's set.remove).
 func (s *Set) Remove(v values.Value) bool { return s.m.Remove(v) }

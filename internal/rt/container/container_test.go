@@ -1,6 +1,7 @@
 package container
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -313,6 +314,99 @@ func TestQuickMapModelCheck(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Steady-state lookups must not allocate: the canonical key is encoded
+// into the per-container scratch buffer and probed with Go's map[string(b)]
+// pattern, never materialized as a string.
+func TestScalarKeyLookupsAllocationFree(t *testing.T) {
+	m := NewMap()
+	m.Insert(values.Int(7), values.String("x"))
+	k := values.Int(7)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := m.Get(k); !ok {
+			t.Fatal("lost key")
+		}
+	}); n != 0 {
+		t.Fatalf("Map.Get allocated %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if m.Exists(values.Int(8)) {
+			t.Fatal("phantom key")
+		}
+	}); n != 0 {
+		t.Fatalf("Map.Exists (miss) allocated %v times per run", n)
+	}
+
+	s := NewSet()
+	s.Insert(values.MustParseAddr("10.0.0.1"))
+	a := values.MustParseAddr("10.0.0.1")
+	if n := testing.AllocsPerRun(100, func() {
+		if !s.Exists(a) {
+			t.Fatal("lost element")
+		}
+	}); n != 0 {
+		t.Fatalf("Set.Exists allocated %v times per run", n)
+	}
+}
+
+func TestTupleKeyLookupsAllocationFree(t *testing.T) {
+	s := NewSet()
+	pair := values.TupleVal(values.MustParseAddr("10.0.0.1"), values.MustParseAddr("10.0.0.2"))
+	s.Insert(pair)
+	if n := testing.AllocsPerRun(100, func() {
+		if !s.Exists(pair) {
+			t.Fatal("lost element")
+		}
+	}); n != 0 {
+		t.Fatalf("tuple-keyed Set.Exists allocated %v times per run", n)
+	}
+}
+
+// Distinct values of different kinds or shapes must never collide under the
+// canonical key encoding: every key carries its kind tag, and variable-length
+// payloads are length-prefixed.
+func TestKeyEncodingNoAliasing(t *testing.T) {
+	distinct := []values.Value{
+		values.String("a"),
+		values.BytesFrom([]byte("a")),
+		values.TupleVal(values.String("a")),
+		values.Int(1),
+		values.Bool(true),
+		values.TupleVal(values.String("ab"), values.String("c")),
+		values.TupleVal(values.String("a"), values.String("bc")),
+		values.TupleVal(values.String("a"), values.String("b"), values.String("c")),
+		values.String(""),
+		values.TupleVal(),
+	}
+	m := NewMap()
+	for i, v := range distinct {
+		m.Insert(v, values.Int(int64(i)))
+	}
+	if m.Len() != len(distinct) {
+		t.Fatalf("keys aliased: %d entries for %d distinct keys", m.Len(), len(distinct))
+	}
+	for i, v := range distinct {
+		got, ok := m.Get(v)
+		if !ok || got.AsInt() != int64(i) {
+			t.Fatalf("key %d (%s) maps to %v, ok=%v", i, values.Format(v), got, ok)
+		}
+	}
+}
+
+// The encoded key is captured at insert time; mutating the scratch buffer
+// through later operations must not disturb existing entries.
+func TestInsertedKeysSurviveScratchReuse(t *testing.T) {
+	m := NewMap()
+	for i := 0; i < 64; i++ {
+		m.Insert(values.String(strings.Repeat("k", i+1)), values.Int(int64(i)))
+	}
+	for i := 0; i < 64; i++ {
+		v, ok := m.Get(values.String(strings.Repeat("k", i+1)))
+		if !ok || v.AsInt() != int64(i) {
+			t.Fatalf("entry %d corrupted after scratch reuse", i)
+		}
 	}
 }
 

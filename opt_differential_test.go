@@ -1,0 +1,185 @@
+// Differential tests for the post-lowering optimizer: every host
+// application must produce byte-identical output whether its HILTI code
+// runs at -O0 or fully optimized. These are the end-to-end counterpart of
+// the per-pass tests in internal/hilti/vm/opt_test.go.
+package hilti_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hilti"
+	"hilti/internal/bpf"
+	"hilti/internal/bro"
+	"hilti/internal/firewall"
+	"hilti/internal/hilti/vm"
+	"hilti/internal/pkt/layers"
+	"hilti/internal/rt/hbytes"
+	"hilti/internal/rt/values"
+)
+
+// withOptLevel runs fn with the process-wide default optimizer level set,
+// restoring it afterwards (host applications link through the default).
+func withOptLevel(level int, fn func()) {
+	prev := vm.DefaultOptLevel()
+	hilti.SetDefaultOptLevel(level)
+	defer hilti.SetDefaultOptLevel(prev)
+	fn()
+}
+
+func TestOptDifferentialBPFFilter(t *testing.T) {
+	httpPkts, _ := traces()
+	e, err := bpf.ParseFilter("host 10.1.9.77 or src net 10.1.3.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := bpf.CompileBPF(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := bpf.CompileHILTI(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matchesAt := func(level hilti.OptLevel) []bool {
+		prog, err := hilti.LinkWith(hilti.Config{OptLevel: level}, mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := hilti.NewExec(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := prog.Fn("Filter::filter")
+		rope := hbytes.New()
+		out := make([]bool, len(httpPkts))
+		for i, p := range httpPkts {
+			rope.Reset(p.Data)
+			v, err := ex.CallFn(fn, values.BytesVal(rope))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = v.AsBool()
+		}
+		return out
+	}
+	m0, m1 := matchesAt(hilti.O0), matchesAt(hilti.O1)
+	for i := range m0 {
+		if m0[i] != m1[i] {
+			t.Fatalf("packet %d: -O0 match %v, -O1 match %v", i, m0[i], m1[i])
+		}
+		if want := ref.Run(httpPkts[i].Data) != 0; m0[i] != want {
+			t.Fatalf("packet %d: HILTI match %v, BPF reference %v", i, m0[i], want)
+		}
+	}
+}
+
+func TestOptDifferentialFirewall(t *testing.T) {
+	_, dnsPkts := traces()
+	rules, err := firewall.ParseRules(strings.NewReader(`
+10.1.0.0/16   172.20.0.0/16 allow
+10.2.0.0/16   172.20.0.0/16 deny
+*             172.20.0.5/32 allow
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fws [2]*firewall.Firewall
+	for i, level := range []int{0, 1} {
+		withOptLevel(level, func() {
+			fw, err := firewall.New(rules, 5*time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fws[i] = fw
+		})
+	}
+	for _, p := range dnsPkts {
+		eth, _ := layers.DecodeEthernet(p.Data)
+		ip, err := layers.DecodeIPv4(eth.Payload)
+		if err != nil {
+			continue
+		}
+		ts := p.Time.UnixNano()
+		src, dst := values.AddrFrom4(ip.Src), values.AddrFrom4(ip.Dst)
+		a, err := fws[0].Match(ts, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fws[1].Match(ts, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("firewall decision diverges for %s -> %s: O0=%v O1=%v",
+				values.Format(src), values.Format(dst), a, b)
+		}
+	}
+}
+
+func TestOptDifferentialBroLogs(t *testing.T) {
+	httpPkts, dnsPkts := traces()
+	runAt := func(level int) *bro.Engine {
+		var eng *bro.Engine
+		withOptLevel(level, func() {
+			e, err := bro.NewEngine(bro.Config{
+				Parser: "binpac", ScriptExec: "hilti",
+				Scripts: []string{bro.HTTPScript, bro.FilesScript, bro.DNSScript},
+				Quiet:   true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.ProcessTrace(httpPkts)
+			e.ProcessTrace(dnsPkts)
+			e.Finish()
+			eng = e
+		})
+		return eng
+	}
+	e0, e1 := runAt(0), runAt(1)
+	for _, stream := range []string{"http", "files", "dns"} {
+		l0, l1 := e0.Logs.Lines(stream), e1.Logs.Lines(stream)
+		if len(l0) != len(l1) {
+			t.Fatalf("%s.log: %d lines at -O0, %d at -O1", stream, len(l0), len(l1))
+		}
+		for i := range l0 {
+			if l0[i] != l1[i] {
+				t.Fatalf("%s.log line %d diverges:\n-O0: %s\n-O1: %s", stream, i, l0[i], l1[i])
+			}
+		}
+	}
+}
+
+func TestPublicOptAPI(t *testing.T) {
+	m, err := hilti.Parse(`
+module M
+
+int<64> double (int<64> x) {
+    local int<64> r
+    r = int.mul x 2
+    return.result r
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := hilti.LinkWith(hilti.Config{OptLevel: hilti.O1}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := hilti.Disasm(prog.Fn("M::double"))
+	if !strings.Contains(dis, "func M::double") || !strings.Contains(dis, "int.mul") {
+		t.Fatalf("Disasm output unexpected:\n%s", dis)
+	}
+	ex, err := hilti.NewExec(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ex.Call("M::double", hilti.Int(21))
+	if err != nil || v.AsInt() != 42 {
+		t.Fatalf("got %v %v", v, err)
+	}
+}
