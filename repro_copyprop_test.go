@@ -1,0 +1,45 @@
+package hilti_test
+
+import (
+	"testing"
+
+	"hilti"
+)
+
+func TestCopyPropShapedExec(t *testing.T) {
+	src := `
+module M
+
+int<64> f (int<64> a, int<64> b) {
+    local int<64> k
+    local int<64> r
+    k = 7
+    r = int.add a k
+    return r
+}
+`
+	for _, lvl := range []hilti.OptLevel{hilti.O0, hilti.O1} {
+		prog, err := hilti.LinkWith(hilti.Config{OptLevel: lvl}, mustParse(t, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Log("\n" + hilti.Disasm(prog.Fn("M::f")))
+		ex, _ := hilti.NewExec(prog)
+		v, err := ex.Call("M::f", hilti.Int(100), hilti.Int(999))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("opt=%v result=%d (want 107)", lvl, v.AsInt())
+		if v.AsInt() != 107 {
+			t.Errorf("opt=%v: got %d, want 107", lvl, v.AsInt())
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *hilti.Module {
+	m, err := hilti.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
