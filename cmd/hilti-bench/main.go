@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,7 +35,7 @@ import (
 )
 
 var (
-	expFlag      = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|parallel|faults|ablations|vmopt|all")
+	expFlag      = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|parallel|faults|recovery|ablations|vmopt|all")
 	httpSessions = flag.Int("http-sessions", 800, "HTTP sessions in the synthetic trace")
 	dnsTxns      = flag.Int("dns-txns", 8000, "DNS transactions in the synthetic trace")
 	seed         = flag.Int64("seed", 1, "generator seed")
@@ -59,10 +60,11 @@ func main() {
 		"threads":   h.threads,
 		"parallel":  h.parallel,
 		"faults":    h.faults,
+		"recovery":  h.recovery,
 		"ablations": h.ablations,
 		"vmopt":     h.vmopt,
 	}
-	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "parallel", "faults", "ablations", "vmopt"}
+	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "parallel", "faults", "recovery", "ablations", "vmopt"}
 	if *benchJSON != "" {
 		h.writeBenchJSON(*benchJSON)
 		return
@@ -1011,4 +1013,161 @@ func must(err error) {
 		fmt.Fprintln(os.Stderr, "hilti-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// --- crash-only operation: checkpoint/restore + supervised recovery -------------
+
+func (h *harness) recovery() {
+	header("Crash-only operation (paper §3.2 transparent state management)",
+		"first-class state => serialize/restore analysis mid-trace; resumed run reproduces the uninterrupted one")
+
+	pkts := append([]pcap.Packet(nil), h.httpTrace()...)
+	pkts = append(pkts, h.dnsTrace()...)
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time.Before(pkts[j].Time) })
+	cfg := bro.Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{bro.HTTPScript, bro.FilesScript, bro.DNSScript}, Quiet: true}
+	streams := []string{"http", "files", "dns"}
+	const workers = 4
+
+	fail := false
+	check := func(ok bool, what string) {
+		if !ok {
+			fail = true
+			fmt.Printf("    FAIL: %s\n", what)
+		}
+	}
+	sameLines := func(got, want []string) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Uninterrupted single-threaded baseline.
+	base, err := bro.NewEngine(cfg)
+	must(err)
+	base.ProcessTrace(pkts)
+
+	// 1. Single-engine kill-at-N: process half the trace, checkpoint,
+	//    discard the engine, restore, finish. Logs must be byte-identical
+	//    (unsorted — same engine order).
+	cut := len(pkts) / 2
+	e1, err := bro.NewEngine(cfg)
+	must(err)
+	for i := 0; i < cut; i++ {
+		e1.SafeProcessPacket(pkts[i].Time.UnixNano(), pkts[i].Data)
+	}
+	var ebuf bytes.Buffer
+	ckStart := time.Now()
+	must(e1.Checkpoint(&ebuf))
+	ckLatency := time.Since(ckStart)
+	e2, err := bro.RestoreEngine(cfg, bytes.NewReader(ebuf.Bytes()))
+	must(err)
+	rsLatency := time.Since(ckStart) - ckLatency
+	for i := cut; i < len(pkts); i++ {
+		e2.SafeProcessPacket(pkts[i].Time.UnixNano(), pkts[i].Data)
+	}
+	e2.Finish()
+	fmt.Printf("    single engine: checkpoint at packet %d/%d: %d bytes, encode %v, decode+rebuild %v\n",
+		cut, len(pkts), ebuf.Len(), ckLatency.Round(time.Microsecond), rsLatency.Round(time.Microsecond))
+	for _, s := range streams {
+		ok := sameLines(e2.Logs.Lines(s), base.Logs.Lines(s))
+		check(ok, fmt.Sprintf("single-engine %s.log diverged after kill/restore", s))
+		if ok {
+			fmt.Printf("    single engine: %s.log byte-identical across kill/restore (%d lines)\n",
+				s, len(base.Logs.Lines(s)))
+		}
+	}
+
+	// 2. Parallel pipeline kill-at-N: per-shard quiesce-and-snapshot (no
+	//    stop-the-world), Kill, restore all shards, finish the trace.
+	par1, err := bro.NewParallelWith(cfg, pipeline.Config{Workers: workers})
+	must(err)
+	for i := 0; i < cut; i++ {
+		par1.Feed(pkts[i].Time.UnixNano(), pkts[i].Data) //nolint:errcheck
+	}
+	var pbuf bytes.Buffer
+	ckStart = time.Now()
+	must(par1.Checkpoint(&pbuf))
+	ckLatency = time.Since(ckStart)
+	par1.Kill()
+	par2, err := bro.RestoreParallelWith(cfg, pipeline.Config{Workers: workers}, bytes.NewReader(pbuf.Bytes()))
+	must(err)
+	for i := cut; i < len(pkts); i++ {
+		par2.Feed(pkts[i].Time.UnixNano(), pkts[i].Data) //nolint:errcheck
+	}
+	par2.Close()
+	fmt.Printf("    pipeline (%d workers): checkpoint at packet %d: %d bytes in %v (quiesce per shard, world running)\n",
+		workers, cut, pbuf.Len(), ckLatency.Round(time.Microsecond))
+	for _, s := range streams {
+		ok := sameLines(par2.MergedLines(s), bro.SortedLines(base, s))
+		check(ok, fmt.Sprintf("pipeline %s.log diverged after kill/restore", s))
+		if ok {
+			fmt.Printf("    pipeline: %s.log byte-identical across kill/restore (%d lines)\n",
+				s, len(bro.SortedLines(base, s)))
+		}
+	}
+
+	// 3. Supervised hang recovery: a flow whose analyzer blocks forever
+	//    (StallPort) wedges its worker; the supervisor must replace the
+	//    goroutine, restore the shard from its last automatic checkpoint
+	//    (every packet here, so nothing clean is lost), quarantine the
+	//    flow, and leave every other flow's output untouched.
+	const stallPort = 31999
+	hostile := cfg
+	hostile.StallPort = stallPort
+	par3, err := bro.NewParallelWith(hostile, pipeline.Config{
+		Workers: workers, StallTimeout: 2 * time.Second, CheckpointEvery: 1})
+	must(err)
+	a, b := [4]byte{10, 99, 0, 1}, [4]byte{10, 99, 0, 2}
+	stallPkt := func(seq uint32) []byte {
+		tcp := layers.EncodeTCP(a, b, 44001, stallPort, seq, 0, layers.TCPAck, 65535, []byte("HANGME!!"))
+		ip := layers.EncodeIPv4(a, b, layers.IPProtoTCP, 64, 1, tcp)
+		return layers.EncodeEthernet([6]byte{6}, [6]byte{7}, layers.EtherTypeIPv4, ip)
+	}
+	half := len(pkts) / 2
+	for i := 0; i < half; i++ {
+		par3.Feed(pkts[i].Time.UnixNano(), pkts[i].Data) //nolint:errcheck
+	}
+	stallTs := pkts[half].Time.UnixNano()
+	par3.Feed(stallTs, stallPkt(100)) //nolint:errcheck
+	waitStart := time.Now()
+	for par3.Restarts() == 0 && time.Since(waitStart) < 10*time.Second {
+		time.Sleep(5 * time.Millisecond)
+	}
+	detect := time.Since(waitStart)
+	check(par3.Restarts() > 0, "supervisor never replaced the wedged worker")
+	par3.Feed(stallTs+1, stallPkt(108)) //nolint:errcheck  // quarantined, must not re-wedge
+	for i := half; i < len(pkts); i++ {
+		par3.Feed(pkts[i].Time.UnixNano(), pkts[i].Data) //nolint:errcheck
+	}
+	par3.Close()
+	stalls := 0
+	for _, f := range par3.Faults() {
+		if f.Op == "stall" {
+			stalls++
+		}
+	}
+	fmt.Printf("    supervisor: wedged worker detected+replaced in %v (restarts: %d, stall faults: %d)\n",
+		detect.Round(time.Millisecond), par3.Restarts(), stalls)
+	check(par3.Restarts() == 1, fmt.Sprintf("restarts = %d, want 1 (quarantine must stop re-wedging)", par3.Restarts()))
+	check(stalls >= 1, "stall not recorded in fault ledger")
+	for _, s := range streams {
+		ok := sameLines(par3.MergedLines(s), bro.SortedLines(base, s))
+		check(ok, fmt.Sprintf("%s.log diverged after hang recovery (%d vs %d lines)",
+			s, len(par3.MergedLines(s)), len(bro.SortedLines(base, s))))
+		if ok {
+			fmt.Printf("    supervisor: %s.log byte-identical to baseline after hang recovery\n", s)
+		}
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("    all recovery invariants held")
 }

@@ -317,3 +317,57 @@ func sniffMIME(body []byte) string {
 		return "text/plain"
 	}
 }
+
+// HTTPDirState is the serializable state of one direction of an
+// HTTPParser, for checkpoint/restore.
+type HTTPDirState struct {
+	Buf     []byte
+	State   int
+	Remain  int
+	Ctype   string
+	Body    []byte
+	HasBody bool
+	IsHead  bool
+	Status  int
+}
+
+func snapshotDir(d *httpDir) HTTPDirState {
+	st := HTTPDirState{
+		State:   int(d.state),
+		Remain:  d.remain,
+		Ctype:   d.ctype,
+		HasBody: d.hasBody,
+		IsHead:  d.isHead,
+		Status:  d.status,
+	}
+	st.Buf = append([]byte(nil), d.buf...)
+	st.Body = append([]byte(nil), d.body...)
+	return st
+}
+
+func restoreDir(d *httpDir, st HTTPDirState) {
+	d.buf = append([]byte(nil), st.Buf...)
+	d.state = httpState(st.State)
+	d.remain = st.Remain
+	d.ctype = st.Ctype
+	d.body = append([]byte(nil), st.Body...)
+	d.hasBody = st.HasBody
+	d.isHead = st.IsHead
+	d.status = st.Status
+}
+
+// SnapshotState captures both directions and the outstanding request
+// methods for checkpointing; buffers are deep-copied.
+func (p *HTTPParser) SnapshotState() (orig, resp HTTPDirState, methods []string) {
+	return snapshotDir(&p.orig), snapshotDir(&p.resp), append([]string(nil), p.methods...)
+}
+
+// RestoreState rebuilds the parser from a checkpoint. The event sink and
+// direction identities are untouched.
+func (p *HTTPParser) RestoreState(orig, resp HTTPDirState, methods []string) {
+	restoreDir(&p.orig, orig)
+	restoreDir(&p.resp, resp)
+	p.orig.isOrig = true
+	p.resp.isOrig = false
+	p.methods = append([]string(nil), methods...)
+}

@@ -1,0 +1,689 @@
+// Engine checkpoint/restore: serializes everything the engine holds as
+// first-class state — script globals (both backends), per-connection
+// analyzer state, reassembly buffers, virtual clocks, and the log lines
+// produced so far — into the rt/snapshot format, and rebuilds a live
+// engine from it. This is the paper's transparent-state-management
+// argument made concrete: because analysis state lives in typed runtime
+// values rather than ad-hoc heap structures, the host can suspend and
+// resume analysis without the analyzers' cooperation.
+//
+// Limitation: in-flight BinPAC++ parse state is held in suspended fibers
+// (vm.Resumable), which have no serializable form; Checkpoint returns an
+// error if any connection is mid-parse in the binpac backend. The
+// standard parsers keep their state in plain buffers and round-trip
+// fully. Fault diagnostics (the Recorder) are intentionally not carried
+// across a restore.
+
+package bro
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"hilti/internal/analyzers"
+	"hilti/internal/pkt/flow"
+	"hilti/internal/pkt/reassembly"
+	"hilti/internal/rt/snapshot"
+	"hilti/internal/rt/timer"
+	"hilti/internal/rt/values"
+)
+
+// Val codec tags (engine-interpreter values).
+const (
+	valNil = iota
+	valBool
+	valCount
+	valInt
+	valDouble
+	valString
+	valAddr
+	valSubnet
+	valPort
+	valTime
+	valInterval
+	valEnum
+	valRecord
+	valTable
+	valVector
+	valFunc
+)
+
+const valMaxDepth = 64
+
+// conn flag bits.
+const (
+	cfTCP = 1 << iota
+	cfStarted
+	cfOrigSYN
+	cfRespSYN
+	cfRec
+	cfStd
+)
+
+// Checkpoint serializes the engine's full analysis state to w. The engine
+// must be between packets (the single-threaded engine always is; the
+// pipeline quiesces each shard by scheduling the checkpoint as a job on
+// the shard's own virtual thread).
+func (e *Engine) Checkpoint(w io.Writer) error {
+	for _, c := range e.conns {
+		if c.origRope != nil || c.respRope != nil || c.origRun != nil || c.respRun != nil {
+			return fmt.Errorf("bro: cannot checkpoint connection %s: in-flight binpac parse state", c.uid)
+		}
+	}
+	enc := snapshot.NewEncoder(w)
+	enc.String(e.cfg.Parser)
+	enc.String(e.cfg.ScriptExec)
+	enc.I64(e.now)
+	enc.I64(e.nextCtx)
+	enc.U64(uint64(e.packets))
+	enc.U64(uint64(e.events))
+	enc.U64(uint64(e.parseErrs))
+	enc.U64(uint64(e.budgetBlown))
+	enc.U64(uint64(e.quarDropped))
+
+	enc.U32(uint32(len(e.quarantined)))
+	qvids := make([]uint64, 0, len(e.quarantined))
+	for vid := range e.quarantined {
+		qvids = append(qvids, vid)
+	}
+	sort.Slice(qvids, func(i, j int) bool { return qvids[i] < qvids[j] })
+	for _, vid := range qvids {
+		enc.U64(vid)
+		enc.U64(e.quarantined[vid])
+	}
+
+	// Interpreter globals, sorted for determinism.
+	names := make([]string, 0, len(e.interp.Globals))
+	for n := range e.interp.Globals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	enc.U32(uint32(len(names)))
+	for _, n := range names {
+		enc.String(n)
+		encodeVal(enc, e.interp.Globals[n], 0)
+	}
+
+	// Log lines accumulated so far (so a restored run's final output is
+	// the uninterrupted run's output).
+	snames := make([]string, 0, len(e.Logs.streams))
+	for n := range e.Logs.streams {
+		snames = append(snames, n)
+	}
+	sort.Strings(snames)
+	enc.U32(uint32(len(snames)))
+	for _, n := range snames {
+		st := e.Logs.streams[n]
+		enc.String(n)
+		enc.U32(uint32(len(st.lines)))
+		for _, l := range st.lines {
+			enc.String(l)
+		}
+	}
+
+	encodeExec(enc, e.sexec != nil, func() (int64, []values.Value) {
+		return int64(e.sexec.GlobalTM.Now()), e.sexec.Globals
+	})
+	encodeExec(enc, e.pexec != nil, func() (int64, []values.Value) {
+		return int64(e.pexec.GlobalTM.Now()), e.pexec.Globals
+	})
+
+	// Connections, sorted by creation order for determinism.
+	open := make([]*conn, 0, len(e.conns))
+	for _, c := range e.conns {
+		open = append(open, c)
+	}
+	sort.Slice(open, func(i, j int) bool { return open[i].ctx < open[j].ctx })
+	enc.U32(uint32(len(open)))
+	for _, c := range open {
+		encodeKey(enc, c.key)
+		enc.String(c.uid)
+		enc.I64(c.ctx)
+		var flags byte
+		if c.isTCP {
+			flags |= cfTCP
+		}
+		if c.started {
+			flags |= cfStarted
+		}
+		if c.origSYN {
+			flags |= cfOrigSYN
+		}
+		if c.respSYN {
+			flags |= cfRespSYN
+		}
+		if c.rec != nil {
+			flags |= cfRec
+		}
+		if c.std != nil {
+			flags |= cfStd
+		}
+		enc.U8(flags)
+		if c.rec != nil {
+			start, _ := c.rec.Get("start_time").(TimeVal)
+			enc.I64(int64(start))
+		}
+		encodeStream(enc, &c.origStream)
+		encodeStream(enc, &c.respStream)
+		if c.std != nil {
+			orig, resp, methods := c.std.SnapshotState()
+			encodeHTTPDir(enc, orig)
+			encodeHTTPDir(enc, resp)
+			encodeStrings(enc, methods)
+		}
+		encodeStrings(enc, c.methods)
+	}
+	return enc.Err()
+}
+
+// RestoreEngine builds a fresh engine for cfg and rebuilds the analysis
+// state checkpointed by Checkpoint. The configuration's parser and script
+// backends must match the checkpoint's.
+func RestoreEngine(cfg Config, r io.Reader) (*Engine, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dec := snapshot.NewDecoder(data)
+	if p := dec.String(); dec.Err() == nil && p != cfg.Parser {
+		return nil, fmt.Errorf("bro: checkpoint parser %q does not match config %q", p, cfg.Parser)
+	}
+	if s := dec.String(); dec.Err() == nil && s != cfg.ScriptExec {
+		return nil, fmt.Errorf("bro: checkpoint script backend %q does not match config %q", s, cfg.ScriptExec)
+	}
+	e.now = dec.I64()
+	e.nextCtx = dec.I64()
+	e.packets = int(dec.U64())
+	e.events = int(dec.U64())
+	e.parseErrs = int(dec.U64())
+	e.budgetBlown = int(dec.U64())
+	e.quarDropped = int(dec.U64())
+
+	nq := dec.Len(16)
+	for i := 0; i < nq && dec.Err() == nil; i++ {
+		vid := dec.U64()
+		e.quarantined[vid] = dec.U64()
+	}
+
+	ng := dec.Len(5)
+	for i := 0; i < ng && dec.Err() == nil; i++ {
+		name := dec.String()
+		v := decodeVal(dec, e.interp, 0)
+		if dec.Err() != nil {
+			break
+		}
+		if _, ok := e.interp.Globals[name]; ok || name != "" {
+			// Function globals decode to nil when the declaration is gone;
+			// keep the freshly initialized value in that case.
+			if v != nil || !isFuncGlobal(e.interp.Globals[name]) {
+				e.interp.Globals[name] = v
+			}
+		}
+	}
+
+	ns := dec.Len(5)
+	for i := 0; i < ns && dec.Err() == nil; i++ {
+		name := dec.String()
+		nl := dec.Len(4)
+		st, ok := e.Logs.streams[name]
+		if !ok {
+			st = &logStream{name: name}
+			e.Logs.streams[name] = st
+		}
+		st.lines = nil
+		for j := 0; j < nl && dec.Err() == nil; j++ {
+			st.lines = append(st.lines, dec.String())
+		}
+	}
+
+	if err := decodeExec(dec, data, e.sexec != nil, func() (*timer.Mgr, []values.Value) {
+		return e.sexec.GlobalTM, e.sexec.Globals
+	}); err != nil {
+		return nil, err
+	}
+	if err := decodeExec(dec, data, e.pexec != nil, func() (*timer.Mgr, []values.Value) {
+		return e.pexec.GlobalTM, e.pexec.Globals
+	}); err != nil {
+		return nil, err
+	}
+
+	nc := dec.Len(keyBytes + 10)
+	for i := 0; i < nc && dec.Err() == nil; i++ {
+		key := decodeKey(dec)
+		uid := dec.String()
+		ctx := dec.I64()
+		flags := dec.U8()
+		var start int64
+		if flags&cfRec != 0 {
+			start = dec.I64()
+		}
+		origSt := decodeStream(dec)
+		respSt := decodeStream(dec)
+		if dec.Err() != nil {
+			break
+		}
+		c := &conn{
+			key:     key,
+			uid:     uid,
+			ctx:     ctx,
+			isTCP:   flags&cfTCP != 0,
+			started: flags&cfStarted != 0,
+			origSYN: flags&cfOrigSYN != 0,
+			respSYN: flags&cfRespSYN != 0,
+		}
+		if c.isTCP && e.reasm != nil {
+			c.origStream.Budget = e.reasm
+			c.respStream.Budget = e.reasm
+		}
+		c.origStream.RestoreState(origSt)
+		c.respStream.RestoreState(respSt)
+		if flags&cfRec != 0 {
+			k := c.key
+			c.rec = e.interp.MakeConn(c.uid, k.SrcAddr(), k.DstAddr(),
+				PortVal{Num: k.SrcPort, Proto: k.Proto},
+				PortVal{Num: k.DstPort, Proto: k.Proto}, start)
+		}
+		if c.isTCP {
+			e.attachTCPAnalyzer(c)
+		}
+		if flags&cfStd != 0 {
+			orig := decodeHTTPDir(dec)
+			resp := decodeHTTPDir(dec)
+			methods := decodeStrings(dec)
+			if dec.Err() != nil {
+				break
+			}
+			if c.std == nil {
+				return nil, fmt.Errorf("bro: checkpoint has parser state for %s but no analyzer attached", uid)
+			}
+			c.std.RestoreState(orig, resp, methods)
+		}
+		c.methods = decodeStrings(dec)
+		ck, _ := c.key.Canonical()
+		e.conns[ck] = c
+		e.ctxs[c.ctx] = c
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func isFuncGlobal(v Val) bool {
+	_, ok := v.(*FuncVal)
+	return ok
+}
+
+// --- compiled-exec globals -----------------------------------------------------
+
+// encodeExec writes one VM executor's restorable state: the virtual clock
+// and the global values. Each global is wrapped in its own sub-snapshot so
+// unserializable globals (function refs, channels) degrade gracefully: the
+// restore keeps the freshly initialized value for those.
+func encodeExec(enc *snapshot.Encoder, present bool, get func() (int64, []values.Value)) {
+	enc.Bool(present)
+	if !present {
+		return
+	}
+	now, globals := get()
+	enc.I64(now)
+	enc.U32(uint32(len(globals)))
+	for _, g := range globals {
+		var buf bytes.Buffer
+		sub := snapshot.NewEncoder(&buf)
+		sub.Value(g)
+		if sub.Err() != nil {
+			enc.Bool(false)
+			continue
+		}
+		enc.Bool(true)
+		enc.Bytes(buf.Bytes())
+	}
+}
+
+func decodeExec(dec *snapshot.Decoder, _ []byte, present bool, get func() (*timer.Mgr, []values.Value)) error {
+	had := dec.Bool()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if had != present {
+		return fmt.Errorf("bro: checkpoint/config executor mismatch")
+	}
+	if !present {
+		return nil
+	}
+	mgr, globals := get()
+	mgr.SetNow(timer.Time(dec.I64()))
+	n := dec.Len(1)
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if n != len(globals) {
+		return fmt.Errorf("bro: checkpoint has %d VM globals, program has %d", n, len(globals))
+	}
+	for i := 0; i < n; i++ {
+		if !dec.Bool() {
+			continue // unserializable at checkpoint time; keep fresh init
+		}
+		blob := dec.Bytes()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		sub := snapshot.NewDecoder(blob, snapshot.WithTimerMgr(mgr))
+		v := sub.Value()
+		if err := sub.Err(); err != nil {
+			return err
+		}
+		globals[i] = v
+	}
+	return dec.Err()
+}
+
+// --- leaf codecs ---------------------------------------------------------------
+
+const keyBytes = 16 + 16 + 2 + 2 + 1
+
+func encodeKey(enc *snapshot.Encoder, k flow.Key) {
+	var raw [keyBytes]byte
+	copy(raw[0:16], k.SrcIP[:])
+	copy(raw[16:32], k.DstIP[:])
+	raw[32] = byte(k.SrcPort >> 8)
+	raw[33] = byte(k.SrcPort)
+	raw[34] = byte(k.DstPort >> 8)
+	raw[35] = byte(k.DstPort)
+	raw[36] = k.Proto
+	enc.Bytes(raw[:])
+}
+
+func decodeKey(dec *snapshot.Decoder) flow.Key {
+	raw := dec.Bytes()
+	var k flow.Key
+	if dec.Err() != nil {
+		return k
+	}
+	if len(raw) != keyBytes {
+		dec.Fail("bro: flow key is %d bytes, want %d", len(raw), keyBytes)
+		return k
+	}
+	copy(k.SrcIP[:], raw[0:16])
+	copy(k.DstIP[:], raw[16:32])
+	k.SrcPort = uint16(raw[32])<<8 | uint16(raw[33])
+	k.DstPort = uint16(raw[34])<<8 | uint16(raw[35])
+	k.Proto = raw[36]
+	return k
+}
+
+func encodeStream(enc *snapshot.Encoder, s *reassembly.Stream) {
+	st := s.SnapshotState()
+	enc.Bool(st.Initialized)
+	enc.U32(st.ISN)
+	enc.U64(st.Next)
+	enc.U64(st.FinRel)
+	enc.Bool(st.FinSeen)
+	enc.Bool(st.Closed)
+	enc.U32(uint32(len(st.Pending)))
+	for _, seg := range st.Pending {
+		enc.U64(seg.Rel)
+		enc.Bytes(seg.Data)
+	}
+}
+
+func decodeStream(dec *snapshot.Decoder) reassembly.StreamState {
+	var st reassembly.StreamState
+	st.Initialized = dec.Bool()
+	st.ISN = dec.U32()
+	st.Next = dec.U64()
+	st.FinRel = dec.U64()
+	st.FinSeen = dec.Bool()
+	st.Closed = dec.Bool()
+	n := dec.Len(12)
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		rel := dec.U64()
+		data := dec.Bytes()
+		st.Pending = append(st.Pending, reassembly.SegmentState{Rel: rel, Data: data})
+	}
+	return st
+}
+
+func encodeHTTPDir(enc *snapshot.Encoder, st analyzers.HTTPDirState) {
+	enc.Bytes(st.Buf)
+	enc.U8(byte(st.State))
+	enc.I64(int64(st.Remain))
+	enc.String(st.Ctype)
+	enc.Bytes(st.Body)
+	enc.Bool(st.HasBody)
+	enc.Bool(st.IsHead)
+	enc.I64(int64(st.Status))
+}
+
+func decodeHTTPDir(dec *snapshot.Decoder) analyzers.HTTPDirState {
+	var st analyzers.HTTPDirState
+	st.Buf = dec.Bytes()
+	st.State = int(dec.U8())
+	st.Remain = int(dec.I64())
+	st.Ctype = dec.String()
+	st.Body = dec.Bytes()
+	st.HasBody = dec.Bool()
+	st.IsHead = dec.Bool()
+	st.Status = int(dec.I64())
+	return st
+}
+
+func encodeStrings(enc *snapshot.Encoder, ss []string) {
+	enc.U32(uint32(len(ss)))
+	for _, s := range ss {
+		enc.String(s)
+	}
+}
+
+func decodeStrings(dec *snapshot.Decoder) []string {
+	n := dec.Len(4)
+	var out []string
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		out = append(out, dec.String())
+	}
+	return out
+}
+
+// --- interpreter Val codec -----------------------------------------------------
+
+func encodeVal(enc *snapshot.Encoder, v Val, depth int) {
+	if depth > valMaxDepth {
+		enc.Fail("bro: script value nesting exceeds %d", valMaxDepth)
+		return
+	}
+	switch x := v.(type) {
+	case nil:
+		enc.U8(valNil)
+	case BoolVal:
+		enc.U8(valBool)
+		enc.Bool(bool(x))
+	case CountVal:
+		enc.U8(valCount)
+		enc.U64(uint64(x))
+	case IntVal:
+		enc.U8(valInt)
+		enc.I64(int64(x))
+	case DoubleVal:
+		enc.U8(valDouble)
+		enc.U64(doubleBits(float64(x)))
+	case StringVal:
+		enc.U8(valString)
+		enc.String(string(x))
+	case AddrVal:
+		enc.U8(valAddr)
+		enc.Value(x.A)
+	case SubnetVal:
+		enc.U8(valSubnet)
+		enc.Value(x.N)
+	case PortVal:
+		enc.U8(valPort)
+		enc.U16(x.Num)
+		enc.U8(x.Proto)
+	case TimeVal:
+		enc.U8(valTime)
+		enc.I64(int64(x))
+	case IntervalVal:
+		enc.U8(valInterval)
+		enc.I64(int64(x))
+	case EnumVal:
+		enc.U8(valEnum)
+		enc.String(x.Name)
+	case *RecordVal:
+		enc.U8(valRecord)
+		enc.String(x.T.Name)
+		if len(x.T.Fields) > 0xFFFF {
+			enc.Fail("bro: record %s has too many fields", x.T.Name)
+			return
+		}
+		enc.U16(uint16(len(x.T.Fields)))
+		for _, f := range x.T.Fields {
+			enc.String(f)
+		}
+		for _, f := range x.F {
+			encodeVal(enc, f, depth+1)
+		}
+	case *TableVal:
+		enc.U8(valTable)
+		enc.Bool(x.IsSet)
+		enc.I64(x.ExpireInterval)
+		enc.Bool(x.ExpireOnRead)
+		enc.U32(uint32(x.Len()))
+		for _, e := range x.order {
+			if e.deleted {
+				continue
+			}
+			if len(e.key) > 0xFFFF {
+				enc.Fail("bro: table key too wide")
+				return
+			}
+			enc.U16(uint16(len(e.key)))
+			for _, k := range e.key {
+				encodeVal(enc, k, depth+1)
+			}
+			encodeVal(enc, e.yield, depth+1)
+			enc.I64(e.touched)
+		}
+	case *VectorVal:
+		enc.U8(valVector)
+		enc.U32(uint32(len(x.Elems)))
+		for _, el := range x.Elems {
+			encodeVal(enc, el, depth+1)
+		}
+	case *FuncVal:
+		enc.U8(valFunc)
+		enc.String(x.Name)
+	default:
+		enc.Fail("bro: cannot checkpoint script value of type %s", v.TypeName())
+	}
+}
+
+func decodeVal(dec *snapshot.Decoder, ip *Interp, depth int) Val {
+	if dec.Err() != nil {
+		return nil
+	}
+	if depth > valMaxDepth {
+		dec.Fail("bro: script value nesting exceeds %d", valMaxDepth)
+		return nil
+	}
+	switch tag := dec.U8(); tag {
+	case valNil:
+		return nil
+	case valBool:
+		return BoolVal(dec.Bool())
+	case valCount:
+		return CountVal(dec.U64())
+	case valInt:
+		return IntVal(dec.I64())
+	case valDouble:
+		return DoubleVal(doubleFromBits(dec.U64()))
+	case valString:
+		return StringVal(dec.String())
+	case valAddr:
+		return AddrVal{A: dec.Value()}
+	case valSubnet:
+		return SubnetVal{N: dec.Value()}
+	case valPort:
+		num := dec.U16()
+		return PortVal{Num: num, Proto: dec.U8()}
+	case valTime:
+		return TimeVal(dec.I64())
+	case valInterval:
+		return IntervalVal(dec.I64())
+	case valEnum:
+		return EnumVal{Name: dec.String()}
+	case valRecord:
+		name := dec.String()
+		nf := int(dec.U16())
+		if dec.Err() != nil || nf > dec.Remaining() {
+			dec.Fail("bro: implausible record field count %d", nf)
+			return nil
+		}
+		fields := make([]string, nf)
+		for i := range fields {
+			fields[i] = dec.String()
+		}
+		rt := ip.Records[name]
+		if rt == nil || len(rt.Fields) != nf {
+			rt = NewRecordType(name, fields...)
+		}
+		rec := NewRecord(rt)
+		for i := 0; i < nf; i++ {
+			rec.F[i] = decodeVal(dec, ip, depth+1)
+		}
+		return rec
+	case valTable:
+		isSet := dec.Bool()
+		t := NewTable(isSet)
+		t.ExpireInterval = dec.I64()
+		t.ExpireOnRead = dec.Bool()
+		n := dec.Len(11) // u16 key len + at least one tag + yield tag + i64
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			nk := int(dec.U16())
+			if dec.Err() != nil || nk > dec.Remaining() {
+				dec.Fail("bro: implausible table key width %d", nk)
+				return nil
+			}
+			key := make([]Val, nk)
+			for j := range key {
+				key[j] = decodeVal(dec, ip, depth+1)
+			}
+			yield := decodeVal(dec, ip, depth+1)
+			touched := dec.I64()
+			if dec.Err() != nil {
+				break
+			}
+			ks := KeyString(key)
+			en := &tableEntry{key: key, keyStr: ks, yield: yield, touched: touched}
+			t.entries[ks] = en
+			t.order = append(t.order, en)
+		}
+		return t
+	case valVector:
+		n := dec.Len(1)
+		vec := &VectorVal{}
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			vec.Elems = append(vec.Elems, decodeVal(dec, ip, depth+1))
+		}
+		return vec
+	case valFunc:
+		name := dec.String()
+		if fd, ok := ip.Funcs[name]; ok {
+			return &FuncVal{Name: name, Decl: fd}
+		}
+		return nil
+	default:
+		dec.Fail("bro: unknown script value tag %d", tag)
+		return nil
+	}
+}
+
+func doubleBits(f float64) uint64     { return math.Float64bits(f) }
+func doubleFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -58,9 +58,12 @@ type Config struct {
 	// Fault injection (testing/experiments). Flows touching PanicPort get
 	// an analyzer that panics on delivery; flows touching LoopPort get a
 	// HILTI analyzer that busy-loops until its instruction budget raises
-	// ResourceExhausted.
+	// ResourceExhausted; flows touching StallPort get an analyzer that
+	// blocks its goroutine forever — the hang the pipeline's supervisor
+	// (pipeline.Config.StallTimeout) must detect and recover from.
 	PanicPort uint16
 	LoopPort  uint16
+	StallPort uint16
 }
 
 // Stats reports per-component processing time (the Figure 9/10 split) and
@@ -527,6 +530,14 @@ func (e *Engine) attachTCPAnalyzer(c *conn) {
 		}
 		if portMatch(c.key, e.cfg.LoopPort) {
 			deliver := func([]byte) { e.runLoopAnalyzer() }
+			c.origStream.Deliver = deliver
+			c.respStream.Deliver = deliver
+			return
+		}
+		if portMatch(c.key, e.cfg.StallPort) {
+			// A hang no budget can catch: blocks the worker goroutine
+			// forever. Only the supervisor's wall-clock watchdog helps.
+			deliver := func([]byte) { select {} }
 			c.origStream.Deliver = deliver
 			c.respStream.Deliver = deliver
 			return

@@ -7,6 +7,8 @@
 package bro
 
 import (
+	"bytes"
+	"io"
 	"sort"
 
 	"hilti/internal/pkt/pcap"
@@ -46,7 +48,61 @@ func NewParallelWith(cfg Config, pcfg pipeline.Config) (*Parallel, error) {
 		p.Engines[i] = e
 		return e, nil
 	}
+	if pcfg.RestoreHandler == nil {
+		// Default restore path so a supervised restart (StallTimeout) can
+		// rebuild a replaced worker's engine from its shard checkpoint.
+		pcfg.RestoreHandler = func(i int, data []byte) (pipeline.Handler, error) {
+			e, err := RestoreEngine(cfg, bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			p.Engines[i] = e
+			return e, nil
+		}
+	}
 	pl, err := pipeline.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	p.Pipeline = pl
+	return p, nil
+}
+
+// RestoreParallelWith rebuilds a parallel engine host from a pipeline
+// checkpoint (Pipeline.Checkpoint or Close's FinalCheckpoint): each
+// worker's engine is restored from its shard's embedded engine
+// checkpoint. pcfg.Workers must match the checkpoint (or be 0 to adopt
+// it); the engine configuration must match the one checkpointed.
+func RestoreParallelWith(cfg Config, pcfg pipeline.Config, r io.Reader) (*Parallel, error) {
+	if cfg.SharedReassembly == nil && cfg.ReassemblyBudget > 0 {
+		cfg.SharedReassembly = reassembly.NewBudget(cfg.ReassemblyBudget)
+	}
+	p := &Parallel{}
+	// The worker count comes from the checkpoint, so the engine slice
+	// grows as handlers are built (sequentially, in worker order).
+	setEngine := func(i int, e *Engine) {
+		for len(p.Engines) <= i {
+			p.Engines = append(p.Engines, nil)
+		}
+		p.Engines[i] = e
+	}
+	pcfg.NewHandler = func(i int) (pipeline.Handler, error) {
+		e, err := NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		setEngine(i, e)
+		return e, nil
+	}
+	pcfg.RestoreHandler = func(i int, data []byte) (pipeline.Handler, error) {
+		e, err := RestoreEngine(cfg, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		setEngine(i, e)
+		return e, nil
+	}
+	pl, err := pipeline.Restore(pcfg, r)
 	if err != nil {
 		return nil, err
 	}

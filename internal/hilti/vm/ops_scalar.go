@@ -14,9 +14,31 @@ import (
 	"hilti/internal/rt/values"
 )
 
+// reshapers maps an op whose executor is shape-specialized at lowering
+// time to the function that picks the right executor for a given operand
+// shape. Optimizer passes that rewrite operand kinds in place (copy/
+// constant propagation turning a register into a constant) MUST re-pick
+// through this map, or a stale specialization would index the register
+// file with a constant's idx.
+var reshapers = map[string]func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int{}
+
+// pickIntFast selects the executor for a two-operand integer op.
+func pickIntFast(srcs []src, d dst) func(*Exec, *Frame, *Instr) int {
+	if d.kind == srcReg && srcs[0].kind == srcReg {
+		switch srcs[1].kind {
+		case srcReg:
+			return execIntFastRRR
+		case srcConst:
+			return execIntFastRCR
+		}
+	}
+	return execIntFast
+}
+
 // registerIntFast registers a two-operand integer op with a dedicated
 // executor (no closure dispatch, no boxing round trip beyond the Value).
 func registerIntFast(op string, fn func(x, y int64) int64) {
+	reshapers[op] = pickIntFast
 	register(op, func(c *fnCompiler, in *ast.Instr) error {
 		srcs, err := c.srcsOf(in.Ops)
 		if err != nil || len(srcs) != 2 {
@@ -29,16 +51,7 @@ func registerIntFast(op string, fn func(x, y int64) int64) {
 		if err != nil {
 			return err
 		}
-		exec := execIntFast
-		if d.kind == srcReg && srcs[0].kind == srcReg {
-			switch srcs[1].kind {
-			case srcReg:
-				exec = execIntFastRRR
-			case srcConst:
-				exec = execIntFastRCR
-			}
-		}
-		c.emit(Instr{exec: exec, d: d, srcs: srcs, aux: fn})
+		c.emit(Instr{exec: pickIntFast(srcs, d), d: d, srcs: srcs, aux: fn})
 		return nil
 	})
 }
@@ -67,9 +80,23 @@ func execIntFast(ex *Exec, fr *Frame, in *Instr) int {
 	return in.t1
 }
 
+// pickIntCmpFast selects the executor for a two-operand integer compare.
+func pickIntCmpFast(srcs []src, d dst) func(*Exec, *Frame, *Instr) int {
+	if d.kind == srcReg && srcs[0].kind == srcReg {
+		switch srcs[1].kind {
+		case srcReg:
+			return execIntCmpFastRRR
+		case srcConst:
+			return execIntCmpFastRCR
+		}
+	}
+	return execIntCmpFast
+}
+
 // registerIntCmpFast registers a two-operand integer comparison with a
 // dedicated executor.
 func registerIntCmpFast(op string, fn func(x, y int64) bool) {
+	reshapers[op] = pickIntCmpFast
 	register(op, func(c *fnCompiler, in *ast.Instr) error {
 		srcs, err := c.srcsOf(in.Ops)
 		if err != nil || len(srcs) != 2 {
@@ -82,16 +109,7 @@ func registerIntCmpFast(op string, fn func(x, y int64) bool) {
 		if err != nil {
 			return err
 		}
-		exec := execIntCmpFast
-		if d.kind == srcReg && srcs[0].kind == srcReg {
-			switch srcs[1].kind {
-			case srcReg:
-				exec = execIntCmpFastRRR
-			case srcConst:
-				exec = execIntCmpFastRCR
-			}
-		}
-		c.emit(Instr{exec: exec, d: d, srcs: srcs, aux: fn})
+		c.emit(Instr{exec: pickIntCmpFast(srcs, d), d: d, srcs: srcs, aux: fn})
 		return nil
 	})
 }
@@ -126,6 +144,20 @@ func execIntCmpFast(ex *Exec, fr *Frame, in *Instr) int {
 // boolean ops, the fusion pass) can evaluate the op without the executor.
 func registerShaped(op string, arity int, fn simpleFn,
 	pick func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int) {
+	pickOrSimple := func(srcs []src, d dst) func(*Exec, *Frame, *Instr) int {
+		if exec := pick(srcs, d); exec != nil {
+			return exec
+		}
+		switch arity {
+		case 1:
+			return execSimple1
+		case 2:
+			return execSimple2
+		default:
+			return execSimple
+		}
+	}
+	reshapers[op] = pickOrSimple
 	register(op, func(c *fnCompiler, in *ast.Instr) error {
 		if len(in.Ops) != arity {
 			return fmt.Errorf("%s expects %d operands, got %d", in.Op, arity, len(in.Ops))
@@ -138,18 +170,7 @@ func registerShaped(op string, arity int, fn simpleFn,
 		if err != nil {
 			return err
 		}
-		exec := pick(srcs, d)
-		if exec == nil {
-			switch arity {
-			case 1:
-				exec = execSimple1
-			case 2:
-				exec = execSimple2
-			default:
-				exec = execSimple
-			}
-		}
-		c.emit(Instr{exec: exec, d: d, srcs: srcs, aux: fn})
+		c.emit(Instr{exec: pickOrSimple(srcs, d), d: d, srcs: srcs, aux: fn})
 		return nil
 	})
 }

@@ -136,8 +136,19 @@ func copyProp(fn *CompiledFunc, st *OptStats) {
 			copies = map[int32]src{}
 		}
 		in := &fn.Code[pc]
+		reshaped := false
 		for i := range in.srcs {
+			was := in.srcs[i].kind
 			substSrc(&in.srcs[i], copies, st)
+			reshaped = reshaped || in.srcs[i].kind != was
+		}
+		// A substitution that changed an operand's kind (register →
+		// constant) invalidates a shape-specialized executor chosen at
+		// lowering time; re-pick for the new shape.
+		if reshaped {
+			if pick, ok := reshapers[in.op]; ok {
+				in.exec = pick(in.srcs, in.d)
+			}
 		}
 		if in.d.kind != srcReg {
 			continue

@@ -32,15 +32,34 @@
 // memory regardless of how unevenly flows hash across workers. Shutdown
 // is ordered: Close drains all packet jobs, then runs each handler's
 // Finish on its own worker, then stops the scheduler.
+//
+// Crash-only operation: Checkpoint serializes every shard — flow table,
+// timers, counters, and (when the Handler implements Checkpointer) the
+// handler's own analysis state — by quiescing each shard on its own
+// worker, one at a time, while the others keep processing; it never stops
+// the world. Restore rebuilds an equivalent pipeline from the stream.
+// With StallTimeout set, a supervisor watches per-packet heartbeats: a
+// worker wedged in a handler beyond the timeout is replaced by a fresh
+// goroutine (threads.ReplaceWorker), its shard restored from the last
+// automatic checkpoint (work since then is lost — bounded by
+// CheckpointEvery), and the offending flow quarantined like any faulted
+// flow. Other shards never notice.
 package pipeline
 
 import (
-	"container/list"
+	"bytes"
 	"fmt"
+	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
+
+	"container/list"
 
 	"hilti/internal/pkt/flow"
 	"hilti/internal/rt/fault"
+	"hilti/internal/rt/snapshot"
 	"hilti/internal/rt/threads"
 	"hilti/internal/rt/timer"
 )
@@ -54,6 +73,13 @@ type Handler interface {
 	// Finish flushes end-of-trace state; it runs after the worker's last
 	// packet, before Close returns.
 	Finish()
+}
+
+// Checkpointer is optionally implemented by Handlers whose analysis state
+// can be serialized (*bro.Engine implements it). Checkpoint runs on the
+// handler's own worker goroutine, between packets.
+type Checkpointer interface {
+	Checkpoint(w io.Writer) error
 }
 
 // FlowZapper is optionally implemented by Handlers that keep per-flow
@@ -101,11 +127,36 @@ type Config struct {
 	FaultRing int
 	// NewHandler builds worker i's handler; required.
 	NewHandler func(worker int) (Handler, error)
+
+	// StallTimeout enables the hang supervisor: a worker that spends
+	// longer than this wall-clock time inside one packet is declared
+	// wedged, its goroutine replaced, its shard restored from the last
+	// automatic checkpoint, and the offending flow quarantined.
+	// 0 disables supervision (the default). Size it well above the
+	// worst-case legitimate per-packet work — which includes the
+	// automatic shard checkpoint encode, O(shard state) every
+	// CheckpointEvery packets — plus scheduling jitter under load: a
+	// too-small value declares healthy workers wedged, quarantining
+	// innocent flows and discarding their post-checkpoint work.
+	StallTimeout time.Duration
+	// CheckpointEvery is how many packets a supervised worker processes
+	// between automatic shard checkpoints (default 256). Smaller bounds
+	// the loss window of a hang recovery, larger costs less.
+	CheckpointEvery int
+	// RestoreHandler rebuilds worker i's handler from a checkpoint blob
+	// produced by a Checkpointer handler. Required for Restore and for
+	// supervised recovery to preserve shard state (without it, a replaced
+	// worker starts from a fresh NewHandler).
+	RestoreHandler func(worker int, data []byte) (Handler, error)
+	// FinalCheckpoint, when set, receives a full pipeline checkpoint
+	// during Close, after all pending work drained and before handlers
+	// finalize. Check FinalCheckpointErr after Close.
+	FinalCheckpoint io.Writer
 }
 
-// WorkerStats snapshots one worker's counters (the tentpole's per-worker
-// observability: jobs run, queue high-water mark, copied bytes, timers,
-// and the fault-containment ledger).
+// WorkerStats snapshots one worker's counters (per-worker observability:
+// jobs run, queue high-water mark, copied bytes, timers, and the
+// fault-containment ledger).
 type WorkerStats struct {
 	Packets      uint64 // packets processed
 	CopiedBytes  uint64 // bytes deep-copied across the isolation boundary
@@ -157,14 +208,67 @@ type flowState struct {
 	elem   *list.Element // position in the worker's LRU list
 }
 
+// wslot pairs one worker's state with its handler behind an atomic
+// pointer, so the supervisor can swap in a rebuilt replacement while the
+// old pair is abandoned to a wedged goroutine. Packet jobs load the slot
+// at execution time; only the owning worker goroutine touches ws/h, while
+// mu guards the small heartbeat window the supervisor reads.
+type wslot struct {
+	ws    *wstate
+	h     Handler
+	track bool // heartbeats + auto-checkpoints on (supervised)
+
+	mu        sync.Mutex
+	busySince time.Time // zero = idle
+	busyVID   uint64
+	abandoned bool   // supervisor gave up on the in-flight job
+	ckpt      []byte // last automatic shard checkpoint
+
+	pktSince int // packets since last auto-checkpoint; worker-only
+}
+
+func (sl *wslot) beginBusy(vid uint64) {
+	sl.mu.Lock()
+	sl.busySince = time.Now()
+	sl.busyVID = vid
+	sl.mu.Unlock()
+}
+
+// endBusy clears the heartbeat and reports whether the job still owns its
+// ingress token (false when the supervisor abandoned the job and took
+// over the token).
+func (sl *wslot) endBusy() bool {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.busySince = time.Time{}
+	if sl.abandoned {
+		sl.abandoned = false
+		return false
+	}
+	return true
+}
+
+func (sl *wslot) setCkpt(b []byte) {
+	sl.mu.Lock()
+	sl.ckpt = b
+	sl.mu.Unlock()
+}
+
 // Pipeline fans decoded packets out to flow-affine workers.
 type Pipeline struct {
-	cfg      Config
-	sched    *threads.Scheduler
-	handlers []Handler
-	ws       []*wstate
-	tokens   chan struct{} // ingress bound; one token per in-flight packet
-	closed   bool
+	cfg   Config
+	sched *threads.Scheduler
+	slots []atomic.Pointer[wslot]
+
+	tokens chan struct{} // ingress bound; one token per in-flight packet
+	closed atomic.Bool
+	stopc  chan struct{} // closed once, by whichever of Close/Kill wins
+
+	superWG  sync.WaitGroup
+	restarts atomic.Uint64
+
+	finalMu  sync.Mutex
+	finalErr error
 }
 
 // New builds and starts a pipeline.
@@ -172,6 +276,24 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.NewHandler == nil {
 		return nil, fmt.Errorf("pipeline: Config.NewHandler is required")
 	}
+	p, err := newPipeline(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		h, err := cfg.NewHandler(i)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: worker %d handler: %w", i, err)
+		}
+		p.slots[i].Store(&wslot{ws: p.newWstate(), h: h, track: cfg.StallTimeout > 0})
+	}
+	p.start()
+	return p, nil
+}
+
+// newPipeline applies config defaults and builds the shell (no handlers,
+// no scheduler yet). It normalizes cfg in place.
+func newPipeline(cfg *Config) (*Pipeline, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
@@ -181,45 +303,63 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.FlowIdle <= 0 {
 		cfg.FlowIdle = timer.Seconds(60)
 	}
+	if cfg.CheckpointEvery < 1 {
+		cfg.CheckpointEvery = 256
+	}
+	p := &Pipeline{
+		cfg:    *cfg,
+		slots:  make([]atomic.Pointer[wslot], cfg.Workers),
+		tokens: make(chan struct{}, cfg.Ingress),
+		stopc:  make(chan struct{}),
+	}
+	return p, nil
+}
+
+func (p *Pipeline) newWstate() *wstate {
 	capPer := 0
-	if cfg.MaxFlows > 0 {
-		if capPer = cfg.MaxFlows / cfg.Workers; capPer < 1 {
+	if p.cfg.MaxFlows > 0 {
+		if capPer = p.cfg.MaxFlows / p.cfg.Workers; capPer < 1 {
 			capPer = 1
 		}
 	}
-	p := &Pipeline{
-		cfg:      cfg,
-		handlers: make([]Handler, cfg.Workers),
-		ws:       make([]*wstate, cfg.Workers),
-		tokens:   make(chan struct{}, cfg.Ingress),
+	return &wstate{
+		tm:          timer.NewMgr(),
+		flows:       map[uint64]*flowState{},
+		lru:         list.New(),
+		cap:         capPer,
+		quarantined: map[uint64]uint64{},
+		faults:      fault.NewRecorder(p.cfg.FaultRing),
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		h, err := cfg.NewHandler(i)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: worker %d handler: %w", i, err)
-		}
-		p.handlers[i] = h
-		p.ws[i] = &wstate{
-			tm:          timer.NewMgr(),
-			flows:       map[uint64]*flowState{},
-			lru:         list.New(),
-			cap:         capPer,
-			quarantined: map[uint64]uint64{},
-			faults:      fault.NewRecorder(cfg.FaultRing),
-		}
+}
+
+// start launches the scheduler and, when supervised, the stall watchdog.
+func (p *Pipeline) start() {
+	p.sched = threads.NewScheduler(p.cfg.Workers)
+	if p.cfg.StallTimeout > 0 {
+		p.superWG.Add(1)
+		go p.supervise()
 	}
-	p.sched = threads.NewScheduler(cfg.Workers)
-	return p, nil
 }
 
 // Workers returns the worker count.
 func (p *Pipeline) Workers() int { return p.cfg.Workers }
 
+// Restarts returns how many wedged workers the supervisor has replaced.
+func (p *Pipeline) Restarts() uint64 { return p.restarts.Load() }
+
+// FinalCheckpointErr reports whether the graceful-drain checkpoint that
+// Close writes to Config.FinalCheckpoint succeeded. Valid after Close.
+func (p *Pipeline) FinalCheckpointErr() error {
+	p.finalMu.Lock()
+	defer p.finalMu.Unlock()
+	return p.finalErr
+}
+
 // Feed routes one frame to its flow's worker and blocks while Ingress
 // packets are already in flight. The frame is deep-copied; the caller may
 // reuse the buffer. Feed is single-producer: call it from one goroutine.
 func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
-	if p.closed {
+	if p.closed.Load() {
 		return fmt.Errorf("pipeline: closed")
 	}
 	// The virtual-thread ID is the flow hash (§3.2). Unkeyable frames
@@ -232,9 +372,22 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 	p.tokens <- struct{}{} // backpressure: wait for an in-flight slot
 	cp := make([]byte, len(frame))
 	copy(cp, frame)
-	ws := p.ws[p.sched.WorkerIndex(vid)]
+	worker := p.sched.WorkerIndex(vid)
 	err := p.sched.Schedule(vid, func(ctx *threads.Context) {
-		defer func() { <-p.tokens }()
+		// Load the slot at execution time: the supervisor may have
+		// replaced the worker since this job was queued.
+		sl := p.slots[worker].Load()
+		if sl.track {
+			sl.beginBusy(ctx.VID)
+			defer func() {
+				if sl.endBusy() {
+					<-p.tokens
+				}
+			}()
+		} else {
+			defer func() { <-p.tokens }()
+		}
+		ws := sl.ws
 		p.advanceWorkerTime(ws, tsNs)
 		if n, bad := ws.quarantined[ctx.VID]; bad {
 			ws.quarantined[ctx.VID] = n + 1
@@ -246,15 +399,23 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 			return
 		}
 		if f := fault.Catch("packet", func() {
-			p.handlers[ctx.Worker].ProcessPacket(tsNs, cp)
+			sl.h.ProcessPacket(tsNs, cp)
 		}); f != nil {
 			f.Worker, f.VID, f.TsNs = ctx.Worker, ctx.VID, tsNs
 			ws.faults.Record(f)
-			p.quarantineFlow(ws, ctx.Worker, ctx.VID)
+			p.quarantineFlow(sl, ctx.Worker, ctx.VID)
 			return
 		}
 		ws.packets.Add(1)
 		ws.copiedBytes.Add(uint64(len(cp)))
+		if sl.track {
+			if sl.pktSince++; sl.pktSince >= p.cfg.CheckpointEvery {
+				sl.pktSince = 0
+				if blob, err := encodeShard(sl); err == nil {
+					sl.setCkpt(blob)
+				}
+			}
+		}
 	})
 	if err != nil {
 		<-p.tokens
@@ -333,7 +494,8 @@ func (p *Pipeline) evictOldest(ws *wstate) {
 // packets are counted and discarded, and a FlowZapper handler gets to
 // discard the flow's own (possibly corrupt) state so the end-of-trace
 // flush cannot re-trip the panic.
-func (p *Pipeline) quarantineFlow(ws *wstate, worker int, vid uint64) {
+func (p *Pipeline) quarantineFlow(sl *wslot, worker int, vid uint64) {
+	ws := sl.ws
 	ws.quarantined[vid] = 0
 	ws.quarantinedFlows.Add(1)
 	fs, ok := ws.flows[vid]
@@ -342,7 +504,7 @@ func (p *Pipeline) quarantineFlow(ws *wstate, worker int, vid uint64) {
 	}
 	fs.idle.Cancel()
 	p.dropFlowState(ws, fs)
-	if z, isZapper := p.handlers[worker].(FlowZapper); isZapper && fs.hasKey {
+	if z, isZapper := sl.h.(FlowZapper); isZapper && fs.hasKey {
 		if zf := fault.Catch("zap", func() { z.ZapFlow(fs.key) }); zf != nil {
 			zf.Worker, zf.VID = worker, vid
 			ws.faults.Record(zf)
@@ -350,29 +512,42 @@ func (p *Pipeline) quarantineFlow(ws *wstate, worker int, vid uint64) {
 	}
 }
 
-// Close drains in-flight packets, runs every handler's Finish on its own
-// worker, and shuts the scheduler down. The ordering is strict: no Finish
-// runs before the last packet job of its worker, and Close returns only
-// after all workers stopped. A Finish panic is contained and recorded
-// like any packet fault; the remaining workers still flush.
+// Close drains in-flight packets, optionally emits the graceful-drain
+// checkpoint, runs every handler's Finish on its own worker, and shuts
+// the scheduler down. The ordering is strict: no Finish runs before the
+// last packet job of its worker, and Close returns only after all workers
+// stopped. A Finish panic is contained and recorded like any packet
+// fault; the remaining workers still flush. Close is idempotent — later
+// calls (and Close after Kill) return immediately.
 func (p *Pipeline) Close() {
-	if p.closed {
+	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
-	p.closed = true
+	// Drain with the supervisor still running: a flow that wedges its
+	// worker while the queue empties is recovered like any other stall,
+	// so a hostile last packet cannot turn graceful drain into a hang.
 	p.sched.Drain()
-	for i := range p.handlers {
+	close(p.stopc)
+	p.superWG.Wait()
+	p.sched.Drain()
+	if p.cfg.FinalCheckpoint != nil {
+		err := p.checkpoint(p.cfg.FinalCheckpoint)
+		p.finalMu.Lock()
+		p.finalErr = err
+		p.finalMu.Unlock()
+	}
+	for i := range p.slots {
 		i := i
 		// vid i maps to worker i (modulo routing), and per-worker FIFO
 		// ordering puts this after every already-queued packet job.
 		p.sched.Schedule(uint64(i), func(*threads.Context) { //nolint:errcheck
-			ws := p.ws[i]
-			if dropped := ws.tm.Expire(false); dropped > 0 {
-				ws.timersDropped.Add(uint64(dropped))
+			sl := p.slots[i].Load()
+			if dropped := sl.ws.tm.Expire(false); dropped > 0 {
+				sl.ws.timersDropped.Add(uint64(dropped))
 			}
-			if f := fault.Catch("finish", p.handlers[i].Finish); f != nil {
+			if f := fault.Catch("finish", sl.h.Finish); f != nil {
 				f.Worker = i
-				ws.faults.Record(f)
+				sl.ws.faults.Record(f)
 			}
 		})
 	}
@@ -380,12 +555,377 @@ func (p *Pipeline) Close() {
 	p.sched.Shutdown()
 }
 
+// Kill tears the pipeline down without finalizing handlers: queued packet
+// jobs still drain (shards stay consistent), but no Finish runs and no
+// end-of-trace output is produced — the crash half of a checkpoint/Kill/
+// Restore cycle. Idempotent, and interchangeable with Close (first wins).
+func (p *Pipeline) Kill() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	p.sched.Drain() // supervisor still live: see Close
+	close(p.stopc)
+	p.superWG.Wait()
+	p.sched.Drain()
+	p.sched.Shutdown()
+}
+
+// --- checkpoint / restore -------------------------------------------------------
+
+// Checkpoint serializes every shard to w. Each shard is captured by a job
+// on its own worker — quiescing that shard only, between its packets —
+// so checkpointing never stops the world; workers keep processing while
+// others snapshot. Call any time before Close/Kill.
+func (p *Pipeline) Checkpoint(w io.Writer) error {
+	if p.closed.Load() {
+		return fmt.Errorf("pipeline: closed")
+	}
+	return p.checkpoint(w)
+}
+
+func (p *Pipeline) checkpoint(w io.Writer) error {
+	n := len(p.slots)
+	blobs := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		err := p.sched.Schedule(uint64(i), func(*threads.Context) {
+			defer wg.Done()
+			blobs[i], errs[i] = encodeShard(p.slots[i].Load())
+		})
+		if err != nil {
+			wg.Done()
+			errs[i] = err
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("pipeline: shard %d: %w", i, err)
+		}
+	}
+	enc := snapshot.NewEncoder(w)
+	enc.U32(uint32(n))
+	for _, b := range blobs {
+		enc.Bytes(b)
+	}
+	return enc.Err()
+}
+
+// encodeShard serializes one worker's shard: clock, counters, quarantine
+// set, flow table (LRU order), and the handler's state when it implements
+// Checkpointer. Runs on the owning worker goroutine.
+func encodeShard(sl *wslot) ([]byte, error) {
+	ws := sl.ws
+	var buf bytes.Buffer
+	enc := snapshot.NewEncoder(&buf)
+	enc.I64(int64(ws.tm.Now()))
+	enc.U64(ws.packets.Load())
+	enc.U64(ws.copiedBytes.Load())
+	enc.U64(ws.timersFired.Load())
+	enc.U64(ws.flowsExpired.Load())
+	enc.U64(ws.flowsSeen.Load())
+	enc.U64(ws.quarantinedFlows.Load())
+	enc.U64(ws.quarantineDropped.Load())
+	enc.U64(ws.flowsEvicted.Load())
+	enc.U64(ws.packetsRejected.Load())
+	enc.U64(ws.timersDropped.Load())
+
+	enc.U32(uint32(len(ws.quarantined)))
+	qvids := make([]uint64, 0, len(ws.quarantined))
+	for vid := range ws.quarantined {
+		qvids = append(qvids, vid)
+	}
+	sort.Slice(qvids, func(i, j int) bool { return qvids[i] < qvids[j] })
+	for _, vid := range qvids {
+		enc.U64(vid)
+		enc.U64(ws.quarantined[vid])
+	}
+
+	// Flows oldest-first, so restore's PushFront rebuilds the same LRU.
+	enc.U32(uint32(ws.lru.Len()))
+	for e := ws.lru.Back(); e != nil; e = e.Prev() {
+		fs := e.Value.(*flowState)
+		enc.U64(fs.vid)
+		enc.Bool(fs.hasKey)
+		enc.Bytes(rawKey(fs.key))
+		enc.I64(int64(fs.idle.FireTime()))
+	}
+
+	ckpt, ok := sl.h.(Checkpointer)
+	enc.Bool(ok)
+	if ok {
+		var hb bytes.Buffer
+		if err := ckpt.Checkpoint(&hb); err != nil {
+			return nil, err
+		}
+		enc.Bytes(hb.Bytes())
+	}
+	if err := enc.Err(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeShard rebuilds ws from an encodeShard blob and returns the
+// handler checkpoint blob (nil if the handler wasn't a Checkpointer).
+func (p *Pipeline) decodeShard(ws *wstate, blob []byte) ([]byte, bool, error) {
+	dec := snapshot.NewDecoder(blob)
+	ws.tm.SetNow(timer.Time(dec.I64()))
+	ws.packets.Store(dec.U64())
+	ws.copiedBytes.Store(dec.U64())
+	ws.timersFired.Store(dec.U64())
+	ws.flowsExpired.Store(dec.U64())
+	ws.flowsSeen.Store(dec.U64())
+	ws.quarantinedFlows.Store(dec.U64())
+	ws.quarantineDropped.Store(dec.U64())
+	ws.flowsEvicted.Store(dec.U64())
+	ws.packetsRejected.Store(dec.U64())
+	ws.timersDropped.Store(dec.U64())
+
+	nq := dec.Len(16)
+	for i := 0; i < nq && dec.Err() == nil; i++ {
+		vid := dec.U64()
+		ws.quarantined[vid] = dec.U64()
+	}
+
+	nf := dec.Len(8 + 1 + 4 + 8)
+	for i := 0; i < nf && dec.Err() == nil; i++ {
+		vid := dec.U64()
+		hasKey := dec.Bool()
+		key, kerr := parseRawKey(dec.Bytes())
+		deadline := timer.Time(dec.I64())
+		if dec.Err() != nil {
+			break
+		}
+		if kerr != nil {
+			return nil, false, kerr
+		}
+		fs := &flowState{vid: vid, key: key, hasKey: hasKey}
+		p.armIdle(ws, fs, deadline)
+		fs.elem = ws.lru.PushFront(fs)
+		ws.flows[vid] = fs
+	}
+	ws.liveFlows.Store(int64(len(ws.flows)))
+
+	hasH := dec.Bool()
+	var hb []byte
+	if hasH {
+		hb = dec.Bytes()
+	}
+	return hb, hasH, dec.Err()
+}
+
+const keyBytes = 16 + 16 + 2 + 2 + 1
+
+func rawKey(k flow.Key) []byte {
+	raw := make([]byte, keyBytes)
+	copy(raw[0:16], k.SrcIP[:])
+	copy(raw[16:32], k.DstIP[:])
+	raw[32] = byte(k.SrcPort >> 8)
+	raw[33] = byte(k.SrcPort)
+	raw[34] = byte(k.DstPort >> 8)
+	raw[35] = byte(k.DstPort)
+	raw[36] = k.Proto
+	return raw
+}
+
+func parseRawKey(raw []byte) (flow.Key, error) {
+	var k flow.Key
+	if len(raw) != keyBytes {
+		return k, fmt.Errorf("pipeline: flow key is %d bytes, want %d", len(raw), keyBytes)
+	}
+	copy(k.SrcIP[:], raw[0:16])
+	copy(k.DstIP[:], raw[16:32])
+	k.SrcPort = uint16(raw[32])<<8 | uint16(raw[33])
+	k.DstPort = uint16(raw[34])<<8 | uint16(raw[35])
+	k.Proto = raw[36]
+	return k, nil
+}
+
+// Restore rebuilds a pipeline from a Checkpoint stream. cfg.RestoreHandler
+// is required; shards whose handler state was checkpointed are rebuilt
+// through it, others get cfg.NewHandler. The worker count must match the
+// checkpoint's (flow→worker routing depends on it); leave cfg.Workers 0
+// to adopt it.
+func Restore(cfg Config, r io.Reader) (*Pipeline, error) {
+	if cfg.RestoreHandler == nil {
+		return nil, fmt.Errorf("pipeline: Config.RestoreHandler is required for Restore")
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	dec := snapshot.NewDecoder(data)
+	nw := dec.Len(1)
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if nw < 1 {
+		return nil, fmt.Errorf("pipeline: checkpoint has no workers")
+	}
+	if cfg.Workers != 0 && cfg.Workers != nw {
+		return nil, fmt.Errorf("pipeline: checkpoint has %d workers, config wants %d (flow sharding depends on it)", nw, cfg.Workers)
+	}
+	cfg.Workers = nw
+	p, err := newPipeline(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nw; i++ {
+		blob := dec.Bytes()
+		if err := dec.Err(); err != nil {
+			return nil, err
+		}
+		ws := p.newWstate()
+		hb, hasH, err := p.decodeShard(ws, blob)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
+		}
+		var h Handler
+		if hasH {
+			h, err = cfg.RestoreHandler(i, hb)
+		} else if cfg.NewHandler != nil {
+			h, err = cfg.NewHandler(i)
+		} else {
+			err = fmt.Errorf("no handler state and no NewHandler")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: worker %d handler: %w", i, err)
+		}
+		p.slots[i].Store(&wslot{ws: ws, h: h, track: cfg.StallTimeout > 0})
+	}
+	p.start()
+	return p, nil
+}
+
+// --- stall supervisor -----------------------------------------------------------
+
+// supervise watches per-worker heartbeats and replaces wedged workers.
+func (p *Pipeline) supervise() {
+	defer p.superWG.Done()
+	tick := p.cfg.StallTimeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopc:
+			return
+		case <-t.C:
+			for i := range p.slots {
+				p.checkStall(i)
+			}
+		}
+	}
+}
+
+// checkStall replaces worker i if its current packet has been executing
+// longer than StallTimeout. The wedged goroutine is abandoned (it exits
+// if the job ever returns), the shard is rebuilt from its last automatic
+// checkpoint — losing at most CheckpointEvery packets of that shard's
+// work — and the offending flow is quarantined so its later packets
+// cannot wedge the replacement too.
+func (p *Pipeline) checkStall(i int) {
+	sl := p.slots[i].Load()
+	sl.mu.Lock()
+	stuck := sl.track && !sl.abandoned && !sl.busySince.IsZero() &&
+		time.Since(sl.busySince) > p.cfg.StallTimeout
+	var vid uint64
+	var ckpt []byte
+	if stuck {
+		sl.abandoned = true
+		vid = sl.busyVID
+		ckpt = sl.ckpt
+	}
+	sl.mu.Unlock()
+	if !stuck {
+		return
+	}
+
+	// Build and publish the replacement slot BEFORE swapping goroutines:
+	// queued jobs load the slot at execution time, so the new goroutine
+	// must never see the abandoned handler.
+	nsl := p.rebuildSlot(i, vid, ckpt)
+	p.slots[i].Store(nsl)
+	if p.sched.ReplaceWorker(i) {
+		p.restarts.Add(1)
+	}
+	// The stalled packet's ingress token is now the supervisor's to
+	// release: endBusy saw abandoned and left it (whether the job was
+	// truly wedged or finished just as we marked it).
+	go func() {
+		select {
+		case <-p.tokens:
+		case <-p.stopc:
+		}
+	}()
+}
+
+// rebuildSlot constructs worker i's replacement: shard state restored
+// from the last auto-checkpoint when possible (else fresh), the wedged
+// flow quarantined, and the stall recorded in the fault ledger.
+func (p *Pipeline) rebuildSlot(i int, vid uint64, ckpt []byte) *wslot {
+	ws := p.newWstate()
+	var h Handler
+	restored := false
+	if ckpt != nil && p.cfg.RestoreHandler != nil {
+		if hb, hasH, err := p.decodeShard(ws, ckpt); err == nil && hasH {
+			if rh, rerr := p.cfg.RestoreHandler(i, hb); rerr == nil {
+				h = rh
+				restored = true
+			}
+		}
+		if !restored {
+			ws = p.newWstate() // decode may have half-populated it
+		}
+	}
+	if !restored {
+		nh, err := p.cfg.NewHandler(i)
+		if err != nil {
+			// Last resort: a handler that drops everything; the shard is
+			// lost but the pipeline survives.
+			nh = discardHandler{}
+		}
+		h = nh
+	}
+
+	ws.quarantined[vid] = 0
+	ws.quarantinedFlows.Add(1)
+	if fs, ok := ws.flows[vid]; ok {
+		fs.idle.Cancel()
+		p.dropFlowState(ws, fs)
+		if z, isZapper := h.(FlowZapper); isZapper && fs.hasKey {
+			if zf := fault.Catch("zap", func() { z.ZapFlow(fs.key) }); zf != nil {
+				zf.Worker, zf.VID = i, vid
+				ws.faults.Record(zf)
+			}
+		}
+	}
+	ws.faults.Record(&fault.Fault{Op: "stall", Worker: i, VID: vid, Value: "worker exceeded StallTimeout; replaced from last checkpoint"})
+	return &wslot{ws: ws, h: h, track: true}
+}
+
+// discardHandler is the stand-in when a replacement handler cannot be
+// built; it keeps the shard's queue draining.
+type discardHandler struct{}
+
+func (discardHandler) ProcessPacket(int64, []byte) {}
+func (discardHandler) Finish()                     {}
+
+// --- observability --------------------------------------------------------------
+
 // Stats snapshots per-worker counters, merging pipeline- and
 // scheduler-level views. Exact after Close (or a quiescent Drain).
 func (p *Pipeline) Stats() []WorkerStats {
 	sched := p.sched.WorkerStats()
-	out := make([]WorkerStats, len(p.ws))
-	for i, ws := range p.ws {
+	out := make([]WorkerStats, len(p.slots))
+	for i := range p.slots {
+		ws := p.slots[i].Load().ws
 		out[i] = WorkerStats{
 			Packets:           ws.packets.Load(),
 			CopiedBytes:       ws.copiedBytes.Load(),
@@ -411,18 +951,20 @@ func (p *Pipeline) Stats() []WorkerStats {
 // workers; safe to call concurrently with processing.
 func (p *Pipeline) FlowTableSize() int {
 	var n int64
-	for _, ws := range p.ws {
-		n += ws.liveFlows.Load()
+	for i := range p.slots {
+		n += p.slots[i].Load().ws.liveFlows.Load()
 	}
 	return int(n)
 }
 
 // Faults returns the retained faults of every worker, in worker order
 // (oldest first within a worker). Exact after Close or a quiescent Drain.
+// A supervised restart carries the stall fault in the replacement's
+// ledger; the abandoned worker's earlier entries go with it.
 func (p *Pipeline) Faults() []*fault.Fault {
 	var out []*fault.Fault
-	for _, ws := range p.ws {
-		out = append(out, ws.faults.Faults()...)
+	for i := range p.slots {
+		out = append(out, p.slots[i].Load().ws.faults.Faults()...)
 	}
 	return out
 }

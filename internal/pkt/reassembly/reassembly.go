@@ -218,6 +218,71 @@ func (s *Stream) Flush() {
 // PendingBytes returns the number of buffered out-of-order bytes.
 func (s *Stream) PendingBytes() int { return s.buffered }
 
+// StreamState is the serializable reassembly state of one direction:
+// everything except the Deliver/Gap callbacks and the shared Budget,
+// which the restoring engine re-wires itself.
+type StreamState struct {
+	Initialized bool
+	ISN         uint32
+	Next        uint64
+	FinRel      uint64
+	FinSeen     bool
+	Closed      bool
+	Pending     []SegmentState
+}
+
+// SegmentState is one buffered out-of-order segment.
+type SegmentState struct {
+	Rel  uint64
+	Data []byte
+}
+
+// SnapshotState captures the stream's state for checkpointing. Buffered
+// data is deep-copied so the snapshot stays valid while the stream keeps
+// processing.
+func (s *Stream) SnapshotState() StreamState {
+	st := StreamState{
+		Initialized: s.initialized,
+		ISN:         s.isn,
+		Next:        s.next,
+		FinRel:      s.finRel,
+		FinSeen:     s.finSeen,
+		Closed:      s.closed,
+	}
+	if len(s.pending) > 0 {
+		st.Pending = make([]SegmentState, len(s.pending))
+		for i, seg := range s.pending {
+			data := make([]byte, len(seg.data))
+			copy(data, seg.data)
+			st.Pending[i] = SegmentState{Rel: seg.rel, Data: data}
+		}
+	}
+	return st
+}
+
+// RestoreState rebuilds the stream from a checkpoint, charging the shared
+// Budget (set it before calling) for the re-buffered bytes. Callbacks are
+// untouched.
+func (s *Stream) RestoreState(st StreamState) {
+	s.initialized = st.Initialized
+	s.isn = st.ISN
+	s.next = st.Next
+	s.finRel = st.FinRel
+	s.finSeen = st.FinSeen
+	s.closed = st.Closed
+	s.pending = nil
+	s.buffered = 0
+	for _, seg := range st.Pending {
+		data := make([]byte, len(seg.Data))
+		copy(data, seg.Data)
+		s.pending = append(s.pending, segment{rel: seg.Rel, data: data})
+		s.buffered += len(data)
+	}
+	if s.Budget != nil && s.buffered > 0 {
+		s.Budget.charge(s.buffered)
+	}
+}
+
 // Discard drops all buffered data without delivering it and credits the
 // shared budget; used when a faulted flow is quarantined and its state
 // must go away without running callbacks that might re-trip the fault.

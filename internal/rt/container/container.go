@@ -17,6 +17,7 @@ package container
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"hilti/internal/rt/timer"
 	"hilti/internal/rt/values"
@@ -63,15 +64,19 @@ type entry struct {
 // buffer, so steady-state lookups allocate nothing: the buffer is reused
 // across calls and Go's map[string(b)] access pattern avoids the string
 // copy. The encoded key is materialized as a string only when a new entry
-// is inserted. A Map is not safe for concurrent use (one Exec owns it),
-// which is what makes the shared scratch buffer sound.
+// is inserted. The scratch buffer is claimed with a CAS per operation, so
+// concurrent *read-only* access (Get/Exists with no access-based expiry
+// configured) is safe: the single-threaded winner keeps the buffer and
+// pays no allocation, a concurrent loser encodes into a fresh buffer.
+// Mutations still require external serialization (one Exec owns the map).
 type Map struct {
 	idx    map[string]*entry
 	order  []*entry // insertion order, with tombstones compacted lazily
 	dead   int
 	def    values.Value
 	hasDef bool
-	kbuf   []byte // scratch for key encoding; grows to the largest key
+	kbuf   []byte      // scratch for key encoding; grows to the largest key
+	kbusy  atomic.Bool // claims kbuf for the duration of one encode+lookup
 	expiry
 }
 
@@ -92,30 +97,72 @@ func (m *Map) SetTimeout(mgr *timer.Mgr, strategy ExpireStrategy, timeout timer.
 // Len returns the number of live elements.
 func (m *Map) Len() int { return len(m.idx) }
 
-// encKey encodes key into the scratch buffer, panicking on unhashable
-// kinds exactly as values.Key did.
-func (m *Map) encKey(key values.Value) []byte {
-	b, ok := values.AppendKey(m.kbuf[:0], key)
-	m.kbuf = b[:0]
+// encKey encodes key, panicking on unhashable kinds exactly as values.Key
+// did. The returned owned flag reports whether the per-map scratch buffer
+// was claimed (CAS won) and must be released with releaseKey once the
+// encoded bytes are no longer referenced; a losing racer gets a freshly
+// allocated buffer instead, keeping concurrent readers safe without
+// adding allocations to the uncontended path.
+func (m *Map) encKey(key values.Value) (b []byte, owned bool) {
+	var ok bool
+	if m.kbusy.CompareAndSwap(false, true) {
+		b, ok = values.AppendKey(m.kbuf[:0], key)
+		m.kbuf = b[:0]
+		owned = true
+	} else {
+		b, ok = values.AppendKey(nil, key)
+	}
 	if !ok {
+		m.releaseKey(owned)
 		panic(fmt.Sprintf("container: unhashable kind %v", key.K))
 	}
-	return b
+	return b, owned
+}
+
+// releaseKey returns the scratch buffer claimed by encKey.
+func (m *Map) releaseKey(owned bool) {
+	if owned {
+		m.kbusy.Store(false)
+	}
 }
 
 // Insert adds or replaces the value for key (HILTI's map.insert).
 func (m *Map) Insert(key, val values.Value) {
-	b := m.encKey(key)
+	b, owned := m.encKey(key)
 	if e, ok := m.idx[string(b)]; ok {
+		m.releaseKey(owned)
 		e.val = val
 		m.touch(e)
 		return
 	}
-	e := &entry{k: string(b), key: key, val: val}
+	k := string(b)
+	m.releaseKey(owned)
+	e := &entry{k: k, key: key, val: val}
 	m.idx[e.k] = e
 	m.order = append(m.order, e)
 	if m.expiry.active() {
 		e.lastUse = m.mgr.Now()
+		m.scheduleExpiry(e)
+	}
+}
+
+// InsertRestored re-inserts an element from a checkpoint, preserving its
+// recorded last-use timestamp so the expiration deadline after restore
+// matches the one the checkpointed timer would have enforced.
+func (m *Map) InsertRestored(key, val values.Value, lastUse timer.Time) {
+	b, owned := m.encKey(key)
+	if e, ok := m.idx[string(b)]; ok {
+		m.releaseKey(owned)
+		e.val = val
+		e.lastUse = lastUse
+		return
+	}
+	k := string(b)
+	m.releaseKey(owned)
+	e := &entry{k: k, key: key, val: val, lastUse: lastUse}
+	m.idx[e.k] = e
+	m.order = append(m.order, e)
+	if m.expiry.active() {
 		m.scheduleExpiry(e)
 	}
 }
@@ -133,7 +180,10 @@ func (m *Map) lookup(b []byte) (*entry, bool) {
 // configured, the default is returned with ok=true (as HILTI's map.get
 // with a default type parameter); otherwise ok is false.
 func (m *Map) Get(key values.Value) (values.Value, bool) {
-	return m.GetKeyed(m.encKey(key))
+	b, owned := m.encKey(key)
+	v, ok := m.GetKeyed(b)
+	m.releaseKey(owned)
+	return v, ok
 }
 
 // GetKeyed is Get for a caller-encoded key (values.AppendKey form). It is
@@ -151,7 +201,10 @@ func (m *Map) GetKeyed(k []byte) (values.Value, bool) {
 // Exists reports whether key is present (HILTI's map.exists). It counts as
 // an access for access-based expiration.
 func (m *Map) Exists(key values.Value) bool {
-	return m.ExistsKeyed(m.encKey(key))
+	b, owned := m.encKey(key)
+	ok := m.ExistsKeyed(b)
+	m.releaseKey(owned)
+	return ok
 }
 
 // ExistsKeyed is Exists for a caller-encoded key.
@@ -162,7 +215,9 @@ func (m *Map) ExistsKeyed(k []byte) bool {
 
 // Remove deletes key (HILTI's map.remove), returning whether it was present.
 func (m *Map) Remove(key values.Value) bool {
-	e, ok := m.idx[string(m.encKey(key))]
+	b, owned := m.encKey(key)
+	e, ok := m.idx[string(b)]
+	m.releaseKey(owned)
 	if !ok {
 		return false
 	}
@@ -246,6 +301,27 @@ func (m *Map) Each(fn func(key, val values.Value) bool) {
 	}
 }
 
+// Timeout returns the configured expiration policy (for checkpointing).
+func (m *Map) Timeout() (ExpireStrategy, timer.Interval) {
+	return m.strategy, m.timeout
+}
+
+// Default returns the configured miss default (for checkpointing).
+func (m *Map) Default() (values.Value, bool) { return m.def, m.hasDef }
+
+// EachEntry iterates live elements in insertion order, exposing each
+// element's last-use timestamp alongside key and value (for checkpointing).
+func (m *Map) EachEntry(fn func(key, val values.Value, lastUse timer.Time) bool) {
+	for _, e := range m.order {
+		if e.deleted {
+			continue
+		}
+		if !fn(e.key, e.val, e.lastUse) {
+			return
+		}
+	}
+}
+
 // Keys returns the live keys in insertion order.
 func (m *Map) Keys() []values.Value {
 	out := make([]values.Value, 0, m.Len())
@@ -305,6 +381,23 @@ func (s *Set) Len() int { return s.m.Len() }
 
 // Insert adds an element (HILTI's set.insert).
 func (s *Set) Insert(v values.Value) { s.m.Insert(v, values.Nil) }
+
+// InsertRestored re-inserts an element from a checkpoint with its recorded
+// last-use timestamp (see Map.InsertRestored).
+func (s *Set) InsertRestored(v values.Value, lastUse timer.Time) {
+	s.m.InsertRestored(v, values.Nil, lastUse)
+}
+
+// Timeout returns the configured expiration policy (for checkpointing).
+func (s *Set) Timeout() (ExpireStrategy, timer.Interval) { return s.m.Timeout() }
+
+// EachEntry iterates live elements in insertion order with their last-use
+// timestamps (for checkpointing).
+func (s *Set) EachEntry(fn func(v values.Value, lastUse timer.Time) bool) {
+	s.m.EachEntry(func(k, _ values.Value, lastUse timer.Time) bool {
+		return fn(k, lastUse)
+	})
+}
 
 // Exists reports membership (HILTI's set.exists).
 func (s *Set) Exists(v values.Value) bool { return s.m.Exists(v) }

@@ -1,0 +1,87 @@
+package container
+
+import (
+	"sync"
+	"testing"
+
+	"hilti/internal/rt/values"
+)
+
+// TestConcurrentReadersShareScratch exercises the CAS-claimed scratch key
+// buffer under the race detector: multiple goroutines performing
+// read-only lookups (Get/Exists with no access-based expiry) on one map
+// must not trample each other's key encodings. Run with -race in CI.
+func TestConcurrentReadersShareScratch(t *testing.T) {
+	m := NewMap()
+	keys := []values.Value{
+		values.String("alpha"),
+		values.String("beta-which-is-longer-than-alpha"),
+		values.TupleVal(values.Int(1), values.String("x")),
+		values.TupleVal(values.Int(2), values.String("a-much-longer-tuple-component")),
+		values.MustParseAddr("10.0.0.1"),
+		values.PortVal(443, values.ProtoTCP),
+	}
+	for i, k := range keys {
+		m.Insert(k, values.Int(int64(i)))
+	}
+	absent := []values.Value{
+		values.String("missing"),
+		values.TupleVal(values.Int(99), values.String("nope")),
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 2000; iter++ {
+				for i, k := range keys {
+					if v, ok := m.Get(k); !ok || v.AsInt() != int64(i) {
+						t.Errorf("goroutine %d: key %d corrupted: %v %v", g, i, v, ok)
+						return
+					}
+					if !m.Exists(k) {
+						t.Errorf("goroutine %d: key %d vanished", g, i)
+						return
+					}
+				}
+				for _, k := range absent {
+					if m.Exists(k) {
+						t.Errorf("goroutine %d: phantom key", g)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentSetReaders is the Set-side variant.
+func TestConcurrentSetReaders(t *testing.T) {
+	s := NewSet()
+	elems := []values.Value{
+		values.String("one"),
+		values.TupleVal(values.String("two"), values.Int(2)),
+		values.MustParseAddr("192.168.0.1"),
+	}
+	for _, e := range elems {
+		s.Insert(e)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 2000; iter++ {
+				for _, e := range elems {
+					if !s.Exists(e) {
+						t.Error("element vanished under concurrent readers")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

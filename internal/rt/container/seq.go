@@ -244,6 +244,10 @@ func (v *Vector) Each(fn func(values.Value) bool) {
 // Elems exposes the backing slice (read-only by convention; used by glue).
 func (v *Vector) Elems() []values.Value { return v.elems }
 
+// Def returns the element default used for auto-extension (for
+// checkpointing).
+func (v *Vector) Def() values.Value { return v.def }
+
 // DeepCopyObj implements values.DeepCopier.
 func (v *Vector) DeepCopyObj() values.Object {
 	nv := NewVector(values.DeepCopy(v.def))

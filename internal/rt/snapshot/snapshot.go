@@ -1,0 +1,320 @@
+// Package snapshot implements the versioned binary codec behind the
+// runtime's checkpoint/restore support (crash-only operation). The paper's
+// core argument for an abstract execution environment is that analysis
+// state lives in *first-class, explicitly typed* runtime values — which is
+// exactly what makes transparent state management (serialization,
+// migration, resumption) possible where hand-written analyzers, with state
+// scattered through ad-hoc heap structures, cannot offer it.
+//
+// The format is deliberately simple: a fixed header (magic + version),
+// then a caller-defined sequence of length-prefixed primitives. Scalars
+// are big-endian and mirror the canonical keyed encoding of
+// values.AppendKey, so a value's snapshot form and its container-key form
+// agree wherever both exist. Container elements carry their last-use
+// timestamps and timers re-encode relative to virtual time, letting a
+// restore arm expiration exactly where the checkpoint left it.
+//
+// Robustness contract: the Decoder never panics, whatever the input. Every
+// read is bounds-checked against the remaining buffer, every collection
+// count is validated against the bytes that could possibly back it (so a
+// corrupt length claim cannot drive unbounded allocation), and recursion
+// is depth-limited. Errors are sticky: after the first failure all reads
+// return zero values and Err() reports the cause, so restore code can
+// decode a whole section and check once.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hilti/internal/rt/timer"
+	"hilti/internal/rt/values"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// MaxDepth bounds value-tree recursion in both directions.
+const MaxDepth = 64
+
+var magic = [4]byte{'H', 'S', 'N', 'P'}
+
+// headerSize is magic + u16 version.
+const headerSize = 6
+
+// Encoder writes the snapshot byte stream. Errors are sticky: the first
+// write failure latches and subsequent calls are no-ops, so callers encode
+// a full section and check Err once.
+type Encoder struct {
+	w   io.Writer
+	err error
+	tmp [8]byte
+}
+
+// NewEncoder starts a snapshot stream on w, writing the format header.
+func NewEncoder(w io.Writer) *Encoder {
+	e := &Encoder{w: w}
+	e.write(magic[:])
+	e.U16(Version)
+	return e
+}
+
+// Err returns the first error encountered, if any.
+func (e *Encoder) Err() error { return e.err }
+
+func (e *Encoder) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	if _, err := e.w.Write(b); err != nil {
+		e.err = err
+	}
+}
+
+// U8 writes one byte.
+func (e *Encoder) U8(v byte) { e.tmp[0] = v; e.write(e.tmp[:1]) }
+
+// U16 writes a big-endian uint16.
+func (e *Encoder) U16(v uint16) {
+	binary.BigEndian.PutUint16(e.tmp[:2], v)
+	e.write(e.tmp[:2])
+}
+
+// U32 writes a big-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	binary.BigEndian.PutUint32(e.tmp[:4], v)
+	e.write(e.tmp[:4])
+}
+
+// U64 writes a big-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	binary.BigEndian.PutUint64(e.tmp[:8], v)
+	e.write(e.tmp[:8])
+}
+
+// I64 writes a big-endian int64 (two's complement).
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Bool writes a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Bytes writes a u32 length prefix followed by the raw bytes.
+func (e *Encoder) Bytes(b []byte) {
+	e.U32(uint32(len(b)))
+	e.write(b)
+}
+
+// String writes a u32 length prefix followed by the raw string bytes.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	if e.err == nil {
+		if _, err := io.WriteString(e.w, s); err != nil {
+			e.err = err
+		}
+	}
+}
+
+// Fail latches an explicit encoding error (e.g. an unserializable value
+// discovered mid-section).
+func (e *Encoder) Fail(format string, args ...any) {
+	if e.err == nil {
+		e.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Option configures a Decoder.
+type Option func(*Decoder)
+
+// WithTimerMgr supplies the timer manager that restored containers attach
+// their element expiration to. Without it, expiry configuration is dropped
+// on decode (elements restore, but no longer time out).
+func WithTimerMgr(m *timer.Mgr) Option {
+	return func(d *Decoder) { d.mgr = m }
+}
+
+// WithStructs supplies a resolver mapping a struct type name and field
+// list to a canonical *values.StructDef. Without it (or when the resolver
+// returns nil) the decoder rebuilds an anonymous definition with the
+// serialized field names, which preserves name-indexed field access.
+func WithStructs(resolve func(name string, fields []string) *values.StructDef) Option {
+	return func(d *Decoder) { d.structs = resolve }
+}
+
+// WithEnums supplies a resolver for enum type definitions by name. Without
+// it, decoded enums keep their numeric value under a label-less type.
+func WithEnums(resolve func(name string) *values.EnumType) Option {
+	return func(d *Decoder) { d.enums = resolve }
+}
+
+// Decoder reads a snapshot byte stream from a fully materialized buffer.
+// All reads are bounds-checked and errors are sticky; the Decoder never
+// panics on corrupt input.
+type Decoder struct {
+	b   []byte
+	off int
+	err error
+
+	mgr     *timer.Mgr
+	structs func(name string, fields []string) *values.StructDef
+	enums   func(name string) *values.EnumType
+}
+
+// NewDecoder validates the header of data and positions the decoder after
+// it. A bad header latches an error immediately.
+func NewDecoder(data []byte, opts ...Option) *Decoder {
+	d := &Decoder{b: data}
+	for _, o := range opts {
+		o(d)
+	}
+	if len(data) < headerSize {
+		d.fail("snapshot: truncated header (%d bytes)", len(data))
+		return d
+	}
+	if data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] || data[3] != magic[3] {
+		d.fail("snapshot: bad magic %q", data[:4])
+		return d
+	}
+	d.off = 4
+	if v := d.U16(); d.err == nil && v != Version {
+		d.fail("snapshot: unsupported version %d (want %d)", v, Version)
+	}
+	return d
+}
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int {
+	if d.off > len(d.b) {
+		return 0
+	}
+	return len(d.b) - d.off
+}
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Fail latches an explicit decode error (e.g. a semantic validation
+// failure discovered by the caller mid-section).
+func (d *Decoder) Fail(format string, args ...any) { d.fail(format, args...) }
+
+// take returns the next n bytes, or nil after latching a bounds error.
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > d.Remaining() {
+		d.fail("snapshot: truncated input (need %d bytes at offset %d, have %d)", n, d.off, d.Remaining())
+		return nil
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Bool reads a boolean byte, rejecting values other than 0/1.
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("snapshot: invalid boolean")
+		return false
+	}
+}
+
+// Bytes reads a u32 length prefix and that many raw bytes, returning a
+// copy. The claimed length is validated against the remaining input, so a
+// corrupt prefix cannot force a large allocation.
+func (d *Decoder) Bytes() []byte {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	cp := make([]byte, n)
+	copy(cp, b)
+	return cp
+}
+
+// String reads a u32 length prefix and that many bytes as a string.
+func (d *Decoder) String() string {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Len reads a u32 element count and validates it against the remaining
+// input, given that each element occupies at least elemSize encoded bytes.
+// This is the guard that keeps corrupt counts from driving unbounded
+// allocation: a claim that could not possibly be backed by input latches
+// an error and returns 0.
+func (d *Decoder) Len(elemSize int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n < 0 || n > d.Remaining()/elemSize {
+		d.fail("snapshot: implausible element count %d (only %d bytes remain)", n, d.Remaining())
+		return 0
+	}
+	return n
+}

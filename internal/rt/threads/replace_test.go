@@ -1,0 +1,67 @@
+package threads
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReplaceWorkerUnsticksQueue: a job wedged on worker 0 must not stall
+// the jobs queued behind it once ReplaceWorker swaps the goroutine.
+func TestReplaceWorkerUnsticksQueue(t *testing.T) {
+	s := NewScheduler(1)
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	s.Schedule(0, func(*Context) { //nolint:errcheck
+		close(entered)
+		<-block
+	})
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		s.Schedule(uint64(i), func(*Context) { ran.Add(1) }) //nolint:errcheck
+	}
+	<-entered
+	if !s.ReplaceWorker(0) {
+		t.Fatal("ReplaceWorker refused while a job is executing")
+	}
+	// Drain must complete even though the original job never returns:
+	// ReplaceWorker settled its pending count and the replacement runs the
+	// rest of the queue.
+	s.Drain()
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("replacement ran %d queued jobs, want 10", got)
+	}
+	// Late unblock: the zombie exits without double-accounting.
+	jobs := s.WorkerStats()[0].Jobs
+	close(block)
+	time.Sleep(10 * time.Millisecond)
+	if got := s.WorkerStats()[0].Jobs; got != jobs {
+		t.Fatalf("zombie changed job count %d -> %d", jobs, got)
+	}
+	s.Schedule(3, func(*Context) { ran.Add(1) }) //nolint:errcheck
+	s.Drain()
+	if got := ran.Load(); got != 11 {
+		t.Fatalf("post-replacement scheduling broken: %d", got)
+	}
+	s.Shutdown()
+}
+
+// TestReplaceWorkerIdle: replacing an idle worker is refused (nothing is
+// stuck), and the worker keeps functioning.
+func TestReplaceWorkerIdle(t *testing.T) {
+	s := NewScheduler(2)
+	s.Drain()
+	if s.ReplaceWorker(0) {
+		t.Fatal("replaced an idle worker")
+	}
+	if s.ReplaceWorker(-1) || s.ReplaceWorker(2) {
+		t.Fatal("replaced an out-of-range worker")
+	}
+	done := false
+	s.Schedule(0, func(*Context) { done = true }) //nolint:errcheck
+	s.Drain()
+	if !done {
+		t.Fatal("worker dead after refused replacement")
+	}
+	s.Shutdown()
+}

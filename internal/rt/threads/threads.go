@@ -91,6 +91,12 @@ type worker struct {
 	jobsRun     atomic.Uint64
 	nContexts   atomic.Int64
 	timersFired atomic.Uint64
+
+	// replaceMu guards the epoch/running pair that lets ReplaceWorker swap
+	// in a fresh goroutine while the current one is wedged inside a job.
+	replaceMu sync.Mutex
+	epoch     uint64
+	running   bool // a job is executing right now
 }
 
 // enqueue adds a job, never blocking: the bounded channel is the fast
@@ -183,7 +189,7 @@ func NewScheduler(n int) *Scheduler {
 		}
 		s.workers = append(s.workers, w)
 		s.wg.Add(1)
-		go s.run(w)
+		go s.run(w, 0)
 	}
 	return s
 }
@@ -215,11 +221,11 @@ func (s *Scheduler) WorkerStats() []WorkerStats {
 	return out
 }
 
-func (s *Scheduler) run(w *worker) {
-	defer s.wg.Done()
+func (s *Scheduler) run(w *worker, epoch uint64) {
 	for {
 		q, ok := w.dequeue()
 		if !ok {
+			s.wg.Done()
 			return
 		}
 		var ctx *Context
@@ -231,10 +237,52 @@ func (s *Scheduler) run(w *worker) {
 				w.nContexts.Add(1)
 			}
 		}
+		w.replaceMu.Lock()
+		w.running = true
+		w.replaceMu.Unlock()
 		q.job(ctx)
+		w.replaceMu.Lock()
+		stale := w.epoch != epoch
+		if !stale {
+			w.running = false
+		}
+		w.replaceMu.Unlock()
+		if stale {
+			// ReplaceWorker spawned a successor while this job was stuck:
+			// the successor inherited this goroutine's wg slot and
+			// ReplaceWorker settled the job's pending count. Just vanish.
+			return
+		}
 		w.jobsRun.Add(1)
 		s.pending.Done()
 	}
+}
+
+// ReplaceWorker swaps worker i's goroutine for a fresh one while the
+// current one is wedged inside a job (supervised hang recovery). It only
+// acts when a job is actually executing — an idle worker needs no
+// replacement and false is returned. The wedged goroutine becomes a
+// zombie: it exits quietly if its job ever returns, and until then it
+// keeps only references to the abandoned job's closure. The replacement
+// resumes the queue exactly where the zombie left it, so queued jobs for
+// other virtual threads are not lost.
+func (s *Scheduler) ReplaceWorker(i int) bool {
+	if i < 0 || i >= len(s.workers) {
+		return false
+	}
+	w := s.workers[i]
+	w.replaceMu.Lock()
+	if !w.running {
+		w.replaceMu.Unlock()
+		return false
+	}
+	w.running = false
+	w.epoch++
+	epoch := w.epoch
+	w.replaceMu.Unlock()
+	s.pending.Done()   // the abandoned job will never report completion
+	go s.run(w, epoch) // inherits the zombie's wg slot
+	return true
 }
 
 // Schedule enqueues a job for virtual thread vid (HILTI's thread.schedule).

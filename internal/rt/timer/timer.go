@@ -16,6 +16,7 @@ package timer
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Time is nanoseconds since the Unix epoch, HILTI's time resolution.
@@ -159,6 +160,27 @@ func (m *Mgr) Advance(now Time) int {
 
 // AdvanceBy moves time forward by an interval.
 func (m *Mgr) AdvanceBy(d Interval) int { return m.Advance(m.now + Time(d)) }
+
+// SetNow restores the manager's clock to a checkpointed value without
+// firing any timers, unlike Advance. Restore code calls it before
+// re-scheduling the checkpointed timer set so relative deadlines land at
+// the same virtual times they held when the snapshot was taken.
+func (m *Mgr) SetNow(now Time) { m.now = now }
+
+// PendingTimers returns a copy of the scheduled timers in firing order
+// (fire time, then scheduling order), for checkpointing. The heap itself
+// is not modified.
+func (m *Mgr) PendingTimers() []*Timer {
+	out := make([]*Timer, len(m.q))
+	copy(out, m.q)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].fire != out[j].fire {
+			return out[i].fire < out[j].fire
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
 
 // Expire fires (or optionally discards) all pending timers regardless of
 // their due time, as HILTI's timer_mgr.expire does at shutdown.
