@@ -18,16 +18,18 @@ import (
 
 	"hilti/internal/bro"
 	"hilti/internal/pkt/pcap"
+	"hilti/internal/rt/metrics"
 )
 
 var (
-	tracePath = flag.String("r", "", "pcap trace to read (required)")
-	parser    = flag.String("parser", "standard", "protocol parsers: standard or binpac")
-	compileS  = flag.Bool("compile-scripts", false, "compile scripts to HILTI instead of interpreting")
-	logDir    = flag.String("logdir", "", "write log files into this directory")
-	script    = flag.String("script", "", "additional script file to load")
-	noDefault = flag.Bool("bare", false, "do not load the default HTTP/DNS/files scripts")
-	stats     = flag.Bool("stats", false, "print per-component timing")
+	tracePath   = flag.String("r", "", "pcap trace to read (required)")
+	parser      = flag.String("parser", "standard", "protocol parsers: standard or binpac")
+	compileS    = flag.Bool("compile-scripts", false, "compile scripts to HILTI instead of interpreting")
+	logDir      = flag.String("logdir", "", "write log files into this directory")
+	script      = flag.String("script", "", "additional script file to load")
+	noDefault   = flag.Bool("bare", false, "do not load the default HTTP/DNS/files scripts")
+	stats       = flag.Bool("stats", false, "print per-component timing")
+	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text at /metrics (plus expvar and pprof) on this address while processing")
 )
 
 func main() {
@@ -55,10 +57,21 @@ func main() {
 	if *compileS {
 		exec = "hilti"
 	}
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		addr, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		reg.PublishExpvar("bro_mini")
+		fmt.Fprintf(os.Stderr, "bro-mini: metrics at http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", addr)
+	}
 	e, err := bro.NewEngine(bro.Config{
 		Parser:     *parser,
 		ScriptExec: exec,
 		Scripts:    scripts,
+		Metrics:    reg,
 	})
 	if err != nil {
 		fatal(err)

@@ -14,6 +14,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -21,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"hilti"
 	"hilti/internal/bpf"
 	"hilti/internal/bro"
 	"hilti/internal/firewall"
@@ -31,23 +34,31 @@ import (
 	"hilti/internal/pkt/pipeline"
 	"hilti/internal/rt/fiber"
 	"hilti/internal/rt/hbytes"
+	"hilti/internal/rt/metrics"
 	"hilti/internal/rt/values"
 )
 
 var (
-	expFlag      = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|parallel|faults|recovery|ablations|vmopt|all")
+	expFlag      = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|parallel|faults|recovery|ablations|vmopt|observe|all")
 	httpSessions = flag.Int("http-sessions", 800, "HTTP sessions in the synthetic trace")
 	dnsTxns      = flag.Int("dns-txns", 8000, "DNS transactions in the synthetic trace")
 	seed         = flag.Int64("seed", 1, "generator seed")
 	workersFlag  = flag.Int("workers", 0, "parallel experiment: run this worker count (0 = sweep 1/2/4/8)")
 	optFlag      = flag.Int("opt", vm.DefaultOptLevel(), "VM optimizer level applied to every experiment (0 = off)")
 	benchJSON    = flag.String("bench-json", "", "write ns/op, allocs/op, and instruction counts for the §6.2/§6.3 configurations to this file")
+	metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus text at /metrics (plus expvar and pprof) on this address for the duration of the run")
 )
 
 func main() {
 	flag.Parse()
 	vm.SetDefaultOptLevel(*optFlag)
 	h := &harness{}
+	if *metricsAddr != "" {
+		addr, err := h.metricsReg().Serve(*metricsAddr)
+		must(err)
+		h.metricsReg().PublishExpvar("hilti_bench")
+		fmt.Printf("metrics: http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", addr)
+	}
 	run := map[string]func(){
 		"fibers":    h.fibers,
 		"bpf":       h.bpf,
@@ -63,8 +74,9 @@ func main() {
 		"recovery":  h.recovery,
 		"ablations": h.ablations,
 		"vmopt":     h.vmopt,
+		"observe":   h.observe,
 	}
-	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "parallel", "faults", "recovery", "ablations", "vmopt"}
+	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "parallel", "faults", "recovery", "ablations", "vmopt", "observe"}
 	if *benchJSON != "" {
 		h.writeBenchJSON(*benchJSON)
 		return
@@ -86,6 +98,17 @@ func main() {
 type harness struct {
 	httpPkts []pcap.Packet
 	dnsPkts  []pcap.Packet
+	reg      *metrics.Registry
+}
+
+// metricsReg returns the run's shared metrics registry, creating it on
+// first use. With -metrics-addr it is served for live scraping; the
+// observe experiment uses it for its accounting run either way.
+func (h *harness) metricsReg() *metrics.Registry {
+	if h.reg == nil {
+		h.reg = metrics.NewRegistry()
+	}
+	return h.reg
 }
 
 func (h *harness) httpTrace() []pcap.Packet {
@@ -1170,4 +1193,206 @@ func (h *harness) recovery() {
 		os.Exit(1)
 	}
 	fmt.Println("    all recovery invariants held")
+}
+
+// --- observability ---------------------------------------------------------------
+
+// observeProgram is a minimal HILTI program exercising the paper's §3.3
+// profiler instructions; the observe experiment asserts its profilers are
+// visible on a live metrics endpoint with no host-side plumbing.
+const observeProgram = `
+module Observe
+
+import Hilti
+
+void run () {
+    profiler.start "observe"
+    profiler.update "observe" 7
+    profiler.stop "observe"
+}
+`
+
+// observe is the observability harness: one registry watches a parallel
+// pipeline run, and deterministic accounting invariants are asserted over
+// the scraped values (not the internal state), so any instrumentation
+// drift — a missed increment, a reset on restore, a double-registration —
+// fails the run. Four parts: (1) accounting identities on a clean trace,
+// (2) counter continuity across pipeline kill/checkpoint/restore into the
+// same registry, (3) HILTI-program profilers visible over HTTP, and
+// (4) the instrumentation overhead bound on the §6.2 filter hot loop.
+func (h *harness) observe() {
+	header("Observability layer (unified metrics)",
+		"profilers are first-class (§3.3); counters survive crash-only restarts; hot path stays within budget")
+	fail := false
+	check := func(ok bool, what string) {
+		if !ok {
+			fail = true
+			fmt.Printf("    FAIL: %s\n", what)
+		}
+	}
+
+	pkts := append([]pcap.Packet(nil), h.httpTrace()...)
+	pkts = append(pkts, h.dnsTrace()...)
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time.Before(pkts[j].Time) })
+	const workers = 4
+	cfg := bro.Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{bro.HTTPScript, bro.FilesScript, bro.DNSScript}, Quiet: true}
+
+	// 1. Accounting identities. Every value below is read back from the
+	//    registry the way a scraper would see it (collectors summed by
+	//    series name), then checked against ground truth.
+	reg := h.metricsReg()
+	cfg.Metrics = reg
+	par, err := bro.NewParallelWith(cfg, pipeline.Config{Workers: workers})
+	must(err)
+	for i := range pkts {
+		par.Feed(pkts[i].Time.UnixNano(), pkts[i].Data) //nolint:errcheck
+	}
+	var ckbuf bytes.Buffer
+	must(par.Checkpoint(&ckbuf))
+	par.Close()
+
+	fed := reg.Value("pipeline_packets_fed_total")
+	shardSum := 0.0
+	for i := 0; i < workers; i++ {
+		shardSum += reg.Value(metrics.Name("pipeline_shard_packets_total", "worker", fmt.Sprint(i)))
+	}
+	opened := reg.Value("bro_flows_opened_total")
+	closed := reg.Value("bro_flows_closed_total")
+	active := reg.Value("bro_flows_active")
+	fmt.Printf("    pipeline: fed=%.0f shard-sum=%.0f engines-saw=%.0f (trace: %d packets)\n",
+		fed, shardSum, reg.Value("bro_packets_total"), len(pkts))
+	fmt.Printf("    flows: opened=%.0f closed=%.0f active=%.0f; events=%.0f log-lines=%.0f\n",
+		opened, closed, active, reg.Value("bro_events_total"), reg.Value("bro_log_lines_total"))
+	check(fed == float64(len(pkts)), fmt.Sprintf("fed %.0f != %d packets offered", fed, len(pkts)))
+	check(shardSum == fed, fmt.Sprintf("shard packet counts sum to %.0f, pipeline fed %.0f", shardSum, fed))
+	check(reg.Value("bro_packets_total") == fed,
+		fmt.Sprintf("engines saw %.0f packets, pipeline fed %.0f", reg.Value("bro_packets_total"), fed))
+	check(opened == closed+active, fmt.Sprintf("flow ledger broken: opened %.0f != closed %.0f + active %.0f",
+		opened, closed, active))
+	check(opened > 0, "no flows opened on a non-empty trace")
+	var engEvents, engLines float64
+	for _, e := range par.Engines {
+		engEvents += float64(e.StatsSnapshot().Events)
+		engLines += float64(len(e.Logs.Lines("http")) + len(e.Logs.Lines("files")) + len(e.Logs.Lines("dns")))
+	}
+	check(reg.Value("bro_events_total") == engEvents,
+		fmt.Sprintf("registry events %.0f != engine sum %.0f", reg.Value("bro_events_total"), engEvents))
+	check(reg.Value("bro_log_lines_total") == engLines,
+		fmt.Sprintf("registry log lines %.0f != kept lines %.0f", reg.Value("bro_log_lines_total"), engLines))
+	ckCount := reg.Value("pipeline_checkpoint_ns_count")
+	check(ckCount >= workers, fmt.Sprintf("checkpoint latency histogram has %.0f samples, want >= %d shards",
+		ckCount, workers))
+	fmt.Printf("    checkpoint latency: %.0f samples, mean %v/shard\n",
+		ckCount, (time.Duration(reg.Value("pipeline_checkpoint_ns_sum")/ckCount) * time.Nanosecond).Round(time.Microsecond))
+
+	// 2. Continuity across crash-only restart: checkpoint, kill, restore
+	//    into the SAME registry. The restored engines re-register under
+	//    their old keys (replacement, not addition) and carry their
+	//    checkpointed counters, so the series neither resets nor
+	//    double-counts.
+	reg2 := metrics.NewRegistry()
+	cfg2 := cfg
+	cfg2.Metrics = reg2
+	cut := len(pkts) / 2
+	par1, err := bro.NewParallelWith(cfg2, pipeline.Config{Workers: workers})
+	must(err)
+	for i := 0; i < cut; i++ {
+		par1.Feed(pkts[i].Time.UnixNano(), pkts[i].Data) //nolint:errcheck
+	}
+	var buf bytes.Buffer
+	must(par1.Checkpoint(&buf))
+	par1.Kill()
+	atKill := reg2.Value("bro_packets_total")
+	par2, err := bro.RestoreParallelWith(cfg2, pipeline.Config{Workers: workers}, bytes.NewReader(buf.Bytes()))
+	must(err)
+	afterRestore := reg2.Value("bro_packets_total")
+	check(afterRestore == atKill, fmt.Sprintf(
+		"restore broke continuity: bro_packets_total %.0f before kill, %.0f after restore", atKill, afterRestore))
+	for i := cut; i < len(pkts); i++ {
+		par2.Feed(pkts[i].Time.UnixNano(), pkts[i].Data) //nolint:errcheck
+	}
+	par2.Close()
+	final := reg2.Value("bro_packets_total")
+	fmt.Printf("    continuity: %.0f pkts at kill == %.0f after restore; %.0f final (no reset, no double-count)\n",
+		atKill, afterRestore, final)
+	check(final == float64(len(pkts)), fmt.Sprintf(
+		"monotonic counter ended at %.0f across the restart, want %d", final, len(pkts)))
+	o2, c2, a2 := 0.0, 0.0, 0.0
+	o2, c2, a2 = reg2.Value("bro_flows_opened_total"), reg2.Value("bro_flows_closed_total"), reg2.Value("bro_flows_active")
+	check(o2 == c2+a2, fmt.Sprintf("flow ledger broken after restart: opened %.0f != closed %.0f + active %.0f", o2, c2, a2))
+
+	// 3. Profiler instructions are first-class: a HILTI program's
+	//    profiler.start/update/stop show up on a live endpoint, named,
+	//    with no host-side plumbing beyond PublishTo.
+	prog, err := hilti.CompileSource(observeProgram)
+	must(err)
+	ex, err := hilti.NewExec(prog)
+	must(err)
+	reg3 := metrics.NewRegistry()
+	ex.Profs.PublishTo(reg3, "hilti/program", "module", "Observe")
+	ex.PublishTo(reg3, "hilti/vm", "vm", "observe")
+	_, err = ex.Call("Observe::run")
+	must(err)
+	ex.Met.Sync()
+	addr, err := reg3.Serve("127.0.0.1:0")
+	must(err)
+	resp, err := http.Get("http://" + addr + "/metrics")
+	must(err)
+	body, err := io.ReadAll(resp.Body)
+	must(err)
+	resp.Body.Close()
+	page := string(body)
+	wantSeries := []string{
+		`hilti_profiler_updates_total{name="observe",module="Observe"} 7`,
+		`hilti_profiler_intervals_total{name="observe",module="Observe"} 1`,
+		`hilti_vm_invocations_total{vm="observe"} 1`,
+	}
+	for _, s := range wantSeries {
+		check(strings.Contains(page, s), fmt.Sprintf("metrics endpoint missing %q", s))
+	}
+	fmt.Printf("    profiler: HILTI program's profiler.start/update/stop scraped at http://%s/metrics\n", addr)
+
+	// 4. Overhead bound: the §6.2 filter hot loop with and without VM
+	//    instrumentation attached, min-of-N interleaved so scheduler noise
+	//    cancels. The instrumented path adds two uncontended atomic RMWs
+	//    per invocation; the budget is ~3% (plus a small absolute floor
+	//    for timer jitter on fast runs).
+	fpkts := h.httpTrace()
+	e, err := bpf.ParseFilter("host 10.1.9.77 or src net 10.1.3.0/24")
+	must(err)
+	mod, err := bpf.CompileHILTI(e)
+	must(err)
+	progOff, err := vm.Link(mod)
+	must(err)
+	progOn, err := vm.Link(mod)
+	must(err)
+	exOff, err := vm.NewExec(progOff)
+	must(err)
+	exOn, err := vm.NewExec(progOn)
+	must(err)
+	exOn.AttachMetrics()
+	fnOff, fnOn := progOff.Fn("Filter::filter"), progOn.Fn("Filter::filter")
+	minOff, minOn := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < 7; i++ {
+		if _, _, t := filterRun(exOff, fnOff, fpkts); t < minOff {
+			minOff = t
+		}
+		if _, _, t := filterRun(exOn, fnOn, fpkts); t < minOn {
+			minOn = t
+		}
+	}
+	overhead := float64(minOn)/float64(minOff) - 1
+	fmt.Printf("    overhead: filter loop %v/pkt bare, %v/pkt instrumented (%+.2f%%)\n",
+		(minOff / time.Duration(len(fpkts))).Round(time.Nanosecond),
+		(minOn / time.Duration(len(fpkts))).Round(time.Nanosecond), 100*overhead)
+	budget := minOff + minOff*3/100 + time.Duration(5*len(fpkts))*time.Nanosecond
+	check(minOn <= budget, fmt.Sprintf("instrumentation overhead %.2f%% exceeds the ~3%% budget", 100*overhead))
+	exOn.Met.Sync()
+	check(exOn.Met.Invocations.Load() >= uint64(7*len(fpkts)), "instrumented run did not count its invocations")
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("    all observability invariants held")
 }

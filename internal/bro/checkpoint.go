@@ -78,11 +78,16 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	enc.String(e.cfg.ScriptExec)
 	enc.I64(e.now)
 	enc.I64(e.nextCtx)
-	enc.U64(uint64(e.packets))
-	enc.U64(uint64(e.events))
-	enc.U64(uint64(e.parseErrs))
-	enc.U64(uint64(e.budgetBlown))
-	enc.U64(uint64(e.quarDropped))
+	enc.U64(e.packets.Load())
+	enc.U64(e.events.Load())
+	enc.U64(e.parseErrs.Load())
+	enc.U64(e.budgetBlown.Load())
+	enc.U64(e.quarDropped.Load())
+	// Flow ledger and log-line count: checkpointed so metrics stay
+	// monotonic (no reset, no double count) across a crash-only restore.
+	enc.U64(e.flowsOpened.Load())
+	enc.U64(e.flowsClosed.Load())
+	enc.U64(e.Logs.Written())
 
 	enc.U32(uint32(len(e.quarantined)))
 	qvids := make([]uint64, 0, len(e.quarantined))
@@ -200,11 +205,14 @@ func RestoreEngine(cfg Config, r io.Reader) (*Engine, error) {
 	}
 	e.now = dec.I64()
 	e.nextCtx = dec.I64()
-	e.packets = int(dec.U64())
-	e.events = int(dec.U64())
-	e.parseErrs = int(dec.U64())
-	e.budgetBlown = int(dec.U64())
-	e.quarDropped = int(dec.U64())
+	e.packets.Store(dec.U64())
+	e.events.Store(dec.U64())
+	e.parseErrs.Store(dec.U64())
+	e.budgetBlown.Store(dec.U64())
+	e.quarDropped.Store(dec.U64())
+	e.flowsOpened.Store(dec.U64())
+	e.flowsClosed.Store(dec.U64())
+	e.Logs.written.Store(dec.U64())
 
 	nq := dec.Len(16)
 	for i := 0; i < nq && dec.Err() == nil; i++ {

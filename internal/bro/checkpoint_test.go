@@ -45,7 +45,7 @@ func killRestoreEqual(t *testing.T, cfg Config, pkts []pcap.Packet, streams []st
 	}
 	resumed.Finish()
 
-	if got, want := resumed.events, baseline.events; got != want {
+	if got, want := resumed.events.Load(), baseline.events.Load(); got != want {
 		t.Errorf("cut=%d: %d events, uninterrupted run had %d", cut, got, want)
 	}
 	for _, stream := range streams {

@@ -30,6 +30,7 @@ import (
 	"hilti/internal/pkt/reassembly"
 	"hilti/internal/rt/fault"
 	"hilti/internal/rt/hbytes"
+	"hilti/internal/rt/metrics"
 	"hilti/internal/rt/profiler"
 	"hilti/internal/rt/timer"
 	"hilti/internal/rt/values"
@@ -64,6 +65,20 @@ type Config struct {
 	PanicPort uint16
 	LoopPort  uint16
 	StallPort uint16
+
+	// Metrics, when set, publishes the engine's counters (flows
+	// opened/closed, packets, events, parse errors, faults, log lines),
+	// its component profilers, any HILTI-program profilers
+	// (profiler.start/stop/update), and its VMs' execution counters to the
+	// registry. Several engines may share one registry; their series sum.
+	Metrics *metrics.Registry
+	// MetricsKey distinguishes this engine's collector registration (and
+	// its "worker" label) when several engines share a registry; the
+	// parallel host sets it to the worker index. A restored engine
+	// re-registering under the same key replaces its predecessor, which is
+	// what keeps counters continuous across crash-only restarts. Default
+	// "0".
+	MetricsKey string
 }
 
 // Stats reports per-component processing time (the Figure 9/10 split) and
@@ -99,20 +114,28 @@ type Engine struct {
 	inParse    int
 	total      time.Duration
 
-	now       int64
-	conns     map[flow.Key]*conn
-	ctxs      map[int64]*conn
-	nextCtx   int64
-	packets   int
-	events    int
-	parseErrs int
+	now     int64
+	conns   map[flow.Key]*conn
+	ctxs    map[int64]*conn
+	nextCtx int64
+
+	// Event/flow counters are atomic (metrics.Counter) so a metrics scrape
+	// can read them from another goroutine while the engine runs; the
+	// engine itself is still single-threaded. All of them are checkpointed,
+	// so counts continue monotonically across a crash-only restore.
+	packets     metrics.Counter
+	events      metrics.Counter
+	parseErrs   metrics.Counter
+	flowsOpened metrics.Counter // connections created (TCP + UDP)
+	flowsClosed metrics.Counter // connections closed or zapped
 
 	faults      *fault.Recorder
-	budgetBlown int
+	budgetBlown metrics.Counter
 	quarantined map[uint64]uint64 // faulted flow hash -> packets dropped since
-	quarDropped int
+	quarDropped metrics.Counter
 	reasm       *reassembly.Budget
-	loopExec    *vm.Exec // lazily built LoopPort injection analyzer
+	loopExec    *vm.Exec           // lazily built LoopPort injection analyzer
+	profs       *profiler.Registry // parsing/script/glue component profilers
 
 	httpReqStruct, httpRepStruct *values.StructDef
 	out                          printWriter
@@ -159,10 +182,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.reasm = reassembly.NewBudget(cfg.ReassemblyBudget)
 	}
 	e.Logs.Discard = cfg.DiscardLogs
-	regs := profiler.NewRegistry()
-	e.profParse = regs.Get("parsing")
-	e.profScript = regs.Get("script")
-	e.profGlue = regs.Get("glue")
+	e.profs = profiler.NewRegistry()
+	e.profParse = e.profs.Get("parsing")
+	e.profScript = e.profs.Get("script")
+	e.profGlue = e.profs.Get("glue")
 	e.glue = NewGlue(e.profGlue)
 
 	var parsed []*Script
@@ -215,6 +238,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	e.registerMetrics()
 	return e, nil
 }
 
@@ -272,7 +296,7 @@ func (e *Engine) resumeParse() {
 // converted into a recorded fault, aborting only this event — the flow and
 // the engine keep processing.
 func (e *Engine) dispatch(name string, args ...Val) {
-	e.events++
+	e.events.Inc()
 	e.pauseParse()
 	defer e.resumeParse()
 	if f := fault.Catch("event:"+name, func() { e.dispatchRaw(name, args...) }); f != nil {
@@ -291,7 +315,7 @@ func (e *Engine) dispatchRaw(name string, args ...Val) {
 		// Script errors abort the handler only; a blown execution budget
 		// is additionally counted.
 		if err := e.sexec.RunHook(name, hargs...); isExhausted(err) {
-			e.budgetBlown++
+			e.budgetBlown.Inc()
 		}
 		e.profScript.Stop()
 		return
@@ -332,7 +356,7 @@ func (e *Engine) SafeProcessPacket(tsNs int64, frame []byte) {
 	}
 	if n, bad := e.quarantined[vid]; bad {
 		e.quarantined[vid] = n + 1
-		e.quarDropped++
+		e.quarDropped.Inc()
 		return
 	}
 	f := fault.Catch("packet", func() { e.ProcessPacket(tsNs, frame) })
@@ -371,6 +395,7 @@ func (e *Engine) ZapFlow(key flow.Key) {
 	}
 	delete(e.conns, ck)
 	delete(e.ctxs, c.ctx)
+	e.flowsClosed.Inc()
 }
 
 // Faults returns the engine's retained fault records, oldest first.
@@ -387,14 +412,14 @@ func (e *Engine) StatsSnapshot() *Stats {
 		Script:   e.profScript.Total(),
 		Glue:     e.profGlue.Total(),
 		Total:    e.total,
-		Packets:  e.packets,
-		Events:   e.events,
-		ParseErr: e.parseErrs,
+		Packets:  int(e.packets.Load()),
+		Events:   int(e.events.Load()),
+		ParseErr: int(e.parseErrs.Load()),
 
 		Faults:            int(e.faults.Count()),
-		BudgetBlown:       e.budgetBlown,
+		BudgetBlown:       int(e.budgetBlown.Load()),
 		Quarantined:       len(e.quarantined),
-		QuarantineDropped: e.quarDropped,
+		QuarantineDropped: int(e.quarDropped.Load()),
 	}
 	s.Other = s.Total - s.Parsing - s.Script - s.Glue
 	if s.Other < 0 {
@@ -405,7 +430,7 @@ func (e *Engine) StatsSnapshot() *Stats {
 
 // ProcessPacket handles one link-layer frame.
 func (e *Engine) ProcessPacket(tsNs int64, frame []byte) {
-	e.packets++
+	e.packets.Inc()
 	e.now = tsNs
 	// Expire HILTI-side container state by network time.
 	if e.sexec != nil {
@@ -450,6 +475,7 @@ func (e *Engine) getConn(key flow.Key, isTCP bool) (*conn, bool) {
 		e.nextCtx++
 		e.conns[ck] = c
 		e.ctxs[c.ctx] = c
+		e.flowsOpened.Inc()
 		// The canonical direction may be the reverse of the first packet;
 		// record the actual originator.
 		c.key = key
@@ -580,6 +606,7 @@ func (e *Engine) closeConn(c *conn) {
 	ck, _ := c.key.Canonical()
 	delete(e.conns, ck)
 	delete(e.ctxs, c.ctx)
+	e.flowsClosed.Inc()
 }
 
 func (e *Engine) udpPacket(ip layers.IPv4, udp layers.UDP) {
@@ -601,7 +628,7 @@ func (e *Engine) udpPacket(ip layers.IPv4, udp layers.UDP) {
 	e.profParse.Stop()
 	e.inParse--
 	if err != nil {
-		e.parseErrs++
+		e.parseErrs.Inc()
 		return
 	}
 	_ = isOrig
@@ -673,7 +700,7 @@ func (a *stdHTTPAdapter) MessageDone(isOrig bool) {
 }
 
 func (a *stdHTTPAdapter) ParseError(isOrig bool, msg string) {
-	a.e.parseErrs++
+	a.e.parseErrs.Inc()
 }
 
 // --- fault-injection loop analyzer ---------------------------------------------
@@ -686,7 +713,7 @@ func (e *Engine) runLoopAnalyzer() {
 		return
 	}
 	if _, err := e.loopExec.Call("Faulty::spin"); isExhausted(err) {
-		e.budgetBlown++
+		e.budgetBlown.Inc()
 	}
 }
 

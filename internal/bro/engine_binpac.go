@@ -46,7 +46,7 @@ func (e *Engine) binpacDeliver(c *conn, isOrig bool, d []byte) {
 	if done {
 		*dead = true
 		if err != nil {
-			e.parseErrs++
+			e.parseErrs.Inc()
 		}
 	}
 }
@@ -67,7 +67,7 @@ func (e *Engine) finishBinpacDir(c *conn, isOrig bool) {
 	if !done {
 		run.Abort()
 	} else if err != nil {
-		e.parseErrs++
+		e.parseErrs.Inc()
 	}
 }
 
@@ -101,7 +101,7 @@ func (e *Engine) binpacDNSPacket(c *conn, payload []byte) {
 	e.profParse.Stop()
 	e.inParse--
 	if err != nil {
-		e.parseErrs++
+		e.parseErrs.Inc()
 	}
 }
 

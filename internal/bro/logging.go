@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"hilti/internal/rt/metrics"
 )
 
 // LogSet manages the output streams.
@@ -20,6 +22,10 @@ type LogSet struct {
 	// performance runs ("Bro still performs the same computation but skips
 	// the final write operation").
 	Discard bool
+	// written counts every Write, including discarded ones, atomically so
+	// a metrics scrape can read it while the engine's worker writes. It is
+	// checkpointed: restored engines continue the count.
+	written metrics.Counter
 }
 
 type logStream struct {
@@ -65,10 +71,15 @@ func (ls *LogSet) Write(stream string, rec *RecordVal) {
 		}
 	}
 	line := strings.Join(parts, "\t")
+	ls.written.Inc()
 	if !ls.Discard {
 		st.lines = append(st.lines, line)
 	}
 }
+
+// Written returns the total number of log records written (whether kept or
+// discarded) since the engine started or was restored.
+func (ls *LogSet) Written() uint64 { return ls.written.Load() }
 
 // Lines returns a stream's raw lines.
 func (ls *LogSet) Lines(stream string) []string {

@@ -1,0 +1,91 @@
+// Engine observability: one keyed collector per engine emits the engine's
+// counters at scrape time, plus bridges for the component profilers, any
+// HILTI-program profilers, and the script/parser VMs' execution counters.
+//
+// Everything here reads state that is already atomic (metrics.Counter
+// fields, fault.Recorder's count, profiler mutexes), so a scrape can run
+// while the engine's worker goroutine processes packets. The packet path
+// itself gains nothing beyond the atomic increments the counters already
+// cost.
+
+package bro
+
+import (
+	"hilti/internal/rt/container"
+	"hilti/internal/rt/metrics"
+	"hilti/internal/rt/timer"
+)
+
+// registerMetrics wires the engine into cfg.Metrics (no-op when unset).
+// Called from NewEngine — which RestoreEngine also goes through, so a
+// restored engine replaces its predecessor's registration (same key) and
+// its checkpoint-seeded counters keep the series continuous.
+func (e *Engine) registerMetrics() {
+	reg := e.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	key := e.cfg.MetricsKey
+	if key == "" {
+		key = "0"
+	}
+	reg.RegisterCollector("bro/engine/"+key, func(emit func(string, float64)) {
+		opened := e.flowsOpened.Load()
+		closed := e.flowsClosed.Load()
+		emit("bro_packets_total", float64(e.packets.Load()))
+		emit("bro_events_total", float64(e.events.Load()))
+		emit("bro_parse_errors_total", float64(e.parseErrs.Load()))
+		emit("bro_flows_opened_total", float64(opened))
+		emit("bro_flows_closed_total", float64(closed))
+		emit("bro_flows_active", float64(opened-closed))
+		emit("bro_faults_total", float64(e.faults.Count()))
+		emit("bro_budget_blown_total", float64(e.budgetBlown.Load()))
+		emit("bro_quarantine_dropped_total", float64(e.quarDropped.Load()))
+		emit("bro_log_lines_total", float64(e.Logs.Written()))
+	})
+	// Component profilers (parsing/script/glue — the Figure 9/10 split)
+	// and HILTI-program profilers from the script and parser VMs.
+	e.profs.PublishTo(reg, "bro/profs/"+key)
+	if e.sexec != nil {
+		e.sexec.PublishTo(reg, "bro/vm/script/"+key, "vm", "script")
+		e.sexec.Profs.PublishTo(reg, "bro/hprofs/script/"+key)
+		e.sexec.GlobalTM.Met = e.timerMetrics(reg)
+	}
+	if e.pexec != nil {
+		e.pexec.PublishTo(reg, "bro/vm/parse/"+key, "vm", "parse")
+		e.pexec.Profs.PublishTo(reg, "bro/hprofs/parse/"+key)
+		e.pexec.GlobalTM.Met = e.timerMetrics(reg)
+	}
+	// Process-global series: name-keyed registration makes repeated calls
+	// (one per engine) idempotent rather than additive.
+	reg.GaugeFunc("hilti_container_expirations_total", func() float64 {
+		return float64(container.Expirations())
+	})
+	if e.reasm != nil {
+		budget := e.reasm
+		reg.GaugeFunc("bro_reassembly_buffered_bytes", func() float64 {
+			return float64(budget.Used())
+		})
+		reg.GaugeFunc("bro_reassembly_forced_gaps_total", func() float64 {
+			return float64(budget.Forced())
+		})
+	}
+}
+
+// timerMetrics returns the shared instrument set for engine-side timer
+// managers (HILTI global timer wheels driving container expiration).
+func (e *Engine) timerMetrics(reg *metrics.Registry) *timer.MgrMetrics {
+	return &timer.MgrMetrics{
+		Scheduled: reg.Counter("hilti_timers_scheduled_total"),
+		Fired:     reg.Counter("hilti_timers_fired_total"),
+		Expired:   reg.Counter("hilti_timers_expired_total"),
+	}
+}
+
+// FlowCounts reports the engine's flow ledger: connections opened, closed
+// (including zapped), and currently active. opened == closed + active at
+// every between-packets point — the invariant hilti-bench -exp observe
+// asserts.
+func (e *Engine) FlowCounts() (opened, closed uint64, active int) {
+	return e.flowsOpened.Load(), e.flowsClosed.Load(), len(e.conns)
+}

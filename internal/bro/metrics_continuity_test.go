@@ -1,0 +1,124 @@
+package bro
+
+import (
+	"bytes"
+	"testing"
+
+	"hilti/internal/rt/metrics"
+)
+
+// TestMetricContinuityAcrossRestore pins down the observability contract
+// of crash-only operation: an engine killed after a checkpoint and
+// restored into the SAME registry must keep its series continuous —
+// counters neither reset to zero (the checkpoint seeds them) nor
+// double-count (the restored engine's keyed collector replaces the dead
+// one's registration rather than adding a second emitter).
+func TestMetricContinuityAcrossRestore(t *testing.T) {
+	pkts := mergedTrace(t)
+	reg := metrics.NewRegistry()
+	cfg := Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{HTTPScript, FilesScript, DNSScript}, Quiet: true,
+		Metrics: reg}
+
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(pkts) / 2
+	for i := 0; i < cut; i++ {
+		e.SafeProcessPacket(pkts[i].Time.UnixNano(), pkts[i].Data)
+	}
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	atKill := reg.Value("bro_packets_total")
+	eventsAtKill := reg.Value("bro_events_total")
+	logsAtKill := reg.Value("bro_log_lines_total")
+	if atKill != float64(e.packets.Load()) || atKill == 0 {
+		t.Fatalf("scrape %v != engine counter %d", atKill, e.packets.Load())
+	}
+
+	// Kill: the engine object is dropped on the floor, exactly as the
+	// supervisor does after a worker fault.
+	resumed, err := RestoreEngine(cfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No reset: the restored engine reports the checkpointed totals.
+	if got := reg.Value("bro_packets_total"); got != atKill {
+		t.Fatalf("packets after restore = %v, want %v (reset or double-count)", got, atKill)
+	}
+	if got := reg.Value("bro_events_total"); got != eventsAtKill {
+		t.Fatalf("events after restore = %v, want %v", got, eventsAtKill)
+	}
+	if got := reg.Value("bro_log_lines_total"); got != logsAtKill {
+		t.Fatalf("log lines after restore = %v, want %v", got, logsAtKill)
+	}
+
+	for i := cut; i < len(pkts); i++ {
+		resumed.SafeProcessPacket(pkts[i].Time.UnixNano(), pkts[i].Data)
+	}
+	resumed.Finish()
+
+	// Monotonic across the kill: final totals reflect both halves.
+	if got := reg.Value("bro_packets_total"); got != float64(resumed.packets.Load()) {
+		t.Fatalf("final packets = %v, engine says %d", got, resumed.packets.Load())
+	}
+	if reg.Value("bro_packets_total") < atKill {
+		t.Fatal("packet counter went backwards across restore")
+	}
+	// Flow ledger stays balanced when scraped from the registry.
+	opened := reg.Value("bro_flows_opened_total")
+	closed := reg.Value("bro_flows_closed_total")
+	active := reg.Value("bro_flows_active")
+	if opened != closed+active {
+		t.Fatalf("flow ledger: opened %v != closed %v + active %v", opened, closed, active)
+	}
+	if opened == 0 {
+		t.Fatal("no flows observed; trace did not exercise the ledger")
+	}
+}
+
+// TestMetricContinuityNoDoubleCollector: restoring under the same key must
+// leave exactly one emitter for the engine series — a second engine with a
+// DIFFERENT key is additive by design, and that contrast is the test.
+func TestMetricContinuityNoDoubleCollector(t *testing.T) {
+	pkts := mergedTrace(t)
+	reg := metrics.NewRegistry()
+	cfg := Config{Parser: "standard", ScriptExec: "interp",
+		Scripts: []string{HTTPScript}, Quiet: true, Metrics: reg}
+
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(pkts); i++ {
+		e.SafeProcessPacket(pkts[i].Time.UnixNano(), pkts[i].Data)
+	}
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	total := reg.Value("bro_packets_total")
+
+	// Same key (default "0"): replacement, not addition.
+	if _, err := RestoreEngine(cfg, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Value("bro_packets_total"); got != total {
+		t.Fatalf("same-key restore changed total: %v -> %v", total, got)
+	}
+
+	// Different key: a genuine second engine, so the aggregate doubles.
+	other := cfg
+	other.MetricsKey = "1"
+	if _, err := RestoreEngine(other, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Value("bro_packets_total"); got != 2*total {
+		t.Fatalf("distinct-key engine not additive: %v, want %v", got, 2*total)
+	}
+}

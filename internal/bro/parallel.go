@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"io"
 	"sort"
+	"strconv"
 
 	"hilti/internal/pkt/pcap"
 	"hilti/internal/pkt/pipeline"
@@ -39,9 +40,21 @@ func NewParallelWith(cfg Config, pcfg pipeline.Config) (*Parallel, error) {
 	if cfg.SharedReassembly == nil && cfg.ReassemblyBudget > 0 {
 		cfg.SharedReassembly = reassembly.NewBudget(cfg.ReassemblyBudget)
 	}
+	// One registry observes pipeline and engines together; each worker's
+	// engine registers under its own key so a supervised restart replaces
+	// (not duplicates) the dead worker's series.
+	if pcfg.Metrics == nil {
+		pcfg.Metrics = cfg.Metrics
+	}
+	workerCfg := func(i int) Config {
+		c := cfg
+		c.Metrics = pcfg.Metrics
+		c.MetricsKey = strconv.Itoa(i)
+		return c
+	}
 	p := &Parallel{Engines: make([]*Engine, pcfg.Workers)}
 	pcfg.NewHandler = func(i int) (pipeline.Handler, error) {
-		e, err := NewEngine(cfg)
+		e, err := NewEngine(workerCfg(i))
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +65,7 @@ func NewParallelWith(cfg Config, pcfg pipeline.Config) (*Parallel, error) {
 		// Default restore path so a supervised restart (StallTimeout) can
 		// rebuild a replaced worker's engine from its shard checkpoint.
 		pcfg.RestoreHandler = func(i int, data []byte) (pipeline.Handler, error) {
-			e, err := RestoreEngine(cfg, bytes.NewReader(data))
+			e, err := RestoreEngine(workerCfg(i), bytes.NewReader(data))
 			if err != nil {
 				return nil, err
 			}
@@ -77,6 +90,15 @@ func RestoreParallelWith(cfg Config, pcfg pipeline.Config, r io.Reader) (*Parall
 	if cfg.SharedReassembly == nil && cfg.ReassemblyBudget > 0 {
 		cfg.SharedReassembly = reassembly.NewBudget(cfg.ReassemblyBudget)
 	}
+	if pcfg.Metrics == nil {
+		pcfg.Metrics = cfg.Metrics
+	}
+	workerCfg := func(i int) Config {
+		c := cfg
+		c.Metrics = pcfg.Metrics
+		c.MetricsKey = strconv.Itoa(i)
+		return c
+	}
 	p := &Parallel{}
 	// The worker count comes from the checkpoint, so the engine slice
 	// grows as handlers are built (sequentially, in worker order).
@@ -87,7 +109,7 @@ func RestoreParallelWith(cfg Config, pcfg pipeline.Config, r io.Reader) (*Parall
 		p.Engines[i] = e
 	}
 	pcfg.NewHandler = func(i int) (pipeline.Handler, error) {
-		e, err := NewEngine(cfg)
+		e, err := NewEngine(workerCfg(i))
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +117,7 @@ func RestoreParallelWith(cfg Config, pcfg pipeline.Config, r io.Reader) (*Parall
 		return e, nil
 	}
 	pcfg.RestoreHandler = func(i int, data []byte) (pipeline.Handler, error) {
-		e, err := RestoreEngine(cfg, bytes.NewReader(data))
+		e, err := RestoreEngine(workerCfg(i), bytes.NewReader(data))
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +146,7 @@ func (p *Parallel) ProcessTrace(pkts []pcap.Packet) {
 func (p *Parallel) Events() int {
 	n := 0
 	for _, e := range p.Engines {
-		n += e.events
+		n += int(e.events.Load())
 	}
 	return n - (len(p.Engines) - 1)
 }

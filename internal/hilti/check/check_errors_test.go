@@ -1,0 +1,241 @@
+package check
+
+import (
+	"testing"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+)
+
+// These tests drive the verifier through parsed source (where the surface
+// syntax can express the mistake) and through hand-built ASTs (for operand
+// shapes the parser itself would never emit, but host-application compilers
+// generating ASTs directly can).
+
+func TestSourceDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "undefined variable",
+			src: `
+module M
+void f () {
+    local int64 x
+    x = int.add y 1
+}
+`,
+			want: []string{`undefined variable "y"`},
+		},
+		{
+			name: "undefined target",
+			src: `
+module M
+void f () {
+    x = int.add 1 2
+}
+`,
+			want: []string{`undefined target "x"`},
+		},
+		{
+			name: "undefined jump label",
+			src: `
+module M
+void f () {
+    jump nowhere
+}
+`,
+			want: []string{`undefined label "nowhere"`},
+		},
+		{
+			name: "duplicate local",
+			src: `
+module M
+void f () {
+    local int64 x
+    local bool x
+}
+`,
+			want: []string{`duplicate local "x"`},
+		},
+		{
+			name: "local shadowing parameter",
+			src: `
+module M
+void f (int64 p) {
+    local int64 p
+}
+`,
+			want: []string{`duplicate local "p"`},
+		},
+		{
+			name: "duplicate global",
+			src: `
+module M
+global int64 g
+global int64 g
+`,
+			want: []string{`duplicate global "g"`},
+		},
+		{
+			name: "call arity mismatch",
+			src: `
+module M
+void two (int64 a, int64 b) {
+    return
+}
+void f () {
+    call two (1)
+}
+`,
+			want: []string{"call to two with 1 args, want 2"},
+		},
+		{
+			name: "value return from void",
+			src: `
+module M
+void f () {
+    return 1
+}
+`,
+			want: []string{"value return from void function"},
+		},
+		{
+			name: "several diagnostics in one function",
+			src: `
+module M
+void f () {
+    local int64 x
+    local int64 x
+    x = int.add missing 1
+    jump gone
+}
+`,
+			want: []string{
+				`duplicate local "x"`,
+				`undefined variable "missing"`,
+				`undefined label "gone"`,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := Check(mustParse(t, tc.src))
+			if len(errs) == 0 {
+				t.Fatalf("no diagnostics for %s", tc.name)
+			}
+			for _, w := range tc.want {
+				wantErr(t, errs, w)
+			}
+		})
+	}
+}
+
+func TestDuplicateBlockLabel(t *testing.T) {
+	// The builder re-enters same-named blocks, so the duplicate can only
+	// come from a hand-assembled function body.
+	b := ast.NewBuilder("M")
+	fb := b.Function("f", types.VoidT)
+	fb.ReturnVoid()
+	fb.F.Blocks = append(fb.F.Blocks,
+		&ast.Block{Name: "top"}, &ast.Block{Name: "top"})
+	wantErr(t, Check(b.M), `duplicate block label "top"`)
+}
+
+func TestTryEndWithoutBegin(t *testing.T) {
+	b := ast.NewBuilder("M")
+	fb := b.Function("f", types.VoidT)
+	fb.Instr("try.end")
+	fb.ReturnVoid()
+	errs := Check(b.M)
+	wantErr(t, errs, "try.end without try.begin")
+	// The depth resets after reporting, so no spurious "unclosed try".
+	for _, e := range errs {
+		if e.Error() == "unclosed try" {
+			t.Fatalf("spurious unclosed-try diagnostic: %v", errs)
+		}
+	}
+}
+
+func TestJumpOperandShape(t *testing.T) {
+	b := ast.NewBuilder("M")
+	fb := b.Function("f", types.VoidT)
+	fb.Instr("jump") // no operand at all
+	wantErr(t, Check(b.M), "jump requires one label operand")
+
+	b2 := ast.NewBuilder("M")
+	fb2 := b2.Function("f", types.VoidT)
+	fb2.Instr("jump", ast.IntOp(1)) // wrong operand kind
+	wantErr(t, Check(b2.M), "jump requires one label operand")
+}
+
+func TestIfElseOperandShape(t *testing.T) {
+	b := ast.NewBuilder("M")
+	fb := b.Function("f", types.VoidT)
+	fb.Block("a")
+	fb.Instr("if.else", ast.BoolOp(true), ast.LabelOp("a")) // missing else label
+	wantErr(t, Check(b.M), "if.else requires condition and two labels")
+
+	b2 := ast.NewBuilder("M")
+	fb2 := b2.Function("f", types.VoidT)
+	fb2.Instr("if.else", ast.BoolOp(true), ast.IntOp(0), ast.IntOp(1))
+	wantErr(t, Check(b2.M), "if.else requires condition and two labels")
+}
+
+func TestTargetMustBeVariable(t *testing.T) {
+	b := ast.NewBuilder("M")
+	fb := b.Function("f", types.VoidT)
+	fb.Append(&ast.Instr{Op: "int.add", Target: ast.IntOp(1),
+		Ops: []ast.Operand{ast.IntOp(1), ast.IntOp(2)}})
+	wantErr(t, Check(b.M), "target must be a variable")
+}
+
+func TestDuplicateFunction(t *testing.T) {
+	b := ast.NewBuilder("M")
+	f1 := b.Function("f", types.VoidT)
+	f1.ReturnVoid()
+	f2 := b.Function("f", types.VoidT)
+	f2.ReturnVoid()
+	wantErr(t, Check(b.M), `duplicate function "f"`)
+}
+
+func TestUnhashableMapKey(t *testing.T) {
+	b := ast.NewBuilder("M")
+	b.Global("bad", types.RefT(types.MapT(types.RefT(types.ListT(types.Int64T)), types.Int64T)))
+	wantErr(t, Check(b.M), "not hashable")
+}
+
+func TestUndefinedVariableInsideCtor(t *testing.T) {
+	b := ast.NewBuilder("M")
+	callee := b.Function("work", types.VoidT, ast.Param{Name: "x", Type: types.Int64T})
+	callee.ReturnVoid()
+	fb := b.Function("f", types.VoidT)
+	fb.Instr("thread.schedule", ast.FuncOperand("work"),
+		ast.Operand{Kind: ast.CtorOp, Elems: []ast.Operand{ast.VarOp("ghost")}},
+		ast.IntOp(1))
+	wantErr(t, Check(b.M), `undefined variable "ghost"`)
+}
+
+func TestCrossModuleArityMismatch(t *testing.T) {
+	a := ast.NewBuilder("A")
+	fn := a.Function("helper", types.VoidT, ast.Param{Name: "x", Type: types.Int64T})
+	fn.ReturnVoid()
+
+	b := ast.NewBuilder("B")
+	fb := b.Function("f", types.VoidT)
+	fb.Call("helper", ast.IntOp(1), ast.IntOp(2))
+	wantErr(t, Check(a.M, b.M), "call to helper with 2 args, want 1")
+}
+
+func TestErrorFormatting(t *testing.T) {
+	e := &Error{Module: "M", Function: "f", Instr: "jump x", Msg: "boom"}
+	if got := e.Error(); got != `M::f: in "jump x": boom` {
+		t.Fatalf("Error() = %q", got)
+	}
+	e2 := &Error{Module: "M", Msg: "boom"}
+	if got := e2.Error(); got != "M: boom" {
+		t.Fatalf("module-level Error() = %q", got)
+	}
+}

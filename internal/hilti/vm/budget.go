@@ -109,11 +109,17 @@ func (ex *Exec) checkBudget() int {
 	if ex.budget.steps >= ex.budget.instrLimit {
 		ex.budget.instrLimit += budgetGrace
 		ex.scheduleNextCheck()
+		if ex.Met != nil {
+			ex.Met.LimitTrips.Inc()
+		}
 		return ex.raise(ExcResourceExhausted, "instruction budget exceeded")
 	}
 	if !ex.budget.deadline.IsZero() && time.Now().After(ex.budget.deadline) {
 		ex.budget.deadline = time.Now().Add(budgetGrace * time.Microsecond)
 		ex.scheduleNextCheck()
+		if ex.Met != nil {
+			ex.Met.LimitTrips.Inc()
+		}
 		return ex.raise(ExcResourceExhausted, "execution deadline exceeded")
 	}
 	ex.scheduleNextCheck()

@@ -1,0 +1,176 @@
+// VM observability: per-Exec execution counters and an optional per-opcode
+// profile.
+//
+// The hot dispatch loop is never instrumented directly — instruction counts
+// are harvested from the budget machinery (which already counts steps for
+// resource governance) at invocation boundaries. The harvest itself is
+// batched: invocation and instruction deltas accumulate in plain fields
+// owned by the Exec goroutine and are flushed to the atomic counters every
+// flushEvery invocations, so the steady-state per-call cost is two plain
+// adds and a predictable branch (~0.4ns) instead of two atomic RMWs
+// (~12ns on a Xeon). Scrapes therefore lag by at most flushEvery
+// invocations — bounded staleness a monitoring reader never notices.
+// Counters live on the Exec rather than in a shared registry so concurrent
+// Execs on different pipeline workers never contend on a cache line; a
+// scrape-time collector sums them.
+
+package vm
+
+import (
+	"sort"
+	"sync"
+
+	"hilti/internal/rt/metrics"
+)
+
+// ExecMetrics is the counter set one Exec reports into. All fields are
+// safe to read from any goroutine while the Exec runs.
+type ExecMetrics struct {
+	// Instructions is the cumulative count of VM instructions executed by
+	// completed top-level invocations (fiber-backed calls count all their
+	// resumes when the call completes).
+	Instructions metrics.Counter
+	// Invocations counts completed top-level Call/CallFn entries.
+	Invocations metrics.Counter
+	// FiberSuspends counts would-block suspensions of fiber-backed calls
+	// (the paper's incremental-parsing yields).
+	FiberSuspends metrics.Counter
+	// LimitTrips counts Hilti::ResourceExhausted raises from instruction
+	// budgets or deadlines (vm.Limits).
+	LimitTrips metrics.Counter
+	// Uncaught counts invocations that completed with an unhandled
+	// exception.
+	Uncaught metrics.Counter
+
+	// Pending deltas, owned by the Exec's goroutine (never read elsewhere);
+	// folded into the atomic counters by flush().
+	pendInstr uint64
+	pendInv   uint64
+}
+
+// flushEvery bounds how many invocations may accumulate locally before the
+// pending deltas are folded into the atomic counters.
+const flushEvery = 32
+
+// harvest records one completed top-level invocation. Called on the Exec's
+// goroutine only.
+func (m *ExecMetrics) harvest(steps uint64) {
+	m.pendInstr += steps
+	if m.pendInv++; m.pendInv >= flushEvery {
+		m.flush()
+	}
+}
+
+func (m *ExecMetrics) flush() {
+	if m.pendInv > 0 {
+		m.Invocations.Add(m.pendInv)
+		m.Instructions.Add(m.pendInstr)
+		m.pendInv, m.pendInstr = 0, 0
+	}
+}
+
+// Sync publishes any batched invocation/instruction deltas to the atomic
+// counters immediately. It must be called from the goroutine driving the
+// Exec (between calls); scrape-side readers never need it — they just see
+// values up to flushEvery invocations stale.
+func (m *ExecMetrics) Sync() {
+	if m != nil {
+		m.flush()
+	}
+}
+
+// AttachMetrics equips the Exec with an ExecMetrics counter set (idempotent
+// — an existing set is kept) and returns it. Call before the Exec runs.
+func (ex *Exec) AttachMetrics() *ExecMetrics {
+	if ex.Met == nil {
+		ex.Met = &ExecMetrics{}
+	}
+	return ex.Met
+}
+
+// PublishTo registers the Exec's counters (attaching them if needed) with
+// reg under the given collector key, as hilti_vm_* series with the given
+// extra label pairs. The opcode profile is published too when
+// EnableOpcodeProfile was called before PublishTo (the profile pointer is
+// captured here so the scrape never races with enabling).
+func (ex *Exec) PublishTo(reg *metrics.Registry, key string, labels ...string) *ExecMetrics {
+	m := ex.AttachMetrics()
+	op := ex.opProf
+	if reg == nil {
+		return m
+	}
+	reg.RegisterCollector(key, func(emit func(string, float64)) {
+		emit(metrics.Name("hilti_vm_instructions_total", labels...), float64(m.Instructions.Load()))
+		emit(metrics.Name("hilti_vm_invocations_total", labels...), float64(m.Invocations.Load()))
+		emit(metrics.Name("hilti_vm_fiber_suspends_total", labels...), float64(m.FiberSuspends.Load()))
+		emit(metrics.Name("hilti_vm_limit_trips_total", labels...), float64(m.LimitTrips.Load()))
+		emit(metrics.Name("hilti_vm_uncaught_exceptions_total", labels...), float64(m.Uncaught.Load()))
+		if op != nil {
+			for _, oc := range op.snapshot() {
+				lp := append([]string{"op", oc.op}, labels...)
+				emit(metrics.Name("hilti_vm_op_executions_total", lp...), float64(oc.n))
+			}
+		}
+	})
+	return m
+}
+
+// opProfile is the optional per-opcode execution profile. Counts are
+// per-op atomic counters in a sync.Map: updates come from the (single)
+// Exec goroutine but scrapes iterate concurrently, and sync.Map keeps the
+// hot lookup lock-free once an opcode's counter exists.
+type opProfile struct {
+	counts sync.Map // op string -> *metrics.Counter
+}
+
+type opCount struct {
+	op string
+	n  uint64
+}
+
+// EnableOpcodeProfile turns on per-opcode execution counting for this
+// Exec. It costs one pointer nil-check per instruction when disabled and
+// a map lookup + atomic add per instruction when enabled — a diagnostic
+// mode, not a production default (the paper's profiler instructions cover
+// coarse attribution cheaply; this is the fine-grained variant).
+func (ex *Exec) EnableOpcodeProfile() {
+	if ex.opProf == nil {
+		ex.opProf = &opProfile{}
+	}
+}
+
+// OpcodeProfile returns the per-opcode execution counts accumulated so
+// far, or nil when profiling was never enabled.
+func (ex *Exec) OpcodeProfile() map[string]uint64 {
+	if ex.opProf == nil {
+		return nil
+	}
+	out := make(map[string]uint64)
+	for _, oc := range ex.opProf.snapshot() {
+		out[oc.op] = oc.n
+	}
+	return out
+}
+
+func (p *opProfile) hit(op string) {
+	v, ok := p.counts.Load(op)
+	if !ok {
+		v, _ = p.counts.LoadOrStore(op, &metrics.Counter{})
+	}
+	v.(*metrics.Counter).Inc()
+}
+
+func (p *opProfile) snapshot() []opCount {
+	var out []opCount
+	p.counts.Range(func(k, v any) bool {
+		out = append(out, opCount{op: k.(string), n: v.(*metrics.Counter).Load()})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].n != out[j].n {
+			return out[i].n > out[j].n
+		}
+		return out[i].op < out[j].op
+	})
+	return out
+}

@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"hilti/internal/hilti/ast"
+	"hilti/internal/hilti/types"
+	"hilti/internal/rt/metrics"
+	"hilti/internal/rt/values"
+)
+
+func metricsProg(t *testing.T) *Exec {
+	t.Helper()
+	b := ast.NewBuilder("M")
+	fb := b.Function("f", types.Int64T, ast.Param{Name: "x", Type: types.Int64T})
+	y := fb.Local("y", types.Int64T)
+	fb.Assign(y, "int.mul", ast.VarOp("x"), ast.IntOp(3))
+	fb.Assign(y, "int.add", y, ast.IntOp(4))
+	fb.Return(y)
+	return mustLink(t, b.M)
+}
+
+func TestExecMetricsInvocationCounts(t *testing.T) {
+	ex := metricsProg(t)
+	m := ex.AttachMetrics()
+	for i := 0; i < 5; i++ {
+		if _, err := ex.Call("M::f", values.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Invocations.Load(); got != 0 {
+		t.Fatalf("invocations flushed early: %d before Sync (batching broken?)", got)
+	}
+	m.Sync()
+	if got := m.Invocations.Load(); got != 5 {
+		t.Fatalf("invocations = %d, want 5", got)
+	}
+	in := m.Instructions.Load()
+	if in == 0 {
+		t.Fatalf("instructions not harvested")
+	}
+	// Steps() reports the last invocation; 5 identical calls → 5x.
+	if want := 5 * ex.Steps(); in != want {
+		t.Fatalf("instructions = %d, want %d (5 × %d)", in, want, ex.Steps())
+	}
+}
+
+func TestExecMetricsBatchFlush(t *testing.T) {
+	ex := metricsProg(t)
+	m := ex.AttachMetrics()
+	for i := 0; i < flushEvery+1; i++ {
+		if _, err := ex.Call("M::f", values.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The flushEvery-th invocation flushed; one more is still pending.
+	if got := m.Invocations.Load(); got != flushEvery {
+		t.Fatalf("invocations = %d after %d calls, want %d flushed", got, flushEvery+1, flushEvery)
+	}
+	m.Sync()
+	if got := m.Invocations.Load(); got != flushEvery+1 {
+		t.Fatalf("invocations = %d after Sync, want %d", got, flushEvery+1)
+	}
+	m.Sync() // idempotent with nothing pending
+	if got := m.Invocations.Load(); got != flushEvery+1 {
+		t.Fatalf("empty Sync changed the count: %d", got)
+	}
+}
+
+func TestExecMetricsLimitTrips(t *testing.T) {
+	b := ast.NewBuilder("M")
+	fb := b.Function("spin", types.VoidT)
+	fb.Block("top")
+	fb.Jump("top")
+	ex := mustLink(t, b.M)
+	m := ex.AttachMetrics()
+	ex.Limits = Limits{Instructions: 1000}
+	_, err := ex.Call("M::spin")
+	if err == nil || !strings.Contains(err.Error(), "ResourceExhausted") {
+		t.Fatalf("want ResourceExhausted, got %v", err)
+	}
+	if m.LimitTrips.Load() == 0 {
+		t.Fatalf("limit trip not counted")
+	}
+	if m.Uncaught.Load() != 1 {
+		t.Fatalf("uncaught = %d, want 1", m.Uncaught.Load())
+	}
+}
+
+func TestOpcodeProfile(t *testing.T) {
+	ex := metricsProg(t)
+	ex.EnableOpcodeProfile()
+	if _, err := ex.Call("M::f", values.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	prof := ex.OpcodeProfile()
+	total := uint64(0)
+	for _, n := range prof {
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("opcode profile empty: %v", prof)
+	}
+	// Every instruction executed outside budget checkpoints is attributed.
+	if steps := ex.Steps(); total != steps {
+		t.Fatalf("profiled ops %d != steps %d (%v)", total, steps, prof)
+	}
+}
+
+func TestPublishToEmitsSeries(t *testing.T) {
+	ex := metricsProg(t)
+	ex.EnableOpcodeProfile()
+	reg := metrics.NewRegistry()
+	ex.PublishTo(reg, "vm/test", "worker", "0")
+	if _, err := ex.Call("M::f", values.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	ex.Met.Sync()
+	snap := reg.Snapshot()
+	if snap[`hilti_vm_invocations_total{worker="0"}`] != 1 {
+		t.Fatalf("invocations series missing: %v", snap)
+	}
+	if snap[`hilti_vm_instructions_total{worker="0"}`] == 0 {
+		t.Fatalf("instructions series missing: %v", snap)
+	}
+	found := false
+	for name := range snap {
+		if strings.HasPrefix(name, "hilti_vm_op_executions_total{op=") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("opcode profile series missing: %v", snap)
+	}
+}
+
+func TestExecMetricsDisabledIsInert(t *testing.T) {
+	ex := metricsProg(t)
+	// No AttachMetrics: counters must stay off and nothing may panic.
+	if _, err := ex.Call("M::f", values.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Met != nil {
+		t.Fatalf("Met must stay nil until attached")
+	}
+	if ex.OpcodeProfile() != nil {
+		t.Fatalf("opcode profile must be nil when never enabled")
+	}
+}

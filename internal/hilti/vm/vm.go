@@ -145,10 +145,16 @@ type Exec struct {
 	// zero value means unlimited. Change it only between invocations.
 	Limits Limits
 
+	// Met, when non-nil, receives execution counters (see metrics.go).
+	// Harvesting happens at invocation boundaries, not per instruction, so
+	// the dispatch loop stays uninstrumented.
+	Met *ExecMetrics
+
 	fib        *fiber.Fiber // current fiber, when running inside one
 	freeFrames []*Frame
 	budget     budgetState
 	keyBuf     []byte // scratch for container-key encoding (see ctorKey)
+	opProf     *opProfile
 }
 
 // NewExec creates an execution context for prog and runs global
@@ -258,6 +264,9 @@ func (ex *Exec) raiseErr(err error) int {
 	switch err {
 	case hbytes.ErrWouldBlock:
 		if ex.fib != nil {
+			if ex.Met != nil {
+				ex.Met.FiberSuspends.Inc()
+			}
 			ex.fib.Yield(ErrWouldBlock)
 			return pcRetry
 		}
@@ -292,6 +301,9 @@ func (ex *Exec) run(fn *CompiledFunc, fr *Frame) (values.Value, bool) {
 		if ex.budget.steps++; ex.budget.steps >= ex.budget.nextCheck {
 			pc = ex.checkBudget()
 		} else {
+			if ex.opProf != nil {
+				ex.opProf.hit(code[cur].op)
+			}
 			pc = code[cur].exec(ex, fr, &code[cur])
 		}
 		switch pc {
@@ -354,6 +366,16 @@ func (ex *Exec) CallFn(fn *CompiledFunc, args ...values.Value) (values.Value, er
 	ex.budget.vmDepth++
 	ret, ok := ex.run(fn, fr)
 	ex.budget.vmDepth--
+	if ex.budget.vmDepth == 0 && ex.Met != nil {
+		// One top-level invocation completed: harvest the step count the
+		// budget machinery accumulated (across all nested calls, and for
+		// fiber-backed calls across every resume since armBudget). The
+		// harvest batches locally and flushes every flushEvery invocations.
+		ex.Met.harvest(ex.budget.steps)
+		if !ok {
+			ex.Met.Uncaught.Inc()
+		}
+	}
 	ex.freeFrame(fr)
 	if !ok {
 		exc := ex.Exc

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"hilti/internal/hilti/ast"
@@ -355,14 +356,16 @@ func TestThreadScheduleIsolation(t *testing.T) {
 		}
 	}
 	sched.Drain()
-	var total int64
+	// EachContext runs the callback on the worker goroutines concurrently,
+	// so the accumulator must be atomic.
+	var total atomic.Int64
 	sched.EachContext(func(ctx *threads.Context) {
 		if e, ok := ctx.Host["hilti.exec"].(*Exec); ok {
-			total += e.Globals[0].AsInt()
+			total.Add(e.Globals[0].AsInt())
 		}
 	})
-	if total != 100 {
-		t.Fatalf("total = %d", total)
+	if total.Load() != 100 {
+		t.Fatalf("total = %d", total.Load())
 	}
 }
 

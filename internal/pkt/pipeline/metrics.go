@@ -1,0 +1,72 @@
+// Pipeline observability: everything the pipeline already counts for its
+// own bookkeeping (per-shard atomics, scheduler stats, the supervisor's
+// restart count) is surfaced to a metrics.Registry by a scrape-time
+// collector, so the packet hot path pays nothing. Only checkpoint latency
+// is recorded at event time — checkpoints are rare and their duration is
+// exactly what an operator sizing StallTimeout needs to see.
+
+package pipeline
+
+import (
+	"strconv"
+	"time"
+
+	"hilti/internal/rt/metrics"
+	"hilti/internal/rt/timer"
+)
+
+// registerMetrics wires the pipeline into cfg.Metrics (no-op when unset).
+// Called once from newPipeline, before any worker state exists, so the
+// shared timer counters are in place when newWstate runs.
+func (p *Pipeline) registerMetrics() {
+	reg := p.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	p.ckptLat = reg.Histogram("pipeline_checkpoint_ns", metrics.DurationBuckets)
+	p.timerMet = &timer.MgrMetrics{
+		Scheduled: reg.Counter("pipeline_timers_scheduled_total"),
+		Fired:     reg.Counter("pipeline_timers_fired_total"),
+		Expired:   reg.Counter("pipeline_timers_expired_total"),
+	}
+	reg.RegisterCollector("pipeline", func(emit func(string, float64)) {
+		emit("pipeline_packets_fed_total", float64(p.fed.Load()))
+		emit("pipeline_worker_restarts_total", float64(p.Restarts()))
+		emit("pipeline_flow_table_size", float64(p.FlowTableSize()))
+		var faults, quarFlows, quarDropped, evicted, rejected, flows uint64
+		for i, ws := range p.Stats() {
+			w := strconv.Itoa(i)
+			emit(metrics.Name("pipeline_shard_packets_total", "worker", w), float64(ws.Packets))
+			emit(metrics.Name("pipeline_shard_copied_bytes_total", "worker", w), float64(ws.CopiedBytes))
+			emit(metrics.Name("pipeline_shard_queue_depth", "worker", w), float64(ws.Backlog))
+			emit(metrics.Name("pipeline_shard_queue_high_water", "worker", w), float64(ws.HighWater))
+			emit(metrics.Name("pipeline_shard_live_flows", "worker", w), float64(ws.LiveFlows))
+			faults += ws.Faults
+			quarFlows += ws.QuarantinedFlows
+			quarDropped += ws.QuarantineDropped
+			evicted += ws.FlowsEvicted
+			rejected += ws.PacketsRejected
+			flows += ws.Flows
+		}
+		emit("pipeline_faults_total", float64(faults))
+		emit("pipeline_quarantined_flows_total", float64(quarFlows))
+		emit("pipeline_quarantine_dropped_total", float64(quarDropped))
+		emit("pipeline_flows_evicted_total", float64(evicted))
+		emit("pipeline_packets_rejected_total", float64(rejected))
+		emit("pipeline_flows_seen_total", float64(flows))
+	})
+}
+
+// Fed returns the number of packets Feed accepted (routed to a worker).
+func (p *Pipeline) Fed() uint64 { return p.fed.Load() }
+
+// encodeShardTimed is encodeShard with the shard's serialization latency
+// recorded — one histogram sample per shard per checkpoint, whether the
+// checkpoint is an automatic per-shard one (CheckpointEvery) or part of a
+// full Pipeline.Checkpoint. Runs on the owning worker goroutine.
+func (p *Pipeline) encodeShardTimed(sl *wslot) ([]byte, error) {
+	start := time.Now()
+	blob, err := encodeShard(sl)
+	p.ckptLat.Observe(time.Since(start).Nanoseconds())
+	return blob, err
+}

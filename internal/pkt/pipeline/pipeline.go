@@ -59,6 +59,7 @@ import (
 
 	"hilti/internal/pkt/flow"
 	"hilti/internal/rt/fault"
+	"hilti/internal/rt/metrics"
 	"hilti/internal/rt/snapshot"
 	"hilti/internal/rt/threads"
 	"hilti/internal/rt/timer"
@@ -152,6 +153,13 @@ type Config struct {
 	// during Close, after all pending work drained and before handlers
 	// finalize. Check FinalCheckpointErr after Close.
 	FinalCheckpoint io.Writer
+
+	// Metrics, when set, wires the pipeline into the registry: per-shard
+	// packet/byte/drop/quarantine counters and live queue depths are
+	// emitted at scrape time (zero hot-path cost), checkpoint latency is
+	// recorded into a histogram, and the workers' timer managers report
+	// scheduled/fired counts. Handlers typically share the same registry.
+	Metrics *metrics.Registry
 }
 
 // WorkerStats snapshots one worker's counters (per-worker observability:
@@ -166,6 +174,7 @@ type WorkerStats struct {
 	LiveFlows    int64  // flow-table entries right now
 	Jobs         uint64 // scheduler jobs executed (packets + sweeps)
 	HighWater    int    // max scheduler backlog observed
+	Backlog      int    // scheduler jobs queued right now
 	Overflowed   uint64 // jobs that spilled into the overflow deque
 
 	Faults            uint64 // panics contained at this worker's boundaries
@@ -267,6 +276,10 @@ type Pipeline struct {
 	superWG  sync.WaitGroup
 	restarts atomic.Uint64
 
+	fed      atomic.Uint64       // packets accepted by Feed
+	ckptLat  *metrics.Histogram  // checkpoint encode latency (nil-safe)
+	timerMet *timer.MgrMetrics   // shared by all worker timer managers
+
 	finalMu  sync.Mutex
 	finalErr error
 }
@@ -312,6 +325,7 @@ func newPipeline(cfg *Config) (*Pipeline, error) {
 		tokens: make(chan struct{}, cfg.Ingress),
 		stopc:  make(chan struct{}),
 	}
+	p.registerMetrics()
 	return p, nil
 }
 
@@ -322,8 +336,10 @@ func (p *Pipeline) newWstate() *wstate {
 			capPer = 1
 		}
 	}
+	tm := timer.NewMgr()
+	tm.Met = p.timerMet
 	return &wstate{
-		tm:          timer.NewMgr(),
+		tm:          tm,
 		flows:       map[uint64]*flowState{},
 		lru:         list.New(),
 		cap:         capPer,
@@ -411,7 +427,7 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 		if sl.track {
 			if sl.pktSince++; sl.pktSince >= p.cfg.CheckpointEvery {
 				sl.pktSince = 0
-				if blob, err := encodeShard(sl); err == nil {
+				if blob, err := p.encodeShardTimed(sl); err == nil {
 					sl.setCkpt(blob)
 				}
 			}
@@ -421,6 +437,7 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 		<-p.tokens
 		return err
 	}
+	p.fed.Add(1)
 	return nil
 }
 
@@ -593,7 +610,7 @@ func (p *Pipeline) checkpoint(w io.Writer) error {
 		wg.Add(1)
 		err := p.sched.Schedule(uint64(i), func(*threads.Context) {
 			defer wg.Done()
-			blobs[i], errs[i] = encodeShard(p.slots[i].Load())
+			blobs[i], errs[i] = p.encodeShardTimed(p.slots[i].Load())
 		})
 		if err != nil {
 			wg.Done()
@@ -935,6 +952,7 @@ func (p *Pipeline) Stats() []WorkerStats {
 			LiveFlows:         ws.liveFlows.Load(),
 			Jobs:              sched[i].Jobs,
 			HighWater:         sched[i].HighWater,
+			Backlog:           sched[i].Backlog,
 			Overflowed:        sched[i].Overflowed,
 			Faults:            ws.faults.Count(),
 			QuarantinedFlows:  ws.quarantinedFlows.Load(),

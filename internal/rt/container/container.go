@@ -265,11 +265,23 @@ func (m *Map) expireCheck(e *entry) {
 	}
 	deadline := e.lastUse + timer.Time(m.timeout)
 	if deadline <= m.mgr.Now() {
+		expirations.Add(1)
 		m.drop(e)
 		return
 	}
 	m.scheduleExpiry(e)
 }
+
+// expirations counts idle-timeout evictions process-wide. Expiry is a cold
+// path (at most one timer callback per element lifetime), so a single
+// shared atomic is fine; a per-container counter would complicate the
+// checkpoint codec for no observability gain.
+var expirations atomic.Uint64
+
+// Expirations returns the total number of elements evicted by the state
+// management policy (paper §3.3) since process start, across all
+// containers.
+func Expirations() uint64 { return expirations.Load() }
 
 func (m *Map) maybeCompact() {
 	if m.dead < 32 || m.dead*2 < len(m.order) {

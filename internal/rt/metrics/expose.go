@@ -1,0 +1,116 @@
+// Export surfaces: Prometheus text exposition, Go expvar, and an HTTP mux
+// bundling both with net/http/pprof for on-demand profile capture.
+
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus writes every gathered sample in the Prometheus text
+// exposition format (version 0.0.4), sorted by name, with a `# TYPE` line
+// per metric family. Families are typed by convention: `_total` suffix →
+// counter, `_bucket`/`_sum`/`_count` of a histogram → histogram, anything
+// else → gauge.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Gather()
+	seenType := make(map[string]bool)
+	for _, s := range samples {
+		fam, typ := family(s.Name)
+		if !seenType[fam] {
+			seenType[fam] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
+				return err
+			}
+		}
+		v := s.Value
+		if v == float64(int64(v)) {
+			if _, err := fmt.Fprintf(w, "%s %d\n", s.Name, int64(v)); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintf(w, "%s %g\n", s.Name, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// family derives the metric family name and Prometheus type of one sample.
+func family(name string) (fam, typ string) {
+	fam = name
+	if i := strings.IndexByte(fam, '{'); i >= 0 {
+		fam = fam[:i]
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(fam, suf) {
+			return fam[:len(fam)-len(suf)], "histogram"
+		}
+	}
+	if strings.HasSuffix(fam, "_total") {
+		return fam, "counter"
+	}
+	return fam, "gauge"
+}
+
+// Handler returns an http.Handler serving the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // client gone
+	})
+}
+
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = make(map[string]bool)
+)
+
+// PublishExpvar exposes the registry's gathered samples as one expvar map
+// variable (expvar.Publish panics on duplicate names, so repeated calls
+// with the same name are no-ops — the first registry wins).
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Mux returns an http.ServeMux serving /metrics (Prometheus text),
+// /debug/vars (expvar, including this registry under "hilti"), and
+// /debug/pprof/* for on-demand CPU/heap/goroutine capture.
+func (r *Registry) Mux() *http.ServeMux {
+	r.PublishExpvar("hilti")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for the registry's Mux on addr (e.g.
+// "localhost:9090") in a background goroutine and returns the bound
+// listener address, so addr may use port 0. The server lives until the
+// process exits; operational endpoints don't need graceful shutdown.
+func (r *Registry) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: r.Mux()}
+	go srv.Serve(ln) //nolint:errcheck // runs for process lifetime
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,410 @@
+// Package metrics is the runtime's observability substrate: a registry of
+// named counters, gauges, and fixed-bucket histograms designed so that
+// hot-path updates are a single uncontended atomic operation and allocate
+// nothing. The paper ships HILTI with "profiling and debugging support"
+// (§4); this package is the common sink those profilers — and every other
+// runtime layer (pipeline shards, engines, the VM, timer managers,
+// container expiration) — report into.
+//
+// Two update styles coexist:
+//
+//   - Event-time instruments: Counter/Gauge/Histogram handles resolved once
+//     at setup and updated inline. All methods are nil-safe, so "metrics
+//     disabled" is a nil handle and costs one predictable branch.
+//
+//   - Scrape-time collectors: components that already maintain their own
+//     atomic counters (pipeline worker stats, profilers, per-Exec VM
+//     counters) register a Collector that emits samples when the registry
+//     is read. The hot path pays nothing at all.
+//
+// Collectors register under a caller-chosen key; re-registering the same
+// key replaces the previous collector. That is what keeps counters exact
+// across crash-only supervised restarts: a restored worker's collector
+// (seeded from its checkpoint) replaces the dead worker's, so totals
+// neither reset nor double-count. Samples from different collectors that
+// share a metric name are summed, which aggregates per-worker engines into
+// one series automatically.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; a nil *Counter is a valid "disabled" instrument whose methods do
+// nothing.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 for a nil counter).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Store sets the value; restore paths use it to seed a counter from a
+// checkpoint.
+func (c *Counter) Store(n uint64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
+
+// Gauge is a value that can go up and down. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 for a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts int64 observations into fixed buckets chosen at
+// creation. Observe is allocation-free: a linear scan over the (small)
+// bound slice plus three atomic adds. Nil-safe like Counter.
+type Histogram struct {
+	bounds []int64         // upper bounds, ascending; len(counts) == len(bounds)+1
+	counts []atomic.Uint64 // counts[i] observations <= bounds[i]; last is +Inf
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Buckets returns (bound, cumulative count) pairs in Prometheus "le"
+// convention; the final pair has bound math.MaxInt64 standing in for +Inf.
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil {
+		return nil
+	}
+	out := make([]BucketCount, len(h.counts))
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		b := int64(1<<63 - 1)
+		if i < len(h.bounds) {
+			b = h.bounds[i]
+		}
+		out[i] = BucketCount{Bound: b, Count: cum}
+	}
+	return out
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	Bound int64
+	Count uint64
+}
+
+// DurationBuckets is a general-purpose latency bucket ladder in
+// nanoseconds: 1µs .. ~1s, roughly ×4 per step.
+var DurationBuckets = []int64{
+	1_000, 4_000, 16_000, 64_000, 256_000,
+	1_000_000, 4_000_000, 16_000_000, 64_000_000, 256_000_000, 1_000_000_000,
+}
+
+// Collector emits samples when the registry is gathered. Implementations
+// must be safe to call from any goroutine (typically they read atomics
+// owned by some component).
+type Collector func(emit func(name string, value float64))
+
+// Sample is one gathered (name, value) point.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Registry holds named instruments and collectors. All methods are safe
+// for concurrent use. Instrument lookup (Counter/Gauge/Histogram) is
+// get-or-create and intended for setup time; hot paths should hold the
+// returned handle.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	funcs      map[string]func() float64
+	collectors map[string]Collector
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		funcs:      make(map[string]func() float64),
+		collectors: make(map[string]Collector),
+	}
+}
+
+// Name formats a metric name with label pairs ("k", "v", ...) into the
+// canonical `name{k="v",...}` form used as the registry key. Called once
+// at setup, never on the hot path.
+func Name(base string, labels ...string) string {
+	if len(labels) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the counter registered under Name(base, labels...),
+// creating it on first use.
+func (r *Registry) Counter(base string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	name := Name(base, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under Name(base, labels...), creating
+// it on first use.
+func (r *Registry) Gauge(base string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	name := Name(base, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under Name(base, labels...),
+// creating it with the given bucket upper bounds (ascending) on first use.
+// Later calls for the same name return the existing histogram regardless
+// of the bounds argument.
+func (r *Registry) Histogram(base string, bounds []int64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	name := Name(base, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bs := make([]int64, len(bounds))
+		copy(bs, bounds)
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		h = &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers (or replaces) a function sampled at gather time under
+// the given full name. Use it for values some component already maintains.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// RegisterCollector registers a collector under key, replacing any previous
+// collector with the same key. Keyed replacement is load-bearing for
+// crash-only restarts: a worker restored from checkpoint re-registers under
+// its old key, so its (checkpoint-seeded) counters take over from the dead
+// worker's without resetting or double-counting.
+func (r *Registry) RegisterCollector(key string, c Collector) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors[key] = c
+	r.mu.Unlock()
+}
+
+// Gather reads every instrument, function, and collector and returns one
+// sorted sample list. Samples sharing a name (e.g. the same counter emitted
+// by several per-worker collectors) are summed into one series. Histograms
+// expand into `_bucket{le=...}`, `_sum`, and `_count` samples.
+func (r *Registry) Gather() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	funcs := make(map[string]func() float64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	colls := make([]Collector, 0, len(r.collectors))
+	for _, c := range r.collectors {
+		colls = append(colls, c)
+	}
+	r.mu.Unlock()
+
+	acc := make(map[string]float64)
+	for name, c := range counters {
+		acc[name] += float64(c.Load())
+	}
+	for name, g := range gauges {
+		acc[name] += float64(g.Load())
+	}
+	for name, fn := range funcs {
+		acc[name] += fn()
+	}
+	for _, c := range colls {
+		c(func(name string, value float64) { acc[name] += value })
+	}
+	for name, h := range hists {
+		for _, b := range h.Buckets() {
+			le := "+Inf"
+			if b.Bound != 1<<63-1 {
+				le = fmt.Sprintf("%d", b.Bound)
+			}
+			acc[withLabel(suffixed(name, "_bucket"), "le", le)] += float64(b.Count)
+		}
+		acc[suffixed(name, "_sum")] += float64(h.Sum())
+		acc[suffixed(name, "_count")] += float64(h.Count())
+	}
+
+	out := make([]Sample, 0, len(acc))
+	for name, v := range acc {
+		out = append(out, Sample{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// suffixed inserts a metric-name suffix before any label braces:
+// suffixed(`lat{w="0"}`, "_sum") == `lat_sum{w="0"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// withLabel splices one more label into a possibly-already-labelled name.
+func withLabel(name, k, v string) string {
+	if strings.IndexByte(name, '{') >= 0 {
+		return name[:len(name)-1] + "," + k + "=" + fmt.Sprintf("%q", v) + "}"
+	}
+	return name + "{" + k + "=" + fmt.Sprintf("%q", v) + "}"
+}
+
+// Value returns the gathered value of one fully-qualified metric name
+// (post-aggregation), or 0 when absent. Intended for tests and invariant
+// harnesses, not hot paths.
+func (r *Registry) Value(name string) float64 {
+	for _, s := range r.Gather() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// Snapshot returns the gathered samples as a map, for tests and JSON
+// export.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range r.Gather() {
+		out[s.Name] = s.Value
+	}
+	return out
+}

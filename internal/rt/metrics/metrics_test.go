@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts_total", "worker", "0")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("pkts_total", "worker", "0"); same != c {
+		t.Fatalf("get-or-create returned a different counter")
+	}
+	if other := r.Counter("pkts_total", "worker", "1"); other == c {
+		t.Fatalf("different labels must yield a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	if v := r.Value(`pkts_total{worker="0"}`); v != 5 {
+		t.Fatalf("Value = %v, want 5", v)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	c.Store(9)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(5)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil instruments must read as zero")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("y") != nil || r.Histogram("z", nil) != nil {
+		t.Fatalf("nil registry must hand out nil instruments")
+	}
+	r.GaugeFunc("f", func() float64 { return 1 })
+	r.RegisterCollector("k", func(emit func(string, float64)) {})
+	if got := r.Gather(); got != nil {
+		t.Fatalf("nil registry Gather = %v, want nil", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 99, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 5+10+11+99+100+5000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	b := h.Buckets()
+	wantCum := []uint64{2, 5, 5, 6} // le=10:2, le=100:5, le=1000:5, +Inf:6
+	if len(b) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(b), len(wantCum))
+	}
+	for i, w := range wantCum {
+		if b[i].Count != w {
+			t.Fatalf("bucket %d cum = %d, want %d", i, b[i].Count, w)
+		}
+	}
+	snap := r.Snapshot()
+	if snap[`lat_ns_bucket{le="100"}`] != 5 {
+		t.Fatalf("snapshot bucket = %v, want 5 (snap %v)", snap[`lat_ns_bucket{le="100"}`], snap)
+	}
+	if snap[`lat_ns_bucket{le="+Inf"}`] != 6 || snap[`lat_ns_count`] != 6 {
+		t.Fatalf("snapshot inf/count wrong: %v", snap)
+	}
+}
+
+func TestLabelledHistogramSuffixPlacement(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_ns", []int64{10}, "worker", "3").Observe(4)
+	snap := r.Snapshot()
+	if snap[`lat_ns_count{worker="3"}`] != 1 {
+		t.Fatalf("suffix must go before labels; snap = %v", snap)
+	}
+	if snap[`lat_ns_bucket{worker="3",le="10"}`] != 1 {
+		t.Fatalf("le label must splice into existing labels; snap = %v", snap)
+	}
+}
+
+func TestCollectorSumAndKeyedReplacement(t *testing.T) {
+	r := NewRegistry()
+	mk := func(v float64) Collector {
+		return func(emit func(string, float64)) { emit("flows_total", v) }
+	}
+	r.RegisterCollector("w0", mk(10))
+	r.RegisterCollector("w1", mk(5))
+	if got := r.Value("flows_total"); got != 15 {
+		t.Fatalf("summed collectors = %v, want 15", got)
+	}
+	// A restored worker re-registers under its key: replacement, not
+	// accumulation — this is the crash-only continuity property.
+	r.RegisterCollector("w1", mk(7))
+	if got := r.Value("flows_total"); got != 17 {
+		t.Fatalf("after keyed replacement = %v, want 17", got)
+	}
+	r.GaugeFunc("live", func() float64 { return 3 })
+	r.GaugeFunc("live", func() float64 { return 4 }) // replaces
+	if got := r.Value("live"); got != 4 {
+		t.Fatalf("gauge func replacement = %v, want 4", got)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pkts_total", "worker", "0").Add(3)
+	r.Gauge("depth").Set(2)
+	r.Histogram("lat_ns", []int64{10}).Observe(7)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE pkts_total counter",
+		`pkts_total{worker="0"} 3`,
+		"# TYPE depth gauge",
+		"depth 2",
+		"# TYPE lat_ns histogram",
+		`lat_ns_bucket{le="10"} 1`,
+		`lat_ns_bucket{le="+Inf"} 1`,
+		"lat_ns_sum 7",
+		"lat_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with several series.
+	if strings.Count(out, "# TYPE lat_ns histogram") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", out)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total").Inc()
+	addr, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return sb.String()
+	}
+	if body := get("/metrics"); !strings.Contains(body, "up_total 1") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "hilti") {
+		t.Fatalf("/debug/vars missing published registry:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatalf("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestNameFormatting(t *testing.T) {
+	if got := Name("a"); got != "a" {
+		t.Fatalf("Name(a) = %q", got)
+	}
+	if got := Name("a", "k", "v", "k2", "v2"); got != `a{k="v",k2="v2"}` {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_ns", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) % 1_000_000)
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

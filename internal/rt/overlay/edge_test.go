@@ -1,0 +1,141 @@
+package overlay
+
+import (
+	"strings"
+	"testing"
+
+	"hilti/internal/rt/hbytes"
+	"hilti/internal/rt/values"
+)
+
+// Edge cases: degenerate field shapes, malformed definitions, and the rope
+// path under chunk splits and truncation. Packet buffers come from the
+// wire, so every one of these is reachable from hostile input.
+
+func TestNegativeOffsetRejected(t *testing.T) {
+	o := New("t", Field{Name: "f", Offset: -1, Format: UInt8})
+	if _, err := o.GetRaw([]byte{1, 2, 3}, "f"); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestZeroLengthBytesN(t *testing.T) {
+	o := New("t", Field{Name: "empty", Offset: 4, Format: BytesN, Length: 0})
+	data := []byte{1, 2, 3, 4}
+	// Offset == len(data) with size 0 is a valid empty slice, not OOB.
+	v, err := o.GetRaw(data, "empty")
+	if err != nil {
+		t.Fatalf("zero-length field at buffer end: %v", err)
+	}
+	if v.AsBytes().Len() != 0 {
+		t.Fatalf("want empty bytes, got %d", v.AsBytes().Len())
+	}
+	// One past the end is out of bounds even for size 0.
+	past := New("t", Field{Name: "f", Offset: 5, Format: BytesN, Length: 0})
+	if _, err := past.GetRaw(data, "f"); err == nil {
+		t.Fatal("offset past end accepted")
+	}
+}
+
+func TestBytesNTruncatedBuffer(t *testing.T) {
+	o := New("t", Field{Name: "f", Offset: 0, Format: BytesN, Length: 8})
+	_, err := o.GetRaw([]byte{1, 2, 3, 4}, "f")
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("short buffer: %v", err)
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	o := New("t", Field{Name: "f", Offset: 0, Format: Format(99)})
+	_, err := o.GetRaw([]byte{1, 2, 3, 4}, "f")
+	if err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("unknown format: %v", err)
+	}
+}
+
+func TestEmptyOverlay(t *testing.T) {
+	o := New("empty")
+	if o.Index("anything") != -1 {
+		t.Fatal("index in empty overlay")
+	}
+	if _, err := o.GetRaw([]byte{1}, "anything"); err == nil {
+		t.Fatal("field lookup in empty overlay succeeded")
+	}
+}
+
+func TestUInt8BitsFullByte(t *testing.T) {
+	o := New("t", Field{Name: "all", Offset: 0, Format: UInt8Bits, BitLo: 0, BitHi: 7})
+	v, err := o.GetRaw([]byte{0xA5}, "all")
+	if err != nil || v.AsInt() != 0xA5 {
+		t.Fatalf("full-byte bit range = %v, %v", v, err)
+	}
+	one := New("t", Field{Name: "b7", Offset: 0, Format: UInt8Bits, BitLo: 7, BitHi: 7})
+	v, err = one.GetRaw([]byte{0x80}, "b7")
+	if err != nil || v.AsInt() != 1 {
+		t.Fatalf("single-bit range = %v, %v", v, err)
+	}
+}
+
+func TestRopeBitFieldAcrossChunks(t *testing.T) {
+	pkt := sampleIPv4()
+	// Chunk the header byte-by-byte: every multi-byte field crosses chunks.
+	b := hbytes.New()
+	for i := range pkt {
+		b.Append(pkt[i : i+1])
+	}
+	b.Freeze()
+	for field, want := range map[string]string{
+		"version": "4", "hdr_len": "5", "len": "84",
+		"src": "10.0.0.1", "dst": "192.168.1.1",
+	} {
+		v, err := IPv4Header.Get(b, field)
+		if err != nil {
+			t.Fatalf("%s: %v", field, err)
+		}
+		if got := values.Format(v); got != want {
+			t.Errorf("%s = %q, want %q", field, got, want)
+		}
+	}
+}
+
+func TestRopeIPv6AcrossChunks(t *testing.T) {
+	o := New("t", Field{Name: "a", Offset: 2, Format: IPv6})
+	raw := make([]byte, 18)
+	raw[2], raw[3] = 0x20, 0x01
+	raw[17] = 1
+	b := hbytes.New()
+	b.Append(raw[:10]) // split mid-address
+	b.Append(raw[10:])
+	b.Freeze()
+	v, err := o.Get(b, "a")
+	if err != nil || values.Format(v) != "2001::1" {
+		t.Fatalf("got %s, %v", values.Format(v), err)
+	}
+}
+
+func TestRopeTruncatedAndUnknownField(t *testing.T) {
+	b := hbytes.New()
+	b.Append(sampleIPv4()[:8]) // too short for dst at offset 16
+	b.Freeze()
+	if _, err := IPv4Header.Get(b, "dst"); err == nil {
+		t.Fatal("truncated rope accepted")
+	}
+	if _, err := IPv4Header.Get(b, "nope"); err == nil {
+		t.Fatal("unknown field accepted on rope path")
+	}
+}
+
+func TestTypeNameAndIndexStability(t *testing.T) {
+	if IPv4Header.TypeName() != "overlay" {
+		t.Fatalf("TypeName = %q", IPv4Header.TypeName())
+	}
+	// Index must agree with positional GetIdx.
+	i := IPv4Header.Index("proto")
+	if i < 0 {
+		t.Fatal("proto field missing")
+	}
+	v, err := IPv4Header.GetIdx(sampleIPv4(), i)
+	if err != nil || v.AsInt() != 6 {
+		t.Fatalf("GetIdx(proto) = %v, %v", v, err)
+	}
+}

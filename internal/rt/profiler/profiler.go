@@ -12,6 +12,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hilti/internal/rt/metrics"
 )
 
 // Profiler accumulates measurements for one named code region. It supports
@@ -105,6 +107,43 @@ func (r *Registry) Get(name string) *Profiler {
 		r.profs[name] = p
 	}
 	return p
+}
+
+// Each calls fn for every registered profiler, in name order. It snapshots
+// the profiler set under the lock but calls fn outside it, so fn may call
+// back into the registry.
+func (r *Registry) Each(fn func(p *Profiler)) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.profs))
+	for n := range r.profs {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		fn(r.Get(n))
+	}
+}
+
+// PublishTo registers this profiler registry with a metrics registry under
+// the given collector key: every profiler appears as
+// hilti_profiler_time_ns_total / _intervals_total / _updates_total series
+// labelled with its name (and any extra label pairs), sampled live at
+// scrape time. This is what makes the paper's profiler.start/stop/update
+// instructions first-class observables: a HILTI program's profilers show
+// up on the host's metrics endpoint with no extra plumbing.
+func (r *Registry) PublishTo(reg *metrics.Registry, key string, labels ...string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCollector(key, func(emit func(string, float64)) {
+		r.Each(func(p *Profiler) {
+			lp := append([]string{"name", p.Name}, labels...)
+			emit(metrics.Name("hilti_profiler_time_ns_total", lp...), float64(p.Total().Nanoseconds()))
+			emit(metrics.Name("hilti_profiler_intervals_total", lp...), float64(p.Count()))
+			emit(metrics.Name("hilti_profiler_updates_total", lp...), float64(p.Updates()))
+		})
+	})
 }
 
 // Snapshot writes one line per profiler (name, total ns, count, updates),

@@ -73,6 +73,7 @@ type WorkerStats struct {
 	Jobs        uint64 // jobs executed
 	Contexts    int    // vthread contexts materialized
 	HighWater   int    // max backlog (channel + overflow) observed at enqueue
+	Backlog     int    // jobs currently queued (channel + overflow)
 	Overflowed  uint64 // jobs diverted to the overflow deque
 	TimersFired uint64 // timer callbacks run by AdvanceGlobalTime
 }
@@ -213,6 +214,7 @@ func (s *Scheduler) WorkerStats() []WorkerStats {
 			Jobs:        w.jobsRun.Load(),
 			Contexts:    int(w.nContexts.Load()),
 			HighWater:   w.highWater,
+			Backlog:     len(w.jobs) + len(w.overflow),
 			Overflowed:  w.overflowed,
 			TimersFired: w.timersFired.Load(),
 		}

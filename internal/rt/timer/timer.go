@@ -17,6 +17,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"hilti/internal/rt/metrics"
 )
 
 // Time is nanoseconds since the Unix epoch, HILTI's time resolution.
@@ -95,6 +97,20 @@ type Mgr struct {
 	now Time
 	q   timerQueue
 	seq uint64
+
+	// Met, when set, receives scheduling/firing counts. The counters are
+	// atomic so several single-threaded managers (one per worker) can share
+	// one set and a metrics scrape can read them from any goroutine. Set it
+	// before the manager is used.
+	Met *MgrMetrics
+}
+
+// MgrMetrics is the instrument set a timer manager reports into. Nil
+// counter fields are valid (metrics.Counter is nil-safe).
+type MgrMetrics struct {
+	Scheduled *metrics.Counter // timers entered into a wheel
+	Fired     *metrics.Counter // timers whose callback ran via Advance
+	Expired   *metrics.Counter // timers drained by Expire at shutdown
 }
 
 // NewMgr creates a manager whose time starts at zero.
@@ -118,6 +134,9 @@ func (m *Mgr) Schedule(at Time, t *Timer) error {
 	m.seq++
 	t.seq = m.seq
 	heap.Push(&m.q, t)
+	if m.Met != nil {
+		m.Met.Scheduled.Inc()
+	}
 	return nil
 }
 
@@ -154,6 +173,9 @@ func (m *Mgr) Advance(now Time) int {
 		t.mgr = nil
 		fired++
 		t.fn()
+	}
+	if fired > 0 && m.Met != nil {
+		m.Met.Fired.Add(uint64(fired))
 	}
 	return fired
 }
@@ -193,6 +215,9 @@ func (m *Mgr) Expire(execute bool) int {
 		if execute {
 			t.fn()
 		}
+	}
+	if n > 0 && m.Met != nil {
+		m.Met.Expired.Add(uint64(n))
 	}
 	return n
 }
