@@ -69,7 +69,7 @@ const (
 // the shard's own virtual thread).
 func (e *Engine) Checkpoint(w io.Writer) error {
 	for _, c := range e.conns {
-		if c.origRope != nil || c.respRope != nil || c.origRun != nil || c.respRun != nil {
+		if c.inFlightParse() {
 			return fmt.Errorf("bro: cannot checkpoint connection %s: in-flight binpac parse state", c.uid)
 		}
 	}
@@ -144,44 +144,120 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	sort.Slice(open, func(i, j int) bool { return open[i].ctx < open[j].ctx })
 	enc.U32(uint32(len(open)))
 	for _, c := range open {
-		encodeKey(enc, c.key)
-		enc.String(c.uid)
-		enc.I64(c.ctx)
-		var flags byte
-		if c.isTCP {
-			flags |= cfTCP
-		}
-		if c.started {
-			flags |= cfStarted
-		}
-		if c.origSYN {
-			flags |= cfOrigSYN
-		}
-		if c.respSYN {
-			flags |= cfRespSYN
-		}
-		if c.rec != nil {
-			flags |= cfRec
-		}
-		if c.std != nil {
-			flags |= cfStd
-		}
-		enc.U8(flags)
-		if c.rec != nil {
-			start, _ := c.rec.Get("start_time").(TimeVal)
-			enc.I64(int64(start))
-		}
-		encodeStream(enc, &c.origStream)
-		encodeStream(enc, &c.respStream)
-		if c.std != nil {
-			orig, resp, methods := c.std.SnapshotState()
-			encodeHTTPDir(enc, orig)
-			encodeHTTPDir(enc, resp)
-			encodeStrings(enc, methods)
-		}
-		encodeStrings(enc, c.methods)
+		encodeConn(enc, c)
 	}
 	return enc.Err()
+}
+
+// inFlightParse reports whether the connection holds suspended BinPAC++
+// fiber state, which has no serializable form. Both the full checkpoint
+// and the WAL delta codec refuse to serialize such a connection.
+func (c *conn) inFlightParse() bool {
+	return c.origRope != nil || c.respRope != nil || c.origRun != nil || c.respRun != nil
+}
+
+// encodeConn writes one connection's complete analyzer state: flow key,
+// identifiers, TCP flags, reassembly streams, and parser state. The WAL
+// delta codec reuses it verbatim — a dirty connection re-encodes whole,
+// keeping a delta record's cost proportional to per-flow state.
+func encodeConn(enc *snapshot.Encoder, c *conn) {
+	encodeKey(enc, c.key)
+	enc.String(c.uid)
+	enc.I64(c.ctx)
+	var flags byte
+	if c.isTCP {
+		flags |= cfTCP
+	}
+	if c.started {
+		flags |= cfStarted
+	}
+	if c.origSYN {
+		flags |= cfOrigSYN
+	}
+	if c.respSYN {
+		flags |= cfRespSYN
+	}
+	if c.rec != nil {
+		flags |= cfRec
+	}
+	if c.std != nil {
+		flags |= cfStd
+	}
+	enc.U8(flags)
+	if c.rec != nil {
+		start, _ := c.rec.Get("start_time").(TimeVal)
+		enc.I64(int64(start))
+	}
+	encodeStream(enc, &c.origStream)
+	encodeStream(enc, &c.respStream)
+	if c.std != nil {
+		orig, resp, methods := c.std.SnapshotState()
+		encodeHTTPDir(enc, orig)
+		encodeHTTPDir(enc, resp)
+		encodeStrings(enc, methods)
+	}
+	encodeStrings(enc, c.methods)
+}
+
+// decodeConn rebuilds one connection from encodeConn's layout, attaching
+// analyzers and reassembly budget from e. It does not register the
+// connection in the engine's tables — the caller does, which lets the
+// delta-apply path first release a replaced connection's state.
+func decodeConn(dec *snapshot.Decoder, e *Engine) (*conn, error) {
+	key := decodeKey(dec)
+	uid := dec.String()
+	ctx := dec.I64()
+	flags := dec.U8()
+	var start int64
+	if flags&cfRec != 0 {
+		start = dec.I64()
+	}
+	origSt := decodeStream(dec)
+	respSt := decodeStream(dec)
+	if dec.Err() != nil {
+		return nil, dec.Err()
+	}
+	c := &conn{
+		key:     key,
+		uid:     uid,
+		ctx:     ctx,
+		isTCP:   flags&cfTCP != 0,
+		started: flags&cfStarted != 0,
+		origSYN: flags&cfOrigSYN != 0,
+		respSYN: flags&cfRespSYN != 0,
+	}
+	if c.isTCP && e.reasm != nil {
+		c.origStream.Budget = e.reasm
+		c.respStream.Budget = e.reasm
+	}
+	c.origStream.RestoreState(origSt)
+	c.respStream.RestoreState(respSt)
+	if flags&cfRec != 0 {
+		k := c.key
+		c.rec = e.interp.MakeConn(c.uid, k.SrcAddr(), k.DstAddr(),
+			PortVal{Num: k.SrcPort, Proto: k.Proto},
+			PortVal{Num: k.DstPort, Proto: k.Proto}, start)
+	}
+	if c.isTCP {
+		e.attachTCPAnalyzer(c)
+	}
+	if flags&cfStd != 0 {
+		orig := decodeHTTPDir(dec)
+		resp := decodeHTTPDir(dec)
+		methods := decodeStrings(dec)
+		if dec.Err() != nil {
+			return nil, dec.Err()
+		}
+		if c.std == nil {
+			return nil, fmt.Errorf("bro: checkpoint has parser state for %s but no analyzer attached", uid)
+		}
+		c.std.RestoreState(orig, resp, methods)
+	}
+	c.methods = decodeStrings(dec)
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // RestoreEngine builds a fresh engine for cfg and rebuilds the analysis
@@ -264,56 +340,10 @@ func RestoreEngine(cfg Config, r io.Reader) (*Engine, error) {
 
 	nc := dec.Len(keyBytes + 10)
 	for i := 0; i < nc && dec.Err() == nil; i++ {
-		key := decodeKey(dec)
-		uid := dec.String()
-		ctx := dec.I64()
-		flags := dec.U8()
-		var start int64
-		if flags&cfRec != 0 {
-			start = dec.I64()
+		c, err := decodeConn(dec, e)
+		if err != nil {
+			return nil, err
 		}
-		origSt := decodeStream(dec)
-		respSt := decodeStream(dec)
-		if dec.Err() != nil {
-			break
-		}
-		c := &conn{
-			key:     key,
-			uid:     uid,
-			ctx:     ctx,
-			isTCP:   flags&cfTCP != 0,
-			started: flags&cfStarted != 0,
-			origSYN: flags&cfOrigSYN != 0,
-			respSYN: flags&cfRespSYN != 0,
-		}
-		if c.isTCP && e.reasm != nil {
-			c.origStream.Budget = e.reasm
-			c.respStream.Budget = e.reasm
-		}
-		c.origStream.RestoreState(origSt)
-		c.respStream.RestoreState(respSt)
-		if flags&cfRec != 0 {
-			k := c.key
-			c.rec = e.interp.MakeConn(c.uid, k.SrcAddr(), k.DstAddr(),
-				PortVal{Num: k.SrcPort, Proto: k.Proto},
-				PortVal{Num: k.DstPort, Proto: k.Proto}, start)
-		}
-		if c.isTCP {
-			e.attachTCPAnalyzer(c)
-		}
-		if flags&cfStd != 0 {
-			orig := decodeHTTPDir(dec)
-			resp := decodeHTTPDir(dec)
-			methods := decodeStrings(dec)
-			if dec.Err() != nil {
-				break
-			}
-			if c.std == nil {
-				return nil, fmt.Errorf("bro: checkpoint has parser state for %s but no analyzer attached", uid)
-			}
-			c.std.RestoreState(orig, resp, methods)
-		}
-		c.methods = decodeStrings(dec)
 		ck, _ := c.key.Canonical()
 		e.conns[ck] = c
 		e.ctxs[c.ctx] = c

@@ -139,6 +139,11 @@ type Engine struct {
 
 	httpReqStruct, httpRepStruct *values.StructDef
 	out                          printWriter
+
+	// delta, when non-nil, tracks which state changed since the last WAL
+	// flush (see wal.go). Nil outside WAL mode: the mark helpers are then
+	// no-ops, so the non-incremental paths pay nothing.
+	delta *deltaState
 }
 
 type printWriter struct{ quiet bool }
@@ -306,6 +311,14 @@ func (e *Engine) dispatch(name string, args ...Val) {
 }
 
 func (e *Engine) dispatchRaw(name string, args ...Val) {
+	if ds := e.delta; ds != nil {
+		// Script handlers are the only writers of script-visible globals.
+		if e.sexec != nil {
+			ds.dirtyExec[0] = true
+		} else {
+			ds.dirtyInterp = true
+		}
+	}
 	if e.sexec != nil {
 		hargs := make([]values.Value, len(args))
 		for i, a := range args {
@@ -356,6 +369,7 @@ func (e *Engine) SafeProcessPacket(tsNs int64, frame []byte) {
 	}
 	if n, bad := e.quarantined[vid]; bad {
 		e.quarantined[vid] = n + 1
+		e.markQuar(vid)
 		e.quarDropped.Inc()
 		return
 	}
@@ -366,6 +380,7 @@ func (e *Engine) SafeProcessPacket(tsNs int64, frame []byte) {
 	f.VID, f.TsNs = vid, tsNs
 	e.faults.Record(f)
 	e.quarantined[vid] = 0
+	e.markQuar(vid)
 	if keyed {
 		if zf := fault.Catch("zap", func() { e.ZapFlow(key) }); zf != nil {
 			zf.VID = vid
@@ -396,6 +411,7 @@ func (e *Engine) ZapFlow(key flow.Key) {
 	delete(e.conns, ck)
 	delete(e.ctxs, c.ctx)
 	e.flowsClosed.Inc()
+	e.markConnClosed(c)
 }
 
 // Faults returns the engine's retained fault records, oldest first.
@@ -434,10 +450,17 @@ func (e *Engine) ProcessPacket(tsNs int64, frame []byte) {
 	e.now = tsNs
 	// Expire HILTI-side container state by network time.
 	if e.sexec != nil {
-		e.sexec.GlobalTM.Advance(timer.Time(tsNs))
+		if e.sexec.GlobalTM.Advance(timer.Time(tsNs)) > 0 && e.delta != nil {
+			e.delta.dirtyExec[0] = true // expirations mutated container globals
+		}
 	}
 	if e.pexec != nil {
 		e.pexec.GlobalTM.Advance(timer.Time(tsNs))
+		if e.delta != nil {
+			// Parsers mutate pexec state without raising events, so there is
+			// no precise signal; mark conservatively per packet.
+			e.delta.dirtyExec[1] = true
+		}
 	}
 	eth, err := layers.DecodeEthernet(frame)
 	if err != nil || eth.EtherType != layers.EtherTypeIPv4 {
@@ -503,6 +526,7 @@ func (e *Engine) tcpPacket(ip layers.IPv4, tcp layers.TCP) {
 	if c.closed {
 		return
 	}
+	e.markConnDirty(c)
 	// Handshake tracking: connection_established after SYN / SYN-ACK / ACK.
 	if tcp.Flags&layers.TCPSyn != 0 {
 		if isOrig {
@@ -607,6 +631,7 @@ func (e *Engine) closeConn(c *conn) {
 	delete(e.conns, ck)
 	delete(e.ctxs, c.ctx)
 	e.flowsClosed.Inc()
+	e.markConnClosed(c)
 }
 
 func (e *Engine) udpPacket(ip layers.IPv4, udp layers.UDP) {
@@ -615,6 +640,7 @@ func (e *Engine) udpPacket(ip layers.IPv4, udp layers.UDP) {
 	}
 	key := flow.FromIPv4(ip.Src, ip.Dst, udp.SrcPort, udp.DstPort, layers.IPProtoUDP)
 	c, isOrig := e.getConn(key, false)
+	e.markConnDirty(c)
 	if !c.started {
 		c.started = true
 	}
@@ -741,6 +767,11 @@ func (e *Engine) initLoopExec() error {
 	e.loopExec = ex
 	return nil
 }
+
+// Packets returns the total number of packets processed (checkpointed, so
+// a restored engine reports the count as of its resume point — which is
+// how WAL restore tests locate the equivalent trace prefix).
+func (e *Engine) Packets() uint64 { return e.packets.Load() }
 
 // ErrNoEngine guards misconfiguration.
 var ErrNoEngine = fmt.Errorf("bro: engine not initialized")

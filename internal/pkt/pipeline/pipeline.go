@@ -63,6 +63,7 @@ import (
 	"hilti/internal/rt/snapshot"
 	"hilti/internal/rt/threads"
 	"hilti/internal/rt/timer"
+	"hilti/internal/rt/wal"
 )
 
 // Handler processes the packets of one hardware worker. *bro.Engine
@@ -81,6 +82,19 @@ type Handler interface {
 // handler's own worker goroutine, between packets.
 type Checkpointer interface {
 	Checkpoint(w io.Writer) error
+}
+
+// DeltaCheckpointer is the handler contract for WAL mode (*bro.Engine
+// implements it): a full snapshot via Checkpoint, plus an incremental
+// API — ResetDeltaBase pins the current state as the diff base,
+// AppendDelta serializes everything changed since the last call, and
+// ApplyDelta replays one such record onto a restored base. All calls run
+// on the handler's own worker goroutine.
+type DeltaCheckpointer interface {
+	Checkpointer
+	ResetDeltaBase() error
+	AppendDelta() ([]byte, error)
+	ApplyDelta(data []byte) error
 }
 
 // FlowZapper is optionally implemented by Handlers that keep per-flow
@@ -153,6 +167,18 @@ type Config struct {
 	// during Close, after all pending work drained and before handlers
 	// finalize. Check FinalCheckpointErr after Close.
 	FinalCheckpoint io.Writer
+
+	// WAL switches checkpointing to write-ahead logging: each worker
+	// appends one O(changed-state) record per packet — the job's outcome
+	// plus the handler's delta — to an in-memory log, re-basing with a
+	// full shard snapshot (and truncating the log) every CheckpointEvery
+	// packets. Checkpoints then compose the last snapshot with the log's
+	// segments instead of re-encoding the whole shard, and supervised
+	// recovery resumes at the packet before the wedge instead of losing
+	// up to CheckpointEvery packets of work. Requires every handler to
+	// implement DeltaCheckpointer; checkpoints taken in either mode
+	// restore in either mode.
+	WAL bool
 
 	// Metrics, when set, wires the pipeline into the registry: per-shard
 	// packet/byte/drop/quarantine counters and live queue depths are
@@ -231,9 +257,17 @@ type wslot struct {
 	busySince time.Time // zero = idle
 	busyVID   uint64
 	abandoned bool   // supervisor gave up on the in-flight job
-	ckpt      []byte // last automatic shard checkpoint
+	ckpt      []byte // last automatic shard checkpoint (non-WAL mode)
 
-	pktSince int // packets since last auto-checkpoint; worker-only
+	// WAL mode (dc non-nil): snap is the last full shard snapshot and
+	// wlog the records appended since; both under mu so the supervisor
+	// can compose a consistent recovery blob while the worker appends.
+	dc   DeltaCheckpointer
+	snap []byte
+	wlog *wal.Log
+
+	pktSince int  // packets since last re-base/auto-checkpoint; worker-only
+	walGap   bool // deltas currently inexpressible; rebase pending; worker-only
 }
 
 func (sl *wslot) beginBusy(vid uint64) {
@@ -276,9 +310,9 @@ type Pipeline struct {
 	superWG  sync.WaitGroup
 	restarts atomic.Uint64
 
-	fed      atomic.Uint64       // packets accepted by Feed
-	ckptLat  *metrics.Histogram  // checkpoint encode latency (nil-safe)
-	timerMet *timer.MgrMetrics   // shared by all worker timer managers
+	fed      atomic.Uint64      // packets accepted by Feed
+	ckptLat  *metrics.Histogram // checkpoint encode latency (nil-safe)
+	timerMet *timer.MgrMetrics  // shared by all worker timer managers
 
 	finalMu  sync.Mutex
 	finalErr error
@@ -298,7 +332,15 @@ func New(cfg Config) (*Pipeline, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: worker %d handler: %w", i, err)
 		}
-		p.slots[i].Store(&wslot{ws: p.newWstate(), h: h, track: cfg.StallTimeout > 0})
+		sl := &wslot{ws: p.newWstate(), h: h, track: cfg.StallTimeout > 0}
+		if p.cfg.WAL {
+			// The scheduler isn't running yet, so the handler is still
+			// safe to touch from here.
+			if err := p.initWALBase(sl); err != nil {
+				return nil, fmt.Errorf("pipeline: worker %d: %w", i, err)
+			}
+		}
+		p.slots[i].Store(sl)
 	}
 	p.start()
 	return p, nil
@@ -408,10 +450,12 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 		if n, bad := ws.quarantined[ctx.VID]; bad {
 			ws.quarantined[ctx.VID] = n + 1
 			ws.quarantineDropped.Add(1)
+			p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), walQuarDrop)
 			return
 		}
 		if !p.admitFlow(ws, ctx.VID, key, hasKey, tsNs) {
 			ws.packetsRejected.Add(1)
+			p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), walReject)
 			return
 		}
 		if f := fault.Catch("packet", func() {
@@ -420,11 +464,15 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 			f.Worker, f.VID, f.TsNs = ctx.Worker, ctx.VID, tsNs
 			ws.faults.Record(f)
 			p.quarantineFlow(sl, ctx.Worker, ctx.VID)
+			// The record goes in after the zap, so its delta carries the
+			// handler's post-quarantine state.
+			p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), walFault)
 			return
 		}
 		ws.packets.Add(1)
 		ws.copiedBytes.Add(uint64(len(cp)))
-		if sl.track {
+		p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), walPacket)
+		if sl.track && sl.dc == nil {
 			if sl.pktSince++; sl.pktSince >= p.cfg.CheckpointEvery {
 				sl.pktSince = 0
 				if blob, err := p.encodeShardTimed(sl); err == nil {
@@ -796,23 +844,11 @@ func Restore(cfg Config, r io.Reader) (*Pipeline, error) {
 		if err := dec.Err(); err != nil {
 			return nil, err
 		}
-		ws := p.newWstate()
-		hb, hasH, err := p.decodeShard(ws, blob)
+		sl, err := p.restoreSlotFromBlob(i, blob)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
 		}
-		var h Handler
-		if hasH {
-			h, err = cfg.RestoreHandler(i, hb)
-		} else if cfg.NewHandler != nil {
-			h, err = cfg.NewHandler(i)
-		} else {
-			err = fmt.Errorf("no handler state and no NewHandler")
-		}
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: worker %d handler: %w", i, err)
-		}
-		p.slots[i].Store(&wslot{ws: ws, h: h, track: cfg.StallTimeout > 0})
+		p.slots[i].Store(sl)
 	}
 	p.start()
 	return p, nil
@@ -857,7 +893,13 @@ func (p *Pipeline) checkStall(i int) {
 	if stuck {
 		sl.abandoned = true
 		vid = sl.busyVID
-		ckpt = sl.ckpt
+		if sl.wlog != nil {
+			// WAL mode: the recovery point is the last snapshot plus every
+			// record appended since — the packet before the wedged one.
+			ckpt = composeWALBlob(sl.snap, sl.wlog.Segments())
+		} else {
+			ckpt = sl.ckpt
+		}
 	}
 	sl.mu.Unlock()
 	if !stuck {
@@ -887,36 +929,33 @@ func (p *Pipeline) checkStall(i int) {
 // from the last auto-checkpoint when possible (else fresh), the wedged
 // flow quarantined, and the stall recorded in the fault ledger.
 func (p *Pipeline) rebuildSlot(i int, vid uint64, ckpt []byte) *wslot {
-	ws := p.newWstate()
-	var h Handler
-	restored := false
+	var sl *wslot
 	if ckpt != nil && p.cfg.RestoreHandler != nil {
-		if hb, hasH, err := p.decodeShard(ws, ckpt); err == nil && hasH {
-			if rh, rerr := p.cfg.RestoreHandler(i, hb); rerr == nil {
-				h = rh
-				restored = true
-			}
-		}
-		if !restored {
-			ws = p.newWstate() // decode may have half-populated it
+		if nsl, err := p.restoreSlotFromBlob(i, ckpt); err == nil {
+			sl = nsl
 		}
 	}
-	if !restored {
+	if sl == nil {
 		nh, err := p.cfg.NewHandler(i)
 		if err != nil {
 			// Last resort: a handler that drops everything; the shard is
 			// lost but the pipeline survives.
 			nh = discardHandler{}
 		}
-		h = nh
+		sl = &wslot{ws: p.newWstate(), h: nh}
+		if p.cfg.WAL {
+			p.initWALBase(sl) //nolint:errcheck — a handler that can't delta just stops logging
+		}
 	}
+	sl.track = true
 
+	ws := sl.ws
 	ws.quarantined[vid] = 0
 	ws.quarantinedFlows.Add(1)
 	if fs, ok := ws.flows[vid]; ok {
 		fs.idle.Cancel()
 		p.dropFlowState(ws, fs)
-		if z, isZapper := h.(FlowZapper); isZapper && fs.hasKey {
+		if z, isZapper := sl.h.(FlowZapper); isZapper && fs.hasKey {
 			if zf := fault.Catch("zap", func() { z.ZapFlow(fs.key) }); zf != nil {
 				zf.Worker, zf.VID = i, vid
 				ws.faults.Record(zf)
@@ -924,7 +963,13 @@ func (p *Pipeline) rebuildSlot(i int, vid uint64, ckpt []byte) *wslot {
 		}
 	}
 	ws.faults.Record(&fault.Fault{Op: "stall", Worker: i, VID: vid, Value: "worker exceeded StallTimeout; replaced from last checkpoint"})
-	return &wslot{ws: ws, h: h, track: true}
+	if sl.dc != nil && !p.tryRebase(sl) {
+		// The quarantine marks (and any zap) postdate the restored base;
+		// until a re-base succeeds, deltas would diff against a snapshot
+		// that doesn't include them.
+		sl.walGap = true
+	}
+	return sl
 }
 
 // discardHandler is the stand-in when a replacement handler cannot be

@@ -430,3 +430,162 @@ func BenchmarkSetWithExpiration(b *testing.B) {
 		mgr.Advance(timer.Time(i) * 1e6)
 	}
 }
+
+// Regression: removing entries from inside Each must not corrupt the
+// in-progress iteration. Before the fix, the 32nd tombstone triggered
+// maybeCompact, which rewrote the m.order backing array (shifting live
+// entries and nil-ing the tail) under the ranging loop — skipping or
+// double-visiting elements, or dereferencing a nil entry.
+func TestMapEachRemoveDuringIteration(t *testing.T) {
+	const n = 100 // well past the 32-tombstone compaction threshold
+	m := NewMap()
+	for i := 0; i < n; i++ {
+		m.Insert(values.Int(int64(i)), values.Int(int64(i)))
+	}
+	seen := map[int64]int{}
+	m.Each(func(k, _ values.Value) bool {
+		seen[k.AsInt()]++
+		m.Remove(k)
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("visited %d distinct keys, want %d", len(seen), n)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("key %d visited %d times", k, c)
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len = %d after removing every entry", m.Len())
+	}
+	// Compaction deferred during iteration must have run on exit.
+	if len(m.order) != 0 {
+		t.Fatalf("compaction did not run after iteration: order len %d", len(m.order))
+	}
+}
+
+// Same regression through the Set wrapper and EachEntry, removing only a
+// prefix so surviving elements must still be visited exactly once, in order.
+func TestSetEachEntryRemoveDuringIteration(t *testing.T) {
+	const n = 80
+	s := NewSet()
+	for i := 0; i < n; i++ {
+		s.Insert(values.Int(int64(i)))
+	}
+	var visited []int64
+	s.m.EachEntry(func(k, _ values.Value, _ timer.Time) bool {
+		visited = append(visited, k.AsInt())
+		if k.AsInt() < 50 {
+			s.Remove(k)
+		}
+		return true
+	})
+	if len(visited) != n {
+		t.Fatalf("visited %d elements, want %d", len(visited), n)
+	}
+	for i, k := range visited {
+		if k != int64(i) {
+			t.Fatalf("visit order broken at %d: %v", i, visited[:i+1])
+		}
+	}
+	if s.Len() != n-50 {
+		t.Fatalf("len = %d, want %d", s.Len(), n-50)
+	}
+}
+
+// Nested iteration: compaction stays deferred until the outermost loop
+// finishes.
+func TestMapNestedEachRemove(t *testing.T) {
+	m := NewMap()
+	for i := 0; i < 64; i++ {
+		m.Insert(values.Int(int64(i)), values.Nil)
+	}
+	outer := 0
+	m.Each(func(k, _ values.Value) bool {
+		outer++
+		if k.AsInt() == 0 {
+			m.Each(func(k2, _ values.Value) bool {
+				if k2.AsInt()%2 == 1 {
+					m.Remove(k2)
+				}
+				return true
+			})
+		}
+		return true
+	})
+	// Outer loop sees element 0, then the surviving evens (1..63 odd removed
+	// by the nested loop before the outer loop reaches them).
+	if outer != 32 {
+		t.Fatalf("outer visits = %d, want 32", outer)
+	}
+	if m.Len() != 32 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+// The journal reports each mutation exactly once, with the restore-path
+// insert excluded.
+func TestMapJournal(t *testing.T) {
+	mgr := timer.NewMgr()
+	mgr.Advance(100)
+	m := NewMap()
+	m.SetTimeout(mgr, ExpireAccess, timer.Seconds(10))
+
+	type rec struct {
+		op  JournalOp
+		key int64
+		use timer.Time
+	}
+	var got []rec
+	m.SetJournal(func(op JournalOp, key, _ values.Value, lastUse timer.Time) {
+		var k int64
+		if key.K == values.KindInt {
+			k = key.AsInt()
+		}
+		got = append(got, rec{op, k, lastUse})
+	})
+
+	m.Insert(values.Int(1), values.String("a")) // insert @100
+	mgr.Advance(200)
+	m.Get(values.Int(1))                        // access-touch @200
+	m.Insert(values.Int(1), values.String("b")) // replace (touch folded into insert)
+	m.Remove(values.Int(1))
+	m.InsertRestored(values.Int(2), values.Nil, 42) // not journaled
+	m.SetDefault(values.Int(0))                     // reset
+
+	want := []rec{
+		{JournalInsert, 1, 100},
+		{JournalTouch, 1, 200},
+		{JournalInsert, 1, 200},
+		{JournalRemove, 1, 0},
+		{JournalReset, 0, 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("journal: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("journal[%d]: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Expiration-driven eviction journals as a remove.
+func TestMapJournalExpiry(t *testing.T) {
+	mgr := timer.NewMgr()
+	m := NewMap()
+	m.SetTimeout(mgr, ExpireCreate, timer.Seconds(1))
+	mgr.Advance(0)
+	m.Insert(values.Int(7), values.Nil)
+	removes := 0
+	m.SetJournal(func(op JournalOp, key, _ values.Value, _ timer.Time) {
+		if op == JournalRemove && key.AsInt() == 7 {
+			removes++
+		}
+	})
+	mgr.Advance(2e9)
+	if removes != 1 {
+		t.Fatalf("expiry journaled %d removes", removes)
+	}
+}

@@ -60,6 +60,12 @@ func NewEncoder(w io.Writer) *Encoder {
 	return e
 }
 
+// NewRawEncoder starts a header-less stream on w, for sub-streams embedded
+// inside an already-versioned container — e.g. the per-record payloads of a
+// WAL segment, whose framing and versioning the wal package provides. Pair
+// with NewRawDecoder; the primitive wire forms are identical.
+func NewRawEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
 // Err returns the first error encountered, if any.
 func (e *Encoder) Err() error { return e.err }
 
@@ -120,6 +126,11 @@ func (e *Encoder) String(s string) {
 		}
 	}
 }
+
+// Raw appends pre-encoded bytes verbatim, with no length prefix — for
+// splicing an already-encoded sub-stream (see NewRawEncoder) whose framing
+// the caller has written itself.
+func (e *Encoder) Raw(b []byte) { e.write(b) }
 
 // Fail latches an explicit encoding error (e.g. an unserializable value
 // discovered mid-section).
@@ -184,6 +195,18 @@ func NewDecoder(data []byte, opts ...Option) *Decoder {
 	d.off = 4
 	if v := d.U16(); d.err == nil && v != Version {
 		d.fail("snapshot: unsupported version %d (want %d)", v, Version)
+	}
+	return d
+}
+
+// NewRawDecoder positions a decoder at the start of data with no header
+// expected — the counterpart of NewRawEncoder for embedded sub-streams.
+// The same robustness contract applies: bounds-checked, sticky errors,
+// never panics.
+func NewRawDecoder(data []byte, opts ...Option) *Decoder {
+	d := &Decoder{b: data}
+	for _, o := range opts {
+		o(d)
 	}
 	return d
 }

@@ -62,9 +62,11 @@ func (t *Timer) Cancel() {
 	if t.index >= 0 {
 		heap.Remove(&t.mgr.q, t.index)
 		t.mgr = nil
+		t.fire = 0
 	} else if t.index == pendingFire {
 		t.index = -1
 		t.mgr = nil
+		t.fire = 0
 	}
 }
 
@@ -87,7 +89,14 @@ func (t *Timer) Update(at Time) {
 		return
 	}
 	t.fire = at
-	heap.Fix(&t.mgr.q, t.index)
+	// Take a fresh sequence number, exactly as Cancel+Schedule would: ties
+	// at the same fire time keep the documented "(time, scheduling) order",
+	// and PendingTimers (hence checkpoint/replay ordering) stays
+	// deterministic across the two equivalent rescheduling idioms.
+	m := t.mgr
+	m.seq++
+	t.seq = m.seq
+	heap.Fix(&m.q, t.index)
 }
 
 // Mgr is a timer manager: an independent notion of time plus a queue of
@@ -141,9 +150,14 @@ func (m *Mgr) Schedule(at Time, t *Timer) error {
 }
 
 // ScheduleFunc is a convenience wrapper creating and scheduling a timer.
+// Schedule can only fail on a double-schedule, which is impossible for the
+// freshly created timer — any error here is an internal invariant breach,
+// so it panics rather than being silently dropped.
 func (m *Mgr) ScheduleFunc(at Time, fn func()) *Timer {
 	t := NewTimer(fn)
-	m.Schedule(at, t)
+	if err := m.Schedule(at, t); err != nil {
+		panic(fmt.Sprintf("timer: ScheduleFunc: %v", err))
+	}
 	return t
 }
 
@@ -171,6 +185,7 @@ func (m *Mgr) Advance(now Time) int {
 		}
 		t.index = -1
 		t.mgr = nil
+		t.fire = 0 // unscheduled: FireTime contract
 		fired++
 		t.fn()
 	}
@@ -211,6 +226,7 @@ func (m *Mgr) Expire(execute bool) int {
 	for len(m.q) > 0 {
 		t := heap.Pop(&m.q).(*Timer)
 		t.mgr = nil
+		t.fire = 0
 		n++
 		if execute {
 			t.fn()

@@ -303,3 +303,125 @@ func BenchmarkScheduleAdvance(b *testing.B) {
 	}
 	m.Expire(false)
 }
+
+// Regression: Update must take a fresh sequence number, so a timer moved
+// to a fire time that ties with an existing timer fires *after* it —
+// identical to the equivalent Cancel+Schedule.
+func TestUpdateTieOrderMatchesReschedule(t *testing.T) {
+	run := func(reschedule func(m *Mgr, y *Timer)) []string {
+		m := NewMgr()
+		var order []string
+		y := NewTimer(func() { order = append(order, "y") })
+		if err := m.Schedule(10, y); err != nil {
+			t.Fatal(err)
+		}
+		m.ScheduleFunc(5, func() { order = append(order, "x") })
+		reschedule(m, y) // move y to 5: ties with x, scheduled later
+		m.Advance(5)
+		return order
+	}
+
+	viaUpdate := run(func(_ *Mgr, y *Timer) { y.Update(5) })
+	viaCancelSchedule := run(func(m *Mgr, y *Timer) {
+		y.Cancel()
+		if err := m.Schedule(5, y); err != nil {
+			t.Fatal(err)
+		}
+	})
+	want := []string{"x", "y"}
+	for name, got := range map[string][]string{
+		"Update":          viaUpdate,
+		"Cancel+Schedule": viaCancelSchedule,
+	} {
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("%s fired %v, want %v", name, got, want)
+		}
+	}
+}
+
+// PendingTimers (the checkpoint ordering) must be identical whether a tie
+// was produced by Update or by Cancel+Schedule — WAL replay determinism
+// depends on it.
+func TestUpdatePendingOrderDeterministic(t *testing.T) {
+	build := func(reschedule func(m *Mgr, y *Timer)) []Time {
+		m := NewMgr()
+		y := NewTimer(func() {})
+		if err := m.Schedule(10, y); err != nil {
+			t.Fatal(err)
+		}
+		x := NewTimer(func() {})
+		if err := m.Schedule(5, x); err != nil {
+			t.Fatal(err)
+		}
+		reschedule(m, y)
+		var seqs []Time
+		for _, tm := range m.PendingTimers() {
+			seqs = append(seqs, tm.FireTime())
+		}
+		// Identify by position: x must sort before y.
+		if m.PendingTimers()[0] != x || m.PendingTimers()[1] != y {
+			t.Fatalf("tie order: updated timer sorted before earlier-scheduled timer")
+		}
+		return seqs
+	}
+	a := build(func(_ *Mgr, y *Timer) { y.Update(5) })
+	b := build(func(m *Mgr, y *Timer) {
+		y.Cancel()
+		if err := m.Schedule(5, y); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(a) != len(b) || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("pending order diverges: %v vs %v", a, b)
+	}
+}
+
+// Regression: FireTime documents "zero when unscheduled" — it must be
+// cleared by Cancel, by firing, and by Expire.
+func TestFireTimeClearedWhenUnscheduled(t *testing.T) {
+	m := NewMgr()
+
+	tm := m.ScheduleFunc(100, func() {})
+	tm.Cancel()
+	if tm.FireTime() != 0 {
+		t.Fatalf("FireTime after Cancel = %d", tm.FireTime())
+	}
+
+	var fireSeen Time = -1
+	var fired *Timer
+	fired = m.ScheduleFunc(50, func() { fireSeen = fired.FireTime() })
+	m.Advance(50)
+	if fired.FireTime() != 0 {
+		t.Fatalf("FireTime after firing = %d", fired.FireTime())
+	}
+	if fireSeen != 0 {
+		t.Fatalf("FireTime inside callback = %d (timer is unscheduled there)", fireSeen)
+	}
+
+	exp := m.ScheduleFunc(200, func() {})
+	m.Expire(false)
+	if exp.FireTime() != 0 {
+		t.Fatalf("FireTime after Expire = %d", exp.FireTime())
+	}
+
+	// Cancelling a pendingFire timer (due inside an in-progress Advance)
+	// also clears it.
+	var victim *Timer
+	m.ScheduleFunc(300, func() { victim.Cancel() })
+	victim = m.ScheduleFunc(300, func() { t.Fatal("cancelled timer fired") })
+	m.Advance(300)
+	if victim.FireTime() != 0 {
+		t.Fatalf("FireTime after pendingFire Cancel = %d", victim.FireTime())
+	}
+}
+
+// ScheduleFunc surfaces the impossible double-schedule instead of
+// swallowing it; a direct Schedule of an already-pending timer still
+// reports the error to the caller.
+func TestScheduleErrorSurfaced(t *testing.T) {
+	m := NewMgr()
+	tm := m.ScheduleFunc(10, func() {})
+	if err := m.Schedule(20, tm); err == nil {
+		t.Fatal("double Schedule accepted")
+	}
+}
