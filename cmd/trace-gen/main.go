@@ -6,23 +6,36 @@
 //	trace-gen -kind http -sessions 2000 -o http.pcap
 //	trace-gen -kind dns -txns 50000 -o dns.pcap
 //	trace-gen -kind ssh -o ssh.pcap
+//	trace-gen -kind soak -soak-duration 60s -soak-rate 20000 -o soak.pcap
+//
+// The soak kind streams packets to disk as they are generated (it never
+// holds the trace in memory), so arbitrarily long adversarial runs are
+// bounded only by disk.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hilti/internal/pkt/gen"
 	"hilti/internal/pkt/pcap"
 )
 
 var (
-	kind     = flag.String("kind", "http", "trace kind: http, dns, or ssh")
+	kind     = flag.String("kind", "http", "trace kind: http, dns, ssh, or soak")
 	out      = flag.String("o", "", "output pcap file (required)")
 	seed     = flag.Int64("seed", 1, "generator seed")
 	sessions = flag.Int("sessions", 500, "HTTP/SSH sessions")
 	txns     = flag.Int("txns", 5000, "DNS transactions")
+
+	soakDur    = flag.Duration("soak-duration", time.Minute, "soak: trace-time span")
+	soakRate   = flag.Float64("soak-rate", 20000, "soak: base packets/sec")
+	soakFlows  = flag.Int("soak-flows", 5000, "soak: steady-state concurrent flows")
+	soakFactor = flag.Float64("soak-factor", 2, "soak: overload rate multiplier")
+	soakFrom   = flag.Float64("soak-from", 0.4, "soak: overload window start (fraction of duration)")
+	soakTo     = flag.Float64("soak-to", 0.6, "soak: overload window end (fraction of duration)")
 )
 
 func main() {
@@ -30,6 +43,10 @@ func main() {
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "trace-gen: -o is required")
 		os.Exit(2)
+	}
+	if *kind == "soak" {
+		writeSoak()
+		return
 	}
 	var pkts []pcap.Packet
 	switch *kind {
@@ -57,4 +74,49 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d packets to %s\n", len(pkts), *out)
+}
+
+func writeSoak() {
+	cfg := gen.DefaultSoakConfig()
+	cfg.Seed = *seed
+	cfg.Duration = *soakDur
+	cfg.BaseRate = *soakRate
+	cfg.TargetFlows = *soakFlows
+	cfg.OverloadFactor = *soakFactor
+	cfg.OverloadFrom = *soakFrom
+	cfg.OverloadTo = *soakTo
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace-gen:", err)
+		os.Exit(1)
+	}
+	wr, err := pcap.NewWriter(f, pcap.LinkTypeEthernet)
+	if err == nil {
+		s := gen.NewSoak(cfg)
+		for {
+			pkt, ok := s.Next()
+			if !ok {
+				break
+			}
+			if err = wr.Write(pkt.Time, pkt.Data); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = wr.Flush()
+		}
+		if err == nil {
+			st := s.Stats()
+			fmt.Printf("wrote %d packets to %s (%d flows, %d flood, %d malformed, %d overlap, %d switched)\n",
+				st.Packets, *out, st.Flows, st.FloodFlows, st.Malformed, st.Overlap, st.Switched)
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace-gen:", err)
+		os.Exit(1)
+	}
 }

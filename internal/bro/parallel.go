@@ -15,6 +15,7 @@ import (
 	"hilti/internal/pkt/pcap"
 	"hilti/internal/pkt/pipeline"
 	"hilti/internal/pkt/reassembly"
+	"hilti/internal/rt/admission"
 )
 
 // Parallel couples a flow-sharded pipeline with its per-worker engines.
@@ -32,13 +33,27 @@ func NewParallel(cfg Config, workers int) (*Parallel, error) {
 // NewParallelWith is NewParallel with full control over the pipeline
 // (flow-table cap, degradation policy, ingress window). pcfg.NewHandler is
 // supplied here; a ReassemblyBudget in cfg becomes one budget shared by
-// all workers so the cap is global.
+// all workers so the cap is global. When pcfg.Admission is set, the
+// shared budget also becomes the controller's tier-2 lever: it halves at
+// the shrink tier and restores on de-escalation.
 func NewParallelWith(cfg Config, pcfg pipeline.Config) (*Parallel, error) {
 	if pcfg.Workers < 1 {
 		pcfg.Workers = 1
 	}
 	if cfg.SharedReassembly == nil && cfg.ReassemblyBudget > 0 {
 		cfg.SharedReassembly = reassembly.NewBudget(cfg.ReassemblyBudget)
+	}
+	if pcfg.Admission != nil && cfg.SharedReassembly != nil {
+		if base := cfg.SharedReassembly.Max(); base > 0 {
+			budget := cfg.SharedReassembly
+			pcfg.Admission.OnTier(func(tier int) {
+				if tier >= admission.TierShrink {
+					budget.SetMax(base / 2)
+				} else {
+					budget.SetMax(base)
+				}
+			})
+		}
 	}
 	// One registry observes pipeline and engines together; each worker's
 	// engine registers under its own key so a supervised restart replaces

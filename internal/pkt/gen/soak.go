@@ -1,0 +1,472 @@
+// Soak-mode traffic: a streaming generator for long adversarial runs.
+// Unlike the batch HTTP/DNS generators (which build a whole trace in
+// memory), Soak produces packets one at a time from a bounded working
+// set, so a run can span millions of flows without the generator itself
+// becoming the memory bound. The mix interleaves realistic churn —
+// short-lived HTTP and DNS flows continuously replaced — with the
+// adversarial inputs the overload ladder must absorb: a configurable
+// overload window dominated by new-flow floods (half-open SYNs), TCP
+// reassembly overlap attacks, malformed-frame floods, mid-stream
+// protocol switches, and traffic aimed at the engine's Panic/Loop/Stall
+// injector ports. Everything is driven by the seed and emitted in trace
+// time, so a soak run is exactly reproducible.
+
+package gen
+
+import (
+	"math/rand"
+	"time"
+
+	"hilti/internal/pkt/layers"
+	"hilti/internal/pkt/pcap"
+)
+
+// SoakConfig parameterizes a soak stream. The zero value is unusable;
+// start from DefaultSoakConfig.
+type SoakConfig struct {
+	Seed  int64
+	Start time.Time
+	// Duration is the trace-time span to generate.
+	Duration time.Duration
+	// TargetFlows is the steady-state concurrent-flow population; completed
+	// flows are continuously replaced (churn).
+	TargetFlows int
+	// BaseRate is the offered load outside the overload window, packets
+	// per second of trace time.
+	BaseRate float64
+	// OverloadFrom/OverloadTo bound the overload window as fractions of
+	// Duration; inside it the offered rate is BaseRate*OverloadFactor,
+	// with the surplus consisting of new-flow flood traffic.
+	OverloadFrom, OverloadTo float64
+	OverloadFactor           float64
+	// Clients/Servers size the address pools.
+	Clients, Servers int
+	// Adversarial mix, as fractions of started flows.
+	OverlapFraction   float64 // TCP reassembly overlap attacks
+	MalformedFraction float64 // undecodable frame bursts
+	SwitchFraction    float64 // HTTP that turns into binary mid-stream
+	FaultFraction     float64 // traffic aimed at the injector ports
+	// Injector ports (0 disables each); FaultFraction traffic round-robins
+	// over the enabled ones.
+	PanicPort, LoopPort, StallPort uint16
+}
+
+// DefaultSoakConfig is a minute of soak at 20k pkts/s with a 2x overload
+// window in the middle ~20%.
+func DefaultSoakConfig() SoakConfig {
+	return SoakConfig{
+		Seed:              1,
+		Start:             time.Unix(1_700_000_000, 0),
+		Duration:          time.Minute,
+		TargetFlows:       5000,
+		BaseRate:          20000,
+		OverloadFrom:      0.4,
+		OverloadTo:        0.6,
+		OverloadFactor:    2,
+		Clients:           2000,
+		Servers:           200,
+		OverlapFraction:   0.02,
+		MalformedFraction: 0.02,
+		SwitchFraction:    0.02,
+		FaultFraction:     0,
+	}
+}
+
+// SoakStats is the generator's ground truth, for harness cross-checks.
+type SoakStats struct {
+	Packets         uint64
+	OverloadPackets uint64 // packets emitted inside the overload window
+	FloodPackets    uint64 // overload-surplus new-flow flood packets
+	Flows           uint64 // flows started (excluding flood half-opens)
+	FloodFlows      uint64
+	Overlap         uint64 // overlap-attack flows started
+	Malformed       uint64 // malformed frames emitted
+	Switched        uint64 // protocol-switch flows started
+	Fault           uint64 // injector-port packets emitted
+}
+
+// Flow kinds in the soak mix.
+const (
+	soakHTTP int8 = iota
+	soakDNS
+	soakOverlap
+	soakSwitch
+	soakFault
+)
+
+// soakFlow is one live flow's compact state (the working set holds
+// TargetFlows of these, so it must stay small).
+type soakFlow struct {
+	client, server [4]byte
+	cport, sport   uint16
+	cseq, sseq     uint32
+	kind           int8
+	stage          int8
+	segs           int8 // data segments remaining (stage 3)
+}
+
+// Soak streams one adversarial soak trace.
+type Soak struct {
+	cfg        SoakConfig
+	rng        *rand.Rand
+	nowNs      int64
+	endNs      int64
+	intervalNs float64 // current mean per-packet spacing (set by generate)
+	fromNs     int64   // overload window bounds
+	toNs       int64
+	active     []soakFlow
+	queue      []pcap.Packet // packets generated but not yet returned
+	stats      SoakStats
+}
+
+// NewSoak builds a soak stream; cfg fields at zero take defaults.
+func NewSoak(cfg SoakConfig) *Soak {
+	def := DefaultSoakConfig()
+	if cfg.Duration <= 0 {
+		cfg.Duration = def.Duration
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = def.Start
+	}
+	if cfg.TargetFlows < 1 {
+		cfg.TargetFlows = def.TargetFlows
+	}
+	if cfg.BaseRate <= 0 {
+		cfg.BaseRate = def.BaseRate
+	}
+	if cfg.OverloadFactor < 1 {
+		cfg.OverloadFactor = 1
+	}
+	if cfg.Clients < 1 {
+		cfg.Clients = def.Clients
+	}
+	if cfg.Servers < 1 {
+		cfg.Servers = def.Servers
+	}
+	startNs := cfg.Start.UnixNano()
+	return &Soak{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		nowNs:  startNs,
+		endNs:  startNs + cfg.Duration.Nanoseconds(),
+		fromNs: startNs + int64(cfg.OverloadFrom*float64(cfg.Duration.Nanoseconds())),
+		toNs:   startNs + int64(cfg.OverloadTo*float64(cfg.Duration.Nanoseconds())),
+		active: make([]soakFlow, 0, cfg.TargetFlows),
+	}
+}
+
+// Stats returns the ground-truth counters accumulated so far.
+func (s *Soak) Stats() SoakStats { return s.stats }
+
+// Overloaded reports whether trace time tNs falls in the overload window.
+func (s *Soak) Overloaded(tNs int64) bool {
+	return s.cfg.OverloadFactor > 1 && tNs >= s.fromNs && tNs < s.toNs
+}
+
+// Next returns the next packet of the stream, or ok=false when the
+// configured duration is exhausted.
+func (s *Soak) Next() (pcap.Packet, bool) {
+	for len(s.queue) == 0 {
+		if s.nowNs >= s.endNs {
+			return pcap.Packet{}, false
+		}
+		s.generate()
+	}
+	pkt := s.queue[0]
+	// Shift rather than re-slice so the backing array is reusable.
+	copy(s.queue, s.queue[1:])
+	s.queue = s.queue[:len(s.queue)-1]
+	s.stats.Packets++
+	if s.Overloaded(pkt.Time.UnixNano()) {
+		s.stats.OverloadPackets++
+	}
+	return pkt, true
+}
+
+// generate queues the next packet (occasionally a short burst, e.g. a
+// malformed flood). Pacing happens per *packet* in push, so the offered
+// rate tracks BaseRate regardless of how many packets one flow step
+// emits.
+func (s *Soak) generate() {
+	over := s.Overloaded(s.nowNs)
+	rate := s.cfg.BaseRate
+	if over {
+		rate *= s.cfg.OverloadFactor
+	}
+	s.intervalNs = float64(time.Second.Nanoseconds()) / rate
+
+	if over {
+		// The overload surplus is flood traffic: with probability
+		// (f-1)/f this slot is a brand-new half-open flow, so the base
+		// population keeps its BaseRate share while everything on top is
+		// new (sheddable) load.
+		f := s.cfg.OverloadFactor
+		if s.rng.Float64() < (f-1)/f {
+			s.emitFlood()
+			return
+		}
+	}
+	if len(s.active) < s.cfg.TargetFlows {
+		s.startFlow()
+		return
+	}
+	// Advance a random live flow; completed flows leave the set.
+	i := s.rng.Intn(len(s.active))
+	if done := s.stepFlow(&s.active[i]); done {
+		s.active[i] = s.active[len(s.active)-1]
+		s.active = s.active[:len(s.active)-1]
+	}
+}
+
+// emitFlood emits one new-flow flood packet: a half-open SYN from a
+// random client, never followed up — the classic state-exhaustion
+// attack the tier-1 shed must absorb.
+func (s *Soak) emitFlood() {
+	var f soakFlow
+	f.client = s.clientAddr()
+	f.server = s.serverAddr()
+	f.cport = uint16(10000 + s.rng.Intn(50000))
+	f.sport = 80
+	f.cseq = s.rng.Uint32()
+	s.pushTCP(&f, true, layers.TCPSyn, nil, 0)
+	s.stats.FloodFlows++
+	s.stats.FloodPackets++
+}
+
+// startFlow begins one flow of the configured mix and queues its first
+// packet(s).
+func (s *Soak) startFlow() {
+	var f soakFlow
+	f.client = s.clientAddr()
+	f.server = s.serverAddr()
+	f.cport = uint16(10000 + s.rng.Intn(50000))
+	f.cseq = s.rng.Uint32()
+	f.sseq = s.rng.Uint32()
+
+	r := s.rng.Float64()
+	switch {
+	case r < s.cfg.FaultFraction && s.faultPort() != 0:
+		// A bare TCP data segment to an injector port (the fault analyzers
+		// hook TCP stream delivery, so UDP would not trigger them).
+		f.kind = soakFault
+		f.sport = s.faultPort()
+		s.pushTCP(&f, true, layers.TCPAck, []byte("CRASHME!"), 0)
+		s.stats.Fault++
+		s.stats.Flows++
+		return // single packet; never enters the working set
+	case r < s.cfg.FaultFraction+s.cfg.MalformedFraction:
+		// A malformed burst: undecodable frames (unkeyable -> low
+		// priority). Emitted inline; holds no flow state.
+		n := 1 + s.rng.Intn(3)
+		for i := 0; i < n; i++ {
+			s.pushMalformed()
+		}
+		s.stats.Flows++
+		return
+	case r < s.cfg.FaultFraction+s.cfg.MalformedFraction+s.cfg.OverlapFraction:
+		f.kind = soakOverlap
+		f.sport = 80
+		s.stats.Overlap++
+	case r < s.cfg.FaultFraction+s.cfg.MalformedFraction+s.cfg.OverlapFraction+s.cfg.SwitchFraction:
+		f.kind = soakSwitch
+		f.sport = 80
+		s.stats.Switched++
+	case r < 0.75:
+		f.kind = soakHTTP
+		f.sport = 80
+	default:
+		f.kind = soakDNS
+		f.sport = 53
+	}
+	s.stats.Flows++
+	if f.kind == soakDNS {
+		// Query now; the response comes via stepFlow.
+		s.pushUDP(f.client, f.server, f.cport, 53, s.dnsQuery())
+		f.stage = 1
+		s.active = append(s.active, f)
+		return
+	}
+	f.segs = int8(1 + s.rng.Intn(4))
+	s.pushTCP(&f, true, layers.TCPSyn, nil, 1)
+	f.stage = 1
+	s.active = append(s.active, f)
+}
+
+// stepFlow emits the flow's next packet and reports completion.
+func (s *Soak) stepFlow(f *soakFlow) bool {
+	if f.kind == soakDNS {
+		// Stage 1: the response.
+		s.pushUDP(f.server, f.client, 53, f.cport, s.dnsResponse())
+		return true
+	}
+	switch f.stage {
+	case 1: // SYN|ACK
+		s.pushTCP(f, false, layers.TCPSyn|layers.TCPAck, nil, 1)
+		f.stage = 2
+	case 2: // ACK + request
+		s.pushTCP(f, true, layers.TCPAck, nil, 0)
+		s.pushTCP(f, true, layers.TCPPsh|layers.TCPAck, s.httpRequest(), 0)
+		f.stage = 3
+	case 3: // response segments (with per-kind adversarial twists)
+		switch f.kind {
+		case soakOverlap:
+			// Overlap attack: send a segment, then re-send half the same
+			// range with different bytes before continuing — the
+			// inconsistent-retransmission ambiguity of Ptacek & Newsham.
+			seg := s.payload(256)
+			s.pushTCP(f, false, layers.TCPPsh|layers.TCPAck, seg, 0)
+			f.sseq -= 128 // rewind into the already-sent range
+			s.pushTCP(f, false, layers.TCPPsh|layers.TCPAck, s.payload(128), 0)
+		case soakSwitch:
+			if f.segs > 1 {
+				s.pushTCP(f, false, layers.TCPPsh|layers.TCPAck, []byte("HTTP/1.1 200 OK\r\nContent-Length: 10000\r\n\r\n"), 0)
+			} else {
+				// Mid-stream switch: the "HTTP" response turns binary.
+				s.pushTCP(f, false, layers.TCPPsh|layers.TCPAck, s.binary(200), 0)
+			}
+		default:
+			s.pushTCP(f, false, layers.TCPPsh|layers.TCPAck, s.payload(100+s.rng.Intn(1200)), 0)
+		}
+		if f.segs--; f.segs <= 0 {
+			f.stage = 4
+		}
+	case 4: // FIN exchange, compressed into one step per packet
+		s.pushTCP(f, true, layers.TCPFin|layers.TCPAck, nil, 1)
+		f.stage = 5
+	case 5:
+		s.pushTCP(f, false, layers.TCPFin|layers.TCPAck, nil, 1)
+		s.pushTCP(f, true, layers.TCPAck, nil, 0)
+		return true
+	}
+	return false
+}
+
+func (s *Soak) faultPort() uint16 {
+	ports := make([]uint16, 0, 3)
+	for _, p := range []uint16{s.cfg.PanicPort, s.cfg.LoopPort, s.cfg.StallPort} {
+		if p != 0 {
+			ports = append(ports, p)
+		}
+	}
+	if len(ports) == 0 {
+		return 0
+	}
+	return ports[int(s.stats.Fault)%len(ports)]
+}
+
+// --- frame emission ---------------------------------------------------
+
+func (s *Soak) push(frame []byte) {
+	// Jittered spacing around the current mean interval, advanced per
+	// packet: a flow step that emits two packets consumes two slots.
+	s.nowNs += int64(s.intervalNs * (0.5 + s.rng.Float64()))
+	s.queue = append(s.queue, pcap.Packet{
+		Time:    time.Unix(0, s.nowNs),
+		CapLen:  uint32(len(frame)),
+		OrigLen: uint32(len(frame)),
+		Data:    frame,
+	})
+}
+
+func (s *Soak) pushTCP(f *soakFlow, fromClient bool, flags uint8, payload []byte, seqAdv uint32) {
+	var src, dst [4]byte
+	var sport, dport uint16
+	var seq, ack uint32
+	if fromClient {
+		src, dst, sport, dport = f.client, f.server, f.cport, f.sport
+		seq, ack = f.cseq, f.sseq
+	} else {
+		src, dst, sport, dport = f.server, f.client, f.sport, f.cport
+		seq, ack = f.sseq, f.cseq
+	}
+	seg := layers.EncodeTCP(src, dst, sport, dport, seq, ack, flags, 65535, payload)
+	ip := layers.EncodeIPv4(src, dst, layers.IPProtoTCP, 64, uint16(s.rng.Intn(65536)), seg)
+	smac, dmac := clientMAC, serverMAC
+	if !fromClient {
+		smac, dmac = serverMAC, clientMAC
+	}
+	s.push(layers.EncodeEthernet(smac, dmac, layers.EtherTypeIPv4, ip))
+	adv := uint32(len(payload)) + seqAdv
+	if fromClient {
+		f.cseq += adv
+	} else {
+		f.sseq += adv
+	}
+}
+
+func (s *Soak) pushUDP(src, dst [4]byte, sport, dport uint16, payload []byte) {
+	seg := layers.EncodeUDP(src, dst, sport, dport, payload)
+	ip := layers.EncodeIPv4(src, dst, layers.IPProtoUDP, 64, uint16(s.rng.Intn(65536)), seg)
+	s.push(layers.EncodeEthernet(clientMAC, serverMAC, layers.EtherTypeIPv4, ip))
+}
+
+// pushMalformed emits an undecodable frame: a valid UDP frame truncated
+// or version-corrupted so L3/L4 decoding fails and the packet is
+// unkeyable.
+func (s *Soak) pushMalformed() {
+	seg := layers.EncodeUDP(s.clientAddr(), s.serverAddr(), 1234, 5678, s.payload(64))
+	ip := layers.EncodeIPv4(v4(10, 0, 0, 1), v4(10, 0, 0, 2), layers.IPProtoUDP, 64, 1, seg)
+	frame := layers.EncodeEthernet(clientMAC, serverMAC, layers.EtherTypeIPv4, ip)
+	switch s.rng.Intn(3) {
+	case 0: // truncate into the IP header
+		frame = frame[:14+s.rng.Intn(10)]
+	case 1: // corrupt the IP version nibble
+		frame[14] = 0x00
+	default: // lie about the ethertype
+		frame[12], frame[13] = 0xDE, 0xAD
+	}
+	s.push(frame)
+	s.stats.Malformed++
+}
+
+func (s *Soak) clientAddr() [4]byte {
+	i := s.rng.Intn(s.cfg.Clients)
+	return v4(10, byte(1+i/250), byte(1+i%250), byte(1+s.rng.Intn(250)))
+}
+
+func (s *Soak) serverAddr() [4]byte {
+	i := s.rng.Intn(s.cfg.Servers)
+	return v4(172, 16, byte(1+i/200), byte(1+i%200))
+}
+
+func (s *Soak) payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + s.rng.Intn(26))
+	}
+	return b
+}
+
+func (s *Soak) binary(n int) []byte {
+	b := make([]byte, n)
+	s.rng.Read(b) //nolint:errcheck — math/rand Read never fails
+	return b
+}
+
+func (s *Soak) httpRequest() []byte {
+	paths := []string{"/", "/index.html", "/api/v1/items", "/static/app.js"}
+	return []byte("GET " + paths[s.rng.Intn(len(paths))] + " HTTP/1.1\r\nHost: soak.example\r\n\r\n")
+}
+
+// dnsQuery builds a minimal, well-formed DNS query.
+func (s *Soak) dnsQuery() []byte {
+	id := uint16(s.rng.Intn(65536))
+	q := []byte{byte(id >> 8), byte(id), 0x01, 0x00, 0, 1, 0, 0, 0, 0, 0, 0}
+	for _, label := range []string{"soak", "example", "com"} {
+		q = append(q, byte(len(label)))
+		q = append(q, label...)
+	}
+	q = append(q, 0, 0, 1, 0, 1) // root, type A, class IN
+	return q
+}
+
+// dnsResponse builds a minimal response with one A record.
+func (s *Soak) dnsResponse() []byte {
+	q := s.dnsQuery()
+	q[2] = 0x81 // QR|RD
+	q[3] = 0x80 // RA
+	q[7] = 1    // ancount
+	q = append(q, 0xC0, 0x0C, 0, 1, 0, 1, 0, 0, 0, 60, 0, 4,
+		byte(s.rng.Intn(256)), byte(s.rng.Intn(256)), byte(s.rng.Intn(256)), byte(s.rng.Intn(256)))
+	return q
+}

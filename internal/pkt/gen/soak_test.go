@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hilti/internal/pkt/flow"
+)
+
+func soakCfg() SoakConfig {
+	cfg := DefaultSoakConfig()
+	cfg.Duration = 2 * time.Second
+	cfg.TargetFlows = 200
+	cfg.BaseRate = 5000
+	cfg.Clients = 100
+	cfg.Servers = 10
+	cfg.FaultFraction = 0.01
+	cfg.PanicPort = 0x4441
+	cfg.StallPort = 0x4442
+	return cfg
+}
+
+// Same seed, same stream — byte for byte, timestamp for timestamp.
+func TestSoakDeterministic(t *testing.T) {
+	a, b := NewSoak(soakCfg()), NewSoak(soakCfg())
+	n := 0
+	for {
+		pa, oka := a.Next()
+		pb, okb := b.Next()
+		if oka != okb {
+			t.Fatalf("streams diverge in length at packet %d", n)
+		}
+		if !oka {
+			break
+		}
+		if !pa.Time.Equal(pb.Time) || !bytes.Equal(pa.Data, pb.Data) {
+			t.Fatalf("packet %d differs between same-seed runs", n)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("generator produced no packets")
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestSoakSeedChangesStream(t *testing.T) {
+	cfg := soakCfg()
+	a := NewSoak(cfg)
+	cfg.Seed = 2
+	b := NewSoak(cfg)
+	pa, _ := a.Next()
+	pb, _ := b.Next()
+	if bytes.Equal(pa.Data, pb.Data) && pa.Time.Equal(pb.Time) {
+		t.Fatal("different seeds produced an identical first packet")
+	}
+}
+
+// The overload window must actually raise the offered rate and consist
+// largely of flood traffic; outside it there is no flood at all.
+func TestSoakOverloadWindow(t *testing.T) {
+	cfg := soakCfg()
+	s := NewSoak(cfg)
+	startNs := cfg.Start.UnixNano()
+	durNs := cfg.Duration.Nanoseconds()
+	fromNs := startNs + int64(cfg.OverloadFrom*float64(durNs))
+	toNs := startNs + int64(cfg.OverloadTo*float64(durNs))
+	var inWin, outWin int
+	for {
+		p, ok := s.Next()
+		if !ok {
+			break
+		}
+		if t := p.Time.UnixNano(); t >= fromNs && t < toNs {
+			inWin++
+		} else {
+			outWin++
+		}
+	}
+	st := s.Stats()
+	if st.FloodPackets == 0 || st.FloodFlows == 0 {
+		t.Fatalf("no flood traffic generated: %+v", st)
+	}
+	if st.OverloadPackets == 0 {
+		t.Fatalf("no packets attributed to the overload window: %+v", st)
+	}
+	// Window is 20% of the trace at 2x rate -> expect roughly
+	// 0.2*2/(0.8*1+0.2*2) ≈ 33% of packets; assert a loose band.
+	frac := float64(inWin) / float64(inWin+outWin)
+	if frac < 0.25 || frac > 0.45 {
+		t.Fatalf("overload window packet fraction %.2f outside [0.25,0.45]", frac)
+	}
+}
+
+// Adversarial categories must all be present, and the stream must
+// contain both keyable and unkeyable (malformed) frames.
+func TestSoakAdversarialMix(t *testing.T) {
+	cfg := soakCfg()
+	s := NewSoak(cfg)
+	var keyable, unkeyable, fault int
+	for {
+		p, ok := s.Next()
+		if !ok {
+			break
+		}
+		key, hasKey := flow.FromFrame(p.Data)
+		if !hasKey {
+			unkeyable++
+			continue
+		}
+		keyable++
+		if key.SrcPort == cfg.PanicPort || key.DstPort == cfg.PanicPort ||
+			key.SrcPort == cfg.StallPort || key.DstPort == cfg.StallPort {
+			fault++
+		}
+	}
+	st := s.Stats()
+	if st.Overlap == 0 || st.Malformed == 0 || st.Switched == 0 || st.Fault == 0 {
+		t.Fatalf("adversarial mix incomplete: %+v", st)
+	}
+	if unkeyable == 0 {
+		t.Fatal("no unkeyable frames reached the stream")
+	}
+	if fault == 0 {
+		t.Fatal("no injector-port packets reached the stream")
+	}
+	if keyable < unkeyable {
+		t.Fatalf("stream dominated by malformed frames: %d keyable vs %d unkeyable", keyable, unkeyable)
+	}
+	if st.Packets != uint64(keyable+unkeyable) {
+		t.Fatalf("stats.Packets %d != observed %d", st.Packets, keyable+unkeyable)
+	}
+}
+
+// Timestamps never go backwards and stay within the configured span
+// (plus the sub-millisecond intra-step spreading).
+func TestSoakMonotonicTime(t *testing.T) {
+	cfg := soakCfg()
+	s := NewSoak(cfg)
+	var last time.Time
+	for {
+		p, ok := s.Next()
+		if !ok {
+			break
+		}
+		if p.Time.Before(last) {
+			t.Fatalf("time went backwards: %v after %v", p.Time, last)
+		}
+		last = p.Time
+	}
+	if last.Before(cfg.Start) || last.After(cfg.Start.Add(cfg.Duration+time.Second)) {
+		t.Fatalf("final timestamp %v outside trace span", last)
+	}
+}

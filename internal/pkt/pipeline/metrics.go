@@ -33,7 +33,10 @@ func (p *Pipeline) registerMetrics() {
 		emit("pipeline_packets_fed_total", float64(p.fed.Load()))
 		emit("pipeline_worker_restarts_total", float64(p.Restarts()))
 		emit("pipeline_flow_table_size", float64(p.FlowTableSize()))
-		var faults, quarFlows, quarDropped, evicted, rejected, flows uint64
+		emit("pipeline_effective_max_flows", float64(p.EffectiveMaxFlows()))
+		emit("pipeline_stall_quarantines_total", float64(p.StallQuarantines()))
+		emit("pipeline_quarantined_workers", float64(p.QuarantinedWorkers()))
+		var faults, quarFlows, quarDropped, evicted, rejected, shed, ckptFail, flows uint64
 		for i, ws := range p.Stats() {
 			w := strconv.Itoa(i)
 			emit(metrics.Name("pipeline_shard_packets_total", "worker", w), float64(ws.Packets))
@@ -46,6 +49,8 @@ func (p *Pipeline) registerMetrics() {
 			quarDropped += ws.QuarantineDropped
 			evicted += ws.FlowsEvicted
 			rejected += ws.PacketsRejected
+			shed += ws.PacketsShed
+			ckptFail += ws.CheckpointFailures
 			flows += ws.Flows
 		}
 		emit("pipeline_faults_total", float64(faults))
@@ -53,6 +58,8 @@ func (p *Pipeline) registerMetrics() {
 		emit("pipeline_quarantine_dropped_total", float64(quarDropped))
 		emit("pipeline_flows_evicted_total", float64(evicted))
 		emit("pipeline_packets_rejected_total", float64(rejected))
+		emit("pipeline_packets_shed_total", float64(shed))
+		emit("pipeline_checkpoint_failures_total", float64(ckptFail))
 		emit("pipeline_flows_seen_total", float64(flows))
 	})
 }

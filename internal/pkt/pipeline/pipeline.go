@@ -58,6 +58,7 @@ import (
 	"container/list"
 
 	"hilti/internal/pkt/flow"
+	"hilti/internal/rt/admission"
 	"hilti/internal/rt/fault"
 	"hilti/internal/rt/metrics"
 	"hilti/internal/rt/snapshot"
@@ -133,7 +134,10 @@ type Config struct {
 	FlowIdle timer.Interval
 	// MaxFlows caps flow-table entries across all workers (0 = unbounded).
 	// The cap is split evenly per worker (floor, minimum 1 each), so the
-	// effective global bound is max(MaxFlows, Workers).
+	// effective global bound — EffectiveMaxFlows — is (MaxFlows/Workers)*
+	// Workers, never below Workers. A positive MaxFlows below Workers is
+	// ambiguous (the floor would silently RAISE the bound to Workers) and
+	// is rejected by validation; use 0 for unbounded.
 	MaxFlows int
 	// Degrade selects the at-cap policy (default EvictOldest).
 	Degrade DegradePolicy
@@ -142,6 +146,24 @@ type Config struct {
 	FaultRing int
 	// NewHandler builds worker i's handler; required.
 	NewHandler func(worker int) (Handler, error)
+
+	// Admission, when set, puts the overload controller in front of the
+	// pipeline. Feed consults it for every packet (on the feeding
+	// goroutine, driven by trace time): rate-limited and sampled packets
+	// are dropped at ingress, and the controller's degradation tier plus
+	// the packet's priority class are captured with the job, so under
+	// overload the admit path sheds new low-priority flows while
+	// established flows keep full service. All dispositions land in the
+	// controller's ledger.
+	Admission *admission.Controller
+
+	// ExpireFlows forwards flow-idle expirations to the handler: when a
+	// flow's idle timer lapses and the handler implements FlowZapper, the
+	// flow's analysis state is zapped along with its scheduling state, so
+	// shrinking idle deadlines (the tier-2 degradation) genuinely frees
+	// memory. Off by default — zapping changes handler output for flows
+	// that would have flushed state at end of trace.
+	ExpireFlows bool
 
 	// StallTimeout enables the hang supervisor: a worker that spends
 	// longer than this wall-clock time inside one packet is declared
@@ -154,9 +176,27 @@ type Config struct {
 	// too-small value declares healthy workers wedged, quarantining
 	// innocent flows and discarding their post-checkpoint work.
 	StallTimeout time.Duration
+	// StallMaxReplaces bounds supervisor churn: more than this many
+	// replacements of one worker within StallReplaceWindow sends the
+	// worker slot to quarantine — a discarding stand-in drains its queue
+	// for a cooldown (StallQuarantine, doubling per repeat offense) before
+	// the shard is reinstated from its saved checkpoint. Without the bound
+	// a handler that wedges on every packet drives unbounded
+	// ReplaceWorker churn. Default 3.
+	StallMaxReplaces int
+	// StallReplaceWindow is the sliding window for StallMaxReplaces
+	// (default 10x StallTimeout).
+	StallReplaceWindow time.Duration
+	// StallQuarantine is the base cooldown a repeatedly-wedging worker
+	// slot spends discarding before reinstatement (default 32x
+	// StallTimeout); it doubles with each quarantine, capped at 64x base.
+	StallQuarantine time.Duration
+
 	// CheckpointEvery is how many packets a supervised worker processes
 	// between automatic shard checkpoints (default 256). Smaller bounds
-	// the loss window of a hang recovery, larger costs less.
+	// the loss window of a hang recovery, larger costs less. A failing
+	// checkpoint (or WAL re-base) is retried with exponential packet-count
+	// backoff, capped at 4096 packets, instead of every packet.
 	CheckpointEvery int
 	// RestoreHandler rebuilds worker i's handler from a checkpoint blob
 	// produced by a Checkpointer handler. Required for Restore and for
@@ -208,7 +248,11 @@ type WorkerStats struct {
 	QuarantineDropped uint64 // packets dropped because their flow was quarantined
 	FlowsEvicted      uint64 // flows evicted by the MaxFlows cap (EvictOldest)
 	PacketsRejected   uint64 // packets dropped by the MaxFlows cap (DropNew)
+	PacketsShed       uint64 // new-flow packets refused by the degradation ladder
 	TimersDropped     uint64 // idle timers outstanding (and discarded) at Close
+
+	FlowCap            int    // effective per-worker flow cap (0 = unbounded)
+	CheckpointFailures uint64 // failed automatic checkpoint/re-base attempts
 }
 
 // wstate is worker-private: only jobs running on that worker touch it
@@ -221,6 +265,7 @@ type wstate struct {
 	cap         int               // per-worker flow cap (0 = unbounded)
 	quarantined map[uint64]uint64 // faulted vid -> packets dropped since
 	faults      *fault.Recorder
+	owner       *wslot // back-pointer for idle-expiry zapping (ExpireFlows)
 
 	packets           atomic.Uint64
 	copiedBytes       atomic.Uint64
@@ -232,7 +277,9 @@ type wstate struct {
 	quarantineDropped atomic.Uint64
 	flowsEvicted      atomic.Uint64
 	packetsRejected   atomic.Uint64
+	packetsShed       atomic.Uint64
 	timersDropped     atomic.Uint64
+	ckptFailures      atomic.Uint64
 }
 
 type flowState struct {
@@ -268,6 +315,12 @@ type wslot struct {
 
 	pktSince int  // packets since last re-base/auto-checkpoint; worker-only
 	walGap   bool // deltas currently inexpressible; rebase pending; worker-only
+
+	// Persistence-failure backoff (worker-only): after a failed automatic
+	// checkpoint or gapped re-base, retries wait an exponentially growing
+	// packet count (2^failN, capped at 4096) instead of every opportunity.
+	ckptFailN uint
+	gapSkip   int
 }
 
 func (sl *wslot) beginBusy(vid uint64) {
@@ -310,6 +363,12 @@ type Pipeline struct {
 	superWG  sync.WaitGroup
 	restarts atomic.Uint64
 
+	// Replacement-rate limiting, touched only by the supervisor goroutine
+	// (except the two gauges, which Stats-side readers may load).
+	repl       []replState
+	workerQuar atomic.Int64  // worker slots currently in stall quarantine
+	stallQuars atomic.Uint64 // stall quarantines entered, total
+
 	fed      atomic.Uint64      // packets accepted by Feed
 	ckptLat  *metrics.Histogram // checkpoint encode latency (nil-safe)
 	timerMet *timer.MgrMetrics  // shared by all worker timer managers
@@ -333,6 +392,7 @@ func New(cfg Config) (*Pipeline, error) {
 			return nil, fmt.Errorf("pipeline: worker %d handler: %w", i, err)
 		}
 		sl := &wslot{ws: p.newWstate(), h: h, track: cfg.StallTimeout > 0}
+		sl.ws.owner = sl
 		if p.cfg.WAL {
 			// The scheduler isn't running yet, so the handler is still
 			// safe to touch from here.
@@ -352,6 +412,10 @@ func newPipeline(cfg *Config) (*Pipeline, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
+	if cfg.MaxFlows > 0 && cfg.MaxFlows < cfg.Workers {
+		return nil, fmt.Errorf("pipeline: MaxFlows %d < Workers %d is ambiguous: the per-worker floor of 1 would raise the effective cap to %d; set MaxFlows >= Workers, or 0 for unbounded",
+			cfg.MaxFlows, cfg.Workers, cfg.Workers)
+	}
 	if cfg.Ingress < 1 {
 		cfg.Ingress = 4096
 	}
@@ -360,6 +424,17 @@ func newPipeline(cfg *Config) (*Pipeline, error) {
 	}
 	if cfg.CheckpointEvery < 1 {
 		cfg.CheckpointEvery = 256
+	}
+	if cfg.StallTimeout > 0 {
+		if cfg.StallMaxReplaces < 1 {
+			cfg.StallMaxReplaces = 3
+		}
+		if cfg.StallReplaceWindow <= 0 {
+			cfg.StallReplaceWindow = 10 * cfg.StallTimeout
+		}
+		if cfg.StallQuarantine <= 0 {
+			cfg.StallQuarantine = 32 * cfg.StallTimeout
+		}
 	}
 	p := &Pipeline{
 		cfg:    *cfg,
@@ -394,6 +469,7 @@ func (p *Pipeline) newWstate() *wstate {
 func (p *Pipeline) start() {
 	p.sched = threads.NewScheduler(p.cfg.Workers)
 	if p.cfg.StallTimeout > 0 {
+		p.repl = make([]replState, p.cfg.Workers)
 		p.superWG.Add(1)
 		go p.supervise()
 	}
@@ -401,6 +477,20 @@ func (p *Pipeline) start() {
 
 // Workers returns the worker count.
 func (p *Pipeline) Workers() int { return p.cfg.Workers }
+
+// EffectiveMaxFlows is the flow-table bound actually enforced:
+// (MaxFlows/Workers)*Workers, the per-worker floor division made
+// explicit. 0 means unbounded.
+func (p *Pipeline) EffectiveMaxFlows() int {
+	if p.cfg.MaxFlows <= 0 {
+		return 0
+	}
+	capPer := p.cfg.MaxFlows / p.cfg.Workers
+	if capPer < 1 {
+		capPer = 1
+	}
+	return capPer * p.cfg.Workers
+}
 
 // Restarts returns how many wedged workers the supervisor has replaced.
 func (p *Pipeline) Restarts() uint64 { return p.restarts.Load() }
@@ -427,6 +517,20 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 	if hasKey {
 		vid = key.Hash()
 	}
+	// The overload controller runs here, on the single feeding goroutine
+	// and in trace time, so its decisions are deterministic for a given
+	// input. Tier and class are captured with the job; the worker-side
+	// admit path applies them without re-consulting mutable state.
+	adm := p.cfg.Admission
+	var dec admission.Decision
+	if adm != nil {
+		dec = adm.Offer(tsNs, key, hasKey)
+		if dec.Drop {
+			// Already ledgered (rate-limited or sampled); dropped before
+			// it costs an ingress token or a copy.
+			return nil
+		}
+	}
 	p.tokens <- struct{}{} // backpressure: wait for an in-flight slot
 	cp := make([]byte, len(frame))
 	copy(cp, frame)
@@ -450,13 +554,26 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 		if n, bad := ws.quarantined[ctx.VID]; bad {
 			ws.quarantined[ctx.VID] = n + 1
 			ws.quarantineDropped.Add(1)
-			p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), walQuarDrop)
+			adm.NoteRejected(true) // the flow had been admitted once
+			p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), dec.Tier, walQuarDrop)
 			return
 		}
-		if !p.admitFlow(ws, ctx.VID, key, hasKey, tsNs) {
-			ws.packetsRejected.Add(1)
-			p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), walReject)
+		shedNew := admission.ShedNewFlow(dec.Tier, dec.Class)
+		switch p.admitFlow(ws, ctx.VID, key, hasKey, tsNs, dec.Tier, shedNew) {
+		case admitShed:
+			ws.packetsShed.Add(1)
+			adm.NoteShed()
+			p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), dec.Tier, walShed)
 			return
+		case admitReject:
+			ws.packetsRejected.Add(1)
+			adm.NoteRejected(false)
+			p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), dec.Tier, walReject)
+			return
+		case admitEstablished:
+			adm.NoteAdmitted(true)
+		default: // admitNew
+			adm.NoteAdmitted(false)
 		}
 		if f := fault.Catch("packet", func() {
 			sl.h.ProcessPacket(tsNs, cp)
@@ -466,23 +583,30 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 			p.quarantineFlow(sl, ctx.Worker, ctx.VID)
 			// The record goes in after the zap, so its delta carries the
 			// handler's post-quarantine state.
-			p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), walFault)
+			p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), dec.Tier, walFault)
 			return
 		}
 		ws.packets.Add(1)
 		ws.copiedBytes.Add(uint64(len(cp)))
-		p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), walPacket)
+		p.walRecord(sl, tsNs, ctx.VID, key, hasKey, len(cp), dec.Tier, walPacket)
 		if sl.track && sl.dc == nil {
-			if sl.pktSince++; sl.pktSince >= p.cfg.CheckpointEvery {
+			if sl.pktSince++; sl.pktSince >= p.cfg.CheckpointEvery+backoffPackets(sl.ckptFailN) {
 				sl.pktSince = 0
 				if blob, err := p.encodeShardTimed(sl); err == nil {
 					sl.setCkpt(blob)
+					sl.ckptFailN = 0
+				} else {
+					ws.ckptFailures.Add(1)
+					if sl.ckptFailN < 12 {
+						sl.ckptFailN++
+					}
 				}
 			}
 		}
 	})
 	if err != nil {
 		<-p.tokens
+		adm.NoteRejected(false) // offered but never reached a worker
 		return err
 	}
 	p.fed.Add(1)
@@ -497,11 +621,39 @@ func (p *Pipeline) advanceWorkerTime(ws *wstate, tsNs int64) {
 	}
 }
 
-// admitFlow creates or refreshes the flow's scheduling state and reports
-// whether the packet may proceed; at the cap it applies the degradation
-// policy (runs on the worker goroutine).
-func (p *Pipeline) admitFlow(ws *wstate, vid uint64, key flow.Key, hasKey bool, tsNs int64) bool {
-	deadline := timer.Time(tsNs) + timer.Time(p.cfg.FlowIdle)
+// admitResult is admitFlow's verdict: the two admit outcomes distinguish
+// established from new flows (the ledger's survival metric needs the
+// split), the two refusals distinguish the degradation ladder from the
+// hard MaxFlows cap.
+type admitResult int8
+
+const (
+	admitEstablished admitResult = iota // refreshed an existing flow
+	admitNew                            // created a flow entry
+	admitShed                           // new flow refused by the ladder (shedNew)
+	admitReject                         // new flow refused by the cap (DropNew)
+)
+
+// backoffPackets is the persistence-failure retry delay after n
+// consecutive failures, in packets: 2^n, capped at 4096.
+func backoffPackets(n uint) int {
+	if n == 0 {
+		return 0
+	}
+	if n > 12 {
+		n = 12
+	}
+	return 1 << n
+}
+
+// admitFlow creates or refreshes the flow's scheduling state; at the cap
+// it applies the degradation policy, and at elevated tiers the overload
+// ladder — shedNew refuses flows not yet in the table, and tier >= 2
+// halves the idle deadline so flow state drains faster. Established
+// flows are exempt from both: they refresh at any tier (runs on the
+// worker goroutine).
+func (p *Pipeline) admitFlow(ws *wstate, vid uint64, key flow.Key, hasKey bool, tsNs int64, tier int, shedNew bool) admitResult {
+	deadline := timer.Time(tsNs) + timer.Time(p.cfg.FlowIdle>>admission.IdleShift(tier))
 	if fs, ok := ws.flows[vid]; ok {
 		if fs.idle.Scheduled() {
 			fs.idle.Update(deadline)
@@ -509,11 +661,14 @@ func (p *Pipeline) admitFlow(ws *wstate, vid uint64, key flow.Key, hasKey bool, 
 			p.armIdle(ws, fs, deadline)
 		}
 		ws.lru.MoveToFront(fs.elem)
-		return true
+		return admitEstablished
+	}
+	if shedNew {
+		return admitShed
 	}
 	if ws.cap > 0 && len(ws.flows) >= ws.cap {
 		if p.cfg.Degrade == DropNew {
-			return false
+			return admitReject
 		}
 		p.evictOldest(ws)
 	}
@@ -523,14 +678,25 @@ func (p *Pipeline) admitFlow(ws *wstate, vid uint64, key flow.Key, hasKey bool, 
 	ws.flows[vid] = fs
 	ws.flowsSeen.Add(1)
 	ws.liveFlows.Add(1)
-	return true
+	return admitNew
 }
 
-// armIdle (re)schedules the flow's idle-expiration timer.
+// armIdle (re)schedules the flow's idle-expiration timer. With
+// Config.ExpireFlows the expiry also zaps the handler's per-flow state —
+// the timer fires inside advanceWorkerTime, on the worker goroutine and
+// between packets, where the handler is safe to touch.
 func (p *Pipeline) armIdle(ws *wstate, fs *flowState, deadline timer.Time) {
 	fs.idle = ws.tm.ScheduleFunc(deadline, func() {
 		ws.flowsExpired.Add(1)
 		p.dropFlowState(ws, fs)
+		if p.cfg.ExpireFlows && fs.hasKey && ws.owner != nil {
+			if z, ok := ws.owner.h.(FlowZapper); ok {
+				if zf := fault.Catch("zap", func() { z.ZapFlow(fs.key) }); zf != nil {
+					zf.VID = fs.vid
+					ws.faults.Record(zf)
+				}
+			}
+		}
 	})
 }
 
@@ -877,13 +1043,47 @@ func (p *Pipeline) supervise() {
 	}
 }
 
+// replState is the supervisor's per-worker replacement-rate bookkeeping;
+// only the supervisor goroutine touches it.
+type replState struct {
+	times      []time.Time // replacements within the sliding window
+	quarActive bool
+	quarUntil  time.Time
+	quarN      uint   // quarantines served; doubles the cooldown, capped
+	saved      []byte // recovery blob for reinstatement after cooldown
+	savedVID   uint64 // the wedging flow, quarantined on reinstatement
+}
+
 // checkStall replaces worker i if its current packet has been executing
 // longer than StallTimeout. The wedged goroutine is abandoned (it exits
 // if the job ever returns), the shard is rebuilt from its last automatic
 // checkpoint — losing at most CheckpointEvery packets of that shard's
 // work — and the offending flow is quarantined so its later packets
 // cannot wedge the replacement too.
+//
+// Replacement-rate limit: a worker replaced more than StallMaxReplaces
+// times within StallReplaceWindow stops getting fresh replacements — a
+// discarding stand-in drains its queue for a quarantine cooldown
+// (doubling per repeat offense) and the shard is reinstated from the
+// saved checkpoint afterwards, so a handler that wedges on every packet
+// converges to quarantine instead of unbounded ReplaceWorker churn.
 func (p *Pipeline) checkStall(i int) {
+	r := &p.repl[i]
+	now := time.Now()
+	if r.quarActive {
+		if now.Before(r.quarUntil) {
+			return // still cooling down; the discard slot drains the queue
+		}
+		r.quarActive = false
+		r.times = r.times[:0]
+		p.workerQuar.Add(-1)
+		nsl := p.rebuildSlot(i, r.savedVID, r.saved)
+		r.saved = nil
+		// The current goroutine is healthy (it ran the discard handler);
+		// only the slot swaps.
+		p.slots[i].Store(nsl)
+		return
+	}
 	sl := p.slots[i].Load()
 	sl.mu.Lock()
 	stuck := sl.track && !sl.abandoned && !sl.busySince.IsZero() &&
@@ -906,10 +1106,38 @@ func (p *Pipeline) checkStall(i int) {
 		return
 	}
 
+	// Slide the replacement window; over the limit, quarantine the slot.
+	cutoff := now.Add(-p.cfg.StallReplaceWindow)
+	keep := r.times[:0]
+	for _, t := range r.times {
+		if t.After(cutoff) {
+			keep = append(keep, t)
+		}
+	}
+	r.times = append(keep, now)
+	var nsl *wslot
+	if len(r.times) > p.cfg.StallMaxReplaces {
+		if r.quarN < 6 {
+			r.quarN++
+		}
+		r.quarActive = true
+		r.quarUntil = now.Add(p.cfg.StallQuarantine << (r.quarN - 1))
+		r.saved = ckpt
+		r.savedVID = vid
+		p.workerQuar.Add(1)
+		p.stallQuars.Add(1)
+		dsl := &wslot{ws: p.newWstate(), h: discardHandler{}}
+		dsl.ws.owner = dsl
+		dsl.ws.faults.Record(&fault.Fault{Op: "stall-quarantine", Worker: i, VID: vid,
+			Value: "replacement rate limit hit; shard discarding until cooldown"})
+		nsl = dsl
+	} else {
+		nsl = p.rebuildSlot(i, vid, ckpt)
+	}
+
 	// Build and publish the replacement slot BEFORE swapping goroutines:
 	// queued jobs load the slot at execution time, so the new goroutine
 	// must never see the abandoned handler.
-	nsl := p.rebuildSlot(i, vid, ckpt)
 	p.slots[i].Store(nsl)
 	if p.sched.ReplaceWorker(i) {
 		p.restarts.Add(1)
@@ -924,6 +1152,15 @@ func (p *Pipeline) checkStall(i int) {
 		}
 	}()
 }
+
+// StallQuarantines reports how many times the supervisor's replacement
+// rate limit sent a worker slot to quarantine.
+func (p *Pipeline) StallQuarantines() uint64 { return p.stallQuars.Load() }
+
+// QuarantinedWorkers reports how many worker slots are currently serving
+// a stall-quarantine cooldown (their queues drain into a discard
+// handler).
+func (p *Pipeline) QuarantinedWorkers() int { return int(p.workerQuar.Load()) }
 
 // rebuildSlot constructs worker i's replacement: shard state restored
 // from the last auto-checkpoint when possible (else fresh), the wedged
@@ -943,6 +1180,7 @@ func (p *Pipeline) rebuildSlot(i int, vid uint64, ckpt []byte) *wslot {
 			nh = discardHandler{}
 		}
 		sl = &wslot{ws: p.newWstate(), h: nh}
+		sl.ws.owner = sl
 		if p.cfg.WAL {
 			p.initWALBase(sl) //nolint:errcheck — a handler that can't delta just stops logging
 		}
@@ -1004,7 +1242,11 @@ func (p *Pipeline) Stats() []WorkerStats {
 			QuarantineDropped: ws.quarantineDropped.Load(),
 			FlowsEvicted:      ws.flowsEvicted.Load(),
 			PacketsRejected:   ws.packetsRejected.Load(),
+			PacketsShed:       ws.packetsShed.Load(),
 			TimersDropped:     ws.timersDropped.Load(),
+
+			FlowCap:            ws.cap,
+			CheckpointFailures: ws.ckptFailures.Load(),
 		}
 	}
 	return out

@@ -69,7 +69,9 @@ func sumStats(p *Pipeline) WorkerStats {
 		s.QuarantineDropped += w.QuarantineDropped
 		s.FlowsEvicted += w.FlowsEvicted
 		s.PacketsRejected += w.PacketsRejected
+		s.PacketsShed += w.PacketsShed
 		s.TimersDropped += w.TimersDropped
+		s.CheckpointFailures += w.CheckpointFailures
 	}
 	return s
 }

@@ -53,6 +53,7 @@ const (
 	walQuarDrop byte = 1 // dropped, flow already quarantined
 	walReject   byte = 2 // dropped by the MaxFlows cap (DropNew)
 	walFault    byte = 3 // handler panicked: flow quarantined, zap state in delta
+	walShed     byte = 4 // new flow refused by the overload degradation ladder
 )
 
 // initWALBase puts a slot into WAL mode: full snapshot as the base, empty
@@ -80,13 +81,25 @@ func (p *Pipeline) initWALBase(sl *wslot) error {
 // WAL is off). For walPacket and walFault the handler's delta rides in
 // the record; a delta failure opens a gap instead of logging a hole.
 // Every CheckpointEvery records the shard re-bases, truncating the log.
-// Runs on the owning worker goroutine.
-func (p *Pipeline) walRecord(sl *wslot, tsNs int64, vid uint64, key flow.Key, hasKey bool, frameLen int, outcome byte) {
+// Failed re-bases retry with exponential packet-count backoff (capped at
+// 4096) rather than every record, so a persistently unserializable
+// handler costs bounded work. Runs on the owning worker goroutine.
+func (p *Pipeline) walRecord(sl *wslot, tsNs int64, vid uint64, key flow.Key, hasKey bool, frameLen int, tier int, outcome byte) {
 	if sl.dc == nil {
 		return
 	}
 	if sl.walGap {
-		p.tryRebase(sl)
+		if sl.gapSkip > 0 {
+			sl.gapSkip--
+			return
+		}
+		if !p.tryRebase(sl) {
+			sl.ws.ckptFailures.Add(1)
+			if sl.ckptFailN < 12 {
+				sl.ckptFailN++
+			}
+			sl.gapSkip = backoffPackets(sl.ckptFailN)
+		}
 		return
 	}
 	var delta []byte
@@ -94,6 +107,7 @@ func (p *Pipeline) walRecord(sl *wslot, tsNs int64, vid uint64, key flow.Key, ha
 		d, err := sl.dc.AppendDelta()
 		if err != nil {
 			sl.walGap = true
+			sl.ws.ckptFailures.Add(1)
 			return
 		}
 		delta = d
@@ -106,6 +120,7 @@ func (p *Pipeline) walRecord(sl *wslot, tsNs int64, vid uint64, key flow.Key, ha
 	enc.Bytes(rawKey(key))
 	enc.U32(uint32(frameLen))
 	enc.U8(outcome)
+	enc.U8(uint8(tier))
 	enc.Bool(delta != nil)
 	if delta != nil {
 		enc.Bytes(delta)
@@ -115,10 +130,15 @@ func (p *Pipeline) walRecord(sl *wslot, tsNs int64, vid uint64, key flow.Key, ha
 	sl.mu.Unlock()
 	if err != nil {
 		sl.walGap = true
+		sl.ws.ckptFailures.Add(1)
 		return
 	}
 	if sl.pktSince++; sl.pktSince >= p.cfg.CheckpointEvery {
-		p.tryRebase(sl)
+		if !p.tryRebase(sl) {
+			sl.ws.ckptFailures.Add(1)
+			// Retry after another full interval, not on every record.
+			sl.pktSince = 0
+		}
 	}
 }
 
@@ -139,6 +159,8 @@ func (p *Pipeline) tryRebase(sl *wslot) bool {
 	sl.mu.Unlock()
 	sl.walGap = false
 	sl.pktSince = 0
+	sl.ckptFailN = 0
+	sl.gapSkip = 0
 	return true
 }
 
@@ -254,6 +276,7 @@ func (p *Pipeline) restoreSlotFromBlob(i int, blob []byte) (*wslot, error) {
 		return nil, fmt.Errorf("pipeline: unknown shard blob kind %d", kind)
 	}
 	sl := &wslot{ws: ws, h: h, track: p.cfg.StallTimeout > 0}
+	ws.owner = sl
 	if p.cfg.WAL {
 		if err := p.initWALBase(sl); err != nil {
 			return nil, err
@@ -273,6 +296,7 @@ func (p *Pipeline) replayShardRecord(ws *wstate, dc DeltaCheckpointer, payload [
 	rk := dec.Bytes()
 	frameLen := dec.U32()
 	outcome := dec.U8()
+	tier := int(dec.U8())
 	hasDelta := dec.Bool()
 	var delta []byte
 	if hasDelta {
@@ -292,8 +316,13 @@ func (p *Pipeline) replayShardRecord(ws *wstate, dc DeltaCheckpointer, payload [
 		ws.quarantineDropped.Add(1)
 	case walReject:
 		ws.packetsRejected.Add(1)
+	case walShed:
+		ws.packetsShed.Add(1)
 	case walPacket:
-		p.admitFlow(ws, vid, key, hasKey, tsNs)
+		// The record's existence proves the live job admitted, so replay
+		// never re-sheds (the class isn't recorded); the tier reproduces
+		// the scaled idle deadline.
+		p.admitFlow(ws, vid, key, hasKey, tsNs, tier, false)
 		if hasDelta {
 			if err := dc.ApplyDelta(delta); err != nil {
 				return err
@@ -304,7 +333,7 @@ func (p *Pipeline) replayShardRecord(ws *wstate, dc DeltaCheckpointer, payload [
 	case walFault:
 		// The live job admitted the flow, panicked, and quarantined it;
 		// the handler's zap effects arrive via the delta.
-		p.admitFlow(ws, vid, key, hasKey, tsNs)
+		p.admitFlow(ws, vid, key, hasKey, tsNs, tier, false)
 		ws.quarantined[vid] = 0
 		ws.quarantinedFlows.Add(1)
 		if fs, ok := ws.flows[vid]; ok {

@@ -23,20 +23,36 @@ const maxBuffered = 4 << 20
 // Counters are atomic so engines on different pipeline workers can share
 // one Budget.
 type Budget struct {
-	max    int64
+	max    atomic.Int64
 	used   atomic.Int64
 	forced atomic.Uint64
 }
 
 // NewBudget creates a budget of max bytes (<=0 disables enforcement while
 // still accounting usage).
-func NewBudget(max int64) *Budget { return &Budget{max: max} }
+func NewBudget(max int64) *Budget {
+	b := &Budget{}
+	b.max.Store(max)
+	return b
+}
 
 func (b *Budget) charge(n int)  { b.used.Add(int64(n)) }
 func (b *Budget) release(n int) { b.used.Add(-int64(n)) }
 
 // Over reports whether aggregate buffering exceeds the budget.
-func (b *Budget) Over() bool { return b.max > 0 && b.used.Load() > b.max }
+func (b *Budget) Over() bool {
+	max := b.max.Load()
+	return max > 0 && b.used.Load() > max
+}
+
+// Max returns the current budget bound (<=0 = accounting only).
+func (b *Budget) Max() int64 { return b.max.Load() }
+
+// SetMax rebounds the budget — the overload ladder's tier-2 lever:
+// shrinking it makes over-budget streams abandon their oldest holes on
+// their next insert, and restoring it is immediately effective. Safe
+// concurrently with charging streams.
+func (b *Budget) SetMax(max int64) { b.max.Store(max) }
 
 // Used returns the bytes currently buffered across all sharing streams.
 func (b *Budget) Used() int64 { return b.used.Load() }

@@ -1,0 +1,156 @@
+package admission
+
+import "testing"
+
+func TestBucketBasicRefill(t *testing.T) {
+	b := NewBucket(10, 5) // 10 tokens/s, burst 5
+	now := int64(0)
+	// Starts full: 5 takes succeed, 6th fails.
+	for i := 0; i < 5; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("take %d refused from a full bucket", i)
+		}
+	}
+	if b.Allow(now) {
+		t.Fatal("take succeeded from an empty bucket")
+	}
+	// 100ms at 10/s = 1 token.
+	now += 100 * 1e6
+	if !b.Allow(now) {
+		t.Fatal("refused after refill interval")
+	}
+	if b.Allow(now) {
+		t.Fatal("second take minted a free token")
+	}
+}
+
+func TestBucketFractionalCarry(t *testing.T) {
+	// 1 token/s polled every 100ms: the 10th poll must succeed even
+	// though every individual interval mints zero whole tokens.
+	b := NewBucket(1, 1)
+	now := int64(0)
+	if !b.Allow(now) {
+		t.Fatal("initial take refused")
+	}
+	granted := 0
+	for i := 1; i <= 20; i++ {
+		now += 100 * 1e6
+		if b.Allow(now) {
+			granted++
+		}
+	}
+	if granted != 2 {
+		t.Fatalf("2s at 1 token/s granted %d tokens, want 2", granted)
+	}
+}
+
+func TestBucketBackwardsClock(t *testing.T) {
+	b := NewBucket(100, 10)
+	if !b.Allow(1e9) {
+		t.Fatal("initial take refused")
+	}
+	before := b.Tokens(1e9)
+	if got := b.Tokens(0); got != before {
+		t.Fatalf("backwards clock changed balance: %d -> %d", before, got)
+	}
+	if got := b.Tokens(1e9 + 10*1e6); got != before+1 {
+		t.Fatalf("refill after backwards step: got %d, want %d", got, before+1)
+	}
+}
+
+func TestBucketHugeElapsedSaturates(t *testing.T) {
+	b := NewBucket(1<<62, 1000)
+	b.Allow(0) // init clock, take one
+	// ~292 years of elapsed time at 2^62 tokens/s overflows any 64-bit
+	// product; the bucket must saturate at burst, not wrap or stall.
+	if got := b.Tokens(1 << 62); got != 1000 {
+		t.Fatalf("huge elapsed: tokens = %d, want burst 1000", got)
+	}
+	if !b.Allow(1 << 62) {
+		t.Fatal("saturated bucket refused a take")
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	b := NewBucket(0, 1)
+	for i := 0; i < 100; i++ {
+		if !b.Allow(int64(i)) {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+}
+
+func TestBucketAllowN(t *testing.T) {
+	b := NewBucket(10, 10)
+	if !b.AllowN(0, 10) {
+		t.Fatal("burst-sized take refused from full bucket")
+	}
+	if b.AllowN(0, 1) {
+		t.Fatal("take from drained bucket succeeded")
+	}
+	// All-or-nothing: 500ms mints 5; a take of 6 must fail and leave 5.
+	if b.AllowN(500*1e6, 6) {
+		t.Fatal("partial-balance take of 6 succeeded with 5 banked")
+	}
+	if got := b.Tokens(500 * 1e6); got != 5 {
+		t.Fatalf("failed take changed balance: %d, want 5", got)
+	}
+	if !b.AllowN(500*1e6, 5) {
+		t.Fatal("exact-balance take refused")
+	}
+}
+
+func TestPrefixLimiterIsolation(t *testing.T) {
+	pl := NewPrefixLimiter(1, 2, 16)
+	a := v4(10, 0, 0, 1)
+	a2 := v4(10, 0, 0, 99) // same /24 as a
+	bAddr := v4(10, 0, 1, 1)
+	now := int64(0)
+	if !pl.Allow(now, a) || !pl.Allow(now, a2) {
+		t.Fatal("fresh prefix refused within burst")
+	}
+	if pl.Allow(now, a) {
+		t.Fatal("exhausted /24 admitted a third packet")
+	}
+	// A different /24 is untouched by a's exhaustion.
+	if !pl.Allow(now, bAddr) {
+		t.Fatal("sibling prefix refused after unrelated exhaustion")
+	}
+}
+
+func TestPrefixLimiterLRUBound(t *testing.T) {
+	pl := NewPrefixLimiter(1, 1, 4)
+	for i := 0; i < 32; i++ {
+		pl.Allow(int64(i), v4(10, 0, byte(i), 1))
+	}
+	if got := pl.Prefixes(); got != 4 {
+		t.Fatalf("tracked prefixes = %d, want LRU bound 4", got)
+	}
+	if pl.Evictions() != 28 {
+		t.Fatalf("evictions = %d, want 28", pl.Evictions())
+	}
+}
+
+func TestPrefixKeySpacesDisjoint(t *testing.T) {
+	// A v6 address whose leading bytes mirror a v4-mapped layout must not
+	// collide with the tagged v4 key space.
+	v4Key := prefixKey(v4(1, 2, 3, 4))
+	var v6 [16]byte
+	copy(v6[:], []byte{0x20, 0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4})
+	if prefixKey(v6) == v4Key {
+		t.Fatal("v4 /24 key collided with v6 /64 key")
+	}
+	if v4Key&(1<<63) == 0 {
+		t.Fatal("v4 key missing tag bit")
+	}
+	if prefixKey(v6)&(1<<63) != 0 {
+		t.Fatal("v6 key carries the v4 tag bit")
+	}
+}
+
+func v4(a, b, c, d byte) [16]byte {
+	var ip [16]byte
+	ip[10], ip[11] = 0xFF, 0xFF
+	ip[12], ip[13], ip[14], ip[15] = a, b, c, d
+	return ip
+}

@@ -1,0 +1,114 @@
+// The health-state machine: four operating states with hysteresis,
+// driving a tiered degradation ladder. States classify *offered* load
+// (the EWMA rate estimate vs. the configured target capacity) so the
+// machine reacts to what is arriving, not to what survived shedding:
+//
+//	Healthy    — load under capacity; no intervention (tier 0).
+//	Degraded   — sustained load at/above capacity; shed new low-priority
+//	             flows (tier 1).
+//	Shedding   — well over capacity; shed all new flows below High
+//	             priority and shrink per-flow budgets (tier 2), and under
+//	             extreme overload additionally sample packets (tier 3).
+//	Recovering — load has subsided from Degraded/Shedding; budgets are
+//	             restored but new-flow shedding stays at tier 1 until the
+//	             calm has lasted RecoverDwell (hysteresis against
+//	             oscillation), then Healthy.
+//
+// Every action is tied to the tier, and the tier falls as the state
+// machine de-escalates, so every degradation is reversible: budgets
+// return to full size, sampling stops, and new flows admit again, in
+// that order, as load subsides.
+
+package admission
+
+// State is the controller's operating state.
+type State int32
+
+const (
+	Healthy State = iota
+	Degraded
+	Shedding
+	Recovering
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Shedding:
+		return "shedding"
+	case Recovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// Class is a flow priority class. Established flows are implicitly above
+// every class: the ladder sheds only flows not yet admitted.
+type Class int8
+
+const (
+	// Low is shed first (tier 1): unkeyable frames and anything the
+	// classifier marks expendable.
+	Low Class = iota
+	// Normal is shed at tier 2 alongside Low.
+	Normal
+	// High is never shed as a new flow and never sampled; only hard
+	// rate limits (the token buckets) can refuse it.
+	High
+)
+
+func (c Class) String() string {
+	switch c {
+	case Low:
+		return "low"
+	case Normal:
+		return "normal"
+	case High:
+		return "high"
+	}
+	return "unknown"
+}
+
+// Tier constants name the ladder rungs; Tier for a state is computed by
+// the controller from the overload ratio.
+const (
+	TierNone     = 0 // no intervention
+	TierShedLow  = 1 // refuse new Low-class flows
+	TierShrink   = 2 // refuse new non-High flows; halve idle/reassembly budgets
+	TierSampling = 3 // additionally admit only 1-in-SampleN non-High packets
+)
+
+// ShedNewFlow reports whether a packet that would create a new flow of
+// the given class is refused at this tier. Established flows never
+// consult it — that is the ladder's core promise.
+func ShedNewFlow(tier int, class Class) bool {
+	switch {
+	case tier <= TierNone:
+		return false
+	case tier == TierShedLow:
+		return class == Low
+	default:
+		return class < High
+	}
+}
+
+// IdleShift returns how many halvings tier applies to flow-idle
+// deadlines (tier 2's budget shrink): deadline >>= IdleShift.
+func IdleShift(tier int) uint {
+	if tier >= TierShrink {
+		return 1
+	}
+	return 0
+}
+
+// Transition is one recorded state-machine edge. From == To records a
+// tier change within a state (Shedding escalating to sampling).
+type Transition struct {
+	AtNs     int64 // trace time of the transition
+	From, To State
+	Tier     int
+	Ratio    float64 // overload ratio (EWMA rate / target) that drove it
+}

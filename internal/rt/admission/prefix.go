@@ -1,0 +1,88 @@
+// Per-source-prefix rate limiting: one bucket per /24 (IPv4) or /64
+// (IPv6) source prefix, bounded by an LRU so a scan across the whole
+// address space cannot turn the limiter itself into a memory attack.
+// Like Bucket, it is single-goroutine (the pipeline's Feed path) and
+// driven by caller time.
+
+package admission
+
+import "container/list"
+
+// PrefixLimiter rations ingest per source prefix. A source whose prefix
+// exhausts its bucket is refused while every other prefix is untouched —
+// the per-origin half of ingest smoothing, aimed at single-origin floods
+// that a global bucket would let crowd out everyone else.
+type PrefixLimiter struct {
+	rate, burst int64
+	max         int
+	entries     map[uint64]*prefixEntry
+	lru         *list.List // *prefixEntry, front = most recently used
+	evictions   uint64
+}
+
+type prefixEntry struct {
+	key  uint64
+	b    Bucket
+	elem *list.Element
+}
+
+// NewPrefixLimiter builds a limiter of rate tokens/second and burst per
+// prefix, tracking at most maxEntries prefixes (least-recently-used
+// prefixes are evicted beyond that; default 4096 when maxEntries < 1).
+func NewPrefixLimiter(rate, burst int64, maxEntries int) *PrefixLimiter {
+	if maxEntries < 1 {
+		maxEntries = 4096
+	}
+	return &PrefixLimiter{
+		rate:    rate,
+		burst:   burst,
+		max:     maxEntries,
+		entries: make(map[uint64]*prefixEntry),
+		lru:     list.New(),
+	}
+}
+
+// Allow takes one token from src's prefix bucket at time nowNs.
+func (pl *PrefixLimiter) Allow(nowNs int64, src [16]byte) bool {
+	if pl.rate <= 0 {
+		return true
+	}
+	key := prefixKey(src)
+	e, ok := pl.entries[key]
+	if !ok {
+		if len(pl.entries) >= pl.max {
+			back := pl.lru.Back()
+			old := back.Value.(*prefixEntry)
+			delete(pl.entries, old.key)
+			pl.lru.Remove(back)
+			pl.evictions++
+		}
+		e = &prefixEntry{key: key, b: Bucket{rate: pl.rate, burst: pl.burst, tokens: pl.burst}}
+		e.elem = pl.lru.PushFront(e)
+		pl.entries[key] = e
+	} else {
+		pl.lru.MoveToFront(e.elem)
+	}
+	return e.b.Allow(nowNs)
+}
+
+// Prefixes reports how many prefixes are currently tracked.
+func (pl *PrefixLimiter) Prefixes() int { return len(pl.entries) }
+
+// Evictions reports how many prefixes the LRU bound displaced.
+func (pl *PrefixLimiter) Evictions() uint64 { return pl.evictions }
+
+// prefixKey maps a 16-byte address to its rate-limiting prefix: the /24
+// for IPv4-mapped addresses, the /64 otherwise. The IPv4 case is tagged
+// so a v4 /24 can never collide with a v6 /64 sharing the same leading
+// bytes.
+func prefixKey(src [16]byte) uint64 {
+	if src[10] == 0xFF && src[11] == 0xFF {
+		return 1<<63 | uint64(src[12])<<16 | uint64(src[13])<<8 | uint64(src[14])
+	}
+	var k uint64
+	for i := 0; i < 8; i++ {
+		k = k<<8 | uint64(src[i])
+	}
+	return k &^ (1 << 63) // clear the v4 tag bit so the spaces stay disjoint
+}

@@ -163,6 +163,40 @@ type BucketCount struct {
 	Count uint64
 }
 
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed values: the smallest bucket bound whose cumulative count
+// covers q of the observations. Observations landing in the overflow
+// bucket report the largest finite bound — a floor, not a bound, so
+// callers asserting latency ceilings should size the ladder past the
+// ceiling. Returns 0 with no observations; nil-safe.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || q <= 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := uint64(q * float64(total))
+	if need == 0 {
+		need = 1
+	}
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= need {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // DurationBuckets is a general-purpose latency bucket ladder in
 // nanoseconds: 1µs .. ~1s, roughly ×4 per step.
 var DurationBuckets = []int64{
