@@ -149,6 +149,28 @@ func BenchmarkHILTIFilterTraceNoStub(b *testing.B) {
 	}
 }
 
+// BenchmarkHILTIFilterTraceNoStubTier2 is the same direct-call
+// configuration with tier-2 code installed eagerly (O2): unboxed slots,
+// superinstructions, and verified budget elision on the filter loop.
+func BenchmarkHILTIFilterTraceNoStubTier2(b *testing.B) {
+	pkts, _ := traces()
+	e, _ := bpf.ParseFilter(benchFilter)
+	mod, _ := bpf.CompileHILTI(e)
+	prog, _ := hilti.LinkWith(hilti.Config{OptLevel: hilti.O2}, mod)
+	ex, _ := hilti.NewExec(prog)
+	fn := prog.Fn("Filter::filter")
+	rope := hbytes.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pkts {
+			rope.Reset(p.Data)
+			if _, err := ex.CallFn(fn, values.BytesVal(rope)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // --- §6.4: protocol parsing (Figure 9) ---------------------------------------------
 
 // BenchmarkParseHTTPStd: standard parsers + interpreted scripts on HTTP.

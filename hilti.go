@@ -91,6 +91,14 @@ const (
 	// jump threading, unreachable-code elimination, and compare+branch
 	// fusion (see internal/hilti/vm/opt.go).
 	O1
+	// O2 additionally installs tier-2 code for every function ahead of
+	// time: unboxed int/bool register slots, superinstruction pairs,
+	// monomorphic inline caches, and verified regions that elide
+	// per-instruction budget checks under a proven bound (see
+	// internal/hilti/vm/tier2.go). Deterministic — no runtime profile is
+	// consulted; for profile-guided promotion of hot functions at runtime
+	// use vm.Exec.EnableTiering instead.
+	O2
 )
 
 // Config controls compilation of modules into a Program.
@@ -107,6 +115,8 @@ func (c Config) vmOptions() vm.Options {
 		lvl = 0
 	case O1:
 		lvl = 1
+	case O2:
+		lvl = 2
 	}
 	return vm.Options{OptLevel: lvl}
 }

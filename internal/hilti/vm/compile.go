@@ -73,6 +73,7 @@ func LinkWith(opts Options, modules ...*ast.Module) (*Program, error) {
 				Result:   f.Result,
 				IsHook:   f.IsHook,
 				HookPrio: f.HookPrio,
+				ID:       len(lk.units), // dense per-Program function id
 			}
 			if f.IsHook {
 				lk.prog.HookBodies[f.Name] = append(lk.prog.HookBodies[f.Name], cf)
@@ -200,6 +201,13 @@ func (c *fnCompiler) compile() error {
 		c.rty[l.Name] = l.Type
 	}
 	c.out.NRegs = len(c.regs)
+	// Record static register types for tier-2 slot classification. Hidden
+	// registers allocated later (try.end exception slots) fall outside the
+	// slice and stay boxed.
+	c.out.RegTypes = make([]*types.Type, len(c.regs))
+	for name, r := range c.regs {
+		c.out.RegTypes[r] = c.rty[name]
+	}
 
 	for bi, b := range c.fn.Blocks {
 		c.lbls[b.Name] = len(c.out.Code)
@@ -270,6 +278,7 @@ func (c *fnCompiler) emit(in Instr) int {
 	if in.op == "" {
 		in.op = c.curOp
 	}
+	in.opID = internOp(in.op)
 	c.out.Code = append(c.out.Code, in)
 	return pc
 }

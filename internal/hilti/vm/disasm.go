@@ -1,6 +1,8 @@
 // Disassembly of compiled functions, for debugging and for the golden
 // optimizer tests: a stable, line-oriented text rendering of the linear
-// code plus handler table.
+// code plus handler table. DisasmTier renders the tier-2 view of the same
+// pcs — superinstruction names, unboxed-slot operands, and verified-region
+// markers.
 
 package vm
 
@@ -20,10 +22,50 @@ import (
 // information: t1 when it is not the fallthrough pc, t2 for branches.
 // Exception handlers follow the code as "handler [start,end) -> target".
 func (fn *CompiledFunc) Disasm() string {
+	return fn.disasm(fn.Code, nil)
+}
+
+// DisasmTier renders fn's tier-2 code when published, falling back to the
+// tier-1 rendering otherwise. Tier-2 additions to the format: an
+// "unboxed:" header line listing the slotted registers (printed as iN),
+// fused superinstruction names ("overlay.get+int.eq+br"), and verified
+// regions as "[verified: n instrs]" markers (with the proven loop
+// iteration count and bound when the region is a counted loop).
+func (fn *CompiledFunc) DisasmTier() string {
+	tc := fn.tier2.Load()
+	if tc == nil {
+		return fn.disasm(fn.Code, nil)
+	}
+	return fn.disasm(tc.code, tc)
+}
+
+func (fn *CompiledFunc) disasm(code []Instr, tc *tierCode) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "func %s (params=%d regs=%d)\n", fn.Name, fn.NParams, fn.NRegs)
-	for pc := range fn.Code {
-		in := &fn.Code[pc]
+	if tc != nil && tc.stats.SlotRegs > 0 {
+		parts := make([]string, 0, tc.stats.SlotRegs)
+		for r, k := range tc.slotKind {
+			switch k {
+			case slotInt:
+				parts = append(parts, fmt.Sprintf("i%d:int", r))
+			case slotBool:
+				parts = append(parts, fmt.Sprintf("i%d:bool", r))
+			}
+		}
+		fmt.Fprintf(&sb, "unboxed: %s\n", strings.Join(parts, " "))
+	}
+	for pc := range code {
+		in := &code[pc]
+		if ra, ok := in.aux.(*regionAux); ok && in.op == "region" {
+			if ra.hdr >= 0 {
+				fmt.Fprintf(&sb, "%04d %-18s [verified: %d instrs, loop x%d, bound %d]\n",
+					pc, in.op, len(ra.code), ra.iters, ra.bound)
+			} else {
+				fmt.Fprintf(&sb, "%04d %-18s [verified: %d instrs]\n",
+					pc, in.op, len(ra.code))
+			}
+			continue
+		}
 		fmt.Fprintf(&sb, "%04d %-18s", pc, in.op)
 		operands := make([]string, 0, len(in.srcs))
 		for i := range in.srcs {
@@ -60,6 +102,8 @@ func dstString(d dst) string {
 		return fmt.Sprintf("r%d", d.idx)
 	case srcGlobal:
 		return fmt.Sprintf("g%d", d.idx)
+	case srcSlot:
+		return fmt.Sprintf("i%d", d.idx)
 	default:
 		return "_"
 	}
@@ -71,6 +115,8 @@ func srcString(s *src) string {
 		return fmt.Sprintf("r%d", s.idx)
 	case srcGlobal:
 		return fmt.Sprintf("g%d", s.idx)
+	case srcSlot:
+		return fmt.Sprintf("i%d", s.idx)
 	case srcCtor:
 		elems := make([]string, len(s.subs))
 		for i := range s.subs {

@@ -18,7 +18,6 @@ package vm
 
 import (
 	"sort"
-	"sync"
 
 	"hilti/internal/rt/metrics"
 )
@@ -115,13 +114,30 @@ func (ex *Exec) PublishTo(reg *metrics.Registry, key string, labels ...string) *
 	return m
 }
 
-// opProfile is the optional per-opcode execution profile. Counts are
-// per-op atomic counters in a sync.Map: updates come from the (single)
-// Exec goroutine but scrapes iterate concurrently, and sync.Map keeps the
-// hot lookup lock-free once an opcode's counter exists.
+// opProfile is the per-opcode execution profile: flat arrays indexed by
+// interned opcode id (opid.go). Per-opcode counts are atomic counters so
+// concurrent scrapes (PublishTo collectors) read them safely; the pair
+// matrix is plain uint64s owned by the Exec goroutine — it feeds tier-2
+// superinstruction discovery on that same goroutine, never a scrape.
+//
+// The arrays are sized at enable time to the interner population plus
+// headroom for names minted later (tier-2 pair ops); ids past the end are
+// dropped rather than grown, keeping hit() allocation-free forever.
 type opProfile struct {
-	counts sync.Map // op string -> *metrics.Counter
+	n      int
+	counts []metrics.Counter // [opID] executions; atomic, scrape-safe
+	pairs  []uint64          // [prev*n+cur] adjacent-pair executions
 }
+
+// profNoPrev is the "no previous instruction" sentinel for pair counting:
+// it always fails the bounds check in hit, so the first instruction of an
+// activation records no pair.
+const profNoPrev = ^uint16(0)
+
+// opProfileHeadroom pads the profile arrays beyond the ids interned at
+// enable time, so ops minted later (tier-2 pairs, programs linked after
+// enabling) still get counted.
+const opProfileHeadroom = 256
 
 type opCount struct {
 	op string
@@ -129,13 +145,23 @@ type opCount struct {
 }
 
 // EnableOpcodeProfile turns on per-opcode execution counting for this
-// Exec. It costs one pointer nil-check per instruction when disabled and
-// a map lookup + atomic add per instruction when enabled — a diagnostic
-// mode, not a production default (the paper's profiler instructions cover
-// coarse attribution cheaply; this is the fine-grained variant).
+// Exec. The cost is one bounds check plus one array increment per
+// instruction (two with pair counting) — cheap enough to leave on in
+// production; it also feeds tier-2 superinstruction discovery (tier2.go).
+// Enable it after linking the programs of interest so their opcode names
+// are already interned (later names land in the headroom, and anything
+// beyond that is silently dropped from the profile).
 func (ex *Exec) EnableOpcodeProfile() {
 	if ex.opProf == nil {
-		ex.opProf = &opProfile{}
+		n := internedOpCount() + opProfileHeadroom
+		if n > int(profNoPrev) {
+			n = int(profNoPrev)
+		}
+		ex.opProf = &opProfile{
+			n:      n,
+			counts: make([]metrics.Counter, n),
+			pairs:  make([]uint64, n*n),
+		}
 	}
 }
 
@@ -152,20 +178,84 @@ func (ex *Exec) OpcodeProfile() map[string]uint64 {
 	return out
 }
 
-func (p *opProfile) hit(op string) {
-	v, ok := p.counts.Load(op)
-	if !ok {
-		v, _ = p.counts.LoadOrStore(op, &metrics.Counter{})
-	}
-	v.(*metrics.Counter).Inc()
+// OpPairCount is one adjacent-opcode-pair entry of the profile: B executed
+// immediately after A within one activation.
+type OpPairCount struct {
+	A, B string
+	N    uint64
 }
 
-func (p *opProfile) snapshot() []opCount {
-	var out []opCount
-	p.counts.Range(func(k, v any) bool {
-		out = append(out, opCount{op: k.(string), n: v.(*metrics.Counter).Load()})
-		return true
+// OpcodePairProfile returns the measured opcode-pair frequencies, sorted
+// descending. Unlike OpcodeProfile it reads the unsynchronized pair
+// matrix, so call it from the goroutine driving the Exec (between calls).
+func (ex *Exec) OpcodePairProfile() []OpPairCount {
+	p := ex.opProf
+	if p == nil {
+		return nil
+	}
+	k := 0
+	for _, c := range p.pairs {
+		if c > 0 {
+			k++
+		}
+	}
+	out := make([]OpPairCount, 0, k)
+	for i, c := range p.pairs {
+		if c > 0 {
+			out = append(out, OpPairCount{
+				A: opName(uint16(i / p.n)), B: opName(uint16(i % p.n)), N: c,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
 	})
+	return out
+}
+
+// hit records one execution of id following prev, returning the new
+// previous-op id for the caller's loop-local chain.
+func (p *opProfile) hit(id uint16, prev uint16) uint16 {
+	if int(id) >= p.n {
+		return profNoPrev // beyond headroom: drop, and break the pair chain
+	}
+	p.counts[id].Inc()
+	if int(prev) < p.n {
+		p.pairs[int(prev)*p.n+int(id)]++
+	}
+	return id
+}
+
+// pairCount returns the measured executions of the adjacent pair (a, b).
+func (p *opProfile) pairCount(a, b uint16) uint64 {
+	if p == nil || int(a) >= p.n || int(b) >= p.n {
+		return 0
+	}
+	return p.pairs[int(a)*p.n+int(b)]
+}
+
+// snapshot returns the nonzero per-opcode counts sorted descending. It
+// allocates exactly one slice sized to the nonzero population (it runs on
+// every metrics scrape).
+func (p *opProfile) snapshot() []opCount {
+	k := 0
+	for i := range p.counts {
+		if p.counts[i].Load() > 0 {
+			k++
+		}
+	}
+	out := make([]opCount, 0, k)
+	for i := range p.counts {
+		if n := p.counts[i].Load(); n > 0 {
+			out = append(out, opCount{op: opName(uint16(i)), n: n})
+		}
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].n != out[j].n {
 			return out[i].n > out[j].n

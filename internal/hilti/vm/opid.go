@@ -1,0 +1,67 @@
+// Opcode-name interning: every distinct instruction name (including the
+// fused and tier-2 superinstruction names minted after lowering) gets a
+// small dense id, stamped onto each Instr at emit time. The always-on
+// execution profile and the opcode-pair counters index flat arrays by
+// these ids, which is what makes them cheap enough to leave enabled in
+// production (one bounds check + one array increment per instruction
+// instead of a map lookup on a string key).
+
+package vm
+
+import "sync"
+
+// opIDUnknown is the id of instructions that were never stamped (hand-built
+// test code); the interner reserves slot 0 for it so profile attribution of
+// such instructions is explicit rather than colliding with a real opcode.
+const opIDUnknown uint16 = 0
+
+var opInterner = struct {
+	sync.RWMutex
+	byName map[string]uint16
+	names  []string
+}{
+	byName: map[string]uint16{},
+	names:  []string{"?"},
+}
+
+// internOp returns the dense id for an opcode name, assigning one on first
+// use. Linking is the only hot caller and is not performance-critical; the
+// execution fast path only ever reads the stamped id.
+func internOp(name string) uint16 {
+	opInterner.RLock()
+	id, ok := opInterner.byName[name]
+	opInterner.RUnlock()
+	if ok {
+		return id
+	}
+	opInterner.Lock()
+	defer opInterner.Unlock()
+	if id, ok = opInterner.byName[name]; ok {
+		return id
+	}
+	if len(opInterner.names) > 0xfffe {
+		return opIDUnknown // id space exhausted; profile as unknown
+	}
+	id = uint16(len(opInterner.names))
+	opInterner.names = append(opInterner.names, name)
+	opInterner.byName[name] = id
+	return id
+}
+
+// opName resolves an interned id back to its opcode name.
+func opName(id uint16) string {
+	opInterner.RLock()
+	defer opInterner.RUnlock()
+	if int(id) < len(opInterner.names) {
+		return opInterner.names[id]
+	}
+	return "?"
+}
+
+// internedOpCount returns the number of interned opcode names (including the
+// reserved unknown slot); used to size profile arrays.
+func internedOpCount() int {
+	opInterner.RLock()
+	defer opInterner.RUnlock()
+	return len(opInterner.names)
+}

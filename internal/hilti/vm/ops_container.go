@@ -4,6 +4,8 @@
 package vm
 
 import (
+	"sync/atomic"
+
 	"fmt"
 
 	"hilti/internal/hilti/ast"
@@ -529,5 +531,155 @@ func execMapGetDefault(ex *Exec, fr *Frame, in *Instr) int {
 		v = ex.get(fr, &in.srcs[2])
 	}
 	ex.put(fr, in.d, v)
+	return in.t1
+}
+
+// --- tier-2 monomorphic inline caches ----------------------------------------
+//
+// Installed by tier-2 lowering (tier2.go). A struct IC caches the
+// (StructDef → field index) resolution so the steady state skips the
+// by-name map lookup; a map IC caches the key operand's observed shape
+// (value kind + whether it scratch-encodes) so the steady state skips
+// re-probing the encodability of every key. Both demote the whole
+// function back to tier-1 when the monomorphic assumption breaks — the
+// current activation still completes correctly through the slow path.
+
+// structICEntry is the cached field resolution for one struct shape.
+type structICEntry struct {
+	def *values.StructDef
+	idx int
+}
+
+// structIC is the shared inline-cache state of one struct.get/set site.
+type structIC struct {
+	name  string
+	fn    *CompiledFunc
+	entry atomic.Pointer[structICEntry]
+}
+
+// lookup resolves the field index for s, filling the cache on first use
+// and demoting the function when the site turns polymorphic. The returned
+// index is -1 for an unknown field (matching StructDef.Index).
+func (ic *structIC) lookup(s *values.Struct) int {
+	if e := ic.entry.Load(); e != nil {
+		if e.def == s.Def {
+			return e.idx
+		}
+		// Second shape at this site: tier-2 specialized on a monomorphic
+		// world that no longer exists.
+		demoteTier2(ic.fn)
+	}
+	idx := s.Def.Index(ic.name)
+	if idx >= 0 {
+		ic.entry.Store(&structICEntry{def: s.Def, idx: idx})
+	}
+	return idx
+}
+
+func execStructGetIC(ex *Exec, fr *Frame, in *Instr) int {
+	s, err := asStruct(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	ic := in.aux.(*structIC)
+	v, ok := s.Get(ic.lookup(s))
+	if !ok {
+		return ex.raise("Hilti::UnsetField", fmt.Sprintf("field %q not set", ic.name))
+	}
+	ex.put(fr, in.d, v)
+	return in.t1
+}
+
+func execStructSetIC(ex *Exec, fr *Frame, in *Instr) int {
+	s, err := asStruct(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	ic := in.aux.(*structIC)
+	s.Set(ic.lookup(s), ex.get(fr, &in.srcs[2]))
+	ex.put(fr, in.d, values.Nil)
+	return in.t1
+}
+
+// mapIC caches the shape of one map lookup site's key operand: the value
+// kind plus whether that kind scratch-encodes via values.AppendKey. Shape
+// 0 means unfilled.
+type mapIC struct {
+	fn    *CompiledFunc
+	shape atomic.Int64
+}
+
+func mapKeyShape(k values.Kind, keyed bool) int64 {
+	s := 1 + int64(k)*2
+	if keyed {
+		s++
+	}
+	return s
+}
+
+// icMapKey resolves the cached lookup path for kv, returning the encoded
+// key when the keyed fast path applies. A shape change (or a same-kind key
+// that stops encoding, e.g. heterogeneous tuples) demotes the function.
+func icMapKey(ex *Exec, ic *mapIC, kv values.Value) (k []byte, keyed bool) {
+	shape := ic.shape.Load()
+	switch shape {
+	case mapKeyShape(kv.K, false):
+		return nil, false
+	case mapKeyShape(kv.K, true):
+		if k, ok := values.AppendKey(ex.keyBuf[:0], kv); ok {
+			ex.keyBuf = k
+			return k, true
+		}
+		demoteTier2(ic.fn)
+		ex.keyBuf = ex.keyBuf[:0]
+		return nil, false
+	}
+	if shape != 0 {
+		demoteTier2(ic.fn)
+	}
+	k, ok := values.AppendKey(ex.keyBuf[:0], kv)
+	if ok {
+		ex.keyBuf = k
+		ic.shape.Store(mapKeyShape(kv.K, true))
+		return k, true
+	}
+	ex.keyBuf = k[:0]
+	ic.shape.Store(mapKeyShape(kv.K, false))
+	return nil, false
+}
+
+func execMapGetIC(ex *Exec, fr *Frame, in *Instr) int {
+	m, err := asMap(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	kv := ex.get(fr, &in.srcs[1])
+	var v values.Value
+	var ok bool
+	if k, keyed := icMapKey(ex, in.aux.(*mapIC), kv); keyed {
+		v, ok = m.GetKeyed(k)
+	} else {
+		v, ok = m.Get(kv)
+	}
+	if !ok {
+		return ex.raise("Hilti::IndexError", "key not in map: "+values.Format(kv))
+	}
+	ex.put(fr, in.d, v)
+	return in.t1
+}
+
+func execMapExistsIC(ex *Exec, fr *Frame, in *Instr) int {
+	m, err := asMap(ex.get(fr, &in.srcs[0]))
+	if err != nil {
+		return ex.raiseErr(err)
+	}
+	kv := ex.get(fr, &in.srcs[1])
+	var b bool
+	if k, keyed := icMapKey(ex, in.aux.(*mapIC), kv); keyed {
+		b = m.ExistsKeyed(k)
+	} else {
+		b = m.Exists(kv)
+	}
+	ex.put(fr, in.d, values.Bool(b))
 	return in.t1
 }

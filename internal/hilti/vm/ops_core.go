@@ -455,3 +455,34 @@ func zeroOf(t *types.Type) values.Value {
 		return values.Nil
 	}
 }
+
+// --- tier-2 unboxed slot executors (control/data movement) -------------------
+
+// execSlotAssign writes a scalar operand into an unboxed slot.
+func execSlotAssign(ex *Exec, fr *Frame, in *Instr) int {
+	fr.I[in.d.idx] = slotArg(fr, &in.srcs[0])
+	return in.t1
+}
+
+// execSlotAssignBox re-boxes a slot value into a boxed destination
+// (register, global, or discarded); in.t2 carries the slot kind.
+func execSlotAssignBox(ex *Exec, fr *Frame, in *Instr) int {
+	ex.put(fr, in.d, boxSlot(fr.I[in.srcs[0].idx], uint8(in.t2)))
+	return in.t1
+}
+
+// execSlotIfElse branches on an unboxed boolean condition. The != 0 test
+// matches values.IsTruthy on a boxed bool (payload in Value.A).
+func execSlotIfElse(ex *Exec, fr *Frame, in *Instr) int {
+	if slotArg(fr, &in.srcs[0]) != 0 {
+		return in.t1
+	}
+	return in.t2
+}
+
+// execSlotReturn re-boxes a slotted return value; in.t2 carries the slot
+// kind.
+func execSlotReturn(ex *Exec, fr *Frame, in *Instr) int {
+	fr.Ret = boxSlot(fr.I[in.srcs[0].idx], uint8(in.t2))
+	return pcDone
+}

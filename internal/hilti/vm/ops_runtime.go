@@ -309,3 +309,23 @@ func execOverlayGet(ex *Exec, fr *Frame, in *Instr) int {
 	ex.put(fr, in.d, v)
 	return in.t1
 }
+
+// execOverlayGetSlot is execOverlayGet with an unboxed integer
+// destination: the decoded field's payload goes straight into the slot
+// file (the classifier only installs this when the destination register is
+// statically int-typed, which pins the overlay field to an integer
+// decode). Raise behavior is identical to the boxed executor.
+func execOverlayGetSlot(ex *Exec, fr *Frame, in *Instr) int {
+	ov := in.aux.(*overlay.Overlay)
+	bv := ex.get(fr, &in.srcs[0])
+	b := bv.AsBytes()
+	if b == nil {
+		return ex.raise("Hilti::NullReference", "nil bytes reference")
+	}
+	v, err := ov.GetIdx(b.Bytes(), in.t2)
+	if err != nil {
+		return ex.raise("Hilti::OverlayError", err.Error())
+	}
+	fr.I[in.d.idx] = int64(v.A)
+	return in.t1
+}

@@ -456,3 +456,90 @@ func init() {
 		return values.Uint(values.Hash(a[0])), nil
 	})
 }
+
+// --- tier-2 unboxed slot executors -------------------------------------------
+//
+// Installed by tier-2 respecialization (tier2.go) for instructions whose
+// operands live in the frame's int64 slot file. They read via slotArg
+// (slot / constant / statically-typed boxed register) and write via
+// putSlotInt/putSlotBool, so a single executor covers every operand-kind
+// mix the classifier admits; no values.Value is built unless the
+// destination stayed boxed.
+
+func execSlotIntBin(ex *Exec, fr *Frame, in *Instr) int {
+	r := in.aux.(func(x, y int64) int64)(
+		slotArg(fr, &in.srcs[0]), slotArg(fr, &in.srcs[1]))
+	putSlotInt(ex, fr, in.d, r)
+	return in.t1
+}
+
+func execSlotIntCmp(ex *Exec, fr *Frame, in *Instr) int {
+	b := in.aux.(func(x, y int64) bool)(
+		slotArg(fr, &in.srcs[0]), slotArg(fr, &in.srcs[1]))
+	putSlotBool(ex, fr, in.d, b)
+	return in.t1
+}
+
+func execSlotIntCmpBr(ex *Exec, fr *Frame, in *Instr) int {
+	b := in.aux.(func(x, y int64) bool)(
+		slotArg(fr, &in.srcs[0]), slotArg(fr, &in.srcs[1]))
+	putSlotBool(ex, fr, in.d, b)
+	return in.branch(b)
+}
+
+func execSlotEqual(ex *Exec, fr *Frame, in *Instr) int {
+	putSlotBool(ex, fr, in.d, slotArg(fr, &in.srcs[0]) == slotArg(fr, &in.srcs[1]))
+	return in.t1
+}
+
+func execSlotEqualBr(ex *Exec, fr *Frame, in *Instr) int {
+	b := slotArg(fr, &in.srcs[0]) == slotArg(fr, &in.srcs[1])
+	putSlotBool(ex, fr, in.d, b)
+	return in.branch(b)
+}
+
+func execSlotUnequal(ex *Exec, fr *Frame, in *Instr) int {
+	putSlotBool(ex, fr, in.d, slotArg(fr, &in.srcs[0]) != slotArg(fr, &in.srcs[1]))
+	return in.t1
+}
+
+func execSlotUnequalBr(ex *Exec, fr *Frame, in *Instr) int {
+	b := slotArg(fr, &in.srcs[0]) != slotArg(fr, &in.srcs[1])
+	putSlotBool(ex, fr, in.d, b)
+	return in.branch(b)
+}
+
+func execSlotBoolAnd(ex *Exec, fr *Frame, in *Instr) int {
+	putSlotBool(ex, fr, in.d,
+		slotArg(fr, &in.srcs[0]) != 0 && slotArg(fr, &in.srcs[1]) != 0)
+	return in.t1
+}
+
+func execSlotBoolAndBr(ex *Exec, fr *Frame, in *Instr) int {
+	b := slotArg(fr, &in.srcs[0]) != 0 && slotArg(fr, &in.srcs[1]) != 0
+	putSlotBool(ex, fr, in.d, b)
+	return in.branch(b)
+}
+
+func execSlotBoolOr(ex *Exec, fr *Frame, in *Instr) int {
+	putSlotBool(ex, fr, in.d,
+		slotArg(fr, &in.srcs[0]) != 0 || slotArg(fr, &in.srcs[1]) != 0)
+	return in.t1
+}
+
+func execSlotBoolOrBr(ex *Exec, fr *Frame, in *Instr) int {
+	b := slotArg(fr, &in.srcs[0]) != 0 || slotArg(fr, &in.srcs[1]) != 0
+	putSlotBool(ex, fr, in.d, b)
+	return in.branch(b)
+}
+
+func execSlotBoolNot(ex *Exec, fr *Frame, in *Instr) int {
+	putSlotBool(ex, fr, in.d, slotArg(fr, &in.srcs[0]) == 0)
+	return in.t1
+}
+
+func execSlotBoolNotBr(ex *Exec, fr *Frame, in *Instr) int {
+	b := slotArg(fr, &in.srcs[0]) == 0
+	putSlotBool(ex, fr, in.d, b)
+	return in.branch(b)
+}

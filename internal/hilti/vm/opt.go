@@ -72,14 +72,26 @@ func Optimize(fn *CompiledFunc, level int) OptStats {
 	threadJumps(fn, &st) // fused branches expose new chains
 	removeUnreachable(fn, &st)
 	st.After = len(fn.Code)
+	// Level 2: eager ahead-of-time tiering. With no runtime profile every
+	// safe pair is fused, which keeps -O2 deterministic; runtime promotion
+	// (Exec.EnableTiering) reaches the same tier guided by measured pair
+	// frequencies instead.
+	if level >= 2 {
+		fn.tierState.Store(tierActive)
+		if tc := buildTier2(fn, nil, tierConfig{pairs: true, regions: true}); tc != nil {
+			fn.tier2.Store(tc)
+		}
+	}
 	return st
 }
 
-// isBranch reports whether in's t2 is a control-flow target (if.else and
-// fused compare-and-branch). For every other instruction t2 is either
-// unused or data (overlay.get keeps a field index there).
+// isBranch reports whether in's t2 is a control-flow target (if.else,
+// fused compare-and-branch, and tier-2 pairs whose second half is one of
+// those). For every other instruction t2 is either unused or data
+// (overlay.get keeps a field index there).
 func isBranch(in *Instr) bool {
-	return in.op == "if.else" || strings.HasSuffix(in.op, "+br")
+	return in.op == "if.else" || strings.HasSuffix(in.op, "+br") ||
+		strings.HasSuffix(in.op, "+if.else")
 }
 
 // successors appends the control successors of fn.Code[pc] to buf.
@@ -226,7 +238,7 @@ var foldable = map[string]foldKind{
 	"interval.mul": foldPure, "interval.lt": foldPure,
 	"interval.gt": foldPure, "interval.nsecs": foldPure,
 	"interval.to_double": foldPure,
-	"addr.family": foldPure, "net.family": foldPure, "net.length": foldPure,
+	"addr.family":        foldPure, "net.family": foldPure, "net.length": foldPure,
 	"port.protocol": foldPure, "port.number": foldPure,
 	"enum.to_int": foldPure, "bitset.set": foldPure, "bitset.clear": foldPure,
 	"bitset.has": foldPure, "tuple.index": foldPure, "tuple.length": foldPure,
@@ -243,7 +255,7 @@ func constFold(fn *CompiledFunc, st *OptStats) {
 			if values.IsTruthy(in.srcs[0].val) {
 				t = in.t1
 			}
-			fn.Code[pc] = Instr{op: "jump", exec: execJump, t1: t}
+			fn.Code[pc] = Instr{op: "jump", opID: internOp("jump"), exec: execJump, t1: t}
 			st.Folded++
 			continue
 		}
@@ -255,8 +267,8 @@ func constFold(fn *CompiledFunc, st *OptStats) {
 		if !ok {
 			continue
 		}
-		fn.Code[pc] = Instr{op: "assign", exec: execAssign, d: in.d,
-			srcs: []src{{kind: srcConst, val: v}}, t1: in.t1}
+		fn.Code[pc] = Instr{op: "assign", opID: internOp("assign"), exec: execAssign,
+			d: in.d, srcs: []src{{kind: srcConst, val: v}}, t1: in.t1}
 		st.Folded++
 	}
 }
@@ -394,6 +406,7 @@ func fuseCmpBr(fn *CompiledFunc, st *OptStats) {
 		}
 		in.exec = mk
 		in.op += "+br"
+		in.opID = internOp(in.op)
 		in.t1, in.t2 = br.t1, br.t2
 		st.Fused++
 	}

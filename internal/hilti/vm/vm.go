@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"hilti/internal/hilti/types"
 	"hilti/internal/rt/fiber"
@@ -70,12 +71,13 @@ type dst struct {
 type Instr struct {
 	exec func(ex *Exec, fr *Frame, in *Instr) int
 	op   string // source operation name; "+br"-suffixed for fused compare-and-branch
+	opID uint16 // interned op (see opid.go), stamped at emit/rewrite time
 	d    dst
 	srcs []src
 	aux  any
 	// jump targets (patched after lowering). t1 is always a pc; t2 is a pc
 	// only for branching ops (if.else, fused "+br") — overlay.get stores a
-	// field index there.
+	// field index there, and tier-2 slot executors a slot kind (tier2.go).
 	t1, t2 int
 }
 
@@ -97,7 +99,27 @@ type CompiledFunc struct {
 	Handlers []handler
 	IsHook   bool
 	HookPrio int
+
+	// ID is the function's dense index within its Program, assigned at
+	// link time; the tier-promotion counters are keyed by it.
+	ID int
+	// RegTypes records the static type of each declared register (params
+	// then locals, indexed by register number). Registers allocated after
+	// lowering (hidden exception slots) fall outside the slice and are
+	// treated as untyped. Tier-2 slot classification reads this.
+	RegTypes []*types.Type
+
+	// tier2, when non-nil, is the specialized tier-2 code the dispatch
+	// loop prefers (see tier2.go). It is published atomically so Execs on
+	// other goroutines (a Program is shared across pipeline workers) pick
+	// it up at their next invocation; an invocation in flight keeps
+	// running whichever code array it loaded at entry.
+	tier2     atomic.Pointer[tierCode]
+	tierState atomic.Int32 // tierNone | tierActive | tierDemoted
 }
+
+// TierActive reports whether the function currently executes tier-2 code.
+func (fn *CompiledFunc) TierActive() bool { return fn.tier2.Load() != nil }
 
 // HostFunc is a Go function callable from HILTI code — the inverse of the
 // generated C stubs: "HILTI code can invoke arbitrary C functions" (§3.4).
@@ -117,10 +139,31 @@ type globalInit struct {
 	mk   func(ex *Exec) (values.Value, error)
 }
 
-// Frame is one function activation: a register file.
+// Frame is one function activation: a register file. Under tier-2 code, I
+// holds the unboxed int64/bool slots of statically-typed scalar registers;
+// a register promoted to a slot is dead in R for the whole activation (its
+// readers and writers were all rewritten to the slot, see tier2.go).
 type Frame struct {
 	R   []values.Value
+	I   []int64
 	Ret values.Value
+}
+
+// enterTier prepares the frame for a tier-2 activation: size and zero the
+// slot file, then unbox the slotted parameters (arguments always arrive
+// boxed through the host calling convention).
+func (fr *Frame) enterTier(tc *tierCode, nregs int) {
+	if cap(fr.I) < nregs {
+		fr.I = make([]int64, nregs)
+	} else {
+		fr.I = fr.I[:nregs]
+		for i := range fr.I {
+			fr.I[i] = 0
+		}
+	}
+	for _, p := range tc.slotParams {
+		fr.I[p] = int64(fr.R[p].A)
+	}
 }
 
 // Exec is an execution context — the paper's per-virtual-thread context
@@ -155,6 +198,7 @@ type Exec struct {
 	budget     budgetState
 	keyBuf     []byte // scratch for container-key encoding (see ctorKey)
 	opProf     *opProfile
+	tiering    *tiering // runtime tier-2 promotion, nil unless EnableTiering
 }
 
 // NewExec creates an execution context for prog and runs global
@@ -292,8 +336,19 @@ var ErrWouldBlock = fmt.Errorf("hilti: would block")
 // run executes fn with the given frame. On error the exception is left in
 // ex.Exc and ok is false.
 func (ex *Exec) run(fn *CompiledFunc, fr *Frame) (values.Value, bool) {
+	// The code array is chosen once per activation: a tier-2 promotion
+	// published mid-flight (even across a fiber suspend/resume of this very
+	// activation) never switches a running frame between code arrays — the
+	// two tiers are pc-identical, but slot state only exists under tier-2.
 	code := fn.Code
+	if tc := fn.tier2.Load(); tc != nil {
+		code = tc.code
+		fr.enterTier(tc, fn.NRegs)
+	} else if ex.tiering != nil {
+		ex.tiering.observe(fn, ex.opProf)
+	}
 	pc := 0
+	prevOp := profNoPrev
 	for pc >= 0 && pc < len(code) {
 		cur := pc
 		// Budget fast path: one increment and compare; nextCheck is
@@ -302,7 +357,7 @@ func (ex *Exec) run(fn *CompiledFunc, fr *Frame) (values.Value, bool) {
 			pc = ex.checkBudget()
 		} else {
 			if ex.opProf != nil {
-				ex.opProf.hit(code[cur].op)
+				prevOp = ex.opProf.hit(code[cur].opID, prevOp)
 			}
 			pc = code[cur].exec(ex, fr, &code[cur])
 		}

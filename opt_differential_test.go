@@ -65,10 +65,11 @@ func TestOptDifferentialBPFFilter(t *testing.T) {
 		}
 		return out
 	}
-	m0, m1 := matchesAt(hilti.O0), matchesAt(hilti.O1)
+	m0, m1, m2 := matchesAt(hilti.O0), matchesAt(hilti.O1), matchesAt(hilti.O2)
 	for i := range m0 {
-		if m0[i] != m1[i] {
-			t.Fatalf("packet %d: -O0 match %v, -O1 match %v", i, m0[i], m1[i])
+		if m0[i] != m1[i] || m1[i] != m2[i] {
+			t.Fatalf("packet %d: -O0 match %v, -O1 match %v, -O2 match %v",
+				i, m0[i], m1[i], m2[i])
 		}
 		if want := ref.Run(httpPkts[i].Data) != 0; m0[i] != want {
 			t.Fatalf("packet %d: HILTI match %v, BPF reference %v", i, m0[i], want)
@@ -86,8 +87,8 @@ func TestOptDifferentialFirewall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var fws [2]*firewall.Firewall
-	for i, level := range []int{0, 1} {
+	var fws [3]*firewall.Firewall
+	for i, level := range []int{0, 1, 2} {
 		withOptLevel(level, func() {
 			fw, err := firewall.New(rules, 5*time.Minute)
 			if err != nil {
@@ -108,13 +109,15 @@ func TestOptDifferentialFirewall(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := fws[1].Match(ts, src, dst)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if a != b {
-			t.Fatalf("firewall decision diverges for %s -> %s: O0=%v O1=%v",
-				values.Format(src), values.Format(dst), a, b)
+		for lvl := 1; lvl < 3; lvl++ {
+			b, err := fws[lvl].Match(ts, src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("firewall decision diverges for %s -> %s: O0=%v O%d=%v",
+					values.Format(src), values.Format(dst), a, lvl, b)
+			}
 		}
 	}
 }
@@ -139,15 +142,19 @@ func TestOptDifferentialBroLogs(t *testing.T) {
 		})
 		return eng
 	}
-	e0, e1 := runAt(0), runAt(1)
-	for _, stream := range []string{"http", "files", "dns"} {
-		l0, l1 := e0.Logs.Lines(stream), e1.Logs.Lines(stream)
-		if len(l0) != len(l1) {
-			t.Fatalf("%s.log: %d lines at -O0, %d at -O1", stream, len(l0), len(l1))
-		}
-		for i := range l0 {
-			if l0[i] != l1[i] {
-				t.Fatalf("%s.log line %d diverges:\n-O0: %s\n-O1: %s", stream, i, l0[i], l1[i])
+	e0 := runAt(0)
+	for _, level := range []int{1, 2} {
+		e1 := runAt(level)
+		for _, stream := range []string{"http", "files", "dns"} {
+			l0, l1 := e0.Logs.Lines(stream), e1.Logs.Lines(stream)
+			if len(l0) != len(l1) {
+				t.Fatalf("%s.log: %d lines at -O0, %d at -O%d", stream, len(l0), len(l1), level)
+			}
+			for i := range l0 {
+				if l0[i] != l1[i] {
+					t.Fatalf("%s.log line %d diverges:\n-O0: %s\n-O%d: %s",
+						stream, i, l0[i], level, l1[i])
+				}
 			}
 		}
 	}
@@ -181,5 +188,26 @@ int<64> double (int<64> x) {
 	v, err := ex.Call("M::double", hilti.Int(21))
 	if err != nil || v.AsInt() != 42 {
 		t.Fatalf("got %v %v", v, err)
+	}
+
+	// O2 installs tier-2 code eagerly; DisasmTier shows the specialized view
+	// while the tier-1 Disasm stays intact, and results are unchanged.
+	prog2, err := hilti.LinkWith(hilti.Config{OptLevel: hilti.O2}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn2 := prog2.Fn("M::double")
+	if !fn2.TierActive() {
+		t.Fatal("O2 link did not activate tier-2")
+	}
+	if dis := fn2.DisasmTier(); !strings.Contains(dis, "unboxed:") {
+		t.Fatalf("tier-2 disassembly missing slot header:\n%s", dis)
+	}
+	ex2, err := hilti.NewExec(prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ex2.Call("M::double", hilti.Int(21)); err != nil || v.AsInt() != 42 {
+		t.Fatalf("O2: got %v %v", v, err)
 	}
 }
