@@ -1,0 +1,636 @@
+// Per-flow state extraction for live migration: the engine side of the
+// elastic-cluster handoff (internal/rt/migrate + internal/pkt/pipeline).
+// A flow's analyzer state is the connection record (encodeConn) *plus*
+// the script-visible state the interpreter keeps for it — HTTP pipelines
+// a `table[string] of vector` keyed by the connection uid, DNS a
+// `table[string, count]` whose first index is the uid. Migrating the
+// connection without those entries would split a session's script state
+// across instances and diverge its logs, so ExtractFlow ships both.
+//
+// The per-flow predicate is structural: a table entry belongs to a flow
+// when its first index is a string equal to the connection's uid. The uid
+// is derived deterministically from the canonical 5-tuple and the flow's
+// start time (flow.UID), so it names the same flow on every instance.
+//
+// Scope: per-flow extraction supports the interpreter script backend
+// only. Compiled scripts (ScriptExec "hilti") keep their state in VM
+// globals that this code cannot attribute to individual flows; ExtractFlow
+// refuses rather than migrating a flow while silently leaving half its
+// state behind. All methods run on the engine's owning worker goroutine,
+// like every other Engine entry point.
+package bro
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hilti/internal/pkt/flow"
+	"hilti/internal/rt/snapshot"
+)
+
+// MigratableFlows enumerates every open connection's canonical flow key,
+// ordered by connection age (ctx ascending) for determinism. Together
+// with ExtractFlow/InjectFlow/ForgetFlow/HasFlow this implements the
+// pipeline's MigratableHandler contract.
+func (e *Engine) MigratableFlows() []flow.Key {
+	open := make([]*conn, 0, len(e.conns))
+	for _, c := range e.conns {
+		open = append(open, c)
+	}
+	sort.Slice(open, func(i, j int) bool { return open[i].ctx < open[j].ctx })
+	out := make([]flow.Key, len(open))
+	for i, c := range open {
+		out[i] = c.key
+	}
+	return out
+}
+
+// ExtractFlow serializes one flow's complete analyzer state — connection
+// blob plus the uid-keyed script table entries — without removing
+// anything: the source keeps ownership until the handoff commits. A
+// connection holding suspended BinPAC++ fiber state is not serializable
+// (same limit as Checkpoint); the caller skips or aborts that flow's
+// migration and retries after the parse completes.
+func (e *Engine) ExtractFlow(key flow.Key) ([]byte, error) {
+	if e.sexec != nil {
+		return nil, errors.New("bro: per-flow migration requires the interpreter script backend")
+	}
+	ck, _ := key.Canonical()
+	c, ok := e.conns[ck]
+	if !ok {
+		return nil, fmt.Errorf("bro: no connection for migrating flow")
+	}
+	if c.inFlightParse() {
+		return nil, fmt.Errorf("bro: connection %s holds in-flight parse state", c.uid)
+	}
+	var cb bytes.Buffer
+	cenc := snapshot.NewRawEncoder(&cb)
+	encodeConn(cenc, c)
+	if err := cenc.Err(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := snapshot.NewRawEncoder(&buf)
+	enc.Bytes(cb.Bytes())
+	entries := e.flowScriptEntries(c.uid)
+	enc.U32(uint32(len(entries)))
+	for _, fe := range entries {
+		enc.String(fe.global)
+		enc.Bytes(fe.blob)
+	}
+	if err := enc.Err(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// InjectFlow installs a shipped flow. The connection gets a fresh local
+// ctx (ctx is instance-local; the uid is the cross-instance identity),
+// its script entries land in the target's globals with their expiry
+// clocks (`touched`) preserved, and the whole install is counter-neutral:
+// the flow was opened on its first instance and closes on its last. A
+// flow already present is a double-ownership violation and fails the
+// install.
+func (e *Engine) InjectFlow(blob []byte) (flow.Key, error) {
+	if e.sexec != nil {
+		return flow.Key{}, errors.New("bro: per-flow migration requires the interpreter script backend")
+	}
+	dec := snapshot.NewRawDecoder(blob)
+	cb := dec.Bytes()
+	if err := dec.Err(); err != nil {
+		return flow.Key{}, err
+	}
+	sub := snapshot.NewRawDecoder(cb)
+	c, err := decodeConn(sub, e)
+	if err != nil {
+		return flow.Key{}, err
+	}
+	ck, _ := c.key.Canonical()
+	if old, ok := e.conns[ck]; ok {
+		return flow.Key{}, fmt.Errorf("bro: flow %s already present (double ownership)", old.uid)
+	}
+	c.ctx = e.nextCtx
+	e.nextCtx++
+	e.conns[ck] = c
+	e.ctxs[c.ctx] = c
+	n := dec.Len(5)
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		name := dec.String()
+		eb := dec.Bytes()
+		if dec.Err() != nil {
+			break
+		}
+		t, ok := e.interp.Globals[name].(*TableVal)
+		if !ok {
+			return flow.Key{}, fmt.Errorf("bro: migrated entry for non-table global %q", name)
+		}
+		if err := installTableEntry(t, eb, e.interp); err != nil {
+			return flow.Key{}, err
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return flow.Key{}, err
+	}
+	e.markConnDirty(c)
+	if e.delta != nil {
+		e.delta.dirtyInterp = true
+	}
+	return ck, nil
+}
+
+// ForgetFlow releases a flow after a committed handoff: connection state
+// and uid-keyed script entries go, with no events, no log lines, and no
+// counter movement — the flow now lives elsewhere and will close there.
+func (e *Engine) ForgetFlow(key flow.Key) bool {
+	ck, _ := key.Canonical()
+	c, ok := e.conns[ck]
+	if !ok {
+		return false
+	}
+	e.dropConnState(c)
+	e.dropFlowScriptState(c.uid)
+	e.markConnClosed(c)
+	if e.delta != nil {
+		e.delta.dirtyInterp = true
+	}
+	return true
+}
+
+// HasFlow reports whether the engine holds a connection for the flow.
+func (e *Engine) HasFlow(key flow.Key) bool {
+	ck, _ := key.Canonical()
+	_, ok := e.conns[ck]
+	return ok
+}
+
+// flowEntry is one uid-keyed script table entry, encoded in the WAL
+// codec's per-entry layout (keys, yield, touched).
+type flowEntry struct {
+	global string
+	blob   []byte
+}
+
+func entryMatchesUID(en *tableEntry, uid string) bool {
+	if len(en.key) == 0 {
+		return false
+	}
+	s, ok := en.key[0].(StringVal)
+	return ok && string(s) == uid
+}
+
+// flowScriptEntries collects the flow's entries across all interpreter
+// table globals, deterministically (globals sorted by name, entries in
+// table insertion order).
+func (e *Engine) flowScriptEntries(uid string) []flowEntry {
+	names := make([]string, 0, len(e.interp.Globals))
+	for name, v := range e.interp.Globals {
+		if _, ok := v.(*TableVal); ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []flowEntry
+	for _, name := range names {
+		t := e.interp.Globals[name].(*TableVal)
+		for _, en := range t.order {
+			if en.deleted || !entryMatchesUID(en, uid) {
+				continue
+			}
+			var buf bytes.Buffer
+			enc := snapshot.NewRawEncoder(&buf)
+			enc.U16(uint16(len(en.key)))
+			for _, k := range en.key {
+				encodeVal(enc, k, 1)
+			}
+			encodeVal(enc, en.yield, 1)
+			enc.I64(en.touched)
+			if enc.Err() != nil {
+				continue // unencodable entry: degrade like Checkpoint does
+			}
+			out = append(out, flowEntry{global: name, blob: buf.Bytes()})
+		}
+	}
+	return out
+}
+
+// dropFlowScriptState deletes every uid-keyed entry from every table
+// global, returning whether anything was removed.
+func (e *Engine) dropFlowScriptState(uid string) bool {
+	changed := false
+	for _, v := range e.interp.Globals {
+		t, ok := v.(*TableVal)
+		if !ok {
+			continue
+		}
+		for _, en := range t.order {
+			if !en.deleted && entryMatchesUID(en, uid) {
+				en.deleted = true
+				delete(t.entries, en.keyStr)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// installTableEntry decodes one per-entry blob (the tableEntryBlobs /
+// ExtractFlow layout) and upserts it, preserving the recorded touch time
+// so &create_expire / &read_expire fire exactly as they would have
+// without the migration.
+func installTableEntry(t *TableVal, blob []byte, ip *Interp) error {
+	ed := snapshot.NewRawDecoder(blob)
+	nk := int(ed.U16())
+	if ed.Err() != nil || nk > ed.Remaining() {
+		return fmt.Errorf("bro: implausible migrated table key width %d", nk)
+	}
+	key := make([]Val, nk)
+	for j := range key {
+		key[j] = decodeVal(ed, ip, 1)
+	}
+	yield := decodeVal(ed, ip, 1)
+	touched := ed.I64()
+	if err := ed.Err(); err != nil {
+		return err
+	}
+	ks := KeyString(key)
+	if en, ok := t.entries[ks]; ok {
+		en.key, en.yield, en.touched = key, yield, touched
+		return nil
+	}
+	en := &tableEntry{key: key, keyStr: ks, yield: yield, touched: touched}
+	t.entries[ks] = en
+	t.order = append(t.order, en)
+	return nil
+}
+
+// --- per-flow delta filtering --------------------------------------------------
+
+// ErrUnfilterable reports a delta record whose per-flow slice cannot be
+// isolated — a table global was rewritten whole (initial emission or an
+// order-changing mutation), so entry-level attribution is lost. The
+// caller falls back to shipping a fresh full extract instead of the tail.
+var ErrUnfilterable = errors.New("bro: delta record not filterable per-flow")
+
+// FlowDeltaFilter projects engine delta records (AppendDelta payloads)
+// down to one flow: uid-keyed table-diff entries, the flow's dirty
+// connection re-encodes, and its close tombstone. Everything engine-global
+// — counters, clocks, log tails, VM globals, other flows — is dropped, so
+// applying the result on the target moves exactly one flow's state and
+// nothing else. The filter is stateful: connection records carry the
+// instance-local ctx, so the filter learns the flow's ctx ids from the
+// seeded pre-copy blob and from dirty records in the stream, and uses
+// them to recognize the close tombstone (which is a bare ctx).
+type FlowDeltaFilter struct {
+	uid  string
+	ctxs map[int64]bool
+}
+
+// NewFlowDeltaFilter creates a filter for the flow identified by uid.
+func NewFlowDeltaFilter(uid string) *FlowDeltaFilter {
+	return &FlowDeltaFilter{uid: uid, ctxs: map[int64]bool{}}
+}
+
+// SeedConnBlob registers the flow's source-side ctx from an ExtractFlow
+// blob (the pre-copy state shipped when the handoff session opened).
+func (f *FlowDeltaFilter) SeedConnBlob(blob []byte) error {
+	dec := snapshot.NewRawDecoder(blob)
+	cb := dec.Bytes()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	sub := snapshot.NewRawDecoder(cb)
+	uid, ctx := skimConn(sub)
+	if err := sub.Err(); err != nil {
+		return err
+	}
+	if uid != f.uid {
+		return fmt.Errorf("bro: seeded blob is flow %s, filter is %s", uid, f.uid)
+	}
+	f.ctxs[ctx] = true
+	return nil
+}
+
+// uidKeyMatch reports whether a canonical table key string's first
+// component is the string uid.
+func (f *FlowDeltaFilter) uidKeyMatch(ks string) bool {
+	pfx := "string\x00" + f.uid
+	return ks == pfx || strings.HasPrefix(ks, pfx+"\x01")
+}
+
+// Filter projects one AppendDelta record. It returns nil when the record
+// carries nothing for the flow, and ErrUnfilterable when attribution is
+// impossible (whole-table rewrite).
+func (f *FlowDeltaFilter) Filter(record []byte) ([]byte, error) {
+	dec := snapshot.NewRawDecoder(record)
+
+	// Meta: clocks, counters, log watermark — engine-global, dropped.
+	dec.I64() // now
+	dec.I64() // nextCtx
+	for i := 0; i < 8; i++ {
+		dec.U64()
+	}
+	// Quarantine marks travel with the pipeline slice, not the delta tail.
+	nq := dec.Len(10)
+	for i := 0; i < nq && dec.Err() == nil; i++ {
+		dec.U64()
+		dec.Bool()
+		dec.U64()
+	}
+	// Log tails: the source's logs stay the source's; the cluster merges
+	// streams at collection time.
+	ns := dec.Len(8)
+	for i := 0; i < ns && dec.Err() == nil; i++ {
+		_ = dec.String()
+		nl := dec.Len(4)
+		for j := 0; j < nl && dec.Err() == nil; j++ {
+			_ = dec.String()
+		}
+	}
+
+	// Interpreter globals: keep uid-keyed diff entries.
+	type tableOut struct {
+		name string
+		dels []string
+		ups  [][]byte
+	}
+	var tables []tableOut
+	ng := dec.Len(6)
+	for i := 0; i < ng && dec.Err() == nil; i++ {
+		name := dec.String()
+		mode := dec.U8()
+		body := dec.Bytes()
+		if dec.Err() != nil {
+			break
+		}
+		switch mode {
+		case deltaTableDiff:
+			sub := snapshot.NewRawDecoder(body)
+			to := tableOut{name: name}
+			ndel := sub.Len(4)
+			for j := 0; j < ndel && sub.Err() == nil; j++ {
+				ks := sub.String()
+				if f.uidKeyMatch(ks) {
+					to.dels = append(to.dels, ks)
+				}
+			}
+			nup := sub.Len(4)
+			for j := 0; j < nup && sub.Err() == nil; j++ {
+				eb := sub.Bytes()
+				if sub.Err() != nil {
+					break
+				}
+				if uid, ok := entryBlobUID(eb); ok && uid == f.uid {
+					to.ups = append(to.ups, eb)
+				}
+			}
+			if err := sub.Err(); err != nil {
+				return nil, err
+			}
+			if len(to.dels) > 0 || len(to.ups) > 0 {
+				tables = append(tables, to)
+			}
+		case deltaWhole:
+			// A whole-value rewrite of a table global loses entry-level
+			// attribution; a non-table global is engine-wide by definition.
+			if len(body) > 0 && body[0] == valTable {
+				return nil, ErrUnfilterable
+			}
+		default:
+			return nil, fmt.Errorf("bro: unknown interp delta mode %d", mode)
+		}
+	}
+
+	// VM executor sections: engine-global (and absent under the backends
+	// per-flow migration supports); skipped structurally.
+	for w := 0; w < 2; w++ {
+		if !dec.Bool() {
+			continue
+		}
+		dec.I64()
+		nx := dec.Len(6)
+		for i := 0; i < nx && dec.Err() == nil; i++ {
+			dec.U32()
+			dec.U8()
+			dec.Bytes()
+		}
+	}
+
+	// Close tombstones: bare ctx ids; ours are the ones we have learned.
+	closed := false
+	ncl := dec.Len(8)
+	for i := 0; i < ncl && dec.Err() == nil; i++ {
+		if f.ctxs[dec.I64()] {
+			closed = true
+		}
+	}
+
+	// Dirty connections: whole re-encodes; match by uid, learn the ctx.
+	var connRaw []byte
+	ndc := dec.Len(keyBytes + 10)
+	for i := 0; i < ndc && dec.Err() == nil; i++ {
+		startRem := dec.Remaining()
+		uid, ctx := skimConn(dec)
+		if dec.Err() != nil {
+			break
+		}
+		if uid == f.uid {
+			f.ctxs[ctx] = true
+			span := record[len(record)-startRem : len(record)-dec.Remaining()]
+			connRaw = bytes.Clone(span)
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if len(tables) == 0 && !closed && connRaw == nil {
+		return nil, nil
+	}
+
+	var buf bytes.Buffer
+	enc := snapshot.NewRawEncoder(&buf)
+	enc.String(f.uid)
+	enc.U32(uint32(len(tables)))
+	for _, to := range tables {
+		enc.String(to.name)
+		enc.U32(uint32(len(to.dels)))
+		for _, ks := range to.dels {
+			enc.String(ks)
+		}
+		enc.U32(uint32(len(to.ups)))
+		for _, eb := range to.ups {
+			enc.Bytes(eb)
+		}
+	}
+	enc.Bool(closed)
+	enc.Bool(connRaw != nil)
+	if connRaw != nil {
+		enc.Raw(connRaw)
+	}
+	if err := enc.Err(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// entryBlobUID peeks a per-entry blob's first key: (uid, true) when it is
+// a string, without decoding the rest of the entry.
+func entryBlobUID(blob []byte) (string, bool) {
+	dec := snapshot.NewRawDecoder(blob)
+	if nk := dec.U16(); dec.Err() != nil || nk == 0 {
+		return "", false
+	}
+	if tag := dec.U8(); dec.Err() != nil || tag != valString {
+		return "", false
+	}
+	s := dec.String()
+	return s, dec.Err() == nil
+}
+
+// skimConn advances dec past one encodeConn record without building
+// analyzers, returning the embedded uid and ctx.
+func skimConn(dec *snapshot.Decoder) (uid string, ctx int64) {
+	dec.Bytes() // flow key
+	uid = dec.String()
+	ctx = dec.I64()
+	flags := dec.U8()
+	if flags&cfRec != 0 {
+		dec.I64() // start time
+	}
+	skimStream(dec)
+	skimStream(dec)
+	if flags&cfStd != 0 {
+		skimHTTPDir(dec)
+		skimHTTPDir(dec)
+		skimStrings(dec)
+	}
+	skimStrings(dec)
+	return uid, ctx
+}
+
+func skimStream(dec *snapshot.Decoder) {
+	dec.Bool() // initialized
+	dec.U32()  // ISN
+	dec.U64()  // next
+	dec.U64()  // finRel
+	dec.Bool() // finSeen
+	dec.Bool() // closed
+	n := dec.Len(12)
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		dec.U64()
+		dec.Bytes()
+	}
+}
+
+func skimHTTPDir(dec *snapshot.Decoder) {
+	dec.Bytes()      // buf
+	dec.U8()         // state
+	dec.I64()        // remain
+	_ = dec.String() // ctype
+	dec.Bytes()      // body
+	dec.Bool()       // hasBody
+	dec.Bool()       // isHead
+	dec.I64()        // status
+}
+
+func skimStrings(dec *snapshot.Decoder) {
+	n := dec.Len(4)
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		_ = dec.String()
+	}
+}
+
+// FlowBlobUID peeks the connection uid out of an ExtractFlow blob without
+// decoding analyzer state; the cluster uses it to key the delta filter it
+// builds for each pre-copied flow.
+func FlowBlobUID(blob []byte) (string, error) {
+	dec := snapshot.NewRawDecoder(blob)
+	cb := dec.Bytes()
+	if err := dec.Err(); err != nil {
+		return "", err
+	}
+	sub := snapshot.NewRawDecoder(cb)
+	uid, _ := skimConn(sub)
+	return uid, sub.Err()
+}
+
+// ApplyFlowDelta replays one filtered record onto this engine, moving
+// exactly the named flow: table-diff entries apply by canonical key, a
+// dirty connection re-encode replaces the flow's connection (keeping the
+// target-local ctx stable), and the close tombstone drops it. Counters,
+// clocks, and logs never move — the record does not carry them. The
+// first result reports whether the record closed the flow, so the caller
+// can keep its net-live accounting exact.
+func (e *Engine) ApplyFlowDelta(data []byte) (bool, error) {
+	if e.sexec != nil {
+		return false, errors.New("bro: per-flow migration requires the interpreter script backend")
+	}
+	dec := snapshot.NewRawDecoder(data)
+	uid := dec.String()
+	nt := dec.Len(9)
+	for i := 0; i < nt && dec.Err() == nil; i++ {
+		name := dec.String()
+		t, ok := e.interp.Globals[name].(*TableVal)
+		if dec.Err() == nil && !ok {
+			return false, fmt.Errorf("bro: flow delta for non-table global %q", name)
+		}
+		ndel := dec.Len(4)
+		for j := 0; j < ndel && dec.Err() == nil; j++ {
+			ks := dec.String()
+			if en, ok := t.entries[ks]; ok {
+				en.deleted = true
+				delete(t.entries, ks)
+			}
+		}
+		nup := dec.Len(4)
+		for j := 0; j < nup && dec.Err() == nil; j++ {
+			eb := dec.Bytes()
+			if dec.Err() != nil {
+				break
+			}
+			if err := installTableEntry(t, eb, e.interp); err != nil {
+				return false, err
+			}
+		}
+	}
+	closed := dec.Bool()
+	hasConn := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return false, err
+	}
+	if hasConn {
+		c, err := decodeConn(dec, e)
+		if err != nil {
+			return false, err
+		}
+		ck, _ := c.key.Canonical()
+		if old, ok := e.conns[ck]; ok {
+			c.ctx = old.ctx // keep the target-local identity stable
+			e.dropConnState(old)
+		} else {
+			c.ctx = e.nextCtx
+			e.nextCtx++
+		}
+		e.conns[ck] = c
+		e.ctxs[c.ctx] = c
+		e.markConnDirty(c)
+	}
+	dropped := false
+	if closed {
+		for _, c := range e.conns {
+			if c.uid == uid {
+				e.dropConnState(c)
+				e.markConnClosed(c)
+				dropped = true
+				break
+			}
+		}
+		e.dropFlowScriptState(uid)
+	}
+	if e.delta != nil && (nt > 0 || closed) {
+		e.delta.dirtyInterp = true
+	}
+	return dropped, dec.Err()
+}

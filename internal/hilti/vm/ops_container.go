@@ -551,27 +551,62 @@ type structICEntry struct {
 }
 
 // structIC is the shared inline-cache state of one struct.get/set site.
+// First-generation tier code uses the monomorphic entry; re-promoted code
+// sets wide and grows ways copy-on-write up to icWays shapes.
 type structIC struct {
 	name  string
 	fn    *CompiledFunc
+	wide  bool
 	entry atomic.Pointer[structICEntry]
+	ways  atomic.Pointer[[]structICEntry]
 }
 
 // lookup resolves the field index for s, filling the cache on first use
-// and demoting the function when the site turns polymorphic. The returned
-// index is -1 for an unknown field (matching StructDef.Index).
+// and demoting the function when the site outgrows it. The returned index
+// is -1 for an unknown field (matching StructDef.Index).
 func (ic *structIC) lookup(s *values.Struct) int {
+	if ic.wide {
+		return ic.lookupWide(s)
+	}
 	if e := ic.entry.Load(); e != nil {
 		if e.def == s.Def {
 			return e.idx
 		}
 		// Second shape at this site: tier-2 specialized on a monomorphic
-		// world that no longer exists.
+		// world that no longer exists. Re-promotion widens the cache.
 		demoteTier2(ic.fn)
 	}
 	idx := s.Def.Index(ic.name)
 	if idx >= 0 {
 		ic.entry.Store(&structICEntry{def: s.Def, idx: idx})
+	}
+	return idx
+}
+
+// lookupWide is the polymorphic path of a re-promoted function: a linear
+// scan over at most icWays cached shapes, still far cheaper than the
+// by-name map probe. A shape beyond capacity marks the site megamorphic
+// and demotes for good.
+func (ic *structIC) lookupWide(s *values.Struct) int {
+	var es []structICEntry
+	if p := ic.ways.Load(); p != nil {
+		es = *p
+		for i := range es {
+			if es[i].def == s.Def {
+				return es[i].idx
+			}
+		}
+	}
+	idx := s.Def.Index(ic.name)
+	if len(es) >= icWays {
+		demoteTier2Mega(ic.fn)
+		return idx
+	}
+	if idx >= 0 {
+		grown := make([]structICEntry, len(es)+1)
+		copy(grown, es)
+		grown[len(es)] = structICEntry{def: s.Def, idx: idx}
+		ic.ways.Store(&grown)
 	}
 	return idx
 }
@@ -603,10 +638,13 @@ func execStructSetIC(ex *Exec, fr *Frame, in *Instr) int {
 
 // mapIC caches the shape of one map lookup site's key operand: the value
 // kind plus whether that kind scratch-encodes via values.AppendKey. Shape
-// 0 means unfilled.
+// 0 means unfilled. Re-promoted (wide) sites hold up to icWays shapes in
+// a copy-on-write slice instead of the single shape word.
 type mapIC struct {
-	fn    *CompiledFunc
-	shape atomic.Int64
+	fn     *CompiledFunc
+	wide   bool
+	shape  atomic.Int64
+	shapes atomic.Pointer[[]int64]
 }
 
 func mapKeyShape(k values.Kind, keyed bool) int64 {
@@ -621,6 +659,9 @@ func mapKeyShape(k values.Kind, keyed bool) int64 {
 // key when the keyed fast path applies. A shape change (or a same-kind key
 // that stops encoding, e.g. heterogeneous tuples) demotes the function.
 func icMapKey(ex *Exec, ic *mapIC, kv values.Value) (k []byte, keyed bool) {
+	if ic.wide {
+		return icMapKeyWide(ex, ic, kv)
+	}
 	shape := ic.shape.Load()
 	switch shape {
 	case mapKeyShape(kv.K, false):
@@ -645,6 +686,50 @@ func icMapKey(ex *Exec, ic *mapIC, kv values.Value) (k []byte, keyed bool) {
 	}
 	ex.keyBuf = k[:0]
 	ic.shape.Store(mapKeyShape(kv.K, false))
+	return nil, false
+}
+
+// icMapKeyWide is the polymorphic key path of a re-promoted function:
+// up to icWays cached key shapes, scanned linearly. A same-kind key that
+// stops encoding breaks an assumption no amount of widening can express,
+// and a shape past capacity makes the site megamorphic — both demote the
+// function permanently.
+func icMapKeyWide(ex *Exec, ic *mapIC, kv values.Value) (k []byte, keyed bool) {
+	var shapes []int64
+	if p := ic.shapes.Load(); p != nil {
+		shapes = *p
+	}
+	for _, sh := range shapes {
+		switch sh {
+		case mapKeyShape(kv.K, false):
+			return nil, false
+		case mapKeyShape(kv.K, true):
+			if k, ok := values.AppendKey(ex.keyBuf[:0], kv); ok {
+				ex.keyBuf = k
+				return k, true
+			}
+			demoteTier2Mega(ic.fn)
+			ex.keyBuf = ex.keyBuf[:0]
+			return nil, false
+		}
+	}
+	k, ok := values.AppendKey(ex.keyBuf[:0], kv)
+	if ok {
+		ex.keyBuf = k
+	} else {
+		ex.keyBuf = k[:0]
+	}
+	if len(shapes) >= icWays {
+		demoteTier2Mega(ic.fn)
+	} else {
+		grown := make([]int64, len(shapes)+1)
+		copy(grown, shapes)
+		grown[len(shapes)] = mapKeyShape(kv.K, ok)
+		ic.shapes.Store(&grown)
+	}
+	if ok {
+		return k, true
+	}
 	return nil, false
 }
 

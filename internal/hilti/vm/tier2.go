@@ -63,8 +63,15 @@ const (
 const (
 	tierNone    int32 = iota // never promoted
 	tierActive               // tier-2 code built (and normally published)
-	tierDemoted              // demoted after an IC shape change; never re-promoted
+	tierDemoted              // demoted after an IC shape change; re-promotable with widened ICs
+	tierMega                 // a widened IC overflowed too: permanently tier-1
 )
+
+// icWays is the shape capacity of a widened (polymorphic) inline cache.
+// First-generation tier-2 code uses monomorphic caches; a function demoted
+// by a shape change is re-promoted with caches this wide, and only a site
+// that outgrows even that is treated as megamorphic and demoted for good.
+const icWays = 4
 
 // tierDebug, when true, turns verified-region bound violations into panics
 // instead of silent degradation to the outer loop; the bound-prover fuzz
@@ -90,6 +97,7 @@ type TierStats struct {
 	Pairs    int // superinstruction pairs fused
 	Overlay  int // overlay accesses specialized (planned decode or fused compare)
 	ICs      int // inline caches installed
+	WideICs  int // of those, widened to icWays shapes (re-promotion builds)
 	Regions  int // verified regions formed (loops included)
 	Verified int // instructions covered by verified regions
 	Loops    int // counted loops with a proven iteration bound
@@ -112,6 +120,9 @@ type tierConfig struct {
 	// is supplied; with a nil profile every safe pair is fused (the
 	// deterministic eager -O2 path).
 	pairMin uint64
+	// wideICs installs icWays-way polymorphic inline caches instead of
+	// monomorphic ones — the re-promotion configuration.
+	wideICs bool
 }
 
 // --- promotion and demotion --------------------------------------------------
@@ -142,7 +153,7 @@ func (ex *Exec) EnableTiering(threshold int) {
 }
 
 func (t *tiering) observe(fn *CompiledFunc, prof *opProfile) {
-	if fn.tierState.Load() != tierNone {
+	if st := fn.tierState.Load(); st != tierNone && st != tierDemoted {
 		return
 	}
 	id := fn.ID
@@ -155,33 +166,56 @@ func (t *tiering) observe(fn *CompiledFunc, prof *opProfile) {
 		t.counts = grown
 	}
 	if t.counts[id]++; t.counts[id] >= t.threshold {
+		t.counts[id] = 0 // a later demotion re-arms a full warm-up window
 		promoteTier2(fn, prof)
 	}
 }
 
 // promoteTier2 builds and publishes tier-2 code for fn. The CAS makes the
 // build single-winner when several Execs race on a shared Program; the
-// build itself only reads fn's immutable tier-1 code.
+// build itself only reads fn's immutable tier-1 code. A first promotion
+// installs monomorphic inline caches; re-promoting a demoted function
+// (including an eager -O2 function a shape change knocked down) widens
+// them to icWays shapes, so the one-off polymorphism that caused the
+// demotion fits in cache the second time around. Functions that overflow
+// even the wide caches land in tierMega and stay tier-1 forever.
 func promoteTier2(fn *CompiledFunc, prof *opProfile) {
+	wide := false
 	if !fn.tierState.CompareAndSwap(tierNone, tierActive) {
-		return
+		if !fn.tierState.CompareAndSwap(tierDemoted, tierActive) {
+			return
+		}
+		wide = true
 	}
 	var pairMin uint64
 	if prof != nil {
 		pairMin = 1 // fuse pairs the profile actually observed
 	}
-	if tc := buildTier2(fn, prof, tierConfig{pairs: true, regions: true, pairMin: pairMin}); tc != nil {
+	cfg := tierConfig{pairs: true, regions: true, pairMin: pairMin, wideICs: wide}
+	if tc := buildTier2(fn, prof, cfg); tc != nil {
 		fn.tier2.Store(tc)
 	}
 }
 
-// demoteTier2 drops fn back to tier-1 code, permanently: an inline cache
-// saw a second shape, so the monomorphic assumption tier-2 specialized on
-// does not hold for this function. Activations already inside tier-2 code
-// finish there (the ICs keep working, just slower); new activations load
-// tier-1 code.
+// demoteTier2 drops fn back to tier-1 code: an inline cache saw a second
+// shape, so the monomorphic assumption tier-2 specialized on does not hold
+// for this function. Activations already inside tier-2 code finish there
+// (the ICs keep working, just slower); new activations load tier-1 code.
+// The function stays re-promotable — if it runs hot again under tiering it
+// comes back with widened caches. The CAS keeps a stale activation's late
+// demotion from clobbering a newer generation's state (tierMega, or a
+// re-promotion that already replaced the code this IC belongs to).
 func demoteTier2(fn *CompiledFunc) {
-	fn.tierState.Store(tierDemoted)
+	if fn.tierState.CompareAndSwap(tierActive, tierDemoted) {
+		fn.tier2.Store(nil)
+	}
+}
+
+// demoteTier2Mega drops fn to tier-1 permanently: a widened inline cache
+// overflowed (or hit a shape no cache can express), so the site is
+// megamorphic and another rebuild would just thrash.
+func demoteTier2Mega(fn *CompiledFunc) {
+	fn.tierState.Store(tierMega)
 	fn.tier2.Store(nil)
 }
 
@@ -208,7 +242,7 @@ func buildTier2(fn *CompiledFunc, prof *opProfile, cfg tierConfig) *tierCode {
 		}
 		respecialize(tc)
 	}
-	installICs(tc, fn)
+	installICs(tc, fn, cfg.wideICs)
 	// Loop proving must see the un-fused instruction stream; the proofs
 	// stay valid across pair fusion because fusion preserves every pc's
 	// entry semantics (orphans) and only ever lowers the executed count.
@@ -682,18 +716,19 @@ func sameHandlers(hs []handler, p, q int) bool {
 
 // --- inline caches -----------------------------------------------------------
 
-// installICs replaces struct field access and map lookups with monomorphic
-// inline-cached executors (ops_container.go). The caches live in the
-// shared tier code, so hits benefit every Exec running the Program; a
-// shape change demotes the whole function.
-func installICs(tc *tierCode, fn *CompiledFunc) {
+// installICs replaces struct field access and map lookups with
+// inline-cached executors (ops_container.go) — monomorphic on the first
+// build, icWays-way polymorphic when wide (a re-promotion). The caches
+// live in the shared tier code, so hits benefit every Exec running the
+// Program; outgrowing the cache demotes the whole function.
+func installICs(tc *tierCode, fn *CompiledFunc, wide bool) {
 	for pc := range tc.code {
 		in := &tc.code[pc]
 		switch in.op {
 		case "struct.get":
 			if len(in.srcs) == 2 && in.srcs[1].kind == srcConst &&
 				in.srcs[1].val.K == values.KindString && in.d.kind != srcSlot {
-				in.aux = &structIC{name: in.srcs[1].val.AsString(), fn: fn}
+				in.aux = &structIC{name: in.srcs[1].val.AsString(), fn: fn, wide: wide}
 				in.exec = execStructGetIC
 				tc.stats.ICs++
 			}
@@ -701,22 +736,25 @@ func installICs(tc *tierCode, fn *CompiledFunc) {
 			if len(in.srcs) == 3 && in.srcs[1].kind == srcConst &&
 				in.srcs[1].val.K == values.KindString &&
 				in.srcs[2].kind != srcSlot {
-				in.aux = &structIC{name: in.srcs[1].val.AsString(), fn: fn}
+				in.aux = &structIC{name: in.srcs[1].val.AsString(), fn: fn, wide: wide}
 				in.exec = execStructSetIC
 				tc.stats.ICs++
 			}
 		case "map.get":
 			if len(in.srcs) == 2 && in.srcs[1].kind != srcCtor && in.srcs[1].kind != srcSlot {
-				in.aux = &mapIC{fn: fn}
+				in.aux = &mapIC{fn: fn, wide: wide}
 				in.exec = execMapGetIC
 				tc.stats.ICs++
 			}
 		case "map.exists":
 			if len(in.srcs) == 2 && in.srcs[1].kind != srcCtor && in.srcs[1].kind != srcSlot {
-				in.aux = &mapIC{fn: fn}
+				in.aux = &mapIC{fn: fn, wide: wide}
 				in.exec = execMapExistsIC
 				tc.stats.ICs++
 			}
 		}
+	}
+	if wide {
+		tc.stats.WideICs = tc.stats.ICs
 	}
 }

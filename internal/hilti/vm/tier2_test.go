@@ -2,6 +2,7 @@ package vm
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -296,5 +297,87 @@ func TestTier2ConcurrentPromotion(t *testing.T) {
 	}
 	if !prog.Fn("M::spin").TierActive() {
 		t.Fatal("shared function never promoted")
+	}
+}
+
+// TestTier2RePromotionWidensICs walks a function through the full tier
+// lifecycle: eager O2 promotion with a monomorphic cache, demotion on the
+// second struct shape, profile-counted re-promotion with a widened cache
+// that holds both shapes, and finally a permanent megamorphic demotion
+// once more shapes arrive than the wide cache can hold. Results must stay
+// correct at every stage.
+func TestTier2RePromotionWidensICs(t *testing.T) {
+	b := ast.NewBuilder("M")
+	fb := b.Function("getx", types.Int64T, ast.Param{Name: "s", Type: types.AnyT})
+	v := fb.Local("v", types.Int64T)
+	fb.Assign(v, "struct.get", ast.VarOp("s"), ast.FieldOperand("x"))
+	fb.Return(v)
+
+	ex := linkAt(t, 2, b.M)
+	ex.EnableTiering(4)
+	fn := ex.Prog.Fn("M::getx")
+	if !fn.TierActive() {
+		t.Fatal("O2 link did not install tier-2 code")
+	}
+
+	// Five distinct shapes, each with an "x" field at a different index.
+	shapes := make([]values.Value, 5)
+	for i := range shapes {
+		fields := make([]values.StructField, i+1)
+		for j := 0; j < i; j++ {
+			fields[j] = values.StructField{Name: fmt.Sprintf("pad%d", j)}
+		}
+		fields[i] = values.StructField{Name: "x"}
+		s := values.NewStruct(values.NewStructDef(fmt.Sprintf("S%d", i), fields...))
+		s.SetName("x", values.Int(int64(100+i)))
+		shapes[i] = values.StructVal(s)
+	}
+	call := func(i int) {
+		t.Helper()
+		if v, err := ex.Call("M::getx", shapes[i]); err != nil || v.AsInt() != int64(100+i) {
+			t.Fatalf("shape %d: %v %v", i, v, err)
+		}
+	}
+
+	call(0) // fill the monomorphic cache
+	call(1) // second shape: demote
+	if fn.TierActive() {
+		t.Fatal("second shape did not demote the eager-O2 function")
+	}
+	// Stay hot across both shapes until the tiering counter re-promotes.
+	for i := 0; i < 8 && !fn.TierActive(); i++ {
+		call(i % 2)
+	}
+	if !fn.TierActive() {
+		t.Fatal("demoted function never re-promoted despite staying hot")
+	}
+	st, _ := fn.Tier2Stats()
+	if st.WideICs == 0 || st.WideICs != st.ICs {
+		t.Fatalf("re-promotion did not widen the caches: %+v", st)
+	}
+	// The widened cache absorbs both known shapes — no third demotion.
+	for i := 0; i < 8; i++ {
+		call(i % 2)
+	}
+	if !fn.TierActive() {
+		t.Fatal("wide cache thrashed on shapes it should hold")
+	}
+	// A fifth distinct shape overflows icWays and demotes permanently.
+	for i := 2; i < 5; i++ {
+		call(i)
+	}
+	call(0)
+	if fn.TierActive() {
+		t.Fatal("overflowing the wide cache did not demote")
+	}
+	// Megamorphic functions never re-promote, no matter how hot.
+	for i := 0; i < 16; i++ {
+		call(i % 5)
+	}
+	if fn.TierActive() {
+		t.Fatal("megamorphic function was re-promoted")
+	}
+	for i := 0; i < 5; i++ {
+		call(i) // and tier-1 stays correct for every shape
 	}
 }

@@ -44,6 +44,14 @@ func (p *Pipeline) registerMetrics() {
 			emit(metrics.Name("pipeline_shard_queue_depth", "worker", w), float64(ws.Backlog))
 			emit(metrics.Name("pipeline_shard_queue_high_water", "worker", w), float64(ws.HighWater))
 			emit(metrics.Name("pipeline_shard_live_flows", "worker", w), float64(ws.LiveFlows))
+			quarantined := 0.0
+			if ws.StallQuarantined {
+				quarantined = 1
+			}
+			emit(metrics.Name("pipeline_worker_stall_quarantined", "worker", w), quarantined)
+			emit(metrics.Name("pipeline_worker_cooldown_remaining_ns", "worker", w), float64(ws.CooldownRemaining))
+			emit(metrics.Name("pipeline_worker_replacements_total", "worker", w), float64(ws.Replacements))
+			emit(metrics.Name("pipeline_worker_stall_quarantines_total", "worker", w), float64(ws.StallQuarantines))
 			faults += ws.Faults
 			quarFlows += ws.QuarantinedFlows
 			quarDropped += ws.QuarantineDropped

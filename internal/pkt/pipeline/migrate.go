@@ -1,0 +1,462 @@
+// Live flow-state migration: the pipeline side of the elastic-cluster
+// handoff protocol (internal/rt/migrate). A migration moves a *slice* of
+// flows — everything a routing bucket selects — from this pipeline to
+// another instance. The pipeline contributes three quiesced, worker-local
+// operations: ExtractFlows peeks the slice's state without disturbing it
+// (the source retains ownership until the target acks), InjectFlows
+// installs a shipped slice, and ForgetFlows releases the slice after a
+// committed handoff. Each runs as a job on the owning worker's virtual
+// thread, exactly like Checkpoint: per-shard quiesce, no stop-the-world.
+//
+// Flow enumeration is handler-first: the handler (the analysis engine)
+// can hold per-flow state for flows whose pipeline scheduling entry is
+// long gone — cap evictions and idle expiry drop the flowState while the
+// analyzer keeps the connection. Migrating only the pipeline's flow table
+// would split such sessions across instances and diverge their logs, so
+// the slice is the union of handler flows and scheduler-only entries.
+package pipeline
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"hilti/internal/pkt/flow"
+	"hilti/internal/rt/snapshot"
+	"hilti/internal/rt/threads"
+	"hilti/internal/rt/timer"
+	"hilti/internal/rt/wal"
+)
+
+// MigratableHandler is the handler contract for live migration: per-flow
+// state can be enumerated, extracted (peek), injected, and forgotten.
+// All calls arrive on the owning worker goroutine. Extract/Inject/Forget
+// must be counter-neutral — a migrated flow was opened on its first
+// instance and will close on its last; neither end counts it twice.
+type MigratableHandler interface {
+	MigratableFlows() []flow.Key
+	ExtractFlow(key flow.Key) ([]byte, error)
+	InjectFlow(blob []byte) (flow.Key, error)
+	ForgetFlow(key flow.Key) bool
+	HasFlow(key flow.Key) bool
+}
+
+// HandlerFlow is one handler connection's encoded state.
+type HandlerFlow struct {
+	VID  uint64
+	Key  flow.Key
+	Blob []byte
+}
+
+// SchedFlow is one pipeline flow-table entry (scheduling state only).
+type SchedFlow struct {
+	VID      uint64
+	Key      flow.Key
+	HasKey   bool
+	Deadline int64 // idle-expiry fire time, trace time
+}
+
+// QuarMark is one quarantined flow: the mark must travel with the slice
+// or the target would happily resume a flow the source deemed hostile.
+type QuarMark struct {
+	VID     uint64
+	Dropped uint64
+}
+
+// FlowSlice is everything the pipeline knows about a set of flows,
+// ordered deterministically (workers ascending; handler flows in handler
+// enumeration order; scheduler entries oldest-first; quarantine marks by
+// vid).
+type FlowSlice struct {
+	Handler []HandlerFlow
+	Sched   []SchedFlow
+	Quar    []QuarMark
+}
+
+// Flows returns the number of distinct flows in the slice (handler flows
+// plus scheduler-only entries).
+func (s *FlowSlice) Flows() int {
+	seen := make(map[uint64]bool, len(s.Handler)+len(s.Sched))
+	for i := range s.Handler {
+		seen[s.Handler[i].VID] = true
+	}
+	n := len(seen)
+	for i := range s.Sched {
+		if !seen[s.Sched[i].VID] {
+			n++
+		}
+	}
+	return n
+}
+
+// Empty reports whether the slice carries nothing at all.
+func (s *FlowSlice) Empty() bool {
+	return len(s.Handler) == 0 && len(s.Sched) == 0 && len(s.Quar) == 0
+}
+
+// ErrClosed reports a migration-surface call on a closed pipeline.
+var ErrClosed = errors.New("pipeline: closed")
+
+var errPipelineClosed = ErrClosed
+
+// onWorkers runs fn on every worker's own goroutine and collects errors.
+func (p *Pipeline) onWorkers(fn func(i int, sl *wslot) error) error {
+	if p.closed.Load() {
+		return errPipelineClosed
+	}
+	n := len(p.slots)
+	errs := make([]error, n)
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		i := i
+		err := p.sched.Schedule(uint64(i), func(*threads.Context) {
+			defer func() { done <- struct{}{} }()
+			errs[i] = fn(i, p.slots[i].Load())
+		})
+		if err != nil {
+			errs[i] = err
+			done <- struct{}{}
+		}
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return errors.Join(errs...)
+}
+
+// ExtractFlows captures the state of every flow selected by match,
+// without removing anything: the source keeps processing the slice until
+// the handoff commits. Handler flows are enumerated from the handler
+// (see the package comment), scheduler entries from the flow table.
+func (p *Pipeline) ExtractFlows(match func(vid uint64) bool) (*FlowSlice, error) {
+	n := len(p.slots)
+	parts := make([]FlowSlice, n)
+	err := p.onWorkers(func(i int, sl *wslot) error {
+		ws := sl.ws
+		part := &parts[i]
+		if mh, ok := sl.h.(MigratableHandler); ok {
+			for _, key := range mh.MigratableFlows() {
+				vid := key.Hash()
+				if !match(vid) {
+					continue
+				}
+				blob, err := mh.ExtractFlow(key)
+				if err != nil {
+					return fmt.Errorf("worker %d: extract %v: %w", i, key, err)
+				}
+				part.Handler = append(part.Handler, HandlerFlow{VID: vid, Key: key, Blob: blob})
+			}
+		}
+		for e := ws.lru.Back(); e != nil; e = e.Prev() {
+			fs := e.Value.(*flowState)
+			if !match(fs.vid) {
+				continue
+			}
+			part.Sched = append(part.Sched, SchedFlow{
+				VID:      fs.vid,
+				Key:      fs.key,
+				HasKey:   fs.hasKey,
+				Deadline: int64(fs.idle.FireTime()),
+			})
+		}
+		for vid, dropped := range ws.quarantined {
+			if match(vid) {
+				part.Quar = append(part.Quar, QuarMark{VID: vid, Dropped: dropped})
+			}
+		}
+		sort.Slice(part.Quar, func(a, b int) bool { return part.Quar[a].VID < part.Quar[b].VID })
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &FlowSlice{}
+	for i := range parts {
+		out.Handler = append(out.Handler, parts[i].Handler...)
+		out.Sched = append(out.Sched, parts[i].Sched...)
+		out.Quar = append(out.Quar, parts[i].Quar...)
+	}
+	return out, nil
+}
+
+// InjectFlows installs a shipped slice into this pipeline. A flow already
+// present (handler or flow table) is a double-ownership violation and
+// fails the whole call — the endpoint then refuses the session and the
+// source retains. After a successful install the affected shards'
+// persistence base is refreshed so a supervised recovery can never
+// resurrect the pre-migration shard without the migrated-in flows.
+func (p *Pipeline) InjectFlows(s *FlowSlice) error {
+	byWorker := p.sliceByWorker(s)
+	return p.onWorkers(func(i int, sl *wslot) error {
+		part := byWorker[i]
+		if part.Empty() {
+			return nil
+		}
+		ws := sl.ws
+		mh, _ := sl.h.(MigratableHandler)
+		for _, hf := range part.Handler {
+			if mh == nil {
+				return fmt.Errorf("worker %d: handler cannot accept migrated flows", i)
+			}
+			if _, err := mh.InjectFlow(hf.Blob); err != nil {
+				return fmt.Errorf("worker %d: inject: %w", i, err)
+			}
+		}
+		for _, sf := range part.Sched {
+			if _, ok := ws.flows[sf.VID]; ok {
+				return fmt.Errorf("worker %d: flow %d already scheduled here (double ownership)", i, sf.VID)
+			}
+			if ws.cap > 0 && len(ws.flows) >= ws.cap {
+				p.evictOldest(ws)
+			}
+			fs := &flowState{vid: sf.VID, key: sf.Key, hasKey: sf.HasKey}
+			p.armIdle(ws, fs, timer.Time(sf.Deadline))
+			fs.elem = ws.lru.PushFront(fs)
+			ws.flows[sf.VID] = fs
+			ws.liveFlows.Add(1)
+		}
+		for _, q := range part.Quar {
+			ws.quarantined[q.VID] = q.Dropped
+		}
+		p.refreshShardBase(sl)
+		return nil
+	})
+}
+
+// ForgetFlows releases a slice after a committed handoff: scheduling
+// entries, quarantine marks, and handler state all go, without events,
+// log lines, or counter movement. The shard's persistence base is
+// refreshed for the same reason as in InjectFlows — a recovery from the
+// old base would resurrect flows that now live elsewhere.
+func (p *Pipeline) ForgetFlows(s *FlowSlice) error {
+	byWorker := p.sliceByWorker(s)
+	return p.onWorkers(func(i int, sl *wslot) error {
+		part := byWorker[i]
+		if part.Empty() {
+			return nil
+		}
+		ws := sl.ws
+		mh, _ := sl.h.(MigratableHandler)
+		for _, hf := range part.Handler {
+			if mh != nil {
+				mh.ForgetFlow(hf.Key)
+			}
+		}
+		for _, sf := range part.Sched {
+			if fs, ok := ws.flows[sf.VID]; ok {
+				fs.idle.Cancel()
+				p.dropFlowState(ws, fs)
+			}
+		}
+		for _, q := range part.Quar {
+			delete(ws.quarantined, q.VID)
+		}
+		p.refreshShardBase(sl)
+		return nil
+	})
+}
+
+// OwnsFlow reports whether this pipeline currently holds any state for
+// the flow — handler connection, scheduling entry, or quarantine mark.
+// Used by the ownership invariant harness after every handoff.
+func (p *Pipeline) OwnsFlow(key flow.Key, vid uint64) (bool, error) {
+	if p.closed.Load() {
+		return false, errPipelineClosed
+	}
+	i := p.sched.WorkerIndex(vid)
+	owned := false
+	var schedErr error
+	done := make(chan struct{})
+	err := p.sched.Schedule(uint64(i), func(*threads.Context) {
+		defer close(done)
+		sl := p.slots[i].Load()
+		if _, ok := sl.ws.flows[vid]; ok {
+			owned = true
+			return
+		}
+		if _, ok := sl.ws.quarantined[vid]; ok {
+			owned = true
+			return
+		}
+		if mh, ok := sl.h.(MigratableHandler); ok && mh.HasFlow(key) {
+			owned = true
+		}
+	})
+	if err != nil {
+		schedErr = err
+		close(done)
+	}
+	<-done
+	return owned, schedErr
+}
+
+// sliceByWorker splits a slice by the worker each vid routes to.
+func (p *Pipeline) sliceByWorker(s *FlowSlice) []FlowSlice {
+	out := make([]FlowSlice, len(p.slots))
+	for _, hf := range s.Handler {
+		i := p.sched.WorkerIndex(hf.VID)
+		out[i].Handler = append(out[i].Handler, hf)
+	}
+	for _, sf := range s.Sched {
+		i := p.sched.WorkerIndex(sf.VID)
+		out[i].Sched = append(out[i].Sched, sf)
+	}
+	for _, q := range s.Quar {
+		i := p.sched.WorkerIndex(q.VID)
+		out[i].Quar = append(out[i].Quar, q)
+	}
+	return out
+}
+
+// refreshShardBase re-anchors a shard's recovery state after a migration
+// mutated it outside the packet path. In WAL mode that is a re-base (new
+// full snapshot, truncated log); in tracked non-WAL mode a fresh
+// automatic checkpoint. If the fresh capture fails, the stale base is
+// *dropped* rather than kept: recovering yesterday's shard would
+// resurrect flows that migrated away — an ownership violation — whereas
+// a fresh-but-empty rebuild merely loses local state, which crash-only
+// operation already tolerates. Runs on the owning worker goroutine.
+func (p *Pipeline) refreshShardBase(sl *wslot) {
+	if sl.dc != nil {
+		if !p.tryRebase(sl) {
+			sl.walGap = true
+			sl.ws.ckptFailures.Add(1)
+		}
+		return
+	}
+	if !sl.track {
+		return
+	}
+	blob, err := p.encodeShardTimed(sl)
+	if err != nil {
+		sl.ws.ckptFailures.Add(1)
+		blob = nil
+	}
+	sl.setCkpt(blob)
+}
+
+// --- WAL delta tails -----------------------------------------------------------
+
+// WALCursors returns each worker's current WAL position (WAL mode only).
+// The cluster records them when a handoff session opens; the delta tail
+// shipped at completion starts here instead of rescanning the whole
+// segment tail.
+func (p *Pipeline) WALCursors() ([]wal.Cursor, error) {
+	if !p.cfg.WAL {
+		return nil, errors.New("pipeline: WAL mode off")
+	}
+	if p.closed.Load() {
+		return nil, errPipelineClosed
+	}
+	out := make([]wal.Cursor, len(p.slots))
+	for i := range p.slots {
+		sl := p.slots[i].Load()
+		sl.mu.Lock()
+		out[i] = sl.wlog.Cursor()
+		sl.mu.Unlock()
+	}
+	return out, nil
+}
+
+// FlowDelta is one per-flow handler delta tagged with the flow's virtual
+// id, so the target can route its application to the owning worker.
+type FlowDelta struct {
+	VID  uint64
+	Data []byte
+}
+
+// FlowDeltaApplier is the optional handler surface for replaying a
+// migration's delta tail: Data is a per-flow projection of the handler's
+// own delta records (the source filtered it down to one flow before
+// shipping). closed reports that the record carried the flow's close
+// tombstone — the flow is gone from the handler afterwards.
+type FlowDeltaApplier interface {
+	ApplyFlowDelta(data []byte) (closed bool, err error)
+}
+
+// ApplyFlowDeltas replays filtered per-flow deltas on each flow's owning
+// worker, preserving per-flow order, and returns how many flows the tail
+// closed. Like InjectFlows it refreshes the touched shards' persistence
+// base: the deltas mutated handler state outside the packet path.
+func (p *Pipeline) ApplyFlowDeltas(deltas []FlowDelta) (closed int, err error) {
+	byWorker := make([][]FlowDelta, len(p.slots))
+	for _, d := range deltas {
+		i := p.sched.WorkerIndex(d.VID)
+		byWorker[i] = append(byWorker[i], d)
+	}
+	counts := make([]int, len(p.slots))
+	err = p.onWorkers(func(i int, sl *wslot) error {
+		part := byWorker[i]
+		if len(part) == 0 {
+			return nil
+		}
+		fa, ok := sl.h.(FlowDeltaApplier)
+		if !ok {
+			return fmt.Errorf("worker %d: handler cannot apply flow deltas", i)
+		}
+		for _, d := range part {
+			c, err := fa.ApplyFlowDelta(d.Data)
+			if err != nil {
+				return fmt.Errorf("worker %d: apply flow delta: %w", i, err)
+			}
+			if c {
+				counts[i]++
+			}
+		}
+		p.refreshShardBase(sl)
+		return nil
+	})
+	for _, c := range counts {
+		closed += c
+	}
+	return closed, err
+}
+
+// FlowDeltasSince returns the handler delta records embedded in worker
+// i's WAL job records since cur, but only for flows selected by match —
+// the per-flow replay cursor: an unrelated flow's records are neither
+// returned nor decoded beyond their fixed header. The second result
+// counts records the filter skipped. A stale cursor (the log re-based
+// since) surfaces as wal.ErrStaleCursor; callers fall back to a fresh
+// full extract.
+func (p *Pipeline) FlowDeltasSince(i int, cur wal.Cursor, match func(vid uint64) bool) (deltas []FlowDelta, skipped int, err error) {
+	if !p.cfg.WAL {
+		return nil, 0, errors.New("pipeline: WAL mode off")
+	}
+	if p.closed.Load() {
+		return nil, 0, errPipelineClosed
+	}
+	sl := p.slots[i].Load()
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	_, err = sl.wlog.ReplaySince(cur, func(kind byte, payload []byte) error {
+		if kind != walJobRecord {
+			return nil
+		}
+		dec := snapshot.NewRawDecoder(payload)
+		dec.I64() // ts
+		vid := dec.U64()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if !match(vid) {
+			skipped++
+			return nil
+		}
+		dec.Bool()  // hasKey
+		dec.Bytes() // raw key
+		dec.U32()   // frame length
+		dec.U8()    // outcome
+		dec.U8()    // tier
+		if dec.Bool() {
+			d := dec.Bytes()
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			deltas = append(deltas, FlowDelta{VID: vid, Data: bytes.Clone(d)})
+		}
+		return dec.Err()
+	})
+	return deltas, skipped, err
+}

@@ -253,6 +253,11 @@ type WorkerStats struct {
 
 	FlowCap            int    // effective per-worker flow cap (0 = unbounded)
 	CheckpointFailures uint64 // failed automatic checkpoint/re-base attempts
+
+	StallQuarantined  bool          // slot currently serving a stall quarantine
+	CooldownRemaining time.Duration // time left in the quarantine cooldown (0 if none)
+	Replacements      uint64        // supervisor goroutine replacements, lifetime
+	StallQuarantines  uint64        // stall quarantines entered, lifetime
 }
 
 // wstate is worker-private: only jobs running on that worker touch it
@@ -366,8 +371,9 @@ type Pipeline struct {
 	// Replacement-rate limiting, touched only by the supervisor goroutine
 	// (except the two gauges, which Stats-side readers may load).
 	repl       []replState
-	workerQuar atomic.Int64  // worker slots currently in stall quarantine
-	stallQuars atomic.Uint64 // stall quarantines entered, total
+	health     []workerHealth // per-worker supervisor health, atomics for Stats
+	workerQuar atomic.Int64   // worker slots currently in stall quarantine
+	stallQuars atomic.Uint64  // stall quarantines entered, total
 
 	fed      atomic.Uint64      // packets accepted by Feed
 	ckptLat  *metrics.Histogram // checkpoint encode latency (nil-safe)
@@ -439,6 +445,7 @@ func newPipeline(cfg *Config) (*Pipeline, error) {
 	p := &Pipeline{
 		cfg:    *cfg,
 		slots:  make([]atomic.Pointer[wslot], cfg.Workers),
+		health: make([]workerHealth, cfg.Workers),
 		tokens: make(chan struct{}, cfg.Ingress),
 		stopc:  make(chan struct{}),
 	}
@@ -1043,6 +1050,21 @@ func (p *Pipeline) supervise() {
 	}
 }
 
+// workerHealth is one worker slot's supervision record: whether it is
+// serving a stall quarantine (and until when), plus lifetime replacement
+// and quarantine counts. Written only by the supervisor goroutine;
+// atomics let Stats and the metrics collector read concurrently. Unlike
+// the shard counters in wstate, this state belongs to the *slot*, not the
+// shard, so it survives slot rebuilds — and because it is derived from
+// supervision events rather than analysis state, it is deliberately not
+// checkpointed: a restored pipeline starts with a clean health record.
+type workerHealth struct {
+	quarantined   atomic.Bool   // slot currently running the discard handler
+	cooldownUntil atomic.Int64  // quarantine end, wall-clock ns (0 when healthy)
+	replacements  atomic.Uint64 // fresh slots installed for this worker, total
+	quarantines   atomic.Uint64 // stall quarantines this worker has entered
+}
+
 // replState is the supervisor's per-worker replacement-rate bookkeeping;
 // only the supervisor goroutine touches it.
 type replState struct {
@@ -1077,6 +1099,8 @@ func (p *Pipeline) checkStall(i int) {
 		r.quarActive = false
 		r.times = r.times[:0]
 		p.workerQuar.Add(-1)
+		p.health[i].quarantined.Store(false)
+		p.health[i].cooldownUntil.Store(0)
 		nsl := p.rebuildSlot(i, r.savedVID, r.saved)
 		r.saved = nil
 		// The current goroutine is healthy (it ran the discard handler);
@@ -1126,6 +1150,9 @@ func (p *Pipeline) checkStall(i int) {
 		r.savedVID = vid
 		p.workerQuar.Add(1)
 		p.stallQuars.Add(1)
+		p.health[i].quarantined.Store(true)
+		p.health[i].cooldownUntil.Store(r.quarUntil.UnixNano())
+		p.health[i].quarantines.Add(1)
 		dsl := &wslot{ws: p.newWstate(), h: discardHandler{}}
 		dsl.ws.owner = dsl
 		dsl.ws.faults.Record(&fault.Fault{Op: "stall-quarantine", Worker: i, VID: vid,
@@ -1141,6 +1168,7 @@ func (p *Pipeline) checkStall(i int) {
 	p.slots[i].Store(nsl)
 	if p.sched.ReplaceWorker(i) {
 		p.restarts.Add(1)
+		p.health[i].replacements.Add(1)
 	}
 	// The stalled packet's ingress token is now the supervisor's to
 	// release: endBusy saw abandoned and left it (whether the job was
@@ -1247,6 +1275,15 @@ func (p *Pipeline) Stats() []WorkerStats {
 
 			FlowCap:            ws.cap,
 			CheckpointFailures: ws.ckptFailures.Load(),
+
+			StallQuarantined: p.health[i].quarantined.Load(),
+			Replacements:     p.health[i].replacements.Load(),
+			StallQuarantines: p.health[i].quarantines.Load(),
+		}
+		if until := p.health[i].cooldownUntil.Load(); until > 0 {
+			if rem := time.Until(time.Unix(0, until)); rem > 0 {
+				out[i].CooldownRemaining = rem
+			}
 		}
 	}
 	return out

@@ -1,0 +1,59 @@
+package migrate
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMigrationFrameDecode asserts the frame decoder never panics and
+// never mis-accepts: whatever ParseFrame returns must re-encode to the
+// exact bytes it consumed, and every payload decoder must be total on
+// the accepted payloads.
+func FuzzMigrationFrameDecode(f *testing.F) {
+	f.Add(EncodeBegin(Begin{ID: 1, Epoch: 2, Bucket: 3}))
+	f.Add(EncodeState(State{ID: 1, Seq: 1, Blob: []byte("blob")}))
+	f.Add(EncodeActivate(Activate{ID: 1, Frames: 1, Sum: 9}))
+	f.Add(EncodeAbort(Abort{ID: 1}))
+	f.Add(EncodeAck(Ack{ID: 1, Status: AckOK, Applied: 7}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, rest, err := ParseFrame(data)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - len(rest)
+		re := AppendFrame(nil, kind, payload)
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("accepted frame does not round-trip")
+		}
+		// Payload decoders must be total (no panics) on accepted frames.
+		switch kind {
+		case FrameBegin:
+			DecodeBegin(payload) //nolint:errcheck
+		case FrameState:
+			DecodeState(payload) //nolint:errcheck
+		case FrameActivate:
+			DecodeActivate(payload) //nolint:errcheck
+		case FrameAbort:
+			DecodeAbort(payload) //nolint:errcheck
+		case FrameAck:
+			DecodeAck(payload) //nolint:errcheck
+		}
+		// The endpoint must absorb arbitrary accepted frames without
+		// panicking and always answer with a parseable Ack.
+		ep := NewEndpoint(nopSink{})
+		resp := ep.Handle(data)
+		if k, p, _, err := ParseFrame(resp); err != nil || k != FrameAck {
+			t.Fatalf("endpoint response unparseable: %v", err)
+		} else if _, err := DecodeAck(p); err != nil {
+			t.Fatalf("endpoint ack undecodable: %v", err)
+		}
+	})
+}
+
+type nopSink struct{}
+
+func (nopSink) Prepare(uint64, int) error             { return nil }
+func (nopSink) Install(uint64, [][]byte) (int, error) { return 0, nil }
+func (nopSink) Discard(uint64)                        {}
