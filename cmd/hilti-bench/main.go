@@ -45,16 +45,19 @@ import (
 )
 
 var (
-	expFlag      = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|parallel|faults|recovery|wal|migrate|ablations|vmopt|tier|observe|soak|all")
-	httpSessions = flag.Int("http-sessions", 800, "HTTP sessions in the synthetic trace")
-	dnsTxns      = flag.Int("dns-txns", 8000, "DNS transactions in the synthetic trace")
-	seed         = flag.Int64("seed", 1, "generator seed")
-	workersFlag  = flag.Int("workers", 0, "parallel experiment: run this worker count (0 = sweep 1/2/4/8)")
-	optFlag      = flag.String("opt", "", "VM optimizer level applied to every experiment: 0 (off), 1, or 2/tier2 (eager tier-2 specialization); empty keeps the package default")
-	tierCeiling  = flag.Float64("tier-ratio-ceiling", 5.0, "tier experiment: fail when the tier-2/BPF time ratio exceeds this")
-	tierBaseline = flag.String("tier-baseline", "", "tier experiment: derive the ratio ceiling from the tier-2/BPF rows recorded in this -bench-json file (x2 noise headroom) instead of -tier-ratio-ceiling")
-	benchJSON    = flag.String("bench-json", "", "write ns/op, allocs/op, and instruction counts for the §6.2/§6.3 configurations to this file")
-	metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus text at /metrics (plus expvar and pprof) on this address for the duration of the run")
+	expFlag       = flag.String("exp", "all", "experiment: fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|parallel|faults|recovery|wal|migrate|ablations|vmopt|tier|rules|observe|soak|all")
+	httpSessions  = flag.Int("http-sessions", 800, "HTTP sessions in the synthetic trace")
+	dnsTxns       = flag.Int("dns-txns", 8000, "DNS transactions in the synthetic trace")
+	seed          = flag.Int64("seed", 1, "generator seed")
+	workersFlag   = flag.Int("workers", 0, "parallel experiment: run this worker count (0 = sweep 1/2/4/8)")
+	optFlag       = flag.String("opt", "", "VM optimizer level applied to every experiment: 0 (off), 1, or 2/tier2 (eager tier-2 specialization); empty keeps the package default")
+	tierCeiling   = flag.Float64("tier-ratio-ceiling", 5.0, "tier experiment: fail when the tier-2/BPF time ratio exceeds this")
+	tierBaseline  = flag.String("tier-baseline", "", "tier experiment: derive the ratio ceiling from the tier-2/BPF rows recorded in this -bench-json file (x2 noise headroom) instead of -tier-ratio-ceiling")
+	benchJSON     = flag.String("bench-json", "", "write ns/op, allocs/op, and instruction counts for the §6.2/§6.3 configurations to this file")
+	rulesCeiling  = flag.Float64("rules-ratio-ceiling", 1.0, "rules experiment: fail when the compiled/linear lookup ratio at the largest scale exceeds this")
+	rulesBaseline = flag.String("rules-baseline", "", "rules experiment: derive the ratio ceiling from the rows recorded in this -rules-json file (x2 noise headroom) instead of -rules-ratio-ceiling")
+	rulesJSON     = flag.String("rules-json", "", "rules experiment: write the per-scale lookup-cost table to this file")
+	metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus text at /metrics (plus expvar and pprof) on this address for the duration of the run")
 
 	soakDuration = flag.Duration("soak-duration", 30*time.Second, "soak: trace-time span of the adversarial run")
 	soakRate     = flag.Float64("soak-rate", 8000, "soak: base offered load, packets/sec of trace time")
@@ -108,12 +111,13 @@ func main() {
 		"ablations": h.ablations,
 		"vmopt":     h.vmopt,
 		"tier":      h.tier,
+		"rules":     h.rules,
 		"observe":   h.observe,
 		"soak":      h.soak,
 	}
 	// soak is deliberately not in the "all" order: it is the long-running
 	// adversarial stage, invoked explicitly (CI runs it as its own step).
-	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "parallel", "faults", "recovery", "wal", "migrate", "ablations", "vmopt", "tier", "observe"}
+	order := []string{"fibers", "bpf", "firewall", "table2", "fig9", "table3", "fig10", "fib", "threads", "parallel", "faults", "recovery", "wal", "migrate", "ablations", "vmopt", "tier", "rules", "observe"}
 	if *benchJSON != "" {
 		h.writeBenchJSON(*benchJSON)
 		return
@@ -1063,6 +1067,44 @@ func (h *harness) tier() {
 	check(mCold == bpfMatches && mHot == bpfMatches, fmt.Sprintf(
 		"promotion changed results: cold=%d hot=%d want=%d", mCold, mHot, bpfMatches))
 	fmt.Printf("    runtime promotion: threshold 64 invocations; matches identical across the tier switch (%d)\n", mHot)
+
+	// 2b. The stateful firewall through the same promotion path: its
+	// match_packet function profiles hot, promotes mid-stream, and the
+	// full decision stream (order matters: the dynamic reverse-allow
+	// state is history-dependent) must be byte-identical at O0, O1,
+	// eager O2, and under runtime promotion.
+	fwRules, err := firewall.ParseRules(strings.NewReader(fwRuleText))
+	must(err)
+	fwIn := h.fwInputs()
+	fwAt := func(lvl int) *firewall.Firewall {
+		prev := vm.DefaultOptLevel()
+		vm.SetDefaultOptLevel(lvl)
+		defer vm.SetDefaultOptLevel(prev)
+		fw, err := firewall.New(fwRules, 5*time.Minute)
+		must(err)
+		return fw
+	}
+	decide := func(fw *firewall.Firewall) []byte {
+		out := make([]byte, len(fwIn))
+		for i, in := range fwIn {
+			ok, err := fw.Match(in.ts, in.src, in.dst)
+			must(err)
+			if ok {
+				out[i] = 1
+			}
+		}
+		return out
+	}
+	d0 := decide(fwAt(0))
+	d1 := decide(fwAt(1))
+	d2 := decide(fwAt(2))
+	fwTier := fwAt(1)
+	fwTier.EnableTiering(64)
+	dT := decide(fwTier)
+	check(fwTier.TierActive(), "hot firewall never promoted by runtime tiering")
+	check(bytes.Equal(d0, d1) && bytes.Equal(d1, d2) && bytes.Equal(d2, dT),
+		"firewall decision streams diverge across tiers")
+	fmt.Printf("    firewall: %d packets, decision stream byte-identical at O0/O1/eager-O2/runtime-promoted\n", len(fwIn))
 
 	// 3. Compiled-script engine with a kill/restore cut while promoted:
 	// every HILTI function runs tier-2 (eager O2), the engine is

@@ -1,0 +1,207 @@
+// Filter-expression lowering onto the shared rule plane: the same
+// tcpdump subset CompileBPF and CompileHILTI accept, normalized into
+// first-match-wins plane rules so one automaton walk answers the filter
+// along with every other rule source.
+
+package bpf
+
+import (
+	"fmt"
+
+	"hilti/internal/rt/ruleplane"
+)
+
+// maxFilterConjunctions caps the DNF expansion of a filter expression.
+const maxFilterConjunctions = 4096
+
+// FilterProgram compiles a parsed filter expression into a rule-plane
+// program: the expression is pushed to negation normal form (expanding
+// either-direction endpoints into src/dst pairs), expanded to
+// disjunctive normal form, and each conjunction becomes one rule with
+// verdict 1; the default verdict is 0 (reject). On the plane's domain —
+// decodable IPv4 TCP/UDP/other packets with their 5-tuple extracted —
+// verdicts match Program.Run acceptance, including the negated-port
+// nuance (`not port 80` accepts portless protocols such as ICMP).
+// Callers that want the program to drop packets at ingress set Gate on
+// the result.
+func FilterProgram(name string, e Expr) (ruleplane.Program, error) {
+	terms, err := filterDNF(filterNNF(e, false))
+	if err != nil {
+		return ruleplane.Program{}, err
+	}
+	prog := ruleplane.Program{Name: name, Rules: make([]ruleplane.Rule, 0, len(terms)), Default: 0}
+	for _, term := range terms {
+		var r ruleplane.Rule
+		r.Verdict = 1
+		for _, l := range term {
+			if err := l.addTo(&r); err != nil {
+				return ruleplane.Program{}, err
+			}
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+// fnode is the NNF tree: And/Or over direction-resolved literals.
+type fnode interface{ isFnode() }
+
+type fAnd struct{ l, r fnode }
+type fOr struct{ l, r fnode }
+
+// flit is one literal: a primitive with Dir resolved to src or dst, plus
+// a negation flag.
+type flit struct {
+	e   Expr
+	neg bool
+}
+
+func (fAnd) isFnode() {}
+func (fOr) isFnode()  {}
+func (flit) isFnode() {}
+
+// filterNNF pushes negation to the leaves and expands either-direction
+// primitives: `host A` = src or dst, so `not host A` = not src AND not
+// dst (De Morgan happens here, where the direction split is made).
+func filterNNF(e Expr, neg bool) fnode {
+	switch e := e.(type) {
+	case NotExpr:
+		return filterNNF(e.E, !neg)
+	case AndExpr:
+		if neg {
+			return fOr{filterNNF(e.L, true), filterNNF(e.R, true)}
+		}
+		return fAnd{filterNNF(e.L, false), filterNNF(e.R, false)}
+	case OrExpr:
+		if neg {
+			return fAnd{filterNNF(e.L, true), filterNNF(e.R, true)}
+		}
+		return fOr{filterNNF(e.L, false), filterNNF(e.R, false)}
+	case HostExpr:
+		if e.Dir == DirEither {
+			s, d := flit{HostExpr{Dir: DirSrc, Addr: e.Addr}, neg}, flit{HostExpr{Dir: DirDst, Addr: e.Addr}, neg}
+			return eitherSplit(s, d, neg)
+		}
+		return flit{e, neg}
+	case NetExpr:
+		if e.Dir == DirEither {
+			s, d := flit{NetExpr{Dir: DirSrc, Net: e.Net}, neg}, flit{NetExpr{Dir: DirDst, Net: e.Net}, neg}
+			return eitherSplit(s, d, neg)
+		}
+		return flit{e, neg}
+	case PortExpr:
+		if e.Dir == DirEither {
+			s, d := flit{PortExpr{Dir: DirSrc, Port: e.Port}, neg}, flit{PortExpr{Dir: DirDst, Port: e.Port}, neg}
+			return eitherSplit(s, d, neg)
+		}
+		return flit{e, neg}
+	default: // ProtoExpr
+		return flit{e, neg}
+	}
+}
+
+func eitherSplit(s, d flit, neg bool) fnode {
+	if neg {
+		return fAnd{s, d}
+	}
+	return fOr{s, d}
+}
+
+// filterDNF expands the NNF tree into a disjunction of conjunctions.
+func filterDNF(n fnode) ([][]flit, error) {
+	switch n := n.(type) {
+	case flit:
+		return [][]flit{{n}}, nil
+	case fOr:
+		l, err := filterDNF(n.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := filterDNF(n.r)
+		if err != nil {
+			return nil, err
+		}
+		out := append(l, r...)
+		if len(out) > maxFilterConjunctions {
+			return nil, fmt.Errorf("bpf: filter expands to more than %d conjunctions", maxFilterConjunctions)
+		}
+		return out, nil
+	case fAnd:
+		l, err := filterDNF(n.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := filterDNF(n.r)
+		if err != nil {
+			return nil, err
+		}
+		if len(l)*len(r) > maxFilterConjunctions {
+			return nil, fmt.Errorf("bpf: filter expands to more than %d conjunctions", maxFilterConjunctions)
+		}
+		out := make([][]flit, 0, len(l)*len(r))
+		for _, a := range l {
+			for _, b := range r {
+				t := make([]flit, 0, len(a)+len(b))
+				t = append(t, a...)
+				t = append(t, b...)
+				out = append(out, t)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("bpf: unexpected node %T", n)
+	}
+}
+
+// addTo appends the literal's predicate to the rule.
+func (l flit) addTo(r *ruleplane.Rule) error {
+	switch e := l.e.(type) {
+	case HostExpr:
+		p := ruleplane.AddrIs(e.Addr)
+		if l.neg {
+			p.Kind = ruleplane.AddrNotIn
+		}
+		return addAddrPred(r, e.Dir, p)
+	case NetExpr:
+		p := ruleplane.AddrInNet(e.Net)
+		if l.neg {
+			p.Kind = ruleplane.AddrNotIn
+		}
+		return addAddrPred(r, e.Dir, p)
+	case PortExpr:
+		p := ruleplane.PortPred{Kind: ruleplane.PortIn, Lo: e.Port, Hi: e.Port}
+		if l.neg {
+			p.Kind = ruleplane.PortNotIn
+		}
+		switch e.Dir {
+		case DirSrc:
+			r.SrcPort = append(r.SrcPort, p)
+		case DirDst:
+			r.DstPort = append(r.DstPort, p)
+		default:
+			return fmt.Errorf("bpf: unresolved port direction")
+		}
+		return nil
+	case ProtoExpr:
+		k := ruleplane.ProtoIs
+		if l.neg {
+			k = ruleplane.ProtoNot
+		}
+		r.Proto = append(r.Proto, ruleplane.ProtoPred{Kind: k, Proto: e.Proto})
+		return nil
+	default:
+		return fmt.Errorf("bpf: cannot lower %T onto the rule plane", l.e)
+	}
+}
+
+func addAddrPred(r *ruleplane.Rule, d Dir, p ruleplane.AddrPred) error {
+	switch d {
+	case DirSrc:
+		r.Src = append(r.Src, p)
+	case DirDst:
+		r.Dst = append(r.Dst, p)
+	default:
+		return fmt.Errorf("bpf: unresolved address direction")
+	}
+	return nil
+}

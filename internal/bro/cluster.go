@@ -33,6 +33,7 @@ import (
 	"hilti/internal/pkt/flow"
 	"hilti/internal/pkt/pipeline"
 	"hilti/internal/rt/migrate"
+	"hilti/internal/rt/ruleplane"
 	"hilti/internal/rt/snapshot"
 	"hilti/internal/rt/wal"
 )
@@ -124,6 +125,13 @@ func (c *Cluster) Table() *migrate.Table { return c.table }
 
 // Ledger exposes the migration ledger for invariant checks.
 func (c *Cluster) Ledger() *migrate.Ledger { return c.ledger }
+
+// RulePlane returns the cluster's shared rule plane, or nil when none is
+// configured. Every instance's pipeline holds the same *ruleplane.Plane
+// (NewParallelWith hoists cfg.RulePlane to each pipeline ingress), so one
+// Swap reaches the whole cluster; note the shadow window drains across
+// all instances' feeders, so ShadowPackets may exceed Window.
+func (c *Cluster) RulePlane() *ruleplane.Plane { return c.insts[0].par.RulePlane() }
 
 // Feed routes one frame to its flow's current owner. Unkeyable frames
 // share virtual id 0, so they ride whichever instance owns its bucket —

@@ -32,6 +32,7 @@ import (
 	"hilti/internal/rt/hbytes"
 	"hilti/internal/rt/metrics"
 	"hilti/internal/rt/profiler"
+	"hilti/internal/rt/ruleplane"
 	"hilti/internal/rt/timer"
 	"hilti/internal/rt/values"
 )
@@ -65,6 +66,15 @@ type Config struct {
 	PanicPort uint16
 	LoopPort  uint16
 	StallPort uint16
+
+	// RulePlane, when set, gates packets through the shared match-action
+	// automaton (rt/ruleplane) inside ProcessPacket: after the L3/L4
+	// decode, before any flow or analyzer state is touched, a packet any
+	// gate program rejects is dropped and counted (PlaneDropped). This is
+	// the single-engine hosting; the parallel pipeline hoists the plane to
+	// its ingress instead (one evaluation per packet, not per worker) and
+	// leaves the per-engine field nil.
+	RulePlane *ruleplane.Plane
 
 	// Metrics, when set, publishes the engine's counters (flows
 	// opened/closed, packets, events, parse errors, faults, log lines),
@@ -144,6 +154,9 @@ type Engine struct {
 	// flush (see wal.go). Nil outside WAL mode: the mark helpers are then
 	// no-ops, so the non-incremental paths pay nothing.
 	delta *deltaState
+
+	planeVerdicts []int64         // scratch for cfg.RulePlane evaluation
+	planeDropped  metrics.Counter // packets a gate program dropped
 }
 
 type printWriter struct{ quiet bool }
@@ -185,6 +198,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.reasm = cfg.SharedReassembly
 	} else if cfg.ReassemblyBudget > 0 {
 		e.reasm = reassembly.NewBudget(cfg.ReassemblyBudget)
+	}
+	if cfg.RulePlane != nil {
+		e.planeVerdicts = make([]int64, cfg.RulePlane.NumPrograms())
 	}
 	e.Logs.Discard = cfg.DiscardLogs
 	e.profs = profiler.NewRegistry()
@@ -476,15 +492,41 @@ func (e *Engine) ProcessPacket(tsNs int64, frame []byte) {
 		if err != nil {
 			return
 		}
+		if e.planeDrop(ip, tcp.SrcPort, tcp.DstPort) {
+			return
+		}
 		e.tcpPacket(ip, tcp)
 	case layers.IPProtoUDP:
 		udp, err := layers.DecodeUDP(ip.Payload)
 		if err != nil {
 			return
 		}
+		if e.planeDrop(ip, udp.SrcPort, udp.DstPort) {
+			return
+		}
 		e.udpPacket(ip, udp)
 	}
 }
+
+// planeDrop consults the engine-hosted rule plane (nil-safe): true means
+// a gate program rejected the packet, which is dropped before any flow
+// state exists for it.
+func (e *Engine) planeDrop(ip layers.IPv4, srcPort, dstPort uint16) bool {
+	rp := e.cfg.RulePlane
+	if rp == nil {
+		return false
+	}
+	h := ruleplane.HeaderFromV4(ip.Src, ip.Dst, ip.Protocol, srcPort, dstPort)
+	if _, drop := rp.Eval(&h, e.planeVerdicts); drop {
+		e.planeDropped.Inc()
+		return true
+	}
+	return false
+}
+
+// PlaneDropped reports how many packets the engine-hosted rule plane
+// dropped.
+func (e *Engine) PlaneDropped() uint64 { return e.planeDropped.Load() }
 
 func (e *Engine) getConn(key flow.Key, isTCP bool) (*conn, bool) {
 	ck, forward := key.Canonical()

@@ -61,6 +61,13 @@ func NewParallelWith(cfg Config, pcfg pipeline.Config) (*Parallel, error) {
 	if pcfg.Metrics == nil {
 		pcfg.Metrics = cfg.Metrics
 	}
+	// A rule plane is hoisted to the pipeline ingress: the single feeder
+	// goroutine evaluates it once per packet, so swap ledgers stay exact
+	// and per-worker engines never evaluate it a second time.
+	if pcfg.RulePlane == nil {
+		pcfg.RulePlane = cfg.RulePlane
+	}
+	cfg.RulePlane = nil
 	workerCfg := func(i int) Config {
 		c := cfg
 		c.Metrics = pcfg.Metrics
@@ -108,6 +115,12 @@ func RestoreParallelWith(cfg Config, pcfg pipeline.Config, r io.Reader) (*Parall
 	if pcfg.Metrics == nil {
 		pcfg.Metrics = cfg.Metrics
 	}
+	// Same ingress hoisting as NewParallelWith: the restored pipeline owns
+	// the plane, worker engines never see it.
+	if pcfg.RulePlane == nil {
+		pcfg.RulePlane = cfg.RulePlane
+	}
+	cfg.RulePlane = nil
 	workerCfg := func(i int) Config {
 		c := cfg
 		c.Metrics = pcfg.Metrics

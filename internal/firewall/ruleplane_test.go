@@ -1,0 +1,108 @@
+package firewall
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hilti/internal/rt/ruleplane"
+	"hilti/internal/rt/values"
+)
+
+// staticDecision is the firewall's first-match walk with no dynamic
+// state — what the observational rule-plane program must reproduce. A
+// fresh Baseline has an empty dynamic table, so its first Match is
+// exactly the static decision.
+func staticDecision(rules []Rule, src, dst values.Value) bool {
+	return NewBaseline(rules, time.Minute).Match(0, src, dst)
+}
+
+func planeDecision(t *testing.T, auto *ruleplane.Automaton, lin *ruleplane.Linear, src, dst values.Value) bool {
+	t.Helper()
+	h := ruleplane.HeaderFromAddrs(src, dst, 6, 1234, 80)
+	av, lv := make([]int64, 1), make([]int64, 1)
+	am, lm := make([]int32, 1), make([]int32, 1)
+	auto.Eval(&h, av, am)
+	lin.Eval(&h, lv, lm)
+	if av[0] != lv[0] || am[0] != lm[0] {
+		t.Fatalf("compiled vs linear diverged on %s -> %s: (%d,%d) vs (%d,%d)",
+			values.Format(src), values.Format(dst), av[0], am[0], lv[0], lm[0])
+	}
+	return av[0] == 1
+}
+
+// TestRulePlaneProgramMatchesStatic: the plane program's verdict equals
+// the firewall's static first-match decision on the paper rule set and
+// on randomized rule sets, for every probe address pair.
+func TestRulePlaneProgramMatchesStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randNet := func() values.Value {
+		plen := []int{8, 16, 24, 32}[rng.Intn(4)]
+		s := fmt.Sprintf("10.%d.%d.%d/%d", rng.Intn(4), rng.Intn(4), 0, plen)
+		if plen == 32 {
+			s = fmt.Sprintf("10.%d.%d.%d/32", rng.Intn(4), rng.Intn(4), 1+rng.Intn(4))
+		}
+		return values.MustParseNet(s)
+	}
+	sets := [][]Rule{mustRules(t)}
+	for i := 0; i < 20; i++ {
+		var rs []Rule
+		for j := 1 + rng.Intn(8); j > 0; j-- {
+			var r Rule
+			if rng.Intn(4) != 0 {
+				r.Src = randNet()
+			}
+			if rng.Intn(4) != 0 {
+				r.Dst = randNet()
+			}
+			r.Allow = rng.Intn(2) == 0
+			rs = append(rs, r)
+		}
+		sets = append(sets, rs)
+	}
+
+	var probes []values.Value
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			probes = append(probes, values.AddrFrom4([4]byte{10, byte(a), byte(b), byte(1 + a)}))
+		}
+	}
+	probes = append(probes, values.AddrFrom4([4]byte{192, 168, 1, 1}))
+
+	for si, rs := range sets {
+		prog := RulePlaneProgram("firewall", rs)
+		auto, err := ruleplane.Compile([]ruleplane.Program{prog})
+		if err != nil {
+			t.Fatalf("set %d: %v", si, err)
+		}
+		lin := ruleplane.NewLinear([]ruleplane.Program{prog})
+		for _, src := range probes {
+			for _, dst := range probes {
+				want := staticDecision(rs, src, dst)
+				if got := planeDecision(t, auto, lin, src, dst); got != want {
+					t.Fatalf("set %d, %s -> %s: plane %v, firewall static %v",
+						si, values.Format(src), values.Format(dst), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRulePlaneProgramIsObservational: the program carries Gate=false —
+// the firewall's dynamic reverse-allow state lives in the engine, so the
+// plane must never drop on its behalf.
+func TestRulePlaneProgramIsObservational(t *testing.T) {
+	prog := RulePlaneProgram("firewall", mustRules(t))
+	if prog.Gate {
+		t.Fatal("firewall plane program must not gate")
+	}
+	auto, err := ruleplane.Compile([]ruleplane.Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []int64{0}
+	if auto.GateDrop(v) {
+		t.Fatal("observational program caused a gate drop")
+	}
+}

@@ -32,6 +32,16 @@ func (p *Pipeline) registerMetrics() {
 	reg.RegisterCollector("pipeline", func(emit func(string, float64)) {
 		emit("pipeline_packets_fed_total", float64(p.fed.Load()))
 		emit("pipeline_worker_restarts_total", float64(p.Restarts()))
+		if rp := p.cfg.RulePlane; rp != nil {
+			emit("pipeline_ruleplane_dropped_total", float64(p.PlaneDropped()))
+			st := rp.Stats()
+			emit("pipeline_ruleplane_evals_total", float64(st.Evals))
+			emit("pipeline_ruleplane_swaps_total", float64(st.Swaps))
+			emit("pipeline_ruleplane_swaps_committed_total", float64(st.Committed))
+			emit("pipeline_ruleplane_swaps_aborted_total", float64(st.Aborted))
+			emit("pipeline_ruleplane_shadow_packets_total", float64(st.ShadowPackets))
+			emit("pipeline_ruleplane_committed_seq", float64(rp.CommittedSeq()))
+		}
 		emit("pipeline_flow_table_size", float64(p.FlowTableSize()))
 		emit("pipeline_effective_max_flows", float64(p.EffectiveMaxFlows()))
 		emit("pipeline_stall_quarantines_total", float64(p.StallQuarantines()))

@@ -61,6 +61,7 @@ import (
 	"hilti/internal/rt/admission"
 	"hilti/internal/rt/fault"
 	"hilti/internal/rt/metrics"
+	"hilti/internal/rt/ruleplane"
 	"hilti/internal/rt/snapshot"
 	"hilti/internal/rt/threads"
 	"hilti/internal/rt/timer"
@@ -156,6 +157,16 @@ type Config struct {
 	// established flows keep full service. All dispositions land in the
 	// controller's ledger.
 	Admission *admission.Controller
+
+	// RulePlane, when set, evaluates the compiled match-action automaton
+	// (classifier + filter + firewall programs in one walk) for every
+	// keyable packet on the feeding goroutine, before the admission
+	// controller and before the packet costs an ingress token or a copy.
+	// A packet any gate program rejects is dropped at ingress and counted
+	// in PlaneDropped. Running on the single feeder keeps evaluation
+	// order — and therefore hot-swap shadow windows and their ledgers —
+	// deterministic for a given trace, mirroring Admission.
+	RulePlane *ruleplane.Plane
 
 	// ExpireFlows forwards flow-idle expirations to the handler: when a
 	// flow's idle timer lapses and the handler implements FlowZapper, the
@@ -379,6 +390,9 @@ type Pipeline struct {
 	ckptLat  *metrics.Histogram // checkpoint encode latency (nil-safe)
 	timerMet *timer.MgrMetrics  // shared by all worker timer managers
 
+	planeVerdicts []int64       // feeder-goroutine scratch for RulePlane.Eval
+	planeDropped  atomic.Uint64 // packets dropped by a gate program
+
 	finalMu  sync.Mutex
 	finalErr error
 }
@@ -449,6 +463,9 @@ func newPipeline(cfg *Config) (*Pipeline, error) {
 		tokens: make(chan struct{}, cfg.Ingress),
 		stopc:  make(chan struct{}),
 	}
+	if cfg.RulePlane != nil {
+		p.planeVerdicts = make([]int64, cfg.RulePlane.NumPrograms())
+	}
 	p.registerMetrics()
 	return p, nil
 }
@@ -502,6 +519,15 @@ func (p *Pipeline) EffectiveMaxFlows() int {
 // Restarts returns how many wedged workers the supervisor has replaced.
 func (p *Pipeline) Restarts() uint64 { return p.restarts.Load() }
 
+// RulePlane returns the shared rule plane, nil when not configured. Use
+// it for hot reloads: RulePlane().Swap installs a new rule set under
+// live traffic.
+func (p *Pipeline) RulePlane() *ruleplane.Plane { return p.cfg.RulePlane }
+
+// PlaneDropped returns how many packets the rule plane's gate programs
+// dropped at ingress.
+func (p *Pipeline) PlaneDropped() uint64 { return p.planeDropped.Load() }
+
 // FinalCheckpointErr reports whether the graceful-drain checkpoint that
 // Close writes to Config.FinalCheckpoint succeeded. Valid after Close.
 func (p *Pipeline) FinalCheckpointErr() error {
@@ -523,6 +549,16 @@ func (p *Pipeline) Feed(tsNs int64, frame []byte) error {
 	key, hasKey := flow.FromFrame(frame)
 	if hasKey {
 		vid = key.Hash()
+	}
+	// The rule plane evaluates on the single feeding goroutine too: one
+	// automaton walk answers every hosted program, and a gate rejection
+	// drops the packet before it costs anything downstream.
+	if rp := p.cfg.RulePlane; rp != nil && hasKey {
+		h := ruleplane.HeaderFrom16(key.SrcIP, key.DstIP, key.Proto, key.SrcPort, key.DstPort)
+		if _, drop := rp.Eval(&h, p.planeVerdicts); drop {
+			p.planeDropped.Add(1)
+			return nil
+		}
 	}
 	// The overload controller runs here, on the single feeding goroutine
 	// and in trace time, so its decisions are deterministic for a given

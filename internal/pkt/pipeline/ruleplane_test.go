@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"testing"
+
+	"hilti/internal/rt/ruleplane"
+	"hilti/internal/rt/values"
+)
+
+// gateTo builds a single-gate plane whose only rule drops UDP traffic to
+// the given dst address; everything else passes.
+func gateTo(t *testing.T, dst [4]byte) *ruleplane.Plane {
+	t.Helper()
+	p, err := ruleplane.New(gateProgs(dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func gateProgs(dst [4]byte) []ruleplane.Program {
+	return []ruleplane.Program{{
+		Name: "gate",
+		Gate: true,
+		Rules: []ruleplane.Rule{{
+			Dst:     []ruleplane.AddrPred{ruleplane.AddrIs(values.AddrFrom4(dst))},
+			Verdict: 0,
+		}},
+		Default: 1,
+	}}
+}
+
+// TestRulePlaneIngressGate: packets whose 5-tuple matches a gate program's
+// drop rule never reach any worker, are counted in PlaneDropped, and are
+// excluded from Fed; everything else flows through untouched.
+func TestRulePlaneIngressGate(t *testing.T) {
+	blocked := [4]byte{10, 0, 0, 9}
+	p, hs := newRecPipeline(t, Config{Workers: 2, RulePlane: gateTo(t, blocked)})
+	a, ok := [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		p.Feed(int64(i), frame(a, ok, 1000, 53, []byte{1}))
+		p.Feed(int64(i), frame(a, blocked, 1001, 53, []byte{2}))
+	}
+	p.Close()
+	if got := p.PlaneDropped(); got != rounds {
+		t.Fatalf("PlaneDropped = %d, want %d", got, rounds)
+	}
+	if got := p.Fed(); got != rounds {
+		t.Fatalf("Fed = %d, want %d (gate drops must not count)", got, rounds)
+	}
+	seen := 0
+	for _, h := range hs {
+		for _, pkt := range h.packets {
+			seen++
+			if pkt[len(pkt)-1] == 2 {
+				t.Fatalf("worker %d saw a gate-dropped packet", h.worker)
+			}
+		}
+	}
+	if seen != rounds {
+		t.Fatalf("workers saw %d packets, want %d", seen, rounds)
+	}
+}
+
+// TestRulePlaneSwapUnderFeed: a shadow-window swap under a live feed
+// commits after exactly Window packets (Feed is single-producer, so the
+// countdown is serialized), and the gate behavior flips atomically at the
+// commit point — no packet is double-evaluated or lost.
+func TestRulePlaneSwapUnderFeed(t *testing.T) {
+	blocked := [4]byte{10, 0, 0, 9}
+	plane := gateTo(t, blocked) // initially drops -> blocked
+	p, hs := newRecPipeline(t, Config{Workers: 2, RulePlane: plane})
+
+	a := [4]byte{10, 0, 0, 1}
+	const window = 16
+	// New generation: allow everything (empty gate rule list).
+	allowAll := []ruleplane.Program{{Name: "gate", Gate: true, Default: 1}}
+	if _, err := plane.Swap(allowAll, ruleplane.SwapOptions{Window: window}); err != nil {
+		t.Fatal(err)
+	}
+
+	// While the shadow window drains, the old generation still gates.
+	const total = 64
+	for i := 0; i < total; i++ {
+		p.Feed(int64(i), frame(a, blocked, 2000, 53, []byte{byte(i)}))
+	}
+	p.Close()
+
+	st := plane.Stats()
+	if st.Swaps != 1 || st.Committed != 1 || st.Aborted != 0 {
+		t.Fatalf("ledger = %+v, want 1 swap committed cleanly", st)
+	}
+	if st.ShadowPackets != window {
+		t.Fatalf("ShadowPackets = %d, want exactly %d (serialized feed)", st.ShadowPackets, window)
+	}
+	// Packets 0..window-1 evaluated under the old (dropping) generation;
+	// the packet that exhausts the window commits, so window.. pass.
+	if got := p.PlaneDropped(); got != window {
+		t.Fatalf("PlaneDropped = %d, want %d", got, window)
+	}
+	seen := 0
+	for _, h := range hs {
+		seen += len(h.packets)
+	}
+	if seen != total-window {
+		t.Fatalf("workers saw %d packets, want %d", seen, total-window)
+	}
+}

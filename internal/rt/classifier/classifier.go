@@ -181,6 +181,27 @@ func (c *Classifier) Matches(key ...values.Value) bool {
 	return err == nil
 }
 
+// RuleView is a read-only view of one rule, in priority (insertion)
+// order, for consumers that re-compile the table into other structures
+// (the shared rule plane ingests classifiers through this).
+type RuleView struct {
+	Fields []Field
+	Val    values.Value
+}
+
+// Rules returns the rule list in priority order. The field slices are
+// shared with the classifier; callers must not mutate them.
+func (c *Classifier) Rules() []RuleView {
+	out := make([]RuleView, len(c.rules))
+	for i := range c.rules {
+		out[i] = RuleView{Fields: c.rules[i].fields, Val: c.rules[i].val}
+	}
+	return out
+}
+
+// NumFields returns the key-tuple width the classifier was created with.
+func (c *Classifier) NumFields() int { return c.nfields }
+
 func (r *rule) matches(key []values.Value) bool {
 	for i, f := range r.fields {
 		if !f.Matches(key[i]) {

@@ -1,0 +1,107 @@
+package ruleplane
+
+import (
+	"fmt"
+
+	"hilti/internal/rt/classifier"
+	"hilti/internal/rt/values"
+)
+
+// FieldRole tells FromClassifier which packet-header field each
+// classifier key column matches against.
+type FieldRole int
+
+// Classifier key-column roles.
+const (
+	RoleSrcAddr FieldRole = iota
+	RoleDstAddr
+	RoleSrcPort
+	RoleDstPort
+	RoleProto
+)
+
+// FromClassifier re-compiles a classifier table into a rule-plane
+// program. roles maps each key column to a header field. The program's
+// verdict for a match is the winning rule's index (insertion order) and
+// Default is -1 (no match), so callers can recover the classifier's
+// result value via its rule list; this keeps verdicts integral without
+// restricting what classifier values may be.
+func FromClassifier(c *classifier.Classifier, roles []FieldRole, name string) (Program, error) {
+	if len(roles) != c.NumFields() {
+		return Program{}, fmt.Errorf("ruleplane: classifier has %d fields, got %d roles", c.NumFields(), len(roles))
+	}
+	views := c.Rules()
+	prog := Program{Name: name, Rules: make([]Rule, 0, len(views)), Default: -1}
+	for ri, v := range views {
+		var r Rule
+		r.Verdict = int64(ri)
+		for fi, f := range v.Fields {
+			if err := addFieldPred(&r, roles[fi], f); err != nil {
+				return Program{}, fmt.Errorf("ruleplane: %s rule %d field %d: %w", name, ri, fi, err)
+			}
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+func addFieldPred(r *Rule, role FieldRole, f classifier.Field) error {
+	switch m := f.(type) {
+	case classifier.Wildcard:
+		return nil
+	case classifier.NetField:
+		switch role {
+		case RoleSrcAddr:
+			r.Src = append(r.Src, AddrInNet(m.Net))
+		case RoleDstAddr:
+			r.Dst = append(r.Dst, AddrInNet(m.Net))
+		default:
+			return fmt.Errorf("net matcher on non-address role %d", role)
+		}
+		return nil
+	case classifier.PortRangeField:
+		return addPortPred(r, role, PortPred{Kind: PortIn, Lo: m.Lo, Hi: m.Hi}, m.Proto)
+	case classifier.ExactField:
+		switch m.Val.K {
+		case values.KindAddr:
+			switch role {
+			case RoleSrcAddr:
+				r.Src = append(r.Src, AddrIs(m.Val))
+			case RoleDstAddr:
+				r.Dst = append(r.Dst, AddrIs(m.Val))
+			default:
+				return fmt.Errorf("addr matcher on non-address role %d", role)
+			}
+			return nil
+		case values.KindPort:
+			p, proto := m.Val.AsPort()
+			return addPortPred(r, role, PortPred{Kind: PortIn, Lo: p, Hi: p}, proto)
+		case values.KindInt:
+			if role != RoleProto {
+				return fmt.Errorf("int matcher on non-proto role %d", role)
+			}
+			r.Proto = append(r.Proto, ProtoPred{Kind: ProtoIs, Proto: uint8(m.Val.A)})
+			return nil
+		default:
+			return fmt.Errorf("unsupported exact-match kind %v", m.Val.K)
+		}
+	default:
+		return fmt.Errorf("unsupported matcher %T", f)
+	}
+}
+
+// addPortPred attaches a port predicate plus the protocol constraint port
+// matchers carry (a HILTI port value is (number, proto), so 80/tcp does
+// not match 80/udp — classifier.PortRangeField has the same semantics).
+func addPortPred(r *Rule, role FieldRole, p PortPred, proto uint8) error {
+	switch role {
+	case RoleSrcPort:
+		r.SrcPort = append(r.SrcPort, p)
+	case RoleDstPort:
+		r.DstPort = append(r.DstPort, p)
+	default:
+		return fmt.Errorf("port matcher on non-port role %d", role)
+	}
+	r.Proto = append(r.Proto, ProtoPred{Kind: ProtoIs, Proto: proto})
+	return nil
+}

@@ -1,0 +1,112 @@
+package ruleplane
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hilti/internal/rt/classifier"
+	"hilti/internal/rt/values"
+)
+
+// TestFromClassifierMatchesGet: for randomized 3-column classifiers
+// (src net, dst net, dst port range), the plane program's verdict index
+// recovers exactly the rule classifier.Get selects — the compiled and
+// linear paths both agree with the classifier's own first-match walk.
+func TestFromClassifierMatchesGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	netOrWild := func() classifier.Field {
+		if rng.Intn(4) == 0 {
+			return classifier.Wildcard{}
+		}
+		plen := []int{8, 16, 24}[rng.Intn(3)]
+		return classifier.NetField{Net: values.MustParseNet(
+			fmt.Sprintf("10.%d.%d.0/%d", rng.Intn(3), rng.Intn(3), plen))}
+	}
+	portField := func() classifier.Field {
+		switch rng.Intn(3) {
+		case 0:
+			return classifier.Wildcard{}
+		case 1:
+			lo := uint16(50 + rng.Intn(100))
+			return classifier.PortRangeField{Lo: lo, Hi: lo + uint16(rng.Intn(50)), Proto: values.ProtoTCP}
+		default:
+			return classifier.ExactField{Val: values.PortVal(uint16(50+rng.Intn(150)), values.ProtoTCP)}
+		}
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		c := classifier.New(3)
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			err := c.Add([]classifier.Field{netOrWild(), netOrWild(), portField()}, values.Int(int64(100+i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Compile()
+
+		prog, err := FromClassifier(c, []FieldRole{RoleSrcAddr, RoleDstAddr, RoleDstPort}, "cls")
+		if err != nil {
+			t.Fatal(err)
+		}
+		auto, err := Compile([]Program{prog})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin := NewLinear([]Program{prog})
+		views := c.Rules()
+
+		av, lv := make([]int64, 1), make([]int64, 1)
+		am, lm := make([]int32, 1), make([]int32, 1)
+		for probe := 0; probe < 300; probe++ {
+			src := values.AddrFrom4([4]byte{10, byte(rng.Intn(3)), byte(rng.Intn(3)), byte(1 + rng.Intn(5))})
+			dst := values.AddrFrom4([4]byte{10, byte(rng.Intn(3)), byte(rng.Intn(3)), byte(1 + rng.Intn(5))})
+			port := uint16(50 + rng.Intn(200))
+
+			h := HeaderFromAddrs(src, dst, values.ProtoTCP, 9999, port)
+			auto.Eval(&h, av, am)
+			lin.Eval(&h, lv, lm)
+			if av[0] != lv[0] || am[0] != lm[0] {
+				t.Fatalf("trial %d: compiled vs linear diverged: (%d,%d) vs (%d,%d)",
+					trial, av[0], am[0], lv[0], lm[0])
+			}
+
+			want, gerr := c.Get(src, dst, values.PortVal(port, values.ProtoTCP))
+			if errors.Is(gerr, classifier.ErrNoMatch) {
+				if av[0] != -1 {
+					t.Fatalf("trial %d: classifier missed but plane matched rule %d", trial, av[0])
+				}
+				continue
+			}
+			if gerr != nil {
+				t.Fatal(gerr)
+			}
+			if av[0] < 0 {
+				t.Fatalf("trial %d: classifier matched %v but plane missed", trial, values.Format(want))
+			}
+			got := views[av[0]].Val
+			if !values.Equal(got, want) {
+				t.Fatalf("trial %d: plane rule %d -> %v, classifier -> %v",
+					trial, av[0], values.Format(got), values.Format(want))
+			}
+		}
+	}
+}
+
+// TestFromClassifierRoleMismatch: matcher/role combinations that make no
+// sense (a net matcher on a port column) are rejected at compile time.
+func TestFromClassifierRoleMismatch(t *testing.T) {
+	c := classifier.New(1)
+	if err := c.Add([]classifier.Field{classifier.NetField{Net: values.MustParseNet("10.0.0.0/8")}}, values.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	c.Compile()
+	if _, err := FromClassifier(c, []FieldRole{RoleDstPort}, "bad"); err == nil {
+		t.Fatal("net matcher on a port role must be rejected")
+	}
+	if _, err := FromClassifier(c, []FieldRole{RoleSrcAddr, RoleDstAddr}, "bad"); err == nil {
+		t.Fatal("role arity mismatch must be rejected")
+	}
+}

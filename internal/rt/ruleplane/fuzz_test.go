@@ -1,0 +1,142 @@
+package ruleplane
+
+import (
+	"testing"
+)
+
+// fuzzReader doles out bytes from the fuzz input, yielding zeros once
+// exhausted so every input decodes to a finite, valid rule set.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// fuzzAddr draws from a low-entropy pool: everything lands in 10.x.y.z
+// v4-mapped space so rules and headers overlap constantly; a tagged byte
+// escapes to a small v6 corner.
+func fuzzAddr(r *fuzzReader) (uint64, uint64) {
+	if r.byte()&7 == 0 {
+		hi := uint64(0x20010db8)<<32 | uint64(r.byte()&3)
+		lo := uint64(r.byte() & 7)
+		return hi, lo
+	}
+	v4 := uint64(10)<<24 | uint64(r.byte()&3)<<16 | uint64(r.byte()&7)<<8 | uint64(r.byte()&15)
+	return 0, 0xffff00000000 | v4
+}
+
+func fuzzAddrPred(r *fuzzReader) AddrPred {
+	hi, lo := fuzzAddr(r)
+	plen := int(r.byte()) % 129
+	if r.byte()&1 == 0 {
+		plen = 96 + int(r.byte())%33
+	}
+	k := AddrIn
+	if r.byte()&3 == 0 {
+		k = AddrNotIn
+	}
+	hi, lo = maskBits(hi, lo, plen)
+	return AddrPred{Kind: k, Hi: hi, Lo: lo, PLen: plen}
+}
+
+func fuzzRule(r *fuzzReader) Rule {
+	var ru Rule
+	for i := int(r.byte()) % 3; i > 0; i-- {
+		ru.Src = append(ru.Src, fuzzAddrPred(r))
+	}
+	for i := int(r.byte()) % 3; i > 0; i-- {
+		ru.Dst = append(ru.Dst, fuzzAddrPred(r))
+	}
+	if r.byte()&3 == 0 {
+		k := ProtoIs
+		if r.byte()&3 == 0 {
+			k = ProtoNot
+		}
+		ru.Proto = append(ru.Proto, ProtoPred{Kind: k, Proto: []uint8{6, 17, 1}[int(r.byte())%3]})
+	}
+	if r.byte()&3 == 0 {
+		lo := uint16(r.byte())
+		hi := lo + uint16(r.byte()&31)
+		k := PortIn
+		if r.byte()&3 == 0 {
+			k = PortNotIn
+		}
+		ru.DstPort = append(ru.DstPort, PortPred{Kind: k, Lo: lo, Hi: hi})
+	}
+	if r.byte()&7 == 0 {
+		lo := uint16(r.byte())
+		ru.SrcPort = append(ru.SrcPort, PortPred{Kind: PortIn, Lo: lo, Hi: lo + uint16(r.byte()&15)})
+	}
+	ru.Verdict = int64(r.byte() % 8)
+	return ru
+}
+
+func fuzzHeader(r *fuzzReader) Header {
+	shi, slo := fuzzAddr(r)
+	dhi, dlo := fuzzAddr(r)
+	proto := []uint8{6, 17, 1}[int(r.byte())%3]
+	h := Header{SrcHi: shi, SrcLo: slo, DstHi: dhi, DstLo: dlo, Proto: proto}
+	if proto == 6 || proto == 17 {
+		h.HasPorts = true
+		h.SrcPort = uint16(r.byte()) | uint16(r.byte()&1)<<8
+		h.DstPort = uint16(r.byte()) | uint16(r.byte()&1)<<8
+	}
+	return h
+}
+
+// FuzzRulePlaneEquivalence decodes random rule sets and packet headers
+// from the fuzz input and requires the compiled automaton to agree with
+// the linear reference evaluator on every verdict and winning-rule
+// index. This is the K2-style differential oracle as a fuzz target.
+func FuzzRulePlaneEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 7, 7, 7, 7, 128, 64, 32, 16, 8, 4, 2, 1,
+		9, 9, 9, 9, 200, 100, 50, 25, 0, 0, 0, 0, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		nprogs := 1 + int(r.byte())%3
+		progs := make([]Program, nprogs)
+		for i := range progs {
+			progs[i] = Program{
+				Name:    string(rune('a' + i)),
+				Default: int64(r.byte()%4) - 1,
+				Gate:    r.byte()&3 == 0,
+			}
+			for j := int(r.byte()) % 12; j > 0; j-- {
+				progs[i].Rules = append(progs[i].Rules, fuzzRule(r))
+			}
+		}
+		auto, err := Compile(progs)
+		if err != nil {
+			t.Fatalf("generated programs must compile: %v", err)
+		}
+		lin := NewLinear(progs)
+		av := make([]int64, nprogs)
+		lv := make([]int64, nprogs)
+		am := make([]int32, nprogs)
+		lm := make([]int32, nprogs)
+		for i := 1 + int(r.byte())%12; i > 0; i-- {
+			h := fuzzHeader(r)
+			auto.Eval(&h, av, am)
+			lin.Eval(&h, lv, lm)
+			for j := 0; j < nprogs; j++ {
+				if av[j] != lv[j] || am[j] != lm[j] {
+					t.Fatalf("program %d diverged on %+v: compiled (%d, rule %d) vs linear (%d, rule %d)",
+						j, h, av[j], am[j], lv[j], lm[j])
+				}
+			}
+			if auto.GateDrop(av) != lin.GateDrop(lv) {
+				t.Fatalf("gate decision diverged on %+v", h)
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package ruleplane
+
+// Linear is the naive reference evaluator: every program's rule list is
+// scanned in order and the first matching rule wins. It is deliberately
+// simple — this is the differential oracle the compiled automaton is
+// verified against (unit tests, FuzzRulePlaneEquivalence, and every live
+// swap's shadow window), and it is kept permanently for that reason.
+type Linear struct {
+	progs []Program
+}
+
+// NewLinear builds the reference evaluator. The program slice is
+// retained; callers must treat it as immutable afterwards.
+func NewLinear(progs []Program) *Linear {
+	return &Linear{progs: progs}
+}
+
+// NumPrograms returns the number of hosted programs.
+func (l *Linear) NumPrograms() int { return len(l.progs) }
+
+// Eval computes every program's verdict for h. verdicts and matched must
+// each have NumPrograms() elements; matched[i] receives the winning
+// rule's index within program i, or -1 when the default verdict applied.
+func (l *Linear) Eval(h *Header, verdicts []int64, matched []int32) {
+	for pi := range l.progs {
+		p := &l.progs[pi]
+		verdicts[pi] = p.Default
+		matched[pi] = -1
+		for ri := range p.Rules {
+			if p.Rules[ri].Matches(h) {
+				verdicts[pi] = p.Rules[ri].Verdict
+				matched[pi] = int32(ri)
+				break
+			}
+		}
+	}
+}
+
+// GateDrop reports whether any gate program returned verdict 0.
+func (l *Linear) GateDrop(verdicts []int64) bool {
+	for pi := range l.progs {
+		if l.progs[pi].Gate && verdicts[pi] == 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,301 @@
+// Package ruleplane compiles every rule source the system evaluates per
+// packet — classifier tables (rt/classifier), BPF filter predicates
+// (internal/bpf), and firewall rule lists (internal/firewall) — into ONE
+// match-action automaton evaluated once per packet.
+//
+// The paper's platform story (§2, §6.2) is that filters, classifiers, and
+// firewall rules are all instances of the same abstract match problem;
+// "A Fast Compiler for NetKAT" goes further and compiles whole
+// packet-processing policies into shared BDD-like decision structures.
+// This package is that step for our reproduction: rule sources are
+// normalized into Programs (ordered first-match-wins rule lists over the
+// 5-tuple header space), the set of programs is compiled into a shared
+// field-ordered decision structure (a path-compressed binary trie over
+// the source prefix, nested destination tries, and hash-consed residual
+// predicate nodes), and a single walk per packet produces every program's
+// verdict.
+//
+// Correctness discipline (K2-style): the naive linear evaluator (Linear)
+// is kept permanently as the differential oracle. The compiled automaton
+// must produce bit-identical verdicts — property-tested, fuzzed
+// (FuzzRulePlaneEquivalence), and re-verified per packet during every
+// live rule swap's shadow window (see Plane).
+package ruleplane
+
+import (
+	"fmt"
+
+	"hilti/internal/rt/values"
+)
+
+// MaxPrograms bounds how many programs one plane may host; verdict
+// scratch space in the hot path is stack-allocated at this size.
+const MaxPrograms = 16
+
+// Header is the decoded per-packet key the rule plane matches on: the
+// 5-tuple in the runtime's uniform 128-bit address space (IPv4 addresses
+// in IPv4-mapped form, exactly like values.Value addrs).
+type Header struct {
+	SrcHi, SrcLo uint64
+	DstHi, DstLo uint64
+	Proto        uint8
+	// HasPorts is true for TCP/UDP; port predicates only ever match
+	// port-bearing packets (and negated port predicates match everything
+	// else, the tcpdump `not port N` semantics).
+	HasPorts         bool
+	SrcPort, DstPort uint16
+}
+
+// HeaderFrom16 builds a Header from 16-byte network-order addresses (the
+// pipeline's flow.Key layout).
+func HeaderFrom16(src, dst [16]byte, proto uint8, srcPort, dstPort uint16) Header {
+	s := values.AddrFrom16(src)
+	d := values.AddrFrom16(dst)
+	return Header{
+		SrcHi: s.A, SrcLo: s.B, DstHi: d.A, DstLo: d.B,
+		Proto: proto, HasPorts: proto == values.ProtoTCP || proto == values.ProtoUDP,
+		SrcPort: srcPort, DstPort: dstPort,
+	}
+}
+
+// HeaderFromV4 builds a Header from 4-byte IPv4 addresses.
+func HeaderFromV4(src, dst [4]byte, proto uint8, srcPort, dstPort uint16) Header {
+	s := values.AddrFrom4(src)
+	d := values.AddrFrom4(dst)
+	return Header{
+		SrcHi: s.A, SrcLo: s.B, DstHi: d.A, DstLo: d.B,
+		Proto: proto, HasPorts: proto == values.ProtoTCP || proto == values.ProtoUDP,
+		SrcPort: srcPort, DstPort: dstPort,
+	}
+}
+
+// HeaderFromAddrs builds a Header from runtime addr values (KindAddr).
+func HeaderFromAddrs(src, dst values.Value, proto uint8, srcPort, dstPort uint16) Header {
+	return Header{
+		SrcHi: src.A, SrcLo: src.B, DstHi: dst.A, DstLo: dst.B,
+		Proto: proto, HasPorts: proto == values.ProtoTCP || proto == values.ProtoUDP,
+		SrcPort: srcPort, DstPort: dstPort,
+	}
+}
+
+// --- Field predicates ---------------------------------------------------------
+
+// AddrKind selects an address predicate's mode.
+type AddrKind uint8
+
+// Address predicate modes.
+const (
+	AddrAny   AddrKind = iota // matches every address
+	AddrIn                    // address inside the prefix
+	AddrNotIn                 // address outside the prefix
+)
+
+// AddrPred matches one endpoint address against a prefix. Hi/Lo hold the
+// masked prefix bits in the 128-bit space; PLen is the 128-bit-space
+// prefix length (IPv4 prefixes are widened by 96, like values.NetVal).
+type AddrPred struct {
+	Kind   AddrKind
+	Hi, Lo uint64
+	PLen   int
+}
+
+// AddrInNet builds an AddrIn predicate from a net value (KindNet).
+func AddrInNet(net values.Value) AddrPred {
+	return AddrPred{Kind: AddrIn, Hi: net.A, Lo: net.B, PLen: net.NetPrefixLen()}
+}
+
+// AddrIs builds an exact-address (/128) predicate from an addr value.
+func AddrIs(addr values.Value) AddrPred {
+	return AddrPred{Kind: AddrIn, Hi: addr.A, Lo: addr.B, PLen: 128}
+}
+
+func (p AddrPred) matches(hi, lo uint64) bool {
+	switch p.Kind {
+	case AddrAny:
+		return true
+	case AddrIn:
+		return prefixContains(p.Hi, p.Lo, p.PLen, hi, lo)
+	default: // AddrNotIn
+		return !prefixContains(p.Hi, p.Lo, p.PLen, hi, lo)
+	}
+}
+
+// PortKind selects a port predicate's mode.
+type PortKind uint8
+
+// Port predicate modes.
+const (
+	PortAny   PortKind = iota // matches every packet, ports or not
+	PortIn                    // TCP/UDP packet with port in [Lo, Hi]
+	PortNotIn                 // anything but a TCP/UDP packet with port in [Lo, Hi]
+)
+
+// PortPred matches one endpoint port against an inclusive range.
+type PortPred struct {
+	Kind   PortKind
+	Lo, Hi uint16
+}
+
+func (p PortPred) matches(hasPorts bool, port uint16) bool {
+	switch p.Kind {
+	case PortAny:
+		return true
+	case PortIn:
+		return hasPorts && port >= p.Lo && port <= p.Hi
+	default: // PortNotIn
+		return !hasPorts || port < p.Lo || port > p.Hi
+	}
+}
+
+// ProtoKind selects a protocol predicate's mode.
+type ProtoKind uint8
+
+// Protocol predicate modes.
+const (
+	ProtoAny ProtoKind = iota
+	ProtoIs
+	ProtoNot
+)
+
+// ProtoPred matches the IP protocol number.
+type ProtoPred struct {
+	Kind  ProtoKind
+	Proto uint8
+}
+
+func (p ProtoPred) matches(proto uint8) bool {
+	switch p.Kind {
+	case ProtoAny:
+		return true
+	case ProtoIs:
+		return proto == p.Proto
+	default: // ProtoNot
+		return proto != p.Proto
+	}
+}
+
+// --- Rules and programs -------------------------------------------------------
+
+// Rule is one match-action rule: a conjunction of per-field predicates
+// (empty slice = wildcard on that field) and the verdict produced when
+// they all hold. Priority is list position: first match wins, exactly the
+// classifier/firewall semantics the paper fixes ("applied in order of
+// specification; the first match determines the result").
+type Rule struct {
+	Src, Dst         []AddrPred
+	Proto            []ProtoPred
+	SrcPort, DstPort []PortPred
+	Verdict          int64
+}
+
+// Matches reports whether every predicate of the rule holds for h. This
+// is the semantics-bearing definition both evaluators share; the compiled
+// automaton only ever uses its tries to SKIP rules that cannot match,
+// never to assert that one does.
+func (r *Rule) Matches(h *Header) bool {
+	for _, p := range r.Src {
+		if !p.matches(h.SrcHi, h.SrcLo) {
+			return false
+		}
+	}
+	for _, p := range r.Dst {
+		if !p.matches(h.DstHi, h.DstLo) {
+			return false
+		}
+	}
+	for _, p := range r.Proto {
+		if !p.matches(h.Proto) {
+			return false
+		}
+	}
+	for _, p := range r.SrcPort {
+		if !p.matches(h.HasPorts, h.SrcPort) {
+			return false
+		}
+	}
+	for _, p := range r.DstPort {
+		if !p.matches(h.HasPorts, h.DstPort) {
+			return false
+		}
+	}
+	return true
+}
+
+// Program is one ordered first-match-wins rule list with a default
+// verdict for packets no rule matches.
+type Program struct {
+	Name    string
+	Rules   []Rule
+	Default int64
+	// Gate marks the program as packet-gating: a verdict of 0 means the
+	// packet is dropped at ingress (the compiled-filter semantics).
+	// Non-gate programs are observational — their verdicts are computed
+	// and surfaced but never drop traffic (e.g. the firewall program,
+	// whose dynamic reverse-direction state lives in the engine).
+	Gate bool
+}
+
+// Validate rejects programs the compiler cannot represent.
+func Validate(progs []Program) error {
+	if len(progs) == 0 {
+		return fmt.Errorf("ruleplane: no programs")
+	}
+	if len(progs) > MaxPrograms {
+		return fmt.Errorf("ruleplane: %d programs exceeds the maximum %d", len(progs), MaxPrograms)
+	}
+	for pi := range progs {
+		p := &progs[pi]
+		for ri := range p.Rules {
+			r := &p.Rules[ri]
+			for _, a := range append(append([]AddrPred(nil), r.Src...), r.Dst...) {
+				if a.Kind != AddrAny && (a.PLen < 0 || a.PLen > 128) {
+					return fmt.Errorf("ruleplane: %s rule %d: prefix length %d out of range", p.Name, ri, a.PLen)
+				}
+			}
+			for _, pp := range append(append([]PortPred(nil), r.SrcPort...), r.DstPort...) {
+				if pp.Kind != PortAny && pp.Lo > pp.Hi {
+					return fmt.Errorf("ruleplane: %s rule %d: empty port range %d-%d", p.Name, ri, pp.Lo, pp.Hi)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- Bit helpers --------------------------------------------------------------
+
+// prefixContains reports whether (hi, lo) lies within the masked prefix
+// (phi, plo)/plen. Go shifts by >= 64 yield 0, so the plen==64 and
+// plen==128 edges fall out correctly.
+func prefixContains(phi, plo uint64, plen int, hi, lo uint64) bool {
+	switch {
+	case plen <= 0:
+		return true
+	case plen <= 64:
+		return hi&^(^uint64(0)>>uint(plen)) == phi
+	default:
+		return hi == phi && lo&^(^uint64(0)>>uint(plen-64)) == plo
+	}
+}
+
+// bitAt returns bit i (0 = MSB of hi) of a 128-bit address.
+func bitAt(hi, lo uint64, i int) int {
+	if i < 64 {
+		return int(hi >> uint(63-i) & 1)
+	}
+	return int(lo >> uint(127-i) & 1)
+}
+
+// maskBits zeroes everything below the leading plen bits.
+func maskBits(hi, lo uint64, plen int) (uint64, uint64) {
+	switch {
+	case plen <= 0:
+		return 0, 0
+	case plen >= 128:
+		return hi, lo
+	case plen <= 64:
+		return hi &^ (^uint64(0) >> uint(plen)), 0
+	default:
+		return hi, lo &^ (^uint64(0) >> uint(plen-64))
+	}
+}
